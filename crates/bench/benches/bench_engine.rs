@@ -1,0 +1,84 @@
+//! Criterion micro-benchmarks for the SQL execution engine: scan, filter,
+//! join, aggregate, nested, and set-operation queries over a generated
+//! retail database — the cost ladder behind every execution-based
+//! experiment in the harness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nli_core::Prng;
+use nli_data::domains;
+use nli_data::schema_gen::{generate_database, DbGenConfig};
+use nli_sql::SqlEngine;
+use std::hint::black_box;
+
+fn engine_benches(c: &mut Criterion) {
+    let domain = domains::domain("retail").unwrap();
+    let cfg = DbGenConfig { min_tables: 3, optional_col_p: 1.0, rows: (200, 200) };
+    let db = generate_database(domain, 0, &cfg, &mut Prng::new(42));
+    let engine = SqlEngine::new();
+
+    let queries = [
+        ("scan", "SELECT * FROM products"),
+        ("filter", "SELECT name FROM products WHERE price > 100"),
+        (
+            "join",
+            "SELECT products.name, sales.amount FROM sales JOIN products \
+             ON sales.product_id = products.id",
+        ),
+        (
+            "group",
+            "SELECT category, AVG(price) FROM products GROUP BY category",
+        ),
+        (
+            "join_group_order",
+            "SELECT products.category, SUM(sales.amount) FROM sales JOIN products \
+             ON sales.product_id = products.id GROUP BY products.category \
+             ORDER BY SUM(sales.amount) DESC",
+        ),
+        (
+            "nested",
+            "SELECT name FROM products WHERE id IN \
+             (SELECT product_id FROM sales WHERE amount > 500)",
+        ),
+        (
+            "set_op",
+            "SELECT category FROM products UNION SELECT city FROM stores",
+        ),
+    ];
+
+    let mut group = c.benchmark_group("sql_engine");
+    for (name, sql) in queries {
+        // validate once so a broken query fails loudly, not silently
+        engine.run_sql(sql, &db).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(engine.run_sql(black_box(sql), &db).unwrap()))
+        });
+    }
+    group.finish();
+
+    // parse-only vs parse+execute split
+    let mut group = c.benchmark_group("sql_frontend");
+    group.bench_function("parse_complex", |b| {
+        b.iter(|| {
+            black_box(
+                nli_sql::parse_query(
+                    "SELECT products.category, SUM(sales.amount) FROM sales JOIN products \
+                     ON sales.product_id = products.id WHERE sales.amount > 10 \
+                     GROUP BY products.category HAVING COUNT(*) > 1 \
+                     ORDER BY SUM(sales.amount) DESC LIMIT 5",
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.bench_function("normalize", |b| {
+        b.iter(|| black_box(nli_sql::normalize("select  NAME from products where PRICE>5")))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = engine_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Criterion benchmarks for evaluation-metric cost — the "efficiency"
+//! column of Table 3, isolated: string metrics are cheap, execution costs
+//! an engine call, the test suite multiplies that by its size, and manual
+//! evaluation dwarfs everything.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nli_data::spider_like::{self, SpiderConfig};
+use nli_metrics::{
+    component::exact_set_match,
+    execution::execution_match,
+    fuzzy::fuzzy_match,
+    manual::JudgePanel,
+    string_match::exact_match,
+    test_suite::{test_suite_match, TestSuite},
+};
+use std::hint::black_box;
+
+fn metric_benches(c: &mut Criterion) {
+    let bench = spider_like::build(&SpiderConfig {
+        n_databases: 13,
+        n_dev_databases: 3,
+        n_train: 5,
+        n_dev: 20,
+        ..Default::default()
+    });
+    let pairs: Vec<(usize, String, String)> = bench
+        .dev
+        .iter()
+        .map(|e| (e.db, e.gold.to_string(), e.gold.to_string()))
+        .collect();
+
+    let mut group = c.benchmark_group("metric_cost");
+    group.bench_function("exact_match", |b| {
+        b.iter(|| {
+            for (_, p, g) in &pairs {
+                black_box(exact_match(p, g));
+            }
+        })
+    });
+    group.bench_function("fuzzy_match", |b| {
+        b.iter(|| {
+            for (_, p, g) in &pairs {
+                black_box(fuzzy_match(p, g, 0.9));
+            }
+        })
+    });
+    group.bench_function("exact_set_match", |b| {
+        b.iter(|| {
+            for (_, p, g) in &pairs {
+                black_box(exact_set_match(p, g));
+            }
+        })
+    });
+    group.bench_function("execution_match", |b| {
+        b.iter(|| {
+            for (db, p, g) in &pairs {
+                black_box(execution_match(p, g, &bench.databases[*db]));
+            }
+        })
+    });
+    // test-suite size sweep: the DESIGN.md §5 ablation
+    for k in [2usize, 4, 8] {
+        let suites: Vec<TestSuite> = bench
+            .databases
+            .iter()
+            .map(|db| TestSuite::build(db, k, 7))
+            .collect();
+        group.bench_function(format!("test_suite_k{k}"), |b| {
+            b.iter(|| {
+                for (db, p, g) in &pairs {
+                    black_box(test_suite_match(p, g, &suites[*db]));
+                }
+            })
+        });
+    }
+    group.bench_function("manual_3_judges", |b| {
+        let panel = JudgePanel::new(3, 0.92, 5);
+        b.iter(|| {
+            for (db, p, g) in &pairs {
+                black_box(panel.judge(p, g, &bench.databases[*db]));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = metric_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,156 @@
+//! Criterion benchmarks and ablations for the parser taxonomy:
+//!
+//! * per-family parse latency (the Table 4 latency column, isolated);
+//! * schema-linking ablation (lexical vs +embeddings vs +synonyms) — the
+//!   DESIGN.md §5 linking-strategy ablation;
+//! * demonstration-selection ablation (random vs similarity vs diversity);
+//! * execution-guided decoding's executor-call overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nli_core::{NlQuestion, Prng, SemanticParser};
+use nli_data::spider_like::{self, SpiderConfig};
+use nli_lm::{DemoSelection, LlmKind, PromptStrategy};
+use nli_text2sql::{
+    ExecutionGuided, GrammarConfig, GrammarParser, LinkConfig, Linker, LlmParser,
+    RuleBasedParser,
+};
+use std::hint::black_box;
+
+fn bench_suite() -> (nli_data::SqlBenchmark, Vec<(usize, NlQuestion)>) {
+    let bench = spider_like::build(&SpiderConfig {
+        n_databases: 13,
+        n_dev_databases: 3,
+        n_train: 20,
+        n_dev: 20,
+        ..Default::default()
+    });
+    let questions: Vec<(usize, NlQuestion)> = bench
+        .dev
+        .iter()
+        .map(|e| (e.db, e.question.clone()))
+        .collect();
+    (bench, questions)
+}
+
+fn parser_benches(c: &mut Criterion) {
+    let (bench, questions) = bench_suite();
+
+    let mut group = c.benchmark_group("parser_latency");
+    let rule = RuleBasedParser::new();
+    let grammar = GrammarParser::new(GrammarConfig::neural());
+    let reasoner = GrammarParser::new(GrammarConfig::llm_reasoner());
+    let llm = LlmParser::new(LlmKind::Frontier, PromptStrategy::ZeroShot, 1);
+    group.bench_function("rule_based", |b| {
+        b.iter(|| {
+            for (db, q) in &questions {
+                black_box(rule.parse(q, &bench.databases[*db]).ok());
+            }
+        })
+    });
+    group.bench_function("grammar_neural", |b| {
+        b.iter(|| {
+            for (db, q) in &questions {
+                black_box(grammar.parse(q, &bench.databases[*db]).ok());
+            }
+        })
+    });
+    group.bench_function("llm_reasoner_config", |b| {
+        b.iter(|| {
+            for (db, q) in &questions {
+                black_box(reasoner.parse(q, &bench.databases[*db]).ok());
+            }
+        })
+    });
+    group.bench_function("llm_zero_shot", |b| {
+        b.iter(|| {
+            for (db, q) in &questions {
+                black_box(llm.parse(q, &bench.databases[*db]).ok());
+            }
+        })
+    });
+    group.finish();
+
+    // --- linking ablation ---------------------------------------------------
+    let mut group = c.benchmark_group("linking_ablation");
+    let configs = [
+        ("lexical_only", LinkConfig::lexical_only()),
+        (
+            "plus_embeddings",
+            LinkConfig {
+                lexical: true,
+                synonyms: false,
+                embeddings: true,
+                values: true,
+                alignment: None,
+                threshold: 0.58,
+            },
+        ),
+        ("world_knowledge", LinkConfig::world_knowledge()),
+    ];
+    for (name, cfg) in configs {
+        let linker = Linker::new(cfg);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                for (db, q) in &questions {
+                    black_box(linker.link(&q.text, &bench.databases[*db]));
+                }
+            })
+        });
+    }
+    group.finish();
+
+    // --- demo-selection ablation -----------------------------------------------
+    let demos: Vec<nli_lm::Demonstration> = bench
+        .train
+        .iter()
+        .map(|e| nli_lm::Demonstration {
+            question: e.question.text.clone(),
+            program: e.gold.to_string(),
+        })
+        .collect();
+    let mut group = c.benchmark_group("demo_selection");
+    for (name, selection) in [
+        ("random", DemoSelection::Random),
+        ("similarity", DemoSelection::Similarity),
+        ("diversity", DemoSelection::Diversity),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut rng = Prng::new(7);
+                for (_, q) in &questions {
+                    black_box(nli_lm::prompt::select_demos(
+                        &q.text, &demos, 4, selection, &mut rng,
+                    ));
+                }
+            })
+        });
+    }
+    group.finish();
+
+    // --- execution-guided overhead --------------------------------------------
+    let mut group = c.benchmark_group("execution_guided");
+    group.bench_function("grammar_plain", |b| {
+        let p = GrammarParser::new(GrammarConfig::neural());
+        b.iter(|| {
+            for (db, q) in &questions {
+                black_box(p.parse(q, &bench.databases[*db]).ok());
+            }
+        })
+    });
+    group.bench_function("grammar_plus_eg", |b| {
+        let p = ExecutionGuided::new(GrammarParser::new(GrammarConfig::neural()), 4, false);
+        b.iter(|| {
+            for (db, q) in &questions {
+                black_box(p.parse(q, &bench.databases[*db]).ok());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = parser_benches
+}
+criterion_main!(benches);

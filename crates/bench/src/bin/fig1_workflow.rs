@@ -1,0 +1,114 @@
+//! Fig. 1 reproduction: the interactive workflow — natural-language input,
+//! translation to a functional representation, execution, result, and the
+//! feedback/refinement loop — on the paper's running sales scenario.
+
+use nli_core::{Column, DataType, Database, Date, NlQuestion, Schema, Table};
+use nli_systems::{Session, SystemOutput};
+
+fn sales_db() -> Database {
+    let mut schema = Schema::new(
+        "sales_db",
+        vec![
+            Table::new(
+                "products",
+                vec![
+                    Column::new("id", DataType::Int).primary(),
+                    Column::new("name", DataType::Text),
+                    Column::new("category", DataType::Text),
+                    Column::new("price", DataType::Float),
+                ],
+            )
+            .with_display("product"),
+            Table::new(
+                "sales",
+                vec![
+                    Column::new("id", DataType::Int).primary(),
+                    Column::new("product_id", DataType::Int),
+                    Column::new("amount", DataType::Float),
+                    Column::new("sold_on", DataType::Date).with_display("sale date"),
+                ],
+            )
+            .with_display("sale"),
+        ],
+    );
+    schema.domain = "retail".into();
+    schema
+        .add_foreign_key("sales", "product_id", "products", "id")
+        .unwrap();
+    let mut db = Database::empty(schema);
+    db.insert_all(
+        "products",
+        vec![
+            vec![1.into(), "Widget".into(), "Tools".into(), 9.5.into()],
+            vec![2.into(), "Gadget".into(), "Tools".into(), 19.0.into()],
+            vec![3.into(), "Doohickey".into(), "Toys".into(), 4.25.into()],
+        ],
+    )
+    .unwrap();
+    db.insert_all(
+        "sales",
+        vec![
+            vec![1.into(), 1.into(), 120.0.into(), Date::new(2025, 1, 15).into()],
+            vec![2.into(), 2.into(), 340.0.into(), Date::new(2025, 2, 20).into()],
+            vec![3.into(), 2.into(), 200.0.into(), Date::new(2025, 4, 2).into()],
+            vec![4.into(), 3.into(), 80.0.into(), Date::new(2025, 5, 9).into()],
+        ],
+    )
+    .unwrap();
+    db
+}
+
+fn show(step: usize, question: &str, session: &mut Session, db: &Database) {
+    println!("({step}) user: {question}");
+    match session.ask(&NlQuestion::new(question), db) {
+        Ok(r) => {
+            if let Some(p) = &r.program {
+                println!("    -> functional representation: {p}");
+            }
+            match r.output {
+                SystemOutput::Table(rs) => {
+                    println!("    -> result ({} row(s)):", rs.rows.len());
+                    println!("       {}", rs.columns.join(" | "));
+                    for row in rs.rows.iter().take(6) {
+                        let cells: Vec<String> =
+                            row.iter().map(|v| v.canonical()).collect();
+                        println!("       {}", cells.join(" | "));
+                    }
+                }
+                SystemOutput::Chart(chart) => {
+                    println!("    -> rendered chart:");
+                    for line in chart.render_ascii().lines() {
+                        println!("       {line}");
+                    }
+                }
+                SystemOutput::Clarification(cands) => {
+                    println!("    -> clarification needed; candidates:");
+                    for c in cands {
+                        println!("       {c}");
+                    }
+                }
+            }
+        }
+        Err(e) => println!("    -> error: {e}"),
+    }
+    println!();
+}
+
+fn main() {
+    println!("Fig. 1 — workflow: question -> parse -> execute -> result -> feedback\n");
+    let db = sales_db();
+    let mut session = Session::new();
+
+    // the business-analyst scenario from the paper's introduction
+    show(1, "What is the total amount of sales for each product category?", &mut session, &db);
+    show(2, "Show a bar chart of the total amount for each product category.", &mut session, &db);
+    show(3, "Make it a pie chart instead.", &mut session, &db);
+    // the feedback loop: refine a data query conversationally
+    show(4, "How many sales are there?", &mut session, &db);
+    show(5, "Only those with amount greater than 100.", &mut session, &db);
+
+    println!("session transcript ({} turns):", session.history().len());
+    for (i, e) in session.history().iter().enumerate() {
+        println!("  {}. {} => {}", i + 1, e.question, e.program);
+    }
+}

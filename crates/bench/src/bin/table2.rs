@@ -1,0 +1,79 @@
+//! Table 2 reproduction: approach comparison.
+//!
+//! Every implemented parser family is evaluated on the WikiSQL-like dev set
+//! (execution accuracy, EX), the Spider-like dev set (exact set match, EM),
+//! and — for the vis families — the nvBench-like dev set (overall
+//! accuracy). Paper-reported anchor numbers of each family's exemplar
+//! system are printed alongside; absolute values differ (synthetic corpora,
+//! simulated models) but the *ordering across stages* is the reproduced
+//! result.
+
+use nli_bench::suite;
+use nli_metrics::{evaluate_sql, evaluate_vis};
+
+fn main() {
+    let c = suite::corpora();
+
+    println!("Table 2 — Text-to-SQL approaches (dev sets: wikisql-like n={}, spider-like n={})\n",
+        c.wikisql.dev.len(), c.spider.dev.len());
+    println!(
+        "{:<28} {:<26} {:>12} {:>12}   paper anchor (EX / EM)",
+        "stage", "parser", "WikiSQL EX%", "Spider EM%"
+    );
+    println!("{}", "-".repeat(110));
+
+    // Train on the respective train splits: WikiSQL parsers on WikiSQL
+    // train, Spider parsers on Spider train (the standard protocol).
+    let wiki_parsers = suite::sql_parsers(&c.wikisql);
+    let spider_parsers = suite::sql_parsers(&c.spider);
+
+    for (w, s) in wiki_parsers.iter().zip(spider_parsers.iter()) {
+        let wiki = evaluate_sql(w.parser.as_ref(), &c.wikisql);
+        let spider = evaluate_sql(s.parser.as_ref(), &c.spider);
+        let anchor = match (w.paper_wikisql_ex, w.paper_spider_em) {
+            (Some(ex), _) => format!("{} ({ex:.1} / -)", w.exemplar),
+            (_, Some(em)) => format!("{} (- / {em:.1})", w.exemplar),
+            _ => format!("{} (- / -)", w.exemplar),
+        };
+        println!(
+            "{:<28} {:<26} {:>11.1} {:>12.1}   {}",
+            w.stage,
+            wiki.parser,
+            100.0 * wiki.execution,
+            100.0 * spider.exact_set,
+            anchor
+        );
+    }
+
+    println!(
+        "\nTable 2 — Text-to-Vis approaches (nvbench-like dev n={})\n",
+        c.nvbench.dev.len()
+    );
+    println!(
+        "{:<26} {:<16} {:>10} {:>10} {:>10}   paper anchor (Acc%)",
+        "stage", "parser", "Acc%", "comp%", "exec%"
+    );
+    println!("{}", "-".repeat(100));
+    for entry in suite::vis_parsers(&c.nvbench) {
+        let s = evaluate_vis(entry.parser.as_ref(), &c.nvbench);
+        let anchor = match entry.paper_nvbench_acc {
+            Some(a) => format!("{} ({a:.2})", entry.exemplar),
+            None => format!("{} (-)", entry.exemplar),
+        };
+        println!(
+            "{:<26} {:<16} {:>9.1} {:>9.1} {:>9.1}   {}",
+            entry.stage,
+            s.parser,
+            100.0 * s.overall,
+            100.0 * s.component,
+            100.0 * s.execution,
+            anchor
+        );
+    }
+
+    println!(
+        "\nexpected shape (survey): skeleton families top WikiSQL EX but cannot emit\n\
+         Spider's grammar; grammar/PLM families lead Spider EM; LLM decomposition\n\
+         beats zero-shot; Seq2Vis << ncNet << RGVisNet on the vis task."
+    );
+}

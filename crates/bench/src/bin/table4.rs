@@ -1,0 +1,94 @@
+//! Table 4 reproduction: system-architecture comparison, measured.
+//!
+//! Each architecture's SQL side is evaluated on the clean Spider-like dev
+//! set (accuracy), the Spider-SYN-like perturbed dev set (robustness), and
+//! timed (latency); the number of exposed pipeline stages serves as the
+//! interpretability proxy. The qualitative claims of the paper's Table 4
+//! become measurable columns.
+
+use nli_bench::suite;
+use nli_metrics::evaluate_sql;
+use nli_systems::{
+    EndToEndSystem, MultiStageSystem, NliSystem, ParsingSystem, RuleSystem,
+};
+use nli_text2sql::PlmParser;
+use nli_text2vis::RgVisNetParser;
+
+fn main() {
+    let c = suite::corpora();
+
+    // assemble one system per architecture (multi-stage needs training)
+    let mut plm = PlmParser::new();
+    plm.train(&suite::training_of(&c.spider));
+    let mut rgvis = RgVisNetParser::new();
+    rgvis.index(
+        c.nvbench
+            .train
+            .iter()
+            .map(|e| (e.question.text.clone(), e.gold.clone())),
+    );
+    let systems: Vec<Box<dyn NliSystem>> = vec![
+        Box::new(RuleSystem::new()),
+        Box::new(ParsingSystem::new()),
+        Box::new(MultiStageSystem::with_trained(plm, rgvis)),
+        Box::new(EndToEndSystem::new(0xE2E)),
+    ];
+
+    println!(
+        "Table 4 — system architectures (clean spider-like n={}, perturbed spider-syn n={})\n",
+        c.spider.dev.len(),
+        c.spider_syn.dev.len()
+    );
+    println!(
+        "{:<16} {:>9} {:>11} {:>10} {:>9} {:>8}   paper-stated trade-off",
+        "architecture", "clean EX%", "perturb EX%", "gap(pts)", "us/query", "stages"
+    );
+    println!("{}", "-".repeat(110));
+
+    let notes = [
+        ("rule-based", "robust for familiar queries; limited adaptability"),
+        ("parsing-based", "grasps deeper structure; struggles with ambiguity"),
+        ("multi-stage", "enhanced accuracy and flexibility; synchronization cost"),
+        ("end-to-end", "high adaptability; difficult to interpret and debug"),
+    ];
+
+    for s in &systems {
+        let clean = evaluate_sql(s.sql_parser(), &c.spider);
+        let perturbed = evaluate_sql(s.sql_parser(), &c.spider_syn);
+        // probe dev questions until one yields a full response, to read off
+        // the architecture's stage count
+        let stages = c
+            .spider
+            .dev
+            .iter()
+            .take(20)
+            .find_map(|ex| {
+                s.ask(&ex.question, &c.spider.databases[ex.db])
+                    .ok()
+                    .map(|r| r.stages.len())
+            })
+            .unwrap_or(0);
+        let note = notes
+            .iter()
+            .find(|(n, _)| s.architecture().name() == *n)
+            .map(|(_, d)| *d)
+            .unwrap_or("");
+        println!(
+            "{:<16} {:>8.1} {:>10.1} {:>10.1} {:>9.0} {:>8}   {}",
+            s.architecture().name(),
+            100.0 * clean.execution,
+            100.0 * perturbed.execution,
+            100.0 * (clean.execution - perturbed.execution),
+            clean.avg_micros,
+            stages,
+            note
+        );
+    }
+
+    println!(
+        "\nexpected shape: the rule- and parsing-based systems collapse under synonym\n\
+         perturbation (limited adaptability / ambiguity struggles); multi-stage posts\n\
+         the best clean accuracy at the highest latency; end-to-end adapts best\n\
+         (smallest gap) while exposing the fewest inspectable stages."
+    );
+}

@@ -1,0 +1,326 @@
+//! The standard benchmark suite and parser registry.
+//!
+//! Every harness binary builds its corpora and parsers through this module
+//! so numbers are comparable across tables.
+
+use nli_core::{Language, SemanticParser};
+use nli_data::multiturn::{self, DialogueKind, MultiTurnConfig, VisDialogueConfig};
+use nli_data::nvbench_like::{self, NvBenchConfig};
+use nli_data::spider_like::{self, SpiderConfig};
+use nli_data::wikisql_like::{self, WikiSqlConfig};
+use nli_data::{bird_like, multilingual, robustness, single_domain, SqlBenchmark, VisBenchmark};
+use nli_lm::{DemoSelection, Demonstration, LlmKind, PromptStrategy, TrainingExample};
+use nli_sql::Query;
+use nli_text2sql::{
+    ExecutionGuided, GrammarConfig, GrammarParser, LlmParser, PlmParser, RuleBasedParser,
+    SkeletonParser,
+};
+use nli_text2vis::{LlmVisParser, NcNetParser, RgVisNetParser, RuleVisParser, Seq2VisParser};
+use nli_vql::VisQuery;
+
+/// The standard corpora used across the harnesses.
+pub struct Corpora {
+    pub wikisql: SqlBenchmark,
+    pub spider: SqlBenchmark,
+    pub spider_syn: SqlBenchmark,
+    pub spider_realistic: SqlBenchmark,
+    pub spider_dk: SqlBenchmark,
+    pub bird: SqlBenchmark,
+    pub sparc: SqlBenchmark,
+    pub cosql: SqlBenchmark,
+    pub cspider: SqlBenchmark,
+    pub vitext: SqlBenchmark,
+    pub pauq: SqlBenchmark,
+    pub atis_like: SqlBenchmark,
+    pub geo_like: SqlBenchmark,
+    pub nvbench: VisBenchmark,
+    pub dial_nvbench: VisBenchmark,
+    pub cnvbench: VisBenchmark,
+}
+
+/// Build the full suite with standard sizes (a couple of seconds).
+pub fn corpora() -> Corpora {
+    let spider_cfg = SpiderConfig::default();
+    let spider = spider_like::build(&spider_cfg);
+    let nvbench = nvbench_like::build(&NvBenchConfig::default());
+    Corpora {
+        wikisql: wikisql_like::build(&WikiSqlConfig::default()),
+        spider_syn: robustness::synonymize(&spider, 0.9, 0xB0B),
+        spider_realistic: robustness::realistic(&spider_cfg),
+        spider_dk: robustness::domain_knowledge(&spider_cfg),
+        bird: bird_like::build(&bird_like::BirdConfig::default()),
+        sparc: multiturn::build(&MultiTurnConfig {
+            kind: DialogueKind::Sparc,
+            ..Default::default()
+        }),
+        cosql: multiturn::build(&MultiTurnConfig {
+            kind: DialogueKind::Cosql,
+            ..Default::default()
+        }),
+        cspider: multilingual::translate(&spider, Language::Chinese),
+        vitext: multilingual::translate(&spider, Language::Vietnamese),
+        pauq: multilingual::translate(&spider, Language::Russian),
+        atis_like: single_domain::build(&single_domain::SingleDomainConfig::default()),
+        geo_like: single_domain::build(&single_domain::SingleDomainConfig {
+            domain: "geography",
+            n_train: 100,
+            n_dev: 50,
+            seed: 0x5EED_0008,
+        }),
+        dial_nvbench: multiturn::build_vis(&VisDialogueConfig::default()),
+        cnvbench: multilingual::translate_vis(&nvbench, Language::Chinese),
+        spider,
+        nvbench,
+    }
+}
+
+/// Convert a benchmark's train split into supervised examples.
+pub fn training_of(bench: &SqlBenchmark) -> Vec<TrainingExample> {
+    bench
+        .train
+        .iter()
+        .map(|e| TrainingExample {
+            question: e.question.text.clone(),
+            sql: e.gold.clone(),
+        })
+        .collect()
+}
+
+/// Demonstration pool for few-shot prompting, drawn from a train split.
+pub fn demos_of(bench: &SqlBenchmark) -> Vec<Demonstration> {
+    bench
+        .train
+        .iter()
+        .take(64)
+        .map(|e| Demonstration {
+            question: e.question.text.clone(),
+            program: e.gold.to_string(),
+        })
+        .collect()
+}
+
+/// One registry entry: a boxed SQL parser plus the paper anchors it
+/// corresponds to (exemplar system + reported numbers, for the
+/// paper-vs-measured shape check).
+pub struct SqlEntry {
+    pub parser: Box<dyn SemanticParser<Expr = Query>>,
+    pub stage: &'static str,
+    pub exemplar: &'static str,
+    /// Paper-reported WikiSQL EX %, if any.
+    pub paper_wikisql_ex: Option<f64>,
+    /// Paper-reported Spider EM %, if any.
+    pub paper_spider_em: Option<f64>,
+}
+
+/// Build the Text-to-SQL parser registry, trained on `train_bench`.
+pub fn sql_parsers(train_bench: &SqlBenchmark) -> Vec<SqlEntry> {
+    let training = training_of(train_bench);
+    let demos = demos_of(train_bench);
+
+    let mut skeleton = SkeletonParser::new(false);
+    skeleton.train(&training);
+    let mut skeleton_plm = SkeletonParser::new(true);
+    skeleton_plm.train(&training);
+    let mut plm = PlmParser::new();
+    plm.train(&training);
+    let mut plm_eg = PlmParser::new();
+    plm_eg.train(&training);
+    // GraPPa/GAP-style: additional pretraining pairs synthesized over ALL
+    // databases (schemas + content only — no gold dev annotations)
+    let mut plm_pretrained = PlmParser::new().named("plm+pretraining");
+    let mut pre = training.clone();
+    pre.extend(nli_data::pretrain::synthesize(&train_bench.databases, 300, 0x6AA9));
+    plm_pretrained.train(&pre);
+
+    vec![
+        SqlEntry {
+            parser: Box::new(RuleBasedParser::new()),
+            stage: "traditional",
+            exemplar: "NaLIR/PRECISE",
+            paper_wikisql_ex: None,
+            paper_spider_em: None,
+        },
+        SqlEntry {
+            parser: Box::new(skeleton),
+            stage: "neural (skeleton)",
+            exemplar: "SQLNet",
+            paper_wikisql_ex: Some(69.8),
+            paper_spider_em: None,
+        },
+        SqlEntry {
+            parser: Box::new(skeleton_plm),
+            stage: "neural (skeleton+PLM)",
+            exemplar: "SQLova/HydraNet",
+            paper_wikisql_ex: Some(92.4),
+            paper_spider_em: None,
+        },
+        SqlEntry {
+            parser: Box::new(GrammarParser::new(GrammarConfig::neural())),
+            stage: "neural (grammar)",
+            exemplar: "IRNet/RAT-SQL",
+            paper_wikisql_ex: None,
+            paper_spider_em: Some(69.7),
+        },
+        SqlEntry {
+            parser: Box::new(ExecutionGuided::new(
+                GrammarParser::new(GrammarConfig::neural()),
+                4,
+                false,
+            )),
+            stage: "neural (execution-guided)",
+            exemplar: "Wang et al. 2018",
+            paper_wikisql_ex: Some(78.5),
+            paper_spider_em: None,
+        },
+        SqlEntry {
+            parser: Box::new(plm),
+            stage: "PLM (fine-tuned)",
+            exemplar: "BRIDGE/RESDSQL",
+            paper_wikisql_ex: None,
+            paper_spider_em: Some(80.5),
+        },
+        SqlEntry {
+            parser: Box::new(ExecutionGuided::new(plm_eg, 4, false)),
+            stage: "PLM + PICARD-style",
+            exemplar: "UnifiedSKG+PICARD",
+            paper_wikisql_ex: None,
+            paper_spider_em: Some(75.5),
+        },
+        SqlEntry {
+            parser: Box::new(plm_pretrained),
+            stage: "PLM + pretraining",
+            exemplar: "GraPPa/GAP/TaBERT",
+            paper_wikisql_ex: None,
+            paper_spider_em: Some(73.4),
+        },
+        SqlEntry {
+            parser: Box::new(LlmParser::new(LlmKind::Codex, PromptStrategy::ZeroShot, 11)),
+            stage: "LLM zero-shot (code-era)",
+            exemplar: "Rajkumar et al.",
+            paper_wikisql_ex: None,
+            paper_spider_em: None,
+        },
+        SqlEntry {
+            parser: Box::new(LlmParser::new(LlmKind::ChatGpt, PromptStrategy::ZeroShot, 12)),
+            stage: "LLM zero-shot",
+            exemplar: "C3/ChatGPT",
+            paper_wikisql_ex: None,
+            paper_spider_em: Some(76.9),
+        },
+        SqlEntry {
+            parser: Box::new(
+                LlmParser::new(
+                    LlmKind::ChatGpt,
+                    PromptStrategy::FewShot { k: 4, selection: DemoSelection::Similarity },
+                    13,
+                )
+                .with_demo_pool(demos.clone()),
+            ),
+            stage: "LLM few-shot",
+            exemplar: "Nan et al./DAIL-SQL",
+            paper_wikisql_ex: None,
+            paper_spider_em: None,
+        },
+        SqlEntry {
+            parser: Box::new(
+                LlmParser::new(
+                    LlmKind::Frontier,
+                    PromptStrategy::Decomposed { k: 4, selection: DemoSelection::Similarity },
+                    14,
+                )
+                .with_demo_pool(demos),
+            ),
+            stage: "LLM decomposed",
+            exemplar: "DIN-SQL/SQL-PaLM",
+            paper_wikisql_ex: None,
+            paper_spider_em: Some(60.1),
+        },
+        SqlEntry {
+            parser: Box::new(LlmParser::new(
+                LlmKind::Frontier,
+                PromptStrategy::SelfConsistency { n: 5 },
+                15,
+            )),
+            stage: "LLM self-consistency",
+            exemplar: "SQL-PaLM",
+            paper_wikisql_ex: None,
+            paper_spider_em: None,
+        },
+    ]
+}
+
+/// One Text-to-Vis registry entry.
+pub struct VisEntry {
+    pub parser: Box<dyn SemanticParser<Expr = VisQuery>>,
+    pub stage: &'static str,
+    pub exemplar: &'static str,
+    /// Paper-reported nvBench overall accuracy %, if any.
+    pub paper_nvbench_acc: Option<f64>,
+}
+
+/// Build the Text-to-Vis parser registry, trained on `train_bench`.
+pub fn vis_parsers(train_bench: &VisBenchmark) -> Vec<VisEntry> {
+    let pairs: Vec<(String, VisQuery)> = train_bench
+        .train
+        .iter()
+        .map(|e| (e.question.text.clone(), e.gold.clone()))
+        .collect();
+    let sql_training: Vec<TrainingExample> = train_bench
+        .train
+        .iter()
+        .map(|e| TrainingExample {
+            question: e.question.text.clone(),
+            sql: e.gold.query.clone(),
+        })
+        .collect();
+
+    let mut seq2vis = Seq2VisParser::new();
+    seq2vis.train(pairs.clone());
+    let mut ncnet = NcNetParser::new();
+    ncnet.train(&sql_training);
+    let mut rgvisnet = RgVisNetParser::new();
+    rgvisnet.index(pairs);
+
+    vec![
+        VisEntry {
+            parser: Box::new(RuleVisParser::new()),
+            stage: "traditional",
+            exemplar: "DataTone/NL4DV",
+            paper_nvbench_acc: None,
+        },
+        VisEntry {
+            parser: Box::new(seq2vis),
+            stage: "neural (seq2seq)",
+            exemplar: "Seq2Vis",
+            paper_nvbench_acc: Some(1.95),
+        },
+        VisEntry {
+            parser: Box::new(ncnet),
+            stage: "neural (transformer)",
+            exemplar: "ncNet",
+            paper_nvbench_acc: Some(25.78),
+        },
+        VisEntry {
+            parser: Box::new(rgvisnet),
+            stage: "neural (retrieval-gen)",
+            exemplar: "RGVisNet",
+            paper_nvbench_acc: Some(44.9),
+        },
+        VisEntry {
+            parser: Box::new(LlmVisParser::new(LlmKind::ChatGpt, PromptStrategy::ZeroShot, 21)),
+            stage: "LLM zero-shot",
+            exemplar: "Chat2VIS",
+            paper_nvbench_acc: None,
+        },
+        VisEntry {
+            parser: Box::new(LlmVisParser::new(
+                LlmKind::Frontier,
+                PromptStrategy::ZeroShot,
+                22,
+            )),
+            stage: "LLM (frontier)",
+            exemplar: "NL2INTERFACE-era",
+            paper_nvbench_acc: None,
+        },
+    ]
+}

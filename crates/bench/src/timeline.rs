@@ -1,0 +1,137 @@
+//! The Fig. 4 timeline data: every approach family the workspace
+//! implements, with its publication year, task, stage, and the module that
+//! realizes it.
+
+/// Development stage (the colour bands of Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    Traditional,
+    NeuralNetwork,
+    FoundationModel,
+}
+
+impl Stage {
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Traditional => "traditional",
+            Stage::NeuralNetwork => "neural network",
+            Stage::FoundationModel => "foundation model",
+        }
+    }
+}
+
+/// Task lane (upper/lower timeline of Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Task {
+    Sql,
+    Vis,
+}
+
+/// One timeline entry.
+#[derive(Debug, Clone, Copy)]
+pub struct Entry {
+    pub year: u16,
+    pub system: &'static str,
+    pub task: Task,
+    pub stage: Stage,
+    /// Where this workspace implements the family.
+    pub module: &'static str,
+}
+
+/// The full implemented timeline, sorted by year.
+pub fn timeline() -> Vec<Entry> {
+    let mut entries = vec![
+        Entry { year: 1982, system: "CHAT-80", task: Task::Sql, stage: Stage::Traditional, module: "nli-text2sql::rule" },
+        Entry { year: 1983, system: "TEAM", task: Task::Sql, stage: Stage::Traditional, module: "nli-text2sql::rule" },
+        Entry { year: 2004, system: "PRECISE", task: Task::Sql, stage: Stage::Traditional, module: "nli-text2sql::rule" },
+        Entry { year: 2014, system: "NaLIR", task: Task::Sql, stage: Stage::Traditional, module: "nli-text2sql::rule" },
+        Entry { year: 2015, system: "DataTone", task: Task::Vis, stage: Stage::Traditional, module: "nli-text2vis::rule" },
+        Entry { year: 2016, system: "Eviza", task: Task::Vis, stage: Stage::Traditional, module: "nli-text2vis::rule" },
+        Entry { year: 2017, system: "Seq2SQL/SQLNet", task: Task::Sql, stage: Stage::NeuralNetwork, module: "nli-text2sql::skeleton" },
+        Entry { year: 2018, system: "SyntaxSQLNet", task: Task::Sql, stage: Stage::NeuralNetwork, module: "nli-text2sql::grammar" },
+        Entry { year: 2018, system: "EG decoding", task: Task::Sql, stage: Stage::NeuralNetwork, module: "nli-text2sql::execution_guided" },
+        Entry { year: 2019, system: "Data2Vis", task: Task::Vis, stage: Stage::NeuralNetwork, module: "nli-text2vis::seq2vis_like" },
+        Entry { year: 2019, system: "IRNet/EditSQL", task: Task::Sql, stage: Stage::NeuralNetwork, module: "nli-text2sql::{grammar,multiturn}" },
+        Entry { year: 2019, system: "SQLova", task: Task::Sql, stage: Stage::FoundationModel, module: "nli-text2sql::skeleton (backoff)" },
+        Entry { year: 2020, system: "RAT-SQL/BRIDGE", task: Task::Sql, stage: Stage::FoundationModel, module: "nli-text2sql::plm" },
+        Entry { year: 2021, system: "Seq2Vis", task: Task::Vis, stage: Stage::NeuralNetwork, module: "nli-text2vis::seq2vis_like" },
+        Entry { year: 2021, system: "NL4DV/ADVISor", task: Task::Vis, stage: Stage::Traditional, module: "nli-text2vis::rule" },
+        Entry { year: 2021, system: "PICARD", task: Task::Sql, stage: Stage::FoundationModel, module: "nli-text2sql::{plm,execution_guided}" },
+        Entry { year: 2022, system: "ncNet", task: Task::Vis, stage: Stage::NeuralNetwork, module: "nli-text2vis::ncnet_like" },
+        Entry { year: 2022, system: "RGVisNet", task: Task::Vis, stage: Stage::NeuralNetwork, module: "nli-text2vis::rgvisnet_like" },
+        Entry { year: 2022, system: "Rajkumar et al. (Codex)", task: Task::Sql, stage: Stage::FoundationModel, module: "nli-text2sql::llm (zero-shot)" },
+        Entry { year: 2022, system: "NL2INTERFACE", task: Task::Vis, stage: Stage::FoundationModel, module: "nli-text2vis::llm" },
+        Entry { year: 2023, system: "C3/ChatGPT", task: Task::Sql, stage: Stage::FoundationModel, module: "nli-text2sql::llm (zero-shot)" },
+        Entry { year: 2023, system: "DIN-SQL", task: Task::Sql, stage: Stage::FoundationModel, module: "nli-text2sql::llm (decomposed)" },
+        Entry { year: 2023, system: "SQL-PaLM", task: Task::Sql, stage: Stage::FoundationModel, module: "nli-text2sql::llm (self-consistency)" },
+        Entry { year: 2023, system: "Chat2VIS", task: Task::Vis, stage: Stage::FoundationModel, module: "nli-text2vis::llm" },
+        Entry { year: 2023, system: "MMCoVisNet", task: Task::Vis, stage: Stage::NeuralNetwork, module: "nli-text2vis::dialogue" },
+    ];
+    entries.sort_by_key(|e| e.year);
+    entries
+}
+
+/// Render the two aligned lanes of Fig. 4 as text.
+pub fn render() -> String {
+    let mut out = String::new();
+    for (task, title) in [(Task::Sql, "Text-to-SQL"), (Task::Vis, "Text-to-Vis")] {
+        out.push_str(&format!("== {title} ==\n"));
+        for e in timeline().iter().filter(|e| e.task == task) {
+            out.push_str(&format!(
+                "  {} [{:<16}] {:<26} -> {}\n",
+                e.year,
+                e.stage.name(),
+                e.system,
+                e.module
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_is_sorted_and_covers_both_tasks_and_all_stages() {
+        let t = timeline();
+        assert!(t.windows(2).all(|w| w[0].year <= w[1].year));
+        for task in [Task::Sql, Task::Vis] {
+            for stage in [Stage::Traditional, Stage::NeuralNetwork, Stage::FoundationModel] {
+                assert!(
+                    t.iter().any(|e| e.task == task && e.stage == stage),
+                    "missing {task:?}/{}",
+                    stage.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vis_stages_lag_sql_stages() {
+        // the survey notes the vis timeline trails the SQL one
+        let t = timeline();
+        let first = |task: Task, stage: Stage| {
+            t.iter()
+                .filter(|e| e.task == task && e.stage == stage)
+                .map(|e| e.year)
+                .min()
+                .unwrap()
+        };
+        assert!(first(Task::Vis, Stage::NeuralNetwork) >= first(Task::Sql, Stage::NeuralNetwork));
+        assert!(
+            first(Task::Vis, Stage::FoundationModel)
+                >= first(Task::Sql, Stage::FoundationModel)
+        );
+    }
+
+    #[test]
+    fn render_includes_both_lanes() {
+        let r = render();
+        assert!(r.contains("== Text-to-SQL =="));
+        assert!(r.contains("== Text-to-Vis =="));
+        assert!(r.contains("DIN-SQL"));
+        assert!(r.contains("RGVisNet"));
+    }
+}

@@ -1,0 +1,217 @@
+//! In-memory databases: a [`Schema`] plus row data per table.
+//!
+//! This is the `D` in the survey's `E(e, D) → r`. Storage is deliberately a
+//! plain row store — the workloads in this reproduction are small dev sets,
+//! and a row store keeps execution semantics auditable.
+
+use crate::error::{NliError, Result};
+use crate::schema::Schema;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// Row data for one table.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TableData {
+    pub rows: Vec<Vec<Value>>,
+}
+
+/// A populated database.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Database {
+    pub schema: Schema,
+    /// One [`TableData`] per `schema.tables` entry, index-aligned.
+    pub data: Vec<TableData>,
+}
+
+impl Database {
+    /// An empty database over `schema`.
+    pub fn empty(schema: Schema) -> Self {
+        let data = vec![TableData::default(); schema.tables.len()];
+        Database { schema, data }
+    }
+
+    /// Insert a row into the named table, checking arity and (non-NULL)
+    /// column types.
+    pub fn insert(&mut self, table: &str, row: Vec<Value>) -> Result<()> {
+        let ti = self
+            .schema
+            .table_index(table)
+            .ok_or_else(|| NliError::UnknownTable(table.to_string()))?;
+        let t = &self.schema.tables[ti];
+        if row.len() != t.columns.len() {
+            return Err(NliError::Execution(format!(
+                "table {table} expects {} values, got {}",
+                t.columns.len(),
+                row.len()
+            )));
+        }
+        for (c, v) in t.columns.iter().zip(&row) {
+            if let Some(dt) = v.data_type() {
+                if dt != c.dtype {
+                    return Err(NliError::Execution(format!(
+                        "column {}.{} expects {}, got {}",
+                        table,
+                        c.name,
+                        c.dtype.name(),
+                        dt.name()
+                    )));
+                }
+            }
+        }
+        self.data[ti].rows.push(row);
+        Ok(())
+    }
+
+    /// Insert many rows; stops at the first error.
+    pub fn insert_all(
+        &mut self,
+        table: &str,
+        rows: impl IntoIterator<Item = Vec<Value>>,
+    ) -> Result<()> {
+        for row in rows {
+            self.insert(table, row)?;
+        }
+        Ok(())
+    }
+
+    /// Rows of the table at schema index `ti`.
+    pub fn rows(&self, ti: usize) -> &[Vec<Value>] {
+        &self.data[ti].rows
+    }
+
+    /// Rows of the named table.
+    pub fn rows_of(&self, table: &str) -> Result<&[Vec<Value>]> {
+        let ti = self
+            .schema
+            .table_index(table)
+            .ok_or_else(|| NliError::UnknownTable(table.to_string()))?;
+        Ok(&self.data[ti].rows)
+    }
+
+    /// Total number of stored rows.
+    pub fn row_count(&self) -> usize {
+        self.data.iter().map(|t| t.rows.len()).sum()
+    }
+
+    /// Distinct non-NULL values of one column, in first-seen order. Schema
+    /// linking and value-grounded parsing use this to match question tokens
+    /// against database *content* (the BIRD-style challenge).
+    pub fn distinct_values(&self, table: usize, column: usize) -> Vec<Value> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for row in &self.data[table].rows {
+            let v = &row[column];
+            if v.is_null() {
+                continue;
+            }
+            if seen.insert(v.canonical()) {
+                out.push(v.clone());
+            }
+        }
+        out
+    }
+
+    /// Verify referential integrity of all declared foreign keys.
+    pub fn check_foreign_keys(&self) -> Result<()> {
+        for fk in &self.schema.foreign_keys {
+            let targets: std::collections::HashSet<String> = self
+                .data[fk.to.table]
+                .rows
+                .iter()
+                .map(|r| r[fk.to.column].canonical())
+                .collect();
+            for row in &self.data[fk.from.table].rows {
+                let v = &row[fk.from.column];
+                if v.is_null() {
+                    continue;
+                }
+                if !targets.contains(&v.canonical()) {
+                    return Err(NliError::Execution(format!(
+                        "dangling foreign key {} = {}",
+                        self.schema.qualified_name(fk.from),
+                        v
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, Table};
+    use crate::value::DataType;
+
+    fn db() -> Database {
+        let mut schema = Schema::new(
+            "shop",
+            vec![
+                Table::new(
+                    "products",
+                    vec![
+                        Column::new("id", DataType::Int).primary(),
+                        Column::new("name", DataType::Text),
+                    ],
+                ),
+                Table::new(
+                    "sales",
+                    vec![
+                        Column::new("product_id", DataType::Int),
+                        Column::new("amount", DataType::Float),
+                    ],
+                ),
+            ],
+        );
+        schema
+            .add_foreign_key("sales", "product_id", "products", "id")
+            .unwrap();
+        Database::empty(schema)
+    }
+
+    #[test]
+    fn insert_checks_arity_and_types() {
+        let mut d = db();
+        d.insert("products", vec![1.into(), "ball".into()]).unwrap();
+        assert!(d.insert("products", vec![1.into()]).is_err());
+        assert!(d
+            .insert("products", vec!["oops".into(), "ball".into()])
+            .is_err());
+        assert!(d.insert("nope", vec![]).is_err());
+    }
+
+    #[test]
+    fn null_is_accepted_in_any_column() {
+        let mut d = db();
+        d.insert("products", vec![Value::Null, Value::Null]).unwrap();
+        assert_eq!(d.row_count(), 1);
+    }
+
+    #[test]
+    fn distinct_values_dedup_in_order() {
+        let mut d = db();
+        d.insert_all(
+            "products",
+            vec![
+                vec![1.into(), "ball".into()],
+                vec![2.into(), "bat".into()],
+                vec![3.into(), "ball".into()],
+                vec![4.into(), Value::Null],
+            ],
+        )
+        .unwrap();
+        let vals = d.distinct_values(0, 1);
+        assert_eq!(vals, vec![Value::from("ball"), Value::from("bat")]);
+    }
+
+    #[test]
+    fn foreign_key_check_detects_dangles() {
+        let mut d = db();
+        d.insert("products", vec![1.into(), "ball".into()]).unwrap();
+        d.insert("sales", vec![1.into(), 9.5.into()]).unwrap();
+        d.check_foreign_keys().unwrap();
+        d.insert("sales", vec![99.into(), 1.0.into()]).unwrap();
+        assert!(d.check_foreign_keys().is_err());
+    }
+}

@@ -1,0 +1,61 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Errors shared across the NLI workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NliError {
+    /// A referenced table does not exist in the schema.
+    UnknownTable(String),
+    /// A referenced column does not exist (payload may be qualified).
+    UnknownColumn(String),
+    /// An unqualified column name matches several tables.
+    AmbiguousColumn(String),
+    /// Lexing/parsing failure of a formal language (SQL or VQL).
+    Syntax(String),
+    /// A well-formed program failed during execution.
+    Execution(String),
+    /// The semantic parser could not produce a program for the question.
+    Parse(String),
+    /// The (simulated) language model refused or degenerated.
+    Model(String),
+}
+
+impl fmt::Display for NliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NliError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            NliError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            NliError::AmbiguousColumn(c) => write!(f, "ambiguous column: {c}"),
+            NliError::Syntax(m) => write!(f, "syntax error: {m}"),
+            NliError::Execution(m) => write!(f, "execution error: {m}"),
+            NliError::Parse(m) => write!(f, "semantic parse error: {m}"),
+            NliError::Model(m) => write!(f, "model error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NliError {}
+
+/// Workspace result alias.
+pub type Result<T> = std::result::Result<T, NliError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_prefixed() {
+        assert_eq!(
+            NliError::UnknownTable("t".into()).to_string(),
+            "unknown table: t"
+        );
+        assert!(NliError::Syntax("x".into()).to_string().starts_with("syntax"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&NliError::Parse("p".into()));
+    }
+}

@@ -1,0 +1,32 @@
+//! # nli-core
+//!
+//! Shared problem definition for natural language interfaces (NLIs) to
+//! tabular data, following the formalization of the survey:
+//!
+//! > given an input `x = {q, s}` with a natural language query `q` and a
+//! > database schema `s`, a semantic parser `P` translates `q` into a
+//! > functional expression `e`, which an execution engine `E` evaluates on
+//! > the database `D` to produce a result `r`: `E(e, D) → r`.
+//!
+//! This crate hosts everything both tasks (Text-to-SQL and Text-to-Vis)
+//! share: dynamically typed [`Value`]s, [`Schema`]s with primary/foreign
+//! keys, in-memory [`Database`]s, natural-language [`NlQuestion`]s and
+//! multi-turn [`Dialogue`]s, deterministic random sampling ([`Prng`]), and
+//! the [`SemanticParser`] / [`ExecutionEngine`] traits that the rest of the
+//! workspace implements.
+
+pub mod database;
+pub mod error;
+pub mod question;
+pub mod rng;
+pub mod schema;
+pub mod traits;
+pub mod value;
+
+pub use database::{Database, TableData};
+pub use error::{NliError, Result};
+pub use question::{Dialogue, Language, NlQuestion, Turn};
+pub use rng::Prng;
+pub use schema::{Column, ColumnRef, ForeignKey, Schema, Table};
+pub use traits::{ExecutionEngine, SemanticParser};
+pub use value::{DataType, Date, Value};

@@ -1,0 +1,140 @@
+//! Natural-language questions, languages, and multi-turn dialogues.
+//!
+//! Single-turn datasets pair one [`NlQuestion`] with one gold program;
+//! multi-turn datasets (SParC/CoSQL/ChartDialogs-style) chain [`Turn`]s into
+//! a [`Dialogue`] where later questions depend on earlier context.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Query language. English is native; the others are produced by the
+/// multilingual generators via deterministic pseudo-localization (see
+/// `nli-data::multilingual`), which preserves the *structure* of the
+/// cross-lingual challenge (surface forms no longer match schema names).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Language {
+    English,
+    Chinese,
+    Vietnamese,
+    Portuguese,
+    Russian,
+}
+
+impl Language {
+    pub fn name(self) -> &'static str {
+        match self {
+            Language::English => "English",
+            Language::Chinese => "Chinese",
+            Language::Vietnamese => "Vietnamese",
+            Language::Portuguese => "Portuguese",
+            Language::Russian => "Russian",
+        }
+    }
+}
+
+impl fmt::Display for Language {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A natural-language question `q` posed against some database schema.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NlQuestion {
+    pub text: String,
+    pub language: Language,
+    /// Optional external knowledge / evidence string, the BIRD-style hint
+    /// that bridges the question with database content.
+    pub evidence: Option<String>,
+}
+
+impl NlQuestion {
+    pub fn new(text: impl Into<String>) -> Self {
+        NlQuestion {
+            text: text.into(),
+            language: Language::English,
+            evidence: None,
+        }
+    }
+
+    pub fn in_language(mut self, language: Language) -> Self {
+        self.language = language;
+        self
+    }
+
+    pub fn with_evidence(mut self, evidence: impl Into<String>) -> Self {
+        self.evidence = Some(evidence.into());
+        self
+    }
+}
+
+impl fmt::Display for NlQuestion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// One exchange in a conversation: the user question plus, once answered,
+/// the system's functional expression rendered as text (SQL or VQL).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Turn {
+    pub question: NlQuestion,
+    /// Gold (or produced) program for this turn, as text.
+    pub program: String,
+}
+
+/// A multi-turn conversation over a single database.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dialogue {
+    pub turns: Vec<Turn>,
+}
+
+impl Dialogue {
+    pub fn new() -> Self {
+        Dialogue::default()
+    }
+
+    pub fn push(&mut self, question: NlQuestion, program: impl Into<String>) {
+        self.turns.push(Turn { question, program: program.into() });
+    }
+
+    pub fn len(&self) -> usize {
+        self.turns.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.turns.is_empty()
+    }
+
+    /// Conversation context preceding turn `i` (exclusive).
+    pub fn context(&self, i: usize) -> &[Turn] {
+        &self.turns[..i.min(self.turns.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn question_builders_compose() {
+        let q = NlQuestion::new("how many singers are there?")
+            .in_language(Language::Chinese)
+            .with_evidence("singers are rows of the singer table");
+        assert_eq!(q.language, Language::Chinese);
+        assert!(q.evidence.is_some());
+        assert_eq!(q.to_string(), "how many singers are there?");
+    }
+
+    #[test]
+    fn dialogue_context_is_strictly_prior_turns() {
+        let mut d = Dialogue::new();
+        d.push(NlQuestion::new("show all singers"), "SELECT * FROM singer");
+        d.push(NlQuestion::new("only the french ones"), "SELECT ...");
+        assert_eq!(d.context(0).len(), 0);
+        assert_eq!(d.context(1).len(), 1);
+        assert_eq!(d.context(5).len(), 2);
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+    }
+}

@@ -1,0 +1,366 @@
+//! Relational schemas: tables, columns, keys, and name resolution.
+//!
+//! The schema `s` is half of the parser input `x = {q, s}`. Schemas carry
+//! both an internal snake_case name (what SQL references) and a natural
+//! display name (what users say), because the gap between the two is exactly
+//! what schema linking has to bridge.
+
+use crate::error::{NliError, Result};
+use serde::{Deserialize, Serialize};
+
+use crate::value::DataType;
+
+/// A column in a table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    /// Internal name used in SQL, e.g. `unit_price`.
+    pub name: String,
+    /// Natural-language surface form, e.g. `unit price`.
+    pub display: String,
+    pub dtype: DataType,
+    pub primary_key: bool,
+}
+
+impl Column {
+    pub fn new(name: &str, dtype: DataType) -> Self {
+        Column {
+            name: name.to_string(),
+            display: name.replace('_', " "),
+            dtype,
+            primary_key: false,
+        }
+    }
+
+    pub fn primary(mut self) -> Self {
+        self.primary_key = true;
+        self
+    }
+
+    pub fn with_display(mut self, display: &str) -> Self {
+        self.display = display.to_string();
+        self
+    }
+}
+
+/// A table: a name plus ordered columns.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    pub name: String,
+    pub display: String,
+    pub columns: Vec<Column>,
+}
+
+impl Table {
+    pub fn new(name: &str, columns: Vec<Column>) -> Self {
+        Table {
+            name: name.to_string(),
+            display: name.replace('_', " "),
+            columns,
+        }
+    }
+
+    pub fn with_display(mut self, display: &str) -> Self {
+        self.display = display.to_string();
+        self
+    }
+
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.column_index(name).map(|i| &self.columns[i])
+    }
+
+    /// Primary-key column index, if declared.
+    pub fn primary_key(&self) -> Option<usize> {
+        self.columns.iter().position(|c| c.primary_key)
+    }
+}
+
+/// A fully resolved column reference: `(table index, column index)` into a
+/// [`Schema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ColumnRef {
+    pub table: usize,
+    pub column: usize,
+}
+
+/// A foreign-key edge: `from` references `to` (the primary side).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ForeignKey {
+    pub from: ColumnRef,
+    pub to: ColumnRef,
+}
+
+/// A database schema: named tables plus foreign-key edges.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    /// Database identifier, e.g. `concert_singer`.
+    pub name: String,
+    /// Domain label (business, healthcare, ...), used by cross-domain
+    /// dataset generators and reporting.
+    pub domain: String,
+    pub tables: Vec<Table>,
+    pub foreign_keys: Vec<ForeignKey>,
+}
+
+impl Schema {
+    pub fn new(name: &str, tables: Vec<Table>) -> Self {
+        Schema {
+            name: name.to_string(),
+            domain: String::new(),
+            tables,
+            foreign_keys: Vec::new(),
+        }
+    }
+
+    pub fn with_domain(mut self, domain: &str) -> Self {
+        self.domain = domain.to_string();
+        self
+    }
+
+    /// Declare a foreign key by names; errors if any name is unknown.
+    pub fn add_foreign_key(
+        &mut self,
+        from_table: &str,
+        from_column: &str,
+        to_table: &str,
+        to_column: &str,
+    ) -> Result<()> {
+        let from = self.resolve(from_table, from_column)?;
+        let to = self.resolve(to_table, to_column)?;
+        self.foreign_keys.push(ForeignKey { from, to });
+        Ok(())
+    }
+
+    pub fn table_index(&self, name: &str) -> Option<usize> {
+        self.tables.iter().position(|t| t.name.eq_ignore_ascii_case(name))
+    }
+
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.table_index(name).map(|i| &self.tables[i])
+    }
+
+    /// Resolve a qualified `table.column` pair to a [`ColumnRef`].
+    pub fn resolve(&self, table: &str, column: &str) -> Result<ColumnRef> {
+        let ti = self
+            .table_index(table)
+            .ok_or_else(|| NliError::UnknownTable(table.to_string()))?;
+        let ci = self.tables[ti]
+            .column_index(column)
+            .ok_or_else(|| NliError::UnknownColumn(format!("{table}.{column}")))?;
+        Ok(ColumnRef { table: ti, column: ci })
+    }
+
+    /// Resolve an *unqualified* column name; errors when ambiguous across
+    /// tables (the classic NLI ambiguity the survey's Fig. 1 feedback loop
+    /// exists to resolve).
+    pub fn resolve_unqualified(&self, column: &str) -> Result<ColumnRef> {
+        let mut hits = Vec::new();
+        for (ti, t) in self.tables.iter().enumerate() {
+            if let Some(ci) = t.column_index(column) {
+                hits.push(ColumnRef { table: ti, column: ci });
+            }
+        }
+        match hits.len() {
+            0 => Err(NliError::UnknownColumn(column.to_string())),
+            1 => Ok(hits[0]),
+            _ => Err(NliError::AmbiguousColumn(column.to_string())),
+        }
+    }
+
+    pub fn column(&self, r: ColumnRef) -> &Column {
+        &self.tables[r.table].columns[r.column]
+    }
+
+    /// Fully qualified `table.column` spelling.
+    pub fn qualified_name(&self, r: ColumnRef) -> String {
+        format!("{}.{}", self.tables[r.table].name, self.column(r).name)
+    }
+
+    /// Total number of columns across all tables.
+    pub fn column_count(&self) -> usize {
+        self.tables.iter().map(|t| t.columns.len()).sum()
+    }
+
+    /// All column references, in schema order.
+    pub fn all_columns(&self) -> Vec<ColumnRef> {
+        let mut out = Vec::with_capacity(self.column_count());
+        for (ti, t) in self.tables.iter().enumerate() {
+            for ci in 0..t.columns.len() {
+                out.push(ColumnRef { table: ti, column: ci });
+            }
+        }
+        out
+    }
+
+    /// Foreign-key edge between two tables (either direction), if any.
+    pub fn fk_between(&self, a: usize, b: usize) -> Option<ForeignKey> {
+        self.foreign_keys
+            .iter()
+            .copied()
+            .find(|fk| {
+                (fk.from.table == a && fk.to.table == b)
+                    || (fk.from.table == b && fk.to.table == a)
+            })
+    }
+
+    /// Shortest join path between two tables over the foreign-key graph
+    /// (BFS). Returns the sequence of table indices including endpoints, or
+    /// `None` when the tables are disconnected.
+    pub fn join_path(&self, from: usize, to: usize) -> Option<Vec<usize>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        let n = self.tables.len();
+        if from >= n || to >= n {
+            return None;
+        }
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for fk in &self.foreign_keys {
+            adj[fk.from.table].push(fk.to.table);
+            adj[fk.to.table].push(fk.from.table);
+        }
+        let mut prev = vec![usize::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        prev[from] = from;
+        queue.push_back(from);
+        while let Some(t) = queue.pop_front() {
+            if t == to {
+                let mut path = vec![to];
+                let mut cur = to;
+                while cur != from {
+                    cur = prev[cur];
+                    path.push(cur);
+                }
+                path.reverse();
+                return Some(path);
+            }
+            for &next in &adj[t] {
+                if prev[next] == usize::MAX {
+                    prev[next] = t;
+                    queue.push_back(next);
+                }
+            }
+        }
+        None
+    }
+
+    /// Human-readable serialization used in prompts and documentation:
+    /// one line per table with columns, types, and key markers.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        for (ti, t) in self.tables.iter().enumerate() {
+            out.push_str(&t.name);
+            out.push('(');
+            for (ci, c) in t.columns.iter().enumerate() {
+                if ci > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&c.name);
+                out.push(' ');
+                out.push_str(c.dtype.name());
+                if c.primary_key {
+                    out.push_str(" PK");
+                }
+                if let Some(fk) = self
+                    .foreign_keys
+                    .iter()
+                    .find(|fk| fk.from == (ColumnRef { table: ti, column: ci }))
+                {
+                    out.push_str(&format!(" -> {}", self.qualified_name(fk.to)));
+                }
+            }
+            out.push_str(")\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        let mut s = Schema::new(
+            "shop",
+            vec![
+                Table::new(
+                    "products",
+                    vec![
+                        Column::new("id", DataType::Int).primary(),
+                        Column::new("name", DataType::Text),
+                        Column::new("category", DataType::Text),
+                    ],
+                ),
+                Table::new(
+                    "sales",
+                    vec![
+                        Column::new("id", DataType::Int).primary(),
+                        Column::new("product_id", DataType::Int),
+                        Column::new("amount", DataType::Float),
+                    ],
+                ),
+                Table::new(
+                    "stores",
+                    vec![Column::new("id", DataType::Int).primary()],
+                ),
+            ],
+        );
+        s.add_foreign_key("sales", "product_id", "products", "id").unwrap();
+        s
+    }
+
+    #[test]
+    fn resolve_qualified_and_unqualified() {
+        let s = sample();
+        let r = s.resolve("sales", "amount").unwrap();
+        assert_eq!(s.qualified_name(r), "sales.amount");
+        let r2 = s.resolve_unqualified("category").unwrap();
+        assert_eq!(s.qualified_name(r2), "products.category");
+    }
+
+    #[test]
+    fn ambiguous_unqualified_column_is_an_error() {
+        let s = sample();
+        assert!(matches!(
+            s.resolve_unqualified("id"),
+            Err(NliError::AmbiguousColumn(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let s = sample();
+        assert!(s.resolve("nope", "id").is_err());
+        assert!(s.resolve("sales", "nope").is_err());
+        assert!(s.resolve_unqualified("nope").is_err());
+    }
+
+    #[test]
+    fn join_path_over_fk_graph() {
+        let s = sample();
+        let sales = s.table_index("sales").unwrap();
+        let products = s.table_index("products").unwrap();
+        let stores = s.table_index("stores").unwrap();
+        assert_eq!(s.join_path(sales, products), Some(vec![sales, products]));
+        assert_eq!(s.join_path(sales, sales), Some(vec![sales]));
+        assert_eq!(s.join_path(sales, stores), None, "stores is disconnected");
+    }
+
+    #[test]
+    fn describe_mentions_keys() {
+        let s = sample();
+        let d = s.describe();
+        assert!(d.contains("id int PK"));
+        assert!(d.contains("product_id int -> products.id"));
+    }
+
+    #[test]
+    fn column_count_and_all_columns_agree() {
+        let s = sample();
+        assert_eq!(s.column_count(), s.all_columns().len());
+        assert_eq!(s.column_count(), 7);
+    }
+}

@@ -1,0 +1,376 @@
+//! Dynamically typed cell values and their column types.
+//!
+//! Every table cell in the workspace is a [`Value`]. The engine performs the
+//! small amount of coercion real NLI stacks rely on (integer/float
+//! comparison, textual equality case-folded at call sites that need it) and
+//! keeps everything else strict so type errors surface as errors rather than
+//! silent `NULL`s.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Column (and literal) data types supported by the tabular substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// UTF-8 text.
+    Text,
+    /// Boolean.
+    Bool,
+    /// Calendar date (no time-of-day component).
+    Date,
+}
+
+impl DataType {
+    /// Whether values of this type participate in arithmetic and numeric
+    /// aggregates (`SUM`, `AVG`, ...).
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Float)
+    }
+
+    /// Whether `<`/`>` comparisons on this type are meaningful for query
+    /// generation (numerics and dates).
+    pub fn is_ordered(self) -> bool {
+        matches!(self, DataType::Int | DataType::Float | DataType::Date)
+    }
+
+    /// Lower-case SQL-ish name, used by schema printers and prompts.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Text => "text",
+            DataType::Bool => "bool",
+            DataType::Date => "date",
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A calendar date. Kept deliberately simple (no time zones, no leap-second
+/// pedantry): ordering and formatting are what query execution needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Date {
+    pub year: i32,
+    pub month: u8,
+    pub day: u8,
+}
+
+impl Date {
+    /// Construct a date, clamping month/day into valid calendar ranges.
+    pub fn new(year: i32, month: u8, day: u8) -> Self {
+        let month = month.clamp(1, 12);
+        let day = day.clamp(1, days_in_month(year, month));
+        Date { year, month, day }
+    }
+
+    /// Parse `YYYY-MM-DD`.
+    pub fn parse(s: &str) -> Option<Self> {
+        let mut parts = s.split('-');
+        let year: i32 = parts.next()?.parse().ok()?;
+        let month: u8 = parts.next()?.parse().ok()?;
+        let day: u8 = parts.next()?.parse().ok()?;
+        if parts.next().is_some() || !(1..=12).contains(&month) {
+            return None;
+        }
+        if day == 0 || day > days_in_month(year, month) {
+            return None;
+        }
+        Some(Date { year, month, day })
+    }
+
+    /// Calendar quarter (1..=4), used by the sales examples from Fig. 2.
+    pub fn quarter(&self) -> u8 {
+        (self.month - 1) / 3 + 1
+    }
+
+    /// Day of week, 0 = Monday .. 6 = Sunday (Sakamoto's method).
+    pub fn weekday(&self) -> u8 {
+        const T: [i32; 12] = [0, 3, 2, 5, 0, 3, 5, 1, 4, 6, 2, 4];
+        let mut y = self.year;
+        if self.month < 3 {
+            y -= 1;
+        }
+        let dow_sun0 =
+            (y + y / 4 - y / 100 + y / 400 + T[(self.month - 1) as usize] + self.day as i32)
+                .rem_euclid(7);
+        // convert Sunday=0 to Monday=0
+        ((dow_sun0 + 6) % 7) as u8
+    }
+}
+
+fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if (year % 4 == 0 && year % 100 != 0) || year % 400 == 0 {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 30,
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+/// A dynamically typed cell value.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    Null,
+    Int(i64),
+    Float(f64),
+    Text(String),
+    Bool(bool),
+    Date(Date),
+}
+
+impl Value {
+    /// Static type of this value, `None` for `Null`.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Text(_) => Some(DataType::Text),
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Date(_) => Some(DataType::Date),
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view used by arithmetic and aggregates; integers widen to
+    /// floats, everything else is `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// SQL-style three-valued comparison: `None` when either side is NULL or
+    /// the types are incomparable.
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Float(a), Value::Float(b)) => a.partial_cmp(b),
+            (Value::Int(a), Value::Float(b)) => (*a as f64).partial_cmp(b),
+            (Value::Float(a), Value::Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Value::Text(a), Value::Text(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (Value::Date(a), Value::Date(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// SQL equality (`=`): NULL never equals anything.
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        self.compare(other).map(|o| o == Ordering::Equal)
+    }
+
+    /// Total ordering for sorting result sets: NULLs first, then by type
+    /// rank, then by value. Unlike [`Value::compare`], this never fails —
+    /// execution engines need *some* deterministic sort order.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) | Value::Float(_) => 2,
+                Value::Date(_) => 3,
+                Value::Text(_) => 4,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Date(a), Value::Date(b)) => a.cmp(b),
+            (Value::Text(a), Value::Text(b)) => a.cmp(b),
+            _ => match (self.as_f64(), other.as_f64()) {
+                (Some(a), Some(b)) => a.total_cmp(&b),
+                _ => rank(self).cmp(&rank(other)),
+            },
+        }
+    }
+
+    /// Canonical text used for grouping keys and result comparison. Floats
+    /// are formatted with enough precision to round-trip, and integral
+    /// floats collapse to their integer spelling so `2.0` groups with `2`.
+    pub fn canonical(&self) -> String {
+        match self {
+            Value::Null => "NULL".to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => {
+                if f.fract() == 0.0 && f.abs() < 1e15 {
+                    format!("{}", *f as i64)
+                } else {
+                    format!("{f}")
+                }
+            }
+            Value::Text(s) => s.clone(),
+            Value::Bool(b) => b.to_string(),
+            Value::Date(d) => d.to_string(),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    /// Structural equality used by result-set comparison: unlike SQL `=`,
+    /// `NULL == NULL` here, and `Int`/`Float` compare numerically.
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a == b || (a.is_nan() && b.is_nan()),
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
+                *a as f64 == *b
+            }
+            (Value::Text(a), Value::Text(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Date(a), Value::Date(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Text(s) => write!(f, "{s}"),
+            other => f.write_str(&other.canonical()),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<Date> for Value {
+    fn from(v: Date) -> Self {
+        Value::Date(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date_parse_roundtrip() {
+        let d = Date::parse("2024-03-09").unwrap();
+        assert_eq!(d, Date::new(2024, 3, 9));
+        assert_eq!(d.to_string(), "2024-03-09");
+        assert_eq!(d.quarter(), 1);
+    }
+
+    #[test]
+    fn date_parse_rejects_invalid() {
+        assert!(Date::parse("2024-13-01").is_none());
+        assert!(Date::parse("2023-02-29").is_none());
+        assert!(Date::parse("2024-02-29").is_some()); // leap year
+        assert!(Date::parse("2024-02").is_none());
+        assert!(Date::parse("2024-02-01-05").is_none());
+    }
+
+    #[test]
+    fn weekday_known_dates() {
+        assert_eq!(Date::new(2024, 1, 1).weekday(), 0); // Monday
+        assert_eq!(Date::new(2024, 1, 7).weekday(), 6); // Sunday
+        assert_eq!(Date::new(2000, 1, 1).weekday(), 5); // Saturday
+        assert_eq!(Date::new(2026, 7, 6).weekday(), 0); // Monday
+    }
+
+    #[test]
+    fn mixed_numeric_comparison() {
+        assert_eq!(
+            Value::Int(3).compare(&Value::Float(3.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Float(2.5).compare(&Value::Int(3)),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn null_propagates_in_sql_comparison() {
+        assert_eq!(Value::Null.compare(&Value::Int(1)), None);
+        assert_eq!(Value::Null.sql_eq(&Value::Null), None);
+        // ... but structural equality treats NULLs as equal.
+        assert_eq!(Value::Null, Value::Null);
+    }
+
+    #[test]
+    fn canonical_collapses_integral_floats() {
+        assert_eq!(Value::Float(2.0).canonical(), "2");
+        assert_eq!(Value::Float(2.5).canonical(), "2.5");
+        assert_eq!(Value::Int(2).canonical(), "2");
+    }
+
+    #[test]
+    fn total_cmp_is_total_over_mixed_types() {
+        let mut vals = [Value::Text("a".into()),
+            Value::Null,
+            Value::Int(5),
+            Value::Float(1.5),
+            Value::Bool(true),
+            Value::Date(Date::new(2020, 1, 1))];
+        vals.sort_by(|a, b| a.total_cmp(b));
+        assert!(vals[0].is_null());
+    }
+
+    #[test]
+    fn incomparable_types_return_none() {
+        assert_eq!(Value::Text("1".into()).compare(&Value::Int(1)), None);
+        assert_eq!(Value::Bool(true).compare(&Value::Int(1)), None);
+    }
+}

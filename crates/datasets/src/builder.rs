@@ -1,0 +1,142 @@
+//! Shared generation machinery for the concrete benchmark builders.
+
+use crate::nl_gen::{realize, NlStyle};
+use crate::schema_gen::{generate_database, DbGenConfig};
+use crate::sql_gen::{plan_to_query, sample_plan, SqlProfile};
+use crate::types::SqlExample;
+use nli_core::{Database, ExecutionEngine, NlQuestion, Prng};
+use nli_sql::SqlEngine;
+
+/// Generate `count` databases round-robin over the built-in domains.
+pub fn generate_databases(count: usize, cfg: &DbGenConfig, rng: &mut Prng) -> Vec<Database> {
+    let domains = crate::domains::all_domains();
+    (0..count)
+        .map(|i| {
+            let domain = domains[i % domains.len()];
+            let mut r = rng.fork(i as u64);
+            generate_database(domain, i / domains.len(), cfg, &mut r)
+        })
+        .collect()
+}
+
+/// Generate `n` verified (question, SQL) examples over `databases`.
+///
+/// Each example gets its own forked RNG stream so corpora are stable under
+/// resizing. Plans whose SQL fails to execute are discarded and retried —
+/// every gold query in every benchmark is executable by construction.
+pub fn generate_examples(
+    databases: &[Database],
+    db_range: std::ops::Range<usize>,
+    profile: &SqlProfile,
+    style: NlStyle,
+    n: usize,
+    rng: &mut Prng,
+) -> Vec<SqlExample> {
+    let engine = SqlEngine::new();
+    let mut out = Vec::with_capacity(n);
+    let width = db_range.len().max(1);
+    for i in 0..n {
+        let mut ex_rng = rng.fork(i as u64);
+        let db_idx = db_range.start + ex_rng.below(width);
+        let db = &databases[db_idx];
+        for attempt in 0..12 {
+            let mut try_rng = ex_rng.fork(attempt);
+            let Some(plan) = sample_plan(db, profile, &mut try_rng) else {
+                continue;
+            };
+            let gold = plan_to_query(db, &plan);
+            if engine.execute(&gold, db).is_err() {
+                continue;
+            }
+            let realized = realize(db, &plan, style, &mut try_rng);
+            let mut q = NlQuestion::new(realized.text);
+            if !realized.evidence.is_empty() {
+                q = q.with_evidence(realized.evidence.join("; "));
+            }
+            out.push(SqlExample { db: db_idx, question: q, gold });
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn databases_cycle_domains() {
+        let mut rng = Prng::new(1);
+        let dbs = generate_databases(15, &DbGenConfig::default(), &mut rng);
+        assert_eq!(dbs.len(), 15);
+        let domains: std::collections::HashSet<_> =
+            dbs.iter().map(|d| d.schema.domain.clone()).collect();
+        assert!(domains.len() >= 12);
+        // names unique
+        let names: std::collections::HashSet<_> =
+            dbs.iter().map(|d| d.schema.name.clone()).collect();
+        assert_eq!(names.len(), 15);
+    }
+
+    #[test]
+    fn examples_are_executable_and_fill_the_request() {
+        let mut rng = Prng::new(2);
+        let dbs = generate_databases(4, &DbGenConfig::default(), &mut rng);
+        let examples = generate_examples(
+            &dbs,
+            0..4,
+            &SqlProfile::spider(),
+            NlStyle::plain(),
+            50,
+            &mut rng,
+        );
+        assert!(examples.len() >= 48, "only {} examples", examples.len());
+        let engine = SqlEngine::new();
+        for ex in &examples {
+            engine.execute(&ex.gold, &dbs[ex.db]).unwrap();
+            assert!(!ex.question.text.is_empty());
+        }
+    }
+
+    #[test]
+    fn db_range_is_respected() {
+        let mut rng = Prng::new(3);
+        let dbs = generate_databases(6, &DbGenConfig::default(), &mut rng);
+        let examples = generate_examples(
+            &dbs,
+            4..6,
+            &SqlProfile::wikisql(),
+            NlStyle::plain(),
+            30,
+            &mut rng,
+        );
+        assert!(examples.iter().all(|e| e.db >= 4 && e.db < 6));
+    }
+
+    #[test]
+    fn generation_is_stable_under_resizing() {
+        // first K examples of a larger corpus equal the K-sized corpus
+        let mut r1 = Prng::new(4);
+        let dbs = generate_databases(3, &DbGenConfig::default(), &mut r1);
+        let small = generate_examples(
+            &dbs,
+            0..3,
+            &SqlProfile::spider(),
+            NlStyle::plain(),
+            10,
+            &mut Prng::new(99),
+        );
+        let large = generate_examples(
+            &dbs,
+            0..3,
+            &SqlProfile::spider(),
+            NlStyle::plain(),
+            20,
+            &mut Prng::new(99),
+        );
+        for (a, b) in small.iter().zip(&large) {
+            assert_eq!(a.question.text, b.question.text);
+            assert_eq!(a.gold, b.gold);
+        }
+    }
+}

@@ -1,0 +1,718 @@
+//! Domain vocabularies: the raw material for cross-domain schema sampling.
+//!
+//! Each [`Domain`] declares themed table templates with typed columns,
+//! value distributions, and foreign-key structure. Twelve domains span the
+//! sectors the survey's datasets cover (business, healthcare, education,
+//! aviation, entertainment, sports, geography, ...), and the schema
+//! generator ([`crate::schema_gen`]) multiplies them into many database
+//! variants the way Spider's 138 domains fan out over 200 databases.
+
+use nli_core::DataType;
+
+/// How values of a column are generated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ValueSpec {
+    /// Auto-incrementing primary key.
+    Serial,
+    /// Uniform integer in `[lo, hi]`.
+    IntRange(i64, i64),
+    /// Uniform float in `[lo, hi]`, rounded to 2 decimals.
+    FloatRange(f64, f64),
+    /// Categorical value from a closed pool.
+    Pool(&'static [&'static str]),
+    /// Synthesized person name (first + last pools).
+    PersonName,
+    /// Synthesized proper name with a themed suffix pool (e.g. "Corp").
+    ProperName(&'static [&'static str]),
+    /// City name pool.
+    City,
+    /// Country name pool.
+    Country,
+    /// Date with year uniform in `[lo, hi]`.
+    DateRange(i32, i32),
+    /// Boolean.
+    Flag,
+    /// Foreign key into `table.column` (always the parent's Serial PK).
+    Fk(&'static str),
+}
+
+impl ValueSpec {
+    pub fn data_type(&self) -> DataType {
+        match self {
+            ValueSpec::Serial | ValueSpec::IntRange(..) | ValueSpec::Fk(_) => DataType::Int,
+            ValueSpec::FloatRange(..) => DataType::Float,
+            ValueSpec::Pool(_)
+            | ValueSpec::PersonName
+            | ValueSpec::ProperName(_)
+            | ValueSpec::City
+            | ValueSpec::Country => DataType::Text,
+            ValueSpec::DateRange(..) => DataType::Date,
+            ValueSpec::Flag => DataType::Bool,
+        }
+    }
+}
+
+/// A column template: SQL name, display phrase, and value distribution.
+#[derive(Debug, Clone, Copy)]
+pub struct ColTemplate {
+    pub name: &'static str,
+    pub display: &'static str,
+    pub spec: ValueSpec,
+    /// Optional columns are included per-database with some probability,
+    /// giving schema variety across databases of the same domain.
+    pub optional: bool,
+}
+
+const fn col(name: &'static str, display: &'static str, spec: ValueSpec) -> ColTemplate {
+    ColTemplate { name, display, spec, optional: false }
+}
+
+const fn opt(name: &'static str, display: &'static str, spec: ValueSpec) -> ColTemplate {
+    ColTemplate { name, display, spec, optional: true }
+}
+
+/// A table template.
+#[derive(Debug, Clone, Copy)]
+pub struct TableTemplate {
+    pub name: &'static str,
+    /// Singular display form ("singer").
+    pub singular: &'static str,
+    /// Plural display form ("singers").
+    pub plural: &'static str,
+    pub columns: &'static [ColTemplate],
+}
+
+/// A themed domain.
+#[derive(Debug, Clone, Copy)]
+pub struct Domain {
+    pub name: &'static str,
+    pub tables: &'static [TableTemplate],
+}
+
+// ---- shared pools ------------------------------------------------------
+
+pub const FIRST_NAMES: &[&str] = &[
+    "Alice", "Bruno", "Carmen", "Derek", "Elena", "Farid", "Grace", "Hiro", "Ingrid", "Jonas",
+    "Kara", "Liam", "Mona", "Nadia", "Omar", "Priya", "Quentin", "Rosa", "Stefan", "Tara",
+    "Ulrich", "Vera", "Wanda", "Xavier", "Yusuf", "Zoe",
+];
+
+pub const LAST_NAMES: &[&str] = &[
+    "Anderson", "Baptiste", "Chen", "Dimitrov", "Eriksen", "Fischer", "Garcia", "Hassan",
+    "Ivanov", "Johansson", "Kumar", "Lopez", "Moreau", "Nakamura", "Okafor", "Petrov",
+    "Quinn", "Rossi", "Schmidt", "Tanaka", "Umar", "Vargas", "Weber", "Xu", "Yilmaz", "Zhang",
+];
+
+pub const CITIES: &[&str] = &[
+    "Springfield", "Rivertown", "Lakewood", "Hillcrest", "Maplewood", "Fairview", "Oakdale",
+    "Brookside", "Westfield", "Easton", "Northgate", "Southport", "Greenville", "Ashford",
+    "Clearwater", "Stonebridge",
+];
+
+pub const COUNTRIES: &[&str] = &[
+    "France", "Japan", "Brazil", "Canada", "Kenya", "India", "Norway", "Mexico", "Vietnam",
+    "Poland", "Egypt", "Chile",
+];
+
+const PRODUCT_CATEGORIES: &[&str] =
+    &["Tools", "Toys", "Electronics", "Clothing", "Food", "Garden", "Sports", "Books"];
+const CORP_SUFFIX: &[&str] = &["Corp", "Ltd", "Group", "Industries", "Partners"];
+const STORE_SUFFIX: &[&str] = &["Mart", "Depot", "Outlet", "Store", "Emporium"];
+const GENRES: &[&str] = &["rock", "pop", "jazz", "folk", "classical", "electronic", "hip hop"];
+const MOVIE_GENRES: &[&str] =
+    &["drama", "comedy", "thriller", "documentary", "animation", "horror", "romance"];
+const SPECIALTIES: &[&str] =
+    &["cardiology", "oncology", "pediatrics", "neurology", "orthopedics", "dermatology"];
+const DEPARTMENTS: &[&str] =
+    &["engineering", "marketing", "finance", "operations", "research", "support"];
+const MAJORS: &[&str] =
+    &["biology", "physics", "history", "economics", "literature", "mathematics"];
+const CUISINES: &[&str] =
+    &["italian", "japanese", "mexican", "indian", "french", "thai", "greek"];
+const POSITIONS: &[&str] = &["guard", "forward", "center", "keeper", "winger", "defender"];
+const AIRCRAFT: &[&str] = &["A320", "B737", "E190", "A350", "B787", "CRJ900"];
+const BOOK_SUBJECTS: &[&str] =
+    &["fiction", "science", "travel", "biography", "poetry", "cooking"];
+const CAR_MAKERS: &[&str] = &["Vela", "Norden", "Kestrel", "Aurora", "Pampa", "Taiga"];
+const FUEL: &[&str] = &["petrol", "diesel", "electric", "hybrid"];
+const SONG_WORDS: &[&str] =
+    &["Midnight", "River", "Echo", "Golden", "Wild", "Silent", "Neon", "Paper"];
+const VENUE_SUFFIX: &[&str] = &["Arena", "Hall", "Stadium", "Theatre", "Pavilion"];
+
+// ---- domains -----------------------------------------------------------
+
+/// retail / business domain (the survey's running sales example).
+static RETAIL: Domain = Domain {
+    name: "retail",
+    tables: &[
+        TableTemplate {
+            name: "products",
+            singular: "product",
+            plural: "products",
+            columns: &[
+                col("id", "id", ValueSpec::Serial),
+                col("name", "name", ValueSpec::ProperName(&["Basic", "Pro", "Mini", "Max"])),
+                col("category", "category", ValueSpec::Pool(PRODUCT_CATEGORIES)),
+                col("price", "price", ValueSpec::FloatRange(1.0, 500.0)),
+                opt("stock", "stock", ValueSpec::IntRange(0, 900)),
+                opt("rating", "rating", ValueSpec::FloatRange(1.0, 5.0)),
+            ],
+        },
+        TableTemplate {
+            name: "stores",
+            singular: "store",
+            plural: "stores",
+            columns: &[
+                col("id", "id", ValueSpec::Serial),
+                col("name", "name", ValueSpec::ProperName(STORE_SUFFIX)),
+                col("city", "city", ValueSpec::City),
+                opt("opened", "opening date", ValueSpec::DateRange(1995, 2020)),
+            ],
+        },
+        TableTemplate {
+            name: "sales",
+            singular: "sale",
+            plural: "sales",
+            columns: &[
+                col("id", "id", ValueSpec::Serial),
+                col("product_id", "product", ValueSpec::Fk("products")),
+                col("store_id", "store", ValueSpec::Fk("stores")),
+                col("amount", "amount", ValueSpec::FloatRange(5.0, 2000.0)),
+                col("sold_on", "sale date", ValueSpec::DateRange(2021, 2025)),
+                opt("quantity", "quantity", ValueSpec::IntRange(1, 40)),
+            ],
+        },
+    ],
+};
+
+/// concert/singer domain (Spider's flagship example).
+static MUSIC: Domain = Domain {
+    name: "music",
+    tables: &[
+        TableTemplate {
+            name: "singer",
+            singular: "singer",
+            plural: "singers",
+            columns: &[
+                col("id", "id", ValueSpec::Serial),
+                col("name", "name", ValueSpec::PersonName),
+                col("country", "country", ValueSpec::Country),
+                col("age", "age", ValueSpec::IntRange(18, 70)),
+                opt("genre", "genre", ValueSpec::Pool(GENRES)),
+            ],
+        },
+        TableTemplate {
+            name: "concert",
+            singular: "concert",
+            plural: "concerts",
+            columns: &[
+                col("id", "id", ValueSpec::Serial),
+                col("singer_id", "singer", ValueSpec::Fk("singer")),
+                col("venue", "venue", ValueSpec::ProperName(VENUE_SUFFIX)),
+                col("attendance", "attendance", ValueSpec::IntRange(100, 80000)),
+                col("held_on", "date", ValueSpec::DateRange(2015, 2025)),
+            ],
+        },
+        TableTemplate {
+            name: "song",
+            singular: "song",
+            plural: "songs",
+            columns: &[
+                col("id", "id", ValueSpec::Serial),
+                col("singer_id", "singer", ValueSpec::Fk("singer")),
+                col("title", "title", ValueSpec::ProperName(SONG_WORDS)),
+                col("duration", "duration", ValueSpec::IntRange(90, 600)),
+                opt("plays", "play count", ValueSpec::IntRange(0, 5_000_000)),
+            ],
+        },
+    ],
+};
+
+static HEALTHCARE: Domain = Domain {
+    name: "healthcare",
+    tables: &[
+        TableTemplate {
+            name: "doctors",
+            singular: "doctor",
+            plural: "doctors",
+            columns: &[
+                col("id", "id", ValueSpec::Serial),
+                col("name", "name", ValueSpec::PersonName),
+                col("specialty", "specialty", ValueSpec::Pool(SPECIALTIES)),
+                col("salary", "salary", ValueSpec::FloatRange(60000.0, 320000.0)),
+                opt("experience", "years of experience", ValueSpec::IntRange(1, 40)),
+            ],
+        },
+        TableTemplate {
+            name: "patients",
+            singular: "patient",
+            plural: "patients",
+            columns: &[
+                col("id", "id", ValueSpec::Serial),
+                col("name", "name", ValueSpec::PersonName),
+                col("age", "age", ValueSpec::IntRange(1, 99)),
+                col("city", "city", ValueSpec::City),
+            ],
+        },
+        TableTemplate {
+            name: "visits",
+            singular: "visit",
+            plural: "visits",
+            columns: &[
+                col("id", "id", ValueSpec::Serial),
+                col("doctor_id", "doctor", ValueSpec::Fk("doctors")),
+                col("patient_id", "patient", ValueSpec::Fk("patients")),
+                col("cost", "cost", ValueSpec::FloatRange(40.0, 5000.0)),
+                col("visited_on", "visit date", ValueSpec::DateRange(2019, 2025)),
+            ],
+        },
+    ],
+};
+
+static EDUCATION: Domain = Domain {
+    name: "education",
+    tables: &[
+        TableTemplate {
+            name: "students",
+            singular: "student",
+            plural: "students",
+            columns: &[
+                col("id", "id", ValueSpec::Serial),
+                col("name", "name", ValueSpec::PersonName),
+                col("major", "major", ValueSpec::Pool(MAJORS)),
+                col("gpa", "gpa", ValueSpec::FloatRange(1.0, 4.0)),
+                opt("age", "age", ValueSpec::IntRange(17, 30)),
+            ],
+        },
+        TableTemplate {
+            name: "courses",
+            singular: "course",
+            plural: "courses",
+            columns: &[
+                col("id", "id", ValueSpec::Serial),
+                col("title", "title", ValueSpec::ProperName(&["101", "Advanced", "Intro", "Seminar"])),
+                col("credits", "credits", ValueSpec::IntRange(1, 6)),
+                col("department", "department", ValueSpec::Pool(MAJORS)),
+            ],
+        },
+        TableTemplate {
+            name: "enrollments",
+            singular: "enrollment",
+            plural: "enrollments",
+            columns: &[
+                col("id", "id", ValueSpec::Serial),
+                col("student_id", "student", ValueSpec::Fk("students")),
+                col("course_id", "course", ValueSpec::Fk("courses")),
+                col("grade", "grade", ValueSpec::FloatRange(0.0, 100.0)),
+            ],
+        },
+    ],
+};
+
+static AVIATION: Domain = Domain {
+    name: "aviation",
+    tables: &[
+        TableTemplate {
+            name: "airports",
+            singular: "airport",
+            plural: "airports",
+            columns: &[
+                col("id", "id", ValueSpec::Serial),
+                col("name", "name", ValueSpec::ProperName(&["International", "Regional", "Field"])),
+                col("city", "city", ValueSpec::City),
+                col("country", "country", ValueSpec::Country),
+                opt("elevation", "elevation", ValueSpec::IntRange(0, 4000)),
+            ],
+        },
+        TableTemplate {
+            name: "flights",
+            singular: "flight",
+            plural: "flights",
+            columns: &[
+                col("id", "id", ValueSpec::Serial),
+                col("origin_id", "origin airport", ValueSpec::Fk("airports")),
+                col("aircraft", "aircraft", ValueSpec::Pool(AIRCRAFT)),
+                col("distance", "distance", ValueSpec::IntRange(120, 11000)),
+                col("price", "ticket price", ValueSpec::FloatRange(40.0, 2400.0)),
+                col("departed_on", "departure date", ValueSpec::DateRange(2022, 2025)),
+            ],
+        },
+    ],
+};
+
+static SPORTS: Domain = Domain {
+    name: "sports",
+    tables: &[
+        TableTemplate {
+            name: "teams",
+            singular: "team",
+            plural: "teams",
+            columns: &[
+                col("id", "id", ValueSpec::Serial),
+                col("name", "name", ValueSpec::ProperName(&["United", "City", "Rovers", "Wanderers"])),
+                col("city", "city", ValueSpec::City),
+                col("founded", "founding year", ValueSpec::IntRange(1890, 2010)),
+            ],
+        },
+        TableTemplate {
+            name: "players",
+            singular: "player",
+            plural: "players",
+            columns: &[
+                col("id", "id", ValueSpec::Serial),
+                col("team_id", "team", ValueSpec::Fk("teams")),
+                col("name", "name", ValueSpec::PersonName),
+                col("position", "position", ValueSpec::Pool(POSITIONS)),
+                col("goals", "goals", ValueSpec::IntRange(0, 60)),
+                opt("salary", "salary", ValueSpec::FloatRange(20000.0, 900000.0)),
+            ],
+        },
+        TableTemplate {
+            name: "matches",
+            singular: "match",
+            plural: "matches",
+            columns: &[
+                col("id", "id", ValueSpec::Serial),
+                col("home_id", "home team", ValueSpec::Fk("teams")),
+                col("attendance", "attendance", ValueSpec::IntRange(500, 90000)),
+                col("played_on", "match date", ValueSpec::DateRange(2018, 2025)),
+            ],
+        },
+    ],
+};
+
+static MOVIES: Domain = Domain {
+    name: "movies",
+    tables: &[
+        TableTemplate {
+            name: "directors",
+            singular: "director",
+            plural: "directors",
+            columns: &[
+                col("id", "id", ValueSpec::Serial),
+                col("name", "name", ValueSpec::PersonName),
+                col("country", "country", ValueSpec::Country),
+            ],
+        },
+        TableTemplate {
+            name: "movies",
+            singular: "movie",
+            plural: "movies",
+            columns: &[
+                col("id", "id", ValueSpec::Serial),
+                col("director_id", "director", ValueSpec::Fk("directors")),
+                col("title", "title", ValueSpec::ProperName(SONG_WORDS)),
+                col("genre", "genre", ValueSpec::Pool(MOVIE_GENRES)),
+                col("rating", "rating", ValueSpec::FloatRange(1.0, 10.0)),
+                col("released", "release date", ValueSpec::DateRange(1980, 2025)),
+                opt("budget", "budget", ValueSpec::IntRange(100000, 250000000)),
+            ],
+        },
+    ],
+};
+
+static RESTAURANTS: Domain = Domain {
+    name: "restaurants",
+    tables: &[
+        TableTemplate {
+            name: "restaurants",
+            singular: "restaurant",
+            plural: "restaurants",
+            columns: &[
+                col("id", "id", ValueSpec::Serial),
+                col("name", "name", ValueSpec::ProperName(&["Kitchen", "Bistro", "House", "Table"])),
+                col("cuisine", "cuisine", ValueSpec::Pool(CUISINES)),
+                col("city", "city", ValueSpec::City),
+                col("rating", "rating", ValueSpec::FloatRange(1.0, 5.0)),
+                opt("seats", "seating capacity", ValueSpec::IntRange(10, 300)),
+            ],
+        },
+        TableTemplate {
+            name: "reviews",
+            singular: "review",
+            plural: "reviews",
+            columns: &[
+                col("id", "id", ValueSpec::Serial),
+                col("restaurant_id", "restaurant", ValueSpec::Fk("restaurants")),
+                col("score", "score", ValueSpec::IntRange(1, 5)),
+                col("written_on", "review date", ValueSpec::DateRange(2020, 2025)),
+            ],
+        },
+    ],
+};
+
+static GEOGRAPHY: Domain = Domain {
+    name: "geography",
+    tables: &[
+        TableTemplate {
+            name: "countries",
+            singular: "country",
+            plural: "countries",
+            columns: &[
+                col("id", "id", ValueSpec::Serial),
+                col("name", "name", ValueSpec::Country),
+                col("population", "population", ValueSpec::IntRange(500000, 1400000000)),
+                col("area", "area", ValueSpec::IntRange(1000, 17000000)),
+            ],
+        },
+        TableTemplate {
+            name: "cities",
+            singular: "city",
+            plural: "cities",
+            columns: &[
+                col("id", "id", ValueSpec::Serial),
+                col("country_id", "country", ValueSpec::Fk("countries")),
+                col("name", "name", ValueSpec::City),
+                col("population", "population", ValueSpec::IntRange(20000, 35000000)),
+                opt("is_capital", "capital flag", ValueSpec::Flag),
+            ],
+        },
+        TableTemplate {
+            name: "rivers",
+            singular: "river",
+            plural: "rivers",
+            columns: &[
+                col("id", "id", ValueSpec::Serial),
+                col("country_id", "country", ValueSpec::Fk("countries")),
+                col("name", "name", ValueSpec::ProperName(&["River"])),
+                col("length", "length", ValueSpec::IntRange(50, 6800)),
+            ],
+        },
+    ],
+};
+
+static LIBRARY: Domain = Domain {
+    name: "library",
+    tables: &[
+        TableTemplate {
+            name: "authors",
+            singular: "author",
+            plural: "authors",
+            columns: &[
+                col("id", "id", ValueSpec::Serial),
+                col("name", "name", ValueSpec::PersonName),
+                col("country", "country", ValueSpec::Country),
+            ],
+        },
+        TableTemplate {
+            name: "books",
+            singular: "book",
+            plural: "books",
+            columns: &[
+                col("id", "id", ValueSpec::Serial),
+                col("author_id", "author", ValueSpec::Fk("authors")),
+                col("title", "title", ValueSpec::ProperName(SONG_WORDS)),
+                col("subject", "subject", ValueSpec::Pool(BOOK_SUBJECTS)),
+                col("pages", "pages", ValueSpec::IntRange(60, 1200)),
+                col("published", "publication date", ValueSpec::DateRange(1950, 2025)),
+            ],
+        },
+        TableTemplate {
+            name: "loans",
+            singular: "loan",
+            plural: "loans",
+            columns: &[
+                col("id", "id", ValueSpec::Serial),
+                col("book_id", "book", ValueSpec::Fk("books")),
+                col("borrowed_on", "loan date", ValueSpec::DateRange(2022, 2025)),
+                opt("late", "late flag", ValueSpec::Flag),
+            ],
+        },
+    ],
+};
+
+static COMPANY: Domain = Domain {
+    name: "company",
+    tables: &[
+        TableTemplate {
+            name: "departments",
+            singular: "department",
+            plural: "departments",
+            columns: &[
+                col("id", "id", ValueSpec::Serial),
+                col("name", "name", ValueSpec::Pool(DEPARTMENTS)),
+                col("budget", "budget", ValueSpec::IntRange(100000, 20000000)),
+            ],
+        },
+        TableTemplate {
+            name: "employees",
+            singular: "employee",
+            plural: "employees",
+            columns: &[
+                col("id", "id", ValueSpec::Serial),
+                col("department_id", "department", ValueSpec::Fk("departments")),
+                col("name", "name", ValueSpec::PersonName),
+                col("salary", "salary", ValueSpec::FloatRange(28000.0, 260000.0)),
+                col("hired_on", "hire date", ValueSpec::DateRange(2005, 2025)),
+                opt("remote", "remote flag", ValueSpec::Flag),
+            ],
+        },
+        TableTemplate {
+            name: "projects",
+            singular: "project",
+            plural: "projects",
+            columns: &[
+                col("id", "id", ValueSpec::Serial),
+                col("department_id", "department", ValueSpec::Fk("departments")),
+                col("name", "name", ValueSpec::ProperName(CORP_SUFFIX)),
+                col("cost", "cost", ValueSpec::FloatRange(5000.0, 4000000.0)),
+            ],
+        },
+    ],
+};
+
+static AUTOMOTIVE: Domain = Domain {
+    name: "automotive",
+    tables: &[
+        TableTemplate {
+            name: "makers",
+            singular: "maker",
+            plural: "makers",
+            columns: &[
+                col("id", "id", ValueSpec::Serial),
+                col("name", "name", ValueSpec::Pool(CAR_MAKERS)),
+                col("country", "country", ValueSpec::Country),
+            ],
+        },
+        TableTemplate {
+            name: "cars",
+            singular: "car",
+            plural: "cars",
+            columns: &[
+                col("id", "id", ValueSpec::Serial),
+                col("maker_id", "maker", ValueSpec::Fk("makers")),
+                col("model", "model", ValueSpec::ProperName(&["GT", "LX", "S", "Trail"])),
+                col("horsepower", "horsepower", ValueSpec::IntRange(60, 800)),
+                col("mpg", "fuel economy", ValueSpec::FloatRange(10.0, 140.0)),
+                col("fuel", "fuel type", ValueSpec::Pool(FUEL)),
+                opt("year", "model year", ValueSpec::IntRange(1998, 2026)),
+            ],
+        },
+    ],
+};
+
+static HOTELS: Domain = Domain {
+    name: "hospitality",
+    tables: &[
+        TableTemplate {
+            name: "hotels",
+            singular: "hotel",
+            plural: "hotels",
+            columns: &[
+                col("id", "id", ValueSpec::Serial),
+                col("name", "name", ValueSpec::ProperName(&["Plaza", "Inn", "Lodge", "Resort"])),
+                col("city", "city", ValueSpec::City),
+                col("stars", "star rating", ValueSpec::IntRange(1, 5)),
+                col("rooms", "room count", ValueSpec::IntRange(10, 700)),
+            ],
+        },
+        TableTemplate {
+            name: "bookings",
+            singular: "booking",
+            plural: "bookings",
+            columns: &[
+                col("id", "id", ValueSpec::Serial),
+                col("hotel_id", "hotel", ValueSpec::Fk("hotels")),
+                col("nights", "nights", ValueSpec::IntRange(1, 21)),
+                col("total", "total price", ValueSpec::FloatRange(60.0, 9000.0)),
+                col("checkin", "check-in date", ValueSpec::DateRange(2021, 2025)),
+            ],
+        },
+    ],
+};
+
+/// All built-in domains.
+pub fn all_domains() -> &'static [&'static Domain] {
+    static ALL: [&Domain; 13] = [
+        &RETAIL, &MUSIC, &HEALTHCARE, &EDUCATION, &AVIATION, &SPORTS, &MOVIES, &RESTAURANTS,
+        &GEOGRAPHY, &LIBRARY, &COMPANY, &AUTOMOTIVE, &HOTELS,
+    ];
+    &ALL
+}
+
+/// Look up a domain by name.
+pub fn domain(name: &str) -> Option<&'static Domain> {
+    all_domains().iter().copied().find(|d| d.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_least_a_dozen_domains() {
+        assert!(all_domains().len() >= 12);
+    }
+
+    #[test]
+    fn every_fk_references_an_earlier_table() {
+        for d in all_domains() {
+            for (ti, t) in d.tables.iter().enumerate() {
+                for c in t.columns {
+                    if let ValueSpec::Fk(parent) = c.spec {
+                        let pi = d
+                            .tables
+                            .iter()
+                            .position(|p| p.name == parent)
+                            .unwrap_or_else(|| panic!("{}.{}: unknown parent {parent}", t.name, c.name));
+                        assert!(
+                            pi < ti,
+                            "{}: FK {} must reference an earlier table",
+                            d.name,
+                            c.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_table_has_a_serial_pk_first() {
+        for d in all_domains() {
+            for t in d.tables {
+                assert_eq!(
+                    t.columns[0].spec,
+                    ValueSpec::Serial,
+                    "{}.{} must start with a Serial pk",
+                    d.name,
+                    t.name
+                );
+                assert!(!t.columns[0].optional);
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_snake_case_and_displays_nonempty() {
+        for d in all_domains() {
+            for t in d.tables {
+                assert!(t.name.chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+                assert!(!t.singular.is_empty() && !t.plural.is_empty());
+                for c in t.columns {
+                    assert!(
+                        c.name.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+                        "{}.{}",
+                        t.name,
+                        c.name
+                    );
+                    assert!(!c.display.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn value_specs_have_sane_types() {
+        assert_eq!(ValueSpec::Serial.data_type(), DataType::Int);
+        assert_eq!(ValueSpec::City.data_type(), DataType::Text);
+        assert_eq!(ValueSpec::DateRange(2000, 2001).data_type(), DataType::Date);
+        assert_eq!(ValueSpec::Flag.data_type(), DataType::Bool);
+    }
+
+    #[test]
+    fn domain_lookup() {
+        assert!(domain("retail").is_some());
+        assert!(domain("nonexistent").is_none());
+    }
+}

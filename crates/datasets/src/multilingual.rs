@@ -1,0 +1,205 @@
+//! Multilingual variants via deterministic pseudo-localization.
+//!
+//! CSpider/ViText2SQL/PortugueseSpider/PAUQ translate Spider's questions
+//! while keeping schemas and SQL in English. The *structural* challenge is
+//! that question surface forms stop overlapping schema names (and training
+//! vocabulary). Pseudo-localization reproduces exactly that: every English
+//! word maps deterministically to a language-flavoured token (a small real
+//! dictionary for frequent words, syllable synthesis elsewhere), while
+//! quoted database values are preserved — they must still match content.
+
+use crate::types::{Family, SqlBenchmark, VisBenchmark};
+use nli_core::Language;
+use nli_nlu::{tokenize, TokenKind};
+
+/// Deterministic word hash for syllable synthesis.
+fn word_hash(word: &str, salt: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ salt;
+    for b in word.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+/// Frequent-word dictionaries per language (tiny but real, so the output
+/// reads plausibly; everything else is synthesized).
+fn dictionary(lang: Language) -> &'static [(&'static str, &'static str)] {
+    match lang {
+        Language::Chinese => &[
+            ("how", "多少"), ("many", "个"), ("list", "列出"), ("show", "显示"),
+            ("the", "的"), ("of", "的"), ("what", "什么"), ("is", "是"),
+            ("average", "平均"), ("total", "总"), ("count", "数量"),
+            ("each", "每个"), ("with", "有"), ("and", "和"), ("or", "或者"),
+            ("name", "名字"), ("for", "为"), ("are", "是"), ("there", "那里"),
+        ],
+        Language::Vietnamese => &[
+            ("how", "bao"), ("many", "nhiêu"), ("list", "liệt kê"), ("show", "hiển thị"),
+            ("the", "các"), ("of", "của"), ("what", "gì"), ("is", "là"),
+            ("average", "trung bình"), ("total", "tổng"), ("count", "đếm"),
+            ("each", "mỗi"), ("with", "với"), ("and", "và"), ("or", "hoặc"),
+            ("name", "tên"), ("for", "cho"), ("are", "là"), ("there", "đó"),
+        ],
+        Language::Portuguese => &[
+            ("how", "quantos"), ("many", "muitos"), ("list", "liste"), ("show", "mostre"),
+            ("the", "o"), ("of", "de"), ("what", "qual"), ("is", "é"),
+            ("average", "média"), ("total", "total"), ("count", "conte"),
+            ("each", "cada"), ("with", "com"), ("and", "e"), ("or", "ou"),
+            ("name", "nome"), ("for", "para"), ("are", "são"), ("there", "lá"),
+        ],
+        Language::Russian => &[
+            ("how", "сколько"), ("many", "много"), ("list", "перечисли"), ("show", "покажи"),
+            ("the", "эти"), ("of", "из"), ("what", "что"), ("is", "есть"),
+            ("average", "средний"), ("total", "общий"), ("count", "число"),
+            ("each", "каждый"), ("with", "с"), ("and", "и"), ("or", "или"),
+            ("name", "имя"), ("for", "для"), ("are", "есть"), ("there", "там"),
+        ],
+        Language::English => &[],
+    }
+}
+
+/// Language-flavoured syllable pools for synthesized words.
+fn syllables(lang: Language) -> &'static [&'static str] {
+    match lang {
+        Language::Chinese => &["zh", "ang", "ing", "uan", "shi", "xia", "men", "gao", "lin", "hua"],
+        Language::Vietnamese => &["ng", "uy", "ph", "tr", "anh", "uong", "iet", "ao", "inh", "em"],
+        Language::Portuguese => &["ção", "inho", "ar", "os", "eira", "ade", "ento", "al", "ura", "ista"],
+        Language::Russian => &["ов", "ский", "ина", "ать", "ник", "ост", "ель", "ка", "ич", "ное"],
+        Language::English => &[""],
+    }
+}
+
+/// Translate one word deterministically.
+fn translate_word(word: &str, lang: Language) -> String {
+    if lang == Language::English {
+        return word.to_string();
+    }
+    let lower = word.to_lowercase();
+    if let Some((_, t)) = dictionary(lang).iter().find(|(en, _)| *en == lower) {
+        return t.to_string();
+    }
+    // synthesize: 2-3 syllables chosen by the word's hash, so the same
+    // English word always maps to the same pseudo-word.
+    let pool = syllables(lang);
+    let h = word_hash(&lower, lang as u64 + 1);
+    let n = 2 + (h % 2) as usize;
+    let mut out = String::new();
+    for i in 0..n {
+        out.push_str(pool[((h >> (i * 13)) % pool.len() as u64) as usize]);
+    }
+    out
+}
+
+/// Translate a question, keeping quoted values and numbers intact.
+pub fn translate_question(text: &str, lang: Language) -> String {
+    let mut parts = Vec::new();
+    for tok in tokenize(text) {
+        match tok.kind {
+            TokenKind::Quoted => parts.push(format!("'{}'", tok.text)),
+            TokenKind::Number => parts.push(tok.text),
+            TokenKind::Word => parts.push(translate_word(&tok.text, lang)),
+        }
+    }
+    parts.join(" ")
+}
+
+/// CSpider/ViText2SQL/PortugueseSpider/PAUQ-like: translate a Text-to-SQL
+/// benchmark. Gold SQL and databases stay English, as in the real corpora.
+pub fn translate(base: &SqlBenchmark, lang: Language) -> SqlBenchmark {
+    let mut out = base.clone();
+    out.name = format!("{}-{}", base.name, lang.name().to_lowercase());
+    out.family = Family::Multilingual;
+    out.language = lang;
+    for ex in out.train.iter_mut().chain(out.dev.iter_mut()) {
+        ex.question.text = translate_question(&ex.question.text, lang);
+        ex.question.language = lang;
+    }
+    for d in out.dialogues.iter_mut() {
+        for (q, _) in d.turns.iter_mut() {
+            q.text = translate_question(&q.text, lang);
+            q.language = lang;
+        }
+    }
+    out
+}
+
+/// CNvBench-like: translate a Text-to-Vis benchmark.
+pub fn translate_vis(base: &VisBenchmark, lang: Language) -> VisBenchmark {
+    let mut out = base.clone();
+    out.name = format!("{}-{}", base.name, lang.name().to_lowercase());
+    out.family = Family::Multilingual;
+    out.language = lang;
+    for ex in out.train.iter_mut().chain(out.dev.iter_mut()) {
+        ex.question.text = translate_question(&ex.question.text, lang);
+        ex.question.language = lang;
+    }
+    for d in out.dialogues.iter_mut() {
+        for (q, _) in d.turns.iter_mut() {
+            q.text = translate_question(&q.text, lang);
+            q.language = lang;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spider_like::{self, SpiderConfig};
+
+    #[test]
+    fn translation_is_deterministic_and_total() {
+        let q = "List the names of singers with age greater than 30.";
+        for lang in [
+            Language::Chinese,
+            Language::Vietnamese,
+            Language::Portuguese,
+            Language::Russian,
+        ] {
+            let a = translate_question(q, lang);
+            let b = translate_question(q, lang);
+            assert_eq!(a, b);
+            assert_ne!(a, q);
+            assert!(a.contains("30"), "numbers must survive: {a}");
+        }
+    }
+
+    #[test]
+    fn quoted_values_survive_translation() {
+        let q = "Show products whose category is 'Tools' and price above 5.";
+        let t = translate_question(q, Language::Chinese);
+        assert!(t.contains("'Tools'"), "{t}");
+    }
+
+    #[test]
+    fn english_is_identity_modulo_tokenization() {
+        let q = "list the names of singers";
+        assert_eq!(translate_question(q, Language::English), q);
+    }
+
+    #[test]
+    fn same_word_same_pseudo_word() {
+        let a = translate_question("singers singers", Language::Vietnamese);
+        let parts: Vec<&str> = a.split_whitespace().collect();
+        assert_eq!(parts[0], parts[1]);
+    }
+
+    #[test]
+    fn benchmark_translation_keeps_gold_sql() {
+        let base = spider_like::build(&SpiderConfig {
+            n_databases: 13,
+            n_dev_databases: 3,
+            n_train: 20,
+            n_dev: 20,
+            ..Default::default()
+        });
+        let zh = translate(&base, Language::Chinese);
+        assert_eq!(zh.language, Language::Chinese);
+        assert_eq!(zh.family, Family::Multilingual);
+        for (a, b) in base.dev.iter().zip(&zh.dev) {
+            assert_eq!(a.gold, b.gold);
+            assert_eq!(b.question.language, Language::Chinese);
+            assert_ne!(a.question.text, b.question.text);
+        }
+    }
+}

@@ -1,0 +1,468 @@
+//! Natural-language realization of sampled plans.
+//!
+//! The NL channel deliberately injects the phenomena the survey's datasets
+//! are built around:
+//!
+//! * **lexical variation** — verbs, aggregate words and comparison phrases
+//!   vary per example; with probability [`NlStyle::synonym_p`] a schema
+//!   mention is replaced by a synonym (base difficulty; the Spider-SYN
+//!   robustness variant pushes this to certainty);
+//! * **implicit columns** — with probability [`NlStyle::implicit_col_p`]
+//!   the explicit column mention is dropped (Spider-realistic);
+//! * **knowledge-grounded conditions** — with probability
+//!   [`NlStyle::knowledge_p`] a numeric comparison is verbalized as a vague
+//!   concept ("premium products") whose definition is emitted as BIRD-style
+//!   *evidence*; with the evidence withheld this becomes the Spider-DK
+//!   challenge.
+
+use crate::domains;
+use crate::sql_gen::{CondOp, CondSpec, Intent, OrderSpec, Plan, Task};
+use nli_core::{ColumnRef, Database, Prng, Value};
+use nli_nlu::SynonymLexicon;
+use nli_sql::{AggFunc, BinOp, SetOp};
+
+/// Style knobs for NL generation.
+#[derive(Debug, Clone, Copy)]
+pub struct NlStyle {
+    /// Probability a column/table mention is replaced with a synonym.
+    pub synonym_p: f64,
+    /// Probability an explicit column mention is dropped.
+    pub implicit_col_p: f64,
+    /// Probability a numeric comparison becomes a knowledge concept.
+    pub knowledge_p: f64,
+}
+
+impl NlStyle {
+    /// Standard benchmark style: mild synonym noise only.
+    pub fn plain() -> NlStyle {
+        NlStyle { synonym_p: 0.15, implicit_col_p: 0.0, knowledge_p: 0.0 }
+    }
+
+    /// Spider-SYN-like: every mention synonymized where possible.
+    pub fn synonym_heavy() -> NlStyle {
+        NlStyle { synonym_p: 1.0, implicit_col_p: 0.0, knowledge_p: 0.0 }
+    }
+
+    /// Spider-realistic-like: explicit column mentions removed.
+    pub fn realistic() -> NlStyle {
+        NlStyle { synonym_p: 0.15, implicit_col_p: 1.0, knowledge_p: 0.0 }
+    }
+
+    /// BIRD/Spider-DK-like: conditions verbalized as domain concepts.
+    pub fn knowledge() -> NlStyle {
+        NlStyle { synonym_p: 0.15, implicit_col_p: 0.0, knowledge_p: 0.85 }
+    }
+}
+
+/// A realized question plus any evidence sentences its concepts need.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Realized {
+    pub text: String,
+    pub evidence: Vec<String>,
+}
+
+struct Ctx<'a> {
+    db: &'a Database,
+    style: NlStyle,
+    lex: SynonymLexicon,
+    evidence: Vec<String>,
+}
+
+impl<'a> Ctx<'a> {
+    /// Display phrase of a column, possibly synonymized.
+    fn col(&self, r: ColumnRef, rng: &mut Prng) -> String {
+        let display = self.db.schema.column(r).display.clone();
+        self.maybe_synonymize(&display, rng)
+    }
+
+    fn maybe_synonymize(&self, phrase: &str, rng: &mut Prng) -> String {
+        if !rng.chance(self.style.synonym_p) {
+            return phrase.to_string();
+        }
+        // Replace the first word that has synonyms.
+        let words: Vec<&str> = phrase.split_whitespace().collect();
+        for (i, w) in words.iter().enumerate() {
+            let syns = self.lex.synonyms_of(w);
+            if !syns.is_empty() {
+                let pick = syns[rng.below(syns.len())].to_string();
+                let mut out = words.clone();
+                let owned = pick;
+                out[i] = &owned;
+                return out.join(" ");
+            }
+        }
+        phrase.to_string()
+    }
+
+    /// Singular/plural display of a table (from the domain template when
+    /// available), possibly synonymized.
+    fn table_forms(&self, t: usize, rng: &mut Prng) -> (String, String) {
+        let name = &self.db.schema.tables[t].name;
+        let (sing, plur) = match domains::domain(&self.db.schema.domain)
+            .and_then(|d| d.tables.iter().find(|tt| tt.name == *name))
+        {
+            Some(tt) => (tt.singular.to_string(), tt.plural.to_string()),
+            None => {
+                let s = self.db.schema.tables[t].display.clone();
+                let p = format!("{s}s");
+                (s, p)
+            }
+        };
+        (self.maybe_synonymize(&sing, rng), self.maybe_synonymize(&plur, rng))
+    }
+}
+
+fn value_phrase(v: &Value) -> String {
+    match v {
+        Value::Text(s) => format!("'{s}'"),
+        Value::Date(d) => format!("'{d}'"),
+        other => other.canonical(),
+    }
+}
+
+/// Verbalize one condition (may add evidence).
+fn cond_phrase(ctx: &mut Ctx, c: &CondSpec, rng: &mut Prng) -> String {
+    let col = ctx.col(c.col, rng);
+    match &c.op {
+        CondOp::Cmp(op) => {
+            let is_date = matches!(c.value, Value::Date(_));
+            let numeric = matches!(c.value, Value::Int(_) | Value::Float(_));
+            // knowledge-grounded verbalization for numeric thresholds
+            if numeric && ctx.style.knowledge_p > 0.0 && rng.chance(ctx.style.knowledge_p) {
+                let (concept, dir) = match op {
+                    BinOp::Gt | BinOp::Ge => ("high", "greater than"),
+                    BinOp::Lt | BinOp::Le => ("low", "less than"),
+                    _ => ("notable", "equal to"),
+                };
+                ctx.evidence.push(format!(
+                    "a {concept} {col} means {col} {dir} {}",
+                    value_phrase(&c.value)
+                ));
+                return format!("with a {concept} {col}");
+            }
+            let v = value_phrase(&c.value);
+            match op {
+                BinOp::Gt if is_date => format!("with {col} after {v}"),
+                BinOp::Lt if is_date => format!("with {col} before {v}"),
+                BinOp::Ge if is_date => format!("with {col} on or after {v}"),
+                BinOp::Le if is_date => format!("with {col} on or before {v}"),
+                BinOp::Gt => {
+                    let w = *rng.pick(&["greater than", "more than", "above"]);
+                    format!("with {col} {w} {v}")
+                }
+                BinOp::Lt => {
+                    let w = *rng.pick(&["less than", "below", "under"]);
+                    format!("with {col} {w} {v}")
+                }
+                BinOp::Ge => format!("with {col} at least {v}"),
+                BinOp::Le => format!("with {col} at most {v}"),
+                BinOp::Eq => {
+                    let w = *rng.pick(&["is", "equal to"]);
+                    format!("whose {col} {w} {v}")
+                }
+                BinOp::Neq => format!("whose {col} is not {v}"),
+                _ => format!("with {col} {} {v}", op.symbol()),
+            }
+        }
+        CondOp::Between => format!(
+            "with {col} between {} and {}",
+            value_phrase(&c.value),
+            value_phrase(c.value2.as_ref().expect("between bound"))
+        ),
+        CondOp::Contains => format!("whose {col} contains {}", value_phrase(&c.value)),
+        CondOp::EqExtreme(f) => match f {
+            AggFunc::Max => format!("with the maximum {col}"),
+            _ => format!("with the minimum {col}"),
+        },
+    }
+}
+
+fn conds_suffix(ctx: &mut Ctx, conds: &[CondSpec], rng: &mut Prng) -> String {
+    if conds.is_empty() {
+        return String::new();
+    }
+    let parts: Vec<String> = conds.iter().map(|c| cond_phrase(ctx, c, rng)).collect();
+    format!(" {}", parts.join(" and "))
+}
+
+#[allow(clippy::explicit_auto_deref)] // T would infer as `str` without the deref
+fn agg_word(f: AggFunc, rng: &mut Prng) -> &'static str {
+    match f {
+        AggFunc::Sum => *rng.pick(&["total", "sum of the"]),
+        AggFunc::Avg => *rng.pick(&["average", "mean"]),
+        AggFunc::Max => *rng.pick(&["maximum", "highest"]),
+        AggFunc::Min => *rng.pick(&["minimum", "lowest"]),
+        AggFunc::Count => "number of",
+    }
+}
+
+fn order_suffix(ctx: &mut Ctx, o: &OrderSpec, limit: Option<u64>, rng: &mut Prng) -> String {
+    let dir = if o.desc { "descending" } else { "ascending" };
+    let by = match o.col {
+        Some(r) => ctx.col(r, rng),
+        None => "the result".to_string(),
+    };
+    match limit {
+        Some(k) => format!(", sorted by {by} in {dir} order, and show only the top {k}"),
+        None => format!(", sorted by {by} in {dir} order"),
+    }
+}
+
+/// Verbalize a single condition (public entry point for the multi-turn
+/// generators, which phrase follow-up turns around one new condition).
+pub fn condition_phrase(db: &Database, c: &CondSpec, style: NlStyle, rng: &mut Prng) -> Realized {
+    let mut ctx = Ctx { db, style, lex: SynonymLexicon::default_english(), evidence: Vec::new() };
+    let text = cond_phrase(&mut ctx, c, rng);
+    Realized { text, evidence: ctx.evidence }
+}
+
+/// Display phrase of a column (public for the vis/multi-turn generators).
+pub fn column_phrase(db: &Database, r: ColumnRef, style: NlStyle, rng: &mut Prng) -> String {
+    let ctx = Ctx { db, style, lex: SynonymLexicon::default_english(), evidence: Vec::new() };
+    ctx.col(r, rng)
+}
+
+/// Singular and plural display of a table (public for the vis/multi-turn
+/// generators).
+pub fn table_phrase(db: &Database, t: usize, style: NlStyle, rng: &mut Prng) -> (String, String) {
+    let ctx = Ctx { db, style, lex: SynonymLexicon::default_english(), evidence: Vec::new() };
+    ctx.table_forms(t, rng)
+}
+
+/// Realize a plan into a question.
+pub fn realize(db: &Database, plan: &Plan, style: NlStyle, rng: &mut Prng) -> Realized {
+    let mut ctx = Ctx { db, style, lex: SynonymLexicon::default_english(), evidence: Vec::new() };
+    let text = match plan {
+        Plan::Simple(intent) => realize_simple(&mut ctx, intent, rng),
+        Plan::Nested { outer, select_col, child, negated, inner_cond, .. } => {
+            let (_, outer_p) = ctx.table_forms(*outer, rng);
+            let (child_s, _) = ctx.table_forms(*child, rng);
+            let col = ctx.col(*select_col, rng);
+            let inner = match inner_cond {
+                Some(c) => format!(" {}", cond_phrase(&mut ctx, c, rng)),
+                None => String::new(),
+            };
+            if *negated {
+                format!("List the {col} of {outer_p} that have no {child_s}{inner}.")
+            } else {
+                format!("List the {col} of {outer_p} that have at least one {child_s}{inner}.")
+            }
+        }
+        Plan::Compound { table, col, left, right, op } => {
+            let (_, plur) = ctx.table_forms(*table, rng);
+            let col = ctx.col(*col, rng);
+            let a = cond_phrase(&mut ctx, left, rng);
+            let b = cond_phrase(&mut ctx, right, rng);
+            match op {
+                SetOp::Union => format!("List the {col} of {plur} {a} or {b}."),
+                SetOp::Intersect => format!("List the {col} of {plur} {a} and also {b}."),
+                SetOp::Except => format!("List the {col} of {plur} {a} but not {b}."),
+            }
+        }
+    };
+    Realized { text, evidence: ctx.evidence }
+}
+
+fn realize_simple(ctx: &mut Ctx, intent: &Intent, rng: &mut Prng) -> String {
+    let (main_s, main_p) = ctx.table_forms(intent.main, rng);
+    let conds = conds_suffix(ctx, &intent.conds, rng);
+    let order = match &intent.order {
+        Some(o) => order_suffix(ctx, o, intent.limit, rng),
+        None => String::new(),
+    };
+    // Parent-owned columns get a "<parent> <column>" phrase so join intent
+    // is recoverable from the words.
+    let colp = |ctx: &mut Ctx, r: ColumnRef, rng: &mut Prng| -> String {
+        let base = ctx.col(r, rng);
+        match &intent.join {
+            Some(j) if r.table == j.parent => {
+                let (ps, _) = ctx.table_forms(j.parent, rng);
+                format!("{ps} {base}")
+            }
+            _ => base,
+        }
+    };
+    match &intent.task {
+        Task::Columns(cols) => {
+            let verb = *rng.pick(&["List", "Show", "Give"]);
+            let the_cols: Vec<String> = cols.iter().map(|r| colp(ctx, *r, rng)).collect();
+            let distinct_w = if intent.distinct { "different " } else { "" };
+            if ctx.style.implicit_col_p > 0.0
+                && cols.len() == 1
+                && rng.chance(ctx.style.implicit_col_p)
+            {
+                // Spider-realistic: no explicit column mention.
+                format!("{verb} the {distinct_w}{main_p}{conds}{order}.")
+            } else {
+                format!(
+                    "{verb} the {distinct_w}{} of {main_p}{conds}{order}.",
+                    the_cols.join(" and ")
+                )
+            }
+        }
+        Task::Agg { func: AggFunc::Count, arg: None } => {
+            match rng.below(3) {
+                0 => format!("How many {main_p}{conds} are there?"),
+                1 => format!("Count the {main_p}{conds}."),
+                _ => format!("What is the number of {main_p}{conds}?"),
+            }
+        }
+        Task::Agg { func, arg } => {
+            let word = agg_word(*func, rng);
+            let arg_phrase = match arg {
+                Some(r) => colp(ctx, *r, rng),
+                None => main_s.clone(),
+            };
+            match rng.below(2) {
+                0 => format!("What is the {word} {arg_phrase} of {main_p}{conds}?"),
+                _ => format!("Find the {word} {arg_phrase} of {main_p}{conds}."),
+            }
+        }
+        Task::GroupAgg { key, func, arg, having_min_count } => {
+            let keyp = colp(ctx, *key, rng);
+            let agg_part = match (func, arg) {
+                (AggFunc::Count, None) => format!("how many {main_p} are there"),
+                (f, Some(r)) => {
+                    let word = agg_word(*f, rng);
+                    let ap = colp(ctx, *r, rng);
+                    format!("what is the {word} {ap} of {main_p}")
+                }
+                (f, None) => format!("what is the {} of {main_p}", agg_word(*f, rng)),
+            };
+            let having = match having_min_count {
+                Some(n) => format!(", keeping only groups with more than {n} {main_p}"),
+                None => String::new(),
+            };
+            format!("For each {keyp}, {agg_part}{conds}{having}{order}?")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domains::all_domains;
+    use crate::schema_gen::{generate_database, DbGenConfig};
+    use crate::sql_gen::{sample_plan, SqlProfile};
+
+    fn db(seed: u64) -> Database {
+        let d = all_domains()[seed as usize % all_domains().len()];
+        generate_database(d, 0, &DbGenConfig::default(), &mut Prng::new(seed))
+    }
+
+    #[test]
+    fn every_plan_realizes_to_nonempty_text() {
+        for seed in 0..120u64 {
+            let db = db(seed % 10);
+            let mut rng = Prng::new(40_000 + seed);
+            if let Some(plan) = sample_plan(&db, &SqlProfile::spider(), &mut rng) {
+                let r = realize(&db, &plan, NlStyle::plain(), &mut rng);
+                assert!(r.text.len() > 10, "{:?} -> {}", plan, r.text);
+                assert!(r.text.ends_with('.') || r.text.ends_with('?'), "{}", r.text);
+            }
+        }
+    }
+
+    #[test]
+    fn realization_is_deterministic() {
+        let db = db(2);
+        let mut r1 = Prng::new(9);
+        let mut r2 = Prng::new(9);
+        let p1 = sample_plan(&db, &SqlProfile::spider(), &mut r1).unwrap();
+        let p2 = sample_plan(&db, &SqlProfile::spider(), &mut r2).unwrap();
+        assert_eq!(
+            realize(&db, &p1, NlStyle::plain(), &mut r1),
+            realize(&db, &p2, NlStyle::plain(), &mut r2)
+        );
+    }
+
+    #[test]
+    fn knowledge_style_produces_evidence() {
+        let mut produced = 0;
+        for seed in 0..200u64 {
+            let db = db(seed % 6);
+            let mut rng = Prng::new(60_000 + seed);
+            if let Some(plan) = sample_plan(&db, &SqlProfile::spider(), &mut rng) {
+                let r = realize(&db, &plan, NlStyle::knowledge(), &mut rng);
+                if !r.evidence.is_empty() {
+                    produced += 1;
+                    assert!(
+                        r.text.contains("high") || r.text.contains("low") || r.text.contains("notable"),
+                        "{}",
+                        r.text
+                    );
+                    assert!(r.evidence[0].contains("means"));
+                }
+            }
+        }
+        assert!(produced > 20, "knowledge evidence produced only {produced} times");
+    }
+
+    #[test]
+    fn plain_style_never_produces_evidence() {
+        for seed in 0..60u64 {
+            let db = db(seed % 5);
+            let mut rng = Prng::new(70_000 + seed);
+            if let Some(plan) = sample_plan(&db, &SqlProfile::spider(), &mut rng) {
+                let r = realize(&db, &plan, NlStyle::plain(), &mut rng);
+                assert!(r.evidence.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn synonym_heavy_changes_surface_forms() {
+        // with synonym_p = 1.0 at least some questions must differ from the
+        // plain realization of the same plan
+        let mut differs = 0;
+        let mut total = 0;
+        for seed in 0..60u64 {
+            let db = db(seed % 5);
+            let mut rng = Prng::new(80_000 + seed);
+            if let Some(plan) = sample_plan(&db, &SqlProfile::spider(), &mut rng) {
+                let mut ra = rng.fork(1);
+                let mut rb = rng.fork(1);
+                // fork with the same salt from clones so word-choice draws align
+                let plain = realize(&db, &plan, NlStyle { synonym_p: 0.0, ..NlStyle::plain() }, &mut ra);
+                let syn = realize(&db, &plan, NlStyle::synonym_heavy(), &mut rb);
+                total += 1;
+                if plain.text != syn.text {
+                    differs += 1;
+                }
+            }
+        }
+        assert!(differs * 3 > total, "synonyms changed only {differs}/{total} questions");
+    }
+
+    #[test]
+    fn realistic_style_drops_column_mentions() {
+        // craft a plain Columns intent and verify the column word is absent
+        let db = db(0); // retail
+        for seed in 0..200u64 {
+            let mut rng = Prng::new(90_000 + seed);
+            if let Some(Plan::Simple(intent)) =
+                sample_plan(&db, &SqlProfile::spider(), &mut rng)
+            {
+                if let Task::Columns(cols) = &intent.task {
+                    if cols.len() == 1 && intent.join.is_none() {
+                        let col_display = db.schema.column(cols[0]).display.clone();
+                        let mut rr = rng.fork(3);
+                        let r = realize(
+                            &db,
+                            &Plan::Simple(intent.clone()),
+                            NlStyle::realistic(),
+                            &mut rr,
+                        );
+                        assert!(
+                            !r.text.contains(&format!("the {col_display} of")),
+                            "column mention survived: {}",
+                            r.text
+                        );
+                        return;
+                    }
+                }
+            }
+        }
+        panic!("no suitable intent sampled");
+    }
+}

@@ -1,0 +1,412 @@
+//! nvBench-like Text-to-Vis benchmark, synthesized from the cross-domain
+//! SQL substrate the way Luo et al. (2021) synthesized nvBench from Spider.
+//!
+//! Each example pairs a chart request in natural language with a gold VQL
+//! program. Chart shapes follow the nvBench distribution: grouped bar/pie
+//! charts from aggregation queries, scatter plots from numeric column
+//! pairs, and line charts over temporally binned date columns.
+
+use crate::builder::generate_databases;
+use crate::nl_gen::{column_phrase, condition_phrase, NlStyle};
+use crate::schema_gen::DbGenConfig;
+use crate::sql_gen::{sample_plan, CondSpec, Plan, SqlProfile, Task};
+use crate::types::{Family, VisBenchmark, VisExample};
+use nli_core::{ColumnRef, Database, DataType, ExecutionEngine, Language, NlQuestion, Prng};
+use nli_sql::{ColName, Expr, Query, Select, SelectItem};
+use nli_vql::{BinUnit, ChartType, VisEngine, VisQuery};
+
+/// Configuration for the nvBench-like builder.
+#[derive(Debug, Clone, Copy)]
+pub struct NvBenchConfig {
+    pub n_databases: usize,
+    pub n_dev_databases: usize,
+    pub n_train: usize,
+    pub n_dev: usize,
+    pub seed: u64,
+}
+
+impl Default for NvBenchConfig {
+    fn default() -> Self {
+        // Scaled from nvBench's 25,750 pairs over 153 databases.
+        NvBenchConfig {
+            n_databases: 26,
+            n_dev_databases: 6,
+            n_train: 200,
+            n_dev: 100,
+            seed: 0x5EED_0005,
+        }
+    }
+}
+
+/// A vis intent: chart + data plan (+ optional temporal bin).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VisPlan {
+    pub chart: ChartType,
+    pub kind: VisKind,
+    pub cond: Option<CondSpec>,
+}
+
+/// The data shape behind the chart.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VisKind {
+    /// `AGG(y) GROUP BY key` → bar/pie.
+    Grouped { table: usize, key: ColumnRef, func: nli_sql::AggFunc, arg: Option<ColumnRef> },
+    /// Two numeric columns → scatter.
+    Pair { table: usize, x: ColumnRef, y: ColumnRef },
+    /// Date column binned + numeric column → line/bar over time.
+    Temporal { table: usize, date: ColumnRef, y: ColumnRef, unit: BinUnit },
+}
+
+/// Sample a vis plan over `db`.
+pub fn sample_vis_plan(db: &Database, rng: &mut Prng) -> Option<VisPlan> {
+    for _attempt in 0..10 {
+        let mut try_rng = rng.fork(_attempt as u64);
+        match try_rng.below(3) {
+            0 => {
+                // grouped: reuse the SQL sampler's GroupAgg machinery
+                let profile = SqlProfile {
+                    p_group: 1.0,
+                    p_join: 0.0,
+                    p_nested: 0.0,
+                    p_compound: 0.0,
+                    p_order: 0.0,
+                    p_having: 0.0,
+                    ..SqlProfile::spider()
+                };
+                if let Some(Plan::Simple(intent)) = sample_plan(db, &profile, &mut try_rng) {
+                    if let Task::GroupAgg { key, func, arg, .. } = intent.task {
+                        let chart = if try_rng.chance(0.3) { ChartType::Pie } else { ChartType::Bar };
+                        return Some(VisPlan {
+                            chart,
+                            kind: VisKind::Grouped { table: intent.main, key, func, arg },
+                            cond: intent.conds.first().cloned(),
+                        });
+                    }
+                }
+            }
+            1 => {
+                // scatter: two distinct numeric columns of one table
+                if let Some((t, x, y)) = pick_numeric_pair(db, &mut try_rng) {
+                    return Some(VisPlan {
+                        chart: ChartType::Scatter,
+                        kind: VisKind::Pair { table: t, x, y },
+                        cond: None,
+                    });
+                }
+            }
+            _ => {
+                // temporal: date + numeric column
+                if let Some((t, date, y)) = pick_temporal_pair(db, &mut try_rng) {
+                    let unit = *try_rng.pick(&[BinUnit::Year, BinUnit::Quarter, BinUnit::Month]);
+                    let chart = if try_rng.chance(0.7) { ChartType::Line } else { ChartType::Bar };
+                    return Some(VisPlan {
+                        chart,
+                        kind: VisKind::Temporal { table: t, date, y, unit },
+                        cond: None,
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
+fn numeric_cols(db: &Database, t: usize) -> Vec<ColumnRef> {
+    db.schema.tables[t]
+        .columns
+        .iter()
+        .enumerate()
+        .filter(|(ci, c)| {
+            c.dtype.is_numeric()
+                && !c.primary_key
+                && !db.schema.foreign_keys.iter().any(|fk| {
+                    fk.from == ColumnRef { table: t, column: *ci }
+                })
+        })
+        .map(|(ci, _)| ColumnRef { table: t, column: ci })
+        .collect()
+}
+
+fn pick_numeric_pair(db: &Database, rng: &mut Prng) -> Option<(usize, ColumnRef, ColumnRef)> {
+    let mut candidates = Vec::new();
+    for t in 0..db.schema.tables.len() {
+        if db.rows(t).is_empty() {
+            continue;
+        }
+        let nums = numeric_cols(db, t);
+        if nums.len() >= 2 {
+            candidates.push((t, nums));
+        }
+    }
+    if candidates.is_empty() {
+        return None;
+    }
+    let (t, nums) = candidates[rng.below(candidates.len())].clone();
+    let i = rng.below(nums.len());
+    let mut j = rng.below(nums.len());
+    if i == j {
+        j = (j + 1) % nums.len();
+    }
+    Some((t, nums[i], nums[j]))
+}
+
+fn pick_temporal_pair(db: &Database, rng: &mut Prng) -> Option<(usize, ColumnRef, ColumnRef)> {
+    let mut candidates = Vec::new();
+    for t in 0..db.schema.tables.len() {
+        if db.rows(t).is_empty() {
+            continue;
+        }
+        let dates: Vec<ColumnRef> = db.schema.tables[t]
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.dtype == DataType::Date)
+            .map(|(ci, _)| ColumnRef { table: t, column: ci })
+            .collect();
+        let nums = numeric_cols(db, t);
+        if !dates.is_empty() && !nums.is_empty() {
+            candidates.push((t, dates, nums));
+        }
+    }
+    if candidates.is_empty() {
+        return None;
+    }
+    let (t, dates, nums) = candidates[rng.below(candidates.len())].clone();
+    Some((t, dates[rng.below(dates.len())], nums[rng.below(nums.len())]))
+}
+
+/// Lower a vis plan to gold VQL.
+pub fn vis_plan_to_vql(db: &Database, plan: &VisPlan) -> VisQuery {
+    let schema = &db.schema;
+    let col_name = |r: ColumnRef| ColName::new(&schema.column(r).name);
+    let (query, bin): (Query, Option<(ColName, BinUnit)>) = match &plan.kind {
+        VisKind::Grouped { table, key, func, arg } => {
+            let name = &schema.tables[*table].name;
+            let key_expr = Expr::Column(col_name(*key));
+            let agg = match arg {
+                Some(r) => Expr::agg(*func, Expr::Column(col_name(*r))),
+                None => Expr::count_star(),
+            };
+            let mut s = Select::simple(
+                name,
+                vec![SelectItem::plain(key_expr.clone()), SelectItem::plain(agg)],
+            );
+            s.group_by = vec![key_expr];
+            (Query::single(s), None)
+        }
+        VisKind::Pair { table, x, y } => {
+            let name = &schema.tables[*table].name;
+            let s = Select::simple(
+                name,
+                vec![
+                    SelectItem::plain(Expr::Column(col_name(*x))),
+                    SelectItem::plain(Expr::Column(col_name(*y))),
+                ],
+            );
+            (Query::single(s), None)
+        }
+        VisKind::Temporal { table, date, y, unit } => {
+            let name = &schema.tables[*table].name;
+            let s = Select::simple(
+                name,
+                vec![
+                    SelectItem::plain(Expr::Column(col_name(*date))),
+                    SelectItem::plain(Expr::Column(col_name(*y))),
+                ],
+            );
+            (Query::single(s), Some((col_name(*date), *unit)))
+        }
+    };
+    let mut query = query;
+    if let Some(c) = &plan.cond {
+        let table_name = &schema.tables[c.col.table].name;
+        query.select.where_clause =
+            Some(crate::sql_gen::cond_to_expr(db, c, table_name));
+    }
+    let mut v = VisQuery::new(plan.chart, query);
+    if let Some((col, unit)) = bin {
+        v = v.with_bin(col, unit);
+    }
+    v
+}
+
+/// Realize a vis plan into a chart request.
+pub fn realize_vis(db: &Database, plan: &VisPlan, style: NlStyle, rng: &mut Prng) -> NlQuestion {
+    let verb = *rng.pick(&["Show", "Draw", "Plot"]);
+    let chart_word = match plan.chart {
+        ChartType::Bar => "bar chart",
+        ChartType::Pie => "pie chart",
+        ChartType::Line => "line chart",
+        ChartType::Scatter => "scatter chart",
+    };
+    let cond_suffix = match &plan.cond {
+        Some(c) => {
+            let r = condition_phrase(db, c, style, rng);
+            format!(" {}", r.text)
+        }
+        None => String::new(),
+    };
+    let text = match &plan.kind {
+        VisKind::Grouped { table, key, func, arg } => {
+            let (_, plural) = crate::nl_gen::table_phrase(db, *table, style, rng);
+            let keyp = column_phrase(db, *key, style, rng);
+            let ypart = match (func, arg) {
+                (nli_sql::AggFunc::Count, None) => format!("the number of {plural}"),
+                (f, Some(r)) => {
+                    let word = match f {
+                        nli_sql::AggFunc::Sum => "total",
+                        nli_sql::AggFunc::Avg => "average",
+                        nli_sql::AggFunc::Max => "maximum",
+                        nli_sql::AggFunc::Min => "minimum",
+                        nli_sql::AggFunc::Count => "count of",
+                    };
+                    format!("the {word} {}", column_phrase(db, *r, style, rng))
+                }
+                (f, None) => format!("the {} of {plural}", f.name().to_lowercase()),
+            };
+            format!("{verb} a {chart_word} of {ypart} for each {keyp}{cond_suffix}.")
+        }
+        VisKind::Pair { table, x, y } => {
+            let (_, plural) = crate::nl_gen::table_phrase(db, *table, style, rng);
+            let xp = column_phrase(db, *x, style, rng);
+            let yp = column_phrase(db, *y, style, rng);
+            format!("{verb} a {chart_word} of {yp} against {xp} for {plural}{cond_suffix}.")
+        }
+        VisKind::Temporal { table, date, y, unit } => {
+            let (_, plural) = crate::nl_gen::table_phrase(db, *table, style, rng);
+            let dp = column_phrase(db, *date, style, rng);
+            let yp = column_phrase(db, *y, style, rng);
+            let unit_word = match unit {
+                BinUnit::Year => "year",
+                BinUnit::Quarter => "quarter",
+                BinUnit::Month => "month",
+                BinUnit::Weekday => "weekday",
+            };
+            format!(
+                "{verb} a {chart_word} of {yp} of {plural} over {dp} binned by {unit_word}{cond_suffix}."
+            )
+        }
+    };
+    NlQuestion::new(text)
+}
+
+fn generate_vis_examples(
+    databases: &[Database],
+    db_range: std::ops::Range<usize>,
+    n: usize,
+    rng: &mut Prng,
+) -> Vec<VisExample> {
+    let engine = VisEngine::new();
+    let mut out = Vec::with_capacity(n);
+    let width = db_range.len().max(1);
+    for i in 0..n {
+        let mut ex_rng = rng.fork(i as u64);
+        let db_idx = db_range.start + ex_rng.below(width);
+        let db = &databases[db_idx];
+        for attempt in 0..10u64 {
+            let mut try_rng = ex_rng.fork(attempt);
+            let Some(plan) = sample_vis_plan(db, &mut try_rng) else { continue };
+            let gold = vis_plan_to_vql(db, &plan);
+            if engine.execute(&gold, db).is_err() {
+                continue;
+            }
+            let question = realize_vis(db, &plan, NlStyle::plain(), &mut try_rng);
+            out.push(VisExample { db: db_idx, question, gold });
+            break;
+        }
+    }
+    out
+}
+
+/// Build the nvBench-like benchmark.
+pub fn build(cfg: &NvBenchConfig) -> VisBenchmark {
+    let mut rng = Prng::new(cfg.seed);
+    let db_cfg = DbGenConfig { min_tables: 2, optional_col_p: 0.8, rows: (15, 40) };
+    let databases = generate_databases(cfg.n_databases, &db_cfg, &mut rng);
+    let train_dbs = cfg.n_databases - cfg.n_dev_databases.min(cfg.n_databases);
+    let train = generate_vis_examples(&databases, 0..train_dbs.max(1), cfg.n_train, &mut rng);
+    let dev =
+        generate_vis_examples(&databases, train_dbs..cfg.n_databases, cfg.n_dev, &mut rng);
+    VisBenchmark {
+        name: "nvbench-like".into(),
+        family: Family::CrossDomain,
+        language: Language::English,
+        databases,
+        train,
+        dev,
+        dialogues: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> NvBenchConfig {
+        NvBenchConfig {
+            n_databases: 13,
+            n_dev_databases: 3,
+            n_train: 60,
+            n_dev: 40,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn gold_vql_renders_charts() {
+        let b = build(&small());
+        assert!(b.dev.len() >= 35, "dev size {}", b.dev.len());
+        let engine = VisEngine::new();
+        for ex in &b.dev {
+            let chart = engine.execute(&ex.gold, &b.databases[ex.db]).unwrap();
+            assert_eq!(chart.chart_type, ex.gold.chart);
+        }
+    }
+
+    #[test]
+    fn chart_types_are_diverse() {
+        let b = build(&NvBenchConfig { n_train: 150, ..small() });
+        let mut seen = std::collections::HashSet::new();
+        for ex in b.train.iter().chain(&b.dev) {
+            seen.insert(ex.gold.chart);
+        }
+        assert!(seen.len() >= 3, "chart types seen: {seen:?}");
+    }
+
+    #[test]
+    fn questions_mention_the_chart_type() {
+        let b = build(&small());
+        for ex in &b.dev {
+            assert!(ex.question.text.contains("chart"), "{}", ex.question.text);
+        }
+    }
+
+    #[test]
+    fn temporal_plans_carry_bins() {
+        let b = build(&NvBenchConfig { n_train: 150, ..small() });
+        let binned = b
+            .train
+            .iter()
+            .chain(&b.dev)
+            .filter(|e| e.gold.bin.is_some())
+            .count();
+        assert!(binned > 5, "only {binned} binned examples");
+    }
+
+    #[test]
+    fn dev_databases_unseen_in_train() {
+        let b = build(&small());
+        assert!(b.train.iter().all(|e| e.db < 10));
+        assert!(b.dev.iter().all(|e| e.db >= 10));
+    }
+
+    #[test]
+    fn vql_roundtrips_through_parser() {
+        let b = build(&small());
+        for ex in b.dev.iter().take(20) {
+            let text = ex.gold.to_string();
+            let parsed = nli_vql::parse_vis(&text).unwrap();
+            assert_eq!(parsed, ex.gold);
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Robustness variants of the Spider-like benchmark, mirroring the
+//! perturbation families of Spider-SYN, Spider-realistic, and Spider-DK.
+
+use crate::nl_gen::NlStyle;
+use crate::spider_like::{self, SpiderConfig};
+use crate::types::{Family, SqlBenchmark};
+use nli_core::Prng;
+use nli_nlu::{tokenize, SynonymLexicon, TokenKind};
+
+/// Spider-SYN-like: post-hoc synonym substitution on dev questions. Words
+/// that name schema elements are swapped for lexicon synonyms with
+/// probability `p`, which removes the exact-overlap signal schema linkers
+/// lean on — the attack Gan et al. (2021) formalized.
+pub fn synonymize(base: &SqlBenchmark, p: f64, seed: u64) -> SqlBenchmark {
+    let lex = SynonymLexicon::default_english();
+    let mut rng = Prng::new(seed);
+    let mut out = base.clone();
+    out.name = format!("{}-syn", base.name);
+    out.family = Family::Robustness;
+    for ex in out.dev.iter_mut() {
+        let db = &base.databases[ex.db];
+        // words that appear in any schema identifier are substitution targets
+        let schema_words: std::collections::HashSet<String> = db
+            .schema
+            .tables
+            .iter()
+            .flat_map(|t| {
+                t.columns
+                    .iter()
+                    .flat_map(|c| c.display.split_whitespace())
+                    .chain(t.display.split_whitespace())
+                    .map(|w| w.to_lowercase())
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let mut new_words = Vec::new();
+        for tok in tokenize(&ex.question.text) {
+            if tok.kind == TokenKind::Quoted {
+                new_words.push(format!("'{}'", tok.text));
+                continue;
+            }
+            let stemmed = nli_nlu::stem(&tok.text);
+            let is_schema_word = schema_words.contains(&tok.text)
+                || schema_words.iter().any(|w| nli_nlu::stem(w) == stemmed);
+            if is_schema_word && rng.chance(p) {
+                let syns = lex.synonyms_of(&tok.text);
+                if !syns.is_empty() {
+                    new_words.push(syns[rng.below(syns.len())].to_string());
+                    continue;
+                }
+                // try the stemmed form ("singers" -> synonyms of "singer")
+                let syns = lex.synonyms_of(&stemmed);
+                if !syns.is_empty() {
+                    new_words.push(syns[rng.below(syns.len())].to_string());
+                    continue;
+                }
+            }
+            new_words.push(tok.text);
+        }
+        ex.question.text = new_words.join(" ");
+    }
+    out
+}
+
+/// Spider-realistic-like: rebuild the corpus with explicit column mentions
+/// removed from questions. Plans (and therefore gold SQL) are identical to
+/// the base configuration because the plan RNG stream is independent of the
+/// NL style.
+pub fn realistic(cfg: &SpiderConfig) -> SqlBenchmark {
+    let mut b = spider_like::build(&SpiderConfig { style: NlStyle::realistic(), ..*cfg });
+    b.name = "spider-like-realistic".into();
+    b.family = Family::Robustness;
+    b
+}
+
+/// Spider-DK-like: knowledge-requiring phrasing with the evidence
+/// *withheld*, so models must supply domain knowledge themselves.
+pub fn domain_knowledge(cfg: &SpiderConfig) -> SqlBenchmark {
+    let mut b = spider_like::build(&SpiderConfig { style: NlStyle::knowledge(), ..*cfg });
+    b.name = "spider-like-dk".into();
+    b.family = Family::Robustness;
+    for ex in b.train.iter_mut().chain(b.dev.iter_mut()) {
+        ex.question.evidence = None;
+    }
+    b
+}
+
+
+/// Spider-CG/Spider-SSP-like compositional-generalization split (§6.5 of
+/// the survey): the train split keeps only *atomic* queries (at most one
+/// optional feature: a condition, OR an ordering, OR a grouping — never a
+/// combination), while dev keeps only *compositions* (two or more features
+/// together). A model that merely memorizes whole shapes fails on dev;
+/// a model that composes known concepts generalizes.
+pub fn compositional_split(base: &SqlBenchmark) -> SqlBenchmark {
+    fn feature_count(q: &nli_sql::Query) -> usize {
+        let s = &q.select;
+        let mut n = 0;
+        if s.where_clause.is_some() {
+            n += 1;
+        }
+        if !s.order_by.is_empty() || s.limit.is_some() {
+            n += 1;
+        }
+        if !s.group_by.is_empty() {
+            n += 1;
+        }
+        if s.from.len() > 1 {
+            n += 1;
+        }
+        if q.compound.is_some() {
+            n += 1;
+        }
+        n
+    }
+    let mut out = base.clone();
+    out.name = format!("{}-cg", base.name);
+    out.family = Family::Robustness;
+    // atoms come from the full corpus (train + dev questions over train DBs)
+    out.train = base
+        .train
+        .iter()
+        .filter(|e| feature_count(&e.gold) <= 1)
+        .cloned()
+        .collect();
+    out.dev = base
+        .dev
+        .iter()
+        .filter(|e| feature_count(&e.gold) >= 2)
+        .cloned()
+        .collect();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_cfg() -> SpiderConfig {
+        SpiderConfig {
+            n_databases: 13,
+            n_dev_databases: 3,
+            n_train: 40,
+            n_dev: 40,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn synonymize_changes_questions_but_not_gold() {
+        let base = spider_like::build(&base_cfg());
+        let syn = synonymize(&base, 1.0, 42);
+        let mut changed = 0;
+        for (a, b) in base.dev.iter().zip(&syn.dev) {
+            assert_eq!(a.gold, b.gold, "gold SQL must be untouched");
+            if a.question.text != b.question.text {
+                changed += 1;
+            }
+        }
+        assert!(
+            changed * 2 >= base.dev.len(),
+            "only {changed}/{} questions perturbed",
+            base.dev.len()
+        );
+        assert_eq!(syn.family, Family::Robustness);
+    }
+
+    #[test]
+    fn synonymize_preserves_quoted_values() {
+        let base = spider_like::build(&base_cfg());
+        let syn = synonymize(&base, 1.0, 42);
+        for (a, b) in base.dev.iter().zip(&syn.dev) {
+            // every quoted literal of the original survives verbatim
+            for tok in tokenize(&a.question.text) {
+                if tok.kind == TokenKind::Quoted {
+                    assert!(
+                        b.question.text.contains(&tok.text),
+                        "literal '{}' lost in: {}",
+                        tok.text,
+                        b.question.text
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn realistic_keeps_gold_identical_to_base() {
+        let cfg = base_cfg();
+        let base = spider_like::build(&cfg);
+        let real = realistic(&cfg);
+        assert_eq!(base.dev.len(), real.dev.len());
+        for (a, b) in base.dev.iter().zip(&real.dev) {
+            assert_eq!(a.gold, b.gold);
+        }
+    }
+
+    #[test]
+    fn dk_strips_evidence() {
+        let dk = domain_knowledge(&base_cfg());
+        assert!(dk.dev.iter().all(|e| e.question.evidence.is_none()));
+        // ...but the questions still contain concept words somewhere
+        let conceptual = dk
+            .dev
+            .iter()
+            .filter(|e| e.question.text.contains("high") || e.question.text.contains("low"))
+            .count();
+        assert!(conceptual > 0, "no knowledge-phrased questions generated");
+    }
+
+    #[test]
+    fn compositional_split_separates_atoms_from_compositions() {
+        let base = spider_like::build(&SpiderConfig {
+            n_databases: 13,
+            n_dev_databases: 3,
+            n_train: 120,
+            n_dev: 120,
+            ..Default::default()
+        });
+        let cg = compositional_split(&base);
+        assert!(!cg.train.is_empty() && !cg.dev.is_empty());
+        for e in &cg.dev {
+            let s = &e.gold.select;
+            let features = usize::from(s.where_clause.is_some())
+                + usize::from(!s.order_by.is_empty() || s.limit.is_some())
+                + usize::from(!s.group_by.is_empty())
+                + usize::from(s.from.len() > 1)
+                + usize::from(e.gold.compound.is_some());
+            assert!(features >= 2, "dev example is atomic: {}", e.gold);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Database sampling: domain template → concrete populated [`Database`].
+//!
+//! Each call samples which tables and optional columns a database variant
+//! includes (giving the schema diversity cross-domain benchmarks need) and
+//! populates rows with referentially consistent values.
+
+use crate::domains::{ColTemplate, Domain, TableTemplate, ValueSpec};
+use crate::value_gen::value_for;
+use nli_core::{Column, Database, Prng, Schema, Table, Value};
+
+/// Generation knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct DbGenConfig {
+    /// Minimum tables to keep from the domain template (FK-closure may add
+    /// more).
+    pub min_tables: usize,
+    /// Probability an optional column is included.
+    pub optional_col_p: f64,
+    /// Rows per table (uniform in the range).
+    pub rows: (usize, usize),
+}
+
+impl Default for DbGenConfig {
+    fn default() -> Self {
+        DbGenConfig { min_tables: 2, optional_col_p: 0.7, rows: (12, 40) }
+    }
+}
+
+/// Sample one database from `domain`. `variant` disambiguates the database
+/// name (`retail_3`); equal `(domain, variant, seed)` replay identically.
+pub fn generate_database(
+    domain: &Domain,
+    variant: usize,
+    cfg: &DbGenConfig,
+    rng: &mut Prng,
+) -> Database {
+    // --- choose tables (always keep table 0; close over FK parents) -----
+    let n = domain.tables.len();
+    let want = cfg.min_tables.min(n).max(1);
+    let mut include = vec![false; n];
+    include[0] = true;
+    let mut chosen = 1;
+    // random inclusion until at least `want`, then coin-flip the rest
+    for slot in include.iter_mut().skip(1) {
+        if chosen < want || rng.chance(0.6) {
+            *slot = true;
+            chosen += 1;
+        }
+    }
+    // FK closure: a child needs its parents (parents precede children).
+    for i in (0..n).rev() {
+        if !include[i] {
+            continue;
+        }
+        for c in domain.tables[i].columns {
+            if let ValueSpec::Fk(parent) = c.spec {
+                let pi = domain
+                    .tables
+                    .iter()
+                    .position(|t| t.name == parent)
+                    .expect("domain templates are validated");
+                include[pi] = true;
+            }
+        }
+    }
+
+    let picked: Vec<&TableTemplate> = domain
+        .tables
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| include[*i])
+        .map(|(_, t)| t)
+        .collect();
+
+    // --- choose columns per table ---------------------------------------
+    let chosen_cols: Vec<Vec<&ColTemplate>> = picked
+        .iter()
+        .map(|t| {
+            t.columns
+                .iter()
+                .filter(|c| !c.optional || rng.chance(cfg.optional_col_p))
+                .collect()
+        })
+        .collect();
+
+    // --- build schema -----------------------------------------------------
+    let mut tables = Vec::with_capacity(picked.len());
+    for (t, cols) in picked.iter().zip(&chosen_cols) {
+        let columns = cols
+            .iter()
+            .map(|c| {
+                let mut col = Column::new(c.name, c.spec.data_type()).with_display(c.display);
+                if matches!(c.spec, ValueSpec::Serial) {
+                    col = col.primary();
+                }
+                col
+            })
+            .collect();
+        tables.push(Table::new(t.name, columns).with_display(t.singular));
+    }
+    let mut schema =
+        Schema::new(&format!("{}_{variant}", domain.name), tables).with_domain(domain.name);
+    for (t, cols) in picked.iter().zip(&chosen_cols) {
+        for c in cols {
+            if let ValueSpec::Fk(parent) = c.spec {
+                schema
+                    .add_foreign_key(t.name, c.name, parent, "id")
+                    .expect("FK closure guarantees the parent table exists");
+            }
+        }
+    }
+
+    // --- populate ----------------------------------------------------------
+    let mut db = Database::empty(schema);
+    let mut row_counts: Vec<(String, usize)> = Vec::new();
+    for (t, cols) in picked.iter().zip(&chosen_cols) {
+        let rows = cfg.rows.0 + rng.below(cfg.rows.1 - cfg.rows.0 + 1);
+        for serial in 1..=rows {
+            let row: Vec<Value> = cols
+                .iter()
+                .map(|c| {
+                    let parent_rows = match c.spec {
+                        ValueSpec::Fk(parent) => row_counts
+                            .iter()
+                            .find(|(n, _)| n == parent)
+                            .map(|(_, k)| *k)
+                            .unwrap_or(0),
+                        _ => 0,
+                    };
+                    value_for(&c.spec, serial, parent_rows, rng)
+                })
+                .collect();
+            db.insert(t.name, row).expect("generated rows are schema-consistent");
+        }
+        row_counts.push((t.name.to_string(), rows));
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domains::all_domains;
+
+    #[test]
+    fn every_domain_generates_valid_databases() {
+        let cfg = DbGenConfig::default();
+        for (i, d) in all_domains().iter().enumerate() {
+            let mut rng = Prng::new(100 + i as u64);
+            let db = generate_database(d, 0, &cfg, &mut rng);
+            assert!(!db.schema.tables.is_empty(), "{}", d.name);
+            assert!(db.row_count() > 0);
+            db.check_foreign_keys()
+                .unwrap_or_else(|e| panic!("{}: {e}", d.name));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let d = all_domains()[0];
+        let cfg = DbGenConfig::default();
+        let a = generate_database(d, 1, &cfg, &mut Prng::new(7));
+        let b = generate_database(d, 1, &cfg, &mut Prng::new(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn variants_differ() {
+        let d = all_domains()[0];
+        let cfg = DbGenConfig::default();
+        let mut rng = Prng::new(7);
+        let a = generate_database(d, 1, &cfg, &mut rng);
+        let b = generate_database(d, 2, &cfg, &mut rng);
+        assert_ne!(a.schema.name, b.schema.name);
+        assert_ne!(a.data, b.data);
+    }
+
+    #[test]
+    fn min_tables_is_respected_where_possible() {
+        let d = all_domains()[1]; // music: 3 tables
+        let cfg = DbGenConfig { min_tables: 3, ..DbGenConfig::default() };
+        let mut rng = Prng::new(9);
+        let db = generate_database(d, 0, &cfg, &mut rng);
+        assert_eq!(db.schema.tables.len(), 3);
+    }
+
+    #[test]
+    fn rows_within_configured_range() {
+        let d = all_domains()[0];
+        let cfg = DbGenConfig { rows: (5, 8), ..DbGenConfig::default() };
+        let mut rng = Prng::new(3);
+        let db = generate_database(d, 0, &cfg, &mut rng);
+        for t in &db.data {
+            assert!((5..=8).contains(&t.rows.len()));
+        }
+    }
+
+    #[test]
+    fn display_names_are_carried_over() {
+        let d = all_domains()[0]; // retail
+        let cfg = DbGenConfig::default();
+        let mut rng = Prng::new(11);
+        let db = generate_database(d, 0, &cfg, &mut rng);
+        let products = db.schema.table("products").unwrap();
+        assert_eq!(products.display, "product");
+        assert_eq!(db.schema.domain, "retail");
+    }
+}

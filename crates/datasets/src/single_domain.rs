@@ -1,0 +1,94 @@
+//! Single-domain benchmarks (ATIS/GeoQuery/Academic-era): one database, one
+//! domain, simpler query shapes — the proof-of-concept stage of both tasks.
+
+use crate::builder::generate_examples;
+use crate::domains;
+use crate::nl_gen::NlStyle;
+use crate::schema_gen::{generate_database, DbGenConfig};
+use crate::sql_gen::SqlProfile;
+use crate::types::{Family, SqlBenchmark};
+use nli_core::{Language, Prng};
+
+/// Configuration for a single-domain benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct SingleDomainConfig {
+    pub domain: &'static str,
+    pub n_train: usize,
+    pub n_dev: usize,
+    pub seed: u64,
+}
+
+impl Default for SingleDomainConfig {
+    fn default() -> Self {
+        // aviation echoes ATIS's flight-information focus.
+        SingleDomainConfig { domain: "aviation", n_train: 120, n_dev: 60, seed: 0x5EED_0003 }
+    }
+}
+
+/// Build a single-domain benchmark over one fully-included database.
+pub fn build(cfg: &SingleDomainConfig) -> SqlBenchmark {
+    let domain = domains::domain(cfg.domain)
+        .unwrap_or_else(|| panic!("unknown domain: {}", cfg.domain));
+    let mut rng = Prng::new(cfg.seed);
+    let db_cfg = DbGenConfig {
+        min_tables: domain.tables.len(),
+        optional_col_p: 1.0,
+        rows: (20, 50),
+    };
+    let databases = vec![generate_database(domain, 0, &db_cfg, &mut rng)];
+    let profile = SqlProfile::early();
+    let train =
+        generate_examples(&databases, 0..1, &profile, NlStyle::plain(), cfg.n_train, &mut rng);
+    let dev =
+        generate_examples(&databases, 0..1, &profile, NlStyle::plain(), cfg.n_dev, &mut rng);
+    SqlBenchmark {
+        name: format!("{}-single", cfg.domain),
+        family: Family::SingleDomain,
+        language: Language::English,
+        databases,
+        train,
+        dev,
+        dialogues: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_database_one_domain() {
+        let b = build(&SingleDomainConfig { n_train: 20, n_dev: 10, ..Default::default() });
+        assert_eq!(b.databases.len(), 1);
+        assert_eq!(b.domain_count(), 1);
+        assert_eq!(b.family, Family::SingleDomain);
+        assert!(b.example_count() >= 25);
+    }
+
+    #[test]
+    fn no_nested_or_compound_queries() {
+        let b = build(&SingleDomainConfig { n_train: 60, n_dev: 20, ..Default::default() });
+        for ex in b.train.iter().chain(&b.dev) {
+            assert!(ex.gold.compound.is_none());
+        }
+    }
+
+    #[test]
+    fn different_domains_build() {
+        for d in ["retail", "music", "geography"] {
+            let b = build(&SingleDomainConfig {
+                domain: d,
+                n_train: 10,
+                n_dev: 5,
+                seed: 7,
+            });
+            assert_eq!(b.databases[0].schema.domain, d);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown domain")]
+    fn unknown_domain_panics() {
+        build(&SingleDomainConfig { domain: "atlantis", n_train: 1, n_dev: 1, seed: 1 });
+    }
+}

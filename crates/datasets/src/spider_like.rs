@@ -1,0 +1,138 @@
+//! Spider-like benchmark: cross-domain, multi-table databases with complex
+//! queries, and the Spider evaluation convention — dev databases are
+//! *unseen* during training, so models must generalize across schemas.
+
+use crate::builder::{generate_databases, generate_examples};
+use crate::nl_gen::NlStyle;
+use crate::schema_gen::DbGenConfig;
+use crate::sql_gen::SqlProfile;
+use crate::types::{Family, SqlBenchmark};
+use nli_core::{Language, Prng};
+
+/// Configuration for the Spider-like builder.
+#[derive(Debug, Clone, Copy)]
+pub struct SpiderConfig {
+    pub n_databases: usize,
+    /// Databases reserved for the dev split (taken from the end).
+    pub n_dev_databases: usize,
+    pub n_train: usize,
+    pub n_dev: usize,
+    pub seed: u64,
+    /// NL style (robustness variants override this).
+    pub style: NlStyle,
+}
+
+impl Default for SpiderConfig {
+    fn default() -> Self {
+        // Scaled from Spider's 200 databases / 10,181 questions.
+        SpiderConfig {
+            n_databases: 40,
+            n_dev_databases: 10,
+            n_train: 300,
+            n_dev: 150,
+            seed: 0x5EED_0002,
+            style: NlStyle::plain(),
+        }
+    }
+}
+
+/// Build the benchmark.
+pub fn build(cfg: &SpiderConfig) -> SqlBenchmark {
+    let mut rng = Prng::new(cfg.seed);
+    let db_cfg = DbGenConfig { min_tables: 2, optional_col_p: 0.7, rows: (12, 40) };
+    let databases = generate_databases(cfg.n_databases, &db_cfg, &mut rng);
+    let train_dbs = cfg.n_databases - cfg.n_dev_databases.min(cfg.n_databases);
+    let profile = SqlProfile::spider();
+    let train = generate_examples(
+        &databases,
+        0..train_dbs.max(1),
+        &profile,
+        cfg.style,
+        cfg.n_train,
+        &mut rng,
+    );
+    let dev = generate_examples(
+        &databases,
+        train_dbs..cfg.n_databases,
+        &profile,
+        cfg.style,
+        cfg.n_dev,
+        &mut rng,
+    );
+    SqlBenchmark {
+        name: "spider-like".into(),
+        family: Family::CrossDomain,
+        language: Language::English,
+        databases,
+        train,
+        dev,
+        dialogues: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SpiderConfig {
+        SpiderConfig {
+            n_databases: 13,
+            n_dev_databases: 3,
+            n_train: 60,
+            n_dev: 30,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn dev_databases_are_unseen_in_train() {
+        let b = build(&small());
+        let max_train_db = b.train.iter().map(|e| e.db).max().unwrap();
+        let min_dev_db = b.dev.iter().map(|e| e.db).min().unwrap();
+        assert!(max_train_db < 10);
+        assert!(min_dev_db >= 10);
+    }
+
+    #[test]
+    fn covers_multiple_domains() {
+        let b = build(&small());
+        assert!(b.domain_count() >= 10, "domains: {}", b.domain_count());
+        assert!(b.tables_per_db() >= 2.0);
+    }
+
+    #[test]
+    fn complex_shapes_appear_in_the_corpus() {
+        let b = build(&SpiderConfig { n_train: 200, ..small() });
+        let all: Vec<_> = b.train.iter().chain(&b.dev).collect();
+        assert!(all.iter().any(|e| e.gold.select.from.len() > 1), "no joins");
+        assert!(
+            all.iter().any(|e| !e.gold.select.group_by.is_empty()),
+            "no group-by"
+        );
+        assert!(
+            all.iter().any(|e| e.gold.select.limit.is_some()),
+            "no limits"
+        );
+    }
+
+    #[test]
+    fn average_complexity_exceeds_wikisql() {
+        let s = build(&small());
+        let w = crate::wikisql_like::build(&crate::wikisql_like::WikiSqlConfig {
+            n_databases: 13,
+            n_train: 60,
+            n_dev: 30,
+            ..Default::default()
+        });
+        let avg = |b: &SqlBenchmark| {
+            let xs: Vec<u32> = b.dev.iter().map(|e| e.gold.complexity()).collect();
+            xs.iter().sum::<u32>() as f64 / xs.len().max(1) as f64
+        };
+        assert!(
+            avg(&s) > avg(&w),
+            "spider {} should beat wikisql {}",
+            avg(&s),
+            avg(&w)
+        );
+    }
+}

@@ -1,0 +1,812 @@
+//! Gold-program sampling.
+//!
+//! Examples are generated *intent-first*: we sample a structured [`Plan`]
+//! (what the user wants), then derive both the gold SQL ([`plan_to_query`])
+//! and the natural-language question ([`crate::nl_gen::realize`]) from it.
+//! This guarantees (question, SQL) faithfulness by construction while
+//! keeping the two surfaces independent enough that parsing is a real
+//! problem (the NL channel adds synonym noise, drops explicit column
+//! mentions, etc.).
+//!
+//! Conditions are *value-grounded*: literals are drawn from the actual
+//! database content, so execution-based evaluation is non-trivial and
+//! BIRD-style content challenges are expressible.
+
+use nli_core::{ColumnRef, Database, DataType, Prng, Value};
+use nli_sql::{
+    AggFunc, BinOp, ColName, Expr, JoinCond, OrderItem, Query, Select, SelectItem, SetOp,
+    TableRef,
+};
+
+/// Comparison flavor of a sampled condition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CondOp {
+    /// `col <op> literal`.
+    Cmp(BinOp),
+    /// `col BETWEEN a AND b` (the second literal rides in `value2`).
+    Between,
+    /// `col LIKE '%sub%'`.
+    Contains,
+    /// `col = (SELECT MAX/MIN(col) FROM table)` — superlative by scalar
+    /// subquery.
+    EqExtreme(AggFunc),
+}
+
+/// One grounded condition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CondSpec {
+    pub col: ColumnRef,
+    pub op: CondOp,
+    pub value: Value,
+    /// Upper bound for `Between`.
+    pub value2: Option<Value>,
+}
+
+/// What the SELECT computes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Task {
+    /// Plain projection of 1–2 columns.
+    Columns(Vec<ColumnRef>),
+    /// Single aggregate; `arg = None` means `COUNT(*)`.
+    Agg { func: AggFunc, arg: Option<ColumnRef> },
+    /// `SELECT key, AGG(arg) ... GROUP BY key` with optional
+    /// `HAVING COUNT(*) > n`.
+    GroupAgg {
+        key: ColumnRef,
+        func: AggFunc,
+        arg: Option<ColumnRef>,
+        having_min_count: Option<i64>,
+    },
+}
+
+/// Ordering request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderSpec {
+    /// `None` orders by the aggregate output (group mode only).
+    pub col: Option<ColumnRef>,
+    pub desc: bool,
+}
+
+/// A join from the main (child) table to a parent table over a declared FK.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JoinSpec {
+    pub parent: usize,
+    /// FK column on the child side.
+    pub fk_col: ColumnRef,
+    /// PK column on the parent side.
+    pk_col: ColumnRef,
+}
+
+/// The single-SELECT intent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Intent {
+    pub main: usize,
+    pub join: Option<JoinSpec>,
+    pub task: Task,
+    pub conds: Vec<CondSpec>,
+    pub order: Option<OrderSpec>,
+    pub limit: Option<u64>,
+    pub distinct: bool,
+}
+
+/// A full sampled plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    Simple(Intent),
+    /// `SELECT col FROM outer WHERE id [NOT] IN
+    ///  (SELECT fk FROM child [WHERE inner_cond])`
+    Nested {
+        outer: usize,
+        select_col: ColumnRef,
+        child: usize,
+        fk_col: ColumnRef,
+        negated: bool,
+        inner_cond: Option<CondSpec>,
+    },
+    /// `SELECT col FROM t WHERE a UNION/INTERSECT/EXCEPT SELECT col FROM t
+    ///  WHERE b`
+    Compound {
+        table: usize,
+        col: ColumnRef,
+        left: CondSpec,
+        right: CondSpec,
+        op: SetOp,
+    },
+}
+
+/// Shape-frequency profile of a benchmark family.
+#[derive(Debug, Clone, Copy)]
+pub struct SqlProfile {
+    pub p_join: f64,
+    pub p_agg: f64,
+    pub p_group: f64,
+    pub p_where: f64,
+    pub p_second_cond: f64,
+    pub p_or: f64,
+    pub p_order: f64,
+    pub p_limit_given_order: f64,
+    pub p_nested: f64,
+    pub p_compound: f64,
+    pub p_having: f64,
+    pub p_distinct: f64,
+    pub p_superlative: f64,
+    pub p_two_cols: f64,
+}
+
+impl SqlProfile {
+    /// WikiSQL-class: single table, one aggregate at most, simple
+    /// conditions, no ordering/grouping (the original WikiSQL grammar).
+    pub fn wikisql() -> SqlProfile {
+        SqlProfile {
+            p_join: 0.0,
+            p_agg: 0.45,
+            p_group: 0.0,
+            p_where: 0.85,
+            p_second_cond: 0.25,
+            p_or: 0.0,
+            p_order: 0.0,
+            p_limit_given_order: 0.0,
+            p_nested: 0.0,
+            p_compound: 0.0,
+            p_having: 0.0,
+            p_distinct: 0.0,
+            p_superlative: 0.0,
+            p_two_cols: 0.15,
+        }
+    }
+
+    /// Spider-class: joins, grouping, ordering, nesting, set operators.
+    pub fn spider() -> SqlProfile {
+        SqlProfile {
+            p_join: 0.40,
+            p_agg: 0.30,
+            p_group: 0.30,
+            p_where: 0.65,
+            p_second_cond: 0.30,
+            p_or: 0.12,
+            p_order: 0.35,
+            p_limit_given_order: 0.55,
+            p_nested: 0.10,
+            p_compound: 0.06,
+            p_having: 0.30,
+            p_distinct: 0.12,
+            p_superlative: 0.12,
+            p_two_cols: 0.30,
+        }
+    }
+
+    /// Single-domain/early-era: simpler than Spider, no nesting.
+    pub fn early() -> SqlProfile {
+        SqlProfile {
+            p_nested: 0.0,
+            p_compound: 0.0,
+            p_join: 0.2,
+            ..SqlProfile::spider()
+        }
+    }
+}
+
+/// Sample a plan for `db`, or `None` when the schema can't support the drawn
+/// shape (caller retries with fresh randomness).
+pub fn sample_plan(db: &Database, profile: &SqlProfile, rng: &mut Prng) -> Option<Plan> {
+    // occasionally a nested or compound query
+    if rng.chance(profile.p_nested) {
+        if let Some(p) = sample_nested(db, rng) {
+            return Some(p);
+        }
+    }
+    if rng.chance(profile.p_compound) {
+        if let Some(p) = sample_compound(db, rng) {
+            return Some(p);
+        }
+    }
+    sample_simple(db, profile, rng).map(Plan::Simple)
+}
+
+fn tables_with_rows(db: &Database) -> Vec<usize> {
+    (0..db.schema.tables.len())
+        .filter(|&t| !db.rows(t).is_empty())
+        .collect()
+}
+
+fn sample_simple(db: &Database, profile: &SqlProfile, rng: &mut Prng) -> Option<Intent> {
+    let candidates = tables_with_rows(db);
+    if candidates.is_empty() {
+        return None;
+    }
+    let main = *rng.pick(&candidates);
+
+    // join?
+    let join = if rng.chance(profile.p_join) {
+        db.schema
+            .foreign_keys
+            .iter()
+            .filter(|fk| fk.from.table == main)
+            .map(|fk| JoinSpec { parent: fk.to.table, fk_col: fk.from, pk_col: fk.to })
+            .collect::<Vec<_>>()
+            .first()
+            .copied()
+    } else {
+        None
+    };
+
+    let scope_tables: Vec<usize> = match &join {
+        Some(j) => vec![main, j.parent],
+        None => vec![main],
+    };
+
+    // task
+    let task = if rng.chance(profile.p_group) {
+        let key = pick_group_key(db, &scope_tables, rng)?;
+        let (func, arg) = pick_aggregate(db, &scope_tables, rng);
+        let having_min_count = if rng.chance(profile.p_having) {
+            Some(rng.range(1, 3))
+        } else {
+            None
+        };
+        Task::GroupAgg { key, func, arg, having_min_count }
+    } else if rng.chance(profile.p_agg) {
+        let (func, arg) = pick_aggregate(db, &scope_tables, rng);
+        Task::Agg { func, arg }
+    } else {
+        let mut cols = vec![pick_display_col(db, &scope_tables, rng)?];
+        if rng.chance(profile.p_two_cols) {
+            if let Some(c2) = pick_display_col(db, &scope_tables, rng) {
+                if c2 != cols[0] {
+                    cols.push(c2);
+                }
+            }
+        }
+        Task::Columns(cols)
+    };
+
+    // conditions
+    let mut conds = Vec::new();
+    if rng.chance(profile.p_where) {
+        if let Some(c) = sample_cond(db, &scope_tables, rng) {
+            conds.push(c);
+        }
+        if !conds.is_empty() && rng.chance(profile.p_second_cond) {
+            if let Some(c2) = sample_cond(db, &scope_tables, rng) {
+                if c2.col != conds[0].col {
+                    conds.push(c2);
+                }
+            }
+        }
+    }
+    // superlative condition (scalar subquery) only for plain projections
+    if matches!(task, Task::Columns(_)) && rng.chance(profile.p_superlative) {
+        if let Some(col) = pick_numeric_col(db, &[main], rng) {
+            let func = if rng.chance(0.5) { AggFunc::Max } else { AggFunc::Min };
+            conds.push(CondSpec {
+                col,
+                op: CondOp::EqExtreme(func),
+                value: Value::Null,
+                value2: None,
+            });
+        }
+    }
+
+    // ordering
+    let order = if rng.chance(profile.p_order) {
+        match &task {
+            Task::GroupAgg { .. } => Some(OrderSpec { col: None, desc: rng.chance(0.7) }),
+            Task::Agg { .. } => None,
+            Task::Columns(_) => pick_orderable_col(db, &scope_tables, rng)
+                .map(|col| OrderSpec { col: Some(col), desc: rng.chance(0.5) }),
+        }
+    } else {
+        None
+    };
+    let limit = match &order {
+        Some(_) if rng.chance(profile.p_limit_given_order) => {
+            Some(rng.range(1, 5) as u64)
+        }
+        _ => None,
+    };
+    let distinct = matches!(task, Task::Columns(_)) && rng.chance(profile.p_distinct);
+
+    Some(Intent { main, join, task, conds, order, limit, distinct })
+}
+
+fn sample_nested(db: &Database, rng: &mut Prng) -> Option<Plan> {
+    // need an FK child -> outer
+    let fks: Vec<_> = db
+        .schema
+        .foreign_keys
+        .iter()
+        .filter(|fk| !db.rows(fk.from.table).is_empty() && !db.rows(fk.to.table).is_empty())
+        .collect();
+    if fks.is_empty() {
+        return None;
+    }
+    let fk = *rng.pick(&fks);
+    let outer = fk.to.table;
+    let select_col = pick_display_col(db, &[outer], rng)?;
+    let inner_cond = if rng.chance(0.6) {
+        sample_cond(db, &[fk.from.table], rng)
+    } else {
+        None
+    };
+    Some(Plan::Nested {
+        outer,
+        select_col,
+        child: fk.from.table,
+        fk_col: fk.from,
+        negated: rng.chance(0.4),
+        inner_cond,
+    })
+}
+
+fn sample_compound(db: &Database, rng: &mut Prng) -> Option<Plan> {
+    let candidates = tables_with_rows(db);
+    if candidates.is_empty() {
+        return None;
+    }
+    let table = *rng.pick(&candidates);
+    let col = pick_display_col(db, &[table], rng)?;
+    let left = sample_cond(db, &[table], rng)?;
+    let right = sample_cond(db, &[table], rng)?;
+    if left.col == right.col && left.value == right.value {
+        return None;
+    }
+    let op = match rng.below(3) {
+        0 => SetOp::Union,
+        1 => SetOp::Intersect,
+        _ => SetOp::Except,
+    };
+    Some(Plan::Compound { table, col, left, right, op })
+}
+
+/// A column worth projecting: text preferred, any non-PK otherwise.
+fn pick_display_col(db: &Database, tables: &[usize], rng: &mut Prng) -> Option<ColumnRef> {
+    let mut text = Vec::new();
+    let mut other = Vec::new();
+    for &t in tables {
+        for (ci, c) in db.schema.tables[t].columns.iter().enumerate() {
+            let r = ColumnRef { table: t, column: ci };
+            if c.primary_key || is_fk_col(db, r) {
+                continue;
+            }
+            if c.dtype == DataType::Text {
+                text.push(r);
+            } else {
+                other.push(r);
+            }
+        }
+    }
+    if !text.is_empty() && (other.is_empty() || rng.chance(0.75)) {
+        Some(*rng.pick(&text))
+    } else if !other.is_empty() {
+        Some(*rng.pick(&other))
+    } else {
+        None
+    }
+}
+
+fn is_fk_col(db: &Database, r: ColumnRef) -> bool {
+    db.schema.foreign_keys.iter().any(|fk| fk.from == r)
+}
+
+/// A numeric column for aggregates/superlatives/order.
+fn pick_numeric_col(db: &Database, tables: &[usize], rng: &mut Prng) -> Option<ColumnRef> {
+    let mut nums = Vec::new();
+    for &t in tables {
+        for (ci, c) in db.schema.tables[t].columns.iter().enumerate() {
+            let r = ColumnRef { table: t, column: ci };
+            if c.dtype.is_numeric() && !c.primary_key && !is_fk_col(db, r) {
+                nums.push(r);
+            }
+        }
+    }
+    if nums.is_empty() {
+        None
+    } else {
+        Some(*rng.pick(&nums))
+    }
+}
+
+fn pick_orderable_col(db: &Database, tables: &[usize], rng: &mut Prng) -> Option<ColumnRef> {
+    let mut cols = Vec::new();
+    for &t in tables {
+        for (ci, c) in db.schema.tables[t].columns.iter().enumerate() {
+            let r = ColumnRef { table: t, column: ci };
+            if c.dtype.is_ordered() && !c.primary_key && !is_fk_col(db, r) {
+                cols.push(r);
+            }
+        }
+    }
+    if cols.is_empty() {
+        None
+    } else {
+        Some(*rng.pick(&cols))
+    }
+}
+
+/// A groupable key: a text/bool column with modest cardinality in the data.
+fn pick_group_key(db: &Database, tables: &[usize], rng: &mut Prng) -> Option<ColumnRef> {
+    let mut keys = Vec::new();
+    for &t in tables {
+        for (ci, c) in db.schema.tables[t].columns.iter().enumerate() {
+            let r = ColumnRef { table: t, column: ci };
+            if c.primary_key || is_fk_col(db, r) {
+                continue;
+            }
+            if !matches!(c.dtype, DataType::Text | DataType::Bool) {
+                continue;
+            }
+            let distinct = db.distinct_values(t, ci).len();
+            let rows = db.rows(t).len();
+            if distinct >= 2 && distinct * 2 <= rows.max(4) {
+                keys.push(r);
+            }
+        }
+    }
+    if keys.is_empty() {
+        None
+    } else {
+        Some(*rng.pick(&keys))
+    }
+}
+
+fn pick_aggregate(db: &Database, tables: &[usize], rng: &mut Prng) -> (AggFunc, Option<ColumnRef>) {
+    // COUNT(*) is the most common aggregate in every benchmark.
+    if rng.chance(0.45) {
+        return (AggFunc::Count, None);
+    }
+    match pick_numeric_col(db, tables, rng) {
+        Some(col) => {
+            let func = *rng.pick(&[AggFunc::Sum, AggFunc::Avg, AggFunc::Max, AggFunc::Min]);
+            (func, Some(col))
+        }
+        None => (AggFunc::Count, None),
+    }
+}
+
+/// A grounded condition over one of `tables`.
+fn sample_cond(db: &Database, tables: &[usize], rng: &mut Prng) -> Option<CondSpec> {
+    for _attempt in 0..8 {
+        let t = *rng.pick(tables);
+        let ncols = db.schema.tables[t].columns.len();
+        let ci = rng.below(ncols);
+        let col = ColumnRef { table: t, column: ci };
+        let c = db.schema.column(col);
+        if c.primary_key || is_fk_col(db, col) {
+            continue;
+        }
+        let values = db.distinct_values(t, ci);
+        if values.is_empty() {
+            continue;
+        }
+        let v = values[rng.below(values.len())].clone();
+        let spec = match c.dtype {
+            DataType::Int | DataType::Float => {
+                if rng.chance(0.2) && values.len() >= 2 {
+                    let w = values[rng.below(values.len())].clone();
+                    let (lo, hi) = if v.total_cmp(&w) == std::cmp::Ordering::Greater {
+                        (w, v)
+                    } else {
+                        (v, w)
+                    };
+                    CondSpec { col, op: CondOp::Between, value: lo, value2: Some(hi) }
+                } else {
+                    let op = *rng.pick(&[BinOp::Gt, BinOp::Lt, BinOp::Ge, BinOp::Le, BinOp::Eq]);
+                    CondSpec { col, op: CondOp::Cmp(op), value: v, value2: None }
+                }
+            }
+            DataType::Text => {
+                if rng.chance(0.2) {
+                    // substring of a real value
+                    let s = v.as_text().unwrap_or("");
+                    let word = s.split_whitespace().next().unwrap_or(s);
+                    if word.len() < 3 {
+                        continue;
+                    }
+                    CondSpec {
+                        col,
+                        op: CondOp::Contains,
+                        value: Value::Text(word.to_string()),
+                        value2: None,
+                    }
+                } else {
+                    let op = if rng.chance(0.12) { BinOp::Neq } else { BinOp::Eq };
+                    CondSpec { col, op: CondOp::Cmp(op), value: v, value2: None }
+                }
+            }
+            DataType::Date => {
+                let op = *rng.pick(&[BinOp::Gt, BinOp::Lt, BinOp::Ge, BinOp::Le]);
+                CondSpec { col, op: CondOp::Cmp(op), value: v, value2: None }
+            }
+            DataType::Bool => CondSpec {
+                col,
+                op: CondOp::Cmp(BinOp::Eq),
+                value: Value::Bool(rng.chance(0.5)),
+                value2: None,
+            },
+        };
+        return Some(spec);
+    }
+    None
+}
+
+// ---- plan → SQL ---------------------------------------------------------
+
+/// Whether column names must be table-qualified (a join is in scope).
+fn col_expr(db: &Database, r: ColumnRef, qualify: bool) -> Expr {
+    let schema = &db.schema;
+    if qualify {
+        Expr::Column(ColName::qualified(
+            &schema.tables[r.table].name,
+            &schema.column(r).name,
+        ))
+    } else {
+        Expr::Column(ColName::new(&schema.column(r).name))
+    }
+}
+
+fn cond_expr(db: &Database, c: &CondSpec, qualify: bool, table_name: &str) -> Expr {
+    let lhs = col_expr(db, c.col, qualify);
+    match &c.op {
+        CondOp::Cmp(op) => Expr::binary(lhs, *op, Expr::Literal(c.value.clone())),
+        CondOp::Between => Expr::Between {
+            expr: Box::new(lhs),
+            low: Box::new(Expr::Literal(c.value.clone())),
+            high: Box::new(Expr::Literal(c.value2.clone().expect("between has two bounds"))),
+            negated: false,
+        },
+        CondOp::Contains => Expr::Like {
+            expr: Box::new(lhs),
+            pattern: format!("%{}%", c.value.canonical()),
+            negated: false,
+        },
+        CondOp::EqExtreme(func) => {
+            let inner_col = Expr::Column(ColName::new(&db.schema.column(c.col).name));
+            let inner = Query::single(Select::simple(
+                table_name,
+                vec![SelectItem::plain(Expr::agg(*func, inner_col))],
+            ));
+            Expr::binary(lhs, BinOp::Eq, Expr::ScalarSubquery(Box::new(inner)))
+        }
+    }
+}
+
+/// Public lowering of a single condition with unqualified column names
+/// (used by the vis and multi-turn generators, which are single-table).
+pub fn cond_to_expr(db: &Database, c: &CondSpec, table_name: &str) -> Expr {
+    cond_expr(db, c, false, table_name)
+}
+
+fn and_all(mut exprs: Vec<Expr>) -> Option<Expr> {
+    if exprs.is_empty() {
+        return None;
+    }
+    let first = exprs.remove(0);
+    Some(exprs.into_iter().fold(first, |acc, e| Expr::binary(acc, BinOp::And, e)))
+}
+
+/// Lower a plan to its gold SQL query.
+pub fn plan_to_query(db: &Database, plan: &Plan) -> Query {
+    let schema = &db.schema;
+    match plan {
+        Plan::Simple(intent) => {
+            let qualify = intent.join.is_some();
+            let main_name = schema.tables[intent.main].name.clone();
+            let mut select = Select::simple(&main_name, Vec::new());
+            if let Some(j) = &intent.join {
+                select.from.push(TableRef { name: schema.tables[j.parent].name.clone() });
+                select.joins.push(JoinCond {
+                    left: ColName::qualified(
+                        &schema.tables[j.fk_col.table].name,
+                        &schema.column(j.fk_col).name,
+                    ),
+                    right: ColName::qualified(
+                        &schema.tables[j.pk_col.table].name,
+                        &schema.column(j.pk_col).name,
+                    ),
+                });
+            }
+            let agg_expr = |func: AggFunc, arg: &Option<ColumnRef>| match arg {
+                Some(r) => Expr::agg(func, col_expr(db, *r, qualify)),
+                None => Expr::count_star(),
+            };
+            match &intent.task {
+                Task::Columns(cols) => {
+                    select.items = cols
+                        .iter()
+                        .map(|r| SelectItem::plain(col_expr(db, *r, qualify)))
+                        .collect();
+                }
+                Task::Agg { func, arg } => {
+                    select.items = vec![SelectItem::plain(agg_expr(*func, arg))];
+                }
+                Task::GroupAgg { key, func, arg, having_min_count } => {
+                    let key_expr = col_expr(db, *key, qualify);
+                    select.items = vec![
+                        SelectItem::plain(key_expr.clone()),
+                        SelectItem::plain(agg_expr(*func, arg)),
+                    ];
+                    select.group_by = vec![key_expr];
+                    if let Some(n) = having_min_count {
+                        select.having =
+                            Some(Expr::binary(Expr::count_star(), BinOp::Gt, Expr::lit(*n)));
+                    }
+                }
+            }
+            select.distinct = intent.distinct;
+            let conds: Vec<Expr> = intent
+                .conds
+                .iter()
+                .map(|c| cond_expr(db, c, qualify, &schema.tables[c.col.table].name))
+                .collect();
+            select.where_clause = and_all(conds);
+            if let Some(o) = &intent.order {
+                let expr = match (&o.col, &intent.task) {
+                    (Some(r), _) => col_expr(db, *r, qualify),
+                    (None, Task::GroupAgg { func, arg, .. }) => match arg {
+                        Some(r) => Expr::agg(*func, col_expr(db, *r, qualify)),
+                        None => Expr::count_star(),
+                    },
+                    (None, _) => Expr::count_star(),
+                };
+                select.order_by = vec![OrderItem { expr, desc: o.desc }];
+            }
+            select.limit = intent.limit;
+            Query::single(select)
+        }
+        Plan::Nested { outer, select_col, child, fk_col, negated, inner_cond } => {
+            let outer_name = &schema.tables[*outer].name;
+            let child_name = &schema.tables[*child].name;
+            let mut inner = Select::simple(
+                child_name,
+                vec![SelectItem::plain(Expr::Column(ColName::new(
+                    &schema.column(*fk_col).name,
+                )))],
+            );
+            if let Some(c) = inner_cond {
+                inner.where_clause = Some(cond_expr(db, c, false, child_name));
+            }
+            let pk = schema.tables[*outer]
+                .primary_key()
+                .expect("outer tables have serial PKs");
+            let mut outer_sel = Select::simple(
+                outer_name,
+                vec![SelectItem::plain(col_expr(db, *select_col, false))],
+            );
+            outer_sel.where_clause = Some(Expr::InSubquery {
+                expr: Box::new(Expr::Column(ColName::new(
+                    &schema.tables[*outer].columns[pk].name,
+                ))),
+                query: Box::new(Query::single(inner)),
+                negated: *negated,
+            });
+            Query::single(outer_sel)
+        }
+        Plan::Compound { table, col, left, right, op } => {
+            let name = &schema.tables[*table].name;
+            let mk = |cond: &CondSpec| {
+                let mut s = Select::simple(
+                    name,
+                    vec![SelectItem::plain(col_expr(db, *col, false))],
+                );
+                s.where_clause = Some(cond_expr(db, cond, false, name));
+                Query::single(s)
+            };
+            let mut q = mk(left);
+            q.compound = Some((*op, Box::new(mk(right))));
+            q
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domains::all_domains;
+    use crate::schema_gen::{generate_database, DbGenConfig};
+    use nli_core::ExecutionEngine;
+    use nli_sql::SqlEngine;
+
+    fn sample_db(seed: u64) -> Database {
+        let d = all_domains()[seed as usize % all_domains().len()];
+        generate_database(d, 0, &DbGenConfig::default(), &mut Prng::new(seed))
+    }
+
+    #[test]
+    fn sampled_queries_execute() {
+        let engine = SqlEngine::new();
+        let mut executed = 0;
+        for seed in 0..60u64 {
+            let db = sample_db(seed / 5);
+            let mut rng = Prng::new(1000 + seed);
+            if let Some(plan) = sample_plan(&db, &SqlProfile::spider(), &mut rng) {
+                let q = plan_to_query(&db, &plan);
+                engine
+                    .execute(&q, &db)
+                    .unwrap_or_else(|e| panic!("seed {seed}: {e}\nSQL: {q}"));
+                executed += 1;
+            }
+        }
+        assert!(executed >= 50, "only {executed}/60 plans sampled");
+    }
+
+    #[test]
+    fn wikisql_profile_keeps_queries_single_table() {
+        for seed in 0..40u64 {
+            let db = sample_db(seed % 4);
+            let mut rng = Prng::new(seed);
+            if let Some(plan) = sample_plan(&db, &SqlProfile::wikisql(), &mut rng) {
+                let q = plan_to_query(&db, &plan);
+                assert_eq!(q.select.from.len(), 1, "{q}");
+                assert!(q.select.group_by.is_empty());
+                assert!(q.compound.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn spider_profile_eventually_produces_all_shapes() {
+        let mut joins = 0;
+        let mut groups = 0;
+        let mut nested = 0;
+        let mut compound = 0;
+        let mut ordered = 0;
+        for seed in 0..400u64 {
+            let db = sample_db(seed % 8);
+            let mut rng = Prng::new(77_000 + seed);
+            if let Some(plan) = sample_plan(&db, &SqlProfile::spider(), &mut rng) {
+                match &plan {
+                    Plan::Nested { .. } => nested += 1,
+                    Plan::Compound { .. } => compound += 1,
+                    Plan::Simple(i) => {
+                        joins += usize::from(i.join.is_some());
+                        groups += usize::from(matches!(i.task, Task::GroupAgg { .. }));
+                        ordered += usize::from(i.order.is_some());
+                    }
+                }
+            }
+        }
+        assert!(joins > 20, "joins: {joins}");
+        assert!(groups > 20, "groups: {groups}");
+        assert!(nested > 5, "nested: {nested}");
+        assert!(compound > 2, "compound: {compound}");
+        assert!(ordered > 20, "ordered: {ordered}");
+    }
+
+    #[test]
+    fn plan_lowering_is_deterministic() {
+        let db = sample_db(3);
+        let mut r1 = Prng::new(5);
+        let mut r2 = Prng::new(5);
+        let p1 = sample_plan(&db, &SqlProfile::spider(), &mut r1);
+        let p2 = sample_plan(&db, &SqlProfile::spider(), &mut r2);
+        assert_eq!(p1, p2);
+        if let Some(p) = p1 {
+            assert_eq!(plan_to_query(&db, &p), plan_to_query(&db, &p));
+        }
+    }
+
+    #[test]
+    fn conditions_are_value_grounded() {
+        // equality conditions over text columns must use values present in
+        // the data, so the gold query has non-trivial execution semantics.
+        let engine = SqlEngine::new();
+        let mut nonempty = 0;
+        let mut total = 0;
+        for seed in 0..80u64 {
+            let db = sample_db(seed % 6);
+            let mut rng = Prng::new(9_000 + seed);
+            if let Some(plan) = sample_plan(&db, &SqlProfile::spider(), &mut rng) {
+                let q = plan_to_query(&db, &plan);
+                let r = engine.execute(&q, &db).unwrap();
+                total += 1;
+                if !r.rows.is_empty() {
+                    nonempty += 1;
+                }
+            }
+        }
+        assert!(
+            nonempty * 2 > total,
+            "most gold queries should return rows ({nonempty}/{total})"
+        );
+    }
+}

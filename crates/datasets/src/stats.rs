@@ -1,0 +1,100 @@
+//! Dataset statistics for the Table 1 reproduction.
+
+use crate::types::{SqlBenchmark, VisBenchmark};
+
+/// One row of the Table 1 reproduction: measured statistics of a generated
+/// corpus, alongside the paper-reported statistics of the dataset it
+/// imitates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    pub name: String,
+    pub family: String,
+    pub language: String,
+    pub n_query: usize,
+    pub n_database: usize,
+    pub n_domain: usize,
+    pub tables_per_db: f64,
+}
+
+impl DatasetStats {
+    pub fn of_sql(b: &SqlBenchmark) -> DatasetStats {
+        DatasetStats {
+            name: b.name.clone(),
+            family: b.family.name().to_string(),
+            language: b.language.name().to_string(),
+            n_query: b.example_count(),
+            n_database: b.databases.len(),
+            n_domain: b.domain_count(),
+            tables_per_db: b.tables_per_db(),
+        }
+    }
+
+    pub fn of_vis(b: &VisBenchmark) -> DatasetStats {
+        DatasetStats {
+            name: b.name.clone(),
+            family: b.family.name().to_string(),
+            language: b.language.name().to_string(),
+            n_query: b.example_count(),
+            n_database: b.databases.len(),
+            n_domain: b.domain_count(),
+            tables_per_db: b.tables_per_db(),
+        }
+    }
+
+    /// Fixed-width row for the harness output.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<28} {:>7} {:>6} {:>7} {:>6.1}  {:<10} {}",
+            self.name,
+            self.n_query,
+            self.n_database,
+            self.n_domain,
+            self.tables_per_db,
+            self.language,
+            self.family
+        )
+    }
+
+    /// Header matching [`DatasetStats::row`].
+    pub fn header() -> String {
+        format!(
+            "{:<28} {:>7} {:>6} {:>7} {:>6}  {:<10} {}",
+            "Dataset", "#Query", "#DB", "#Domain", "#T/DB", "Language", "Main Features"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wikisql_like::{self, WikiSqlConfig};
+
+    #[test]
+    fn stats_reflect_the_benchmark() {
+        let b = wikisql_like::build(&WikiSqlConfig {
+            n_databases: 10,
+            n_train: 20,
+            n_dev: 10,
+            ..Default::default()
+        });
+        let s = DatasetStats::of_sql(&b);
+        assert_eq!(s.n_database, 10);
+        assert_eq!(s.n_query, b.example_count());
+        assert!((s.tables_per_db - 1.0).abs() < 1e-9);
+        assert_eq!(s.language, "English");
+    }
+
+    #[test]
+    fn row_and_header_align() {
+        let b = wikisql_like::build(&WikiSqlConfig {
+            n_databases: 4,
+            n_train: 5,
+            n_dev: 5,
+            ..Default::default()
+        });
+        let s = DatasetStats::of_sql(&b);
+        let row = s.row();
+        assert!(row.contains("wikisql-like"));
+        assert!(DatasetStats::header().contains("#Query"));
+    }
+}

@@ -1,0 +1,178 @@
+//! Benchmark container types shared by all generators.
+
+use nli_core::{Database, Language, NlQuestion};
+use nli_sql::Query;
+use nli_vql::VisQuery;
+
+/// Dataset family, mirroring the grouping of the survey's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    SingleDomain,
+    CrossDomain,
+    MultiTurn,
+    Multilingual,
+    Robustness,
+    KnowledgeGrounding,
+}
+
+impl Family {
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::SingleDomain => "Single Domain",
+            Family::CrossDomain => "Cross Domain",
+            Family::MultiTurn => "Multi-turn",
+            Family::Multilingual => "Multilingual",
+            Family::Robustness => "Robustness",
+            Family::KnowledgeGrounding => "Knowledge Grounding",
+        }
+    }
+}
+
+/// One single-turn Text-to-SQL example.
+#[derive(Debug, Clone)]
+pub struct SqlExample {
+    /// Index into the benchmark's `databases`.
+    pub db: usize,
+    pub question: NlQuestion,
+    pub gold: Query,
+}
+
+/// One multi-turn Text-to-SQL interaction.
+#[derive(Debug, Clone)]
+pub struct SqlDialogue {
+    pub db: usize,
+    pub turns: Vec<(NlQuestion, Query)>,
+}
+
+/// A Text-to-SQL benchmark: databases plus train/dev example splits.
+/// Cross-domain benchmarks split by *database* (dev schemas unseen in
+/// train), the evaluation convention Spider introduced.
+#[derive(Debug, Clone)]
+pub struct SqlBenchmark {
+    pub name: String,
+    pub family: Family,
+    pub language: Language,
+    pub databases: Vec<Database>,
+    pub train: Vec<SqlExample>,
+    pub dev: Vec<SqlExample>,
+    /// Present only for multi-turn benchmarks.
+    pub dialogues: Vec<SqlDialogue>,
+}
+
+impl SqlBenchmark {
+    /// Database of an example.
+    pub fn db_of(&self, ex: &SqlExample) -> &Database {
+        &self.databases[ex.db]
+    }
+
+    pub fn example_count(&self) -> usize {
+        self.train.len()
+            + self.dev.len()
+            + self.dialogues.iter().map(|d| d.turns.len()).sum::<usize>()
+    }
+
+    /// Distinct domain labels across databases.
+    pub fn domain_count(&self) -> usize {
+        let mut set: Vec<&str> = self.databases.iter().map(|d| d.schema.domain.as_str()).collect();
+        set.sort();
+        set.dedup();
+        set.len()
+    }
+
+    /// Mean number of tables per database.
+    pub fn tables_per_db(&self) -> f64 {
+        if self.databases.is_empty() {
+            return 0.0;
+        }
+        self.databases.iter().map(|d| d.schema.tables.len()).sum::<usize>() as f64
+            / self.databases.len() as f64
+    }
+}
+
+/// One Text-to-Vis example.
+#[derive(Debug, Clone)]
+pub struct VisExample {
+    pub db: usize,
+    pub question: NlQuestion,
+    pub gold: VisQuery,
+}
+
+/// A multi-turn Text-to-Vis dialogue.
+#[derive(Debug, Clone)]
+pub struct VisDialogue {
+    pub db: usize,
+    pub turns: Vec<(NlQuestion, VisQuery)>,
+}
+
+/// A Text-to-Vis benchmark.
+#[derive(Debug, Clone)]
+pub struct VisBenchmark {
+    pub name: String,
+    pub family: Family,
+    pub language: Language,
+    pub databases: Vec<Database>,
+    pub train: Vec<VisExample>,
+    pub dev: Vec<VisExample>,
+    pub dialogues: Vec<VisDialogue>,
+}
+
+impl VisBenchmark {
+    pub fn db_of(&self, ex: &VisExample) -> &Database {
+        &self.databases[ex.db]
+    }
+
+    pub fn example_count(&self) -> usize {
+        self.train.len()
+            + self.dev.len()
+            + self.dialogues.iter().map(|d| d.turns.len()).sum::<usize>()
+    }
+
+    pub fn domain_count(&self) -> usize {
+        let mut set: Vec<&str> = self.databases.iter().map(|d| d.schema.domain.as_str()).collect();
+        set.sort();
+        set.dedup();
+        set.len()
+    }
+
+    pub fn tables_per_db(&self) -> f64 {
+        if self.databases.is_empty() {
+            return 0.0;
+        }
+        self.databases.iter().map(|d| d.schema.tables.len()).sum::<usize>() as f64
+            / self.databases.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nli_core::Schema;
+    use nli_sql::{parse_query, Select, SelectItem};
+
+    #[test]
+    fn counts_cover_all_splits() {
+        let db = Database::empty(Schema::new("d", vec![]).with_domain("retail"));
+        let q = parse_query("SELECT 1 FROM t").unwrap_or_else(|_| {
+            nli_sql::Query::single(Select::simple(
+                "t",
+                vec![SelectItem::plain(nli_sql::Expr::col("x"))],
+            ))
+        });
+        let ex = SqlExample { db: 0, question: NlQuestion::new("q"), gold: q.clone() };
+        let b = SqlBenchmark {
+            name: "t".into(),
+            family: Family::CrossDomain,
+            language: Language::English,
+            databases: vec![db],
+            train: vec![ex.clone(), ex.clone()],
+            dev: vec![ex.clone()],
+            dialogues: vec![SqlDialogue {
+                db: 0,
+                turns: vec![(NlQuestion::new("a"), q.clone()), (NlQuestion::new("b"), q)],
+            }],
+        };
+        assert_eq!(b.example_count(), 5);
+        assert_eq!(b.domain_count(), 1);
+        assert_eq!(b.tables_per_db(), 0.0);
+    }
+}

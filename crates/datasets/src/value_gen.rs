@@ -1,0 +1,112 @@
+//! Row-value synthesis for generated databases.
+
+use crate::domains::{ValueSpec, FIRST_NAMES, LAST_NAMES, CITIES, COUNTRIES};
+use nli_core::{Date, Prng, Value};
+
+/// Generate a value for `spec`.
+///
+/// * `serial` — 1-based row index, used by [`ValueSpec::Serial`].
+/// * `parent_rows` — row count of the FK parent (IDs are `1..=parent_rows`).
+pub fn value_for(spec: &ValueSpec, serial: usize, parent_rows: usize, rng: &mut Prng) -> Value {
+    match spec {
+        ValueSpec::Serial => Value::Int(serial as i64),
+        ValueSpec::IntRange(lo, hi) => Value::Int(rng.range(*lo, *hi)),
+        ValueSpec::FloatRange(lo, hi) => {
+            let v = lo + rng.unit() * (hi - lo);
+            Value::Float((v * 100.0).round() / 100.0)
+        }
+        ValueSpec::Pool(pool) => Value::Text(rng.pick(pool).to_string()),
+        ValueSpec::PersonName => Value::Text(format!(
+            "{} {}",
+            rng.pick(FIRST_NAMES),
+            rng.pick(LAST_NAMES)
+        )),
+        ValueSpec::ProperName(suffixes) => Value::Text(format!(
+            "{} {}",
+            rng.pick(LAST_NAMES),
+            rng.pick(suffixes)
+        )),
+        ValueSpec::City => Value::Text(rng.pick(CITIES).to_string()),
+        ValueSpec::Country => Value::Text(rng.pick(COUNTRIES).to_string()),
+        ValueSpec::DateRange(lo, hi) => {
+            let year = rng.range(*lo as i64, *hi as i64) as i32;
+            let month = rng.range(1, 12) as u8;
+            let day = rng.range(1, 28) as u8;
+            Value::Date(Date::new(year, month, day))
+        }
+        ValueSpec::Flag => Value::Bool(rng.chance(0.5)),
+        ValueSpec::Fk(_) => {
+            if parent_rows == 0 {
+                Value::Null
+            } else {
+                Value::Int(rng.range(1, parent_rows as i64))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+
+    #[test]
+    fn values_match_declared_types() {
+        let mut rng = Prng::new(1);
+        let specs = [
+            ValueSpec::Serial,
+            ValueSpec::IntRange(0, 9),
+            ValueSpec::FloatRange(0.0, 1.0),
+            ValueSpec::Pool(&["a", "b"]),
+            ValueSpec::PersonName,
+            ValueSpec::ProperName(&["Corp"]),
+            ValueSpec::City,
+            ValueSpec::Country,
+            ValueSpec::DateRange(2000, 2001),
+            ValueSpec::Flag,
+            ValueSpec::Fk("t"),
+        ];
+        for spec in specs {
+            let v = value_for(&spec, 3, 5, &mut rng);
+            assert_eq!(
+                v.data_type(),
+                Some(spec.data_type()),
+                "{spec:?} produced {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn serial_uses_row_index() {
+        let mut rng = Prng::new(1);
+        assert_eq!(value_for(&ValueSpec::Serial, 7, 0, &mut rng), Value::Int(7));
+    }
+
+    #[test]
+    fn fk_stays_within_parent_range() {
+        let mut rng = Prng::new(2);
+        for _ in 0..500 {
+            match value_for(&ValueSpec::Fk("p"), 1, 4, &mut rng) {
+                Value::Int(i) => assert!((1..=4).contains(&i)),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn fk_with_no_parent_rows_is_null() {
+        let mut rng = Prng::new(3);
+        assert!(value_for(&ValueSpec::Fk("p"), 1, 0, &mut rng).is_null());
+    }
+
+    #[test]
+    fn floats_are_rounded_to_cents() {
+        let mut rng = Prng::new(4);
+        for _ in 0..100 {
+            if let Value::Float(f) = value_for(&ValueSpec::FloatRange(0.0, 10.0), 1, 0, &mut rng)
+            {
+                assert!(((f * 100.0).round() - f * 100.0).abs() < 1e-9);
+            }
+        }
+    }
+}

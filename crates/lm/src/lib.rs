@@ -1,0 +1,32 @@
+//! # nli-lm
+//!
+//! The foundation-model substrate of the reproduction. The paper's
+//! foundation-language-model stage uses two model families we cannot ship:
+//! fine-tuned pretrained language models (BERT/T5-class) and hosted large
+//! language models (ChatGPT/Codex/PaLM-class). This crate substitutes both
+//! with *mechanistic simulations* whose behaviour — not whose weights —
+//! matches what the survey reports (see DESIGN.md §2):
+//!
+//! * [`plm::AlignmentModel`] and [`plm::SketchClassifier`] are genuinely
+//!   *trainable* statistical models (co-occurrence alignment + naive Bayes)
+//!   learned from (question, SQL) pairs. They improve with in-domain data
+//!   and degrade out-of-domain — the PLM-stage signature.
+//! * [`llm::SimulatedLlm`] is a seeded stochastic oracle with an explicit
+//!   capability/noise model ([`noise::CapabilityProfile`]): it takes its
+//!   internal reasoner's candidate program and corrupts it with
+//!   schema-linking, join, value, clause and syntax errors at rates
+//!   modulated by the [`prompt::PromptStrategy`] — zero-shot, few-shot
+//!   in-context learning, chain-of-thought decomposition, self-consistency.
+//! * [`prompt`] builds the actual prompt text (schema serialization +
+//!   demonstration selection by random/similarity/diversity policies) and
+//!   meters token usage, so prompting cost is measurable.
+
+pub mod llm;
+pub mod noise;
+pub mod plm;
+pub mod prompt;
+
+pub use llm::{LlmKind, SimulatedLlm};
+pub use noise::{CapabilityProfile, ErrorKind};
+pub use plm::{sketch_of, walk_exprs, walk_exprs_mut, AlignmentModel, SketchClassifier, TrainingExample};
+pub use prompt::{DemoSelection, Demonstration, Prompt, PromptStrategy};

@@ -1,0 +1,616 @@
+//! The simulated large language model.
+//!
+//! A hosted LLM is replaced by a seeded stochastic oracle: the caller (an
+//! LLM-stage parser) supplies the candidate program its "reasoning"
+//! produced, and the simulated model *corrupts* it with the documented LLM
+//! failure modes at rates set by the model tier ([`LlmKind`]) and scaled by
+//! the prompting strategy. Every corruption operator manipulates the real
+//! AST against the real schema, so downstream effects (invalid SQL, wrong
+//! execution results, near-miss exact matches) are all genuine.
+//!
+//! The same operators double as the controlled error generator for the
+//! metric meta-analysis (Table 3) and robustness studies (Table 4).
+
+use crate::noise::{CapabilityProfile, ErrorKind};
+use crate::plm::walk_exprs_mut;
+use crate::prompt::{Prompt, PromptStrategy};
+use nli_core::{Prng, Schema, Value};
+use nli_sql::{AggFunc, BinOp, ColName, Expr, Query};
+use parking_lot::Mutex;
+
+/// Model tier, ordered by capability (error rates decrease downward), in
+/// the spirit of the Codex → ChatGPT → PaLM-2/GPT-4 progression the survey
+/// traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LlmKind {
+    /// Code-model era (Rajkumar et al. zero-shot Codex).
+    Codex,
+    /// Chat-tuned era (Liu et al. ChatGPT evaluation, C3).
+    ChatGpt,
+    /// Frontier era (SQL-PaLM, DAIL-SQL-class results).
+    Frontier,
+}
+
+impl LlmKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            LlmKind::Codex => "codex",
+            LlmKind::ChatGpt => "chatgpt",
+            LlmKind::Frontier => "frontier",
+        }
+    }
+
+    /// Base (zero-shot) capability profile.
+    pub fn base_profile(self) -> CapabilityProfile {
+        match self {
+            LlmKind::Codex => CapabilityProfile {
+                schema_link: 0.16,
+                join: 0.12,
+                value: 0.10,
+                clause: 0.10,
+                aggregate: 0.06,
+                syntax: 0.06,
+            },
+            LlmKind::ChatGpt => CapabilityProfile {
+                schema_link: 0.11,
+                join: 0.09,
+                value: 0.07,
+                clause: 0.07,
+                aggregate: 0.04,
+                syntax: 0.03,
+            },
+            LlmKind::Frontier => CapabilityProfile {
+                schema_link: 0.06,
+                join: 0.05,
+                value: 0.04,
+                clause: 0.04,
+                aggregate: 0.02,
+                syntax: 0.015,
+            },
+        }
+    }
+}
+
+/// Cumulative usage accounting.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Usage {
+    pub calls: u64,
+    pub prompt_tokens: u64,
+}
+
+/// The simulated LLM.
+#[derive(Debug)]
+pub struct SimulatedLlm {
+    kind: LlmKind,
+    usage: Mutex<Usage>,
+}
+
+impl SimulatedLlm {
+    pub fn new(kind: LlmKind) -> Self {
+        SimulatedLlm { kind, usage: Mutex::new(Usage::default()) }
+    }
+
+    pub fn kind(&self) -> LlmKind {
+        self.kind
+    }
+
+    pub fn usage(&self) -> Usage {
+        *self.usage.lock()
+    }
+
+    /// The effective noise profile under a prompting strategy. The scale
+    /// factors encode the survey's findings: in-context demonstrations
+    /// mostly fix formatting/linking/value grounding; decomposition
+    /// additionally fixes join-path and clause-structure errors;
+    /// self-consistency samples at slightly reduced noise and relies on
+    /// voting (done by the caller) for the rest.
+    pub fn effective_profile(&self, strategy: PromptStrategy) -> CapabilityProfile {
+        let base = self.kind.base_profile();
+        match strategy {
+            PromptStrategy::ZeroShot => base,
+            PromptStrategy::FewShot { k, .. } => {
+                let icl = 0.95f64.powi(k.min(16) as i32);
+                base.with_scaled(ErrorKind::SchemaLink, 0.6 * icl)
+                    .with_scaled(ErrorKind::Value, 0.55)
+                    .with_scaled(ErrorKind::Syntax, 0.4)
+                    .with_scaled(ErrorKind::Aggregate, 0.7)
+            }
+            PromptStrategy::Decomposed { k, .. } => {
+                let icl = 0.95f64.powi(k.min(16) as i32);
+                base.with_scaled(ErrorKind::SchemaLink, 0.5 * icl)
+                    .with_scaled(ErrorKind::Value, 0.5)
+                    .with_scaled(ErrorKind::Syntax, 0.25)
+                    .with_scaled(ErrorKind::Aggregate, 0.6)
+                    .with_scaled(ErrorKind::Join, 0.45)
+                    .with_scaled(ErrorKind::Clause, 0.5)
+            }
+            PromptStrategy::SelfConsistency { .. } => base.scaled(0.9),
+        }
+    }
+
+    /// One model call: meter the prompt, then emit the intent program with
+    /// strategy-scaled noise applied. Returns SQL *text* (a syntax error
+    /// corrupts the text itself, exactly like a real degenerate sample).
+    pub fn generate(
+        &self,
+        intent: &Query,
+        schema: &Schema,
+        prompt: &Prompt,
+        strategy: PromptStrategy,
+        rng: &mut Prng,
+    ) -> String {
+        {
+            let mut u = self.usage.lock();
+            u.calls += 1;
+            u.prompt_tokens += prompt.token_count() as u64;
+        }
+        let profile = self.effective_profile(strategy);
+        corrupt_query(intent, schema, &profile, rng)
+    }
+}
+
+/// Apply the capability-noise model to a query, returning SQL text.
+/// Exposed for the metric meta-analysis harness.
+pub fn corrupt_query(
+    intent: &Query,
+    schema: &Schema,
+    profile: &CapabilityProfile,
+    rng: &mut Prng,
+) -> String {
+    let mut q = intent.clone();
+    if rng.chance(profile.schema_link) {
+        corrupt_schema_link(&mut q, schema, rng);
+    }
+    if rng.chance(profile.join) {
+        corrupt_join(&mut q, schema, rng);
+    }
+    if rng.chance(profile.value) {
+        corrupt_value(&mut q, rng);
+    }
+    if rng.chance(profile.clause) {
+        corrupt_clause(&mut q, rng);
+    }
+    if rng.chance(profile.aggregate) {
+        corrupt_aggregate(&mut q, rng);
+    }
+    let mut text = q.to_string();
+    if rng.chance(profile.syntax) {
+        text = corrupt_syntax(&text, rng);
+    }
+    text
+}
+
+/// Replace one column reference with a sibling column of the same table.
+fn corrupt_schema_link(q: &mut Query, schema: &Schema, rng: &mut Prng) {
+    let mut n = 0usize;
+    walk_exprs_mut(q, &mut |e| {
+        if matches!(e, Expr::Column(_)) {
+            n += 1;
+        }
+    });
+    if n == 0 {
+        return;
+    }
+    let target = rng.below(n);
+    let mut i = 0usize;
+    let pick = rng.fork(17);
+    walk_exprs_mut(q, &mut |e| {
+        if let Expr::Column(c) = e {
+            if i == target {
+                if let Some(new) = sibling_column(c, schema, &mut pick.clone()) {
+                    c.column = new;
+                }
+            }
+            i += 1;
+        }
+    });
+}
+
+/// A different column name from the same table (resolving unqualified names
+/// across the schema); `None` when the table has a single column.
+fn sibling_column(c: &ColName, schema: &Schema, rng: &mut Prng) -> Option<String> {
+    let table = match &c.table {
+        Some(t) => schema.table(t)?,
+        None => schema
+            .tables
+            .iter()
+            .find(|t| t.column_index(&c.column).is_some())?,
+    };
+    let others: Vec<&str> = table
+        .columns
+        .iter()
+        .map(|col| col.name.as_str())
+        .filter(|n| !n.eq_ignore_ascii_case(&c.column))
+        .collect();
+    if others.is_empty() {
+        None
+    } else {
+        Some(rng.pick(&others).to_string())
+    }
+}
+
+/// Break one side of a join condition.
+fn corrupt_join(q: &mut Query, schema: &Schema, rng: &mut Prng) {
+    if q.select.joins.is_empty() {
+        return;
+    }
+    let ji = rng.below(q.select.joins.len());
+    let j = &mut q.select.joins[ji];
+    let side = if rng.chance(0.5) { &mut j.left } else { &mut j.right };
+    if let Some(new) = sibling_column(side, schema, rng) {
+        side.column = new;
+    }
+}
+
+/// Perturb one literal.
+fn corrupt_value(q: &mut Query, rng: &mut Prng) {
+    let mut n = 0usize;
+    walk_exprs_mut(q, &mut |e| {
+        if matches!(e, Expr::Literal(_)) {
+            n += 1;
+        }
+    });
+    if n == 0 {
+        return;
+    }
+    let target = rng.below(n);
+    let delta = rng.range(1, 5);
+    let flip = rng.chance(0.5);
+    let mut i = 0usize;
+    walk_exprs_mut(q, &mut |e| {
+        if let Expr::Literal(v) = e {
+            if i == target {
+                *v = match &*v {
+                    Value::Int(x) => Value::Int(x + delta),
+                    Value::Float(x) => Value::Float(x * if flip { 1.5 } else { 0.5 }),
+                    Value::Text(s) => {
+                        if flip {
+                            Value::Text(format!("{s}s"))
+                        } else {
+                            Value::Text(s.to_uppercase())
+                        }
+                    }
+                    Value::Date(d) => {
+                        Value::Date(nli_core::Date::new(d.year - 1, d.month, d.day))
+                    }
+                    Value::Bool(b) => Value::Bool(!b),
+                    Value::Null => Value::Int(0),
+                };
+            }
+            i += 1;
+        }
+    });
+}
+
+/// Drop a clause: a WHERE conjunct, ORDER BY, LIMIT, or HAVING; with
+/// nothing to drop, toggle DISTINCT.
+fn corrupt_clause(q: &mut Query, rng: &mut Prng) {
+    let mut options: Vec<u8> = Vec::new();
+    if q.select.where_clause.is_some() {
+        options.push(0);
+    }
+    if !q.select.order_by.is_empty() {
+        options.push(1);
+    }
+    if q.select.limit.is_some() {
+        options.push(2);
+    }
+    if q.select.having.is_some() {
+        options.push(3);
+    }
+    match options.get(rng.below(options.len().max(1)).min(options.len().saturating_sub(1))) {
+        Some(0) => {
+            let w = q.select.where_clause.take().unwrap();
+            q.select.where_clause = drop_one_conjunct(w, rng);
+        }
+        Some(1) => q.select.order_by.clear(),
+        Some(2) => q.select.limit = None,
+        Some(3) => q.select.having = None,
+        _ => q.select.distinct = !q.select.distinct,
+    }
+}
+
+/// Remove one top-level AND conjunct; `None` when it was the only one.
+fn drop_one_conjunct(e: Expr, rng: &mut Prng) -> Option<Expr> {
+    let mut parts = Vec::new();
+    flatten_and(e, &mut parts);
+    if parts.len() <= 1 {
+        return None;
+    }
+    let drop = rng.below(parts.len());
+    parts.remove(drop);
+    let mut it = parts.into_iter();
+    let first = it.next().unwrap();
+    Some(it.fold(first, |acc, p| Expr::binary(acc, BinOp::And, p)))
+}
+
+fn flatten_and(e: Expr, out: &mut Vec<Expr>) {
+    match e {
+        Expr::Binary { left, op: BinOp::And, right } => {
+            flatten_and(*left, out);
+            flatten_and(*right, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// Swap one aggregate function for a different one.
+fn corrupt_aggregate(q: &mut Query, rng: &mut Prng) {
+    let mut n = 0usize;
+    walk_exprs_mut(q, &mut |e| {
+        if matches!(e, Expr::Agg { .. }) {
+            n += 1;
+        }
+    });
+    if n == 0 {
+        return;
+    }
+    let target = rng.below(n);
+    let step = 1 + rng.below(AggFunc::ALL.len() - 1);
+    let mut i = 0usize;
+    walk_exprs_mut(q, &mut |e| {
+        if let Expr::Agg { func, arg, .. } = e {
+            if i == target {
+                let idx = AggFunc::ALL.iter().position(|f| f == func).unwrap();
+                let mut new = AggFunc::ALL[(idx + step) % AggFunc::ALL.len()];
+                // COUNT(*) cannot become SUM(*): retarget star aggregates
+                // back to COUNT's neighbours only when arg is Star.
+                if matches!(**arg, Expr::Star) {
+                    new = AggFunc::Count;
+                }
+                *func = new;
+            }
+            i += 1;
+        }
+    });
+}
+
+/// Mangle the SQL text itself (degenerate sample).
+fn corrupt_syntax(text: &str, rng: &mut Prng) -> String {
+    let words: Vec<&str> = text.split_whitespace().collect();
+    if words.len() <= 2 {
+        return format!("{text} (");
+    }
+    match rng.below(3) {
+        0 => {
+            // delete a word from the middle
+            let i = 1 + rng.below(words.len() - 2);
+            let mut w = words.clone();
+            w.remove(i);
+            w.join(" ")
+        }
+        1 => format!("{text} AND"),
+        _ => text.replacen("FROM", "FORM", 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prompt::DemoSelection;
+    use nli_core::{Column, DataType, Database, Table};
+    use nli_sql::parse_query;
+
+    fn schema() -> Schema {
+        Schema::new(
+            "shop",
+            vec![
+                Table::new(
+                    "products",
+                    vec![
+                        Column::new("id", DataType::Int).primary(),
+                        Column::new("name", DataType::Text),
+                        Column::new("price", DataType::Float),
+                    ],
+                ),
+                Table::new(
+                    "sales",
+                    vec![
+                        Column::new("product_id", DataType::Int),
+                        Column::new("amount", DataType::Float),
+                    ],
+                ),
+            ],
+        )
+    }
+
+    fn prompt() -> Prompt {
+        let db = Database::empty(schema());
+        Prompt::build(
+            "total amount per product",
+            None,
+            &db,
+            &[],
+            0,
+            DemoSelection::Random,
+            &mut Prng::new(1),
+        )
+    }
+
+    #[test]
+    fn perfect_profile_is_identity() {
+        let q = parse_query("SELECT name FROM products WHERE price > 5 ORDER BY price DESC")
+            .unwrap();
+        let out = corrupt_query(&q, &schema(), &CapabilityProfile::perfect(), &mut Prng::new(1));
+        assert_eq!(out, q.to_string());
+    }
+
+    #[test]
+    fn full_noise_always_changes_something() {
+        let q = parse_query(
+            "SELECT name FROM products WHERE price > 5 AND id < 9 ORDER BY price LIMIT 3",
+        )
+        .unwrap();
+        let all = CapabilityProfile {
+            schema_link: 1.0,
+            join: 1.0,
+            value: 1.0,
+            clause: 1.0,
+            aggregate: 1.0,
+            syntax: 0.0,
+        };
+        for seed in 0..20 {
+            let out = corrupt_query(&q, &schema(), &all, &mut Prng::new(seed));
+            assert_ne!(out, q.to_string(), "seed {seed} produced the identity");
+        }
+    }
+
+    #[test]
+    fn syntax_corruption_breaks_parsing() {
+        let q = parse_query("SELECT name FROM products WHERE price > 5").unwrap();
+        let only_syntax = CapabilityProfile {
+            syntax: 1.0,
+            ..CapabilityProfile::perfect()
+        };
+        let mut broke = 0;
+        for seed in 0..12 {
+            let out = corrupt_query(&q, &schema(), &only_syntax, &mut Prng::new(seed));
+            if parse_query(&out).is_err() {
+                broke += 1;
+            }
+        }
+        assert!(broke >= 8, "only {broke}/12 corrupted outputs failed to parse");
+    }
+
+    #[test]
+    fn schema_link_corruption_stays_schema_valid() {
+        let q = parse_query("SELECT products.name FROM products WHERE products.price > 5")
+            .unwrap();
+        let only_link = CapabilityProfile {
+            schema_link: 1.0,
+            ..CapabilityProfile::perfect()
+        };
+        let s = schema();
+        for seed in 0..10 {
+            let out = corrupt_query(&q, &s, &only_link, &mut Prng::new(seed));
+            let parsed = parse_query(&out).unwrap();
+            // every column still exists in the schema
+            let mut ok = true;
+            crate::plm::walk_exprs(&parsed, &mut |e| {
+                if let Expr::Column(c) = e {
+                    let t = c.table.as_deref().unwrap_or("products");
+                    if s.resolve(t, &c.column).is_err() {
+                        ok = false;
+                    }
+                }
+            });
+            assert!(ok, "corrupted column no longer in schema: {out}");
+        }
+    }
+
+    #[test]
+    fn clause_corruption_drops_exactly_one_thing() {
+        let q = parse_query(
+            "SELECT name FROM products WHERE price > 5 AND id < 9",
+        )
+        .unwrap();
+        let only_clause = CapabilityProfile {
+            clause: 1.0,
+            ..CapabilityProfile::perfect()
+        };
+        let out = corrupt_query(&q, &schema(), &only_clause, &mut Prng::new(4));
+        let parsed = parse_query(&out).unwrap();
+        // one conjunct must remain
+        assert!(parsed.select.where_clause.is_some());
+        assert_ne!(parsed, q);
+    }
+
+    #[test]
+    fn strategy_ordering_of_clean_probability() {
+        let llm = SimulatedLlm::new(LlmKind::ChatGpt);
+        let zero = llm.effective_profile(PromptStrategy::ZeroShot).clean_probability();
+        let few = llm
+            .effective_profile(PromptStrategy::FewShot { k: 4, selection: DemoSelection::Similarity })
+            .clean_probability();
+        let dec = llm
+            .effective_profile(PromptStrategy::Decomposed { k: 4, selection: DemoSelection::Similarity })
+            .clean_probability();
+        assert!(zero < few, "few-shot must beat zero-shot");
+        assert!(few < dec, "decomposition must beat plain few-shot");
+    }
+
+    #[test]
+    fn model_tiers_are_ordered() {
+        {
+            let strategy = PromptStrategy::ZeroShot;
+            let codex = SimulatedLlm::new(LlmKind::Codex)
+                .effective_profile(strategy)
+                .clean_probability();
+            let chat = SimulatedLlm::new(LlmKind::ChatGpt)
+                .effective_profile(strategy)
+                .clean_probability();
+            let frontier = SimulatedLlm::new(LlmKind::Frontier)
+                .effective_profile(strategy)
+                .clean_probability();
+            assert!(codex < chat && chat < frontier);
+        }
+    }
+
+    #[test]
+    fn usage_is_metered() {
+        let llm = SimulatedLlm::new(LlmKind::ChatGpt);
+        let q = parse_query("SELECT name FROM products").unwrap();
+        let p = prompt();
+        let mut rng = Prng::new(1);
+        llm.generate(&q, &schema(), &p, PromptStrategy::ZeroShot, &mut rng);
+        llm.generate(&q, &schema(), &p, PromptStrategy::ZeroShot, &mut rng);
+        let u = llm.usage();
+        assert_eq!(u.calls, 2);
+        assert!(u.prompt_tokens > 10);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let llm = SimulatedLlm::new(LlmKind::Codex);
+        let q = parse_query("SELECT name FROM products WHERE price > 5").unwrap();
+        let p = prompt();
+        let a = llm.generate(&q, &schema(), &p, PromptStrategy::ZeroShot, &mut Prng::new(9));
+        let b = llm.generate(&q, &schema(), &p, PromptStrategy::ZeroShot, &mut Prng::new(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn aggregate_corruption_swaps_function() {
+        let q = parse_query("SELECT AVG(price) FROM products").unwrap();
+        let only_agg = CapabilityProfile {
+            aggregate: 1.0,
+            ..CapabilityProfile::perfect()
+        };
+        let out = corrupt_query(&q, &schema(), &only_agg, &mut Prng::new(2));
+        assert!(!out.contains("AVG"), "{out}");
+    }
+
+    #[test]
+    fn count_star_never_becomes_sum_star() {
+        let q = parse_query("SELECT COUNT(*) FROM products").unwrap();
+        let only_agg = CapabilityProfile {
+            aggregate: 1.0,
+            ..CapabilityProfile::perfect()
+        };
+        for seed in 0..10 {
+            let out = corrupt_query(&q, &schema(), &only_agg, &mut Prng::new(seed));
+            assert!(parse_query(&out).is_ok());
+            assert!(out.contains("COUNT(*)"), "{out}");
+        }
+    }
+
+    #[test]
+    fn join_corruption_changes_join_condition() {
+        let q = parse_query(
+            "SELECT products.name FROM sales JOIN products ON sales.product_id = products.id",
+        )
+        .unwrap();
+        let only_join = CapabilityProfile {
+            join: 1.0,
+            ..CapabilityProfile::perfect()
+        };
+        let mut changed = 0;
+        for seed in 0..10 {
+            let out = corrupt_query(&q, &schema(), &only_join, &mut Prng::new(seed));
+            if out != q.to_string() {
+                changed += 1;
+            }
+        }
+        assert!(changed >= 8, "join corruption fired only {changed}/10 times");
+    }
+}

@@ -1,0 +1,184 @@
+//! The LLM capability/noise model.
+//!
+//! Each error kind corresponds to a failure mode the Text-to-SQL
+//! literature documents for LLM-based parsers; the per-kind rates form a
+//! [`CapabilityProfile`]. Prompting strategies scale the profile (few-shot
+//! demonstrations reduce schema-linking and value errors; decomposition
+//! reduces join and clause errors; self-correction reduces syntax errors),
+//! reproducing the relative orderings of the survey's Table 2.
+
+use serde::{Deserialize, Serialize};
+
+/// A category of model error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ErrorKind {
+    /// Picked a wrong (but schema-valid) column or table.
+    SchemaLink,
+    /// Wrong join path / join condition.
+    Join,
+    /// Wrong literal value (off-by-some number, wrong string).
+    Value,
+    /// Dropped or invented a clause (condition, ORDER BY, LIMIT).
+    Clause,
+    /// Wrong aggregate function.
+    Aggregate,
+    /// Output is not even parseable SQL.
+    Syntax,
+}
+
+impl ErrorKind {
+    pub const ALL: [ErrorKind; 6] = [
+        ErrorKind::SchemaLink,
+        ErrorKind::Join,
+        ErrorKind::Value,
+        ErrorKind::Clause,
+        ErrorKind::Aggregate,
+        ErrorKind::Syntax,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorKind::SchemaLink => "schema-link",
+            ErrorKind::Join => "join",
+            ErrorKind::Value => "value",
+            ErrorKind::Clause => "clause",
+            ErrorKind::Aggregate => "aggregate",
+            ErrorKind::Syntax => "syntax",
+        }
+    }
+}
+
+/// Per-error-kind probabilities (each in `[0, 1]`, applied independently
+/// per query).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapabilityProfile {
+    pub schema_link: f64,
+    pub join: f64,
+    pub value: f64,
+    pub clause: f64,
+    pub aggregate: f64,
+    pub syntax: f64,
+}
+
+impl CapabilityProfile {
+    pub fn rate(&self, kind: ErrorKind) -> f64 {
+        match kind {
+            ErrorKind::SchemaLink => self.schema_link,
+            ErrorKind::Join => self.join,
+            ErrorKind::Value => self.value,
+            ErrorKind::Clause => self.clause,
+            ErrorKind::Aggregate => self.aggregate,
+            ErrorKind::Syntax => self.syntax,
+        }
+    }
+
+    /// Scale every rate by `factor`, clamped to `[0, 1]`.
+    pub fn scaled(&self, factor: f64) -> CapabilityProfile {
+        let s = |x: f64| (x * factor).clamp(0.0, 1.0);
+        CapabilityProfile {
+            schema_link: s(self.schema_link),
+            join: s(self.join),
+            value: s(self.value),
+            clause: s(self.clause),
+            aggregate: s(self.aggregate),
+            syntax: s(self.syntax),
+        }
+    }
+
+    /// Scale one kind only.
+    pub fn with_scaled(&self, kind: ErrorKind, factor: f64) -> CapabilityProfile {
+        let mut p = *self;
+        let slot = match kind {
+            ErrorKind::SchemaLink => &mut p.schema_link,
+            ErrorKind::Join => &mut p.join,
+            ErrorKind::Value => &mut p.value,
+            ErrorKind::Clause => &mut p.clause,
+            ErrorKind::Aggregate => &mut p.aggregate,
+            ErrorKind::Syntax => &mut p.syntax,
+        };
+        *slot = (*slot * factor).clamp(0.0, 1.0);
+        p
+    }
+
+    /// Probability that *no* error fires — an upper bound on per-query
+    /// accuracy for this profile.
+    pub fn clean_probability(&self) -> f64 {
+        ErrorKind::ALL
+            .iter()
+            .map(|k| 1.0 - self.rate(*k))
+            .product()
+    }
+
+    /// A perfect model (all rates zero) — used by oracle baselines.
+    pub fn perfect() -> CapabilityProfile {
+        CapabilityProfile {
+            schema_link: 0.0,
+            join: 0.0,
+            value: 0.0,
+            clause: 0.0,
+            aggregate: 0.0,
+            syntax: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_clamps_to_unit_interval() {
+        let p = CapabilityProfile {
+            schema_link: 0.8,
+            join: 0.5,
+            value: 0.2,
+            clause: 0.1,
+            aggregate: 0.1,
+            syntax: 0.05,
+        };
+        let up = p.scaled(10.0);
+        assert_eq!(up.schema_link, 1.0);
+        let down = p.scaled(0.0);
+        assert_eq!(down.clean_probability(), 1.0);
+    }
+
+    #[test]
+    fn clean_probability_is_product_of_complements() {
+        let p = CapabilityProfile {
+            schema_link: 0.5,
+            join: 0.5,
+            value: 0.0,
+            clause: 0.0,
+            aggregate: 0.0,
+            syntax: 0.0,
+        };
+        assert!((p.clean_probability() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_scaled_touches_only_one_kind() {
+        let p = CapabilityProfile::perfect().with_scaled(ErrorKind::Join, 2.0);
+        assert_eq!(p.join, 0.0); // 0 * 2 is still 0
+        let mut q = CapabilityProfile::perfect();
+        q.join = 0.4;
+        let q2 = q.with_scaled(ErrorKind::Join, 0.5);
+        assert!((q2.join - 0.2).abs() < 1e-12);
+        assert_eq!(q2.schema_link, 0.0);
+    }
+
+    #[test]
+    fn rates_round_trip_through_rate() {
+        let p = CapabilityProfile {
+            schema_link: 0.1,
+            join: 0.2,
+            value: 0.3,
+            clause: 0.4,
+            aggregate: 0.5,
+            syntax: 0.6,
+        };
+        for k in ErrorKind::ALL {
+            assert!(p.rate(k) > 0.0, "{}", k.name());
+        }
+        assert_eq!(p.rate(ErrorKind::Value), 0.3);
+    }
+}

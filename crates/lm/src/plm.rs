@@ -1,0 +1,540 @@
+//! The PLM analogue: genuinely *trainable* statistical models.
+//!
+//! Two components stand in for fine-tuned pretrained language models:
+//!
+//! * [`AlignmentModel`] — token↔schema co-occurrence statistics learned
+//!   from (question, SQL) pairs, the workhorse of learned schema linking
+//!   (what BERT-style encoders contribute in RAT-SQL/SQLova-class models).
+//! * [`SketchClassifier`] — a naive-Bayes classifier from question bags of
+//!   stems to SQL sketches (which aggregate, how many conditions, group/
+//!   order present), the skeleton-decoder signal of SQLNet/HydraNet-class
+//!   models.
+//!
+//! Both exhibit the PLM-stage behavioural signature the survey describes:
+//! near-ceiling accuracy with in-domain supervision, sharp degradation on
+//! unseen domains and synonym-perturbed questions — because they truly
+//! learn from the data they are given and nothing else.
+
+use nli_core::Prng;
+use nli_nlu::{is_stopword, stem, tokenize_words};
+use nli_sql::{Expr, Query};
+use std::collections::HashMap;
+
+/// One supervised example.
+#[derive(Debug, Clone)]
+pub struct TrainingExample {
+    pub question: String,
+    pub sql: Query,
+}
+
+/// Token↔schema alignment statistics.
+#[derive(Debug, Clone, Default)]
+pub struct AlignmentModel {
+    /// count(stem, column name)
+    col_counts: HashMap<(String, String), f64>,
+    /// count(stem, table name)
+    table_counts: HashMap<(String, String), f64>,
+    /// count(stem)
+    token_counts: HashMap<String, f64>,
+    examples: usize,
+}
+
+impl AlignmentModel {
+    pub fn new() -> Self {
+        AlignmentModel::default()
+    }
+
+    /// Content stems of a question.
+    fn stems(question: &str) -> Vec<String> {
+        tokenize_words(question)
+            .iter()
+            .filter(|w| !is_stopword(w))
+            .map(|w| stem(w))
+            .collect()
+    }
+
+    /// Accumulate statistics from one example.
+    ///
+    /// Credit assignment uses competitive linking (IBM-Model-1 style): a
+    /// stem that lexically matches a column claims it exclusively, and the
+    /// remaining stems share credit over the remaining columns. This is the
+    /// alignment structure attention layers learn, and it is what lets the
+    /// model attribute "takings" to `amount` when "category" has already
+    /// claimed the `category` column.
+    pub fn observe(&mut self, ex: &TrainingExample) {
+        let stems = Self::stems(&ex.question);
+        let mut cols: Vec<String> = Vec::new();
+        walk_exprs(&ex.sql, &mut |e| {
+            if let Expr::Column(c) = e {
+                cols.push(c.column.clone());
+            }
+        });
+        cols.sort();
+        cols.dedup();
+        let tables = ex.sql.tables();
+
+        // competitive linking: lexical claims first
+        let mut claimed_col = vec![false; cols.len()];
+        let mut stem_claim: Vec<Option<usize>> = vec![None; stems.len()];
+        for (ci, c) in cols.iter().enumerate() {
+            let display = c.replace('_', " ");
+            let mut best: Option<(f64, usize)> = None;
+            for (si, s) in stems.iter().enumerate() {
+                if stem_claim[si].is_some() {
+                    continue;
+                }
+                let sim = nli_nlu::lexical_similarity(s, &nli_nlu::stem(&display));
+                if sim >= 0.65 && best.is_none_or(|(b, _)| sim > b) {
+                    best = Some((sim, si));
+                }
+            }
+            if let Some((_, si)) = best {
+                claimed_col[ci] = true;
+                stem_claim[si] = Some(ci);
+            }
+        }
+        let unclaimed: Vec<usize> = (0..cols.len()).filter(|&i| !claimed_col[i]).collect();
+
+        for (si, s) in stems.iter().enumerate() {
+            *self.token_counts.entry(s.clone()).or_insert(0.0) += 1.0;
+            match stem_claim[si] {
+                Some(ci) => {
+                    *self
+                        .col_counts
+                        .entry((s.clone(), cols[ci].clone()))
+                        .or_insert(0.0) += 1.0;
+                }
+                None => {
+                    if !unclaimed.is_empty() {
+                        let w = 1.0 / unclaimed.len() as f64;
+                        for &ci in &unclaimed {
+                            *self
+                                .col_counts
+                                .entry((s.clone(), cols[ci].clone()))
+                                .or_insert(0.0) += w;
+                        }
+                    }
+                }
+            }
+            for t in &tables {
+                *self
+                    .table_counts
+                    .entry((s.clone(), t.clone()))
+                    .or_insert(0.0) += 1.0;
+            }
+        }
+        self.examples += 1;
+    }
+
+    /// Train on a batch.
+    pub fn train(&mut self, examples: &[TrainingExample]) {
+        for ex in examples {
+            self.observe(ex);
+        }
+    }
+
+    /// `P(column | stem)` from the learned statistics; 0 for unseen stems.
+    pub fn column_score(&self, word: &str, column: &str) -> f64 {
+        let s = stem(&word.to_lowercase());
+        let tc = match self.token_counts.get(&s) {
+            Some(c) => *c,
+            None => return 0.0,
+        };
+        self.col_counts
+            .get(&(s, column.to_lowercase()))
+            .map(|c| c / tc)
+            .unwrap_or(0.0)
+    }
+
+    /// `P(table | stem)`; 0 for unseen stems.
+    pub fn table_score(&self, word: &str, table: &str) -> f64 {
+        let s = stem(&word.to_lowercase());
+        let tc = match self.token_counts.get(&s) {
+            Some(c) => *c,
+            None => return 0.0,
+        };
+        self.table_counts
+            .get(&(s, table.to_lowercase()))
+            .map(|c| c / tc)
+            .unwrap_or(0.0)
+    }
+
+    /// Whether this stem occurred in training (the in-domain/OOD boundary).
+    pub fn knows(&self, word: &str) -> bool {
+        self.token_counts.contains_key(&stem(&word.to_lowercase()))
+    }
+
+    /// Fraction of a question's content stems seen in training — a direct
+    /// measure of domain shift.
+    pub fn coverage(&self, question: &str) -> f64 {
+        let stems = Self::stems(question);
+        if stems.is_empty() {
+            return 1.0;
+        }
+        let known = stems
+            .iter()
+            .filter(|s| self.token_counts.contains_key(*s))
+            .count();
+        known as f64 / stems.len() as f64
+    }
+
+    pub fn example_count(&self) -> usize {
+        self.examples
+    }
+}
+
+/// Pre-order walk over every expression of a query, including subqueries.
+pub fn walk_exprs(q: &Query, f: &mut impl FnMut(&Expr)) {
+    fn walk_expr(e: &Expr, f: &mut impl FnMut(&Expr)) {
+        f(e);
+        match e {
+            Expr::Agg { arg, .. } => walk_expr(arg, f),
+            Expr::Binary { left, right, .. } => {
+                walk_expr(left, f);
+                walk_expr(right, f);
+            }
+            Expr::Not(inner) => walk_expr(inner, f),
+            Expr::Like { expr, .. }
+            | Expr::InList { expr, .. }
+            | Expr::IsNull { expr, .. } => walk_expr(expr, f),
+            Expr::Between { expr, low, high, .. } => {
+                walk_expr(expr, f);
+                walk_expr(low, f);
+                walk_expr(high, f);
+            }
+            Expr::InSubquery { expr, query, .. } => {
+                walk_expr(expr, f);
+                walk_exprs_inner(query, f);
+            }
+            Expr::ScalarSubquery(query) => walk_exprs_inner(query, f),
+            Expr::Column(_) | Expr::Literal(_) | Expr::Star => {}
+        }
+    }
+    fn walk_exprs_inner(q: &Query, f: &mut impl FnMut(&Expr)) {
+        for item in &q.select.items {
+            walk_expr(&item.expr, f);
+        }
+        if let Some(w) = &q.select.where_clause {
+            walk_expr(w, f);
+        }
+        for g in &q.select.group_by {
+            walk_expr(g, f);
+        }
+        if let Some(h) = &q.select.having {
+            walk_expr(h, f);
+        }
+        for o in &q.select.order_by {
+            walk_expr(&o.expr, f);
+        }
+        if let Some((_, rhs)) = &q.compound {
+            walk_exprs_inner(rhs, f);
+        }
+    }
+    walk_exprs_inner(q, f)
+}
+
+/// Mutable pre-order walk (same traversal as [`walk_exprs`]).
+pub fn walk_exprs_mut(q: &mut Query, f: &mut impl FnMut(&mut Expr)) {
+    fn walk_expr(e: &mut Expr, f: &mut impl FnMut(&mut Expr)) {
+        f(e);
+        match e {
+            Expr::Agg { arg, .. } => walk_expr(arg, f),
+            Expr::Binary { left, right, .. } => {
+                walk_expr(left, f);
+                walk_expr(right, f);
+            }
+            Expr::Not(inner) => walk_expr(inner, f),
+            Expr::Like { expr, .. }
+            | Expr::InList { expr, .. }
+            | Expr::IsNull { expr, .. } => walk_expr(expr, f),
+            Expr::Between { expr, low, high, .. } => {
+                walk_expr(expr, f);
+                walk_expr(low, f);
+                walk_expr(high, f);
+            }
+            Expr::InSubquery { expr, query, .. } => {
+                walk_expr(expr, f);
+                walk_inner(query, f);
+            }
+            Expr::ScalarSubquery(query) => walk_inner(query, f),
+            Expr::Column(_) | Expr::Literal(_) | Expr::Star => {}
+        }
+    }
+    fn walk_inner(q: &mut Query, f: &mut impl FnMut(&mut Expr)) {
+        for item in &mut q.select.items {
+            walk_expr(&mut item.expr, f);
+        }
+        if let Some(w) = &mut q.select.where_clause {
+            walk_expr(w, f);
+        }
+        for g in &mut q.select.group_by {
+            walk_expr(g, f);
+        }
+        if let Some(h) = &mut q.select.having {
+            walk_expr(h, f);
+        }
+        for o in &mut q.select.order_by {
+            walk_expr(&mut o.expr, f);
+        }
+        if let Some((_, rhs)) = &mut q.compound {
+            walk_inner(rhs, f);
+        }
+    }
+    walk_inner(q, f)
+}
+
+/// Sketch string of a query: the abstract shape skeleton decoders predict.
+pub fn sketch_of(q: &Query) -> String {
+    let s = &q.select;
+    let agg = s
+        .items
+        .iter()
+        .find_map(|i| match &i.expr {
+            Expr::Agg { func, .. } => Some(func.name()),
+            _ => None,
+        })
+        .unwrap_or("NONE");
+    let n_conds = s
+        .where_clause
+        .as_ref()
+        .map(count_leaf_predicates)
+        .unwrap_or(0);
+    format!(
+        "AGG:{agg}|COND:{n_conds}|GROUP:{}|HAVING:{}|ORDER:{}|LIMIT:{}|DISTINCT:{}",
+        u8::from(!s.group_by.is_empty()),
+        u8::from(s.having.is_some()),
+        u8::from(!s.order_by.is_empty()),
+        u8::from(s.limit.is_some()),
+        u8::from(s.distinct),
+    )
+}
+
+fn count_leaf_predicates(e: &Expr) -> usize {
+    match e {
+        Expr::Binary { left, op: nli_sql::BinOp::And | nli_sql::BinOp::Or, right } => {
+            count_leaf_predicates(left) + count_leaf_predicates(right)
+        }
+        _ => 1,
+    }
+}
+
+/// Naive-Bayes sketch classifier over question stems.
+#[derive(Debug, Clone, Default)]
+pub struct SketchClassifier {
+    /// class → (count, per-stem counts)
+    classes: HashMap<String, (f64, HashMap<String, f64>)>,
+    /// global document frequency per stem
+    vocab: HashMap<String, f64>,
+    total: f64,
+}
+
+impl SketchClassifier {
+    pub fn new() -> Self {
+        SketchClassifier::default()
+    }
+
+    pub fn train(&mut self, examples: &[TrainingExample]) {
+        self.train_with(examples, sketch_of);
+    }
+
+    /// Train against an arbitrary label function — used to decompose the
+    /// sketch into independent slot classifiers (SQLNet's seq-to-set
+    /// decomposition predicts the aggregate and the condition count with
+    /// separate heads, which is far more sample-efficient than a joint
+    /// label space).
+    pub fn train_with(
+        &mut self,
+        examples: &[TrainingExample],
+        label: impl Fn(&Query) -> String,
+    ) {
+        for ex in examples {
+            let label = label(&ex.sql);
+            let entry = self.classes.entry(label).or_insert((0.0, HashMap::new()));
+            entry.0 += 1.0;
+            let mut stems = AlignmentModel::stems(&ex.question);
+            stems.sort();
+            stems.dedup();
+            for s in stems {
+                *entry.1.entry(s.clone()).or_insert(0.0) += 1.0;
+                *self.vocab.entry(s).or_insert(0.0) += 1.0;
+            }
+            self.total += 1.0;
+        }
+    }
+
+    /// Most probable sketch for a question, or `None` before training.
+    ///
+    /// Uses Bernoulli naive Bayes over stem *presence* (add-one smoothed
+    /// per class example count): multinomial NB over raw counts is badly
+    /// miscalibrated when class document lengths differ by an order of
+    /// magnitude, which they do here (plain projections dominate every
+    /// corpus).
+    pub fn predict(&self, question: &str) -> Option<String> {
+        if self.classes.is_empty() {
+            return None;
+        }
+        let mut stems = AlignmentModel::stems(question);
+        stems.sort();
+        stems.dedup();
+        // rare stems (values, names) carry no class signal and smoothing
+        // would systematically favour small classes on them; the cutoff
+        // scales with corpus size so tiny corpora keep their vocabulary
+        let min_count = (self.total / 50.0).clamp(1.0, 3.0);
+        stems.retain(|s| self.vocab.get(s).copied().unwrap_or(0.0) >= min_count);
+        let mut best: Option<(f64, &String)> = None;
+        // deterministic iteration: sort classes by name
+        let mut class_names: Vec<&String> = self.classes.keys().collect();
+        class_names.sort();
+        for name in class_names {
+            let (count, words) = &self.classes[name];
+            let mut logp = (count / self.total).ln();
+            for s in &stems {
+                let c = words.get(s).copied().unwrap_or(0.0).min(*count);
+                // m-estimate smoothing toward the stem's global rate keeps
+                // class size out of the unseen-word term
+                let prior = self.vocab.get(s).copied().unwrap_or(1.0) / self.total;
+                let p = (c + 4.0 * prior) / (count + 4.0);
+                logp += p.ln();
+            }
+            if best.is_none() || logp > best.unwrap().0 {
+                best = Some((logp, name));
+            }
+        }
+        best.map(|(_, name)| name.clone())
+    }
+
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Sample a class proportional to the prior — fallback when the
+    /// question is fully out of vocabulary.
+    pub fn sample_prior(&self, rng: &mut Prng) -> Option<String> {
+        if self.classes.is_empty() {
+            return None;
+        }
+        let mut names: Vec<&String> = self.classes.keys().collect();
+        names.sort();
+        let weights: Vec<f64> = names.iter().map(|n| self.classes[*n].0).collect();
+        let i = rng.pick_weighted(&weights);
+        Some(names[i].clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nli_sql::parse_query;
+
+    fn ex(q: &str, sql: &str) -> TrainingExample {
+        TrainingExample { question: q.into(), sql: parse_query(sql).unwrap() }
+    }
+
+    fn corpus() -> Vec<TrainingExample> {
+        vec![
+            ex("how many singers are there", "SELECT COUNT(*) FROM singer"),
+            ex("count the singers", "SELECT COUNT(*) FROM singer"),
+            ex("what is the average age of singers", "SELECT AVG(age) FROM singer"),
+            ex(
+                "names of singers older than 30",
+                "SELECT name FROM singer WHERE age > 30",
+            ),
+            ex(
+                "average price of each product category",
+                "SELECT category, AVG(price) FROM products GROUP BY category",
+            ),
+        ]
+    }
+
+    #[test]
+    fn alignment_learns_token_column_pairs() {
+        let mut m = AlignmentModel::new();
+        m.train(&corpus());
+        assert!(m.column_score("age", "age") > 0.0);
+        assert!(m.column_score("age", "price") == 0.0);
+        assert!(m.table_score("singers", "singer") > m.table_score("singers", "products"));
+        assert_eq!(m.example_count(), 5);
+    }
+
+    #[test]
+    fn unseen_tokens_score_zero() {
+        let mut m = AlignmentModel::new();
+        m.train(&corpus());
+        assert_eq!(m.column_score("xylophone", "age"), 0.0);
+        assert!(!m.knows("xylophone"));
+        assert!(m.knows("singers")); // stems to singer
+    }
+
+    #[test]
+    fn coverage_measures_domain_shift() {
+        let mut m = AlignmentModel::new();
+        m.train(&corpus());
+        let in_domain = m.coverage("average age of singers");
+        let out_domain = m.coverage("total runway length of airports");
+        assert!(in_domain > out_domain);
+        assert!(in_domain > 0.9);
+    }
+
+    #[test]
+    fn sketch_of_captures_shape() {
+        let q = parse_query(
+            "SELECT category, COUNT(*) FROM p GROUP BY category ORDER BY COUNT(*) DESC LIMIT 3",
+        )
+        .unwrap();
+        let s = sketch_of(&q);
+        assert!(s.contains("AGG:COUNT"));
+        assert!(s.contains("GROUP:1"));
+        assert!(s.contains("ORDER:1"));
+        assert!(s.contains("LIMIT:1"));
+    }
+
+    #[test]
+    fn sketch_classifier_predicts_trained_shapes() {
+        let mut c = SketchClassifier::new();
+        c.train(&corpus());
+        let pred = c.predict("how many singers perform").unwrap();
+        assert!(pred.contains("AGG:COUNT"), "{pred}");
+        let pred = c.predict("what is the average age of teachers").unwrap();
+        assert!(pred.contains("AGG:AVG"), "{pred}");
+    }
+
+    #[test]
+    fn untrained_classifier_returns_none() {
+        let c = SketchClassifier::new();
+        assert!(c.predict("anything").is_none());
+        assert!(c.sample_prior(&mut Prng::new(1)).is_none());
+    }
+
+    #[test]
+    fn prior_sampling_is_deterministic() {
+        let mut c = SketchClassifier::new();
+        c.train(&corpus());
+        let a = c.sample_prior(&mut Prng::new(3));
+        let b = c.sample_prior(&mut Prng::new(3));
+        assert_eq!(a, b);
+        assert!(c.class_count() >= 3);
+    }
+
+    #[test]
+    fn walkers_visit_subqueries() {
+        let q = parse_query(
+            "SELECT a FROM t WHERE b IN (SELECT b FROM u WHERE c = 1) AND d = 2",
+        )
+        .unwrap();
+        let mut cols = Vec::new();
+        walk_exprs(&q, &mut |e| {
+            if let Expr::Column(c) = e {
+                cols.push(c.column.clone());
+            }
+        });
+        assert!(cols.contains(&"c".to_string()), "{cols:?}");
+        let mut q2 = q.clone();
+        let mut n = 0;
+        walk_exprs_mut(&mut q2, &mut |e| {
+            if matches!(e, Expr::Literal(_)) {
+                n += 1;
+            }
+        });
+        assert_eq!(n, 2);
+    }
+}

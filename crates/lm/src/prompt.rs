@@ -1,0 +1,281 @@
+//! Prompt construction and demonstration selection.
+//!
+//! Reproduces the prompt-engineering axis of the survey's LLM stage: a
+//! [`Prompt`] serializes the database schema and (for few-shot strategies)
+//! a set of demonstrations chosen by a [`DemoSelection`] policy — the
+//! random / similarity / diversity trade-off studied by Nan et al. (2023).
+//! Prompts meter their own token counts so harnesses can report cost.
+
+use nli_core::{Database, Prng};
+use nli_nlu::Embedding;
+use serde::{Deserialize, Serialize};
+
+/// How the LLM is prompted. Determines both the prompt text and the noise
+/// scaling the simulated model applies (see [`crate::llm`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PromptStrategy {
+    /// Schema + question only (Rajkumar et al., C3-style).
+    ZeroShot,
+    /// `k` demonstrations selected by `selection` (DIN-SQL-adjacent ICL).
+    FewShot { k: usize, selection: DemoSelection },
+    /// Few-shot plus explicit step decomposition (schema linking →
+    /// classification → generation → self-correction), DIN-SQL-style.
+    Decomposed { k: usize, selection: DemoSelection },
+    /// Sample `n` candidates and majority-vote on execution results
+    /// (SQL-PaLM-style self-consistency).
+    SelfConsistency { n: usize },
+}
+
+impl PromptStrategy {
+    pub fn name(&self) -> &'static str {
+        match self {
+            PromptStrategy::ZeroShot => "zero-shot",
+            PromptStrategy::FewShot { .. } => "few-shot",
+            PromptStrategy::Decomposed { .. } => "decomposed",
+            PromptStrategy::SelfConsistency { .. } => "self-consistency",
+        }
+    }
+}
+
+/// Demonstration selection policy for in-context learning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DemoSelection {
+    /// Uniform over the pool.
+    Random,
+    /// Nearest neighbours of the question by embedding cosine.
+    Similarity,
+    /// Alternate similar and dissimilar picks — the diversity/similarity
+    /// balance Nan et al. found superior.
+    Diversity,
+}
+
+/// A (question, program) demonstration pair.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Demonstration {
+    pub question: String,
+    pub program: String,
+}
+
+/// A fully rendered prompt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prompt {
+    pub system: String,
+    pub schema: String,
+    pub demonstrations: Vec<Demonstration>,
+    pub question: String,
+    /// Optional BIRD-style external knowledge.
+    pub evidence: Option<String>,
+}
+
+impl Prompt {
+    /// Build a prompt for `question` over `db`, selecting demonstrations
+    /// from `pool` per `selection`.
+    pub fn build(
+        question: &str,
+        evidence: Option<&str>,
+        db: &Database,
+        pool: &[Demonstration],
+        k: usize,
+        selection: DemoSelection,
+        rng: &mut Prng,
+    ) -> Prompt {
+        Prompt {
+            system: "Translate the question into SQL over the given schema.".to_string(),
+            schema: db.schema.describe(),
+            demonstrations: select_demos(question, pool, k, selection, rng),
+            question: question.to_string(),
+            evidence: evidence.map(str::to_string),
+        }
+    }
+
+    /// Render the full prompt text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.system);
+        out.push_str("\n\nSchema:\n");
+        out.push_str(&self.schema);
+        for d in &self.demonstrations {
+            out.push_str(&format!("\nQ: {}\nSQL: {}\n", d.question, d.program));
+        }
+        if let Some(e) = &self.evidence {
+            out.push_str(&format!("\nEvidence: {e}\n"));
+        }
+        out.push_str(&format!("\nQ: {}\nSQL:", self.question));
+        out
+    }
+
+    /// Approximate token count (whitespace tokens; adequate for relative
+    /// cost reporting).
+    pub fn token_count(&self) -> usize {
+        self.render().split_whitespace().count()
+    }
+}
+
+/// Select `k` demonstrations from the pool.
+pub fn select_demos(
+    question: &str,
+    pool: &[Demonstration],
+    k: usize,
+    selection: DemoSelection,
+    rng: &mut Prng,
+) -> Vec<Demonstration> {
+    if pool.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    let k = k.min(pool.len());
+    match selection {
+        DemoSelection::Random => rng
+            .sample_indices(pool.len(), k)
+            .into_iter()
+            .map(|i| pool[i].clone())
+            .collect(),
+        DemoSelection::Similarity => {
+            let q = Embedding::of(question);
+            let mut scored: Vec<(f64, usize)> = pool
+                .iter()
+                .enumerate()
+                .map(|(i, d)| (q.cosine(&Embedding::of(&d.question)), i))
+                .collect();
+            scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+            scored[..k].iter().map(|&(_, i)| pool[i].clone()).collect()
+        }
+        DemoSelection::Diversity => {
+            // Greedy max-marginal-relevance: first by similarity to the
+            // question, then alternating away from what's already chosen.
+            let q = Embedding::of(question);
+            let embs: Vec<Embedding> =
+                pool.iter().map(|d| Embedding::of(&d.question)).collect();
+            let mut chosen: Vec<usize> = Vec::new();
+            while chosen.len() < k {
+                let mut best: Option<(f64, usize)> = None;
+                for (i, e) in embs.iter().enumerate() {
+                    if chosen.contains(&i) {
+                        continue;
+                    }
+                    let sim_q = q.cosine(e);
+                    let max_sim_chosen = chosen
+                        .iter()
+                        .map(|&j| e.cosine(&embs[j]))
+                        .fold(0.0f64, f64::max);
+                    let score = 0.6 * sim_q - 0.4 * max_sim_chosen;
+                    if best.is_none() || score > best.unwrap().0 {
+                        best = Some((score, i));
+                    }
+                }
+                chosen.push(best.unwrap().1);
+            }
+            chosen.into_iter().map(|i| pool[i].clone()).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nli_core::{Column, DataType, Database, Schema, Table};
+
+    fn pool() -> Vec<Demonstration> {
+        vec![
+            Demonstration {
+                question: "how many singers are there".into(),
+                program: "SELECT COUNT(*) FROM singer".into(),
+            },
+            Demonstration {
+                question: "count the number of singers".into(),
+                program: "SELECT COUNT(*) FROM singer".into(),
+            },
+            Demonstration {
+                question: "average price of products".into(),
+                program: "SELECT AVG(price) FROM products".into(),
+            },
+            Demonstration {
+                question: "list all airport names".into(),
+                program: "SELECT name FROM airport".into(),
+            },
+        ]
+    }
+
+    fn db() -> Database {
+        Database::empty(Schema::new(
+            "d",
+            vec![Table::new("singer", vec![Column::new("name", DataType::Text)])],
+        ))
+    }
+
+    #[test]
+    fn similarity_selection_prefers_near_neighbours() {
+        let mut rng = Prng::new(1);
+        let demos = select_demos(
+            "how many singers perform",
+            &pool(),
+            2,
+            DemoSelection::Similarity,
+            &mut rng,
+        );
+        assert!(demos.iter().all(|d| d.question.contains("singers")));
+    }
+
+    #[test]
+    fn diversity_selection_spreads_out() {
+        let mut rng = Prng::new(1);
+        let demos = select_demos(
+            "how many singers perform",
+            &pool(),
+            3,
+            DemoSelection::Diversity,
+            &mut rng,
+        );
+        // With two near-duplicates in the pool, diversity should not take
+        // both before anything else.
+        let dup_count = demos
+            .iter()
+            .filter(|d| d.question.contains("singers"))
+            .count();
+        assert!(dup_count <= 2);
+        assert_eq!(demos.len(), 3);
+    }
+
+    #[test]
+    fn random_selection_is_deterministic_per_seed() {
+        let a = select_demos("q", &pool(), 2, DemoSelection::Random, &mut Prng::new(7));
+        let b = select_demos("q", &pool(), 2, DemoSelection::Random, &mut Prng::new(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn k_is_clamped_to_pool_size() {
+        let demos =
+            select_demos("q", &pool(), 99, DemoSelection::Similarity, &mut Prng::new(1));
+        assert_eq!(demos.len(), 4);
+        assert!(select_demos("q", &[], 3, DemoSelection::Random, &mut Prng::new(1))
+            .is_empty());
+    }
+
+    #[test]
+    fn prompt_renders_schema_demos_question() {
+        let mut rng = Prng::new(1);
+        let p = Prompt::build(
+            "how many singers",
+            Some("singers live in the singer table"),
+            &db(),
+            &pool(),
+            1,
+            DemoSelection::Similarity,
+            &mut rng,
+        );
+        let text = p.render();
+        assert!(text.contains("singer(name text)"));
+        assert!(text.contains("Q: how many singers"));
+        assert!(text.contains("Evidence:"));
+        assert!(p.token_count() > 10);
+    }
+
+    #[test]
+    fn strategy_names() {
+        assert_eq!(PromptStrategy::ZeroShot.name(), "zero-shot");
+        assert_eq!(
+            PromptStrategy::FewShot { k: 4, selection: DemoSelection::Random }.name(),
+            "few-shot"
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Component matching: Spider-style exact set match and partial F1.
+
+use nli_sql::{decompose, parse_query};
+
+/// Exact set match: clause components compared as sets (select items,
+/// WHERE conjuncts, group keys order-free; ORDER BY order-sensitive).
+/// Unparseable predictions never match.
+pub fn exact_set_match(pred: &str, gold: &str) -> bool {
+    match (parse_query(pred), parse_query(gold)) {
+        (Ok(p), Ok(g)) => decompose(&p).matches(&decompose(&g)),
+        _ => false,
+    }
+}
+
+/// Partial component credit: fraction of clause components that match
+/// (`matched / total` over the union of non-empty components). 0.0 for
+/// unparseable predictions.
+pub fn component_f1(pred: &str, gold: &str) -> f64 {
+    match (parse_query(pred), parse_query(gold)) {
+        (Ok(p), Ok(g)) => {
+            let (m, t) = decompose(&p).overlap(&decompose(&g));
+            if t == 0 {
+                1.0
+            } else {
+                m as f64 / t as f64
+            }
+        }
+        _ => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_match_forgives_clause_order() {
+        assert!(exact_set_match(
+            "SELECT b, a FROM t WHERE y = 2 AND x = 1",
+            "SELECT a, b FROM t WHERE x = 1 AND y = 2"
+        ));
+    }
+
+    #[test]
+    fn set_match_catches_missing_conditions() {
+        assert!(!exact_set_match(
+            "SELECT a FROM t WHERE x = 1",
+            "SELECT a FROM t WHERE x = 1 AND y = 2"
+        ));
+    }
+
+    #[test]
+    fn partial_credit_is_graded() {
+        let gold = "SELECT a FROM t WHERE x = 1 ORDER BY a ASC LIMIT 3";
+        let close = "SELECT a FROM t WHERE x = 1 ORDER BY a ASC LIMIT 5";
+        let far = "SELECT z FROM u";
+        let c = component_f1(close, gold);
+        let f = component_f1(far, gold);
+        assert!(c > f, "{c} vs {f}");
+        assert!(c >= 0.7);
+        assert!(f < 0.2);
+    }
+
+    #[test]
+    fn unparseable_prediction_scores_zero() {
+        assert!(!exact_set_match("SELEC whoops", "SELECT a FROM t"));
+        assert_eq!(component_f1("SELEC whoops", "SELECT a FROM t"), 0.0);
+    }
+}

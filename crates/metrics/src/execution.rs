@@ -1,0 +1,110 @@
+//! Naive execution matching.
+//!
+//! A prediction is correct when executing it yields the same result as the
+//! gold query — robust to aliasing, but (as Table 3 warns) "prone to false
+//! positives": two different queries can coincide on one database state.
+//! The test-suite variant (see [`crate::test_suite`]) exists to close that
+//! hole.
+
+use nli_core::Database;
+use nli_sql::SqlEngine;
+
+/// Whether `pred` and `gold` produce the same result on `db`. Predictions
+/// that fail to parse or execute never match; a gold query that fails to
+/// execute (should not happen for generated benchmarks) also yields false.
+pub fn execution_match(pred: &str, gold: &str, db: &Database) -> bool {
+    let engine = SqlEngine::new();
+    let Ok(gold_rs) = engine.run_sql(gold, db) else {
+        return false;
+    };
+    match engine.run_sql(pred, db) {
+        Ok(pred_rs) => pred_rs.same_result(&gold_rs),
+        Err(_) => false,
+    }
+}
+
+/// Whether `pred` merely *executes* (validity rate reporting).
+pub fn executes(pred: &str, db: &Database) -> bool {
+    SqlEngine::new().run_sql(pred, db).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nli_core::{Column, DataType, Schema, Table};
+
+    fn db() -> Database {
+        let schema = Schema::new(
+            "d",
+            vec![Table::new(
+                "t",
+                vec![
+                    Column::new("a", DataType::Int),
+                    Column::new("b", DataType::Text),
+                ],
+            )],
+        );
+        let mut d = Database::empty(schema);
+        d.insert_all(
+            "t",
+            vec![
+                vec![1.into(), "x".into()],
+                vec![2.into(), "y".into()],
+                vec![3.into(), "y".into()],
+            ],
+        )
+        .unwrap();
+        d
+    }
+
+    #[test]
+    fn syntactically_different_but_equivalent_queries_match() {
+        assert!(execution_match(
+            "SELECT a FROM t WHERE a >= 2",
+            "SELECT a FROM t WHERE a > 1",
+            &db()
+        ));
+    }
+
+    #[test]
+    fn different_results_fail() {
+        assert!(!execution_match(
+            "SELECT a FROM t WHERE a > 2",
+            "SELECT a FROM t WHERE a > 1",
+            &db()
+        ));
+    }
+
+    #[test]
+    fn false_positive_on_coincidental_state() {
+        // On THIS database, "b = 'y'" and "a >= 2" select the same rows —
+        // the documented execution-match false positive.
+        assert!(execution_match(
+            "SELECT a FROM t WHERE b = 'y'",
+            "SELECT a FROM t WHERE a >= 2",
+            &db()
+        ));
+    }
+
+    #[test]
+    fn broken_predictions_fail() {
+        assert!(!execution_match("SELEC oops", "SELECT a FROM t", &db()));
+        assert!(!execution_match("SELECT z FROM t", "SELECT a FROM t", &db()));
+        assert!(!executes("SELECT z FROM t", &db()));
+        assert!(executes("SELECT a FROM t", &db()));
+    }
+
+    #[test]
+    fn order_sensitivity_only_with_order_by() {
+        assert!(execution_match(
+            "SELECT a FROM t WHERE a > 0",
+            "SELECT a FROM t",
+            &db()
+        ));
+        assert!(!execution_match(
+            "SELECT a FROM t ORDER BY a ASC",
+            "SELECT a FROM t ORDER BY a DESC",
+            &db()
+        ));
+    }
+}

@@ -1,0 +1,52 @@
+//! Fuzzy matching: BLEU-4 similarity with a decision threshold.
+//!
+//! Table 3 characterizes fuzzy matching as "suitable for complex queries"
+//! but of "insufficient precision": a near-miss that changes one literal
+//! still scores high. The meta-analysis measures exactly that leniency.
+
+use nli_nlu::ngram::bleu_text;
+use nli_sql::normalize::normalize;
+
+/// BLEU-4 similarity between normalized SQL strings, in `[0, 1]`.
+pub fn bleu_score(pred: &str, gold: &str) -> f64 {
+    bleu_text(&normalize(pred), &normalize(gold))
+}
+
+/// Fuzzy match at a threshold (0.9 is the conventional operating point).
+pub fn fuzzy_match(pred: &str, gold: &str, threshold: f64) -> bool {
+    bleu_score(pred, gold) >= threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_queries_score_one_ish() {
+        assert!(bleu_score("SELECT a FROM t", "select a from t") > 0.9);
+    }
+
+    #[test]
+    fn near_miss_passes_fuzzy_but_not_exact() {
+        let gold = "SELECT name FROM singer WHERE age > 30 ORDER BY age DESC LIMIT 3";
+        let near = "SELECT name FROM singer WHERE age > 31 ORDER BY age DESC LIMIT 3";
+        assert!(fuzzy_match(near, gold, 0.75), "bleu = {}", bleu_score(near, gold));
+        assert!(!crate::string_match::exact_match(near, gold));
+    }
+
+    #[test]
+    fn unrelated_queries_fail() {
+        assert!(!fuzzy_match(
+            "SELECT COUNT(*) FROM concert",
+            "SELECT name FROM singer WHERE age > 30",
+            0.5
+        ));
+    }
+
+    #[test]
+    fn score_is_symmetric_enough_for_ranking() {
+        let a = bleu_score("SELECT a FROM t WHERE x = 1", "SELECT a FROM t");
+        let b = bleu_score("SELECT a FROM t", "SELECT a FROM t WHERE x = 1");
+        assert!((a - b).abs() < 0.35); // brevity penalty makes it asymmetric
+    }
+}

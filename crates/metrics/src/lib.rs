@@ -1,0 +1,37 @@
+//! # nli-metrics
+//!
+//! The survey's evaluation-metric inventory (§5.1–5.2, Table 3), complete
+//! and measurable:
+//!
+//! | Type | Metric | Module |
+//! |---|---|---|
+//! | string-based | exact string match (normalized) | [`string_match`] |
+//! | string-based | fuzzy match (BLEU-4) | [`fuzzy`] |
+//! | string-based | component / exact set match | [`component`] |
+//! | execution-based | naive execution match | [`execution`] |
+//! | execution-based | test-suite match (distilled DB variants) | [`test_suite`] |
+//! | manual | simulated judge panel | [`manual`] |
+//! | vis | overall / component / execution accuracy | [`vis`] |
+//!
+//! [`report`] evaluates whole parsers against `nli-data` benchmarks, and
+//! [`meta`] runs the controlled meta-analysis behind the Table 3
+//! comparison (which metrics admit false positives/negatives, at what
+//! cost).
+
+pub mod component;
+pub mod execution;
+pub mod fuzzy;
+pub mod manual;
+pub mod meta;
+pub mod report;
+pub mod string_match;
+pub mod test_suite;
+pub mod vis;
+
+pub use component::{component_f1, exact_set_match};
+pub use execution::execution_match;
+pub use fuzzy::{bleu_score, fuzzy_match};
+pub use manual::JudgePanel;
+pub use report::{evaluate_sql, evaluate_vis, SqlScores, VisScores};
+pub use string_match::exact_match;
+pub use test_suite::{test_suite_match, TestSuite};

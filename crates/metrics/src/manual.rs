@@ -1,0 +1,158 @@
+//! Simulated manual evaluation.
+//!
+//! Human judges are the survey's gold standard ("precise, flexible") and
+//! its most expensive metric ("high cost, low efficiency"). The simulated
+//! panel makes both properties measurable: each judge sees the ground-truth
+//! semantic verdict (computed from a strong equivalence oracle) and reports
+//! it with per-judge noise; the panel majority-votes, and every judgment is
+//! metered as cost.
+
+use crate::component::exact_set_match;
+use crate::execution::execution_match;
+use crate::test_suite::{test_suite_match, TestSuite};
+use nli_core::{Database, Prng};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A panel of simulated annotators.
+pub struct JudgePanel {
+    pub n_judges: usize,
+    /// Probability each judge reports the true verdict (0.5 = coin flip).
+    pub reliability: f64,
+    seed: u64,
+    judgments: AtomicU64,
+}
+
+impl JudgePanel {
+    pub fn new(n_judges: usize, reliability: f64, seed: u64) -> JudgePanel {
+        JudgePanel {
+            n_judges: n_judges.max(1),
+            reliability: reliability.clamp(0.5, 1.0),
+            seed,
+            judgments: AtomicU64::new(0),
+        }
+    }
+
+    /// Total individual judgments rendered (the cost meter).
+    pub fn judgments(&self) -> u64 {
+        self.judgments.load(Ordering::Relaxed)
+    }
+
+    /// The panel's semantic-equivalence oracle: string equivalence, or
+    /// execution agreement across a small test suite (what a careful human
+    /// checks when results differ superficially).
+    fn truth(pred: &str, gold: &str, db: &Database) -> bool {
+        if exact_set_match(pred, gold) {
+            return true;
+        }
+        if !execution_match(pred, gold, db) {
+            return false;
+        }
+        let suite = TestSuite::build(db, 4, 0xC0FFEE);
+        test_suite_match(pred, gold, &suite)
+    }
+
+    /// Majority verdict of the panel on one (pred, gold) pair.
+    pub fn judge(&self, pred: &str, gold: &str, db: &Database) -> bool {
+        let truth = Self::truth(pred, gold, db);
+        let mut h: u64 = self.seed;
+        for b in pred.bytes().chain(gold.bytes()) {
+            h = h.wrapping_mul(0x100_0000_01b3).wrapping_add(b as u64);
+        }
+        let mut rng = Prng::new(h);
+        let mut yes = 0;
+        for _ in 0..self.n_judges {
+            self.judgments.fetch_add(1, Ordering::Relaxed);
+            let report = if rng.chance(self.reliability) { truth } else { !truth };
+            yes += usize::from(report);
+        }
+        yes * 2 > self.n_judges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nli_core::{Column, DataType, Schema, Table};
+
+    fn db() -> Database {
+        let schema = Schema::new(
+            "d",
+            vec![Table::new(
+                "t",
+                vec![
+                    Column::new("id", DataType::Int).primary(),
+                    Column::new("a", DataType::Int),
+                ],
+            )],
+        );
+        let mut d = Database::empty(schema);
+        d.insert_all(
+            "t",
+            vec![
+                vec![1.into(), 10.into()],
+                vec![2.into(), 20.into()],
+                vec![3.into(), 30.into()],
+                vec![4.into(), 40.into()],
+                vec![5.into(), 50.into()],
+            ],
+        )
+        .unwrap();
+        d
+    }
+
+    #[test]
+    fn reliable_panel_reports_truth() {
+        let panel = JudgePanel::new(5, 1.0, 1);
+        assert!(panel.judge("SELECT a FROM t WHERE a > 15", "SELECT a FROM t WHERE a >= 20", &db()));
+        assert!(!panel.judge("SELECT a FROM t WHERE a > 25", "SELECT a FROM t WHERE a >= 20", &db()));
+        assert_eq!(panel.judgments(), 10);
+    }
+
+    #[test]
+    fn verdicts_are_deterministic() {
+        let panel = JudgePanel::new(3, 0.8, 9);
+        let a = panel.judge("SELECT a FROM t", "SELECT a FROM t", &db());
+        let b = panel.judge("SELECT a FROM t", "SELECT a FROM t", &db());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unreliable_judges_make_more_mistakes_than_reliable_ones() {
+        let reliable = JudgePanel::new(1, 1.0, 42);
+        let noisy = JudgePanel::new(1, 0.6, 42);
+        let pairs: Vec<(String, String)> = (0..40)
+            .map(|i| {
+                (
+                    format!("SELECT a FROM t WHERE a > {i}"),
+                    format!("SELECT a FROM t WHERE a > {i}"),
+                )
+            })
+            .collect();
+        let d = db();
+        let rel_correct = pairs
+            .iter()
+            .filter(|(p, g)| reliable.judge(p, g, &d))
+            .count();
+        let noisy_correct = pairs.iter().filter(|(p, g)| noisy.judge(p, g, &d)).count();
+        assert_eq!(rel_correct, 40);
+        assert!(noisy_correct < 40);
+    }
+
+    #[test]
+    fn panel_majority_beats_single_noisy_judge() {
+        let single = JudgePanel::new(1, 0.7, 3);
+        let panel = JudgePanel::new(7, 0.7, 3);
+        let pairs: Vec<(String, String)> = (0..60)
+            .map(|i| {
+                (
+                    format!("SELECT a FROM t WHERE a > {i}"),
+                    format!("SELECT a FROM t WHERE a > {i}"),
+                )
+            })
+            .collect();
+        let d = db();
+        let s = pairs.iter().filter(|(p, g)| single.judge(p, g, &d)).count();
+        let p = pairs.iter().filter(|(p, g)| panel.judge(p, g, &d)).count();
+        assert!(p >= s, "panel {p} vs single {s}");
+    }
+}

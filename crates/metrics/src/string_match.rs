@@ -1,0 +1,45 @@
+//! Exact string matching (normalized canonical spelling).
+
+use nli_sql::normalize;
+
+/// Exact string match after canonical normalization — the strictest
+/// automatic metric. Case, whitespace, `<>`/`!=`, and comma-FROM spelling
+/// differences are forgiven; everything else must match byte-for-byte.
+pub fn exact_match(pred: &str, gold: &str) -> bool {
+    normalize::normalized_eq(pred, gold)
+}
+
+/// Raw (unnormalized) exact match, for ablation: how much normalization
+/// alone is worth.
+pub fn raw_exact_match(pred: &str, gold: &str) -> bool {
+    pred.trim() == gold.trim()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_forgives_spelling_noise() {
+        assert!(exact_match(
+            "select name from t where x<>1",
+            "SELECT name FROM t WHERE x != 1"
+        ));
+        assert!(!raw_exact_match(
+            "select name from t where x<>1",
+            "SELECT name FROM t WHERE x != 1"
+        ));
+    }
+
+    #[test]
+    fn semantic_differences_fail() {
+        assert!(!exact_match("SELECT a FROM t", "SELECT b FROM t"));
+        assert!(!exact_match("SELECT a FROM t LIMIT 1", "SELECT a FROM t"));
+    }
+
+    #[test]
+    fn select_order_is_not_forgiven_by_exact_match() {
+        // (that's what exact *set* match is for)
+        assert!(!exact_match("SELECT a, b FROM t", "SELECT b, a FROM t"));
+    }
+}

@@ -1,0 +1,165 @@
+//! Text-to-Vis metrics: overall accuracy, component accuracy, and chart
+//! execution match (§5.2).
+
+use nli_core::{Database, ExecutionEngine};
+use nli_vql::{parse_vis, VisEngine, VisQuery};
+
+/// Overall accuracy (the field's "exact string match"): canonical VQL
+/// strings must be identical.
+pub fn vis_exact_match(pred: &VisQuery, gold: &VisQuery) -> bool {
+    pred.to_string() == gold.to_string()
+}
+
+/// String-level overall accuracy for textual predictions (unparseable
+/// predictions never match).
+pub fn vis_exact_match_text(pred: &str, gold: &str) -> bool {
+    match (parse_vis(pred), parse_vis(gold)) {
+        (Ok(p), Ok(g)) => vis_exact_match(&p, &g),
+        _ => false,
+    }
+}
+
+/// Component breakdown of a VQL program, for per-component accuracy
+/// (RGVisNet/Seq2Vis-style reporting).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VisComponents {
+    pub chart: String,
+    pub x: Option<String>,
+    pub y: Option<String>,
+    pub table: Option<String>,
+    pub filter: Option<String>,
+    pub bin: Option<String>,
+}
+
+/// Decompose a VQL program into comparable components.
+pub fn vis_components(v: &VisQuery) -> VisComponents {
+    let items = &v.query.select.items;
+    VisComponents {
+        chart: v.chart.name().to_string(),
+        x: items.first().map(|i| i.expr.to_string()),
+        y: items.get(1).map(|i| i.expr.to_string()),
+        table: v.query.select.from.first().map(|t| t.name.clone()),
+        filter: v.query.select.where_clause.as_ref().map(|w| w.to_string()),
+        bin: v.bin.as_ref().map(|b| format!("{} BY {}", b.column, b.unit.name())),
+    }
+}
+
+/// Fraction of components that agree (over the union of present ones).
+pub fn vis_component_accuracy(pred: &VisQuery, gold: &VisQuery) -> f64 {
+    let p = vis_components(pred);
+    let g = vis_components(gold);
+    let mut matched = 0usize;
+    let mut total = 1usize; // chart always counts
+    matched += usize::from(p.chart == g.chart);
+    let mut cmp = |a: &Option<String>, b: &Option<String>| {
+        if a.is_some() || b.is_some() {
+            total += 1;
+            matched += usize::from(a == b);
+        }
+    };
+    cmp(&p.x, &g.x);
+    cmp(&p.y, &g.y);
+    cmp(&p.table, &g.table);
+    cmp(&p.filter, &g.filter);
+    cmp(&p.bin, &g.bin);
+    matched as f64 / total as f64
+}
+
+/// Execution match for charts: both programs render, same chart type, same
+/// data series.
+pub fn vis_execution_match(pred: &VisQuery, gold: &VisQuery, db: &Database) -> bool {
+    let engine = VisEngine::new();
+    let Ok(g) = engine.execute(gold, db) else { return false };
+    match engine.execute(pred, db) {
+        Ok(p) => {
+            if p.chart_type != g.chart_type || p.points.len() != g.points.len() {
+                return false;
+            }
+            let canon = |c: &nli_vql::Chart| {
+                let mut v: Vec<(String, String)> = c
+                    .points
+                    .iter()
+                    .map(|pt| (pt.label.clone(), format!("{:.6}", pt.value)))
+                    .collect();
+                v.sort();
+                v
+            };
+            canon(&p) == canon(&g)
+        }
+        Err(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nli_core::{Column, DataType, Schema, Table};
+
+    fn db() -> Database {
+        let schema = Schema::new(
+            "d",
+            vec![Table::new(
+                "sales",
+                vec![
+                    Column::new("category", DataType::Text),
+                    Column::new("amount", DataType::Float),
+                ],
+            )],
+        );
+        let mut d = Database::empty(schema);
+        d.insert_all(
+            "sales",
+            vec![
+                vec!["Tools".into(), 10.0.into()],
+                vec!["Toys".into(), 5.0.into()],
+            ],
+        )
+        .unwrap();
+        d
+    }
+
+    fn v(s: &str) -> VisQuery {
+        parse_vis(s).unwrap()
+    }
+
+    #[test]
+    fn exact_match_requires_identical_programs() {
+        let a = v("VISUALIZE BAR SELECT category, SUM(amount) FROM sales GROUP BY category");
+        let b = v("VISUALIZE PIE SELECT category, SUM(amount) FROM sales GROUP BY category");
+        assert!(vis_exact_match(&a, &a.clone()));
+        assert!(!vis_exact_match(&a, &b));
+    }
+
+    #[test]
+    fn component_accuracy_gives_partial_credit() {
+        let gold = v("VISUALIZE BAR SELECT category, SUM(amount) FROM sales GROUP BY category");
+        let wrong_chart =
+            v("VISUALIZE PIE SELECT category, SUM(amount) FROM sales GROUP BY category");
+        let acc = vis_component_accuracy(&wrong_chart, &gold);
+        assert!(acc > 0.7 && acc < 1.0, "{acc}");
+        let all_wrong = v("VISUALIZE LINE SELECT a, b FROM other");
+        assert!(vis_component_accuracy(&all_wrong, &gold) < 0.3);
+    }
+
+    #[test]
+    fn execution_match_is_chart_sensitive() {
+        let gold = v("VISUALIZE BAR SELECT category, SUM(amount) FROM sales GROUP BY category");
+        let same = v("VISUALIZE BAR SELECT category, SUM(amount) FROM sales GROUP BY category");
+        let pie = v("VISUALIZE PIE SELECT category, SUM(amount) FROM sales GROUP BY category");
+        assert!(vis_execution_match(&same, &gold, &db()));
+        assert!(!vis_execution_match(&pie, &gold, &db()));
+    }
+
+    #[test]
+    fn text_level_match_handles_unparseable() {
+        assert!(!vis_exact_match_text("VISUALIZE NOPE SELECT", "VISUALIZE BAR SELECT a, b FROM t"));
+    }
+
+    #[test]
+    fn bin_is_a_component() {
+        let a = v("VISUALIZE LINE SELECT d, x FROM t BIN d BY month");
+        let b = v("VISUALIZE LINE SELECT d, x FROM t BIN d BY year");
+        assert!(vis_component_accuracy(&a, &b) < 1.0);
+        assert!(vis_component_accuracy(&a, &a.clone()) >= 1.0);
+    }
+}

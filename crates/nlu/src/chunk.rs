@@ -1,0 +1,98 @@
+//! Shallow chunking helpers: n-gram span enumeration and literal extraction.
+//!
+//! Rule-based parsers scan question n-grams against schema lexicons; these
+//! helpers produce the candidate spans and pull out the number/quoted
+//! literals that become SQL comparison operands.
+
+use crate::token::{Token, TokenKind};
+
+/// All contiguous word n-grams of length `1..=max_n`, longest first (so
+//  greedy matching prefers maximal spans). Each item is `(start, len, text)`.
+pub fn ngrams_upto(words: &[String], max_n: usize) -> Vec<(usize, usize, String)> {
+    let mut out = Vec::new();
+    for n in (1..=max_n.min(words.len().max(1))).rev() {
+        if n > words.len() {
+            continue;
+        }
+        for start in 0..=(words.len() - n) {
+            out.push((start, n, words[start..start + n].join(" ")));
+        }
+    }
+    out
+}
+
+/// Numeric literals in token order, parsed as `f64`.
+pub fn extract_numbers(tokens: &[Token]) -> Vec<f64> {
+    tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Number)
+        .filter_map(|t| t.text.parse().ok())
+        .collect()
+}
+
+/// Quoted literals in token order (case preserved).
+pub fn extract_quoted(tokens: &[Token]) -> Vec<String> {
+    tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Quoted)
+        .map(|t| t.text.clone())
+        .collect()
+}
+
+/// Spelled-out small numbers ("two", "ten") → value; parsers use this for
+/// LIMIT phrases like "top five".
+pub fn spelled_number(word: &str) -> Option<i64> {
+    Some(match word {
+        "one" => 1,
+        "two" => 2,
+        "three" => 3,
+        "four" => 4,
+        "five" => 5,
+        "six" => 6,
+        "seven" => 7,
+        "eight" => 8,
+        "nine" => 9,
+        "ten" => 10,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::tokenize;
+
+    #[test]
+    fn ngrams_longest_first() {
+        let words: Vec<String> = ["unit", "price", "total"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let grams = ngrams_upto(&words, 2);
+        assert_eq!(grams[0].2, "unit price");
+        assert_eq!(grams[1].2, "price total");
+        assert!(grams.iter().any(|g| g.2 == "total"));
+        assert_eq!(grams.len(), 2 + 3);
+    }
+
+    #[test]
+    fn ngrams_handle_short_inputs() {
+        let words = vec!["one".to_string()];
+        let grams = ngrams_upto(&words, 3);
+        assert_eq!(grams.len(), 1);
+        assert!(ngrams_upto(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn extracts_numbers_and_quotes() {
+        let toks = tokenize("top 5 products from 'North Region' above 12.5");
+        assert_eq!(extract_numbers(&toks), vec![5.0, 12.5]);
+        assert_eq!(extract_quoted(&toks), vec!["North Region".to_string()]);
+    }
+
+    #[test]
+    fn spelled_numbers() {
+        assert_eq!(spelled_number("five"), Some(5));
+        assert_eq!(spelled_number("eleven"), None);
+    }
+}

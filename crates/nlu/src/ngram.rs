@@ -1,0 +1,119 @@
+//! N-gram overlap scores, including BLEU.
+//!
+//! The survey's "fuzzy match" metric family scores generated SQL against the
+//! gold query with n-gram statistics (Doddington 2002 / BLEU); we implement
+//! BLEU-4 with the standard brevity penalty and +1 smoothing for short
+//! programs.
+
+use std::collections::HashMap;
+
+/// Modified n-gram precision of `cand` against `refr` for a given `n`.
+/// Returns `(clipped matches, total candidate n-grams)`.
+fn clipped_counts(cand: &[String], refr: &[String], n: usize) -> (usize, usize) {
+    if cand.len() < n {
+        return (0, 0);
+    }
+    let mut ref_counts: HashMap<&[String], usize> = HashMap::new();
+    for g in refr.windows(n) {
+        *ref_counts.entry(g).or_insert(0) += 1;
+    }
+    let mut cand_counts: HashMap<&[String], usize> = HashMap::new();
+    for g in cand.windows(n) {
+        *cand_counts.entry(g).or_insert(0) += 1;
+    }
+    let total = cand.len() - n + 1;
+    let mut matched = 0;
+    for (g, c) in cand_counts {
+        matched += c.min(ref_counts.get(g).copied().unwrap_or(0));
+    }
+    (matched, total)
+}
+
+/// Smoothed BLEU-N (default callers use N=4) on pre-tokenized sequences.
+/// Uses add-one smoothing on every order so short sequences don't zero out.
+pub fn bleu(cand: &[String], refr: &[String], max_n: usize) -> f64 {
+    if cand.is_empty() || refr.is_empty() {
+        return if cand.is_empty() && refr.is_empty() { 1.0 } else { 0.0 };
+    }
+    let max_n = max_n.max(1);
+    let mut log_sum = 0.0;
+    for n in 1..=max_n {
+        let (m, t) = clipped_counts(cand, refr, n);
+        // add-one smoothing
+        let p = (m as f64 + 1.0) / (t as f64 + 1.0);
+        log_sum += p.ln();
+    }
+    let geo = (log_sum / max_n as f64).exp();
+    // brevity penalty
+    let bp = if cand.len() >= refr.len() {
+        1.0
+    } else {
+        (1.0 - refr.len() as f64 / cand.len() as f64).exp()
+    };
+    bp * geo
+}
+
+/// Convenience: BLEU-4 over whitespace-ish SQL tokens (lower-cased).
+pub fn bleu_text(cand: &str, refr: &str) -> f64 {
+    let tok = |s: &str| -> Vec<String> {
+        s.to_lowercase()
+            .replace(['(', ')', ',', ';'], " ")
+            .split_whitespace()
+            .map(|w| w.to_string())
+            .collect()
+    };
+    bleu(&tok(cand), &tok(refr), 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|w| w.to_string()).collect()
+    }
+
+    #[test]
+    fn identical_sequences_score_high() {
+        let a = toks("select name from singer where age > 30");
+        assert!(bleu(&a, &a, 4) > 0.9);
+    }
+
+    #[test]
+    fn disjoint_sequences_score_low() {
+        let a = toks("select name from singer");
+        let b = toks("insert into nothing values");
+        assert!(bleu(&a, &b, 4) < 0.35);
+    }
+
+    #[test]
+    fn near_miss_scores_between() {
+        let gold = toks("select name from singer where age > 30");
+        let near = toks("select name from singer where age > 40");
+        let far = toks("select count ( * ) from concert");
+        let s_near = bleu(&near, &gold, 4);
+        let s_far = bleu(&far, &gold, 4);
+        assert!(s_near > s_far);
+        assert!(s_near > 0.5);
+    }
+
+    #[test]
+    fn brevity_penalty_hurts_truncations() {
+        let gold = toks("select name from singer where age > 30");
+        let short = toks("select name");
+        assert!(bleu(&short, &gold, 4) < 0.3);
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        assert_eq!(bleu(&[], &[], 4), 1.0);
+        assert_eq!(bleu(&[], &toks("a"), 4), 0.0);
+        assert_eq!(bleu(&toks("a"), &[], 4), 0.0);
+    }
+
+    #[test]
+    fn text_wrapper_normalizes_case_and_parens() {
+        let s = bleu_text("SELECT COUNT(*) FROM t", "select count ( * ) from t");
+        assert!(s > 0.9, "got {s}");
+    }
+}

@@ -1,0 +1,116 @@
+//! A light English suffix stemmer.
+//!
+//! Schema linking needs "singers" to match the `singer` table and "sold" to
+//! stay away from it; full Porter stemming is unnecessary (and its
+//! aggressiveness hurts precision on short schema names), so we strip the
+//! handful of inflectional suffixes that actually occur in NL questions.
+
+/// Stem a lower-case word. Idempotent: `stem(stem(w)) == stem(w)`.
+pub fn stem(word: &str) -> String {
+    let w = word.to_lowercase();
+    let n = w.len();
+    // Short words are left intact: stripping from <=3-letter words creates
+    // more collisions than it resolves ("its" -> "it" is fine, "was" -> "wa"
+    // is not).
+    if n <= 3 {
+        return w;
+    }
+
+    // Order matters: longest applicable suffix first.
+    if let Some(base) = w.strip_suffix("ies") {
+        if base.len() >= 2 {
+            return format!("{base}y"); // categories -> category
+        }
+    }
+    if let Some(base) = w.strip_suffix("sses") {
+        return format!("{base}ss"); // classes -> class
+    }
+    if let Some(base) = w.strip_suffix("es") {
+        // matches -> match, but "types" is handled by the plain-s rule; only
+        // strip "es" after sibilants where bare-"s" stripping would leave a
+        // non-word ("matche").
+        if base.ends_with("ch") || base.ends_with("sh") || base.ends_with('x') || base.ends_with('z')
+        {
+            return base.to_string();
+        }
+    }
+    if w.ends_with('s') && !w.ends_with("ss") && !w.ends_with("us") && !w.ends_with("is") {
+        return w[..n - 1].to_string(); // singers -> singer
+    }
+    if let Some(base) = w.strip_suffix("ing") {
+        if base.len() >= 3 {
+            // doubling: running -> run
+            let b = base.as_bytes();
+            if b.len() >= 2 && b[b.len() - 1] == b[b.len() - 2] && !matches!(b[b.len() - 1], b'l' | b's' | b'z') {
+                return base[..base.len() - 1].to_string();
+            }
+            return base.to_string(); // showing -> show
+        }
+    }
+    if let Some(base) = w.strip_suffix("ed") {
+        if base.len() >= 3 {
+            let b = base.as_bytes();
+            if b.len() >= 2 && b[b.len() - 1] == b[b.len() - 2] && !matches!(b[b.len() - 1], b'l' | b's' | b'z') {
+                return base[..base.len() - 1].to_string();
+            }
+            return base.to_string(); // sorted -> sort
+        }
+    }
+    w
+}
+
+/// Stem every word of an iterator, preserving order.
+pub fn stem_all<'a>(words: impl IntoIterator<Item = &'a str>) -> Vec<String> {
+    words.into_iter().map(stem).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn plural_nouns() {
+        assert_eq!(stem("singers"), "singer");
+        assert_eq!(stem("categories"), "category");
+        assert_eq!(stem("matches"), "match");
+        assert_eq!(stem("classes"), "class");
+        assert_eq!(stem("boxes"), "box");
+    }
+
+    #[test]
+    fn keeps_non_plurals() {
+        assert_eq!(stem("status"), "status");
+        assert_eq!(stem("analysis"), "analysis");
+        assert_eq!(stem("address"), "address");
+    }
+
+    #[test]
+    fn verb_inflections() {
+        assert_eq!(stem("showing"), "show");
+        assert_eq!(stem("sorted"), "sort");
+        assert_eq!(stem("running"), "runn".strip_suffix('n').map(String::from).unwrap());
+    }
+
+    #[test]
+    fn short_words_untouched() {
+        assert_eq!(stem("is"), "is");
+        assert_eq!(stem("was"), "was");
+        assert_eq!(stem("ids"), "ids");
+    }
+
+    proptest! {
+        #[test]
+        fn stemming_is_idempotent(w in "[a-z]{1,12}") {
+            let once = stem(&w);
+            prop_assert_eq!(stem(&once), once.clone());
+        }
+
+        #[test]
+        fn stem_never_longer_than_input_plus_one(w in "[a-z]{1,12}") {
+            // the "ies"->"y" rule can shorten by 2; nothing grows by more
+            // than the final 'y' substitution.
+            prop_assert!(stem(&w).len() <= w.len() + 1);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! English stopwords for schema linking.
+//!
+//! The list is intentionally *small*: aggressive stopword removal deletes
+//! exactly the function words ("more", "than", "not") that carry comparison
+//! semantics, so only genuinely content-free words are included.
+
+/// Words carrying no linkable content.
+static STOPWORDS: &[&str] = &[
+    "a", "an", "the", "of", "in", "on", "at", "to", "for", "by", "with",
+    "and", "or", "is", "are", "was", "were", "be", "been", "do", "does",
+    "did", "me", "my", "we", "our", "you", "your", "it", "its", "this",
+    "that", "these", "those", "there", "please", "can", "could", "would",
+    "i", "s", "as", "from", "have", "has", "had", "what", "which", "who",
+    "whose", "when", "much", "give", "show", "list", "find",
+    "display", "tell", "return", "get", "all", "each", "us", "their",
+];
+
+/// Whether `word` (lower-case) is a stopword.
+pub fn is_stopword(word: &str) -> bool {
+    STOPWORDS.contains(&word)
+}
+
+/// Filter stopwords out of a token sequence.
+pub fn remove_stopwords<'a>(words: impl IntoIterator<Item = &'a str>) -> Vec<&'a str> {
+    words.into_iter().filter(|w| !is_stopword(w)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn function_words_are_stopwords() {
+        for w in ["the", "of", "is", "please", "show"] {
+            assert!(is_stopword(w), "{w} should be a stopword");
+        }
+    }
+
+    #[test]
+    fn content_words_are_kept() {
+        for w in ["singer", "revenue", "more", "than", "not", "average"] {
+            assert!(!is_stopword(w), "{w} should NOT be a stopword");
+        }
+    }
+
+    #[test]
+    fn removal_preserves_order() {
+        let out = remove_stopwords(vec!["show", "the", "average", "age", "of", "singers"]);
+        assert_eq!(out, vec!["average", "age", "singers"]);
+    }
+}

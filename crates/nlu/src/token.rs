@@ -1,0 +1,184 @@
+//! Word-level tokenization with number and quoted-literal handling.
+//!
+//! Tokenization is the first step of every parsing stage. Quoted spans are
+//! kept whole because they are almost always value literals ("show sales for
+//! 'Acme Corp'"), and numbers are tagged so parsers can ground comparisons.
+
+/// Token category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    /// Alphabetic word, lower-cased.
+    Word,
+    /// Numeric literal (integer or decimal).
+    Number,
+    /// Single- or double-quoted span, quotes stripped, case preserved.
+    Quoted,
+}
+
+/// A token with its surface text.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Token {
+    pub text: String,
+    pub kind: TokenKind,
+}
+
+impl Token {
+    pub fn word(text: &str) -> Self {
+        Token { text: text.to_lowercase(), kind: TokenKind::Word }
+    }
+    pub fn number(text: &str) -> Self {
+        Token { text: text.to_string(), kind: TokenKind::Number }
+    }
+    pub fn quoted(text: &str) -> Self {
+        Token { text: text.to_string(), kind: TokenKind::Quoted }
+    }
+}
+
+/// Tokenize a natural-language question.
+///
+/// - words are lower-cased; hyphens and underscores split words;
+/// - integers and decimals become [`TokenKind::Number`] (a leading `-` is
+///   kept when directly attached);
+/// - `'...'` and `"..."` spans become a single [`TokenKind::Quoted`] token
+///   with original casing;
+/// - all other punctuation is discarded.
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\'' || c == '"' {
+            let quote = c;
+            let start = i + 1;
+            let mut j = start;
+            while j < chars.len() && chars[j] != quote {
+                j += 1;
+            }
+            if j < chars.len() {
+                let span: String = chars[start..j].iter().collect();
+                if !span.is_empty() {
+                    out.push(Token::quoted(&span));
+                }
+                i = j + 1;
+                continue;
+            }
+            // Unterminated quote: treat as punctuation (e.g. apostrophe).
+            i += 1;
+        } else if c.is_ascii_digit()
+            || (c == '-'
+                && i + 1 < chars.len()
+                && chars[i + 1].is_ascii_digit()
+                && out.last().is_none_or(|t| t.kind == TokenKind::Word))
+        {
+            let start = i;
+            let mut j = if c == '-' { i + 1 } else { i };
+            let mut seen_dot = false;
+            while j < chars.len()
+                && (chars[j].is_ascii_digit() || (chars[j] == '.' && !seen_dot))
+            {
+                if chars[j] == '.' {
+                    // Only consume the dot when a digit follows (not "3.").
+                    if j + 1 >= chars.len() || !chars[j + 1].is_ascii_digit() {
+                        break;
+                    }
+                    seen_dot = true;
+                }
+                j += 1;
+            }
+            let span: String = chars[start..j].iter().collect();
+            out.push(Token::number(&span));
+            i = j;
+        } else if c.is_alphabetic() {
+            let start = i;
+            let mut j = i;
+            while j < chars.len() && (chars[j].is_alphanumeric() && !chars[j].is_ascii_digit()) {
+                j += 1;
+            }
+            let span: String = chars[start..j].iter().collect();
+            out.push(Token::word(&span));
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Convenience: the lower-cased word/number/quoted texts only.
+pub fn tokenize_words(text: &str) -> Vec<String> {
+    tokenize(text)
+        .into_iter()
+        .map(|t| match t.kind {
+            TokenKind::Quoted => t.text,
+            _ => t.text.to_lowercase(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_are_lowercased_and_punct_dropped() {
+        let toks = tokenize_words("Show me ALL the singers!");
+        assert_eq!(toks, vec!["show", "me", "all", "the", "singers"]);
+    }
+
+    #[test]
+    fn numbers_are_tagged() {
+        let toks = tokenize("more than 3 items costing 2.5 dollars");
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["3", "2.5"]);
+    }
+
+    #[test]
+    fn negative_numbers_after_word() {
+        let toks = tokenize("temperature below -5 degrees");
+        assert!(toks.iter().any(|t| t.text == "-5" && t.kind == TokenKind::Number));
+    }
+
+    #[test]
+    fn quoted_spans_are_single_tokens_with_case() {
+        let toks = tokenize("sales for 'Acme Corp' last year");
+        let q: Vec<&Token> = toks.iter().filter(|t| t.kind == TokenKind::Quoted).collect();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].text, "Acme Corp");
+    }
+
+    #[test]
+    fn double_quotes_work_too() {
+        let toks = tokenize("where name is \"Jane Doe\"");
+        assert!(toks.iter().any(|t| t.text == "Jane Doe" && t.kind == TokenKind::Quoted));
+    }
+
+    #[test]
+    fn unterminated_quote_does_not_eat_rest() {
+        let toks = tokenize_words("singer's name");
+        assert_eq!(toks, vec!["singer", "s", "name"]);
+    }
+
+    #[test]
+    fn hyphen_splits_words() {
+        let toks = tokenize_words("multi-turn queries");
+        assert_eq!(toks, vec!["multi", "turn", "queries"]);
+    }
+
+    #[test]
+    fn trailing_dot_not_part_of_number() {
+        let toks = tokenize("costs 3.");
+        assert!(toks.iter().any(|t| t.text == "3" && t.kind == TokenKind::Number));
+        assert_eq!(toks.len(), 2);
+    }
+
+    #[test]
+    fn empty_input_yields_no_tokens() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   !?.,").is_empty());
+    }
+}

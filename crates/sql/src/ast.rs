@@ -1,0 +1,733 @@
+//! SQL abstract syntax tree and its canonical textual rendering.
+//!
+//! The `Display` impls define the workspace's *canonical SQL spelling*:
+//! upper-case keywords, lower-case identifiers, single spaces, `COUNT(*)`
+//! without inner spaces, string literals single-quoted. Exact-match
+//! evaluation compares canonical spellings, so every parser that builds an
+//! AST automatically emits comparable text.
+
+use nli_core::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A possibly qualified column name, textual until bind time.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ColName {
+    pub table: Option<String>,
+    pub column: String,
+}
+
+impl ColName {
+    pub fn new(column: &str) -> Self {
+        ColName { table: None, column: column.to_lowercase() }
+    }
+
+    pub fn qualified(table: &str, column: &str) -> Self {
+        ColName {
+            table: Some(table.to_lowercase()),
+            column: column.to_lowercase(),
+        }
+    }
+}
+
+impl fmt::Display for ColName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{}.{}", t, self.column),
+            None => f.write_str(&self.column),
+        }
+    }
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl AggFunc {
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+
+    pub const ALL: [AggFunc; 5] =
+        [AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max];
+}
+
+/// Binary operators, arithmetic and boolean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+impl BinOp {
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Eq => "=",
+            BinOp::Neq => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+        }
+    }
+
+    /// Binding strength for the canonical printer / parser: higher binds
+    /// tighter.
+    pub fn precedence(self) -> u8 {
+        match self {
+            BinOp::Or => 1,
+            BinOp::And => 2,
+            BinOp::Eq | BinOp::Neq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 3,
+            BinOp::Add | BinOp::Sub => 4,
+            BinOp::Mul | BinOp::Div => 5,
+        }
+    }
+
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Neq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Column reference.
+    Column(ColName),
+    /// Literal constant.
+    Literal(Value),
+    /// `*` — only valid inside `COUNT(*)` or as the lone select item.
+    Star,
+    /// Aggregate call; `distinct` renders as `COUNT(DISTINCT x)`.
+    Agg {
+        func: AggFunc,
+        arg: Box<Expr>,
+        distinct: bool,
+    },
+    /// Binary operation.
+    Binary {
+        left: Box<Expr>,
+        op: BinOp,
+        right: Box<Expr>,
+    },
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// `expr LIKE 'pattern'` with `%`/`_` wildcards.
+    Like {
+        expr: Box<Expr>,
+        pattern: String,
+        negated: bool,
+    },
+    /// `expr BETWEEN lo AND hi`.
+    Between {
+        expr: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+        negated: bool,
+    },
+    /// `expr IN (v1, v2, ...)`.
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Value>,
+        negated: bool,
+    },
+    /// `expr IN (SELECT ...)` — uncorrelated.
+    InSubquery {
+        expr: Box<Expr>,
+        query: Box<Query>,
+        negated: bool,
+    },
+    /// `(SELECT ...)` used as a scalar (first column of first row).
+    ScalarSubquery(Box<Query>),
+    /// `expr IS [NOT] NULL`.
+    IsNull { expr: Box<Expr>, negated: bool },
+}
+
+impl Expr {
+    pub fn col(column: &str) -> Expr {
+        Expr::Column(ColName::new(column))
+    }
+
+    pub fn qcol(table: &str, column: &str) -> Expr {
+        Expr::Column(ColName::qualified(table, column))
+    }
+
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    pub fn agg(func: AggFunc, arg: Expr) -> Expr {
+        Expr::Agg { func, arg: Box::new(arg), distinct: false }
+    }
+
+    pub fn count_star() -> Expr {
+        Expr::agg(AggFunc::Count, Expr::Star)
+    }
+
+    pub fn binary(left: Expr, op: BinOp, right: Expr) -> Expr {
+        Expr::Binary { left: Box::new(left), op, right: Box::new(right) }
+    }
+
+    /// Whether the expression (recursively) contains an aggregate call.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Agg { .. } => true,
+            Expr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            Expr::Not(e) => e.contains_aggregate(),
+            Expr::Like { expr, .. }
+            | Expr::Between { expr, .. }
+            | Expr::InList { expr, .. }
+            | Expr::InSubquery { expr, .. }
+            | Expr::IsNull { expr, .. } => expr.contains_aggregate(),
+            _ => false,
+        }
+    }
+
+    /// All column names referenced directly (not descending into
+    /// subqueries, which have their own scopes).
+    pub fn columns(&self) -> Vec<&ColName> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<&'a ColName>) {
+        match self {
+            Expr::Column(c) => out.push(c),
+            Expr::Agg { arg, .. } => arg.collect_columns(out),
+            Expr::Binary { left, right, .. } => {
+                left.collect_columns(out);
+                right.collect_columns(out);
+            }
+            Expr::Not(e) => e.collect_columns(out),
+            Expr::Like { expr, .. }
+            | Expr::InList { expr, .. }
+            | Expr::InSubquery { expr, .. }
+            | Expr::IsNull { expr, .. } => expr.collect_columns(out),
+            Expr::Between { expr, low, high, .. } => {
+                expr.collect_columns(out);
+                low.collect_columns(out);
+                high.collect_columns(out);
+            }
+            Expr::Literal(_) | Expr::Star | Expr::ScalarSubquery(_) => {}
+        }
+    }
+}
+
+fn fmt_literal(v: &Value, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match v {
+        Value::Text(s) => write!(f, "'{}'", s.replace('\'', "''")),
+        Value::Date(d) => write!(f, "'{d}'"),
+        Value::Bool(b) => f.write_str(if *b { "TRUE" } else { "FALSE" }),
+        other => f.write_str(&other.canonical()),
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, 0)
+    }
+}
+
+impl Expr {
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, parent_prec: u8) -> fmt::Result {
+        match self {
+            Expr::Column(c) => write!(f, "{c}"),
+            Expr::Literal(v) => fmt_literal(v, f),
+            Expr::Star => f.write_str("*"),
+            Expr::Agg { func, arg, distinct } => {
+                if *distinct {
+                    write!(f, "{}(DISTINCT {arg})", func.name())
+                } else {
+                    write!(f, "{}({arg})", func.name())
+                }
+            }
+            Expr::Binary { left, op, right } => {
+                let prec = op.precedence();
+                let needs_parens = prec < parent_prec;
+                if needs_parens {
+                    f.write_str("(")?;
+                }
+                left.fmt_prec(f, prec)?;
+                write!(f, " {} ", op.symbol())?;
+                // +1 on the right side keeps same-precedence chains
+                // left-associated in reprints.
+                right.fmt_prec(f, prec + 1)?;
+                if needs_parens {
+                    f.write_str(")")?;
+                }
+                Ok(())
+            }
+            Expr::Not(e) => {
+                f.write_str("NOT ")?;
+                e.fmt_prec(f, 6)
+            }
+            Expr::Like { expr, pattern, negated } => {
+                expr.fmt_prec(f, 3)?;
+                write!(
+                    f,
+                    " {}LIKE '{}'",
+                    if *negated { "NOT " } else { "" },
+                    pattern.replace('\'', "''")
+                )
+            }
+            Expr::Between { expr, low, high, negated } => {
+                expr.fmt_prec(f, 3)?;
+                write!(f, " {}BETWEEN ", if *negated { "NOT " } else { "" })?;
+                low.fmt_prec(f, 4)?;
+                f.write_str(" AND ")?;
+                high.fmt_prec(f, 4)
+            }
+            Expr::InList { expr, list, negated } => {
+                expr.fmt_prec(f, 3)?;
+                write!(f, " {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, v) in list.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    fmt_literal(v, f)?;
+                }
+                f.write_str(")")
+            }
+            Expr::InSubquery { expr, query, negated } => {
+                expr.fmt_prec(f, 3)?;
+                write!(f, " {}IN ({query})", if *negated { "NOT " } else { "" })
+            }
+            Expr::ScalarSubquery(q) => write!(f, "({q})"),
+            Expr::IsNull { expr, negated } => {
+                expr.fmt_prec(f, 3)?;
+                write!(f, " IS {}NULL", if *negated { "NOT " } else { "" })
+            }
+        }
+    }
+}
+
+/// One projected item.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectItem {
+    pub expr: Expr,
+    pub alias: Option<String>,
+}
+
+impl SelectItem {
+    pub fn plain(expr: Expr) -> Self {
+        SelectItem { expr, alias: None }
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.expr)?;
+        if let Some(a) = &self.alias {
+            write!(f, " AS {a}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A base table in FROM (no aliases: generators always qualify by table
+/// name, which keeps exact-match evaluation free of alias-equivalence
+/// noise — the survey's Table 3 calls out aliasing as the key weakness of
+/// string metrics, which we study in `nli-metrics::meta` instead).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableRef {
+    pub name: String,
+}
+
+/// An explicit equi-join condition `left = right`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JoinCond {
+    pub left: ColName,
+    pub right: ColName,
+}
+
+/// One `ORDER BY` key.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OrderItem {
+    pub expr: Expr,
+    pub desc: bool,
+}
+
+impl fmt::Display for OrderItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.expr, if self.desc { " DESC" } else { " ASC" })
+    }
+}
+
+/// Set operators combining two SELECTs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SetOp {
+    Union,
+    Intersect,
+    Except,
+}
+
+impl SetOp {
+    pub fn name(self) -> &'static str {
+        match self {
+            SetOp::Union => "UNION",
+            SetOp::Intersect => "INTERSECT",
+            SetOp::Except => "EXCEPT",
+        }
+    }
+}
+
+/// A single SELECT block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Select {
+    pub distinct: bool,
+    pub items: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    /// Equi-join conditions chaining the FROM tables (rendered as
+    /// `JOIN ... ON ...`).
+    pub joins: Vec<JoinCond>,
+    pub where_clause: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+    pub order_by: Vec<OrderItem>,
+    pub limit: Option<u64>,
+}
+
+impl Select {
+    /// A minimal `SELECT <items> FROM <table>`.
+    pub fn simple(table: &str, items: Vec<SelectItem>) -> Self {
+        Select {
+            distinct: false,
+            items,
+            from: vec![TableRef { name: table.to_lowercase() }],
+            joins: Vec::new(),
+            where_clause: None,
+            group_by: Vec::new(),
+            having: None,
+            order_by: Vec::new(),
+            limit: None,
+        }
+    }
+}
+
+impl fmt::Display for Select {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SELECT ")?;
+        if self.distinct {
+            f.write_str("DISTINCT ")?;
+        }
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        f.write_str(" FROM ")?;
+        for (i, t) in self.from.iter().enumerate() {
+            if i == 0 {
+                f.write_str(&t.name)?;
+            } else {
+                write!(f, " JOIN {}", t.name)?;
+                if let Some(j) = self.joins.get(i - 1) {
+                    write!(f, " ON {} = {}", j.left, j.right)?;
+                }
+            }
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            f.write_str(" GROUP BY ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        if !self.order_by.is_empty() {
+            f.write_str(" ORDER BY ")?;
+            for (i, o) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{o}")?;
+            }
+        }
+        if let Some(l) = self.limit {
+            write!(f, " LIMIT {l}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A full query: a SELECT optionally combined with another query by a set
+/// operator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    pub select: Select,
+    pub compound: Option<(SetOp, Box<Query>)>,
+}
+
+impl Query {
+    pub fn single(select: Select) -> Self {
+        Query { select, compound: None }
+    }
+
+    /// All table names mentioned in FROM clauses, recursively (subqueries in
+    /// expressions included), deduplicated in first-mention order.
+    pub fn tables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_tables(&mut out);
+        let mut seen = std::collections::HashSet::new();
+        out.retain(|t| seen.insert(t.clone()));
+        out
+    }
+
+    fn collect_tables(&self, out: &mut Vec<String>) {
+        for t in &self.select.from {
+            out.push(t.name.clone());
+        }
+        let mut exprs: Vec<&Expr> = Vec::new();
+        if let Some(w) = &self.select.where_clause {
+            exprs.push(w);
+        }
+        if let Some(h) = &self.select.having {
+            exprs.push(h);
+        }
+        while let Some(e) = exprs.pop() {
+            match e {
+                Expr::InSubquery { query, expr, .. } => {
+                    query.collect_tables(out);
+                    exprs.push(expr);
+                }
+                Expr::ScalarSubquery(q) => q.collect_tables(out),
+                Expr::Binary { left, right, .. } => {
+                    exprs.push(left);
+                    exprs.push(right);
+                }
+                Expr::Not(inner) => exprs.push(inner),
+                Expr::Between { expr, low, high, .. } => {
+                    exprs.push(expr);
+                    exprs.push(low);
+                    exprs.push(high);
+                }
+                _ => {}
+            }
+        }
+        if let Some((_, q)) = &self.compound {
+            q.collect_tables(out);
+        }
+    }
+
+    /// Structural complexity in the Spider hardness spirit: counts of
+    /// joins, aggregates, nesting, set ops etc., used by dataset generators
+    /// and reporting.
+    pub fn complexity(&self) -> u32 {
+        let s = &self.select;
+        let mut score = 0;
+        score += (s.from.len() as u32).saturating_sub(1) * 2; // joins
+        score += s.group_by.len() as u32;
+        score += u32::from(s.having.is_some()) * 2;
+        score += u32::from(!s.order_by.is_empty());
+        score += u32::from(s.limit.is_some());
+        if let Some(w) = &s.where_clause {
+            score += count_predicates(w);
+            score += count_subqueries(w) * 3;
+        }
+        if self.compound.is_some() {
+            score += 4;
+        }
+        score
+    }
+}
+
+fn count_predicates(e: &Expr) -> u32 {
+    match e {
+        Expr::Binary { left, op: BinOp::And | BinOp::Or, right } => {
+            count_predicates(left) + count_predicates(right)
+        }
+        _ => 1,
+    }
+}
+
+fn count_subqueries(e: &Expr) -> u32 {
+    match e {
+        Expr::Binary { left, right, .. } => count_subqueries(left) + count_subqueries(right),
+        Expr::Not(inner) => count_subqueries(inner),
+        Expr::InSubquery { .. } | Expr::ScalarSubquery(_) => 1,
+        _ => 0,
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.select)?;
+        if let Some((op, rhs)) = &self.compound {
+            write!(f, " {} {}", op.name(), rhs)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_rendering_of_simple_query() {
+        let mut s = Select::simple(
+            "singer",
+            vec![SelectItem::plain(Expr::col("name"))],
+        );
+        s.where_clause = Some(Expr::binary(Expr::col("age"), BinOp::Gt, Expr::lit(30i64)));
+        s.order_by = vec![OrderItem { expr: Expr::col("age"), desc: true }];
+        s.limit = Some(3);
+        let q = Query::single(s);
+        assert_eq!(
+            q.to_string(),
+            "SELECT name FROM singer WHERE age > 30 ORDER BY age DESC LIMIT 3"
+        );
+    }
+
+    #[test]
+    fn join_rendering() {
+        let mut s = Select::simple(
+            "sales",
+            vec![SelectItem::plain(Expr::qcol("products", "name"))],
+        );
+        s.from.push(TableRef { name: "products".into() });
+        s.joins.push(JoinCond {
+            left: ColName::qualified("sales", "product_id"),
+            right: ColName::qualified("products", "id"),
+        });
+        let q = Query::single(s);
+        assert_eq!(
+            q.to_string(),
+            "SELECT products.name FROM sales JOIN products ON sales.product_id = products.id"
+        );
+    }
+
+    #[test]
+    fn string_literals_are_quoted_and_escaped() {
+        let e = Expr::binary(Expr::col("name"), BinOp::Eq, Expr::lit("O'Brien"));
+        assert_eq!(e.to_string(), "name = 'O''Brien'");
+    }
+
+    #[test]
+    fn boolean_precedence_parenthesizes_or_under_and() {
+        let or = Expr::binary(
+            Expr::binary(Expr::col("a"), BinOp::Eq, Expr::lit(1i64)),
+            BinOp::Or,
+            Expr::binary(Expr::col("b"), BinOp::Eq, Expr::lit(2i64)),
+        );
+        let and = Expr::binary(
+            or,
+            BinOp::And,
+            Expr::binary(Expr::col("c"), BinOp::Eq, Expr::lit(3i64)),
+        );
+        assert_eq!(and.to_string(), "(a = 1 OR b = 2) AND c = 3");
+    }
+
+    #[test]
+    fn count_distinct_rendering() {
+        let e = Expr::Agg {
+            func: AggFunc::Count,
+            arg: Box::new(Expr::col("city")),
+            distinct: true,
+        };
+        assert_eq!(e.to_string(), "COUNT(DISTINCT city)");
+        assert_eq!(Expr::count_star().to_string(), "COUNT(*)");
+    }
+
+    #[test]
+    fn set_op_rendering() {
+        let a = Query::single(Select::simple("a", vec![SelectItem::plain(Expr::col("x"))]));
+        let b = Query::single(Select::simple("b", vec![SelectItem::plain(Expr::col("x"))]));
+        let q = Query { select: a.select, compound: Some((SetOp::Except, Box::new(b))) };
+        assert_eq!(q.to_string(), "SELECT x FROM a EXCEPT SELECT x FROM b");
+    }
+
+    #[test]
+    fn tables_recurse_into_subqueries() {
+        let inner = Query::single(Select::simple(
+            "concert",
+            vec![SelectItem::plain(Expr::col("singer_id"))],
+        ));
+        let mut s = Select::simple("singer", vec![SelectItem::plain(Expr::col("name"))]);
+        s.where_clause = Some(Expr::InSubquery {
+            expr: Box::new(Expr::col("id")),
+            query: Box::new(inner),
+            negated: true,
+        });
+        let q = Query::single(s);
+        assert_eq!(q.tables(), vec!["singer".to_string(), "concert".to_string()]);
+    }
+
+    #[test]
+    fn complexity_orders_queries_sensibly() {
+        let simple = Query::single(Select::simple(
+            "t",
+            vec![SelectItem::plain(Expr::col("a"))],
+        ));
+        let mut s = Select::simple("t", vec![SelectItem::plain(Expr::count_star())]);
+        s.from.push(TableRef { name: "u".into() });
+        s.joins.push(JoinCond {
+            left: ColName::qualified("t", "id"),
+            right: ColName::qualified("u", "t_id"),
+        });
+        s.group_by = vec![Expr::col("a")];
+        s.having = Some(Expr::binary(Expr::count_star(), BinOp::Gt, Expr::lit(2i64)));
+        let complex = Query::single(s);
+        assert!(complex.complexity() > simple.complexity());
+    }
+
+    #[test]
+    fn contains_aggregate_detects_nesting() {
+        let e = Expr::binary(Expr::count_star(), BinOp::Gt, Expr::lit(2i64));
+        assert!(e.contains_aggregate());
+        assert!(!Expr::col("a").contains_aggregate());
+    }
+
+    #[test]
+    fn columns_collects_all_references() {
+        let e = Expr::Between {
+            expr: Box::new(Expr::col("a")),
+            low: Box::new(Expr::col("b")),
+            high: Box::new(Expr::lit(3i64)),
+            negated: false,
+        };
+        let cols: Vec<String> = e.columns().iter().map(|c| c.column.clone()).collect();
+        assert_eq!(cols, vec!["a", "b"]);
+    }
+}

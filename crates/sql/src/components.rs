@@ -1,0 +1,269 @@
+//! Spider-style component decomposition for exact-set-match evaluation.
+//!
+//! Exact set match (Yu et al., 2018) decomposes a query into clause-level
+//! components and compares each as a *set*, so inessential ordering
+//! (`SELECT a, b` vs `SELECT b, a`; conjunct order in WHERE) doesn't count
+//! as an error, while any missing/extra condition still does.
+
+use crate::ast::{BinOp, Expr, Query};
+use std::collections::BTreeSet;
+
+/// The decomposed clause sets of one query (plus, recursively, any compound
+/// right-hand side). All strings use the canonical AST spelling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryComponents {
+    pub distinct: bool,
+    pub select: BTreeSet<String>,
+    pub from: BTreeSet<String>,
+    /// Join conditions with the two sides sorted, so `a = b` matches
+    /// `b = a`.
+    pub joins: BTreeSet<String>,
+    /// Top-level WHERE conjuncts (AND-separated). OR-groups stay single
+    /// strings with their disjuncts sorted.
+    pub where_conjuncts: BTreeSet<String>,
+    pub group_by: BTreeSet<String>,
+    pub having: BTreeSet<String>,
+    /// ORDER BY is order-sensitive.
+    pub order_by: Vec<String>,
+    pub limit: Option<u64>,
+    pub set_op: Option<String>,
+    pub compound: Option<Box<QueryComponents>>,
+}
+
+/// Decompose a query into its clause components.
+pub fn decompose(q: &Query) -> QueryComponents {
+    let s = &q.select;
+    let select = s.items.iter().map(|i| i.expr.to_string()).collect();
+    let from = s.from.iter().map(|t| t.name.clone()).collect();
+    let joins = s
+        .joins
+        .iter()
+        .map(|j| {
+            let mut sides = [j.left.to_string(), j.right.to_string()];
+            sides.sort();
+            format!("{} = {}", sides[0], sides[1])
+        })
+        .collect();
+    let where_conjuncts = s
+        .where_clause
+        .as_ref()
+        .map(conjuncts)
+        .unwrap_or_default();
+    let group_by = s.group_by.iter().map(|g| g.to_string()).collect();
+    let having = s.having.as_ref().map(conjuncts).unwrap_or_default();
+    let order_by = s.order_by.iter().map(|o| o.to_string()).collect();
+    let (set_op, compound) = match &q.compound {
+        Some((op, rhs)) => (
+            Some(op.name().to_string()),
+            Some(Box::new(decompose(rhs))),
+        ),
+        None => (None, None),
+    };
+    QueryComponents {
+        distinct: s.distinct,
+        select,
+        from,
+        joins,
+        where_conjuncts,
+        group_by,
+        having,
+        order_by,
+        limit: s.limit,
+        set_op,
+        compound,
+    }
+}
+
+/// Split an expression into its top-level AND conjuncts; each OR-group is
+/// rendered with sorted disjuncts.
+fn conjuncts(e: &Expr) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    collect_conjuncts(e, &mut out);
+    out
+}
+
+fn collect_conjuncts(e: &Expr, out: &mut BTreeSet<String>) {
+    match e {
+        Expr::Binary { left, op: BinOp::And, right } => {
+            collect_conjuncts(left, out);
+            collect_conjuncts(right, out);
+        }
+        Expr::Binary { left, op: BinOp::Or, right } => {
+            let mut disjuncts = BTreeSet::new();
+            collect_disjuncts(left, &mut disjuncts);
+            collect_disjuncts(right, &mut disjuncts);
+            out.insert(
+                disjuncts
+                    .into_iter()
+                    .collect::<Vec<_>>()
+                    .join(" OR "),
+            );
+        }
+        other => {
+            out.insert(other.to_string());
+        }
+    }
+}
+
+fn collect_disjuncts(e: &Expr, out: &mut BTreeSet<String>) {
+    match e {
+        Expr::Binary { left, op: BinOp::Or, right } => {
+            collect_disjuncts(left, out);
+            collect_disjuncts(right, out);
+        }
+        other => {
+            out.insert(other.to_string());
+        }
+    }
+}
+
+impl QueryComponents {
+    /// Exact set match: every component equal (sets as sets, ORDER BY as a
+    /// sequence).
+    pub fn matches(&self, other: &QueryComponents) -> bool {
+        self == other
+    }
+
+    /// Partial credit: `(matched component slots, total component slots)`
+    /// across both queries' union of non-empty components. Used for
+    /// component-match F1 reporting.
+    pub fn overlap(&self, other: &QueryComponents) -> (usize, usize) {
+        let mut matched = 0;
+        let mut total = 0;
+        let mut cmp_set = |a: &BTreeSet<String>, b: &BTreeSet<String>| {
+            if a.is_empty() && b.is_empty() {
+                return;
+            }
+            total += 1;
+            if a == b {
+                matched += 1;
+            }
+        };
+        cmp_set(&self.select, &other.select);
+        cmp_set(&self.from, &other.from);
+        cmp_set(&self.joins, &other.joins);
+        cmp_set(&self.where_conjuncts, &other.where_conjuncts);
+        cmp_set(&self.group_by, &other.group_by);
+        cmp_set(&self.having, &other.having);
+        if !(self.order_by.is_empty() && other.order_by.is_empty()) {
+            total += 1;
+            if self.order_by == other.order_by {
+                matched += 1;
+            }
+        }
+        if self.limit.is_some() || other.limit.is_some() {
+            total += 1;
+            if self.limit == other.limit {
+                matched += 1;
+            }
+        }
+        if self.distinct || other.distinct {
+            total += 1;
+            if self.distinct == other.distinct {
+                matched += 1;
+            }
+        }
+        match (&self.compound, &other.compound) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                total += 1;
+                if self.set_op == other.set_op {
+                    matched += 1;
+                }
+                let (m, t) = a.overlap(b);
+                matched += m;
+                total += t;
+            }
+            _ => {
+                total += 1; // set-op presence mismatch
+            }
+        }
+        (matched, total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn comps(sql: &str) -> QueryComponents {
+        decompose(&parse_query(sql).unwrap())
+    }
+
+    #[test]
+    fn select_order_is_irrelevant() {
+        let a = comps("SELECT a, b FROM t");
+        let b = comps("SELECT b, a FROM t");
+        assert!(a.matches(&b));
+    }
+
+    #[test]
+    fn conjunct_order_is_irrelevant() {
+        let a = comps("SELECT a FROM t WHERE x = 1 AND y = 2");
+        let b = comps("SELECT a FROM t WHERE y = 2 AND x = 1");
+        assert!(a.matches(&b));
+    }
+
+    #[test]
+    fn join_sides_are_symmetric() {
+        let a = comps("SELECT a FROM t JOIN u ON t.id = u.t_id");
+        let b = comps("SELECT a FROM t JOIN u ON u.t_id = t.id");
+        assert!(a.matches(&b));
+    }
+
+    #[test]
+    fn or_groups_sorted_but_not_flattened_into_conjuncts() {
+        let a = comps("SELECT a FROM t WHERE x = 1 OR y = 2");
+        let b = comps("SELECT a FROM t WHERE y = 2 OR x = 1");
+        let c = comps("SELECT a FROM t WHERE x = 1 AND y = 2");
+        assert!(a.matches(&b));
+        assert!(!a.matches(&c));
+    }
+
+    #[test]
+    fn missing_condition_fails_match() {
+        let a = comps("SELECT a FROM t WHERE x = 1 AND y = 2");
+        let b = comps("SELECT a FROM t WHERE x = 1");
+        assert!(!a.matches(&b));
+        let (m, t) = a.overlap(&b);
+        assert!(m < t);
+        assert!(m >= 2); // select and from still match
+    }
+
+    #[test]
+    fn order_by_is_order_sensitive() {
+        let a = comps("SELECT a FROM t ORDER BY x ASC, y DESC");
+        let b = comps("SELECT a FROM t ORDER BY y DESC, x ASC");
+        assert!(!a.matches(&b));
+    }
+
+    #[test]
+    fn limit_and_distinct_count_as_components() {
+        let a = comps("SELECT DISTINCT a FROM t LIMIT 5");
+        let b = comps("SELECT a FROM t LIMIT 5");
+        assert!(!a.matches(&b));
+        let (m, t) = a.overlap(&b);
+        assert_eq!(t, 4); // select, from, limit, distinct
+        assert_eq!(m, 3);
+    }
+
+    #[test]
+    fn compound_queries_compare_recursively() {
+        let a = comps("SELECT a FROM t UNION SELECT a FROM u");
+        let b = comps("SELECT a FROM t UNION SELECT a FROM u");
+        let c = comps("SELECT a FROM t EXCEPT SELECT a FROM u");
+        assert!(a.matches(&b));
+        assert!(!a.matches(&c));
+        let (m, t) = a.overlap(&c);
+        assert!(m < t);
+    }
+
+    #[test]
+    fn overlap_of_identical_queries_is_total() {
+        let a = comps("SELECT a FROM t WHERE x = 1 GROUP BY a HAVING COUNT(*) > 1");
+        let (m, t) = a.overlap(&a);
+        assert_eq!(m, t);
+        assert!(t >= 5);
+    }
+}

@@ -1,0 +1,1095 @@
+//! In-memory SQL execution engine.
+//!
+//! Implements the survey's `E(e, D) → r` for the SQL task. The engine is a
+//! straightforward interpreter: bind FROM, hash-join the chain, filter,
+//! group/aggregate, project, de-duplicate, sort, limit, and apply set
+//! operators. Uncorrelated subqueries are materialized once before row
+//! evaluation (the Spider-class dialect has no correlated subqueries).
+//!
+//! Semantics follow SQLite where SQL leaves room: `LIKE` is
+//! case-insensitive, non-aggregated select items in a grouped query take
+//! the group's first row, aggregates over empty inputs yield `NULL`
+//! (`COUNT` yields 0).
+
+use crate::ast::{AggFunc, BinOp, ColName, Expr, Query, Select, SetOp};
+use nli_core::{Database, ExecutionEngine, NliError, Result, Value};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// An executed result table `r`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+    /// Whether row order is semantically meaningful (the query had a
+    /// top-level ORDER BY). Execution-match comparison is order-sensitive
+    /// only when this is set.
+    pub ordered: bool,
+}
+
+impl ResultSet {
+    pub fn empty() -> Self {
+        ResultSet { columns: Vec::new(), rows: Vec::new(), ordered: false }
+    }
+
+    /// Canonical multiset representation: each row canonicalized, then rows
+    /// sorted. Two results with the same multiset of rows compare equal.
+    pub fn canonical_rows(&self) -> Vec<Vec<String>> {
+        let mut rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.canonical()).collect())
+            .collect();
+        rows.sort();
+        rows
+    }
+
+    /// Execution-match comparison: order-sensitive iff either side is
+    /// ordered; column *names* are ignored (only positions/values matter),
+    /// mirroring standard execution-accuracy evaluation.
+    pub fn same_result(&self, other: &ResultSet) -> bool {
+        if self.ordered || other.ordered {
+            if self.rows.len() != other.rows.len() {
+                return false;
+            }
+            self.rows
+                .iter()
+                .zip(&other.rows)
+                .all(|(a, b)| canonical_row(a) == canonical_row(b))
+        } else {
+            self.canonical_rows() == other.canonical_rows()
+        }
+    }
+}
+
+fn canonical_row(r: &[Value]) -> Vec<String> {
+    r.iter().map(|v| v.canonical()).collect()
+}
+
+/// The SQL execution engine. Stateless; all state lives in the database.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SqlEngine;
+
+impl SqlEngine {
+    pub fn new() -> Self {
+        SqlEngine
+    }
+
+    /// Execute a query string (parse + execute).
+    pub fn run_sql(&self, sql: &str, db: &Database) -> Result<ResultSet> {
+        let q = crate::parser::parse_query(sql)?;
+        self.execute(&q, db)
+    }
+}
+
+impl ExecutionEngine for SqlEngine {
+    type Expr = Query;
+    type Output = ResultSet;
+
+    fn execute(&self, expr: &Query, db: &Database) -> Result<ResultSet> {
+        exec_query(expr, db)
+    }
+}
+
+fn exec_query(q: &Query, db: &Database) -> Result<ResultSet> {
+    let mut left = exec_select(&q.select, db)?;
+    if let Some((op, rhs)) = &q.compound {
+        let right = exec_query(rhs, db)?;
+        if !left.rows.is_empty()
+            && !right.rows.is_empty()
+            && left.columns.len() != right.columns.len()
+        {
+            return Err(NliError::Execution(format!(
+                "{} arity mismatch: {} vs {}",
+                op.name(),
+                left.columns.len(),
+                right.columns.len()
+            )));
+        }
+        let mut set: Vec<Vec<Value>> = Vec::new();
+        let key = |r: &[Value]| canonical_row(r);
+        match op {
+            SetOp::Union => {
+                let mut seen = std::collections::HashSet::new();
+                for row in left.rows.into_iter().chain(right.rows) {
+                    if seen.insert(key(&row)) {
+                        set.push(row);
+                    }
+                }
+            }
+            SetOp::Intersect => {
+                let rkeys: std::collections::HashSet<_> =
+                    right.rows.iter().map(|r| key(r)).collect();
+                let mut seen = std::collections::HashSet::new();
+                for row in left.rows {
+                    let k = key(&row);
+                    if rkeys.contains(&k) && seen.insert(k) {
+                        set.push(row);
+                    }
+                }
+            }
+            SetOp::Except => {
+                let rkeys: std::collections::HashSet<_> =
+                    right.rows.iter().map(|r| key(r)).collect();
+                let mut seen = std::collections::HashSet::new();
+                for row in left.rows {
+                    let k = key(&row);
+                    if !rkeys.contains(&k) && seen.insert(k) {
+                        set.push(row);
+                    }
+                }
+            }
+        }
+        left.rows = set;
+        left.ordered = false; // set ops discard ordering
+    }
+    Ok(left)
+}
+
+/// Binding environment: which tables are in scope and at which row offset.
+struct Scope<'a> {
+    db: &'a Database,
+    /// `(table name, schema table index, column offset)` per FROM entry.
+    bound: Vec<(String, usize, usize)>,
+    width: usize,
+}
+
+impl<'a> Scope<'a> {
+    fn bind(db: &'a Database, select: &Select) -> Result<Scope<'a>> {
+        let mut bound = Vec::new();
+        let mut offset = 0;
+        for t in &select.from {
+            let ti = db
+                .schema
+                .table_index(&t.name)
+                .ok_or_else(|| NliError::UnknownTable(t.name.clone()))?;
+            bound.push((t.name.to_lowercase(), ti, offset));
+            offset += db.schema.tables[ti].columns.len();
+        }
+        Ok(Scope { db, bound, width: offset })
+    }
+
+    /// Resolve a column name to an offset in the joined row.
+    fn resolve(&self, c: &ColName) -> Result<usize> {
+        match &c.table {
+            Some(t) => {
+                let (_, ti, off) = self
+                    .bound
+                    .iter()
+                    .find(|(name, _, _)| name == &t.to_lowercase())
+                    .ok_or_else(|| NliError::UnknownTable(t.clone()))?;
+                let ci = self.db.schema.tables[*ti]
+                    .column_index(&c.column)
+                    .ok_or_else(|| NliError::UnknownColumn(format!("{t}.{}", c.column)))?;
+                Ok(off + ci)
+            }
+            None => {
+                let mut hit = None;
+                for (_, ti, off) in &self.bound {
+                    if let Some(ci) = self.db.schema.tables[*ti].column_index(&c.column) {
+                        if hit.is_some() {
+                            return Err(NliError::AmbiguousColumn(c.column.clone()));
+                        }
+                        hit = Some(off + ci);
+                    }
+                }
+                hit.ok_or_else(|| NliError::UnknownColumn(c.column.clone()))
+            }
+        }
+    }
+
+    /// All column names in scope, qualified when a name is ambiguous.
+    fn output_columns(&self) -> Vec<String> {
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for (_, ti, _) in &self.bound {
+            for c in &self.db.schema.tables[*ti].columns {
+                *counts.entry(c.name.as_str()).or_insert(0) += 1;
+            }
+        }
+        let mut out = Vec::with_capacity(self.width);
+        for (name, ti, _) in &self.bound {
+            for c in &self.db.schema.tables[*ti].columns {
+                if counts[c.name.as_str()] > 1 {
+                    out.push(format!("{name}.{}", c.name));
+                } else {
+                    out.push(c.name.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+fn exec_select(select: &Select, db: &Database) -> Result<ResultSet> {
+    let scope = Scope::bind(db, select)?;
+    let mut rows = join_from(select, db, &scope)?;
+
+    // Materialize subqueries in WHERE/HAVING so row evaluation is pure.
+    let where_clause = select
+        .where_clause
+        .as_ref()
+        .map(|w| materialize_subqueries(w, db))
+        .transpose()?;
+    let having = select
+        .having
+        .as_ref()
+        .map(|h| materialize_subqueries(h, db))
+        .transpose()?;
+
+    if let Some(w) = &where_clause {
+        let mut kept = Vec::with_capacity(rows.len());
+        for row in rows {
+            if truthy(&eval_scalar(w, &row, &scope)?) {
+                kept.push(row);
+            }
+        }
+        rows = kept;
+    }
+
+    let is_aggregate = !select.group_by.is_empty()
+        || select.items.iter().any(|i| i.expr.contains_aggregate())
+        || having.as_ref().is_some_and(|h| h.contains_aggregate());
+
+    let mut out_columns: Vec<String> = Vec::new();
+    let mut out_rows: Vec<Vec<Value>> = Vec::new();
+    // Sort keys aligned with out_rows, computed in the right context.
+    let mut sort_keys: Vec<Vec<Value>> = Vec::new();
+    let need_sort = !select.order_by.is_empty();
+
+    if is_aggregate {
+        // Group rows by the GROUP BY key (single group when absent).
+        let mut groups: Vec<(Vec<String>, Vec<Vec<Value>>)> = Vec::new();
+        let mut index: HashMap<Vec<String>, usize> = HashMap::new();
+        for row in rows {
+            let mut key = Vec::with_capacity(select.group_by.len());
+            for g in &select.group_by {
+                key.push(eval_scalar(g, &row, &scope)?.canonical());
+            }
+            match index.get(&key) {
+                Some(&gi) => groups[gi].1.push(row),
+                None => {
+                    index.insert(key.clone(), groups.len());
+                    groups.push((key, vec![row]));
+                }
+            }
+        }
+        if groups.is_empty() && select.group_by.is_empty() {
+            // Aggregates over an empty input still produce one row.
+            groups.push((Vec::new(), Vec::new()));
+        }
+        for item in &select.items {
+            out_columns.push(
+                item.alias
+                    .clone()
+                    .unwrap_or_else(|| item.expr.to_string().to_lowercase()),
+            );
+        }
+        for (_, grows) in &groups {
+            if let Some(h) = &having {
+                if !truthy(&eval_group(h, grows, &scope)?) {
+                    continue;
+                }
+            }
+            let mut out = Vec::with_capacity(select.items.len());
+            for item in &select.items {
+                out.push(eval_group(&item.expr, grows, &scope)?);
+            }
+            if need_sort {
+                let mut keys = Vec::with_capacity(select.order_by.len());
+                for o in &select.order_by {
+                    keys.push(eval_group(&o.expr, grows, &scope)?);
+                }
+                sort_keys.push(keys);
+            }
+            out_rows.push(out);
+        }
+    } else {
+        // Plain projection.
+        let star = select.items.len() == 1 && matches!(select.items[0].expr, Expr::Star);
+        if star {
+            out_columns = scope.output_columns();
+        } else {
+            for item in &select.items {
+                if matches!(item.expr, Expr::Star) {
+                    return Err(NliError::Execution(
+                        "`*` must be the only select item".into(),
+                    ));
+                }
+                out_columns.push(
+                    item.alias
+                        .clone()
+                        .unwrap_or_else(|| item.expr.to_string().to_lowercase()),
+                );
+            }
+        }
+        for row in rows {
+            if need_sort {
+                let mut keys = Vec::with_capacity(select.order_by.len());
+                for o in &select.order_by {
+                    keys.push(eval_scalar(&o.expr, &row, &scope)?);
+                }
+                sort_keys.push(keys);
+            }
+            if star {
+                out_rows.push(row);
+            } else {
+                let mut out = Vec::with_capacity(select.items.len());
+                for item in &select.items {
+                    out.push(eval_scalar(&item.expr, &row, &scope)?);
+                }
+                out_rows.push(out);
+            }
+        }
+    }
+
+    if need_sort {
+        let mut order: Vec<usize> = (0..out_rows.len()).collect();
+        order.sort_by(|&a, &b| {
+            for (o, (ka, kb)) in select
+                .order_by
+                .iter()
+                .zip(sort_keys[a].iter().zip(sort_keys[b].iter()))
+            {
+                let c = ka.total_cmp(kb);
+                let c = if o.desc { c.reverse() } else { c };
+                if c != Ordering::Equal {
+                    return c;
+                }
+            }
+            Ordering::Equal
+        });
+        out_rows = order.into_iter().map(|i| std::mem::take(&mut out_rows[i])).collect();
+    }
+
+    if select.distinct {
+        let mut seen = std::collections::HashSet::new();
+        out_rows.retain(|r| seen.insert(canonical_row(r)));
+    }
+
+    if let Some(l) = select.limit {
+        out_rows.truncate(l as usize);
+    }
+
+    Ok(ResultSet { columns: out_columns, rows: out_rows, ordered: need_sort })
+}
+
+/// Build the joined row stream for the FROM clause. Explicit ON conditions
+/// become hash joins; tables without a connecting condition are
+/// cross-joined (their predicates, if any, live in WHERE).
+fn join_from(select: &Select, db: &Database, scope: &Scope) -> Result<Vec<Vec<Value>>> {
+    let mut rows: Vec<Vec<Value>> = db
+        .rows(scope.bound[0].1).to_vec();
+    let mut bound_width = db.schema.tables[scope.bound[0].1].columns.len();
+
+    for (i, (_, ti, _)) in scope.bound.iter().enumerate().skip(1) {
+        let new_rows = db.rows(*ti);
+        let new_off = scope.bound[i].2;
+        let new_width = db.schema.tables[*ti].columns.len();
+
+        // Find a join condition connecting the new table to the bound part.
+        let mut probe: Option<(usize, usize)> = None; // (bound offset, new-side column)
+        for j in &select.joins {
+            let l = scope.resolve(&j.left)?;
+            let r = scope.resolve(&j.right)?;
+            let (inner, outer) = if (new_off..new_off + new_width).contains(&l) {
+                (l, r)
+            } else if (new_off..new_off + new_width).contains(&r) {
+                (r, l)
+            } else {
+                continue;
+            };
+            if outer < bound_width {
+                probe = Some((outer, inner - new_off));
+                break;
+            }
+        }
+
+        let mut joined = Vec::new();
+        match probe {
+            Some((outer_off, inner_ci)) => {
+                let mut table: HashMap<String, Vec<&Vec<Value>>> = HashMap::new();
+                for nr in new_rows {
+                    if nr[inner_ci].is_null() {
+                        continue;
+                    }
+                    table.entry(nr[inner_ci].canonical()).or_default().push(nr);
+                }
+                for row in &rows {
+                    let key = &row[outer_off];
+                    if key.is_null() {
+                        continue;
+                    }
+                    if let Some(matches) = table.get(&key.canonical()) {
+                        for nr in matches {
+                            let mut combined = row.clone();
+                            combined.extend((*nr).clone());
+                            joined.push(combined);
+                        }
+                    }
+                }
+            }
+            None => {
+                for row in &rows {
+                    for nr in new_rows {
+                        let mut combined = row.clone();
+                        combined.extend(nr.clone());
+                        joined.push(combined);
+                    }
+                }
+            }
+        }
+        rows = joined;
+        bound_width += new_width;
+    }
+    Ok(rows)
+}
+
+/// Replace uncorrelated subqueries with their materialized values.
+fn materialize_subqueries(e: &Expr, db: &Database) -> Result<Expr> {
+    Ok(match e {
+        Expr::InSubquery { expr, query, negated } => {
+            let rs = exec_query(query, db)?;
+            if rs.columns.len() != 1 && !rs.rows.is_empty() && rs.rows[0].len() != 1 {
+                return Err(NliError::Execution(
+                    "IN subquery must produce one column".into(),
+                ));
+            }
+            let list = rs.rows.into_iter().filter_map(|mut r| {
+                if r.is_empty() { None } else { Some(r.swap_remove(0)) }
+            });
+            Expr::InList {
+                expr: Box::new(materialize_subqueries(expr, db)?),
+                list: list.collect(),
+                negated: *negated,
+            }
+        }
+        Expr::ScalarSubquery(q) => {
+            let rs = exec_query(q, db)?;
+            let v = rs
+                .rows
+                .first()
+                .and_then(|r| r.first())
+                .cloned()
+                .unwrap_or(Value::Null);
+            Expr::Literal(v)
+        }
+        Expr::Binary { left, op, right } => Expr::Binary {
+            left: Box::new(materialize_subqueries(left, db)?),
+            op: *op,
+            right: Box::new(materialize_subqueries(right, db)?),
+        },
+        Expr::Not(inner) => Expr::Not(Box::new(materialize_subqueries(inner, db)?)),
+        Expr::Between { expr, low, high, negated } => Expr::Between {
+            expr: Box::new(materialize_subqueries(expr, db)?),
+            low: Box::new(materialize_subqueries(low, db)?),
+            high: Box::new(materialize_subqueries(high, db)?),
+            negated: *negated,
+        },
+        other => other.clone(),
+    })
+}
+
+/// Truthiness of a predicate value: only `Bool(true)` passes (NULL and
+/// everything else fails, per SQL three-valued logic).
+fn truthy(v: &Value) -> bool {
+    matches!(v, Value::Bool(true))
+}
+
+/// Evaluate an expression in scalar (per-row) context.
+fn eval_scalar(e: &Expr, row: &[Value], scope: &Scope) -> Result<Value> {
+    match e {
+        Expr::Column(c) => Ok(row[scope.resolve(c)?].clone()),
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Star => Err(NliError::Execution("`*` in scalar context".into())),
+        Expr::Agg { .. } => Err(NliError::Execution(
+            "aggregate in row context (missing GROUP BY?)".into(),
+        )),
+        Expr::Binary { left, op, right } => {
+            let l = eval_scalar(left, row, scope)?;
+            let r = eval_scalar(right, row, scope)?;
+            eval_binary(&l, *op, &r)
+        }
+        Expr::Not(inner) => Ok(match eval_scalar(inner, row, scope)? {
+            Value::Bool(b) => Value::Bool(!b),
+            Value::Null => Value::Null,
+            other => {
+                return Err(NliError::Execution(format!("NOT applied to {other}")))
+            }
+        }),
+        Expr::Like { expr, pattern, negated } => {
+            let v = eval_scalar(expr, row, scope)?;
+            Ok(match v {
+                Value::Null => Value::Null,
+                Value::Text(s) => {
+                    let m = like_match(pattern, &s);
+                    Value::Bool(m != *negated)
+                }
+                other => {
+                    // LIKE over non-text compares the canonical spelling,
+                    // matching SQLite's affinity-light behaviour.
+                    let m = like_match(pattern, &other.canonical());
+                    Value::Bool(m != *negated)
+                }
+            })
+        }
+        Expr::Between { expr, low, high, negated } => {
+            let v = eval_scalar(expr, row, scope)?;
+            let lo = eval_scalar(low, row, scope)?;
+            let hi = eval_scalar(high, row, scope)?;
+            match (v.compare(&lo), v.compare(&hi)) {
+                (Some(a), Some(b)) => {
+                    let inside = a != Ordering::Less && b != Ordering::Greater;
+                    Ok(Value::Bool(inside != *negated))
+                }
+                _ => Ok(Value::Null),
+            }
+        }
+        Expr::InList { expr, list, negated } => {
+            let v = eval_scalar(expr, row, scope)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let found = list.iter().any(|x| v.sql_eq(x) == Some(true));
+            Ok(Value::Bool(found != *negated))
+        }
+        Expr::InSubquery { .. } | Expr::ScalarSubquery(_) => Err(NliError::Execution(
+            "unmaterialized subquery reached evaluation".into(),
+        )),
+        Expr::IsNull { expr, negated } => {
+            let v = eval_scalar(expr, row, scope)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+    }
+}
+
+/// Evaluate an expression in group context: aggregates consume the group's
+/// rows; bare columns take the group's first row (SQLite-style).
+fn eval_group(e: &Expr, rows: &[Vec<Value>], scope: &Scope) -> Result<Value> {
+    match e {
+        Expr::Agg { func, arg, distinct } => eval_agg(*func, arg, *distinct, rows, scope),
+        Expr::Binary { left, op, right } => {
+            let l = eval_group(left, rows, scope)?;
+            let r = eval_group(right, rows, scope)?;
+            eval_binary(&l, *op, &r)
+        }
+        Expr::Not(inner) => Ok(match eval_group(inner, rows, scope)? {
+            Value::Bool(b) => Value::Bool(!b),
+            Value::Null => Value::Null,
+            other => return Err(NliError::Execution(format!("NOT applied to {other}"))),
+        }),
+        other => match rows.first() {
+            Some(first) => eval_scalar(other, first, scope),
+            None => Ok(Value::Null),
+        },
+    }
+}
+
+fn eval_agg(
+    func: AggFunc,
+    arg: &Expr,
+    distinct: bool,
+    rows: &[Vec<Value>],
+    scope: &Scope,
+) -> Result<Value> {
+    if matches!(arg, Expr::Star) {
+        if func != AggFunc::Count {
+            return Err(NliError::Execution(format!("{}(*) is invalid", func.name())));
+        }
+        return Ok(Value::Int(rows.len() as i64));
+    }
+    let mut vals = Vec::with_capacity(rows.len());
+    for row in rows {
+        let v = eval_scalar(arg, row, scope)?;
+        if !v.is_null() {
+            vals.push(v);
+        }
+    }
+    if distinct {
+        let mut seen = std::collections::HashSet::new();
+        vals.retain(|v| seen.insert(v.canonical()));
+    }
+    Ok(match func {
+        AggFunc::Count => Value::Int(vals.len() as i64),
+        AggFunc::Sum | AggFunc::Avg => {
+            if vals.is_empty() {
+                Value::Null
+            } else {
+                let mut sum = 0.0;
+                let mut all_int = true;
+                for v in &vals {
+                    match v {
+                        Value::Int(i) => sum += *i as f64,
+                        Value::Float(f) => {
+                            sum += f;
+                            all_int = false;
+                        }
+                        other => {
+                            return Err(NliError::Execution(format!(
+                                "{} over non-numeric value {other}",
+                                func.name()
+                            )))
+                        }
+                    }
+                }
+                if func == AggFunc::Avg {
+                    Value::Float(sum / vals.len() as f64)
+                } else if all_int {
+                    Value::Int(sum as i64)
+                } else {
+                    Value::Float(sum)
+                }
+            }
+        }
+        AggFunc::Min | AggFunc::Max => {
+            let mut best: Option<Value> = None;
+            for v in vals {
+                best = Some(match best {
+                    None => v,
+                    Some(b) => {
+                        let take_new = match v.compare(&b) {
+                            Some(Ordering::Less) => func == AggFunc::Min,
+                            Some(Ordering::Greater) => func == AggFunc::Max,
+                            _ => false,
+                        };
+                        if take_new {
+                            v
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            best.unwrap_or(Value::Null)
+        }
+    })
+}
+
+fn eval_binary(l: &Value, op: BinOp, r: &Value) -> Result<Value> {
+    use BinOp::*;
+    match op {
+        And | Or => {
+            let lb = as_tribool(l)?;
+            let rb = as_tribool(r)?;
+            Ok(match (op, lb, rb) {
+                (And, Some(false), _) | (And, _, Some(false)) => Value::Bool(false),
+                (And, Some(true), Some(true)) => Value::Bool(true),
+                (Or, Some(true), _) | (Or, _, Some(true)) => Value::Bool(true),
+                (Or, Some(false), Some(false)) => Value::Bool(false),
+                _ => Value::Null,
+            })
+        }
+        Eq | Neq | Lt | Le | Gt | Ge => {
+            let cmp = match l.compare(r) {
+                Some(c) => c,
+                None => {
+                    // NULL operand → NULL; genuinely incomparable types are
+                    // simply unequal (so `=` is false, `!=` true).
+                    if l.is_null() || r.is_null() {
+                        return Ok(Value::Null);
+                    }
+                    return Ok(match op {
+                        Eq => Value::Bool(false),
+                        Neq => Value::Bool(true),
+                        _ => Value::Null,
+                    });
+                }
+            };
+            let b = match op {
+                Eq => cmp == Ordering::Equal,
+                Neq => cmp != Ordering::Equal,
+                Lt => cmp == Ordering::Less,
+                Le => cmp != Ordering::Greater,
+                Gt => cmp == Ordering::Greater,
+                Ge => cmp != Ordering::Less,
+                _ => unreachable!(),
+            };
+            Ok(Value::Bool(b))
+        }
+        Add | Sub | Mul | Div => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            let (a, b) = match (l.as_f64(), r.as_f64()) {
+                (Some(a), Some(b)) => (a, b),
+                _ => {
+                    return Err(NliError::Execution(format!(
+                        "arithmetic on non-numeric operands: {l} {} {r}",
+                        op.symbol()
+                    )))
+                }
+            };
+            let both_int =
+                matches!(l, Value::Int(_)) && matches!(r, Value::Int(_)) && op != Div;
+            let x = match op {
+                Add => a + b,
+                Sub => a - b,
+                Mul => a * b,
+                Div => {
+                    if b == 0.0 {
+                        return Ok(Value::Null); // SQLite: division by zero is NULL
+                    }
+                    a / b
+                }
+                _ => unreachable!(),
+            };
+            Ok(if both_int { Value::Int(x as i64) } else { Value::Float(x) })
+        }
+    }
+}
+
+fn as_tribool(v: &Value) -> Result<Option<bool>> {
+    match v {
+        Value::Bool(b) => Ok(Some(*b)),
+        Value::Null => Ok(None),
+        other => Err(NliError::Execution(format!("expected boolean, got {other}"))),
+    }
+}
+
+/// SQL LIKE with `%` (any run) and `_` (one char), case-insensitive.
+fn like_match(pattern: &str, text: &str) -> bool {
+    let p: Vec<char> = pattern.to_lowercase().chars().collect();
+    let t: Vec<char> = text.to_lowercase().chars().collect();
+    like_rec(&p, &t)
+}
+
+fn like_rec(p: &[char], t: &[char]) -> bool {
+    match p.first() {
+        None => t.is_empty(),
+        Some('%') => {
+            // collapse consecutive %
+            let rest = &p[1..];
+            (0..=t.len()).any(|k| like_rec(rest, &t[k..]))
+        }
+        Some('_') => !t.is_empty() && like_rec(&p[1..], &t[1..]),
+        Some(&c) => !t.is_empty() && t[0] == c && like_rec(&p[1..], &t[1..]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nli_core::{Column, DataType, Date, Schema, Table};
+
+    /// The Fig. 2 sales database, plus a disconnected stores table.
+    fn sales_db() -> Database {
+        let mut schema = Schema::new(
+            "sales_db",
+            vec![
+                Table::new(
+                    "products",
+                    vec![
+                        Column::new("id", DataType::Int).primary(),
+                        Column::new("name", DataType::Text),
+                        Column::new("category", DataType::Text),
+                        Column::new("price", DataType::Float),
+                    ],
+                ),
+                Table::new(
+                    "sales",
+                    vec![
+                        Column::new("id", DataType::Int).primary(),
+                        Column::new("product_id", DataType::Int),
+                        Column::new("amount", DataType::Float),
+                        Column::new("sold_on", DataType::Date),
+                    ],
+                ),
+            ],
+        );
+        schema
+            .add_foreign_key("sales", "product_id", "products", "id")
+            .unwrap();
+        let mut db = Database::empty(schema);
+        db.insert_all(
+            "products",
+            vec![
+                vec![1.into(), "Widget".into(), "Tools".into(), 9.5.into()],
+                vec![2.into(), "Gadget".into(), "Tools".into(), 19.0.into()],
+                vec![3.into(), "Doohickey".into(), "Toys".into(), 4.25.into()],
+            ],
+        )
+        .unwrap();
+        db.insert_all(
+            "sales",
+            vec![
+                vec![1.into(), 1.into(), 100.0.into(), Date::new(2024, 1, 15).into()],
+                vec![2.into(), 1.into(), 150.0.into(), Date::new(2024, 2, 20).into()],
+                vec![3.into(), 2.into(), 200.0.into(), Date::new(2024, 4, 2).into()],
+                vec![4.into(), 3.into(), 50.0.into(), Date::new(2024, 4, 9).into()],
+                vec![5.into(), Value::Null, 75.0.into(), Date::new(2024, 5, 1).into()],
+            ],
+        )
+        .unwrap();
+        db
+    }
+
+    fn run(sql: &str) -> ResultSet {
+        SqlEngine::new().run_sql(sql, &sales_db()).unwrap()
+    }
+
+    #[test]
+    fn select_star() {
+        let r = run("SELECT * FROM products");
+        assert_eq!(r.rows.len(), 3);
+        assert_eq!(r.columns, vec!["id", "name", "category", "price"]);
+    }
+
+    #[test]
+    fn where_filtering() {
+        let r = run("SELECT name FROM products WHERE price > 5");
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn count_star_and_count_column() {
+        let r = run("SELECT COUNT(*) FROM sales");
+        assert_eq!(r.rows[0][0], Value::Int(5));
+        // COUNT(col) skips NULLs
+        let r = run("SELECT COUNT(product_id) FROM sales");
+        assert_eq!(r.rows[0][0], Value::Int(4));
+    }
+
+    #[test]
+    fn group_by_with_aggregates() {
+        let r = run("SELECT category, SUM(price) FROM products GROUP BY category");
+        let rows = r.canonical_rows();
+        assert_eq!(rows.len(), 2);
+        assert!(rows.contains(&vec!["Tools".to_string(), "28.5".to_string()]));
+        assert!(rows.contains(&vec!["Toys".to_string(), "4.25".to_string()]));
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let r = run(
+            "SELECT category FROM products GROUP BY category HAVING COUNT(*) > 1",
+        );
+        assert_eq!(r.rows, vec![vec![Value::from("Tools")]]);
+    }
+
+    #[test]
+    fn join_on_fk() {
+        let r = run(
+            "SELECT products.name, sales.amount FROM sales JOIN products \
+             ON sales.product_id = products.id",
+        );
+        assert_eq!(r.rows.len(), 4, "NULL product_id must not join");
+    }
+
+    #[test]
+    fn join_grouped_revenue_by_category() {
+        let r = run(
+            "SELECT products.category, SUM(sales.amount) FROM sales JOIN products \
+             ON sales.product_id = products.id GROUP BY products.category \
+             ORDER BY SUM(sales.amount) DESC",
+        );
+        assert_eq!(
+            r.canonical_rows(),
+            vec![
+                vec!["Tools".to_string(), "450".to_string()],
+                vec!["Toys".to_string(), "50".to_string()],
+            ]
+        );
+        assert!(r.ordered);
+        assert_eq!(r.rows[0][0], Value::from("Tools"));
+    }
+
+    #[test]
+    fn comma_from_with_where_equijoin_matches_explicit_join() {
+        let a = run(
+            "SELECT products.name FROM sales JOIN products ON sales.product_id = products.id",
+        );
+        let b = run(
+            "SELECT products.name FROM sales, products WHERE sales.product_id = products.id",
+        );
+        assert!(a.same_result(&b));
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let r = run("SELECT name FROM products ORDER BY price DESC LIMIT 2");
+        assert_eq!(
+            r.rows,
+            vec![vec![Value::from("Gadget")], vec![Value::from("Widget")]]
+        );
+    }
+
+    #[test]
+    fn distinct() {
+        let r = run("SELECT DISTINCT category FROM products");
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn like_patterns() {
+        let r = run("SELECT name FROM products WHERE name LIKE '%get%'");
+        assert_eq!(r.rows.len(), 2); // Widget, Gadget
+        let r = run("SELECT name FROM products WHERE name LIKE '_adget'");
+        assert_eq!(r.rows, vec![vec![Value::from("Gadget")]]);
+        let r = run("SELECT name FROM products WHERE name NOT LIKE '%e%'");
+        assert_eq!(r.rows.len(), 0);
+    }
+
+    #[test]
+    fn between_and_in_list() {
+        let r = run("SELECT name FROM products WHERE price BETWEEN 5 AND 10");
+        assert_eq!(r.rows, vec![vec![Value::from("Widget")]]);
+        let r = run("SELECT name FROM products WHERE category IN ('Toys', 'Food')");
+        assert_eq!(r.rows, vec![vec![Value::from("Doohickey")]]);
+        let r = run("SELECT name FROM products WHERE category NOT IN ('Toys')");
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn in_subquery() {
+        let r = run(
+            "SELECT name FROM products WHERE id IN \
+             (SELECT product_id FROM sales WHERE amount > 120)",
+        );
+        let names = r.canonical_rows();
+        assert_eq!(names, vec![vec!["Gadget".to_string()], vec!["Widget".to_string()]]);
+    }
+
+    #[test]
+    fn scalar_subquery() {
+        let r = run(
+            "SELECT name FROM products WHERE price = (SELECT MAX(price) FROM products)",
+        );
+        assert_eq!(r.rows, vec![vec![Value::from("Gadget")]]);
+    }
+
+    #[test]
+    fn set_operations() {
+        let db = sales_db();
+        let e = SqlEngine::new();
+        let union = e
+            .run_sql(
+                "SELECT category FROM products UNION SELECT name FROM products",
+                &db,
+            )
+            .unwrap();
+        assert_eq!(union.rows.len(), 5); // 2 categories + 3 names
+        let intersect = e
+            .run_sql(
+                "SELECT id FROM products INTERSECT SELECT product_id FROM sales",
+                &db,
+            )
+            .unwrap();
+        assert_eq!(intersect.rows.len(), 3);
+        let except = e
+            .run_sql(
+                "SELECT id FROM products EXCEPT SELECT product_id FROM sales WHERE amount > 120",
+                &db,
+            )
+            .unwrap();
+        assert_eq!(except.rows.len(), 1); // only product 3
+    }
+
+    #[test]
+    fn null_semantics_in_where() {
+        // NULL product_id row must not satisfy either branch.
+        let pos = run("SELECT COUNT(*) FROM sales WHERE product_id = 1");
+        let neg = run("SELECT COUNT(*) FROM sales WHERE product_id != 1");
+        let total = run("SELECT COUNT(*) FROM sales");
+        assert_eq!(pos.rows[0][0], Value::Int(2));
+        assert_eq!(neg.rows[0][0], Value::Int(2));
+        assert_eq!(total.rows[0][0], Value::Int(5));
+        let isnull = run("SELECT COUNT(*) FROM sales WHERE product_id IS NULL");
+        assert_eq!(isnull.rows[0][0], Value::Int(1));
+    }
+
+    #[test]
+    fn avg_and_min_max() {
+        let r = run("SELECT AVG(price), MIN(price), MAX(price) FROM products");
+        assert_eq!(r.rows[0][1], Value::Float(4.25));
+        assert_eq!(r.rows[0][2], Value::Float(19.0));
+        match &r.rows[0][0] {
+            Value::Float(f) => assert!((f - 10.916_666_666_666_666).abs() < 1e-9),
+            other => panic!("avg not float: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregates_over_empty_input() {
+        let r = run("SELECT COUNT(*), SUM(price), MAX(price) FROM products WHERE price > 100");
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0], Value::Int(0));
+        assert!(r.rows[0][1].is_null());
+        assert!(r.rows[0][2].is_null());
+    }
+
+    #[test]
+    fn empty_group_by_produces_no_rows() {
+        let r = run(
+            "SELECT category, COUNT(*) FROM products WHERE price > 100 GROUP BY category",
+        );
+        assert!(r.rows.is_empty());
+    }
+
+    #[test]
+    fn arithmetic_in_projection() {
+        let r = run("SELECT price * 2 FROM products WHERE id = 1");
+        assert_eq!(r.rows[0][0], Value::Float(19.0));
+        let r = run("SELECT id + 1 FROM products WHERE id = 1");
+        assert_eq!(r.rows[0][0], Value::Int(2));
+    }
+
+    #[test]
+    fn division_by_zero_is_null() {
+        let r = run("SELECT price / 0 FROM products WHERE id = 1");
+        assert!(r.rows[0][0].is_null());
+    }
+
+    #[test]
+    fn date_comparison() {
+        let r = run("SELECT COUNT(*) FROM sales WHERE sold_on >= '2024-04-01'");
+        assert_eq!(r.rows[0][0], Value::Int(3));
+    }
+
+    #[test]
+    fn execution_errors_surface() {
+        let e = SqlEngine::new();
+        let db = sales_db();
+        assert!(e.run_sql("SELECT x FROM products", &db).is_err());
+        assert!(e.run_sql("SELECT name FROM nope", &db).is_err());
+        assert!(e.run_sql("SELECT SUM(name) FROM products", &db).is_err());
+        assert!(e.run_sql("SELECT id FROM products WHERE name + 1 = 2", &db).is_err());
+        // ambiguous unqualified column across joined tables
+        assert!(e
+            .run_sql(
+                "SELECT id FROM products JOIN sales ON sales.product_id = products.id",
+                &db
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn result_set_comparison_semantics() {
+        let a = ResultSet {
+            columns: vec!["x".into()],
+            rows: vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+            ordered: false,
+        };
+        let b = ResultSet {
+            columns: vec!["y".into()],
+            rows: vec![vec![Value::Int(2)], vec![Value::Int(1)]],
+            ordered: false,
+        };
+        assert!(a.same_result(&b), "unordered results compare as multisets");
+        let c = ResultSet { ordered: true, ..b.clone() };
+        assert!(!a.same_result(&c), "ordered comparison is positional");
+    }
+
+    #[test]
+    fn count_distinct_execution() {
+        let r = run("SELECT COUNT(DISTINCT category) FROM products");
+        assert_eq!(r.rows[0][0], Value::Int(2));
+    }
+
+    #[test]
+    fn union_arity_mismatch_errors() {
+        let e = SqlEngine::new();
+        let db = sales_db();
+        assert!(e
+            .run_sql("SELECT id, name FROM products UNION SELECT id FROM products", &db)
+            .is_err());
+    }
+}

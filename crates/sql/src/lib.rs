@@ -1,0 +1,32 @@
+//! # nli-sql
+//!
+//! The SQL side of the survey's problem definition: the functional
+//! expression `e` is a [`ast::Query`], and the execution engine `E` is
+//! [`exec::SqlEngine`], which evaluates queries on an in-memory
+//! [`nli_core::Database`] to produce a [`exec::ResultSet`] `r`.
+//!
+//! The dialect is the cross-domain benchmark subset (Spider-class):
+//! `SELECT [DISTINCT] ... FROM ... [JOIN ... ON ...] [WHERE ...]
+//! [GROUP BY ... [HAVING ...]] [ORDER BY ... [ASC|DESC]] [LIMIT n]` with
+//! aggregates, arithmetic, `AND`/`OR`/`NOT`, `LIKE`, `BETWEEN`, `IN
+//! (list|subquery)`, scalar subqueries, and `UNION`/`INTERSECT`/`EXCEPT`.
+//! Uncorrelated subqueries only — the same restriction the Spider grammar
+//! enforces in practice.
+//!
+//! Besides parsing and execution, the crate provides what *evaluation*
+//! needs: a canonical printer ([`normalize::normalize`]) for exact-match
+//! scoring and a Spider-style component decomposition
+//! ([`components::decompose`]) for exact-set-match scoring.
+
+pub mod ast;
+pub mod components;
+pub mod exec;
+pub mod normalize;
+pub mod parser;
+pub mod token;
+
+pub use ast::{AggFunc, BinOp, ColName, Expr, JoinCond, OrderItem, Query, Select, SelectItem, SetOp, TableRef};
+pub use components::{decompose, QueryComponents};
+pub use exec::{ResultSet, SqlEngine};
+pub use normalize::normalize;
+pub use parser::parse_query;

@@ -1,0 +1,99 @@
+//! Canonical SQL normalization for string-based evaluation.
+//!
+//! Exact-string-match evaluation is notoriously sensitive to inessential
+//! spelling differences (case, whitespace, `<>` vs `!=`, comma-FROM vs
+//! JOIN). Normalization removes exactly that class of noise — parse the
+//! query and reprint it canonically — while *preserving* genuine semantic
+//! differences, which is what Table 3's metric comparison needs.
+
+use crate::parser::parse_query;
+
+/// Normalize SQL to the workspace's canonical spelling. When the input does
+/// not parse (e.g. a hallucinated program from a noisy model), falls back to
+/// lossy token normalization so metrics still get a comparable string.
+pub fn normalize(sql: &str) -> String {
+    match parse_query(sql) {
+        Ok(q) => q.to_string(),
+        Err(_) => lossy_normalize(sql),
+    }
+}
+
+/// Whitespace/case-only normalization used for unparseable strings.
+fn lossy_normalize(sql: &str) -> String {
+    let mut out = String::with_capacity(sql.len());
+    let mut in_string = false;
+    let mut last_space = true;
+    for c in sql.chars() {
+        if c == '\'' {
+            in_string = !in_string;
+            out.push(c);
+            last_space = false;
+        } else if in_string {
+            out.push(c);
+        } else if c.is_whitespace() {
+            if !last_space {
+                out.push(' ');
+                last_space = true;
+            }
+        } else {
+            out.push(c.to_ascii_lowercase());
+            last_space = false;
+        }
+    }
+    out.trim().to_string()
+}
+
+/// Whether two SQL strings are equal after normalization.
+pub fn normalized_eq(a: &str, b: &str) -> bool {
+    normalize(a) == normalize(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_and_whitespace_are_ignored() {
+        assert!(normalized_eq(
+            "select  name from   singer where age>30",
+            "SELECT name FROM singer WHERE age > 30"
+        ));
+    }
+
+    #[test]
+    fn neq_spellings_unify() {
+        assert!(normalized_eq(
+            "SELECT a FROM t WHERE x <> 1",
+            "SELECT a FROM t WHERE x != 1"
+        ));
+    }
+
+    #[test]
+    fn semantic_differences_survive() {
+        assert!(!normalized_eq(
+            "SELECT a FROM t WHERE x > 1",
+            "SELECT a FROM t WHERE x >= 1"
+        ));
+        assert!(!normalized_eq("SELECT a FROM t", "SELECT b FROM t"));
+    }
+
+    #[test]
+    fn unparseable_strings_get_lossy_treatment() {
+        let n = normalize("SELEC whoops   FROM");
+        assert_eq!(n, "selec whoops from");
+    }
+
+    #[test]
+    fn string_literal_case_is_preserved() {
+        let n = normalize("SELECT a FROM t WHERE name = 'Alice'");
+        assert!(n.contains("'Alice'"));
+        let lossy = lossy_normalize("BROKEN 'MiXeD Case'");
+        assert!(lossy.contains("'MiXeD Case'"));
+    }
+
+    #[test]
+    fn comma_from_normalizes_to_join_spelling() {
+        let n = normalize("SELECT a FROM t, u WHERE t.id = u.t_id");
+        assert!(n.contains("FROM t JOIN u"), "{n}");
+    }
+}

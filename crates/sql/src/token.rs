@@ -1,0 +1,199 @@
+//! SQL lexer.
+
+use nli_core::{NliError, Result};
+
+/// SQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlToken {
+    /// Keyword or identifier, stored lower-case; keyword-ness is decided by
+    /// the parser in context.
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// Punctuation / operator.
+    Symbol(Sym),
+}
+
+/// Operator and punctuation tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sym {
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Semicolon,
+}
+
+/// Lex a SQL string into tokens. Errors on unterminated strings and unknown
+/// characters.
+pub fn lex(input: &str) -> Result<Vec<SqlToken>> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c == '\'' {
+            let mut s = String::new();
+            let mut j = i + 1;
+            loop {
+                if j >= chars.len() {
+                    return Err(NliError::Syntax("unterminated string literal".into()));
+                }
+                if chars[j] == '\'' {
+                    if j + 1 < chars.len() && chars[j + 1] == '\'' {
+                        s.push('\'');
+                        j += 2;
+                        continue;
+                    }
+                    break;
+                }
+                s.push(chars[j]);
+                j += 1;
+            }
+            out.push(SqlToken::Str(s));
+            i = j + 1;
+        } else if c.is_ascii_digit()
+            || (c == '.' && i + 1 < chars.len() && chars[i + 1].is_ascii_digit())
+        {
+            let start = i;
+            let mut seen_dot = false;
+            while i < chars.len() && (chars[i].is_ascii_digit() || (chars[i] == '.' && !seen_dot))
+            {
+                if chars[i] == '.' {
+                    // `1.x` where x is not a digit means `1` then `.`
+                    if i + 1 >= chars.len() || !chars[i + 1].is_ascii_digit() {
+                        break;
+                    }
+                    seen_dot = true;
+                }
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            let n: f64 = text
+                .parse()
+                .map_err(|_| NliError::Syntax(format!("bad number: {text}")))?;
+            out.push(SqlToken::Number(n));
+        } else if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            out.push(SqlToken::Ident(text.to_lowercase()));
+        } else {
+            let sym = match c {
+                '(' => Sym::LParen,
+                ')' => Sym::RParen,
+                ',' => Sym::Comma,
+                '.' => Sym::Dot,
+                '*' => Sym::Star,
+                '+' => Sym::Plus,
+                '-' => Sym::Minus,
+                '/' => Sym::Slash,
+                ';' => Sym::Semicolon,
+                '=' => Sym::Eq,
+                '!' => {
+                    if i + 1 < chars.len() && chars[i + 1] == '=' {
+                        i += 1;
+                        Sym::Neq
+                    } else {
+                        return Err(NliError::Syntax("lone '!'".into()));
+                    }
+                }
+                '<' => {
+                    if i + 1 < chars.len() && chars[i + 1] == '=' {
+                        i += 1;
+                        Sym::Le
+                    } else if i + 1 < chars.len() && chars[i + 1] == '>' {
+                        i += 1;
+                        Sym::Neq
+                    } else {
+                        Sym::Lt
+                    }
+                }
+                '>' => {
+                    if i + 1 < chars.len() && chars[i + 1] == '=' {
+                        i += 1;
+                        Sym::Ge
+                    } else {
+                        Sym::Gt
+                    }
+                }
+                other => {
+                    return Err(NliError::Syntax(format!("unexpected character: {other}")))
+                }
+            };
+            out.push(SqlToken::Symbol(sym));
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_keywords_numbers_strings() {
+        let toks = lex("SELECT name FROM t WHERE x >= 2.5 AND y = 'it''s'").unwrap();
+        assert_eq!(toks[0], SqlToken::Ident("select".into()));
+        assert!(toks.contains(&SqlToken::Number(2.5)));
+        assert!(toks.contains(&SqlToken::Symbol(Sym::Ge)));
+        assert!(toks.contains(&SqlToken::Str("it's".into())));
+    }
+
+    #[test]
+    fn neq_spellings() {
+        assert!(lex("a != b").unwrap().contains(&SqlToken::Symbol(Sym::Neq)));
+        assert!(lex("a <> b").unwrap().contains(&SqlToken::Symbol(Sym::Neq)));
+    }
+
+    #[test]
+    fn qualified_names_split_on_dot() {
+        let toks = lex("t.col").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                SqlToken::Ident("t".into()),
+                SqlToken::Symbol(Sym::Dot),
+                SqlToken::Ident("col".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_unterminated_string_and_bad_char() {
+        assert!(lex("'oops").is_err());
+        assert!(lex("a ? b").is_err());
+        assert!(lex("a ! b").is_err());
+    }
+
+    #[test]
+    fn count_star() {
+        let toks = lex("COUNT(*)").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                SqlToken::Ident("count".into()),
+                SqlToken::Symbol(Sym::LParen),
+                SqlToken::Symbol(Sym::Star),
+                SqlToken::Symbol(Sym::RParen),
+            ]
+        );
+    }
+}

@@ -1,0 +1,246 @@
+//! Property-based testing of the execution engine against a fixed schema:
+//! random well-typed queries must never panic, must honour LIMIT/DISTINCT/
+//! ORDER BY, and simple filters must agree with a straightforward
+//! reimplementation (differential check).
+
+use nli_core::{Column, Database, DataType, Date, Prng, Schema, Table, Value};
+use nli_sql::{BinOp, SqlEngine};
+use proptest::prelude::*;
+
+/// A fixed two-table schema with an FK, populated deterministically.
+fn db() -> Database {
+    let mut schema = Schema::new(
+        "fuzz",
+        vec![
+            Table::new(
+                "items",
+                vec![
+                    Column::new("id", DataType::Int).primary(),
+                    Column::new("name", DataType::Text),
+                    Column::new("kind", DataType::Text),
+                    Column::new("price", DataType::Float),
+                    Column::new("stock", DataType::Int),
+                    Column::new("added", DataType::Date),
+                ],
+            ),
+            Table::new(
+                "orders",
+                vec![
+                    Column::new("id", DataType::Int).primary(),
+                    Column::new("item_id", DataType::Int),
+                    Column::new("qty", DataType::Int),
+                ],
+            ),
+        ],
+    );
+    schema.add_foreign_key("orders", "item_id", "items", "id").unwrap();
+    let mut d = Database::empty(schema);
+    let mut rng = Prng::new(0xF00D);
+    let kinds = ["a", "b", "c"];
+    for i in 1..=40i64 {
+        d.insert(
+            "items",
+            vec![
+                i.into(),
+                format!("item{i}").into(),
+                (*rng.pick(&kinds)).into(),
+                ((rng.range(1, 1000) as f64) / 10.0).into(),
+                rng.range(0, 50).into(),
+                Date::new(2020 + rng.range(0, 5) as i32, rng.range(1, 12) as u8, rng.range(1, 28) as u8)
+                    .into(),
+            ],
+        )
+        .unwrap();
+    }
+    for i in 1..=120i64 {
+        d.insert(
+            "orders",
+            vec![i.into(), rng.range(1, 40).into(), rng.range(1, 9).into()],
+        )
+        .unwrap();
+    }
+    d
+}
+
+fn num_col() -> impl Strategy<Value = &'static str> {
+    prop_oneof![Just("price"), Just("stock"), Just("id")]
+}
+
+fn any_col() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("id"),
+        Just("name"),
+        Just("kind"),
+        Just("price"),
+        Just("stock"),
+    ]
+}
+
+fn cmp() -> impl Strategy<Value = &'static str> {
+    prop_oneof![Just("="), Just("!="), Just("<"), Just("<="), Just(">"), Just(">=")]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn random_filters_never_panic_and_respect_limit(
+        col in num_col(),
+        op in cmp(),
+        v in 0..120i64,
+        limit in 1..10u64,
+        desc in any::<bool>(),
+    ) {
+        let d = db();
+        let engine = SqlEngine::new();
+        let sql = format!(
+            "SELECT name FROM items WHERE {col} {op} {v} ORDER BY {col} {} LIMIT {limit}",
+            if desc { "DESC" } else { "ASC" }
+        );
+        let rs = engine.run_sql(&sql, &d).unwrap();
+        prop_assert!(rs.rows.len() <= limit as usize);
+        prop_assert!(rs.ordered);
+    }
+
+    #[test]
+    fn filter_agrees_with_reference_implementation(
+        op in cmp(),
+        v in 0..1000i64,
+    ) {
+        let d = db();
+        let engine = SqlEngine::new();
+        let sql = format!("SELECT id FROM items WHERE stock {op} {v}");
+        let rs = engine.run_sql(&sql, &d).unwrap();
+        // reference: manual scan
+        let binop = match op {
+            "=" => BinOp::Eq,
+            "!=" => BinOp::Neq,
+            "<" => BinOp::Lt,
+            "<=" => BinOp::Le,
+            ">" => BinOp::Gt,
+            _ => BinOp::Ge,
+        };
+        let expected: Vec<i64> = d
+            .rows_of("items")
+            .unwrap()
+            .iter()
+            .filter(|r| {
+                let stock = match &r[4] {
+                    Value::Int(i) => *i,
+                    _ => unreachable!(),
+                };
+                match binop {
+                    BinOp::Eq => stock == v,
+                    BinOp::Neq => stock != v,
+                    BinOp::Lt => stock < v,
+                    BinOp::Le => stock <= v,
+                    BinOp::Gt => stock > v,
+                    _ => stock >= v,
+                }
+            })
+            .map(|r| match &r[0] {
+                Value::Int(i) => *i,
+                _ => unreachable!(),
+            })
+            .collect();
+        let mut got: Vec<i64> = rs
+            .rows
+            .iter()
+            .map(|r| match &r[0] {
+                Value::Int(i) => *i,
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        let mut expected = expected;
+        got.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn distinct_projection_has_no_duplicates(col in any_col()) {
+        let d = db();
+        let rs = SqlEngine::new()
+            .run_sql(&format!("SELECT DISTINCT {col} FROM items"), &d)
+            .unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for row in &rs.rows {
+            prop_assert!(seen.insert(row[0].canonical()));
+        }
+    }
+
+    #[test]
+    fn group_count_sums_to_table_size(col in prop_oneof![Just("kind"), Just("stock")]) {
+        let d = db();
+        let rs = SqlEngine::new()
+            .run_sql(&format!("SELECT {col}, COUNT(*) FROM items GROUP BY {col}"), &d)
+            .unwrap();
+        let total: i64 = rs
+            .rows
+            .iter()
+            .map(|r| match &r[1] {
+                Value::Int(i) => *i,
+                other => panic!("{other:?}"),
+            })
+            .sum();
+        prop_assert_eq!(total, 40);
+    }
+
+    #[test]
+    fn join_cardinality_matches_child_rows_with_valid_fk(qty in 1..9i64) {
+        let d = db();
+        let engine = SqlEngine::new();
+        let joined = engine
+            .run_sql(
+                &format!(
+                    "SELECT COUNT(*) FROM orders JOIN items ON orders.item_id = items.id \
+                     WHERE orders.qty = {qty}"
+                ),
+                &d,
+            )
+            .unwrap();
+        let plain = engine
+            .run_sql(&format!("SELECT COUNT(*) FROM orders WHERE qty = {qty}"), &d)
+            .unwrap();
+        // every order references a valid item, so the join is lossless
+        prop_assert_eq!(joined.rows[0][0].clone(), plain.rows[0][0].clone());
+    }
+
+    #[test]
+    fn order_by_produces_sorted_output(desc in any::<bool>()) {
+        let d = db();
+        let dir = if desc { "DESC" } else { "ASC" };
+        let rs = SqlEngine::new()
+            .run_sql(&format!("SELECT price FROM items ORDER BY price {dir}"), &d)
+            .unwrap();
+        let vals: Vec<f64> = rs
+            .rows
+            .iter()
+            .map(|r| r[0].as_f64().unwrap())
+            .collect();
+        for w in vals.windows(2) {
+            if desc {
+                prop_assert!(w[0] >= w[1]);
+            } else {
+                prop_assert!(w[0] <= w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn set_ops_obey_set_algebra(v in 0..50i64) {
+        let d = db();
+        let engine = SqlEngine::new();
+        let a = format!("SELECT kind FROM items WHERE stock > {v}");
+        let b = "SELECT kind FROM items".to_string();
+        // A INTERSECT B == distinct(A) when A ⊆ B
+        let inter = engine.run_sql(&format!("{a} INTERSECT {b}"), &d).unwrap();
+        let dist_a = engine
+            .run_sql(&format!("SELECT DISTINCT kind FROM items WHERE stock > {v}"), &d)
+            .unwrap();
+        prop_assert!(inter.same_result(&dist_a));
+        // A EXCEPT B is empty when A ⊆ B
+        let except = engine.run_sql(&format!("{a} EXCEPT {b}"), &d).unwrap();
+        prop_assert!(except.rows.is_empty());
+    }
+}

@@ -1,0 +1,222 @@
+//! Property-based fuzzing of the SQL frontend: for arbitrary well-formed
+//! queries, the canonical printing must re-parse to the identical AST, and
+//! normalization must be a fixed point. This is the strongest guarantee the
+//! exact-match metrics rest on.
+
+use nli_core::{Date, Value};
+use nli_sql::{
+    parse_query, AggFunc, BinOp, ColName, Expr, JoinCond, OrderItem, Query, Select,
+    SelectItem, SetOp, TableRef,
+};
+use proptest::prelude::*;
+
+/// Identifier that cannot collide with a SQL keyword.
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_filter("keyword collision", |s| {
+        !matches!(
+            s.as_str(),
+            "select" | "from" | "where" | "group" | "by" | "having" | "order" | "limit"
+                | "and" | "or" | "not" | "in" | "like" | "between" | "is" | "null" | "true"
+                | "false" | "join" | "on" | "as" | "distinct" | "union" | "intersect"
+                | "except" | "asc" | "desc" | "count" | "sum" | "avg" | "min" | "max"
+                | "inner" | "all"
+        )
+    })
+}
+
+fn col_name() -> impl Strategy<Value = ColName> {
+    (proptest::option::of(ident()), ident())
+        .prop_map(|(t, c)| ColName { table: t, column: c })
+}
+
+/// Literal values whose canonical spelling re-parses to themselves.
+fn literal() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i32>().prop_map(|i| Value::Int(i as i64)),
+        // non-integral floats only (integral floats canonicalize to Int)
+        (any::<i32>(), 1u8..100).prop_map(|(i, f)| Value::Float(i as f64 + f as f64 / 256.0)),
+        // text that cannot be mistaken for a date
+        "[a-zA-Z][a-zA-Z0-9 ']{0,10}".prop_map(Value::Text),
+        any::<bool>().prop_map(Value::Bool),
+        (1990i32..2030, 1u8..=12, 1u8..=28)
+            .prop_map(|(y, m, d)| Value::Date(Date::new(y, m, d))),
+    ]
+}
+
+fn agg_func() -> impl Strategy<Value = AggFunc> {
+    prop_oneof![
+        Just(AggFunc::Count),
+        Just(AggFunc::Sum),
+        Just(AggFunc::Avg),
+        Just(AggFunc::Min),
+        Just(AggFunc::Max),
+    ]
+}
+
+fn cmp_op() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Eq),
+        Just(BinOp::Neq),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Gt),
+        Just(BinOp::Ge),
+    ]
+}
+
+/// A single predicate (comparison / LIKE / BETWEEN / IN / IS NULL).
+fn predicate() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (col_name(), cmp_op(), literal()).prop_map(|(c, op, v)| Expr::binary(
+            Expr::Column(c),
+            op,
+            Expr::Literal(v)
+        )),
+        (col_name(), "[a-z%_]{1,6}", any::<bool>()).prop_map(|(c, pattern, negated)| {
+            Expr::Like { expr: Box::new(Expr::Column(c)), pattern, negated }
+        }),
+        (col_name(), any::<i32>(), any::<i32>(), any::<bool>()).prop_map(
+            |(c, lo, hi, negated)| Expr::Between {
+                expr: Box::new(Expr::Column(c)),
+                low: Box::new(Expr::Literal(Value::Int(lo.min(hi) as i64))),
+                high: Box::new(Expr::Literal(Value::Int(lo.max(hi) as i64))),
+                negated,
+            }
+        ),
+        (col_name(), proptest::collection::vec(literal(), 1..4), any::<bool>()).prop_map(
+            |(c, list, negated)| Expr::InList {
+                expr: Box::new(Expr::Column(c)),
+                list,
+                negated,
+            }
+        ),
+        (col_name(), any::<bool>()).prop_map(|(c, negated)| Expr::IsNull {
+            expr: Box::new(Expr::Column(c)),
+            negated
+        }),
+    ]
+}
+
+/// Boolean combinations of predicates, bounded depth.
+fn condition() -> impl Strategy<Value = Expr> {
+    predicate().prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::binary(a, BinOp::And, b)),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::binary(a, BinOp::Or, b)),
+        ]
+    })
+}
+
+fn select_item() -> impl Strategy<Value = SelectItem> {
+    prop_oneof![
+        col_name().prop_map(|c| SelectItem::plain(Expr::Column(c))),
+        (agg_func(), col_name(), any::<bool>()).prop_map(|(f, c, distinct)| SelectItem {
+            expr: Expr::Agg { func: f, arg: Box::new(Expr::Column(c)), distinct },
+            alias: None,
+        }),
+        Just(SelectItem::plain(Expr::count_star())),
+        (col_name(), ident()).prop_map(|(c, alias)| SelectItem {
+            expr: Expr::Column(c),
+            alias: Some(alias),
+        }),
+    ]
+}
+
+fn select() -> impl Strategy<Value = Select> {
+    (
+        any::<bool>(),
+        proptest::collection::vec(select_item(), 1..4),
+        ident(),
+        proptest::option::of((ident(), col_name(), col_name())),
+        proptest::option::of(condition()),
+        proptest::collection::vec(col_name().prop_map(Expr::Column), 0..3),
+        proptest::option::of(condition()),
+        proptest::collection::vec(
+            (col_name(), any::<bool>())
+                .prop_map(|(c, desc)| OrderItem { expr: Expr::Column(c), desc }),
+            0..3,
+        ),
+        proptest::option::of(0u64..1000),
+    )
+        .prop_map(
+            |(distinct, items, table, join, where_clause, group_by, having_raw, order_by, limit)| {
+                let mut from = vec![TableRef { name: table }];
+                let mut joins = Vec::new();
+                if let Some((t2, l, r)) = join {
+                    from.push(TableRef { name: t2 });
+                    joins.push(JoinCond { left: l, right: r });
+                }
+                // HAVING is only well-formed under GROUP BY
+                let having = if group_by.is_empty() { None } else { having_raw };
+                Select {
+                    distinct,
+                    items,
+                    from,
+                    joins,
+                    where_clause,
+                    group_by,
+                    having,
+                    order_by,
+                    limit,
+                }
+            },
+        )
+}
+
+fn query() -> impl Strategy<Value = Query> {
+    (
+        select(),
+        proptest::option::of((
+            prop_oneof![Just(SetOp::Union), Just(SetOp::Intersect), Just(SetOp::Except)],
+            select(),
+        )),
+    )
+        .prop_map(|(s, compound)| Query {
+            select: s,
+            compound: compound.map(|(op, rhs)| (op, Box::new(Query::single(rhs)))),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn print_parse_roundtrip(q in query()) {
+        let text = q.to_string();
+        let reparsed = parse_query(&text)
+            .unwrap_or_else(|e| panic!("canonical text failed to parse: {e}\n{text}"));
+        prop_assert_eq!(&reparsed, &q, "roundtrip changed the AST for: {}", text);
+    }
+
+    #[test]
+    fn normalization_is_a_fixed_point_on_canonical_text(q in query()) {
+        let text = q.to_string();
+        let n = nli_sql::normalize::normalize(&text);
+        prop_assert_eq!(&n, &text);
+    }
+
+    #[test]
+    fn component_decomposition_is_reflexive(q in query()) {
+        let c = nli_sql::decompose(&q);
+        prop_assert!(c.matches(&c.clone()));
+        let (m, t) = c.overlap(&c);
+        prop_assert_eq!(m, t);
+    }
+
+    #[test]
+    fn lowercased_keywords_reparse_identically(q in query()) {
+        // keyword case is inessential; literals must be preserved though,
+        // so only lowercase outside quotes
+        let text = q.to_string();
+        let mut lower = String::new();
+        let mut in_str = false;
+        for ch in text.chars() {
+            if ch == '\'' { in_str = !in_str; }
+            if in_str { lower.push(ch); } else { lower.extend(ch.to_lowercase()); }
+        }
+        let a = parse_query(&text).unwrap();
+        let b = parse_query(&lower)
+            .unwrap_or_else(|e| panic!("lowercased text failed: {e}\n{lower}"));
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,149 @@
+//! User-centric system selection (§5.4).
+//!
+//! The survey's recommendations, verbatim as decision logic: basic users
+//! get rule-based simplicity or end-to-end flexibility; technical users get
+//! parsing-based depth; professionals get rule-based reliability in stable
+//! environments, multi-stage accuracy in complex ones, end-to-end speed in
+//! fast-paced ones.
+
+use crate::architectures::Architecture;
+
+/// User technical background.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expertise {
+    /// Limited technical background.
+    Basic,
+    /// Stronger technical skills (complex linguistic needs).
+    Technical,
+    /// Corporate/academic professional with high query volume.
+    Professional,
+}
+
+/// Data environment character.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Environment {
+    /// Stable and standardized, repetitive queries.
+    Stable,
+    /// Heterogeneous data needing integration and analysis.
+    Complex,
+    /// Latency-sensitive, rapidly changing.
+    FastPaced,
+}
+
+/// A user profile for system selection.
+#[derive(Debug, Clone, Copy)]
+pub struct UserProfile {
+    pub expertise: Expertise,
+    pub environment: Environment,
+    /// Needs to handle diverse, open-ended queries.
+    pub needs_flexibility: bool,
+}
+
+/// A recommendation with its rationale.
+#[derive(Debug, Clone)]
+pub struct Recommendation {
+    pub architecture: Architecture,
+    pub rationale: String,
+}
+
+/// Recommend an architecture for a profile (the §5.4 decision table).
+pub fn recommend(profile: &UserProfile) -> Recommendation {
+    let (architecture, rationale) = match profile.expertise {
+        Expertise::Basic => {
+            if profile.needs_flexibility {
+                (
+                    Architecture::EndToEnd,
+                    "basic users needing flexibility handle diverse queries effortlessly \
+                     with end-to-end systems",
+                )
+            } else {
+                (
+                    Architecture::RuleBased,
+                    "rule-based systems offer simplicity and accuracy in well-defined \
+                     domains for basic users",
+                )
+            }
+        }
+        Expertise::Technical => (
+            Architecture::ParsingBased,
+            "parsing-based systems excel at intricate linguistic structures for \
+             technically skilled users",
+        ),
+        Expertise::Professional => match profile.environment {
+            Environment::Stable => (
+                Architecture::RuleBased,
+                "in stable, standardized environments rule-based systems ensure reliable \
+                 performance for repetitive queries",
+            ),
+            Environment::Complex => (
+                Architecture::MultiStage,
+                "complex data environments benefit from multi-stage adaptability and \
+                 accuracy",
+            ),
+            Environment::FastPaced => (
+                Architecture::EndToEnd,
+                "fast-paced environments need end-to-end systems minimizing latency and \
+                 adapting rapidly",
+            ),
+        },
+    };
+    Recommendation { architecture, rationale: rationale.to_string() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(e: Expertise, env: Environment, flex: bool) -> UserProfile {
+        UserProfile { expertise: e, environment: env, needs_flexibility: flex }
+    }
+
+    #[test]
+    fn basic_users_get_rules_or_end_to_end() {
+        assert_eq!(
+            recommend(&profile(Expertise::Basic, Environment::Stable, false)).architecture,
+            Architecture::RuleBased
+        );
+        assert_eq!(
+            recommend(&profile(Expertise::Basic, Environment::Stable, true)).architecture,
+            Architecture::EndToEnd
+        );
+    }
+
+    #[test]
+    fn technical_users_get_parsing() {
+        assert_eq!(
+            recommend(&profile(Expertise::Technical, Environment::Complex, false)).architecture,
+            Architecture::ParsingBased
+        );
+    }
+
+    #[test]
+    fn professionals_split_by_environment() {
+        assert_eq!(
+            recommend(&profile(Expertise::Professional, Environment::Stable, false)).architecture,
+            Architecture::RuleBased
+        );
+        assert_eq!(
+            recommend(&profile(Expertise::Professional, Environment::Complex, false)).architecture,
+            Architecture::MultiStage
+        );
+        assert_eq!(
+            recommend(&profile(Expertise::Professional, Environment::FastPaced, false))
+                .architecture,
+            Architecture::EndToEnd
+        );
+    }
+
+    #[test]
+    fn every_recommendation_has_a_rationale() {
+        for e in [Expertise::Basic, Expertise::Technical, Expertise::Professional] {
+            for env in [Environment::Stable, Environment::Complex, Environment::FastPaced] {
+                for flex in [false, true] {
+                    let r = recommend(&profile(e, env, flex));
+                    assert!(r.rationale.len() > 20);
+                }
+            }
+        }
+    }
+}

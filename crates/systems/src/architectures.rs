@@ -1,0 +1,492 @@
+//! The four system architectures of the survey's §5.3.
+//!
+//! Every system routes a question to its SQL or Vis pipeline (chart verbs
+//! select the vis path), executes the parsed program, and reports which
+//! internal stages ran — the interpretability proxy Table 4's comparison
+//! uses (rule-based systems expose everything; end-to-end systems are one
+//! opaque stage).
+
+use nli_core::{Database, NliError, NlQuestion, Result, SemanticParser};
+use nli_lm::{DemoSelection, LlmKind, PromptStrategy};
+use nli_sql::{Query, ResultSet, SqlEngine};
+use nli_text2sql::{
+    ExecutionGuided, GrammarConfig, GrammarParser, LlmParser, PlmParser, RuleBasedParser,
+};
+use nli_text2vis::{LlmVisParser, NcNetParser, RgVisNetParser, RuleVisParser};
+use nli_vql::{Chart, VisEngine, VisQuery};
+use std::time::{Duration, Instant};
+
+/// Architecture paradigm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Architecture {
+    RuleBased,
+    ParsingBased,
+    MultiStage,
+    EndToEnd,
+}
+
+impl Architecture {
+    pub fn name(self) -> &'static str {
+        match self {
+            Architecture::RuleBased => "rule-based",
+            Architecture::ParsingBased => "parsing-based",
+            Architecture::MultiStage => "multi-stage",
+            Architecture::EndToEnd => "end-to-end",
+        }
+    }
+
+    pub const ALL: [Architecture; 4] = [
+        Architecture::RuleBased,
+        Architecture::ParsingBased,
+        Architecture::MultiStage,
+        Architecture::EndToEnd,
+    ];
+}
+
+/// What a system returns to the user.
+#[derive(Debug, Clone)]
+pub enum SystemOutput {
+    /// Tabular answer (the Text-to-SQL result `r`).
+    Table(ResultSet),
+    /// Rendered chart (the Text-to-Vis result `r`).
+    Chart(Box<Chart>),
+    /// DataTone-style disambiguation: candidate programs for the user to
+    /// choose between.
+    Clarification(Vec<String>),
+}
+
+/// A full system response.
+#[derive(Debug, Clone)]
+pub struct SystemResponse {
+    /// The functional expression the system committed to, as text.
+    pub program: Option<String>,
+    pub output: SystemOutput,
+    pub latency: Duration,
+    /// Pipeline stages that ran (interpretability proxy).
+    pub stages: Vec<&'static str>,
+}
+
+/// Common system interface.
+pub trait NliSystem {
+    fn ask(&self, question: &NlQuestion, db: &Database) -> Result<SystemResponse>;
+    fn architecture(&self) -> Architecture;
+    fn name(&self) -> &str;
+
+    /// Access to the SQL-side parser for benchmark evaluation.
+    fn sql_parser(&self) -> &dyn SemanticParser<Expr = Query>;
+    /// Access to the Vis-side parser for benchmark evaluation.
+    fn vis_parser(&self) -> &dyn SemanticParser<Expr = VisQuery>;
+}
+
+/// Whether a question asks for a visualization.
+pub fn wants_chart(text: &str) -> bool {
+    let t = text.to_lowercase();
+    ["chart", "plot", "graph", "visualize", "draw"]
+        .iter()
+        .any(|w| t.contains(w))
+}
+
+fn run_sql(q: &Query, db: &Database) -> Result<ResultSet> {
+    use nli_core::ExecutionEngine;
+    SqlEngine::new().execute(q, db)
+}
+
+fn run_vis(v: &VisQuery, db: &Database) -> Result<Chart> {
+    use nli_core::ExecutionEngine;
+    VisEngine::new().execute(v, db)
+}
+
+// ---- rule-based -----------------------------------------------------------
+
+/// NaLIR/DataTone-class system: rule parsers plus interactive
+/// clarification when parsing fails or is ambiguous.
+pub struct RuleSystem {
+    sql: RuleBasedParser,
+    vis: RuleVisParser,
+}
+
+impl RuleSystem {
+    pub fn new() -> RuleSystem {
+        RuleSystem { sql: RuleBasedParser::new(), vis: RuleVisParser::new() }
+    }
+
+    /// NaLIR-style interaction: the user picked one of the clarification
+    /// candidates; execute it.
+    pub fn execute_candidate(&self, sql: &str, db: &Database) -> Result<SystemResponse> {
+        let start = Instant::now();
+        let q = nli_sql::parse_query(sql)?;
+        let rs = run_sql(&q, db)?;
+        Ok(SystemResponse {
+            program: Some(q.to_string()),
+            output: SystemOutput::Table(rs),
+            latency: start.elapsed(),
+            stages: vec!["user-choice", "execution"],
+        })
+    }
+}
+
+impl Default for RuleSystem {
+    fn default() -> Self {
+        RuleSystem::new()
+    }
+}
+
+impl NliSystem for RuleSystem {
+    fn ask(&self, question: &NlQuestion, db: &Database) -> Result<SystemResponse> {
+        let start = Instant::now();
+        let stages = vec!["rule-mapping", "ranking", "execution"];
+        if wants_chart(&question.text) {
+            let v = self.vis.parse(question, db)?;
+            let chart = run_vis(&v, db)?;
+            return Ok(SystemResponse {
+                program: Some(v.to_string()),
+                output: SystemOutput::Chart(Box::new(chart)),
+                latency: start.elapsed(),
+                stages,
+            });
+        }
+        match self.sql.parse(question, db) {
+            Ok(q) => {
+                let rs = run_sql(&q, db)?;
+                Ok(SystemResponse {
+                    program: Some(q.to_string()),
+                    output: SystemOutput::Table(rs),
+                    latency: start.elapsed(),
+                    stages,
+                })
+            }
+            Err(_) => {
+                // DataTone-style: surface candidate interpretations
+                let cands = self.sql.candidates(question, db, 3);
+                if cands.is_empty() {
+                    Err(NliError::Parse("no interpretation found".into()))
+                } else {
+                    Ok(SystemResponse {
+                        program: None,
+                        output: SystemOutput::Clarification(
+                            cands.iter().map(|c| c.to_string()).collect(),
+                        ),
+                        latency: start.elapsed(),
+                        stages: vec!["rule-mapping", "ambiguity-widget"],
+                    })
+                }
+            }
+        }
+    }
+
+    fn architecture(&self) -> Architecture {
+        Architecture::RuleBased
+    }
+    fn name(&self) -> &str {
+        "rule-system"
+    }
+    fn sql_parser(&self) -> &dyn SemanticParser<Expr = Query> {
+        &self.sql
+    }
+    fn vis_parser(&self) -> &dyn SemanticParser<Expr = VisQuery> {
+        &self.vis
+    }
+}
+
+// ---- parsing-based -----------------------------------------------------------
+
+/// SQLova/ncNet-class system: grammar-driven semantic parsing.
+pub struct ParsingSystem {
+    sql: GrammarParser,
+    vis: NcNetParser,
+}
+
+impl ParsingSystem {
+    pub fn new() -> ParsingSystem {
+        ParsingSystem {
+            sql: GrammarParser::new(GrammarConfig::neural()),
+            vis: NcNetParser::new(),
+        }
+    }
+}
+
+impl Default for ParsingSystem {
+    fn default() -> Self {
+        ParsingSystem::new()
+    }
+}
+
+impl NliSystem for ParsingSystem {
+    fn ask(&self, question: &NlQuestion, db: &Database) -> Result<SystemResponse> {
+        let start = Instant::now();
+        let stages = vec!["encoding", "grammar-decoding", "execution"];
+        if wants_chart(&question.text) {
+            let v = self.vis.parse(question, db)?;
+            let chart = run_vis(&v, db)?;
+            Ok(SystemResponse {
+                program: Some(v.to_string()),
+                output: SystemOutput::Chart(Box::new(chart)),
+                latency: start.elapsed(),
+                stages,
+            })
+        } else {
+            let q = self.sql.parse(question, db)?;
+            let rs = run_sql(&q, db)?;
+            Ok(SystemResponse {
+                program: Some(q.to_string()),
+                output: SystemOutput::Table(rs),
+                latency: start.elapsed(),
+                stages,
+            })
+        }
+    }
+
+    fn architecture(&self) -> Architecture {
+        Architecture::ParsingBased
+    }
+    fn name(&self) -> &str {
+        "parsing-system"
+    }
+    fn sql_parser(&self) -> &dyn SemanticParser<Expr = Query> {
+        &self.sql
+    }
+    fn vis_parser(&self) -> &dyn SemanticParser<Expr = VisQuery> {
+        &self.vis
+    }
+}
+
+// ---- multi-stage ---------------------------------------------------------------
+
+/// DIN-SQL/DeepEye-class system: linking → classification → generation →
+/// self-correction, with execution-guided candidate filtering.
+pub struct MultiStageSystem {
+    sql: ExecutionGuided<PlmParser>,
+    vis: RgVisNetParser,
+}
+
+impl MultiStageSystem {
+    /// Build with a trained PLM core (train via
+    /// [`MultiStageSystem::with_trained`]).
+    pub fn with_trained(plm: PlmParser, vis: RgVisNetParser) -> MultiStageSystem {
+        MultiStageSystem { sql: ExecutionGuided::new(plm, 4, false), vis }
+    }
+}
+
+impl NliSystem for MultiStageSystem {
+    fn ask(&self, question: &NlQuestion, db: &Database) -> Result<SystemResponse> {
+        let start = Instant::now();
+        let stages =
+            vec!["schema-linking", "classification", "generation", "self-correction", "execution"];
+        if wants_chart(&question.text) {
+            let v = self.vis.parse(question, db)?;
+            let chart = run_vis(&v, db)?;
+            Ok(SystemResponse {
+                program: Some(v.to_string()),
+                output: SystemOutput::Chart(Box::new(chart)),
+                latency: start.elapsed(),
+                stages,
+            })
+        } else {
+            let q = self.sql.parse(question, db)?;
+            let rs = run_sql(&q, db)?;
+            Ok(SystemResponse {
+                program: Some(q.to_string()),
+                output: SystemOutput::Table(rs),
+                latency: start.elapsed(),
+                stages,
+            })
+        }
+    }
+
+    fn architecture(&self) -> Architecture {
+        Architecture::MultiStage
+    }
+    fn name(&self) -> &str {
+        "multi-stage-system"
+    }
+    fn sql_parser(&self) -> &dyn SemanticParser<Expr = Query> {
+        &self.sql
+    }
+    fn vis_parser(&self) -> &dyn SemanticParser<Expr = VisQuery> {
+        &self.vis
+    }
+}
+
+// ---- end-to-end --------------------------------------------------------------
+
+/// Photon/Sevi-class system: one LLM call, no intermediate stages.
+pub struct EndToEndSystem {
+    sql: LlmParser,
+    vis: LlmVisParser,
+}
+
+impl EndToEndSystem {
+    pub fn new(seed: u64) -> EndToEndSystem {
+        EndToEndSystem {
+            sql: LlmParser::new(
+                LlmKind::Frontier,
+                PromptStrategy::FewShot { k: 4, selection: DemoSelection::Similarity },
+                seed,
+            ),
+            vis: LlmVisParser::new(LlmKind::Frontier, PromptStrategy::ZeroShot, seed),
+        }
+    }
+}
+
+impl NliSystem for EndToEndSystem {
+    fn ask(&self, question: &NlQuestion, db: &Database) -> Result<SystemResponse> {
+        let start = Instant::now();
+        let stages = vec!["end-to-end"];
+        if wants_chart(&question.text) {
+            let v = self.vis.parse(question, db)?;
+            let chart = run_vis(&v, db)?;
+            Ok(SystemResponse {
+                program: Some(v.to_string()),
+                output: SystemOutput::Chart(Box::new(chart)),
+                latency: start.elapsed(),
+                stages,
+            })
+        } else {
+            let q = self.sql.parse(question, db)?;
+            let rs = run_sql(&q, db)?;
+            Ok(SystemResponse {
+                program: Some(q.to_string()),
+                output: SystemOutput::Table(rs),
+                latency: start.elapsed(),
+                stages,
+            })
+        }
+    }
+
+    fn architecture(&self) -> Architecture {
+        Architecture::EndToEnd
+    }
+    fn name(&self) -> &str {
+        "end-to-end-system"
+    }
+    fn sql_parser(&self) -> &dyn SemanticParser<Expr = Query> {
+        &self.sql
+    }
+    fn vis_parser(&self) -> &dyn SemanticParser<Expr = VisQuery> {
+        &self.vis
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nli_core::{Column, DataType, Schema, Table};
+
+    fn db() -> Database {
+        let schema = Schema::new(
+            "shop",
+            vec![Table::new(
+                "products",
+                vec![
+                    Column::new("id", DataType::Int).primary(),
+                    Column::new("name", DataType::Text),
+                    Column::new("category", DataType::Text),
+                    Column::new("price", DataType::Float),
+                ],
+            )
+            .with_display("product")],
+        );
+        let mut d = Database::empty(schema);
+        d.insert_all(
+            "products",
+            vec![
+                vec![1.into(), "Widget".into(), "Tools".into(), 9.5.into()],
+                vec![2.into(), "Gadget".into(), "Toys".into(), 19.0.into()],
+            ],
+        )
+        .unwrap();
+        d
+    }
+
+    #[test]
+    fn routing_sends_chart_requests_to_vis() {
+        assert!(wants_chart("Show a bar chart of sales"));
+        assert!(!wants_chart("How many products are there?"));
+    }
+
+    #[test]
+    fn every_architecture_answers_a_simple_question() {
+        let d = db();
+        let q = NlQuestion::new("How many products are there?");
+        let systems: Vec<Box<dyn NliSystem>> = vec![
+            Box::new(RuleSystem::new()),
+            Box::new(ParsingSystem::new()),
+            Box::new(EndToEndSystem::new(7)),
+        ];
+        for s in &systems {
+            let r = s.ask(&q, &d).unwrap_or_else(|e| panic!("{}: {e}", s.name()));
+            match r.output {
+                SystemOutput::Table(rs) => {
+                    assert_eq!(rs.rows[0][0], nli_core::Value::Int(2), "{}", s.name())
+                }
+                other => panic!("{}: unexpected output {other:?}", s.name()),
+            }
+            assert!(!r.stages.is_empty());
+        }
+    }
+
+    #[test]
+    fn chart_requests_produce_charts() {
+        let d = db();
+        let q = NlQuestion::new("Show a bar chart of the total price for each category.");
+        let s = ParsingSystem::new();
+        let r = s.ask(&q, &d).unwrap();
+        assert!(matches!(r.output, SystemOutput::Chart(_)));
+        assert!(r.program.unwrap().starts_with("VISUALIZE BAR"));
+    }
+
+    #[test]
+    fn multi_stage_system_works_after_training() {
+        use nli_lm::TrainingExample;
+        let d = db();
+        let mut plm = PlmParser::new();
+        plm.train(&[TrainingExample {
+            question: "how many products are there".into(),
+            sql: nli_sql::parse_query("SELECT COUNT(*) FROM products").unwrap(),
+        }]);
+        let s = MultiStageSystem::with_trained(plm, RgVisNetParser::new());
+        let r = s.ask(&NlQuestion::new("How many products are there?"), &d).unwrap();
+        assert!(matches!(r.output, SystemOutput::Table(_)));
+        assert!(r.stages.contains(&"self-correction"));
+    }
+
+    #[test]
+    fn rule_system_clarifies_on_ambiguity_or_errs() {
+        let d = db();
+        let s = RuleSystem::new();
+        // synonym phrasing the rule system cannot link confidently
+        let q = NlQuestion::new("List the merchandise cost.");
+        if let Ok(r) = s.ask(&q, &d) {
+            // either a clarification or a (possibly wrong) table answer
+            match r.output {
+                SystemOutput::Clarification(cands) => assert!(!cands.is_empty()),
+                SystemOutput::Table(_) => {}
+                SystemOutput::Chart(_) => panic!("chart for a data question"),
+            }
+        }
+    }
+
+    #[test]
+    fn stage_counts_order_architectures_by_transparency() {
+        let d = db();
+        let q = NlQuestion::new("How many products are there?");
+        let rule = RuleSystem::new().ask(&q, &d).unwrap().stages.len();
+        let e2e = EndToEndSystem::new(1).ask(&q, &d).unwrap().stages.len();
+        assert!(rule > e2e, "rule {rule} vs end-to-end {e2e}");
+    }
+
+    #[test]
+    fn clarification_candidates_can_be_executed_by_user_choice() {
+        let d = db();
+        let s = RuleSystem::new();
+        let r = s
+            .execute_candidate("SELECT COUNT(*) FROM products WHERE price > 5", &d)
+            .unwrap();
+        match r.output {
+            SystemOutput::Table(rs) => assert_eq!(rs.rows[0][0], nli_core::Value::Int(2)),
+            other => panic!("{other:?}"),
+        }
+        assert!(r.stages.contains(&"user-choice"));
+        assert!(s.execute_candidate("SELEC nope", &d).is_err());
+    }
+}

@@ -1,0 +1,28 @@
+//! # nli-systems
+//!
+//! End-user systems assembled from the parser taxonomy, mirroring the
+//! survey's §5.3 architecture classification (Table 4):
+//!
+//! | Architecture | SQL exemplars | Vis exemplars | Here |
+//! |---|---|---|---|
+//! | rule-based | NaLIR, PRECISE | DataTone | [`architectures::RuleSystem`] |
+//! | parsing-based | SQLova, Seq2Tree | ncNet | [`architectures::ParsingSystem`] |
+//! | multi-stage | DIN-SQL | DeepEye | [`architectures::MultiStageSystem`] |
+//! | end-to-end | Photon, VoiceQuerySystem | Sevi, DeepTrack | [`architectures::EndToEndSystem`] |
+//!
+//! [`advisor`] implements §5.4's user-centric system selection, and
+//! [`session`] implements the query → result → feedback/refinement loop of
+//! the paper's Fig. 1 (with conversational state for both tasks).
+
+pub mod advisor;
+pub mod architectures;
+pub mod session;
+pub mod voice;
+
+pub use advisor::{recommend, Environment, Expertise, Recommendation, UserProfile};
+pub use architectures::{
+    Architecture, EndToEndSystem, MultiStageSystem, NliSystem, ParsingSystem, RuleSystem,
+    SystemOutput, SystemResponse,
+};
+pub use session::Session;
+pub use voice::{simulate_asr, VoiceSystem};

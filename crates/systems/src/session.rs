@@ -1,0 +1,178 @@
+//! The Fig. 1 workflow: question → parse → execute → result → feedback.
+//!
+//! A [`Session`] holds conversational state for both tasks so the user can
+//! refine a result ("Only those with...", "Make it a pie chart instead.")
+//! — the feedback loop the survey's workflow schematic closes.
+
+use crate::architectures::{wants_chart, SystemOutput, SystemResponse};
+use nli_core::{Database, ExecutionEngine, NlQuestion, Result};
+use nli_sql::SqlEngine;
+use nli_text2sql::{DialogueParser, GrammarConfig};
+use nli_text2vis::VisDialogueParser;
+use nli_vql::VisEngine;
+use std::time::Instant;
+
+/// One recorded exchange.
+#[derive(Debug, Clone)]
+pub struct Exchange {
+    pub question: String,
+    pub program: String,
+}
+
+/// An interactive session over one database.
+pub struct Session {
+    sql: DialogueParser,
+    vis: VisDialogueParser,
+    history: Vec<Exchange>,
+}
+
+impl Session {
+    pub fn new() -> Session {
+        Session {
+            sql: DialogueParser::new(GrammarConfig::llm_reasoner()),
+            vis: VisDialogueParser::new(),
+            history: Vec::new(),
+        }
+    }
+
+    /// Ask (or refine); charts route to the vis pipeline.
+    pub fn ask(&mut self, question: &NlQuestion, db: &Database) -> Result<SystemResponse> {
+        let start = Instant::now();
+        if wants_chart(&question.text) || self.last_was_chart() {
+            if let Ok(v) = self.vis.parse_turn(question, db) {
+                let chart = VisEngine::new().execute(&v, db)?;
+                self.history.push(Exchange {
+                    question: question.text.clone(),
+                    program: v.to_string(),
+                });
+                return Ok(SystemResponse {
+                    program: Some(v.to_string()),
+                    output: SystemOutput::Chart(Box::new(chart)),
+                    latency: start.elapsed(),
+                    stages: vec!["session-vis"],
+                });
+            }
+            // fall through to SQL when the vis edit does not apply
+        }
+        let q = self.sql.parse_turn(question, db)?;
+        let rs = SqlEngine::new().execute(&q, db)?;
+        self.history.push(Exchange {
+            question: question.text.clone(),
+            program: q.to_string(),
+        });
+        Ok(SystemResponse {
+            program: Some(q.to_string()),
+            output: SystemOutput::Table(rs),
+            latency: start.elapsed(),
+            stages: vec!["session-sql"],
+        })
+    }
+
+    fn last_was_chart(&self) -> bool {
+        self.history
+            .last()
+            .map(|e| e.program.starts_with("VISUALIZE"))
+            .unwrap_or(false)
+    }
+
+    /// The conversation so far.
+    pub fn history(&self) -> &[Exchange] {
+        &self.history
+    }
+
+    /// Start over.
+    pub fn reset(&mut self) {
+        self.sql.reset();
+        self.vis.reset();
+        self.history.clear();
+    }
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nli_core::{Column, DataType, Date, Schema, Table};
+
+    fn db() -> Database {
+        let schema = Schema::new(
+            "shop",
+            vec![Table::new(
+                "sales",
+                vec![
+                    Column::new("id", DataType::Int).primary(),
+                    Column::new("category", DataType::Text),
+                    Column::new("amount", DataType::Float),
+                    Column::new("sold_on", DataType::Date).with_display("sale date"),
+                ],
+            )
+            .with_display("sale")],
+        );
+        let mut d = Database::empty(schema);
+        d.insert_all(
+            "sales",
+            vec![
+                vec![1.into(), "Tools".into(), 100.0.into(), Date::new(2024, 1, 5).into()],
+                vec![2.into(), "Toys".into(), 50.0.into(), Date::new(2024, 4, 9).into()],
+            ],
+        )
+        .unwrap();
+        d
+    }
+
+    #[test]
+    fn full_workflow_with_refinement() {
+        let mut s = Session::new();
+        let d = db();
+        // query → result
+        let r1 = s.ask(&NlQuestion::new("How many sales are there?"), &d).unwrap();
+        match r1.output {
+            SystemOutput::Table(rs) => assert_eq!(rs.rows[0][0], nli_core::Value::Int(2)),
+            other => panic!("{other:?}"),
+        }
+        // feedback → refined query (the Fig. 1 loop)
+        let r2 = s
+            .ask(&NlQuestion::new("Only those with amount greater than 60."), &d)
+            .unwrap();
+        match r2.output {
+            SystemOutput::Table(rs) => assert_eq!(rs.rows[0][0], nli_core::Value::Int(1)),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(s.history().len(), 2);
+    }
+
+    #[test]
+    fn chart_then_chart_refinement() {
+        let mut s = Session::new();
+        let d = db();
+        let r1 = s
+            .ask(
+                &NlQuestion::new("Show a bar chart of the total amount for each category."),
+                &d,
+            )
+            .unwrap();
+        assert!(matches!(r1.output, SystemOutput::Chart(_)));
+        let r2 = s.ask(&NlQuestion::new("Make it a pie chart instead."), &d).unwrap();
+        match r2.output {
+            SystemOutput::Chart(c) => assert_eq!(c.chart_type, nli_vql::ChartType::Pie),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn reset_starts_a_fresh_conversation() {
+        let mut s = Session::new();
+        let d = db();
+        s.ask(&NlQuestion::new("How many sales are there?"), &d).unwrap();
+        s.reset();
+        assert!(s.history().is_empty());
+        assert!(s
+            .ask(&NlQuestion::new("Only those with amount above 60."), &d)
+            .is_err());
+    }
+}

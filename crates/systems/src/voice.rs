@@ -1,0 +1,205 @@
+//! Voice-driven querying (the survey's §6.6 multimodal direction;
+//! VoiceQuerySystem/Sevi-class).
+//!
+//! Speech input reaches the parser through an ASR channel that introduces
+//! a characteristic error profile: homophone/near-homophone substitutions,
+//! dropped short words, and — crucially for value grounding — the loss of
+//! quoting (speech has no quotation marks). [`simulate_asr`] reproduces
+//! that channel at a configurable word-error rate, and [`VoiceSystem`]
+//! wraps any [`NliSystem`] behind it, so the robustness of every
+//! architecture to spoken input is measurable.
+
+use crate::architectures::{NliSystem, SystemResponse};
+use nli_core::{Database, NlQuestion, Prng, Result};
+use nli_nlu::tokenize;
+
+/// Common ASR confusions for this domain's vocabulary.
+const HOMOPHONES: &[(&str, &str)] = &[
+    ("sales", "sails"),
+    ("there", "their"),
+    ("for", "four"),
+    ("to", "two"),
+    ("by", "buy"),
+    ("one", "won"),
+    ("whose", "who's"),
+    ("higher", "hire"),
+    ("price", "prize"),
+    ("sum", "some"),
+    ("great", "grate"),
+    ("week", "weak"),
+];
+
+/// Simulate an ASR transcript of `text` at word-error rate `wer`.
+///
+/// `wer = 0.0` returns the text unchanged. At `wer > 0`, each word is
+/// independently substituted (homophone when available, else a light
+/// character distortion) or dropped; quotation marks are always removed —
+/// the transcript carries no value-boundary signal.
+pub fn simulate_asr(text: &str, wer: f64, rng: &mut Prng) -> String {
+    if wer <= 0.0 {
+        return text.to_string();
+    }
+    let mut out: Vec<String> = Vec::new();
+    for tok in tokenize(text) {
+        // quoting is lost: quoted spans become bare words
+        let words: Vec<String> = tok.text.split_whitespace().map(str::to_string).collect();
+        for w in words {
+            if !rng.chance(wer) {
+                out.push(w);
+                continue;
+            }
+            // error: 70% substitution, 30% deletion
+            if rng.chance(0.3) {
+                continue; // dropped word
+            }
+            if let Some((_, h)) = HOMOPHONES
+                .iter()
+                .find(|(a, _)| a.eq_ignore_ascii_case(&w))
+            {
+                out.push(h.to_string());
+            } else if w.len() > 3 {
+                // light distortion: drop one interior character
+                let i = 1 + rng.below(w.len() - 2);
+                let mut chars: Vec<char> = w.chars().collect();
+                if i < chars.len() {
+                    chars.remove(i);
+                }
+                out.push(chars.into_iter().collect());
+            } else {
+                out.push(w);
+            }
+        }
+    }
+    out.join(" ")
+}
+
+/// A voice front-end over any system.
+pub struct VoiceSystem<S: NliSystem> {
+    inner: S,
+    wer: f64,
+    seed: u64,
+}
+
+impl<S: NliSystem> VoiceSystem<S> {
+    pub fn new(inner: S, wer: f64, seed: u64) -> VoiceSystem<S> {
+        VoiceSystem { inner, wer: wer.clamp(0.0, 1.0), seed }
+    }
+
+    /// "Speak" a question: transcribe it through the ASR channel, then ask
+    /// the wrapped system.
+    pub fn speak(&self, question: &NlQuestion, db: &Database) -> Result<SystemResponse> {
+        let mut h: u64 = self.seed;
+        for b in question.text.bytes() {
+            h = h.wrapping_mul(0x100_0000_01b3).wrapping_add(b as u64);
+        }
+        let mut rng = Prng::new(h);
+        let transcript = simulate_asr(&question.text, self.wer, &mut rng);
+        let mut spoken = question.clone();
+        spoken.text = transcript;
+        self.inner.ask(&spoken, db)
+    }
+
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::architectures::{ParsingSystem, SystemOutput};
+    use nli_core::{Column, DataType, Database, Schema, Table, Value};
+
+    fn db() -> Database {
+        let schema = Schema::new(
+            "d",
+            vec![Table::new(
+                "products",
+                vec![
+                    Column::new("id", DataType::Int).primary(),
+                    Column::new("name", DataType::Text),
+                    Column::new("price", DataType::Float),
+                ],
+            )
+            .with_display("product")],
+        );
+        let mut d = Database::empty(schema);
+        d.insert_all(
+            "products",
+            vec![
+                vec![1.into(), "Widget".into(), 9.5.into()],
+                vec![2.into(), "Gadget".into(), 19.0.into()],
+            ],
+        )
+        .unwrap();
+        d
+    }
+
+    #[test]
+    fn zero_wer_is_the_identity() {
+        let mut rng = Prng::new(1);
+        let t = "How many products with price greater than 5 are there?";
+        assert_eq!(simulate_asr(t, 0.0, &mut rng), t);
+    }
+
+    #[test]
+    fn transcripts_lose_quoting() {
+        let mut rng = Prng::new(2);
+        let t = simulate_asr("products whose name is 'Widget'", 0.01, &mut rng);
+        assert!(!t.contains('\''), "{t}");
+        assert!(t.to_lowercase().contains("widget"), "{t}");
+    }
+
+    #[test]
+    fn high_wer_changes_most_transcripts() {
+        let text = "list the name and price of products sorted by price in descending order";
+        let mut changed = 0;
+        for seed in 0..20 {
+            let mut rng = Prng::new(seed);
+            if simulate_asr(text, 0.4, &mut rng) != text {
+                changed += 1;
+            }
+        }
+        assert!(changed >= 18, "only {changed}/20 transcripts perturbed");
+    }
+
+    #[test]
+    fn accuracy_degrades_with_wer() {
+        let d = db();
+        let questions = [
+            "How many products are there?",
+            "How many products with price greater than 5 are there?",
+            "List the name of products.",
+            "What is the average price of products?",
+        ];
+        let score = |wer: f64| -> usize {
+            let sys = VoiceSystem::new(ParsingSystem::new(), wer, 7);
+            questions
+                .iter()
+                .filter(|q| {
+                    matches!(
+                        sys.speak(&NlQuestion::new(**q), &d).map(|r| r.output),
+                        Ok(SystemOutput::Table(_))
+                    )
+                })
+                .count()
+        };
+        let clean = score(0.0);
+        let noisy = score(0.6);
+        assert_eq!(clean, questions.len(), "clean channel must answer everything");
+        assert!(noisy <= clean);
+    }
+
+    #[test]
+    fn spoken_count_still_answers_at_low_wer() {
+        let d = db();
+        let sys = VoiceSystem::new(ParsingSystem::new(), 0.05, 3);
+        let r = sys
+            .speak(&NlQuestion::new("How many products are there?"), &d)
+            .expect("low-WER question should survive");
+        match r.output {
+            SystemOutput::Table(rs) => assert_eq!(rs.rows[0][0], Value::Int(2)),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,725 @@
+//! Shallow question analysis: the pattern layer shared by every parser.
+//!
+//! The analyzer extracts *sketches* — phrase-level hypotheses about the
+//! query's shape (aggregate intent, projections, conditions, grouping,
+//! ordering, nesting, set operations) — without committing to any schema
+//! element. Parsers then ground the sketches through their own linkers,
+//! which is where the stages of the taxonomy genuinely differ.
+//!
+//! This mirrors how the traditional-stage systems worked (NaLIR's
+//! parse-tree node mapping, ATHENA's ontology evidence) and what the
+//! neural/LLM stages learn implicitly; here it is one deterministic,
+//! testable component.
+
+use nli_core::{Date, Value};
+use nli_nlu::{tokenize, Token, TokenKind};
+use nli_sql::{AggFunc, BinOp, SetOp};
+
+/// Comparison flavor of a condition sketch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CmpKind {
+    Op(BinOp),
+    Between,
+    Contains,
+    /// "with a high X" — needs external knowledge to resolve.
+    KnowledgeHigh,
+    /// "with a low X".
+    KnowledgeLow,
+}
+
+/// A condition hypothesis: column phrase + comparison + literal(s).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CondSketch {
+    pub col_phrase: String,
+    pub kind: CmpKind,
+    pub value: Option<Value>,
+    pub value2: Option<Value>,
+}
+
+/// Aggregate intent; `arg_phrase = None` means `COUNT(*)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSketch {
+    pub func: AggFunc,
+    pub arg_phrase: Option<String>,
+}
+
+/// Ordering intent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderSketch {
+    /// Phrase after "sorted by"; "the result" refers to the aggregate.
+    pub phrase: String,
+    pub desc: bool,
+    pub limit: Option<u64>,
+}
+
+/// "that have (no | at least one) CHILD" intent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NestedSketch {
+    pub negated: bool,
+    pub child_phrase: String,
+}
+
+/// The analyzer's output.
+#[derive(Debug, Clone, Default)]
+pub struct QuestionAnalysis {
+    pub tokens: Vec<Token>,
+    pub agg: Option<AggSketch>,
+    /// Projection column phrases ("the X and Y of ...").
+    pub projections: Vec<String>,
+    /// The head's table phrase ("... of PRODUCTS with ...").
+    pub table_phrase: Option<String>,
+    /// "for each KEY" phrase.
+    pub group_phrase: Option<String>,
+    pub conds: Vec<CondSketch>,
+    /// "with the maximum X" superlatives.
+    pub superlatives: Vec<(AggFunc, String)>,
+    pub order: Option<OrderSketch>,
+    /// "keeping only groups with more than N ..." threshold.
+    pub having_min: Option<i64>,
+    pub nested: Option<NestedSketch>,
+    pub compound: Option<SetOp>,
+    pub distinct: bool,
+}
+
+/// Words that terminate a backwards column-phrase walk.
+fn is_boundary(word: &str) -> bool {
+    matches!(
+        word,
+        "with" | "whose" | "and" | "or" | "but" | "also" | "not" | "the" | "of" | "that"
+            | "only" | "those" | "them" | "ones" | "keep" | "a" | "for" | "each" | "by"
+            | "include" | "are" | "is" | "in" | "over" | "against" | "binned"
+    )
+}
+
+/// Words that end a forward phrase walk (noun-phrase extraction).
+fn ends_phrase(word: &str) -> bool {
+    matches!(
+        word,
+        "with" | "whose" | "and" | "or" | "but" | "that" | "are" | "sorted" | "keeping"
+            | "of" | "for" | "how" | "what" | "in" | "binned" | "over" | "against" | "only"
+    )
+}
+
+struct Scanner {
+    words: Vec<String>,
+    kinds: Vec<TokenKind>,
+    masked: Vec<bool>,
+}
+
+impl Scanner {
+    fn new(tokens: &[Token]) -> Scanner {
+        Scanner {
+            words: tokens.iter().map(|t| t.text.to_lowercase()).collect(),
+            kinds: tokens.iter().map(|t| t.kind).collect(),
+            masked: vec![false; tokens.len()],
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// First unmasked occurrence of the word sequence, if any.
+    fn find(&self, seq: &[&str]) -> Option<usize> {
+        if seq.is_empty() || seq.len() > self.len() {
+            return None;
+        }
+        'outer: for start in 0..=(self.len() - seq.len()) {
+            for (k, w) in seq.iter().enumerate() {
+                if self.masked[start + k]
+                    || self.kinds[start + k] != TokenKind::Word
+                    || self.words[start + k] != *w
+                {
+                    continue 'outer;
+                }
+            }
+            return Some(start);
+        }
+        None
+    }
+
+    fn mask(&mut self, start: usize, end: usize) {
+        for i in start..end.min(self.len()) {
+            self.masked[i] = true;
+        }
+    }
+
+    /// Collect the noun phrase starting at `start` (forward walk).
+    fn phrase_from(&self, start: usize) -> (String, usize) {
+        let mut out = Vec::new();
+        let mut i = start;
+        while i < self.len()
+            && !self.masked[i]
+            && self.kinds[i] == TokenKind::Word
+            && !ends_phrase(&self.words[i])
+            && out.len() < 4
+        {
+            out.push(self.words[i].clone());
+            i += 1;
+        }
+        (out.join(" "), i)
+    }
+
+    /// Collect the noun phrase ending just before `end` (backward walk).
+    fn phrase_before(&self, end: usize) -> String {
+        let mut out = Vec::new();
+        let mut i = end;
+        while i > 0 {
+            let j = i - 1;
+            if self.masked[j]
+                || self.kinds[j] != TokenKind::Word
+                || is_boundary(&self.words[j])
+                || out.len() >= 3
+            {
+                break;
+            }
+            out.push(self.words[j].clone());
+            i = j;
+        }
+        out.reverse();
+        out.join(" ")
+    }
+
+    /// The literal value at or shortly after `from` (within `window`).
+    fn literal_after(&self, from: usize, window: usize) -> Option<(usize, Value)> {
+        for i in from..(from + window).min(self.len()) {
+            if self.masked[i] {
+                continue;
+            }
+            match self.kinds[i] {
+                TokenKind::Number => {
+                    let n: f64 = self.words[i].parse().ok()?;
+                    let v = if n.fract() == 0.0 && n.abs() < 1e15 {
+                        Value::Int(n as i64)
+                    } else {
+                        Value::Float(n)
+                    };
+                    return Some((i, v));
+                }
+                TokenKind::Quoted => {
+                    let raw = &self.words[i];
+                    let v = match Date::parse(raw) {
+                        Some(d) => Value::Date(d),
+                        // quoted literals keep original case in Token.text,
+                        // but we lower-cased; re-read is handled by caller.
+                        None => Value::Text(raw.clone()),
+                    };
+                    return Some((i, v));
+                }
+                TokenKind::Word => match self.words[i].as_str() {
+                    "true" => return Some((i, Value::Bool(true))),
+                    "false" => return Some((i, Value::Bool(false))),
+                    _ => continue,
+                },
+            }
+        }
+        None
+    }
+}
+
+/// Analyze a question.
+pub fn analyze(question: &str) -> QuestionAnalysis {
+    let tokens = tokenize(question);
+    let mut sc = Scanner::new(&tokens);
+    // preserve literal casing: rebuild quoted words from original tokens
+    let original_quotes: Vec<Option<String>> = tokens
+        .iter()
+        .map(|t| (t.kind == TokenKind::Quoted).then(|| t.text.clone()))
+        .collect();
+
+    let mut a = QuestionAnalysis { tokens: tokens.clone(), ..Default::default() };
+
+    // --- HAVING ("keeping only groups with more than N ...") -------------
+    if let Some(i) = sc.find(&["keeping", "only", "groups"]) {
+        if let Some((li, Value::Int(n))) = sc.literal_after(i + 3, 4) {
+            a.having_min = Some(n);
+            sc.mask(i, li + 2); // include the trailing plural
+        }
+    }
+
+    // --- ORDER ("sorted by X in DIR order [... top K]") -------------------
+    if let Some(i) = sc
+        .find(&["sorted", "by"])
+        .or_else(|| sc.find(&["sort", "them", "by"]).map(|j| j + 1))
+    {
+        let (phrase, mut j) = sc.phrase_from(i + 2);
+        let mut desc = false;
+        if sc.words.get(j).map(String::as_str) == Some("in") {
+            if let Some(dir) = sc.words.get(j + 1) {
+                desc = dir == "descending";
+                j += 3; // in <dir> order
+            }
+        }
+        let mut limit = None;
+        if let Some(t) = sc.find(&["top"]) {
+            if let Some((li, Value::Int(k))) = sc.literal_after(t + 1, 2) {
+                limit = Some(k as u64);
+                sc.mask(t, li + 1);
+            }
+        }
+        a.order = Some(OrderSketch {
+            phrase: if phrase == "the result" { "the result".into() } else { phrase },
+            desc,
+            limit,
+        });
+        sc.mask(i, j);
+    }
+
+    // --- nested ("that have no X" / "that have at least one X") ----------
+    if let Some(i) = sc.find(&["that", "have", "no"]) {
+        let (child, j) = sc.phrase_from(i + 3);
+        if !child.is_empty() {
+            a.nested = Some(NestedSketch { negated: true, child_phrase: child });
+            sc.mask(i, j);
+        }
+    } else if let Some(i) = sc.find(&["that", "have", "at", "least", "one"]) {
+        let (child, j) = sc.phrase_from(i + 5);
+        if !child.is_empty() {
+            a.nested = Some(NestedSketch { negated: false, child_phrase: child });
+            sc.mask(i, j);
+        }
+    }
+
+    // --- superlatives ("with the maximum/minimum X") ----------------------
+    for (kw, func) in [("maximum", AggFunc::Max), ("minimum", AggFunc::Min)] {
+        if let Some(i) = sc.find(&["with", "the", kw]) {
+            let (phrase, j) = sc.phrase_from(i + 3);
+            if !phrase.is_empty() {
+                a.superlatives.push((func, phrase));
+                sc.mask(i, j);
+            }
+        }
+    }
+
+    // --- knowledge concepts ("with a high/low X") --------------------------
+    for (kw, kind) in [("high", CmpKind::KnowledgeHigh), ("low", CmpKind::KnowledgeLow)] {
+        while let Some(i) = sc.find(&["with", "a", kw]) {
+            let (phrase, j) = sc.phrase_from(i + 3);
+            if phrase.is_empty() {
+                break;
+            }
+            a.conds.push(CondSketch {
+                col_phrase: phrase,
+                kind: kind.clone(),
+                value: None,
+                value2: None,
+            });
+            sc.mask(i, j);
+        }
+    }
+
+    // --- compound connector -------------------------------------------------
+    if sc.find(&["but", "not"]).is_some() {
+        a.compound = Some(SetOp::Except);
+    } else if sc.find(&["and", "also"]).is_some() {
+        a.compound = Some(SetOp::Intersect);
+    }
+
+    // --- head: aggregate/count/projection ----------------------------------
+    analyze_head(&mut a, &mut sc);
+
+    // --- group key ("for each X") -------------------------------------------
+    if let Some(i) = sc.find(&["for", "each"]).or_else(|| sc.find(&["each"])) {
+        let start = if sc.words[i] == "for" { i + 2 } else { i + 1 };
+        let (phrase, j) = sc.phrase_from(start);
+        if !phrase.is_empty() {
+            a.group_phrase = Some(phrase);
+            sc.mask(i, j);
+        }
+    }
+
+    // --- plain conditions -----------------------------------------------------
+    scan_conditions(&mut a, &mut sc, &original_quotes);
+
+    // decide UNION after conditions exist: a bare "or" between two conds
+    if a.compound.is_none() && a.conds.len() >= 2 && sc.find(&["or"]).is_some() {
+        a.compound = Some(SetOp::Union);
+    }
+
+    a
+}
+
+fn analyze_head(a: &mut QuestionAnalysis, sc: &mut Scanner) {
+    let agg_of = |w: &str| -> Option<AggFunc> {
+        Some(match w {
+            "average" | "mean" => AggFunc::Avg,
+            "total" | "sum" => AggFunc::Sum,
+            "maximum" | "highest" => AggFunc::Max,
+            "minimum" | "lowest" => AggFunc::Min,
+            _ => return None,
+        })
+    };
+
+    // "how many T ..." => count
+    if let Some(i) = sc.find(&["how", "many"]) {
+        let (table, j) = sc.phrase_from(i + 2);
+        a.agg = Some(AggSketch { func: AggFunc::Count, arg_phrase: None });
+        if !table.is_empty() {
+            a.table_phrase = Some(table);
+        }
+        sc.mask(i, j);
+        return;
+    }
+    // "count the T" / "the number of T"
+    if let Some(i) = sc.find(&["count", "the"]) {
+        let (table, j) = sc.phrase_from(i + 2);
+        a.agg = Some(AggSketch { func: AggFunc::Count, arg_phrase: None });
+        if !table.is_empty() {
+            a.table_phrase = Some(table);
+        }
+        sc.mask(i, j);
+        return;
+    }
+    if let Some(i) = sc.find(&["number", "of"]) {
+        let (table, j) = sc.phrase_from(i + 2);
+        a.agg = Some(AggSketch { func: AggFunc::Count, arg_phrase: None });
+        if !table.is_empty() {
+            a.table_phrase = Some(table);
+        }
+        sc.mask(i.saturating_sub(2), j);
+        return;
+    }
+
+    // "(what is|find) the AGGWORD X of T"
+    for start in 0..sc.len() {
+        if sc.masked[start] || sc.kinds[start] != TokenKind::Word {
+            continue;
+        }
+        if let Some(func) = agg_of(&sc.words[start]) {
+            // arg phrase: words after (skipping "of the" for "sum of the")
+            let mut k = start + 1;
+            if sc.words.get(k).map(String::as_str) == Some("of")
+                && sc.words.get(k + 1).map(String::as_str) == Some("the")
+            {
+                k += 2;
+            }
+            let (arg, j) = sc.phrase_from(k);
+            if arg.is_empty() {
+                continue;
+            }
+            // table phrase after the next "of"
+            let mut table = None;
+            let mut end = j;
+            if sc.words.get(j).map(String::as_str) == Some("of") {
+                let (t, j2) = sc.phrase_from(j + 1);
+                if !t.is_empty() {
+                    table = Some(t);
+                    end = j2;
+                }
+            }
+            a.agg = Some(AggSketch { func, arg_phrase: Some(arg) });
+            a.table_phrase = table;
+            sc.mask(start.saturating_sub(2), end);
+            return;
+        }
+    }
+
+    // projection: "(list|show|give|what are) the [different] X [and Y] of T"
+    let verb = ["list", "show", "give", "plot", "draw"]
+        .iter()
+        .find_map(|v| sc.find(&[v]))
+        .or_else(|| sc.find(&["what", "are"]));
+    if let Some(v) = verb {
+        // find the "the" after the verb
+        let mut i = v + 1;
+        while i < sc.len() && sc.words[i] != "the" {
+            if i > v + 3 {
+                return;
+            }
+            i += 1;
+        }
+        if i >= sc.len() {
+            return;
+        }
+        let mut k = i + 1;
+        if sc.words.get(k).map(String::as_str) == Some("different") {
+            a.distinct = true;
+            k += 1;
+        }
+        let (first, mut j) = sc.phrase_from(k);
+        if first.is_empty() {
+            return;
+        }
+        a.projections.push(first);
+        if sc.words.get(j).map(String::as_str) == Some("and") {
+            let (second, j2) = sc.phrase_from(j + 1);
+            if !second.is_empty() {
+                a.projections.push(second);
+                j = j2;
+            }
+        }
+        let mut end = j;
+        if sc.words.get(j).map(String::as_str) == Some("of") {
+            let (t, j2) = sc.phrase_from(j + 1);
+            if !t.is_empty() {
+                a.table_phrase = Some(t);
+                end = j2;
+            }
+        } else {
+            // "List the products with ..." (implicit column): the phrase IS
+            // the table.
+            a.table_phrase = Some(a.projections.remove(0));
+        }
+        sc.mask(v, end);
+    }
+}
+
+/// Comparator keyword table: sequence → (kind, date-flavoured?).
+const COMPARATORS: &[(&[&str], BinOp)] = &[
+    (&["greater", "than"], BinOp::Gt),
+    (&["more", "than"], BinOp::Gt),
+    (&["above"], BinOp::Gt),
+    (&["less", "than"], BinOp::Lt),
+    (&["below"], BinOp::Lt),
+    (&["under"], BinOp::Lt),
+    (&["at", "least"], BinOp::Ge),
+    (&["at", "most"], BinOp::Le),
+    (&["on", "or", "after"], BinOp::Ge),
+    (&["on", "or", "before"], BinOp::Le),
+    (&["after"], BinOp::Gt),
+    (&["before"], BinOp::Lt),
+    (&["is", "not"], BinOp::Neq),
+    (&["equal", "to"], BinOp::Eq),
+    (&["is"], BinOp::Eq),
+];
+
+fn scan_conditions(
+    a: &mut QuestionAnalysis,
+    sc: &mut Scanner,
+    original_quotes: &[Option<String>],
+) {
+    // BETWEEN first (it consumes two literals)
+    while let Some(i) = sc.find(&["between"]) {
+        let col = sc.phrase_before(i);
+        let Some((l1, v1)) = sc.literal_after(i + 1, 2) else { break };
+        let Some((l2, v2)) = sc.literal_after(l1 + 2, 2) else { break };
+        if col.is_empty() {
+            sc.mask(i, i + 1);
+            continue;
+        }
+        let col_len = col.split_whitespace().count();
+        a.conds.push(CondSketch {
+            col_phrase: col,
+            kind: CmpKind::Between,
+            value: Some(restore_case(v1, l1, original_quotes)),
+            value2: Some(restore_case(v2, l2, original_quotes)),
+        });
+        sc.mask(i.saturating_sub(col_len), l2 + 1);
+    }
+
+    // CONTAINS
+    while let Some(i) = sc.find(&["contains"]) {
+        let col = sc.phrase_before(i);
+        let Some((li, v)) = sc.literal_after(i + 1, 2) else { break };
+        let col_len = col.split_whitespace().count();
+        if !col.is_empty() {
+            a.conds.push(CondSketch {
+                col_phrase: col,
+                kind: CmpKind::Contains,
+                value: Some(restore_case(v, li, original_quotes)),
+                value2: None,
+            });
+        }
+        sc.mask(i.saturating_sub(col_len.max(1)), li + 1);
+    }
+
+    // generic comparators, longest keyword first (table is ordered)
+    loop {
+        let mut hit: Option<(usize, usize, BinOp)> = None;
+        for (seq, op) in COMPARATORS {
+            if let Some(i) = sc.find(seq) {
+                if hit.is_none() || i < hit.unwrap().0 {
+                    hit = Some((i, seq.len(), *op));
+                }
+            }
+        }
+        let Some((i, klen, op)) = hit else { break };
+        let Some((li, v)) = sc.literal_after(i + klen, 3) else {
+            sc.mask(i, i + klen);
+            continue;
+        };
+        let col = sc.phrase_before(i);
+        if col.is_empty() {
+            sc.mask(i, li + 1);
+            continue;
+        }
+        let col_len = col.split_whitespace().count();
+        a.conds.push(CondSketch {
+            col_phrase: col,
+            kind: CmpKind::Op(op),
+            value: Some(restore_case(v, li, original_quotes)),
+            value2: None,
+        });
+        sc.mask(i.saturating_sub(col_len), li + 1);
+    }
+}
+
+/// Quoted literals were lower-cased by the scanner; restore the original
+/// spelling from the token stream.
+fn restore_case(v: Value, index: usize, original_quotes: &[Option<String>]) -> Value {
+    match (&v, original_quotes.get(index).and_then(|o| o.as_ref())) {
+        (Value::Text(_), Some(orig)) => Value::Text(orig.clone()),
+        _ => v,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_question() {
+        let a = analyze("How many singers with age greater than 30 are there?");
+        let agg = a.agg.unwrap();
+        assert_eq!(agg.func, AggFunc::Count);
+        assert!(agg.arg_phrase.is_none());
+        assert_eq!(a.table_phrase.as_deref(), Some("singers"));
+        assert_eq!(a.conds.len(), 1);
+        assert_eq!(a.conds[0].col_phrase, "age");
+        assert_eq!(a.conds[0].kind, CmpKind::Op(BinOp::Gt));
+        assert_eq!(a.conds[0].value, Some(Value::Int(30)));
+    }
+
+    #[test]
+    fn average_question() {
+        let a = analyze("What is the average age of singers whose country is 'France'?");
+        let agg = a.agg.unwrap();
+        assert_eq!(agg.func, AggFunc::Avg);
+        assert_eq!(agg.arg_phrase.as_deref(), Some("age"));
+        assert_eq!(a.table_phrase.as_deref(), Some("singers"));
+        assert_eq!(a.conds[0].col_phrase, "country");
+        assert_eq!(a.conds[0].value, Some(Value::from("France")));
+    }
+
+    #[test]
+    fn sum_of_the_variant() {
+        let a = analyze("Find the sum of the price of products.");
+        let agg = a.agg.unwrap();
+        assert_eq!(agg.func, AggFunc::Sum);
+        assert_eq!(agg.arg_phrase.as_deref(), Some("price"));
+        assert_eq!(a.table_phrase.as_deref(), Some("products"));
+    }
+
+    #[test]
+    fn projection_with_two_columns_and_order() {
+        let a = analyze(
+            "List the name and price of products with price above 5, sorted by price in descending order, and show only the top 3.",
+        );
+        assert_eq!(a.projections, vec!["name", "price"]);
+        assert_eq!(a.table_phrase.as_deref(), Some("products"));
+        let o = a.order.unwrap();
+        assert!(o.desc);
+        assert_eq!(o.limit, Some(3));
+        assert_eq!(o.phrase, "price");
+        assert_eq!(a.conds.len(), 1);
+    }
+
+    #[test]
+    fn group_by_question() {
+        let a = analyze(
+            "For each category, what is the average price of products, keeping only groups with more than 2 products?",
+        );
+        assert_eq!(a.group_phrase.as_deref(), Some("category"));
+        assert_eq!(a.having_min, Some(2));
+        let agg = a.agg.unwrap();
+        assert_eq!(agg.func, AggFunc::Avg);
+        // the HAVING "more than 2" must NOT leak into plain conditions
+        assert!(a.conds.is_empty(), "{:?}", a.conds);
+    }
+
+    #[test]
+    fn nested_question() {
+        let a = analyze("List the name of singers that have no concert.");
+        let n = a.nested.unwrap();
+        assert!(n.negated);
+        assert_eq!(n.child_phrase, "concert");
+        assert_eq!(a.projections, vec!["name"]);
+        let a2 = analyze(
+            "List the name of singers that have at least one concert with attendance above 1000.",
+        );
+        let n2 = a2.nested.unwrap();
+        assert!(!n2.negated);
+        assert_eq!(a2.conds.len(), 1);
+        assert_eq!(a2.conds[0].col_phrase, "attendance");
+    }
+
+    #[test]
+    fn superlative_question() {
+        let a = analyze("Show the name of products with the maximum price.");
+        assert_eq!(a.superlatives, vec![(AggFunc::Max, "price".to_string())]);
+        assert!(a.conds.is_empty());
+    }
+
+    #[test]
+    fn knowledge_condition() {
+        let a = analyze("How many products with a high price are there?");
+        assert_eq!(a.conds.len(), 1);
+        assert_eq!(a.conds[0].kind, CmpKind::KnowledgeHigh);
+        assert_eq!(a.conds[0].col_phrase, "price");
+        assert!(a.conds[0].value.is_none());
+    }
+
+    #[test]
+    fn compound_connectors() {
+        let a = analyze("List the name of products whose category is 'Toys' but not whose category is 'Tools'.");
+        assert_eq!(a.compound, Some(SetOp::Except));
+        assert_eq!(a.conds.len(), 2);
+        let b = analyze("List the name of products whose category is 'Toys' or whose category is 'Tools'.");
+        assert_eq!(b.compound, Some(SetOp::Union));
+        let c = analyze("List the name of products with price above 5 and also with price below 100.");
+        assert_eq!(c.compound, Some(SetOp::Intersect));
+    }
+
+    #[test]
+    fn between_and_contains() {
+        let a = analyze("Show the name of products with price between 5 and 10.");
+        assert_eq!(a.conds[0].kind, CmpKind::Between);
+        assert_eq!(a.conds[0].value, Some(Value::Int(5)));
+        assert_eq!(a.conds[0].value2, Some(Value::Int(10)));
+        let b = analyze("List the name of products whose name contains 'Wid'.");
+        assert_eq!(b.conds[0].kind, CmpKind::Contains);
+        assert_eq!(b.conds[0].value, Some(Value::from("Wid")));
+    }
+
+    #[test]
+    fn date_literals_parse_as_dates() {
+        let a = analyze("Count the sales with sale date after '2024-01-15'.");
+        assert_eq!(a.conds[0].kind, CmpKind::Op(BinOp::Gt));
+        assert!(matches!(a.conds[0].value, Some(Value::Date(_))));
+        assert_eq!(a.conds[0].col_phrase, "sale date");
+    }
+
+    #[test]
+    fn quoted_case_is_preserved() {
+        let a = analyze("List the name of stores whose city is 'Springfield'.");
+        assert_eq!(a.conds[0].value, Some(Value::from("Springfield")));
+    }
+
+    #[test]
+    fn boolean_literal() {
+        let a = analyze("How many employees whose remote flag is true are there?");
+        assert_eq!(a.conds[0].value, Some(Value::Bool(true)));
+        assert_eq!(a.conds[0].col_phrase, "remote flag");
+    }
+
+    #[test]
+    fn distinct_marker() {
+        let a = analyze("List the different category of products.");
+        assert!(a.distinct);
+        assert_eq!(a.projections, vec!["category"]);
+    }
+
+    #[test]
+    fn implicit_column_projection_falls_back_to_table() {
+        let a = analyze("List the products with price above 5.");
+        assert!(a.projections.is_empty());
+        assert_eq!(a.table_phrase.as_deref(), Some("products"));
+    }
+
+    #[test]
+    fn empty_and_garbage_questions_dont_panic() {
+        analyze("");
+        analyze("???");
+        analyze("blargh blargh blargh");
+    }
+}

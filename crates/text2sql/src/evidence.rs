@@ -1,0 +1,101 @@
+//! BIRD-style evidence parsing.
+//!
+//! Knowledge-grounded benchmarks attach evidence strings like
+//! `"a high price means price greater than 250"`. Parsers that support
+//! external knowledge (the LLM stage, per the survey's BIRD discussion)
+//! resolve concept conditions ("with a high price") through these rules.
+
+use nli_core::Value;
+use nli_nlu::tokenize;
+use nli_sql::BinOp;
+
+/// One resolved concept definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvidenceRule {
+    /// `true` for "high", `false` for "low".
+    pub high: bool,
+    pub col_phrase: String,
+    pub op: BinOp,
+    pub value: Value,
+}
+
+/// Parse an evidence string (`;`-separated rules).
+pub fn parse_evidence(text: &str) -> Vec<EvidenceRule> {
+    text.split(';').filter_map(parse_rule).collect()
+}
+
+fn parse_rule(rule: &str) -> Option<EvidenceRule> {
+    // expected: "a high <col...> means <col...> greater than <v>"
+    let toks = tokenize(rule);
+    let words: Vec<String> = toks.iter().map(|t| t.text.to_lowercase()).collect();
+    let concept_pos = words.iter().position(|w| w == "high" || w == "low")?;
+    let high = words[concept_pos] == "high";
+    let means_pos = words.iter().position(|w| w == "means")?;
+    if means_pos <= concept_pos + 1 {
+        return None;
+    }
+    let col_phrase = words[concept_pos + 1..means_pos].join(" ");
+    // comparator after "means"
+    let tail = &words[means_pos + 1..];
+    let op = if tail.iter().any(|w| w == "greater") || tail.iter().any(|w| w == "more") {
+        BinOp::Gt
+    } else if tail.iter().any(|w| w == "less") {
+        BinOp::Lt
+    } else {
+        BinOp::Eq
+    };
+    // last numeric token is the threshold
+    let value = toks.iter().rev().find_map(|t| {
+        if t.kind == nli_nlu::TokenKind::Number {
+            let n: f64 = t.text.parse().ok()?;
+            Some(if n.fract() == 0.0 {
+                Value::Int(n as i64)
+            } else {
+                Value::Float(n)
+            })
+        } else {
+            None
+        }
+    })?;
+    Some(EvidenceRule { high, col_phrase, op, value })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_high_rule() {
+        let rules = parse_evidence("a high price means price greater than 250");
+        assert_eq!(rules.len(), 1);
+        assert!(rules[0].high);
+        assert_eq!(rules[0].col_phrase, "price");
+        assert_eq!(rules[0].op, BinOp::Gt);
+        assert_eq!(rules[0].value, Value::Int(250));
+    }
+
+    #[test]
+    fn parses_low_rule_with_float() {
+        let rules = parse_evidence("a low gpa means gpa less than 2.5");
+        assert!(!rules[0].high);
+        assert_eq!(rules[0].op, BinOp::Lt);
+        assert_eq!(rules[0].value, Value::Float(2.5));
+    }
+
+    #[test]
+    fn multiword_columns_and_multiple_rules() {
+        let rules = parse_evidence(
+            "a high ticket price means ticket price greater than 900; a low distance means distance less than 500",
+        );
+        assert_eq!(rules.len(), 2);
+        assert_eq!(rules[0].col_phrase, "ticket price");
+        assert_eq!(rules[1].col_phrase, "distance");
+    }
+
+    #[test]
+    fn garbage_evidence_yields_nothing() {
+        assert!(parse_evidence("the sky is blue").is_empty());
+        assert!(parse_evidence("").is_empty());
+        assert!(parse_evidence("a high price").is_empty());
+    }
+}

@@ -1,0 +1,170 @@
+//! Execution-guided decoding (Wang et al. 2018 / SQLova-EG-class).
+//!
+//! Wraps any candidate-producing parser and uses the SQL engine as an
+//! oracle during decoding: candidates that fail to execute are discarded,
+//! and (optionally) candidates with empty results are deprioritized. This
+//! trades extra executor calls for guaranteed-executable output — the exact
+//! cost/benefit the survey describes for execution-based decoders, measured
+//! by the `bench_parsers` ablation.
+
+use nli_core::{Database, NliError, NlQuestion, Result, SemanticParser};
+use nli_sql::{Query, SqlEngine};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A parser that can emit ranked candidates.
+pub trait CandidateParser {
+    fn candidates(&self, question: &NlQuestion, db: &Database, k: usize) -> Vec<Query>;
+    fn base_name(&self) -> &str;
+}
+
+impl CandidateParser for crate::grammar::GrammarParser {
+    fn candidates(&self, question: &NlQuestion, db: &Database, k: usize) -> Vec<Query> {
+        self.parse_candidates(question, db, k)
+    }
+    fn base_name(&self) -> &str {
+        use nli_core::SemanticParser as _;
+        self.name()
+    }
+}
+
+impl CandidateParser for crate::rule::RuleBasedParser {
+    fn candidates(&self, question: &NlQuestion, db: &Database, k: usize) -> Vec<Query> {
+        crate::rule::RuleBasedParser::candidates(self, question, db, k)
+    }
+    fn base_name(&self) -> &str {
+        use nli_core::SemanticParser as _;
+        self.name()
+    }
+}
+
+/// Execution-guided wrapper.
+pub struct ExecutionGuided<P: CandidateParser> {
+    base: P,
+    name: String,
+    beam: usize,
+    /// Prefer candidates whose execution returns at least one row.
+    prefer_nonempty: bool,
+    executor_calls: AtomicU64,
+}
+
+impl<P: CandidateParser> ExecutionGuided<P> {
+    pub fn new(base: P, beam: usize, prefer_nonempty: bool) -> Self {
+        let name = format!("{}+eg", base.base_name());
+        ExecutionGuided {
+            base,
+            name,
+            beam: beam.max(1),
+            prefer_nonempty,
+            executor_calls: AtomicU64::new(0),
+        }
+    }
+
+    /// Executor calls spent so far (the cost side of the trade-off).
+    pub fn executor_calls(&self) -> u64 {
+        self.executor_calls.load(Ordering::Relaxed)
+    }
+}
+
+impl<P: CandidateParser> SemanticParser for ExecutionGuided<P> {
+    type Expr = Query;
+
+    fn parse(&self, question: &NlQuestion, db: &Database) -> Result<Query> {
+        let engine = SqlEngine::new();
+        let candidates = self.base.candidates(question, db, self.beam);
+        if candidates.is_empty() {
+            return Err(NliError::Parse("no candidates".into()));
+        }
+        let mut executable_but_empty: Option<Query> = None;
+        for q in candidates {
+            self.executor_calls.fetch_add(1, Ordering::Relaxed);
+            match engine.run_sql(&q.to_string(), db) {
+                Ok(rs) => {
+                    if !self.prefer_nonempty || !rs.rows.is_empty() {
+                        return Ok(q);
+                    }
+                    if executable_but_empty.is_none() {
+                        executable_but_empty = Some(q);
+                    }
+                }
+                Err(_) => continue,
+            }
+        }
+        executable_but_empty
+            .ok_or_else(|| NliError::Parse("no executable candidate".into()))
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::{GrammarConfig, GrammarParser};
+    use nli_core::{Column, DataType, Schema, Table};
+
+    fn db() -> Database {
+        let schema = Schema::new(
+            "d",
+            vec![Table::new(
+                "products",
+                vec![
+                    Column::new("id", DataType::Int).primary(),
+                    Column::new("name", DataType::Text),
+                    Column::new("price", DataType::Float),
+                ],
+            )],
+        );
+        let mut d = Database::empty(schema);
+        d.insert_all(
+            "products",
+            vec![
+                vec![1.into(), "Widget".into(), 9.5.into()],
+                vec![2.into(), "Gadget".into(), 19.0.into()],
+            ],
+        )
+        .unwrap();
+        d
+    }
+
+    #[test]
+    fn wraps_a_grammar_parser_and_executes() {
+        let eg = ExecutionGuided::new(GrammarParser::new(GrammarConfig::neural()), 4, false);
+        let q = NlQuestion::new("How many products with price greater than 5 are there?");
+        let sql = eg.parse(&q, &db()).unwrap();
+        assert_eq!(sql.to_string(), "SELECT COUNT(*) FROM products WHERE price > 5");
+        assert!(eg.executor_calls() >= 1);
+        assert_eq!(eg.name(), "grammar-neural+eg");
+    }
+
+    #[test]
+    fn all_outputs_are_executable() {
+        let eg = ExecutionGuided::new(GrammarParser::new(GrammarConfig::neural()), 4, false);
+        let d = db();
+        let engine = SqlEngine::new();
+        for q in [
+            "List the name of products with price above 5.",
+            "What is the average price of products?",
+            "Show the name of products with the maximum price.",
+        ] {
+            let parsed = eg.parse(&NlQuestion::new(q), &d).unwrap();
+            engine.run_sql(&parsed.to_string(), &d).unwrap();
+        }
+    }
+
+    #[test]
+    fn nonempty_preference_falls_back_to_executable() {
+        let eg = ExecutionGuided::new(GrammarParser::new(GrammarConfig::neural()), 4, true);
+        // no product is priced above 1000: result is empty but executable
+        let q = NlQuestion::new("List the name of products with price above 1000.");
+        let parsed = eg.parse(&q, &db()).unwrap();
+        assert!(parsed.to_string().contains("1000"));
+    }
+
+    #[test]
+    fn unparseable_question_is_an_error() {
+        let eg = ExecutionGuided::new(GrammarParser::new(GrammarConfig::neural()), 4, false);
+        assert!(eg.parse(&NlQuestion::new("qwerty zxcv"), &db()).is_err());
+    }
+}

@@ -1,0 +1,44 @@
+//! # nli-text2sql
+//!
+//! One working semantic parser per cell of the survey's Text-to-SQL
+//! approach taxonomy (§4.1 / Table 2):
+//!
+//! | Stage | Family | Parser here | Real-world exemplars |
+//! |---|---|---|---|
+//! | Traditional | rule-based, ranking | [`rule::RuleBasedParser`] | NaLIR, PRECISE, ATHENA |
+//! | Neural | skeleton/slot-filling decoder | [`skeleton::SkeletonParser`] | SQLNet, TypeSQL, HydraNet, SQLova |
+//! | Neural | grammar-based decoder + graph schema encoding | [`grammar::GrammarParser`] | IRNet, RAT-SQL, LGESQL, PICARD |
+//! | Neural | execution-guided decoding | [`execution_guided::ExecutionGuided`] | Wang et al. 2018, SQLova-EG |
+//! | FM / PLM | fine-tuned encoder(-decoder) | [`plm::PlmParser`] | BRIDGE, UnifiedSKG, RESDSQL |
+//! | FM / LLM | prompted LLM (zero/few-shot, decomposed, self-consistent) | [`llm::LlmParser`] | C3, DIN-SQL, SQL-PaLM, DAIL-SQL |
+//! | — | conversation editing | [`multiturn::DialogueParser`] | EditSQL, IST-SQL |
+//!
+//! All parsers share the [`linking`] schema-linking substrate and the
+//! [`analysis`] shallow question analyzer, and differ in exactly the ways
+//! the survey describes: which linking signals they can use (lexical only
+//! vs. learned vs. embedding/synonym "world knowledge"), which SQL shapes
+//! their decoder can emit, and whether generation is constrained/validated.
+
+pub mod analysis;
+pub mod evidence;
+pub mod execution_guided;
+pub mod grammar;
+pub mod linking;
+pub mod llm;
+pub mod multiturn;
+pub mod plm;
+pub mod rule;
+pub mod skeleton;
+pub mod weak;
+
+pub use analysis::{analyze, QuestionAnalysis};
+pub use execution_guided::{CandidateParser, ExecutionGuided};
+pub use grammar::{GrammarConfig, GrammarParser};
+pub use linking::{LinkConfig, Linker, LinkingResult};
+pub use llm::LlmParser;
+pub use multiturn::DialogueParser;
+pub use plm::PlmParser;
+pub use rule::RuleBasedParser;
+pub use weak::{harvest, WeakExample, WeakHarvest};
+pub use skeleton::SkeletonParser;
+

@@ -1,0 +1,444 @@
+//! Schema linking: matching question spans to tables, columns, and values.
+//!
+//! This is the survey's recurring bottleneck — every stage of the taxonomy
+//! is, at heart, a different way of doing (and then consuming) schema
+//! linking. [`LinkConfig`] switches the individual signals on and off so
+//! the same linker models a NaLIR-era lexical matcher, a BERT-era learned
+//! linker (via the trained [`nli_lm::AlignmentModel`]), or an LLM-era
+//! linker with synonym/embedding "world knowledge" — and the Table 4
+//! robustness experiments ablate exactly these switches.
+
+use nli_core::{ColumnRef, Database, Prng, Value};
+use nli_lm::AlignmentModel;
+use nli_nlu::{
+    is_stopword, lexical_similarity, stem, tokenize, Embedding, SynonymLexicon, Token,
+    TokenKind,
+};
+
+/// Which linking signals are enabled.
+#[derive(Debug, Clone)]
+pub struct LinkConfig {
+    /// Exact / stemmed / edit-distance lexical matching (every era has it).
+    pub lexical: bool,
+    /// Synonym-lexicon expansion (world knowledge).
+    pub synonyms: bool,
+    /// Character-trigram embedding similarity (subword generalization).
+    pub embeddings: bool,
+    /// Ground quoted literals against database *content* (value linking).
+    pub values: bool,
+    /// Learned token↔schema statistics (requires a trained model).
+    pub alignment: Option<AlignmentModel>,
+    /// Minimum score for a span to count as a column mention.
+    pub threshold: f64,
+}
+
+impl LinkConfig {
+    /// Traditional-stage linker: lexical matching only.
+    pub fn lexical_only() -> LinkConfig {
+        LinkConfig {
+            lexical: true,
+            synonyms: false,
+            embeddings: false,
+            values: true,
+            alignment: None,
+            threshold: 0.62,
+        }
+    }
+
+    /// Neural-stage linker: lexical + learned alignment statistics.
+    pub fn learned(alignment: AlignmentModel) -> LinkConfig {
+        LinkConfig {
+            lexical: true,
+            synonyms: false,
+            embeddings: true,
+            values: true,
+            alignment: Some(alignment),
+            threshold: 0.55,
+        }
+    }
+
+    /// LLM-stage linker: everything, including synonym world knowledge.
+    pub fn world_knowledge() -> LinkConfig {
+        LinkConfig {
+            lexical: true,
+            synonyms: true,
+            embeddings: true,
+            values: true,
+            alignment: None,
+            threshold: 0.55,
+        }
+    }
+
+    pub fn with_alignment(mut self, alignment: AlignmentModel) -> LinkConfig {
+        self.alignment = Some(alignment);
+        self
+    }
+}
+
+/// One column link: where in the question, which column, how confident.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnLink {
+    /// Word-index span `[start, end)` in the content-token sequence.
+    pub start: usize,
+    pub len: usize,
+    pub col: ColumnRef,
+    pub score: f64,
+}
+
+/// One value link: a literal grounded to the column(s) containing it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueLink {
+    pub col: ColumnRef,
+    pub value: Value,
+}
+
+/// The linker's output for one question.
+#[derive(Debug, Clone, Default)]
+pub struct LinkingResult {
+    /// Per-table mention score (index-aligned with `schema.tables`).
+    pub table_scores: Vec<f64>,
+    /// Column mentions, best-first.
+    pub columns: Vec<ColumnLink>,
+    /// Grounded literals.
+    pub values: Vec<ValueLink>,
+    /// Content tokens (words minus stopwords) the spans index into.
+    pub tokens: Vec<String>,
+}
+
+impl LinkingResult {
+    /// Best-scoring table, if any scored above zero.
+    pub fn best_table(&self) -> Option<usize> {
+        let (i, s) = self
+            .table_scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))?;
+        if *s > 0.0 {
+            Some(i)
+        } else {
+            None
+        }
+    }
+
+    /// Best column link overlapping the token span `[start, end)`.
+    pub fn column_in_span(&self, start: usize, end: usize) -> Option<&ColumnLink> {
+        self.columns
+            .iter()
+            .filter(|l| l.start < end && l.start + l.len > start)
+            .max_by(|a, b| a.score.total_cmp(&b.score))
+    }
+}
+
+/// The schema linker.
+pub struct Linker {
+    pub config: LinkConfig,
+    lexicon: SynonymLexicon,
+}
+
+impl Linker {
+    pub fn new(config: LinkConfig) -> Linker {
+        Linker { config, lexicon: SynonymLexicon::default_english() }
+    }
+
+    /// Similarity of a question span to a schema phrase under the enabled
+    /// signals.
+    pub fn phrase_score(&self, span: &str, schema_phrase: &str, schema_name: &str) -> f64 {
+        let mut best: f64 = 0.0;
+        if self.config.lexical {
+            // compare stems so "singers" matches "singer"
+            let stemmed_span: String = span
+                .split_whitespace()
+                .map(stem)
+                .collect::<Vec<_>>()
+                .join(" ");
+            let stemmed_schema: String = schema_phrase
+                .split_whitespace()
+                .map(stem)
+                .collect::<Vec<_>>()
+                .join(" ");
+            best = best
+                .max(lexical_similarity(&stemmed_span, &stemmed_schema))
+                .max(lexical_similarity(span, schema_phrase));
+        }
+        if self.config.synonyms && best < 1.0 {
+            // any word-for-word synonym alignment counts as a strong match
+            let span_words: Vec<&str> = span.split_whitespace().collect();
+            let schema_words: Vec<&str> = schema_phrase.split_whitespace().collect();
+            if span_words.len() == schema_words.len() && !span_words.is_empty() {
+                let all = span_words.iter().zip(&schema_words).all(|(a, b)| {
+                    stem(a) == stem(b) || self.lexicon.are_synonyms(&stem(a), &stem(b))
+                });
+                if all {
+                    best = best.max(0.92);
+                }
+            }
+            // single span word synonymous with any schema word
+            if span_words.len() == 1 {
+                for w in &schema_words {
+                    if self.lexicon.are_synonyms(&stem(span_words[0]), &stem(w)) {
+                        best = best.max(0.75);
+                    }
+                }
+            }
+        }
+        if self.config.embeddings && best < 0.9 {
+            let cos = Embedding::of(span).cosine(&Embedding::of(schema_phrase));
+            // embeddings are noisy: scale down so exact matches dominate
+            best = best.max(0.85 * cos);
+        }
+        let _ = schema_name;
+        // spans longer than the schema phrase carry extra words — penalize
+        // so "unit price products" can't outscore "unit price".
+        let span_n = span.split_whitespace().count();
+        let schema_n = schema_phrase.split_whitespace().count().max(1);
+        if span_n > schema_n {
+            best *= schema_n as f64 / span_n as f64;
+        }
+        best
+    }
+
+    /// Link a question against a database.
+    pub fn link(&self, question: &str, db: &Database) -> LinkingResult {
+        let raw = tokenize(question);
+        let tokens: Vec<Token> = raw
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Word || !is_stopword(&t.text))
+            .collect();
+        let words: Vec<String> = tokens.iter().map(|t| t.text.clone()).collect();
+
+        // --- table scores -------------------------------------------------
+        let mut table_scores = vec![0.0; db.schema.tables.len()];
+        for (ti, t) in db.schema.tables.iter().enumerate() {
+            let phrases = [t.display.clone(), t.name.replace('_', " ")];
+            for w in &words {
+                for p in &phrases {
+                    let s = self.phrase_score(w, p, &t.name);
+                    if s > table_scores[ti] {
+                        table_scores[ti] = s;
+                    }
+                }
+            }
+            if let Some(al) = &self.config.alignment {
+                for w in &words {
+                    let s = al.table_score(w, &t.name);
+                    if s > 0.0 {
+                        table_scores[ti] = table_scores[ti].max(0.5 + 0.5 * s);
+                    }
+                }
+            }
+            if table_scores[ti] < self.config.threshold {
+                table_scores[ti] = 0.0;
+            }
+        }
+
+        // --- column links (spans up to 3 words, longest-first greedy) ------
+        let mut columns: Vec<ColumnLink> = Vec::new();
+        let mut claimed = vec![false; words.len()];
+        for n in (1..=3usize).rev() {
+            if n > words.len() {
+                continue;
+            }
+            for start in 0..=(words.len() - n) {
+                if claimed[start..start + n].iter().any(|&c| c) {
+                    continue;
+                }
+                if tokens[start..start + n]
+                    .iter()
+                    .any(|t| t.kind != TokenKind::Word)
+                {
+                    continue;
+                }
+                let span = words[start..start + n].join(" ");
+                let mut best: Option<(f64, ColumnRef)> = None;
+                for r in db.schema.all_columns() {
+                    let c = db.schema.column(r);
+                    let mut s = self.phrase_score(&span, &c.display, &c.name);
+                    if let Some(al) = &self.config.alignment {
+                        let learned = al.column_score(&span, &c.name);
+                        if learned > 0.0 {
+                            s = s.max(0.5 + 0.5 * learned);
+                        }
+                    }
+                    if s >= self.config.threshold
+                        && best.is_none_or(|(bs, _)| s > bs)
+                    {
+                        best = Some((s, r));
+                    }
+                }
+                if let Some((score, col)) = best {
+                    for c in claimed.iter_mut().skip(start).take(n) {
+                        *c = true;
+                    }
+                    columns.push(ColumnLink { start, len: n, col, score });
+                }
+            }
+        }
+        columns.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.start.cmp(&b.start)));
+
+        // --- value links ----------------------------------------------------
+        let mut values = Vec::new();
+        if self.config.values {
+            for t in &tokens {
+                if t.kind != TokenKind::Quoted {
+                    continue;
+                }
+                for r in db.schema.all_columns() {
+                    let col_values = db.distinct_values(r.table, r.column);
+                    for v in &col_values {
+                        match v {
+                            Value::Text(s) if s.eq_ignore_ascii_case(&t.text) => {
+                                values.push(ValueLink { col: r, value: v.clone() });
+                            }
+                            Value::Date(d) if d.to_string() == t.text => {
+                                values.push(ValueLink { col: r, value: v.clone() });
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+
+        LinkingResult { table_scores, columns, values, tokens: words }
+    }
+}
+
+/// Deterministically pick among near-tied alternatives — exposed so parsers
+/// can break ties reproducibly without a shared global RNG.
+pub fn tie_break(rng: &mut Prng, n: usize) -> usize {
+    if n == 0 {
+        0
+    } else {
+        rng.below(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nli_core::{Column, DataType, Schema, Table};
+
+    fn db() -> Database {
+        let mut schema = Schema::new(
+            "shop",
+            vec![
+                Table::new(
+                    "products",
+                    vec![
+                        Column::new("id", DataType::Int).primary(),
+                        Column::new("name", DataType::Text),
+                        Column::new("category", DataType::Text),
+                        Column::new("price", DataType::Float),
+                    ],
+                )
+                .with_display("product"),
+                Table::new(
+                    "singer",
+                    vec![
+                        Column::new("id", DataType::Int).primary(),
+                        Column::new("age", DataType::Int),
+                    ],
+                ),
+            ],
+        );
+        schema.domain = "retail".into();
+        let mut d = Database::empty(schema);
+        d.insert_all(
+            "products",
+            vec![
+                vec![1.into(), "Widget".into(), "Tools".into(), 9.5.into()],
+                vec![2.into(), "Gadget".into(), "Toys".into(), 19.0.into()],
+            ],
+        )
+        .unwrap();
+        d
+    }
+
+    #[test]
+    fn exact_and_plural_mentions_link() {
+        let l = Linker::new(LinkConfig::lexical_only());
+        let r = l.link("show the price of products", &db());
+        assert_eq!(r.best_table(), Some(0));
+        assert!(r.columns.iter().any(|c| {
+            c.col == ColumnRef { table: 0, column: 3 }
+        }));
+    }
+
+    #[test]
+    fn synonyms_require_the_synonym_signal() {
+        let d = db();
+        let lexical = Linker::new(LinkConfig::lexical_only());
+        let world = Linker::new(LinkConfig::world_knowledge());
+        // "cost" is a lexicon synonym of "price"
+        let q = "show the cost of products";
+        let price = ColumnRef { table: 0, column: 3 };
+        let found = |r: &LinkingResult| r.columns.iter().any(|c| c.col == price);
+        assert!(!found(&lexical.link(q, &d)), "lexical linker must miss the synonym");
+        assert!(found(&world.link(q, &d)), "world-knowledge linker must hit it");
+    }
+
+    #[test]
+    fn value_linking_grounds_quoted_literals() {
+        let l = Linker::new(LinkConfig::lexical_only());
+        let r = l.link("products whose category is 'Tools'", &db());
+        assert_eq!(r.values.len(), 1);
+        assert_eq!(r.values[0].col, ColumnRef { table: 0, column: 2 });
+        assert_eq!(r.values[0].value, Value::from("Tools"));
+    }
+
+    #[test]
+    fn learned_alignment_links_trained_vocabulary() {
+        use nli_lm::TrainingExample;
+        let mut al = AlignmentModel::new();
+        al.train(&[TrainingExample {
+            question: "how expensive are the products".into(),
+            sql: nli_sql::parse_query("SELECT price FROM products").unwrap(),
+        }]);
+        let cfg = LinkConfig {
+            lexical: false,
+            synonyms: false,
+            embeddings: false,
+            values: false,
+            alignment: Some(al),
+            threshold: 0.5,
+        };
+        let l = Linker::new(cfg);
+        let r = l.link("how expensive are these", &db());
+        assert!(r
+            .columns
+            .iter()
+            .any(|c| c.col == ColumnRef { table: 0, column: 3 }));
+    }
+
+    #[test]
+    fn table_threshold_zeroes_weak_scores() {
+        let l = Linker::new(LinkConfig::lexical_only());
+        let r = l.link("completely unrelated gibberish", &db());
+        assert_eq!(r.best_table(), None);
+        assert!(r.columns.is_empty());
+    }
+
+    #[test]
+    fn multiword_spans_beat_single_words() {
+        let mut d = db();
+        d.schema.tables[0].columns[3].display = "unit price".into();
+        let l = Linker::new(LinkConfig::lexical_only());
+        let r = l.link("show the unit price of products", &d);
+        let link = r
+            .columns
+            .iter()
+            .find(|c| c.col == ColumnRef { table: 0, column: 3 })
+            .expect("unit price should link");
+        assert_eq!(link.len, 2);
+    }
+
+    #[test]
+    fn column_in_span_respects_bounds() {
+        let l = Linker::new(LinkConfig::lexical_only());
+        let r = l.link("price of products with age above 3", &db());
+        // "price" is content-token 0
+        assert!(r.column_in_span(0, 1).is_some());
+        let far = r.tokens.len();
+        assert!(r.column_in_span(far, far + 1).is_none());
+    }
+}

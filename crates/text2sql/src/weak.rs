@@ -1,0 +1,167 @@
+//! Weakly supervised training (§6.3 of the survey).
+//!
+//! The survey points to semi-/weakly supervised methods — "learning from
+//! mistakes", implicit user feedback — as the way past expensive gold-SQL
+//! annotation. This module implements the classic weak-supervision recipe:
+//! given only (question, *answer*) pairs, search for candidate programs,
+//! keep the ones whose execution produces the expected answer (spurious
+//! programs and all), and use them as pseudo-gold supervision for the PLM
+//! family.
+//!
+//! The search space is the grammar parser's candidate generator (run with
+//! the strong world-knowledge configuration, playing the role of the
+//! exploration policy), so discovered programs are well-formed by
+//! construction.
+
+use crate::grammar::{GrammarConfig, GrammarParser};
+use nli_core::{Database, ExecutionEngine, NlQuestion};
+use nli_lm::TrainingExample;
+use nli_sql::{Query, ResultSet, SqlEngine};
+
+/// One weakly labeled example: a question and the answer a user accepted.
+#[derive(Debug, Clone)]
+pub struct WeakExample {
+    pub question: NlQuestion,
+    /// The accepted result, as canonical rows (order-insensitive).
+    pub answer: Vec<Vec<String>>,
+}
+
+impl WeakExample {
+    /// Build from a question and an executed result.
+    pub fn from_result(question: NlQuestion, result: &ResultSet) -> WeakExample {
+        WeakExample { question, answer: result.canonical_rows() }
+    }
+}
+
+/// Outcome of a weak-supervision search.
+#[derive(Debug, Clone, Default)]
+pub struct WeakHarvest {
+    /// Pseudo-gold examples whose execution matched the answer.
+    pub examples: Vec<TrainingExample>,
+    /// Questions where no candidate matched.
+    pub misses: usize,
+    /// Executor calls spent searching.
+    pub executor_calls: usize,
+}
+
+/// Search candidate programs for each weak example and keep answer-matching
+/// ones as pseudo-gold supervision.
+pub fn harvest(
+    weak: &[(usize, WeakExample)],
+    databases: &[Database],
+    beam: usize,
+) -> WeakHarvest {
+    let explorer = GrammarParser::new(GrammarConfig::llm_reasoner().named("weak-explorer"));
+    let engine = SqlEngine::new();
+    let mut out = WeakHarvest::default();
+    for (db_idx, ex) in weak {
+        let db = &databases[*db_idx];
+        let candidates = explorer.parse_candidates(&ex.question, db, beam.max(1));
+        let mut found: Option<Query> = None;
+        for cand in candidates {
+            out.executor_calls += 1;
+            if let Ok(rs) = engine.execute(&cand, db) {
+                if rs.canonical_rows() == ex.answer {
+                    found = Some(cand);
+                    break;
+                }
+            }
+        }
+        match found {
+            Some(sql) => out.examples.push(TrainingExample {
+                question: ex.question.text.clone(),
+                sql,
+            }),
+            None => out.misses += 1,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plm::PlmParser;
+    use nli_data::spider_like::{self, SpiderConfig};
+    use nli_metrics::evaluate_sql;
+
+    fn bench() -> nli_data::SqlBenchmark {
+        spider_like::build(&SpiderConfig {
+            n_databases: 13,
+            n_dev_databases: 3,
+            n_train: 80,
+            n_dev: 50,
+            ..Default::default()
+        })
+    }
+
+    /// Turn the benchmark's train split into answer-only supervision.
+    fn weaken(b: &nli_data::SqlBenchmark) -> Vec<(usize, WeakExample)> {
+        let engine = SqlEngine::new();
+        b.train
+            .iter()
+            .map(|e| {
+                let rs = engine.execute(&e.gold, &b.databases[e.db]).unwrap();
+                (e.db, WeakExample::from_result(e.question.clone(), &rs))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn harvest_recovers_most_programs_from_answers_alone() {
+        let b = bench();
+        let weak = weaken(&b);
+        let h = harvest(&weak, &b.databases, 4);
+        assert!(
+            h.examples.len() * 3 >= weak.len() * 2,
+            "harvested only {}/{} (misses {})",
+            h.examples.len(),
+            weak.len(),
+            h.misses
+        );
+        assert!(h.executor_calls >= h.examples.len());
+    }
+
+    #[test]
+    fn weakly_trained_plm_approaches_fully_supervised() {
+        let b = bench();
+        // fully supervised baseline
+        let full: Vec<TrainingExample> = b
+            .train
+            .iter()
+            .map(|e| TrainingExample {
+                question: e.question.text.clone(),
+                sql: e.gold.clone(),
+            })
+            .collect();
+        let mut supervised = PlmParser::new();
+        supervised.train(&full);
+        let sup = evaluate_sql(&supervised, &b);
+
+        // weakly supervised: answers only
+        let h = harvest(&weaken(&b), &b.databases, 4);
+        let mut weakly = PlmParser::new();
+        weakly.train(&h.examples);
+        let weak_scores = evaluate_sql(&weakly, &b);
+
+        assert!(
+            weak_scores.execution >= sup.execution - 0.15,
+            "weak supervision fell too far behind: weak {weak_scores:?} vs full {sup:?}"
+        );
+    }
+
+    #[test]
+    fn unmatchable_answers_are_counted_as_misses() {
+        let b = bench();
+        let bogus = vec![(
+            0usize,
+            WeakExample {
+                question: NlQuestion::new("How many products are there?"),
+                answer: vec![vec!["999999999".to_string()]],
+            },
+        )];
+        let h = harvest(&bogus, &b.databases, 4);
+        assert_eq!(h.misses, 1);
+        assert!(h.examples.is_empty());
+    }
+}

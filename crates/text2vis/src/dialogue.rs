@@ -1,0 +1,202 @@
+//! Conversational visualization (MMCoVisNet/Dial-NVBench-class).
+//!
+//! Visualization dialogues refine an existing chart: switch the mark type,
+//! add a filter, re-bin the time axis. The dialogue parser keeps the
+//! previous turn's VQL and edits it, opening fresh requests through a base
+//! single-turn parser.
+
+use crate::ncnet_like::NcNetParser;
+use crate::vis_analysis::analyze_vis;
+use nli_core::{Database, NliError, NlQuestion, Result, SemanticParser};
+use nli_nlu::tokenize_words;
+use nli_sql::{BinOp, Expr};
+use nli_text2sql::{GrammarConfig, GrammarParser};
+use nli_vql::{BinUnit, ChartType, VisQuery};
+
+/// Stateful visualization dialogue parser.
+pub struct VisDialogueParser {
+    base: NcNetParser,
+    helper: GrammarParser,
+    prev: Option<VisQuery>,
+}
+
+impl VisDialogueParser {
+    pub fn new() -> VisDialogueParser {
+        VisDialogueParser {
+            base: NcNetParser::new(),
+            helper: GrammarParser::new(GrammarConfig::neural().named("vis-dialogue")),
+            prev: None,
+        }
+    }
+
+    pub fn reset(&mut self) {
+        self.prev = None;
+    }
+
+    /// Parse one turn, editing previous state for follow-ups.
+    pub fn parse_turn(&mut self, question: &NlQuestion, db: &Database) -> Result<VisQuery> {
+        let words = tokenize_words(&question.text);
+        let is_chart_switch = words.contains(&"instead".to_string())
+            || words.first().map(String::as_str) == Some("make");
+        let is_filter = words.first().map(String::as_str) == Some("only");
+        let is_rebin = words.contains(&"binned".to_string()) && words.len() <= 5;
+
+        if let Some(prev) = self.prev.clone() {
+            if is_chart_switch {
+                // "Make it a pie chart instead."
+                let chart = words
+                    .iter()
+                    .find_map(|w| ChartType::parse(w))
+                    .ok_or_else(|| NliError::Parse("no chart type in switch".into()))?;
+                let mut v = prev;
+                v.chart = chart;
+                self.prev = Some(v.clone());
+                return Ok(v);
+            }
+            if is_filter {
+                // "Only include <cond>."
+                let a = analyze_vis(&question.text);
+                let table = prev
+                    .query
+                    .tables()
+                    .first()
+                    .and_then(|n| db.schema.table_index(n))
+                    .ok_or_else(|| NliError::Parse("lost chart scope".into()))?;
+                let mut v = prev;
+                let mut added = false;
+                for c in &a.conds {
+                    if let Some(e) =
+                        self.helper.ground_condition(c, db, &[table], table, false)
+                    {
+                        v.query.select.where_clause =
+                            Some(match v.query.select.where_clause.take() {
+                                Some(w) => Expr::binary(w, BinOp::And, e),
+                                None => e,
+                            });
+                        added = true;
+                    }
+                }
+                if !added {
+                    return Err(NliError::Parse("could not ground the filter".into()));
+                }
+                self.prev = Some(v.clone());
+                return Ok(v);
+            }
+            if is_rebin {
+                // "Binned by year." — retarget the bin unit
+                let unit = words
+                    .iter()
+                    .find_map(|w| BinUnit::parse(w))
+                    .ok_or_else(|| NliError::Parse("no bin unit".into()))?;
+                let mut v = prev;
+                match &mut v.bin {
+                    Some(b) => b.unit = unit,
+                    None => return Err(NliError::Parse("previous chart is unbinned".into())),
+                }
+                self.prev = Some(v.clone());
+                return Ok(v);
+            }
+        }
+
+        let v = self.base.parse(question, db)?;
+        self.prev = Some(v.clone());
+        Ok(v)
+    }
+}
+
+impl Default for VisDialogueParser {
+    fn default() -> Self {
+        VisDialogueParser::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nli_core::{Column, DataType, Date, Schema, Table};
+
+    fn db() -> Database {
+        let schema = Schema::new(
+            "d",
+            vec![Table::new(
+                "sales",
+                vec![
+                    Column::new("category", DataType::Text),
+                    Column::new("amount", DataType::Float),
+                    Column::new("sold_on", DataType::Date).with_display("sale date"),
+                ],
+            )
+            .with_display("sale")],
+        );
+        let mut d = Database::empty(schema);
+        d.insert(
+            "sales",
+            vec!["Tools".into(), 5.0.into(), Date::new(2024, 3, 3).into()],
+        )
+        .unwrap();
+        d
+    }
+
+    #[test]
+    fn chart_switch_edit() {
+        let mut p = VisDialogueParser::new();
+        let d = db();
+        let t1 = p
+            .parse_turn(
+                &NlQuestion::new("Show a bar chart of the total amount for each category."),
+                &d,
+            )
+            .unwrap();
+        assert_eq!(t1.chart, ChartType::Bar);
+        let t2 = p
+            .parse_turn(&NlQuestion::new("Make it a pie chart instead."), &d)
+            .unwrap();
+        assert_eq!(t2.chart, ChartType::Pie);
+        assert_eq!(t1.query, t2.query);
+    }
+
+    #[test]
+    fn filter_edit() {
+        let mut p = VisDialogueParser::new();
+        let d = db();
+        p.parse_turn(
+            &NlQuestion::new("Show a bar chart of the total amount for each category."),
+            &d,
+        )
+        .unwrap();
+        let t2 = p
+            .parse_turn(&NlQuestion::new("Only include with amount above 3."), &d)
+            .unwrap();
+        assert!(t2.to_string().contains("WHERE amount > 3"), "{t2}");
+    }
+
+    #[test]
+    fn rebin_edit() {
+        let mut p = VisDialogueParser::new();
+        let d = db();
+        p.parse_turn(
+            &NlQuestion::new(
+                "Draw a line chart of amount of sales over sale date binned by month.",
+            ),
+            &d,
+        )
+        .unwrap();
+        let t2 = p.parse_turn(&NlQuestion::new("Binned by year."), &d).unwrap();
+        assert_eq!(t2.bin.unwrap().unit, BinUnit::Year);
+    }
+
+    #[test]
+    fn reset_clears_context() {
+        let mut p = VisDialogueParser::new();
+        let d = db();
+        p.parse_turn(
+            &NlQuestion::new("Show a bar chart of the total amount for each category."),
+            &d,
+        )
+        .unwrap();
+        p.reset();
+        assert!(p
+            .parse_turn(&NlQuestion::new("Make it a pie chart instead."), &d)
+            .is_err());
+    }
+}

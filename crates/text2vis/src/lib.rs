@@ -1,0 +1,31 @@
+//! # nli-text2vis
+//!
+//! One working Text-to-Vis parser per cell of the survey's §4.2 taxonomy:
+//!
+//! | Stage | Family | Parser here | Real-world exemplars |
+//! |---|---|---|---|
+//! | Traditional | rule/template | [`rule::RuleVisParser`] | DataTone, NL4DV, ADVISor |
+//! | Neural | seq2seq memorizer | [`seq2vis_like::Seq2VisParser`] | Data2Vis, Seq2Vis |
+//! | Neural | transformer + vis-aware decoding | [`ncnet_like::NcNetParser`] | ncNet |
+//! | Neural | retrieval–generation | [`rgvisnet_like::RgVisNetParser`] | RGVisNet |
+//! | FM / LLM | prompted LLM | [`llm::LlmVisParser`] | Chat2VIS, NL2INTERFACE |
+//! | — | conversational vis | [`dialogue::VisDialogueParser`] | MMCoVisNet, Dial-NVBench systems |
+//!
+//! All parsers emit [`nli_vql::VisQuery`] programs; the shared question
+//! analysis lives in [`vis_analysis`].
+
+pub mod dialogue;
+pub mod llm;
+pub mod ncnet_like;
+pub mod rgvisnet_like;
+pub mod rule;
+pub mod seq2vis_like;
+pub mod vis_analysis;
+
+pub use dialogue::VisDialogueParser;
+pub use llm::LlmVisParser;
+pub use ncnet_like::NcNetParser;
+pub use rgvisnet_like::RgVisNetParser;
+pub use rule::RuleVisParser;
+pub use seq2vis_like::Seq2VisParser;
+pub use vis_analysis::{analyze_vis, VisAnalysis, VisShape};

@@ -1,0 +1,154 @@
+//! ncNet-class parsing: a transformer with vis-aware decoding.
+//!
+//! Compared with Seq2Vis, ncNet composes rather than memorizes: it grounds
+//! the request compositionally (our shared [`ground_vis`] core with the
+//! neural-stage linker and an optionally trained alignment model) and masks
+//! invalid chart/data-type combinations during decoding. It still lacks
+//! synonym world knowledge, which is what separates it from the
+//! retrieval-augmented and LLM stages.
+
+use crate::rule::ground_vis;
+use crate::vis_analysis::analyze_vis;
+use nli_core::{Database, NlQuestion, Result, SemanticParser};
+use nli_lm::{AlignmentModel, TrainingExample};
+use nli_text2sql::{GrammarConfig, GrammarParser};
+use nli_vql::{ChartType, VisQuery};
+
+/// ncNet-class Text-to-Vis parser.
+pub struct NcNetParser {
+    gp: GrammarParser,
+}
+
+impl NcNetParser {
+    /// Untrained (lexical + embedding linking only).
+    pub fn new() -> NcNetParser {
+        NcNetParser {
+            gp: GrammarParser::new(GrammarConfig::neural().named("ncnet")),
+        }
+    }
+
+    /// Train the alignment component on (question, data-query) pairs.
+    pub fn train(&mut self, examples: &[TrainingExample]) {
+        let mut alignment = AlignmentModel::new();
+        alignment.train(examples);
+        self.gp = GrammarParser::new(
+            GrammarConfig::neural().with_alignment(alignment).named("ncnet"),
+        );
+    }
+
+    /// Vis-aware decoding mask: fix chart/data-type mismatches the way
+    /// ncNet's output mask forbids invalid visualization tokens.
+    fn mask_chart(v: &mut VisQuery) {
+        let grouped = !v.query.select.group_by.is_empty();
+        match v.chart {
+            ChartType::Scatter if grouped => v.chart = ChartType::Bar,
+            ChartType::Pie | ChartType::Bar if v.bin.is_some() => {
+                // temporally binned series read as lines
+                v.chart = ChartType::Line;
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Default for NcNetParser {
+    fn default() -> Self {
+        NcNetParser::new()
+    }
+}
+
+impl SemanticParser for NcNetParser {
+    type Expr = VisQuery;
+
+    fn parse(&self, question: &NlQuestion, db: &Database) -> Result<VisQuery> {
+        let a = analyze_vis(&question.text);
+        let mut v = ground_vis(&self.gp, &a, db)?;
+        if a.chart.is_none() {
+            Self::mask_chart(&mut v);
+        }
+        Ok(v)
+    }
+
+    fn name(&self) -> &str {
+        "ncnet"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nli_core::{Column, DataType, Date, Schema, Table};
+    use nli_sql::parse_query;
+
+    fn db() -> Database {
+        let schema = Schema::new(
+            "shop",
+            vec![Table::new(
+                "sales",
+                vec![
+                    Column::new("id", DataType::Int).primary(),
+                    Column::new("category", DataType::Text),
+                    Column::new("amount", DataType::Float),
+                    Column::new("sold_on", DataType::Date).with_display("sale date"),
+                ],
+            )
+            .with_display("sale")],
+        );
+        let mut d = Database::empty(schema);
+        d.insert(
+            "sales",
+            vec![1.into(), "Tools".into(), 9.5.into(), Date::new(2024, 2, 2).into()],
+        )
+        .unwrap();
+        d
+    }
+
+    #[test]
+    fn grounds_grouped_requests() {
+        let p = NcNetParser::new();
+        let q = NlQuestion::new("Show a bar chart of the total amount for each category.");
+        assert_eq!(
+            p.parse(&q, &db()).unwrap().to_string(),
+            "VISUALIZE BAR SELECT category, SUM(amount) FROM sales GROUP BY category"
+        );
+    }
+
+    #[test]
+    fn training_helps_learned_vocabulary() {
+        let mut p = NcNetParser::new();
+        p.train(&[TrainingExample {
+            question: "chart the takings for each category of sales".into(),
+            sql: parse_query("SELECT category, SUM(amount) FROM sales GROUP BY category")
+                .unwrap(),
+        }]);
+        let q = NlQuestion::new("Show a bar chart of the total takings for each category.");
+        let v = p.parse(&q, &db()).unwrap();
+        assert!(v.to_string().contains("SUM(amount)"), "{v}");
+    }
+
+    #[test]
+    fn chart_mask_fixes_binned_bars_when_chart_unstated() {
+        let mut v = nli_vql::parse_vis(
+            "VISUALIZE BAR SELECT sold_on, amount FROM sales BIN sold_on BY month",
+        )
+        .unwrap();
+        NcNetParser::mask_chart(&mut v);
+        assert_eq!(v.chart, ChartType::Line);
+    }
+
+    #[test]
+    fn misses_synonyms_without_world_knowledge() {
+        let p = NcNetParser::new();
+        // "earnings" is a lexicon synonym of "amount"-adjacent vocabulary
+        // that the neural linker does not know
+        let q = NlQuestion::new("Show a bar chart of the total proceeds for each category.");
+        let r = p.parse(&q, &db());
+        match r {
+            Err(_) => {}
+            Ok(v) => assert!(
+                !v.to_string().contains("SUM(amount)"),
+                "neural linker should not resolve the synonym: {v}"
+            ),
+        }
+    }
+}

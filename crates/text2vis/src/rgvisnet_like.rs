@@ -1,0 +1,206 @@
+//! RGVisNet-class parsing: retrieval + grammar-aware revision.
+//!
+//! RGVisNet retrieves a similar VQL from a codebase of past queries and
+//! revises it against the target question/schema with a grammar-aware
+//! decoder. Here: the primary path grounds the request directly with the
+//! strongest linker (synonyms + embeddings — the retrieval component's
+//! "prototype knowledge"); when direct grounding fails, the parser falls
+//! back to the retrieved prototype and re-grounds its identifiers against
+//! the target schema. The two mechanisms together are why this family
+//! out-scores pure generation (Table 2: RGVisNet 44.9 vs ncNet 25.78).
+
+use crate::rule::ground_vis;
+use crate::vis_analysis::analyze_vis;
+use nli_core::{Database, NliError, NlQuestion, Result, SemanticParser};
+use nli_nlu::Embedding;
+use nli_text2sql::{GrammarConfig, GrammarParser};
+use nli_vql::VisQuery;
+
+/// A codebase entry.
+struct Prototype {
+    embedding: Embedding,
+    vql: VisQuery,
+}
+
+/// RGVisNet-class parser.
+pub struct RgVisNetParser {
+    gp: GrammarParser,
+    codebase: Vec<Prototype>,
+}
+
+impl RgVisNetParser {
+    pub fn new() -> RgVisNetParser {
+        RgVisNetParser {
+            gp: GrammarParser::new(GrammarConfig::llm_reasoner().named("rgvisnet")),
+            codebase: Vec::new(),
+        }
+    }
+
+    /// Index a codebase of (question, VQL) prototypes.
+    pub fn index(&mut self, pairs: impl IntoIterator<Item = (String, VisQuery)>) {
+        for (q, vql) in pairs {
+            self.codebase.push(Prototype { embedding: Embedding::of(&q), vql });
+        }
+    }
+
+    pub fn codebase_size(&self) -> usize {
+        self.codebase.len()
+    }
+
+    fn retrieve(&self, question: &str) -> Option<&Prototype> {
+        let q = Embedding::of(question);
+        self.codebase
+            .iter()
+            .max_by(|a, b| q.cosine(&a.embedding).total_cmp(&q.cosine(&b.embedding)))
+    }
+
+    /// Revise a retrieved prototype: re-ground its table and column
+    /// identifiers against the target schema.
+    fn revise(&self, proto: &VisQuery, db: &Database) -> Option<VisQuery> {
+        let mut v = proto.clone();
+        // re-ground the (single) FROM table: exact/lexical match first,
+        // else the table that can ground the most prototype columns
+        let table_name = v.query.select.from.first()?.name.clone();
+        let mut proto_cols: Vec<String> = Vec::new();
+        nli_lm::walk_exprs(&v.query, &mut |e| {
+            if let nli_sql::Expr::Column(c) = e {
+                proto_cols.push(c.column.replace('_', " "));
+            }
+        });
+        let t = self
+            .gp
+            .ground_table(&table_name.replace('_', " "), db)
+            .or_else(|| db.schema.table_index(&table_name))
+            .or_else(|| {
+                let mut best: Option<(usize, usize)> = None; // (hits, table)
+                for t in 0..db.schema.tables.len() {
+                    let hits = proto_cols
+                        .iter()
+                        .filter(|p| self.gp.ground_column(p, db, &[t], t, false).is_some())
+                        .count();
+                    if hits > 0 && best.is_none_or(|(bh, _)| hits > bh) {
+                        best = Some((hits, t));
+                    }
+                }
+                best.map(|(_, t)| t)
+            })?;
+        let new_table = db.schema.tables[t].name.clone();
+        v.query.select.from[0].name = new_table;
+        // re-ground every column identifier within that table
+        let mut ok = true;
+        let remap = |name: &str, gp: &GrammarParser| -> Option<String> {
+            let phrase = name.replace('_', " ");
+            gp.ground_column(&phrase, db, &[t], t, false)
+                .map(|r| db.schema.column(r).name.clone())
+        };
+        nli_lm::walk_exprs_mut(&mut v.query, &mut |e| {
+            if let nli_sql::Expr::Column(c) = e {
+                match remap(&c.column, &self.gp) {
+                    Some(new) => {
+                        c.column = new;
+                        c.table = None;
+                    }
+                    None => ok = false,
+                }
+            }
+        });
+        if let Some(b) = &mut v.bin {
+            match remap(&b.column.column, &self.gp) {
+                Some(new) => b.column = nli_sql::ColName::new(&new),
+                None => ok = false,
+            }
+        }
+        ok.then_some(v)
+    }
+}
+
+impl Default for RgVisNetParser {
+    fn default() -> Self {
+        RgVisNetParser::new()
+    }
+}
+
+impl SemanticParser for RgVisNetParser {
+    type Expr = VisQuery;
+
+    fn parse(&self, question: &NlQuestion, db: &Database) -> Result<VisQuery> {
+        let a = analyze_vis(&question.text);
+        // primary: direct grounding with full world knowledge
+        if let Ok(v) = ground_vis(&self.gp, &a, db) {
+            return Ok(v);
+        }
+        // fallback: retrieve a prototype and revise it
+        if let Some(proto) = self.retrieve(&question.text) {
+            if let Some(mut v) = self.revise(&proto.vql, db) {
+                if let Some(chart) = a.chart {
+                    v.chart = chart;
+                }
+                return Ok(v);
+            }
+        }
+        Err(NliError::Parse("neither grounding nor retrieval succeeded".into()))
+    }
+
+    fn name(&self) -> &str {
+        "rgvisnet"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nli_core::{Column, DataType, Schema, Table};
+    use nli_vql::parse_vis;
+
+    fn db() -> Database {
+        let schema = Schema::new(
+            "d",
+            vec![Table::new(
+                "projects",
+                vec![
+                    Column::new("department", DataType::Text),
+                    Column::new("cost", DataType::Float),
+                ],
+            )
+            .with_display("project")],
+        );
+        let mut d = Database::empty(schema);
+        d.insert("projects", vec!["research".into(), 100.0.into()]).unwrap();
+        d
+    }
+
+    #[test]
+    fn direct_grounding_handles_synonyms() {
+        let p = RgVisNetParser::new();
+        // "division" is a synonym of "department" in the lexicon
+        let q = NlQuestion::new("Show a bar chart of the total cost for each division.");
+        let v = p.parse(&q, &db()).unwrap();
+        assert_eq!(
+            v.to_string(),
+            "VISUALIZE BAR SELECT department, SUM(cost) FROM projects GROUP BY department"
+        );
+    }
+
+    #[test]
+    fn retrieval_fallback_revises_prototypes() {
+        let mut p = RgVisNetParser::new();
+        p.index(vec![(
+            "visualize spending by department".to_string(),
+            parse_vis("VISUALIZE BAR SELECT department, SUM(cost) FROM budgets GROUP BY department")
+                .unwrap(),
+        )]);
+        assert_eq!(p.codebase_size(), 1);
+        // the request shape is unrecognizable to the analyzer, forcing the
+        // retrieval path; the prototype's table "budgets" re-grounds onto
+        // "projects"
+        let q = NlQuestion::new("visualize spending by department please");
+        let v = p.parse(&q, &db()).unwrap();
+        assert!(v.to_string().contains("FROM projects"), "{v}");
+    }
+
+    #[test]
+    fn empty_codebase_and_unknown_request_errors() {
+        let p = RgVisNetParser::new();
+        assert!(p.parse(&NlQuestion::new("hello world"), &db()).is_err());
+    }
+}

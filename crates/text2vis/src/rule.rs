@@ -1,0 +1,362 @@
+//! Rule/template Text-to-Vis (DataTone/NL4DV/ADVISor-class) and the shared
+//! grounding core the neural-stage parsers reuse.
+//!
+//! The rule parser grounds the [`VisAnalysis`] sketch with the traditional
+//! lexical linker and assembles the VQL through fixed templates; when the
+//! chart type is not stated it falls back to NL4DV-style recommendation by
+//! data type (nominal×quantitative → bar, quantitative×quantitative →
+//! scatter, temporal x → line).
+
+use crate::vis_analysis::{analyze_vis, VisAnalysis, VisShape};
+use nli_core::{ColumnRef, Database, DataType, NliError, NlQuestion, Result, SemanticParser};
+use nli_sql::{AggFunc, BinOp, ColName, Expr, Query, Select, SelectItem};
+use nli_text2sql::{GrammarConfig, GrammarParser};
+use nli_vql::{BinUnit, ChartType, VisQuery};
+
+/// Ground a vis sketch into a [`VisQuery`] using `gp`'s linker. Shared by
+/// the rule, ncNet and RGVisNet parsers (they differ in `gp`'s config).
+pub(crate) fn ground_vis(
+    gp: &GrammarParser,
+    a: &VisAnalysis,
+    db: &Database,
+) -> Result<VisQuery> {
+    // pick the table that can ground the shape's phrases
+    let pick_table = |phrases: &[&str], hint: Option<&str>| -> Option<usize> {
+        if let Some(h) = hint {
+            if let Some(t) = gp.ground_table(h, db) {
+                return Some(t);
+            }
+        }
+        let mut best: Option<(usize, usize)> = None; // (hits, table)
+        for t in 0..db.schema.tables.len() {
+            let hits = phrases
+                .iter()
+                .filter(|p| gp.ground_column(p, db, &[t], t, false).is_some())
+                .count();
+            if hits > 0 && best.is_none_or(|(bh, _)| hits > bh) {
+                best = Some((hits, t));
+            }
+        }
+        best.map(|(_, t)| t)
+    };
+
+    let col_expr = |r: ColumnRef| Expr::Column(ColName::new(&db.schema.column(r).name));
+
+    let (chart_default, query, bin): (ChartType, Query, Option<(ColumnRef, BinUnit)>) =
+        match &a.shape {
+            VisShape::Grouped { func, y_phrase, key_phrase, table_phrase } => {
+                let mut phrases: Vec<&str> = vec![key_phrase.as_str()];
+                if let Some(y) = y_phrase {
+                    phrases.push(y.as_str());
+                }
+                // single-table grounding first (the nvBench shape), else a
+                // one-hop FK join when the measure and the key live on
+                // different tables (the paper's Fig. 2 "revenue by product
+                // category" shape)
+                let select = ground_grouped_single(
+                    gp, a, db, *func, y_phrase.as_deref(), key_phrase,
+                    pick_table(&phrases, table_phrase.as_deref()),
+                )
+                .or_else(|| {
+                    ground_grouped_joined(gp, db, *func, y_phrase.as_deref()?, key_phrase)
+                })
+                .ok_or_else(|| NliError::Parse("cannot ground the grouped chart".into()))?;
+                (ChartType::Bar, Query::single(select), None)
+            }
+            VisShape::Pair { x_phrase, y_phrase, table_phrase } => {
+                let t = pick_table(&[x_phrase, y_phrase], table_phrase.as_deref())
+                    .ok_or_else(|| NliError::Parse("no table grounds the chart".into()))?;
+                let x = gp
+                    .ground_column(x_phrase, db, &[t], t, false)
+                    .ok_or_else(|| NliError::Parse("cannot ground x".into()))?;
+                let y = gp
+                    .ground_column(y_phrase, db, &[t], t, false)
+                    .ok_or_else(|| NliError::Parse("cannot ground y".into()))?;
+                let mut s = Select::simple(
+                    &db.schema.tables[t].name,
+                    vec![SelectItem::plain(col_expr(x)), SelectItem::plain(col_expr(y))],
+                );
+                attach_conds(gp, a, db, t, &mut s);
+                (ChartType::Scatter, Query::single(s), None)
+            }
+            VisShape::Temporal { y_phrase, date_phrase, unit, table_phrase } => {
+                let t = pick_table(&[y_phrase, date_phrase], table_phrase.as_deref())
+                    .ok_or_else(|| NliError::Parse("no table grounds the chart".into()))?;
+                let date = gp
+                    .ground_column(date_phrase, db, &[t], t, false)
+                    .filter(|r| db.schema.column(*r).dtype == DataType::Date)
+                    .or_else(|| {
+                        // fall back to the table's (unique) date column
+                        db.schema.tables[t]
+                            .columns
+                            .iter()
+                            .position(|c| c.dtype == DataType::Date)
+                            .map(|ci| ColumnRef { table: t, column: ci })
+                    })
+                    .ok_or_else(|| NliError::Parse("cannot ground the date axis".into()))?;
+                let y = gp
+                    .ground_column(y_phrase, db, &[t], t, false)
+                    .ok_or_else(|| NliError::Parse("cannot ground y".into()))?;
+                let mut s = Select::simple(
+                    &db.schema.tables[t].name,
+                    vec![SelectItem::plain(col_expr(date)), SelectItem::plain(col_expr(y))],
+                );
+                attach_conds(gp, a, db, t, &mut s);
+                (ChartType::Line, Query::single(s), Some((date, *unit)))
+            }
+            VisShape::Unknown => {
+                return Err(NliError::Parse("unrecognized chart request".into()))
+            }
+        };
+
+    let chart = a.chart.unwrap_or(chart_default);
+    let mut v = VisQuery::new(chart, query);
+    if let Some((date, unit)) = bin {
+        v = v.with_bin(ColName::new(&db.schema.column(date).name), unit);
+    }
+    Ok(v)
+}
+
+/// Single-table grounding of a grouped chart.
+fn ground_grouped_single(
+    gp: &GrammarParser,
+    a: &VisAnalysis,
+    db: &Database,
+    func: AggFunc,
+    y_phrase: Option<&str>,
+    key_phrase: &str,
+    table: Option<usize>,
+) -> Option<Select> {
+    let t = table?;
+    let key = gp.ground_column(key_phrase, db, &[t], t, false)?;
+    let agg = match y_phrase {
+        Some(y) => {
+            let col = gp.ground_column(y, db, &[t], t, false)?;
+            if !db.schema.column(col).dtype.is_numeric() && func != AggFunc::Count {
+                return None;
+            }
+            Expr::agg(func, Expr::Column(ColName::new(&db.schema.column(col).name)))
+        }
+        None => Expr::count_star(),
+    };
+    let key_expr = Expr::Column(ColName::new(&db.schema.column(key).name));
+    let mut s = Select::simple(
+        &db.schema.tables[t].name,
+        vec![SelectItem::plain(key_expr.clone()), SelectItem::plain(agg)],
+    );
+    s.group_by = vec![key_expr];
+    attach_conds(gp, a, db, t, &mut s);
+    Some(s)
+}
+
+/// FK-join grounding of a grouped chart: the numeric measure on the child
+/// table, the group key on its FK parent.
+fn ground_grouped_joined(
+    gp: &GrammarParser,
+    db: &Database,
+    func: AggFunc,
+    y_phrase: &str,
+    key_phrase: &str,
+) -> Option<Select> {
+    for fk in &db.schema.foreign_keys {
+        let child = fk.from.table;
+        let parent = fk.to.table;
+        let Some(ycol) = gp.ground_column(y_phrase, db, &[child], child, false) else {
+            continue;
+        };
+        if !db.schema.column(ycol).dtype.is_numeric() {
+            continue;
+        }
+        let Some(key) = gp.ground_column(key_phrase, db, &[parent], parent, false) else {
+            continue;
+        };
+        let qual = |r: ColumnRef| {
+            Expr::Column(ColName::qualified(
+                &db.schema.tables[r.table].name,
+                &db.schema.column(r).name,
+            ))
+        };
+        let key_expr = qual(key);
+        let mut s = Select::simple(
+            &db.schema.tables[child].name,
+            vec![
+                SelectItem::plain(key_expr.clone()),
+                SelectItem::plain(Expr::agg(func, qual(ycol))),
+            ],
+        );
+        s.from.push(nli_sql::TableRef { name: db.schema.tables[parent].name.clone() });
+        s.joins.push(nli_sql::JoinCond {
+            left: ColName::qualified(
+                &db.schema.tables[child].name,
+                &db.schema.column(fk.from).name,
+            ),
+            right: ColName::qualified(
+                &db.schema.tables[parent].name,
+                &db.schema.column(fk.to).name,
+            ),
+        });
+        s.group_by = vec![key_expr];
+        return Some(s);
+    }
+    None
+}
+
+fn attach_conds(
+    gp: &GrammarParser,
+    a: &VisAnalysis,
+    db: &Database,
+    table: usize,
+    s: &mut Select,
+) {
+    let mut exprs = Vec::new();
+    for c in &a.conds {
+        if let Some(e) = gp.ground_condition(c, db, &[table], table, false) {
+            exprs.push(e);
+        }
+    }
+    s.where_clause = exprs.into_iter().reduce(|x, y| Expr::binary(x, BinOp::And, y));
+}
+
+/// Rule/template-based Text-to-Vis parser.
+pub struct RuleVisParser {
+    gp: GrammarParser,
+}
+
+impl RuleVisParser {
+    pub fn new() -> RuleVisParser {
+        RuleVisParser {
+            gp: GrammarParser::new(GrammarConfig::traditional().named("vis-rule")),
+        }
+    }
+}
+
+impl Default for RuleVisParser {
+    fn default() -> Self {
+        RuleVisParser::new()
+    }
+}
+
+impl SemanticParser for RuleVisParser {
+    type Expr = VisQuery;
+
+    fn parse(&self, question: &NlQuestion, db: &Database) -> Result<VisQuery> {
+        let a = analyze_vis(&question.text);
+        ground_vis(&self.gp, &a, db)
+    }
+
+    fn name(&self) -> &str {
+        "vis-rule"
+    }
+}
+
+/// NL4DV-style chart recommendation from encoding data types, exposed for
+/// parsers that face chart-less requests.
+pub fn recommend_chart(x: DataType, agg: Option<AggFunc>) -> ChartType {
+    match x {
+        DataType::Date => ChartType::Line,
+        DataType::Int | DataType::Float if agg.is_none() => ChartType::Scatter,
+        _ => ChartType::Bar,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nli_core::{Column, Date, Schema, Table};
+
+    pub(crate) fn db() -> Database {
+        let schema = Schema::new(
+            "shop",
+            vec![Table::new(
+                "sales",
+                vec![
+                    Column::new("id", DataType::Int).primary(),
+                    Column::new("category", DataType::Text),
+                    Column::new("amount", DataType::Float),
+                    Column::new("price", DataType::Float),
+                    Column::new("sold_on", DataType::Date).with_display("sale date"),
+                ],
+            )
+            .with_display("sale")],
+        );
+        let mut d = Database::empty(schema);
+        d.insert_all(
+            "sales",
+            vec![
+                vec![1.into(), "Tools".into(), 100.0.into(), 9.5.into(), Date::new(2024, 1, 5).into()],
+                vec![2.into(), "Toys".into(), 50.0.into(), 4.0.into(), Date::new(2024, 4, 9).into()],
+            ],
+        )
+        .unwrap();
+        d
+    }
+
+    #[test]
+    fn grouped_bar_chart() {
+        let p = RuleVisParser::new();
+        let q = NlQuestion::new("Show a bar chart of the total amount for each category.");
+        let v = p.parse(&q, &db()).unwrap();
+        assert_eq!(
+            v.to_string(),
+            "VISUALIZE BAR SELECT category, SUM(amount) FROM sales GROUP BY category"
+        );
+    }
+
+    #[test]
+    fn scatter_chart() {
+        let p = RuleVisParser::new();
+        let q = NlQuestion::new("Plot a scatter chart of amount against price for sales.");
+        let v = p.parse(&q, &db()).unwrap();
+        assert_eq!(
+            v.to_string(),
+            "VISUALIZE SCATTER SELECT price, amount FROM sales"
+        );
+    }
+
+    #[test]
+    fn line_chart_with_bin() {
+        let p = RuleVisParser::new();
+        let q = NlQuestion::new(
+            "Draw a line chart of amount of sales over sale date binned by quarter.",
+        );
+        let v = p.parse(&q, &db()).unwrap();
+        assert_eq!(
+            v.to_string(),
+            "VISUALIZE LINE SELECT sold_on, amount FROM sales BIN sold_on BY QUARTER"
+        );
+    }
+
+    #[test]
+    fn conditions_attach_to_the_data_query() {
+        let p = RuleVisParser::new();
+        let q = NlQuestion::new(
+            "Show a bar chart of the total amount for each category with price above 5.",
+        );
+        let v = p.parse(&q, &db()).unwrap();
+        assert!(v.to_string().contains("WHERE price > 5"), "{v}");
+    }
+
+    #[test]
+    fn pie_chart_count() {
+        let p = RuleVisParser::new();
+        let q = NlQuestion::new("Draw a pie chart of the number of sales for each category.");
+        let v = p.parse(&q, &db()).unwrap();
+        assert_eq!(
+            v.to_string(),
+            "VISUALIZE PIE SELECT category, COUNT(*) FROM sales GROUP BY category"
+        );
+    }
+
+    #[test]
+    fn unknown_request_errors() {
+        let p = RuleVisParser::new();
+        assert!(p.parse(&NlQuestion::new("make art"), &db()).is_err());
+    }
+
+    #[test]
+    fn recommendation_rules() {
+        assert_eq!(recommend_chart(DataType::Date, None), ChartType::Line);
+        assert_eq!(recommend_chart(DataType::Float, None), ChartType::Scatter);
+        assert_eq!(recommend_chart(DataType::Text, Some(AggFunc::Sum)), ChartType::Bar);
+    }
+}

@@ -1,0 +1,266 @@
+//! Shallow analysis of chart requests.
+//!
+//! Extracts the chart directive and the data-shape sketch from questions
+//! like "Show a bar chart of the total amount for each category with price
+//! above 5." — phrase-level only; grounding is each parser's job.
+
+use nli_nlu::tokenize_words;
+use nli_sql::AggFunc;
+use nli_text2sql::analysis::{analyze, CondSketch};
+use nli_vql::{BinUnit, ChartType};
+
+/// The data shape behind the requested chart.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VisShape {
+    /// `AGG(y) GROUP BY key` (bar/pie requests).
+    Grouped {
+        func: AggFunc,
+        /// `None` for COUNT(*).
+        y_phrase: Option<String>,
+        key_phrase: String,
+        /// Present for count requests ("number of sales").
+        table_phrase: Option<String>,
+    },
+    /// y against x (scatter requests).
+    Pair { x_phrase: String, y_phrase: String, table_phrase: Option<String> },
+    /// y over a binned date column (line requests).
+    Temporal {
+        y_phrase: String,
+        date_phrase: String,
+        unit: BinUnit,
+        table_phrase: Option<String>,
+    },
+    /// Could not recognize a shape.
+    Unknown,
+}
+
+/// Analyzer output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VisAnalysis {
+    pub chart: Option<ChartType>,
+    pub shape: VisShape,
+    pub conds: Vec<CondSketch>,
+}
+
+fn phrase(words: &[String], start: usize, stops: &[&str], max: usize) -> (String, usize) {
+    let mut out = Vec::new();
+    let mut i = start;
+    while i < words.len() && out.len() < max && !stops.contains(&words[i].as_str()) {
+        out.push(words[i].clone());
+        i += 1;
+    }
+    (out.join(" "), i)
+}
+
+fn find(words: &[String], seq: &[&str]) -> Option<usize> {
+    if seq.len() > words.len() {
+        return None;
+    }
+    (0..=words.len() - seq.len())
+        .find(|&s| seq.iter().enumerate().all(|(k, w)| words[s + k] == *w))
+}
+
+/// Analyze a chart request.
+pub fn analyze_vis(question: &str) -> VisAnalysis {
+    let words = tokenize_words(question);
+
+    // chart directive: "<type> chart"
+    let chart = find(&words, &["chart"]).and_then(|i| {
+        if i == 0 {
+            return None;
+        }
+        ChartType::parse(&words[i - 1])
+    });
+
+    // temporal binning: "binned by <unit>"
+    let unit = find(&words, &["binned", "by"])
+        .and_then(|i| words.get(i + 2))
+        .and_then(|w| BinUnit::parse(w));
+
+    // conditions via the shared SQL analyzer
+    let conds = analyze(question).conds;
+
+    const STOPS: &[&str] = &[
+        "for", "of", "against", "over", "binned", "with", "whose", "and", "chart",
+    ];
+
+    let shape = if let Some(each) = find(&words, &["for", "each"]) {
+        // grouped: "... of the <agg> <y> for each <key>" / "... of the
+        // number of <table> for each <key>"
+        let (key_phrase, _) = phrase(&words, each + 2, STOPS, 3);
+        if key_phrase.is_empty() {
+            VisShape::Unknown
+        } else if let Some(n) = find(&words, &["number", "of"]) {
+            let (table_phrase, _) = phrase(&words, n + 2, STOPS, 3);
+            VisShape::Grouped {
+                func: AggFunc::Count,
+                y_phrase: None,
+                key_phrase,
+                table_phrase: (!table_phrase.is_empty()).then_some(table_phrase),
+            }
+        } else {
+            let agg = words.iter().enumerate().find_map(|(i, w)| {
+                let f = match w.as_str() {
+                    "total" | "sum" => AggFunc::Sum,
+                    "average" | "mean" => AggFunc::Avg,
+                    "maximum" | "highest" => AggFunc::Max,
+                    "minimum" | "lowest" => AggFunc::Min,
+                    "count" => AggFunc::Count,
+                    _ => return None,
+                };
+                Some((i, f))
+            });
+            match agg {
+                Some((i, func)) => {
+                    let (y, _) = phrase(&words, i + 1, STOPS, 3);
+                    VisShape::Grouped {
+                        func,
+                        y_phrase: (!y.is_empty()).then_some(y),
+                        key_phrase,
+                        table_phrase: None,
+                    }
+                }
+                None => {
+                    // "a bar chart of <y> for each <key>" without aggregate:
+                    // default to SUM (the nvBench convention)
+                    let y = find(&words, &["of"])
+                        .map(|i| phrase(&words, i + 1, STOPS, 3).0)
+                        .filter(|p| !p.is_empty() && p != "the");
+                    VisShape::Grouped {
+                        func: AggFunc::Sum,
+                        y_phrase: y,
+                        key_phrase,
+                        table_phrase: None,
+                    }
+                }
+            }
+        }
+    } else if let Some(ag) = find(&words, &["against"]) {
+        // pair: "... of <y> against <x> for <table>"
+        let y = find(&words, &["of"])
+            .filter(|&i| i < ag)
+            .map(|i| phrase(&words, i + 1, STOPS, 3).0)
+            .unwrap_or_default();
+        let (x, after_x) = phrase(&words, ag + 1, STOPS, 3);
+        let table = if words.get(after_x).map(String::as_str) == Some("for") {
+            let (t, _) = phrase(&words, after_x + 1, STOPS, 3);
+            (!t.is_empty()).then_some(t)
+        } else {
+            None
+        };
+        if x.is_empty() || y.is_empty() {
+            VisShape::Unknown
+        } else {
+            VisShape::Pair { x_phrase: x, y_phrase: y, table_phrase: table }
+        }
+    } else if let Some(ov) = find(&words, &["over"]) {
+        // temporal: "... of <y> of <table> over <date> binned by <unit>"
+        let first_of = find(&words, &["of"]).filter(|&i| i < ov);
+        let (y, after_y) = match first_of {
+            Some(i) => phrase(&words, i + 1, STOPS, 3),
+            None => (String::new(), 0),
+        };
+        let table = if words.get(after_y).map(String::as_str) == Some("of") {
+            let (t, _) = phrase(&words, after_y + 1, STOPS, 3);
+            (!t.is_empty()).then_some(t)
+        } else {
+            None
+        };
+        let (date, _) = phrase(&words, ov + 1, STOPS, 4);
+        if y.is_empty() || date.is_empty() {
+            VisShape::Unknown
+        } else {
+            VisShape::Temporal {
+                y_phrase: y,
+                date_phrase: date,
+                unit: unit.unwrap_or(BinUnit::Month),
+                table_phrase: table,
+            }
+        }
+    } else {
+        VisShape::Unknown
+    };
+
+    VisAnalysis { chart, shape, conds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grouped_request() {
+        let a = analyze_vis("Show a bar chart of the total amount for each category.");
+        assert_eq!(a.chart, Some(ChartType::Bar));
+        match a.shape {
+            VisShape::Grouped { func, y_phrase, key_phrase, .. } => {
+                assert_eq!(func, AggFunc::Sum);
+                assert_eq!(y_phrase.as_deref(), Some("amount"));
+                assert_eq!(key_phrase, "category");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn count_request() {
+        let a = analyze_vis("Draw a pie chart of the number of sales for each city.");
+        assert_eq!(a.chart, Some(ChartType::Pie));
+        match a.shape {
+            VisShape::Grouped { func, y_phrase, key_phrase, table_phrase } => {
+                assert_eq!(func, AggFunc::Count);
+                assert!(y_phrase.is_none());
+                assert_eq!(key_phrase, "city");
+                assert_eq!(table_phrase.as_deref(), Some("sales"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn scatter_request() {
+        let a = analyze_vis("Plot a scatter chart of amount against price for sales.");
+        assert_eq!(a.chart, Some(ChartType::Scatter));
+        match a.shape {
+            VisShape::Pair { x_phrase, y_phrase, table_phrase } => {
+                assert_eq!(x_phrase, "price");
+                assert_eq!(y_phrase, "amount");
+                assert_eq!(table_phrase.as_deref(), Some("sales"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn temporal_request() {
+        let a = analyze_vis(
+            "Draw a line chart of amount of sales over sale date binned by quarter.",
+        );
+        assert_eq!(a.chart, Some(ChartType::Line));
+        match a.shape {
+            VisShape::Temporal { y_phrase, date_phrase, unit, table_phrase } => {
+                assert_eq!(y_phrase, "amount");
+                assert_eq!(date_phrase, "sale date");
+                assert_eq!(unit, BinUnit::Quarter);
+                assert_eq!(table_phrase.as_deref(), Some("sales"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn conditions_survive_in_chart_requests() {
+        let a = analyze_vis(
+            "Show a bar chart of the total amount for each category with price above 5.",
+        );
+        assert_eq!(a.conds.len(), 1);
+        assert_eq!(a.conds[0].col_phrase, "price");
+    }
+
+    #[test]
+    fn unrecognized_requests_yield_unknown() {
+        let a = analyze_vis("Please make something pretty.");
+        assert_eq!(a.shape, VisShape::Unknown);
+        assert!(a.chart.is_none());
+    }
+}

@@ -1,0 +1,277 @@
+//! VQL: the visualization query language.
+//!
+//! VQL wraps a data query with a chart directive and an optional temporal
+//! binning clause, following the nvBench/ncNet convention:
+//!
+//! ```text
+//! VISUALIZE BAR SELECT category, SUM(amount) FROM sales
+//!     JOIN products ON sales.product_id = products.id
+//!     GROUP BY category
+//! ```
+//!
+//! The canonical rendering produced by `Display` is what string-based
+//! Text-to-Vis metrics ("overall accuracy") compare.
+
+use nli_core::{NliError, Result};
+use nli_sql::{parse_query, ColName, Query};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Chart mark type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChartType {
+    Bar,
+    Pie,
+    Line,
+    Scatter,
+}
+
+impl ChartType {
+    pub fn name(self) -> &'static str {
+        match self {
+            ChartType::Bar => "BAR",
+            ChartType::Pie => "PIE",
+            ChartType::Line => "LINE",
+            ChartType::Scatter => "SCATTER",
+        }
+    }
+
+    /// Vega-Lite mark name.
+    pub fn mark(self) -> &'static str {
+        match self {
+            ChartType::Bar => "bar",
+            ChartType::Pie => "arc",
+            ChartType::Line => "line",
+            ChartType::Scatter => "point",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<ChartType> {
+        Some(match s.to_lowercase().as_str() {
+            "bar" => ChartType::Bar,
+            "pie" => ChartType::Pie,
+            "line" => ChartType::Line,
+            "scatter" | "point" => ChartType::Scatter,
+            _ => return None,
+        })
+    }
+
+    pub const ALL: [ChartType; 4] =
+        [ChartType::Bar, ChartType::Pie, ChartType::Line, ChartType::Scatter];
+}
+
+impl fmt::Display for ChartType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Temporal binning granularity for the x axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinUnit {
+    Year,
+    Quarter,
+    Month,
+    Weekday,
+}
+
+impl BinUnit {
+    pub fn name(self) -> &'static str {
+        match self {
+            BinUnit::Year => "YEAR",
+            BinUnit::Quarter => "QUARTER",
+            BinUnit::Month => "MONTH",
+            BinUnit::Weekday => "WEEKDAY",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<BinUnit> {
+        Some(match s.to_lowercase().as_str() {
+            "year" => BinUnit::Year,
+            "quarter" => BinUnit::Quarter,
+            "month" => BinUnit::Month,
+            "weekday" => BinUnit::Weekday,
+            _ => return None,
+        })
+    }
+}
+
+/// `BIN <column> BY <unit>`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bin {
+    pub column: ColName,
+    pub unit: BinUnit,
+}
+
+/// A full VQL program: chart directive + data query + optional binning.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VisQuery {
+    pub chart: ChartType,
+    pub query: Query,
+    pub bin: Option<Bin>,
+}
+
+impl VisQuery {
+    pub fn new(chart: ChartType, query: Query) -> Self {
+        VisQuery { chart, query, bin: None }
+    }
+
+    pub fn with_bin(mut self, column: ColName, unit: BinUnit) -> Self {
+        self.bin = Some(Bin { column, unit });
+        self
+    }
+}
+
+impl fmt::Display for VisQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VISUALIZE {} {}", self.chart, self.query)?;
+        if let Some(b) = &self.bin {
+            write!(f, " BIN {} BY {}", b.column, b.unit.name())?;
+        }
+        Ok(())
+    }
+}
+
+/// Parse a VQL string: `VISUALIZE <type> <select...> [BIN <col> BY <unit>]`.
+pub fn parse_vis(input: &str) -> Result<VisQuery> {
+    let trimmed = input.trim();
+    let mut words = trimmed.split_whitespace();
+    let head = words
+        .next()
+        .ok_or_else(|| NliError::Syntax("empty VQL input".into()))?;
+    if !head.eq_ignore_ascii_case("visualize") {
+        return Err(NliError::Syntax("VQL must start with VISUALIZE".into()));
+    }
+    let chart_word = words
+        .next()
+        .ok_or_else(|| NliError::Syntax("missing chart type".into()))?;
+    let chart = ChartType::parse(chart_word)
+        .ok_or_else(|| NliError::Syntax(format!("unknown chart type: {chart_word}")))?;
+
+    // Remainder after the two head words.
+    let rest = trimmed
+        .splitn(3, char::is_whitespace)
+        .nth(2)
+        .unwrap_or("")
+        .trim();
+    if rest.is_empty() {
+        return Err(NliError::Syntax("missing data query".into()));
+    }
+
+    // Split off a trailing top-level BIN clause (never inside quotes).
+    let (sql_part, bin) = match find_bin_clause(rest) {
+        Some(pos) => {
+            let (sql, bin_text) = rest.split_at(pos);
+            (sql.trim(), Some(parse_bin(bin_text.trim())?))
+        }
+        None => (rest, None),
+    };
+    let query = parse_query(sql_part)?;
+    Ok(VisQuery { chart, query, bin })
+}
+
+/// Byte offset of a top-level ` BIN ` keyword, scanning outside quotes.
+fn find_bin_clause(s: &str) -> Option<usize> {
+    let lower = s.to_lowercase();
+    let bytes = lower.as_bytes();
+    let mut in_string = false;
+    let mut i = 0;
+    while i + 4 <= bytes.len() {
+        if bytes[i] == b'\'' {
+            in_string = !in_string;
+            i += 1;
+            continue;
+        }
+        if !in_string
+            && &lower[i..i + 4] == "bin "
+            && (i == 0 || bytes[i - 1].is_ascii_whitespace())
+        {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parse `BIN <col> BY <unit>`.
+fn parse_bin(text: &str) -> Result<Bin> {
+    let words: Vec<&str> = text.split_whitespace().collect();
+    if words.len() != 4
+        || !words[0].eq_ignore_ascii_case("bin")
+        || !words[2].eq_ignore_ascii_case("by")
+    {
+        return Err(NliError::Syntax(format!("malformed BIN clause: {text}")));
+    }
+    let column = match words[1].split_once('.') {
+        Some((t, c)) => ColName::qualified(t, c),
+        None => ColName::new(words[1]),
+    };
+    let unit = BinUnit::parse(words[3])
+        .ok_or_else(|| NliError::Syntax(format!("unknown bin unit: {}", words[3])))?;
+    Ok(Bin { column, unit })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_print_roundtrip() {
+        let inputs = [
+            "VISUALIZE BAR SELECT category, SUM(amount) FROM sales GROUP BY category",
+            "VISUALIZE PIE SELECT category, COUNT(*) FROM products GROUP BY category",
+            "VISUALIZE LINE SELECT sold_on, SUM(amount) FROM sales GROUP BY sold_on BIN sold_on BY month",
+            "VISUALIZE SCATTER SELECT price, amount FROM sales",
+        ];
+        for input in inputs {
+            let v1 = parse_vis(input).unwrap();
+            let printed = v1.to_string();
+            let v2 = parse_vis(&printed).unwrap();
+            assert_eq!(v1, v2, "not stable for {input}");
+        }
+    }
+
+    #[test]
+    fn case_insensitive_head() {
+        let v = parse_vis("visualize bar select a, b from t").unwrap();
+        assert_eq!(v.chart, ChartType::Bar);
+    }
+
+    #[test]
+    fn bin_clause_parses() {
+        let v = parse_vis(
+            "VISUALIZE LINE SELECT sold_on, SUM(amount) FROM sales GROUP BY sold_on \
+             BIN sold_on BY quarter",
+        )
+        .unwrap();
+        let b = v.bin.unwrap();
+        assert_eq!(b.unit, BinUnit::Quarter);
+        assert_eq!(b.column.column, "sold_on");
+    }
+
+    #[test]
+    fn bin_keyword_inside_string_is_not_a_clause() {
+        let v = parse_vis(
+            "VISUALIZE BAR SELECT name, COUNT(*) FROM t WHERE name = 'bin by year' GROUP BY name",
+        )
+        .unwrap();
+        assert!(v.bin.is_none());
+    }
+
+    #[test]
+    fn errors_on_malformed_input() {
+        assert!(parse_vis("").is_err());
+        assert!(parse_vis("SELECT a FROM t").is_err());
+        assert!(parse_vis("VISUALIZE").is_err());
+        assert!(parse_vis("VISUALIZE TREEMAP SELECT a FROM t").is_err());
+        assert!(parse_vis("VISUALIZE BAR").is_err());
+        assert!(parse_vis("VISUALIZE BAR SELECT a FROM t BIN x").is_err());
+        assert!(parse_vis("VISUALIZE BAR SELECT a FROM t BIN x BY eon").is_err());
+    }
+
+    #[test]
+    fn chart_type_parse_aliases() {
+        assert_eq!(ChartType::parse("point"), Some(ChartType::Scatter));
+        assert_eq!(ChartType::parse("nope"), None);
+    }
+}

@@ -1,0 +1,20 @@
+//! # nli-vql
+//!
+//! The visualization side of the survey's problem definition. The
+//! functional expression `e` is a [`ast::VisQuery`] — a VQL program in the
+//! SQL-like pseudo-syntax the Text-to-Vis literature converged on
+//! (`VISUALIZE BAR SELECT x, y FROM ... GROUP BY x [BIN x BY month]`) — and
+//! the execution engine is [`render::VisEngine`], which runs the embedded
+//! data query on the database and materializes a [`render::Chart`] `r`.
+//!
+//! Charts carry both their data series and a Vega-Lite-style JSON
+//! specification ([`spec::ChartSpec`]), plus a terminal renderer so the
+//! examples can *show* the figure the paper's Fig. 2 describes.
+
+pub mod ast;
+pub mod render;
+pub mod spec;
+
+pub use ast::{parse_vis, Bin, BinUnit, ChartType, VisQuery};
+pub use render::{Chart, DataPoint, VisEngine};
+pub use spec::ChartSpec;

@@ -1,0 +1,428 @@
+//! The visualization execution engine: VQL → executed chart.
+//!
+//! `E(e, D) → r` for the vis task: run the embedded data query, apply the
+//! BIN transform, infer the encoding types, and materialize a [`Chart`] —
+//! the data series plus its [`ChartSpec`], with an ASCII renderer so
+//! examples can display the result in a terminal.
+
+use crate::ast::{BinUnit, ChartType, VisQuery};
+use crate::spec::{ChartSpec, FieldType};
+use nli_core::{Database, ExecutionEngine, NliError, Result, Value};
+use nli_sql::{ResultSet, SqlEngine};
+
+/// One chart datum: a labelled y value; `x_numeric` is set for scatter
+/// charts where x is quantitative.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataPoint {
+    pub label: String,
+    pub value: f64,
+    pub x_numeric: Option<f64>,
+}
+
+/// An executed chart: the result `r` of the Text-to-Vis pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chart {
+    pub chart_type: ChartType,
+    pub x_label: String,
+    pub y_label: String,
+    pub points: Vec<DataPoint>,
+    pub spec: ChartSpec,
+}
+
+impl Chart {
+    /// ASCII rendering for terminals (bars scale to the max value).
+    pub fn render_ascii(&self) -> String {
+        let mut out = String::new();
+        if let Some(t) = &self.spec.title {
+            out.push_str(t);
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} chart: {} vs {}\n",
+            self.chart_type, self.x_label, self.y_label
+        ));
+        if self.points.is_empty() {
+            out.push_str("(no data)\n");
+            return out;
+        }
+        match self.chart_type {
+            ChartType::Bar | ChartType::Line => {
+                let max = self
+                    .points
+                    .iter()
+                    .map(|p| p.value.abs())
+                    .fold(0.0f64, f64::max)
+                    .max(1e-9);
+                let label_w = self.points.iter().map(|p| p.label.len()).max().unwrap_or(1);
+                for p in &self.points {
+                    let n = ((p.value.abs() / max) * 40.0).round() as usize;
+                    let glyph = if self.chart_type == ChartType::Bar { '█' } else { '▪' };
+                    out.push_str(&format!(
+                        "{:label_w$} | {} {}\n",
+                        p.label,
+                        glyph.to_string().repeat(n.max(usize::from(p.value != 0.0))),
+                        trim_num(p.value),
+                    ));
+                }
+            }
+            ChartType::Pie => {
+                let total: f64 = self.points.iter().map(|p| p.value).sum();
+                let label_w = self.points.iter().map(|p| p.label.len()).max().unwrap_or(1);
+                for p in &self.points {
+                    let pct = if total > 0.0 { 100.0 * p.value / total } else { 0.0 };
+                    let n = (pct / 2.5).round() as usize;
+                    out.push_str(&format!(
+                        "{:label_w$} | {} {:.1}%\n",
+                        p.label,
+                        "▓".repeat(n.max(1)),
+                        pct
+                    ));
+                }
+            }
+            ChartType::Scatter => {
+                for p in &self.points {
+                    out.push_str(&format!(
+                        "({}, {})\n",
+                        p.x_numeric
+                            .map(trim_num)
+                            .unwrap_or_else(|| p.label.clone()),
+                        trim_num(p.value)
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn trim_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// The visualization execution engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VisEngine;
+
+impl VisEngine {
+    pub fn new() -> Self {
+        VisEngine
+    }
+
+    /// Parse and execute a VQL string.
+    pub fn run_vql(&self, vql: &str, db: &Database) -> Result<Chart> {
+        let v = crate::ast::parse_vis(vql)?;
+        self.execute(&v, db)
+    }
+}
+
+impl ExecutionEngine for VisEngine {
+    type Expr = VisQuery;
+    type Output = Chart;
+
+    fn execute(&self, expr: &VisQuery, db: &Database) -> Result<Chart> {
+        render(expr, db)
+    }
+}
+
+fn render(v: &VisQuery, db: &Database) -> Result<Chart> {
+    let rs = SqlEngine::new().execute(&v.query, db)?;
+    if rs.columns.len() < 2 {
+        return Err(NliError::Execution(
+            "a chart needs at least two result columns (x, y)".into(),
+        ));
+    }
+    let x_label = rs.columns[0].clone();
+    let y_label = rs.columns[1].clone();
+
+    let (points, x_type) = match &v.bin {
+        Some(bin) => (bin_points(&rs, bin.unit)?, FieldType::Temporal),
+        None => plain_points(&rs, v.chart)?,
+    };
+
+    validate(v.chart, &points, x_type)?;
+
+    let y_type = FieldType::Quantitative;
+    let mut spec = ChartSpec::new(v.chart, &x_label, x_type, &y_label, y_type);
+    if let Some(bin) = &v.bin {
+        spec = spec.with_time_unit(bin.unit);
+    }
+    Ok(Chart { chart_type: v.chart, x_label, y_label, points, spec })
+}
+
+fn y_of(v: &Value) -> Result<f64> {
+    match v {
+        Value::Null => Ok(0.0),
+        other => other
+            .as_f64()
+            .ok_or_else(|| NliError::Execution(format!("y value is not numeric: {other}"))),
+    }
+}
+
+fn plain_points(rs: &ResultSet, chart: ChartType) -> Result<(Vec<DataPoint>, FieldType)> {
+    let mut points = Vec::with_capacity(rs.rows.len());
+    let mut x_type = FieldType::Nominal;
+    let mut saw_temporal = false;
+    let mut saw_numeric = false;
+    let mut saw_text = false;
+    for row in &rs.rows {
+        let x = &row[0];
+        match x {
+            Value::Date(_) => saw_temporal = true,
+            Value::Int(_) | Value::Float(_) => saw_numeric = true,
+            _ => saw_text = true,
+        }
+        points.push(DataPoint {
+            label: x.canonical(),
+            value: y_of(&row[1])?,
+            x_numeric: x.as_f64(),
+        });
+    }
+    if saw_temporal && !saw_text && !saw_numeric {
+        x_type = FieldType::Temporal;
+    } else if saw_numeric && !saw_text && !saw_temporal {
+        x_type = FieldType::Quantitative;
+    }
+    // Line charts over unordered results sort by x for a coherent polyline.
+    if chart == ChartType::Line && !rs.ordered {
+        points.sort_by(|a, b| match (a.x_numeric, b.x_numeric) {
+            (Some(x), Some(y)) => x.total_cmp(&y),
+            _ => a.label.cmp(&b.label),
+        });
+    }
+    Ok((points, x_type))
+}
+
+/// Apply a BIN transform: bucket rows by the binned x value and sum y.
+fn bin_points(rs: &ResultSet, unit: BinUnit) -> Result<Vec<DataPoint>> {
+    // (sort key, label) per bucket
+    let mut buckets: Vec<(i64, String, f64)> = Vec::new();
+    let mut index = std::collections::HashMap::new();
+    for row in &rs.rows {
+        let d = match &row[0] {
+            Value::Date(d) => *d,
+            Value::Null => continue,
+            other => {
+                return Err(NliError::Execution(format!(
+                    "BIN requires a date x column, got {other}"
+                )))
+            }
+        };
+        let (key, label) = bin_of(d, unit);
+        let y = y_of(&row[1])?;
+        match index.get(&key) {
+            Some(&i) => {
+                let slot: &mut (i64, String, f64) = &mut buckets[i];
+                slot.2 += y;
+            }
+            None => {
+                index.insert(key, buckets.len());
+                buckets.push((key, label, y));
+            }
+        }
+    }
+    buckets.sort_by_key(|(k, _, _)| *k);
+    Ok(buckets
+        .into_iter()
+        .map(|(_, label, value)| DataPoint { label, value, x_numeric: None })
+        .collect())
+}
+
+fn bin_of(d: nli_core::Date, unit: BinUnit) -> (i64, String) {
+    const MONTHS: [&str; 12] = [
+        "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+    ];
+    const DAYS: [&str; 7] = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"];
+    match unit {
+        BinUnit::Year => (d.year as i64, d.year.to_string()),
+        BinUnit::Quarter => {
+            let q = d.quarter();
+            (d.year as i64 * 4 + q as i64, format!("{} Q{q}", d.year))
+        }
+        BinUnit::Month => (
+            d.year as i64 * 12 + d.month as i64,
+            format!("{} {}", MONTHS[(d.month - 1) as usize], d.year),
+        ),
+        BinUnit::Weekday => {
+            let w = d.weekday();
+            (w as i64, DAYS[w as usize].to_string())
+        }
+    }
+}
+
+/// Chart-type validity constraints, per the Text-to-Vis literature's
+/// recommendation rules (pie needs non-negative parts; scatter needs a
+/// quantitative x).
+fn validate(chart: ChartType, points: &[DataPoint], x_type: FieldType) -> Result<()> {
+    match chart {
+        ChartType::Pie
+            if points.iter().any(|p| p.value < 0.0) => {
+                return Err(NliError::Execution(
+                    "pie charts cannot show negative values".into(),
+                ));
+            }
+        ChartType::Scatter
+            if x_type != FieldType::Quantitative && !points.is_empty() => {
+                return Err(NliError::Execution(
+                    "scatter charts need a quantitative x axis".into(),
+                ));
+            }
+        _ => {}
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nli_core::{Column, DataType, Date, Schema, Table};
+
+    fn db() -> Database {
+        let schema = Schema::new(
+            "shop",
+            vec![Table::new(
+                "sales",
+                vec![
+                    Column::new("category", DataType::Text),
+                    Column::new("amount", DataType::Float),
+                    Column::new("price", DataType::Float),
+                    Column::new("sold_on", DataType::Date),
+                ],
+            )],
+        );
+        let mut db = Database::empty(schema);
+        db.insert_all(
+            "sales",
+            vec![
+                vec!["Tools".into(), 100.0.into(), 9.5.into(), Date::new(2024, 1, 5).into()],
+                vec!["Tools".into(), 150.0.into(), 19.0.into(), Date::new(2024, 2, 8).into()],
+                vec!["Toys".into(), 50.0.into(), 4.25.into(), Date::new(2024, 4, 9).into()],
+                vec!["Toys".into(), 80.0.into(), 6.5.into(), Date::new(2024, 4, 20).into()],
+            ],
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn bar_chart_end_to_end() {
+        let chart = VisEngine::new()
+            .run_vql(
+                "VISUALIZE BAR SELECT category, SUM(amount) FROM sales GROUP BY category",
+                &db(),
+            )
+            .unwrap();
+        assert_eq!(chart.chart_type, ChartType::Bar);
+        assert_eq!(chart.points.len(), 2);
+        let tools = chart.points.iter().find(|p| p.label == "Tools").unwrap();
+        assert_eq!(tools.value, 250.0);
+        let ascii = chart.render_ascii();
+        assert!(ascii.contains("Tools"));
+        assert!(ascii.contains('█'));
+    }
+
+    #[test]
+    fn monthly_binning_sums_buckets_in_order() {
+        let chart = VisEngine::new()
+            .run_vql(
+                "VISUALIZE LINE SELECT sold_on, amount FROM sales BIN sold_on BY month",
+                &db(),
+            )
+            .unwrap();
+        let labels: Vec<&str> = chart.points.iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(labels, vec!["Jan 2024", "Feb 2024", "Apr 2024"]);
+        assert_eq!(chart.points[2].value, 130.0);
+        assert_eq!(chart.spec.x.time_unit.as_deref(), Some("month"));
+    }
+
+    #[test]
+    fn quarter_binning() {
+        let chart = VisEngine::new()
+            .run_vql(
+                "VISUALIZE BAR SELECT sold_on, amount FROM sales BIN sold_on BY quarter",
+                &db(),
+            )
+            .unwrap();
+        let labels: Vec<&str> = chart.points.iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(labels, vec!["2024 Q1", "2024 Q2"]);
+        assert_eq!(chart.points[0].value, 250.0);
+    }
+
+    #[test]
+    fn scatter_requires_numeric_x() {
+        let engine = VisEngine::new();
+        assert!(engine
+            .run_vql("VISUALIZE SCATTER SELECT price, amount FROM sales", &db())
+            .is_ok());
+        assert!(engine
+            .run_vql("VISUALIZE SCATTER SELECT category, amount FROM sales", &db())
+            .is_err());
+    }
+
+    #[test]
+    fn pie_rejects_negatives() {
+        let mut d = db();
+        d.insert(
+            "sales",
+            vec!["Refunds".into(), (-30.0).into(), 1.0.into(), Date::new(2024, 5, 1).into()],
+        )
+        .unwrap();
+        let engine = VisEngine::new();
+        assert!(engine
+            .run_vql(
+                "VISUALIZE PIE SELECT category, SUM(amount) FROM sales GROUP BY category",
+                &d
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn one_column_result_is_an_error() {
+        assert!(VisEngine::new()
+            .run_vql("VISUALIZE BAR SELECT category FROM sales", &db())
+            .is_err());
+    }
+
+    #[test]
+    fn line_chart_sorts_unordered_x() {
+        let chart = VisEngine::new()
+            .run_vql(
+                "VISUALIZE LINE SELECT price, amount FROM sales",
+                &db(),
+            )
+            .unwrap();
+        let xs: Vec<f64> = chart.points.iter().filter_map(|p| p.x_numeric).collect();
+        let mut sorted = xs.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert_eq!(xs, sorted);
+    }
+
+    #[test]
+    fn pie_ascii_shows_percentages() {
+        let chart = VisEngine::new()
+            .run_vql(
+                "VISUALIZE PIE SELECT category, SUM(amount) FROM sales GROUP BY category",
+                &db(),
+            )
+            .unwrap();
+        let ascii = chart.render_ascii();
+        assert!(ascii.contains('%'));
+    }
+
+    #[test]
+    fn spec_matches_inferred_types() {
+        let chart = VisEngine::new()
+            .run_vql(
+                "VISUALIZE BAR SELECT category, SUM(amount) FROM sales GROUP BY category",
+                &db(),
+            )
+            .unwrap();
+        assert_eq!(chart.spec.x.field_type, FieldType::Nominal);
+        assert_eq!(chart.spec.mark, "bar");
+        let doc = chart.spec.to_vega_lite();
+        assert_eq!(doc["encoding"]["x"]["type"], "nominal");
+    }
+}

@@ -1,0 +1,151 @@
+//! Vega-Lite-style chart specifications.
+//!
+//! The survey's problem definition names visualization specifications (e.g.
+//! Vega-Lite) as the vis-side functional representation. [`ChartSpec`] is a
+//! faithful structural subset: mark + x/y encodings with field names and
+//! measurement types, serializable to the Vega-Lite JSON shape.
+
+use crate::ast::{BinUnit, ChartType};
+use serde::{Deserialize, Serialize};
+
+/// Measurement type of an encoded field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum FieldType {
+    Nominal,
+    Quantitative,
+    Temporal,
+    Ordinal,
+}
+
+/// One encoding channel (x or y).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Encoding {
+    pub field: String,
+    #[serde(rename = "type")]
+    pub field_type: FieldType,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub time_unit: Option<String>,
+}
+
+/// A chart specification: the `e` that a Text-to-Vis parser can hand to any
+/// Vega-Lite-compatible renderer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChartSpec {
+    pub mark: String,
+    pub x: Encoding,
+    pub y: Encoding,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub title: Option<String>,
+}
+
+impl ChartSpec {
+    /// Build the spec for a chart over fields `(x, y)`.
+    pub fn new(
+        chart: ChartType,
+        x_field: &str,
+        x_type: FieldType,
+        y_field: &str,
+        y_type: FieldType,
+    ) -> Self {
+        ChartSpec {
+            mark: chart.mark().to_string(),
+            x: Encoding { field: x_field.to_string(), field_type: x_type, time_unit: None },
+            y: Encoding { field: y_field.to_string(), field_type: y_type, time_unit: None },
+            title: None,
+        }
+    }
+
+    pub fn with_title(mut self, title: &str) -> Self {
+        self.title = Some(title.to_string());
+        self
+    }
+
+    pub fn with_time_unit(mut self, unit: BinUnit) -> Self {
+        self.x.time_unit = Some(unit.name().to_lowercase());
+        self
+    }
+
+    /// The Vega-Lite JSON document for this spec.
+    pub fn to_vega_lite(&self) -> serde_json::Value {
+        let mut x = serde_json::json!({
+            "field": self.x.field,
+            "type": type_name(self.x.field_type),
+        });
+        if let Some(u) = &self.x.time_unit {
+            x["timeUnit"] = serde_json::json!(u);
+        }
+        let mut doc = serde_json::json!({
+            "$schema": "https://vega.github.io/schema/vega-lite/v5.json",
+            "mark": self.mark,
+            "encoding": {
+                "x": x,
+                "y": { "field": self.y.field, "type": type_name(self.y.field_type) },
+            },
+        });
+        if let Some(t) = &self.title {
+            doc["title"] = serde_json::json!(t);
+        }
+        doc
+    }
+}
+
+fn type_name(t: FieldType) -> &'static str {
+    match t {
+        FieldType::Nominal => "nominal",
+        FieldType::Quantitative => "quantitative",
+        FieldType::Temporal => "temporal",
+        FieldType::Ordinal => "ordinal",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vega_lite_shape() {
+        let spec = ChartSpec::new(
+            ChartType::Bar,
+            "category",
+            FieldType::Nominal,
+            "sum(amount)",
+            FieldType::Quantitative,
+        )
+        .with_title("Revenue by category");
+        let doc = spec.to_vega_lite();
+        assert_eq!(doc["mark"], "bar");
+        assert_eq!(doc["encoding"]["x"]["field"], "category");
+        assert_eq!(doc["encoding"]["y"]["type"], "quantitative");
+        assert_eq!(doc["title"], "Revenue by category");
+        assert!(doc["$schema"].as_str().unwrap().contains("vega-lite"));
+    }
+
+    #[test]
+    fn time_unit_serializes_on_x() {
+        let spec = ChartSpec::new(
+            ChartType::Line,
+            "sold_on",
+            FieldType::Temporal,
+            "sum(amount)",
+            FieldType::Quantitative,
+        )
+        .with_time_unit(BinUnit::Month);
+        let doc = spec.to_vega_lite();
+        assert_eq!(doc["encoding"]["x"]["timeUnit"], "month");
+    }
+
+    #[test]
+    fn spec_json_roundtrip() {
+        let spec = ChartSpec::new(
+            ChartType::Pie,
+            "category",
+            FieldType::Nominal,
+            "count(*)",
+            FieldType::Quantitative,
+        );
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ChartSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+}

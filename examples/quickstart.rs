@@ -1,0 +1,90 @@
+//! Quickstart — the paper's Fig. 2 worked example.
+//!
+//! Builds the sales database from the figure, then runs the figure's two
+//! requests through the public API: a natural-language *query* ("total
+//! amount of sales per quarter") and a natural-language *visualization*
+//! ("bar chart of sales by quarter"), printing the SQL / VQL functional
+//! representations and the executed results.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use nli_core::{
+    Column, DataType, Database, Date, ExecutionEngine, NlQuestion, Schema, SemanticParser,
+    Table,
+};
+use nli_sql::SqlEngine;
+use nli_text2sql::{GrammarConfig, GrammarParser};
+use nli_text2vis::RuleVisParser;
+use nli_vql::VisEngine;
+
+fn sales_database() -> Database {
+    let schema = Schema::new(
+        "sales_db",
+        vec![Table::new(
+            "sales",
+            vec![
+                Column::new("id", DataType::Int).primary(),
+                Column::new("product", DataType::Text),
+                Column::new("amount", DataType::Float),
+                Column::new("sold_on", DataType::Date).with_display("sale date"),
+            ],
+        )
+        .with_display("sale")],
+    );
+    let mut db = Database::empty(schema);
+    let rows = [
+        (1, "Widget", 120.0, Date::new(2025, 1, 15)),
+        (2, "Widget", 180.0, Date::new(2025, 2, 3)),
+        (3, "Gadget", 340.0, Date::new(2025, 4, 20)),
+        (4, "Gadget", 95.0, Date::new(2025, 5, 2)),
+        (5, "Widget", 210.0, Date::new(2025, 7, 14)),
+        (6, "Gadget", 400.0, Date::new(2025, 10, 9)),
+    ];
+    for (id, product, amount, date) in rows {
+        db.insert(
+            "sales",
+            vec![id.into(), product.into(), amount.into(), date.into()],
+        )
+        .unwrap();
+    }
+    db
+}
+
+fn main() {
+    let db = sales_database();
+    println!("schema:\n{}", db.schema.describe());
+
+    // ---- Fig. 2, left: natural language -> SQL -> data -------------------
+    let parser = GrammarParser::new(GrammarConfig::neural());
+    let question = NlQuestion::new("What is the total amount of sales?");
+    let sql = parser.parse(&question, &db).expect("parse");
+    println!("Q: {question}");
+    println!("SQL: {sql}");
+    let result = SqlEngine::new().execute(&sql, &db).expect("execute");
+    println!("result: {}\n", result.rows[0][0]);
+
+    // a filtered variant, showing value grounding
+    let question = NlQuestion::new("How many sales with amount greater than 150 are there?");
+    let sql = parser.parse(&question, &db).expect("parse");
+    println!("Q: {question}");
+    println!("SQL: {sql}");
+    let result = SqlEngine::new().execute(&sql, &db).expect("execute");
+    println!("result: {}\n", result.rows[0][0]);
+
+    // ---- Fig. 2, right: natural language -> VQL -> chart -------------------
+    let vis = RuleVisParser::new();
+    let request = NlQuestion::new(
+        "Draw a bar chart of amount of sales over sale date binned by quarter.",
+    );
+    let vql = vis.parse(&request, &db).expect("parse vis");
+    println!("Q: {request}");
+    println!("VQL: {vql}");
+    let chart = VisEngine::new().execute(&vql, &db).expect("render");
+    println!("{}", chart.render_ascii());
+
+    // the chart also carries a Vega-Lite-style specification
+    println!(
+        "Vega-Lite spec:\n{}",
+        serde_json::to_string_pretty(&chart.spec.to_vega_lite()).unwrap()
+    );
+}

@@ -1,0 +1,74 @@
+//! The business-analyst scenario from the paper's introduction: "a business
+//! analyst might use natural language to query a sales database for total
+//! revenue by product category ... and then request a bar chart showing the
+//! revenue breakdown to include in their quarterly report."
+//!
+//! Uses the interactive [`Session`] (the Fig. 1 feedback loop) over a
+//! generated retail database, mixing data questions, refinements, and chart
+//! requests in one conversation.
+//!
+//! Run with: `cargo run --example sales_report`
+
+use nli_core::{NlQuestion, Prng};
+use nli_data::domains;
+use nli_data::schema_gen::{generate_database, DbGenConfig};
+use nli_systems::{Session, SystemOutput};
+
+fn main() {
+    // a realistic retail database from the generator substrate
+    let domain = domains::domain("retail").expect("built-in domain");
+    let cfg = DbGenConfig { min_tables: 3, optional_col_p: 1.0, rows: (30, 30) };
+    let db = generate_database(domain, 0, &cfg, &mut Prng::new(2025));
+    println!("database: {} ({} rows)\n{}", db.schema.name, db.row_count(), db.schema.describe());
+
+    let mut session = Session::new();
+    let turns = [
+        // the quarterly-report conversation
+        "What is the total amount of sales for each product category?",
+        "Show a bar chart of the total amount for each product category.",
+        "Make it a pie chart instead.",
+        // drill-down with conversational refinement
+        "How many sales are there?",
+        "Only those with amount greater than 1000.",
+        "What is the average price of products?",
+    ];
+
+    for (i, text) in turns.iter().enumerate() {
+        println!("({}) analyst: {text}", i + 1);
+        match session.ask(&NlQuestion::new(*text), &db) {
+            Ok(response) => {
+                if let Some(p) = &response.program {
+                    println!("    program: {p}");
+                }
+                match response.output {
+                    SystemOutput::Table(rs) => {
+                        println!("    {} row(s): {}", rs.rows.len(), rs.columns.join(" | "));
+                        for row in rs.rows.iter().take(5) {
+                            let cells: Vec<String> =
+                                row.iter().map(|v| v.canonical()).collect();
+                            println!("      {}", cells.join(" | "));
+                        }
+                    }
+                    SystemOutput::Chart(chart) => {
+                        for line in chart.render_ascii().lines() {
+                            println!("      {line}");
+                        }
+                    }
+                    SystemOutput::Clarification(cands) => {
+                        println!("    did you mean:");
+                        for c in cands {
+                            println!("      - {c}");
+                        }
+                    }
+                }
+            }
+            Err(e) => println!("    (system could not answer: {e})"),
+        }
+        println!();
+    }
+
+    println!("-- report appendix: full conversation transcript --");
+    for e in session.history() {
+        println!("  {} => {}", e.question, e.program);
+    }
+}

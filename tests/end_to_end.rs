@@ -1,0 +1,159 @@
+//! Cross-crate integration: generation → parsing → execution → evaluation
+//! → interactive systems, through the public APIs only.
+
+use nli_core::{ExecutionEngine, NlQuestion, SemanticParser};
+use nli_data::nvbench_like::{self, NvBenchConfig};
+use nli_data::spider_like::{self, SpiderConfig};
+use nli_lm::TrainingExample;
+use nli_metrics::{evaluate_sql, evaluate_vis};
+use nli_sql::SqlEngine;
+use nli_systems::{recommend, Environment, Expertise, Session, SystemOutput, UserProfile};
+use nli_text2sql::{GrammarConfig, GrammarParser, PlmParser};
+use nli_text2vis::NcNetParser;
+
+fn small_spider() -> nli_data::SqlBenchmark {
+    spider_like::build(&SpiderConfig {
+        n_databases: 13,
+        n_dev_databases: 3,
+        n_train: 60,
+        n_dev: 40,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn generated_benchmark_trains_and_evaluates_a_plm() {
+    let bench = small_spider();
+    let training: Vec<TrainingExample> = bench
+        .train
+        .iter()
+        .map(|e| TrainingExample {
+            question: e.question.text.clone(),
+            sql: e.gold.clone(),
+        })
+        .collect();
+    let mut plm = PlmParser::new();
+    plm.train(&training);
+    let scores = evaluate_sql(&plm, &bench);
+    assert_eq!(scores.n, 40);
+    assert!(scores.execution > 0.5, "PLM EX too low: {scores:?}");
+    assert!(scores.valid > 0.9, "PLM validity too low: {scores:?}");
+}
+
+#[test]
+fn grammar_parser_answers_generated_questions_executably() {
+    let bench = small_spider();
+    let parser = GrammarParser::new(GrammarConfig::llm_reasoner());
+    let engine = SqlEngine::new();
+    let mut parsed = 0;
+    for ex in &bench.dev {
+        let db = bench.db_of(ex);
+        if let Ok(q) = parser.parse(&ex.question, db) {
+            parsed += 1;
+            engine
+                .execute(&q, db)
+                .unwrap_or_else(|e| panic!("unexecutable output for '{}': {e}\n{q}", ex.question));
+        }
+    }
+    assert!(parsed * 10 >= bench.dev.len() * 9, "parsed only {parsed}/{}", bench.dev.len());
+}
+
+#[test]
+fn vis_pipeline_end_to_end() {
+    let bench = nvbench_like::build(&NvBenchConfig {
+        n_databases: 13,
+        n_dev_databases: 3,
+        n_train: 40,
+        n_dev: 40,
+        ..Default::default()
+    });
+    let parser = NcNetParser::new();
+    let scores = evaluate_vis(&parser, &bench);
+    assert!(scores.overall > 0.5, "ncnet overall too low: {scores:?}");
+    // executed charts agree with exact matches at least as often
+    assert!(scores.execution >= scores.overall - 0.05);
+}
+
+#[test]
+fn session_loop_queries_refines_and_charts() {
+    let bench = small_spider();
+    // pick a retail database (domain is stable across seeds)
+    let (db_idx, db) = bench
+        .databases
+        .iter()
+        .enumerate()
+        .find(|(_, d)| d.schema.domain == "retail")
+        .expect("retail db generated");
+    let _ = db_idx;
+    let mut session = Session::new();
+    let r1 = session
+        .ask(&NlQuestion::new("How many sales are there?"), db)
+        .expect("count question");
+    assert!(matches!(r1.output, SystemOutput::Table(_)));
+    let r2 = session
+        .ask(&NlQuestion::new("Only those with amount greater than 10."), db)
+        .expect("refinement");
+    match (r1.output, r2.output) {
+        (SystemOutput::Table(a), SystemOutput::Table(b)) => {
+            let count = |rs: &nli_sql::ResultSet| match &rs.rows[0][0] {
+                nli_core::Value::Int(i) => *i,
+                other => panic!("{other:?}"),
+            };
+            assert!(count(&b) <= count(&a), "refinement must narrow the count");
+        }
+        other => panic!("{other:?}"),
+    }
+    let r3 = session
+        .ask(
+            &NlQuestion::new("Show a bar chart of the total amount for each category."),
+            db,
+        )
+        .expect("chart");
+    assert!(matches!(r3.output, SystemOutput::Chart(_)));
+    assert_eq!(session.history().len(), 3);
+}
+
+#[test]
+fn advisor_covers_every_profile() {
+    for expertise in [Expertise::Basic, Expertise::Technical, Expertise::Professional] {
+        for environment in [Environment::Stable, Environment::Complex, Environment::FastPaced] {
+            let rec = recommend(&UserProfile {
+                expertise,
+                environment,
+                needs_flexibility: false,
+            });
+            assert!(!rec.rationale.is_empty());
+        }
+    }
+}
+
+#[test]
+fn multiturn_benchmark_round_trips_through_the_dialogue_parser() {
+    use nli_data::multiturn::{build, DialogueKind, MultiTurnConfig};
+    use nli_text2sql::DialogueParser;
+    let bench = build(&MultiTurnConfig {
+        kind: DialogueKind::Sparc,
+        n_databases: 6,
+        n_dialogues: 20,
+        ..Default::default()
+    });
+    let engine = SqlEngine::new();
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for d in &bench.dialogues {
+        let db = &bench.databases[d.db];
+        let mut parser = DialogueParser::new(GrammarConfig::llm_reasoner());
+        for (q, gold) in &d.turns {
+            total += 1;
+            if let Ok(pred) = parser.parse_turn(q, db) {
+                if let (Ok(a), Ok(b)) = (engine.execute(&pred, db), engine.execute(gold, db)) {
+                    correct += usize::from(a.same_result(&b));
+                }
+            }
+        }
+    }
+    assert!(
+        correct * 3 >= total * 2,
+        "dialogue accuracy too low: {correct}/{total}"
+    );
+}

@@ -1,0 +1,195 @@
+//! Whole-pipeline invariants over generated corpora: every gold program
+//! executes, reparses, and survives normalization; corruption never panics
+//! and stays schema-plausible; the executor honours LIMIT/DISTINCT; whole
+//! benchmark builds replay bit-for-bit from their seeds.
+
+use nli_core::{ExecutionEngine, Prng};
+use nli_data::nvbench_like::{self, NvBenchConfig};
+use nli_data::spider_like::{self, SpiderConfig};
+use nli_lm::{llm::corrupt_query, CapabilityProfile};
+use nli_sql::{normalize, parse_query, SqlEngine};
+use nli_vql::VisEngine;
+
+fn bench() -> nli_data::SqlBenchmark {
+    spider_like::build(&SpiderConfig {
+        n_databases: 16,
+        n_dev_databases: 4,
+        n_train: 80,
+        n_dev: 80,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn every_gold_query_executes_reparses_and_normalizes_stably() {
+    let b = bench();
+    let engine = SqlEngine::new();
+    for ex in b.train.iter().chain(&b.dev) {
+        let db = &b.databases[ex.db];
+        let text = ex.gold.to_string();
+        // executes
+        engine.execute(&ex.gold, db).unwrap_or_else(|e| panic!("{text}: {e}"));
+        // reparses to the same AST
+        let reparsed = parse_query(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+        assert_eq!(reparsed, ex.gold, "round-trip changed the AST: {text}");
+        // normalization is idempotent and a fixed point on canonical text
+        let n1 = normalize::normalize(&text);
+        assert_eq!(n1, text);
+        assert_eq!(normalize::normalize(&n1), n1);
+    }
+}
+
+#[test]
+fn limit_and_distinct_semantics_hold_on_generated_corpora() {
+    let b = bench();
+    let engine = SqlEngine::new();
+    for ex in b.dev.iter() {
+        let db = &b.databases[ex.db];
+        let rs = engine.execute(&ex.gold, db).unwrap();
+        if let Some(limit) = ex.gold.select.limit {
+            assert!(
+                rs.rows.len() <= limit as usize,
+                "LIMIT {limit} violated: {} rows for {}",
+                rs.rows.len(),
+                ex.gold
+            );
+        }
+        if ex.gold.select.distinct {
+            let mut seen = std::collections::HashSet::new();
+            for row in &rs.rows {
+                let key: Vec<String> = row.iter().map(|v| v.canonical()).collect();
+                assert!(seen.insert(key), "DISTINCT produced duplicates: {}", ex.gold);
+            }
+        }
+        if !ex.gold.select.order_by.is_empty() {
+            assert!(rs.ordered, "ORDER BY must mark the result ordered");
+        }
+    }
+}
+
+#[test]
+fn corruption_is_total_and_schema_plausible() {
+    let b = bench();
+    let heavy = CapabilityProfile {
+        schema_link: 0.5,
+        join: 0.5,
+        value: 0.5,
+        clause: 0.5,
+        aggregate: 0.5,
+        syntax: 0.2,
+    };
+    let mut rng = Prng::new(31337);
+    let mut parseable = 0usize;
+    let mut total = 0usize;
+    for ex in b.dev.iter() {
+        let db = &b.databases[ex.db];
+        for k in 0..3u64 {
+            let mut r = rng.fork(total as u64 * 7 + k);
+            let text = corrupt_query(&ex.gold, &db.schema, &heavy, &mut r);
+            total += 1;
+            if parse_query(&text).is_ok() {
+                parseable += 1;
+            }
+        }
+    }
+    // syntax rate 0.2 → roughly 80% should still parse
+    assert!(
+        parseable as f64 / total as f64 > 0.6,
+        "too many corruptions unparseable: {parseable}/{total}"
+    );
+}
+
+#[test]
+fn benchmark_builds_replay_bit_for_bit() {
+    let a = bench();
+    let b = bench();
+    assert_eq!(a.dev.len(), b.dev.len());
+    for (x, y) in a.dev.iter().zip(&b.dev) {
+        assert_eq!(x.question.text, y.question.text);
+        assert_eq!(x.gold, y.gold);
+    }
+    assert_eq!(a.databases, b.databases);
+}
+
+#[test]
+fn vis_gold_charts_always_render() {
+    let nv = nvbench_like::build(&NvBenchConfig {
+        n_databases: 13,
+        n_dev_databases: 3,
+        n_train: 60,
+        n_dev: 60,
+        ..Default::default()
+    });
+    let engine = VisEngine::new();
+    for ex in nv.train.iter().chain(&nv.dev) {
+        let db = &nv.databases[ex.db];
+        let chart = engine
+            .execute(&ex.gold, db)
+            .unwrap_or_else(|e| panic!("{}: {e}", ex.gold));
+        // ascii rendering never panics and mentions the chart kind
+        let ascii = chart.render_ascii();
+        assert!(ascii.contains("chart"));
+        // VQL text round-trips
+        let reparsed = nli_vql::parse_vis(&ex.gold.to_string()).unwrap();
+        assert_eq!(reparsed, ex.gold);
+    }
+}
+
+#[test]
+fn executor_agrees_with_itself_across_equivalent_spellings() {
+    // comma-join and explicit-join spellings of the same query agree on
+    // every generated database with a foreign key
+    let b = bench();
+    let engine = SqlEngine::new();
+    let mut checked = 0;
+    for db in &b.databases {
+        let Some(fk) = db.schema.foreign_keys.first() else { continue };
+        let child = &db.schema.tables[fk.from.table].name;
+        let parent = &db.schema.tables[fk.to.table].name;
+        let fk_col = &db.schema.column(fk.from).name;
+        let pk_col = &db.schema.column(fk.to).name;
+        let join = format!(
+            "SELECT COUNT(*) FROM {child} JOIN {parent} ON {child}.{fk_col} = {parent}.{pk_col}"
+        );
+        let comma = format!(
+            "SELECT COUNT(*) FROM {child}, {parent} WHERE {child}.{fk_col} = {parent}.{pk_col}"
+        );
+        let a = engine.run_sql(&join, db).unwrap();
+        let c = engine.run_sql(&comma, db).unwrap();
+        assert!(a.same_result(&c), "join spellings disagree on {}", db.schema.name);
+        checked += 1;
+    }
+    assert!(checked > 5);
+}
+
+#[test]
+fn reasoner_inverts_the_clean_generation_channel() {
+    // With lexical noise off, the NL channel and the analyzer/grounder are
+    // inverse functions up to residual ambiguity: the world-knowledge
+    // parser must recover the vast majority of gold programs.
+    use nli_core::SemanticParser;
+    let bench = spider_like::build(&SpiderConfig {
+        n_databases: 16,
+        n_dev_databases: 4,
+        n_train: 0,
+        n_dev: 120,
+        style: nli_data::nl_gen::NlStyle { synonym_p: 0.0, implicit_col_p: 0.0, knowledge_p: 0.0 },
+        ..Default::default()
+    });
+    let parser = nli_text2sql::GrammarParser::new(nli_text2sql::GrammarConfig::llm_reasoner());
+    let engine = SqlEngine::new();
+    let mut exec_ok = 0usize;
+    for ex in &bench.dev {
+        let db = &bench.databases[ex.db];
+        if let Ok(pred) = parser.parse(&ex.question, db) {
+            if let (Ok(a), Ok(b)) = (engine.execute(&pred, db), engine.execute(&ex.gold, db)) {
+                exec_ok += usize::from(a.same_result(&b));
+            }
+        }
+    }
+    assert!(
+        exec_ok * 100 >= bench.dev.len() * 85,
+        "reasoner recovered only {exec_ok}/{} noiseless questions",
+        bench.dev.len()
+    );
+}
