@@ -7,12 +7,17 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use nli_core::Prng;
 use nli_data::domains;
 use nli_data::schema_gen::{generate_database, DbGenConfig};
+use nli_metrics::TestSuite;
 use nli_sql::SqlEngine;
 use std::hint::black_box;
 
 fn engine_benches(c: &mut Criterion) {
     let domain = domains::domain("retail").unwrap();
-    let cfg = DbGenConfig { min_tables: 3, optional_col_p: 1.0, rows: (200, 200) };
+    let cfg = DbGenConfig {
+        min_tables: 3,
+        optional_col_p: 1.0,
+        rows: (200, 200),
+    };
     let db = generate_database(domain, 0, &cfg, &mut Prng::new(42));
     let engine = SqlEngine::new();
 
@@ -71,7 +76,70 @@ fn engine_benches(c: &mut Criterion) {
         })
     });
     group.bench_function("normalize", |b| {
-        b.iter(|| black_box(nli_sql::normalize("select  NAME from products where PRICE>5")))
+        b.iter(|| {
+            black_box(nli_sql::normalize(
+                "select  NAME from products where PRICE>5",
+            ))
+        })
+    });
+    group.finish();
+}
+
+/// Prepared-plan execution vs the string round-trip, over one query and a
+/// test suite of 32 fuzzed database variants sharing a schema — the exact
+/// access pattern of test-suite matching, where the prepared API pays one
+/// parse+plan for the whole suite instead of one per variant.
+fn prepared_vs_string(c: &mut Criterion) {
+    let domain = domains::domain("retail").unwrap();
+    let cfg = DbGenConfig {
+        min_tables: 3,
+        optional_col_p: 1.0,
+        rows: (64, 64),
+    };
+    let base = generate_database(domain, 0, &cfg, &mut Prng::new(7));
+    let suite = TestSuite::build(&base, 32, 0xBEEF);
+    let sql = "SELECT products.category, SUM(sales.amount) FROM sales JOIN products \
+               ON sales.product_id = products.id GROUP BY products.category \
+               ORDER BY SUM(sales.amount) DESC";
+    // validate once against every variant
+    SqlEngine::new().run_sql(sql, &base).unwrap();
+
+    let mut group = c.benchmark_group("prepared_pipeline");
+    // string round-trip with a cold engine per call — the pre-refactor
+    // consumer pattern: every execution pays parse + plan
+    group.bench_function("string_roundtrip_x32", |b| {
+        b.iter(|| {
+            let mut rows = 0usize;
+            for db in &suite.variants {
+                let engine = SqlEngine::new();
+                rows += black_box(engine.run_sql(sql, db).unwrap()).rows.len();
+            }
+            rows
+        })
+    });
+    // prepared once, executed per variant: 1 parse + 1 plan
+    group.bench_function("prepare_once_execute_x32", |b| {
+        b.iter(|| {
+            let engine = SqlEngine::new();
+            let prepared = engine.prepare(sql, &base.schema).unwrap();
+            let mut rows = 0usize;
+            for db in &suite.variants {
+                rows += black_box(prepared.execute(db).unwrap()).rows.len();
+            }
+            rows
+        })
+    });
+    // warm plan cache (the steady state inside evaluation loops)
+    let warm = SqlEngine::new();
+    warm.run_sql(sql, &base).unwrap();
+    group.bench_function("warm_cache_run_sql_x32", |b| {
+        b.iter(|| {
+            let mut rows = 0usize;
+            for db in &suite.variants {
+                rows += black_box(warm.run_sql(sql, db).unwrap()).rows.len();
+            }
+            rows
+        })
     });
     group.finish();
 }
@@ -79,6 +147,6 @@ fn engine_benches(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = engine_benches
+    targets = engine_benches, prepared_vs_string
 }
 criterion_main!(benches);

@@ -11,8 +11,7 @@ use nli_core::{NlQuestion, Prng, SemanticParser};
 use nli_data::spider_like::{self, SpiderConfig};
 use nli_lm::{DemoSelection, LlmKind, PromptStrategy};
 use nli_text2sql::{
-    ExecutionGuided, GrammarConfig, GrammarParser, LinkConfig, Linker, LlmParser,
-    RuleBasedParser,
+    ExecutionGuided, GrammarConfig, GrammarParser, LinkConfig, Linker, LlmParser, RuleBasedParser,
 };
 use std::hint::black_box;
 

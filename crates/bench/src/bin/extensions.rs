@@ -67,9 +67,18 @@ fn main() {
     let plm_scores = evaluate_sql(&plm_cg, &cg);
     let skel_scores = evaluate_sql(&skel_cg, &cg);
     let grammar_scores = evaluate_sql(&grammar, &cg);
-    println!("  grammar (compositional by construction): EX {:.1}%", 100.0 * grammar_scores.execution);
-    println!("  PLM trained on atoms only:               EX {:.1}%", 100.0 * plm_scores.execution);
-    println!("  skeleton trained on atoms only:          EX {:.1}%", 100.0 * skel_scores.execution);
+    println!(
+        "  grammar (compositional by construction): EX {:.1}%",
+        100.0 * grammar_scores.execution
+    );
+    println!(
+        "  PLM trained on atoms only:               EX {:.1}%",
+        100.0 * plm_scores.execution
+    );
+    println!(
+        "  skeleton trained on atoms only:          EX {:.1}%",
+        100.0 * skel_scores.execution
+    );
     println!(
         "  (grammar-constrained decoders compose known concepts; the skeleton's\n\
          \x20 fixed sketch grammar cannot express the compositions at all)\n"
@@ -107,7 +116,10 @@ fn main() {
                     }
                 }
             }
-            row.push_str(&format!(" {:>7.1}%", 100.0 * ok as f64 / probe.len() as f64));
+            row.push_str(&format!(
+                " {:>7.1}%",
+                100.0 * ok as f64 / probe.len() as f64
+            ));
         }
         println!("{row}");
     }

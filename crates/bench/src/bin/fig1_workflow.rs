@@ -48,10 +48,30 @@ fn sales_db() -> Database {
     db.insert_all(
         "sales",
         vec![
-            vec![1.into(), 1.into(), 120.0.into(), Date::new(2025, 1, 15).into()],
-            vec![2.into(), 2.into(), 340.0.into(), Date::new(2025, 2, 20).into()],
-            vec![3.into(), 2.into(), 200.0.into(), Date::new(2025, 4, 2).into()],
-            vec![4.into(), 3.into(), 80.0.into(), Date::new(2025, 5, 9).into()],
+            vec![
+                1.into(),
+                1.into(),
+                120.0.into(),
+                Date::new(2025, 1, 15).into(),
+            ],
+            vec![
+                2.into(),
+                2.into(),
+                340.0.into(),
+                Date::new(2025, 2, 20).into(),
+            ],
+            vec![
+                3.into(),
+                2.into(),
+                200.0.into(),
+                Date::new(2025, 4, 2).into(),
+            ],
+            vec![
+                4.into(),
+                3.into(),
+                80.0.into(),
+                Date::new(2025, 5, 9).into(),
+            ],
         ],
     )
     .unwrap();
@@ -70,8 +90,7 @@ fn show(step: usize, question: &str, session: &mut Session, db: &Database) {
                     println!("    -> result ({} row(s)):", rs.rows.len());
                     println!("       {}", rs.columns.join(" | "));
                     for row in rs.rows.iter().take(6) {
-                        let cells: Vec<String> =
-                            row.iter().map(|v| v.canonical()).collect();
+                        let cells: Vec<String> = row.iter().map(|v| v.canonical()).collect();
                         println!("       {}", cells.join(" | "));
                     }
                 }
@@ -100,12 +119,27 @@ fn main() {
     let mut session = Session::new();
 
     // the business-analyst scenario from the paper's introduction
-    show(1, "What is the total amount of sales for each product category?", &mut session, &db);
-    show(2, "Show a bar chart of the total amount for each product category.", &mut session, &db);
+    show(
+        1,
+        "What is the total amount of sales for each product category?",
+        &mut session,
+        &db,
+    );
+    show(
+        2,
+        "Show a bar chart of the total amount for each product category.",
+        &mut session,
+        &db,
+    );
     show(3, "Make it a pie chart instead.", &mut session, &db);
     // the feedback loop: refine a data query conversationally
     show(4, "How many sales are there?", &mut session, &db);
-    show(5, "Only those with amount greater than 100.", &mut session, &db);
+    show(
+        5,
+        "Only those with amount greater than 100.",
+        &mut session,
+        &db,
+    );
 
     println!("session transcript ({} turns):", session.history().len());
     for (i, e) in session.history().iter().enumerate() {

@@ -21,67 +21,163 @@ fn main() {
     let rows: Vec<(DatasetStats, PaperRow)> = vec![
         (
             DatasetStats::of_sql(&c.atis_like),
-            PaperRow { imitates: "ATIS", n_query: "5,280", n_db: "1", n_domain: "1", t_per_db: "32" },
+            PaperRow {
+                imitates: "ATIS",
+                n_query: "5,280",
+                n_db: "1",
+                n_domain: "1",
+                t_per_db: "32",
+            },
         ),
         (
             DatasetStats::of_sql(&c.geo_like),
-            PaperRow { imitates: "GeoQuery", n_query: "877", n_db: "1", n_domain: "1", t_per_db: "6" },
+            PaperRow {
+                imitates: "GeoQuery",
+                n_query: "877",
+                n_db: "1",
+                n_domain: "1",
+                t_per_db: "6",
+            },
         ),
         (
             DatasetStats::of_sql(&c.wikisql),
-            PaperRow { imitates: "WikiSQL", n_query: "80,654", n_db: "26,521", n_domain: "-", t_per_db: "1" },
+            PaperRow {
+                imitates: "WikiSQL",
+                n_query: "80,654",
+                n_db: "26,521",
+                n_domain: "-",
+                t_per_db: "1",
+            },
         ),
         (
             DatasetStats::of_sql(&c.spider),
-            PaperRow { imitates: "Spider", n_query: "10,181", n_db: "200", n_domain: "138", t_per_db: "5" },
+            PaperRow {
+                imitates: "Spider",
+                n_query: "10,181",
+                n_db: "200",
+                n_domain: "138",
+                t_per_db: "5",
+            },
         ),
         (
             DatasetStats::of_sql(&c.sparc),
-            PaperRow { imitates: "SParC", n_query: "12,726", n_db: "200", n_domain: "138", t_per_db: "5.1" },
+            PaperRow {
+                imitates: "SParC",
+                n_query: "12,726",
+                n_db: "200",
+                n_domain: "138",
+                t_per_db: "5.1",
+            },
         ),
         (
             DatasetStats::of_sql(&c.cosql),
-            PaperRow { imitates: "CoSQL", n_query: "15,598", n_db: "200", n_domain: "138", t_per_db: "5.1" },
+            PaperRow {
+                imitates: "CoSQL",
+                n_query: "15,598",
+                n_db: "200",
+                n_domain: "138",
+                t_per_db: "5.1",
+            },
         ),
         (
             DatasetStats::of_sql(&c.spider_syn),
-            PaperRow { imitates: "Spider-SYN", n_query: "7,990", n_db: "166", n_domain: "-", t_per_db: "5" },
+            PaperRow {
+                imitates: "Spider-SYN",
+                n_query: "7,990",
+                n_db: "166",
+                n_domain: "-",
+                t_per_db: "5",
+            },
         ),
         (
             DatasetStats::of_sql(&c.spider_realistic),
-            PaperRow { imitates: "Spider-realistic", n_query: "508", n_db: "-", n_domain: "-", t_per_db: "5" },
+            PaperRow {
+                imitates: "Spider-realistic",
+                n_query: "508",
+                n_db: "-",
+                n_domain: "-",
+                t_per_db: "5",
+            },
         ),
         (
             DatasetStats::of_sql(&c.spider_dk),
-            PaperRow { imitates: "Spider-DK", n_query: "535", n_db: "10", n_domain: "-", t_per_db: "5" },
+            PaperRow {
+                imitates: "Spider-DK",
+                n_query: "535",
+                n_db: "10",
+                n_domain: "-",
+                t_per_db: "5",
+            },
         ),
         (
             DatasetStats::of_sql(&c.cspider),
-            PaperRow { imitates: "CSpider", n_query: "10,181", n_db: "200", n_domain: "138", t_per_db: "5" },
+            PaperRow {
+                imitates: "CSpider",
+                n_query: "10,181",
+                n_db: "200",
+                n_domain: "138",
+                t_per_db: "5",
+            },
         ),
         (
             DatasetStats::of_sql(&c.vitext),
-            PaperRow { imitates: "ViText2SQL", n_query: "9,691", n_db: "166", n_domain: "-", t_per_db: "5" },
+            PaperRow {
+                imitates: "ViText2SQL",
+                n_query: "9,691",
+                n_db: "166",
+                n_domain: "-",
+                t_per_db: "5",
+            },
         ),
         (
             DatasetStats::of_sql(&c.pauq),
-            PaperRow { imitates: "PAUQ", n_query: "9,691", n_db: "166", n_domain: "-", t_per_db: "5" },
+            PaperRow {
+                imitates: "PAUQ",
+                n_query: "9,691",
+                n_db: "166",
+                n_domain: "-",
+                t_per_db: "5",
+            },
         ),
         (
             DatasetStats::of_sql(&c.bird),
-            PaperRow { imitates: "BIRD", n_query: "12,751", n_db: "95", n_domain: "-", t_per_db: "7" },
+            PaperRow {
+                imitates: "BIRD",
+                n_query: "12,751",
+                n_db: "95",
+                n_domain: "-",
+                t_per_db: "7",
+            },
         ),
         (
             DatasetStats::of_vis(&c.nvbench),
-            PaperRow { imitates: "nvBench", n_query: "25,750", n_db: "153", n_domain: "105", t_per_db: "5" },
+            PaperRow {
+                imitates: "nvBench",
+                n_query: "25,750",
+                n_db: "153",
+                n_domain: "105",
+                t_per_db: "5",
+            },
         ),
         (
             DatasetStats::of_vis(&c.dial_nvbench),
-            PaperRow { imitates: "Dial-NVBench", n_query: "4,495", n_db: "-", n_domain: "-", t_per_db: "-" },
+            PaperRow {
+                imitates: "Dial-NVBench",
+                n_query: "4,495",
+                n_db: "-",
+                n_domain: "-",
+                t_per_db: "-",
+            },
         ),
         (
             DatasetStats::of_vis(&c.cnvbench),
-            PaperRow { imitates: "CNvBench", n_query: "25,750", n_db: "153", n_domain: "105", t_per_db: "5" },
+            PaperRow {
+                imitates: "CNvBench",
+                n_query: "25,750",
+                n_db: "153",
+                n_domain: "105",
+                t_per_db: "5",
+            },
         ),
     ];
 

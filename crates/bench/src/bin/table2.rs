@@ -14,8 +14,11 @@ use nli_metrics::{evaluate_sql, evaluate_vis};
 fn main() {
     let c = suite::corpora();
 
-    println!("Table 2 — Text-to-SQL approaches (dev sets: wikisql-like n={}, spider-like n={})\n",
-        c.wikisql.dev.len(), c.spider.dev.len());
+    println!(
+        "Table 2 — Text-to-SQL approaches (dev sets: wikisql-like n={}, spider-like n={})\n",
+        c.wikisql.dev.len(),
+        c.spider.dev.len()
+    );
     println!(
         "{:<28} {:<26} {:>12} {:>12}   paper anchor (EX / EM)",
         "stage", "parser", "WikiSQL EX%", "Spider EM%"

@@ -12,7 +12,9 @@ fn main() {
         golds.len()
     );
     let (reports, n_pairs) = metric_meta_analysis(&c.spider.databases, &golds, 0x7AB1E3);
-    println!("labeled pairs: {n_pairs} (equivalence-preserving rewrites + adjudicated corruptions)\n");
+    println!(
+        "labeled pairs: {n_pairs} (equivalence-preserving rewrites + adjudicated corruptions)\n"
+    );
     println!(
         "{:<24} {:>8} {:>8} {:>8} {:>12}   paper-stated property",
         "metric", "acc%", "FPR%", "FNR%", "cost(us/pair)"
@@ -20,12 +22,27 @@ fn main() {
     println!("{}", "-".repeat(105));
     let notes = [
         ("raw exact match", "(ablation: value of normalization)"),
-        ("exact match (norm.)", "high efficiency; cannot handle alias expressions"),
-        ("fuzzy match (BLEU@.9)", "suitable for complex queries; insufficient precision"),
-        ("exact set match", "handles simple alias expressions; needs customization"),
-        ("execution match", "robust to aliases; prone to false positives"),
+        (
+            "exact match (norm.)",
+            "high efficiency; cannot handle alias expressions",
+        ),
+        (
+            "fuzzy match (BLEU@.9)",
+            "suitable for complex queries; insufficient precision",
+        ),
+        (
+            "exact set match",
+            "handles simple alias expressions; needs customization",
+        ),
+        (
+            "execution match",
+            "robust to aliases; prone to false positives",
+        ),
         ("test suite match", "handles semantically close expressions"),
-        ("manual (3 judges)", "precise, flexible; high cost, low efficiency"),
+        (
+            "manual (3 judges)",
+            "precise, flexible; high cost, low efficiency",
+        ),
     ];
     for r in &reports {
         let note = notes

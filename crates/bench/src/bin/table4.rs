@@ -8,9 +8,7 @@
 
 use nli_bench::suite;
 use nli_metrics::evaluate_sql;
-use nli_systems::{
-    EndToEndSystem, MultiStageSystem, NliSystem, ParsingSystem, RuleSystem,
-};
+use nli_systems::{EndToEndSystem, MultiStageSystem, NliSystem, ParsingSystem, RuleSystem};
 use nli_text2sql::PlmParser;
 use nli_text2vis::RgVisNetParser;
 
@@ -46,10 +44,22 @@ fn main() {
     println!("{}", "-".repeat(110));
 
     let notes = [
-        ("rule-based", "robust for familiar queries; limited adaptability"),
-        ("parsing-based", "grasps deeper structure; struggles with ambiguity"),
-        ("multi-stage", "enhanced accuracy and flexibility; synchronization cost"),
-        ("end-to-end", "high adaptability; difficult to interpret and debug"),
+        (
+            "rule-based",
+            "robust for familiar queries; limited adaptability",
+        ),
+        (
+            "parsing-based",
+            "grasps deeper structure; struggles with ambiguity",
+        ),
+        (
+            "multi-stage",
+            "enhanced accuracy and flexibility; synchronization cost",
+        ),
+        (
+            "end-to-end",
+            "high adaptability; difficult to interpret and debug",
+        ),
     ];
 
     for s in &systems {

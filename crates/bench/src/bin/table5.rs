@@ -19,8 +19,14 @@ fn main() {
 
     // 1. model landscape
     println!("[models & approaches]");
-    println!("  Text-to-SQL parser families implemented: {}", sql_entries.len());
-    println!("  Text-to-Vis parser families implemented: {}", vis_entries.len());
+    println!(
+        "  Text-to-SQL parser families implemented: {}",
+        sql_entries.len()
+    );
+    println!(
+        "  Text-to-Vis parser families implemented: {}",
+        vis_entries.len()
+    );
 
     // 2. supervised vs prompted accuracy (the LLM-integration aspect)
     let plm_sql = sql_entries
@@ -44,16 +50,35 @@ fn main() {
         .map(|e| evaluate_vis(e.parser.as_ref(), &c.nvbench).overall)
         .unwrap_or(0.0);
     println!("\n[integration of LLMs]");
-    println!("  SQL: fine-tuned PLM EX {:.1}% vs LLM-decomposed EX {:.1}%", 100.0 * plm_sql, 100.0 * llm_sql);
-    println!("  Vis: transformer Acc {:.1}% vs frontier-LLM Acc {:.1}%", 100.0 * neural_vis, 100.0 * llm_vis);
+    println!(
+        "  SQL: fine-tuned PLM EX {:.1}% vs LLM-decomposed EX {:.1}%",
+        100.0 * plm_sql,
+        100.0 * llm_sql
+    );
+    println!(
+        "  Vis: transformer Acc {:.1}% vs frontier-LLM Acc {:.1}%",
+        100.0 * neural_vis,
+        100.0 * llm_vis
+    );
 
     // 3. dataset landscape
     println!("\n[datasets]");
     println!(
         "  SQL corpora generated: 13 families ({} total questions)",
         [
-            &c.wikisql, &c.spider, &c.spider_syn, &c.spider_realistic, &c.spider_dk, &c.bird,
-            &c.sparc, &c.cosql, &c.cspider, &c.vitext, &c.pauq, &c.atis_like, &c.geo_like,
+            &c.wikisql,
+            &c.spider,
+            &c.spider_syn,
+            &c.spider_realistic,
+            &c.spider_dk,
+            &c.bird,
+            &c.sparc,
+            &c.cosql,
+            &c.cspider,
+            &c.vitext,
+            &c.pauq,
+            &c.atis_like,
+            &c.geo_like,
         ]
         .iter()
         .map(|b| b.example_count())
@@ -147,9 +172,10 @@ fn eval_vis_dialogues(bench: &nli_data::VisBenchmark) -> f64 {
                 if let (Ok(a), Ok(b)) = (engine.execute(&pred, db), engine.execute(gold, db)) {
                     let same = a.chart_type == b.chart_type
                         && a.points.len() == b.points.len()
-                        && a.points.iter().zip(&b.points).all(|(x, y)| {
-                            x.label == y.label && (x.value - y.value).abs() < 1e-9
-                        });
+                        && a.points
+                            .iter()
+                            .zip(&b.points)
+                            .all(|(x, y)| x.label == y.label && (x.value - y.value).abs() < 1e-9);
                     correct += usize::from(same);
                 }
             }

@@ -129,7 +129,11 @@ pub fn sql_parsers(train_bench: &SqlBenchmark) -> Vec<SqlEntry> {
     // databases (schemas + content only — no gold dev annotations)
     let mut plm_pretrained = PlmParser::new().named("plm+pretraining");
     let mut pre = training.clone();
-    pre.extend(nli_data::pretrain::synthesize(&train_bench.databases, 300, 0x6AA9));
+    pre.extend(nli_data::pretrain::synthesize(
+        &train_bench.databases,
+        300,
+        0x6AA9,
+    ));
     plm_pretrained.train(&pre);
 
     vec![
@@ -201,7 +205,11 @@ pub fn sql_parsers(train_bench: &SqlBenchmark) -> Vec<SqlEntry> {
             paper_spider_em: None,
         },
         SqlEntry {
-            parser: Box::new(LlmParser::new(LlmKind::ChatGpt, PromptStrategy::ZeroShot, 12)),
+            parser: Box::new(LlmParser::new(
+                LlmKind::ChatGpt,
+                PromptStrategy::ZeroShot,
+                12,
+            )),
             stage: "LLM zero-shot",
             exemplar: "C3/ChatGPT",
             paper_wikisql_ex: None,
@@ -211,7 +219,10 @@ pub fn sql_parsers(train_bench: &SqlBenchmark) -> Vec<SqlEntry> {
             parser: Box::new(
                 LlmParser::new(
                     LlmKind::ChatGpt,
-                    PromptStrategy::FewShot { k: 4, selection: DemoSelection::Similarity },
+                    PromptStrategy::FewShot {
+                        k: 4,
+                        selection: DemoSelection::Similarity,
+                    },
                     13,
                 )
                 .with_demo_pool(demos.clone()),
@@ -225,7 +236,10 @@ pub fn sql_parsers(train_bench: &SqlBenchmark) -> Vec<SqlEntry> {
             parser: Box::new(
                 LlmParser::new(
                     LlmKind::Frontier,
-                    PromptStrategy::Decomposed { k: 4, selection: DemoSelection::Similarity },
+                    PromptStrategy::Decomposed {
+                        k: 4,
+                        selection: DemoSelection::Similarity,
+                    },
                     14,
                 )
                 .with_demo_pool(demos),
@@ -307,7 +321,11 @@ pub fn vis_parsers(train_bench: &VisBenchmark) -> Vec<VisEntry> {
             paper_nvbench_acc: Some(44.9),
         },
         VisEntry {
-            parser: Box::new(LlmVisParser::new(LlmKind::ChatGpt, PromptStrategy::ZeroShot, 21)),
+            parser: Box::new(LlmVisParser::new(
+                LlmKind::ChatGpt,
+                PromptStrategy::ZeroShot,
+                21,
+            )),
             stage: "LLM zero-shot",
             exemplar: "Chat2VIS",
             paper_nvbench_acc: None,

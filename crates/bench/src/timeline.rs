@@ -41,31 +41,181 @@ pub struct Entry {
 /// The full implemented timeline, sorted by year.
 pub fn timeline() -> Vec<Entry> {
     let mut entries = vec![
-        Entry { year: 1982, system: "CHAT-80", task: Task::Sql, stage: Stage::Traditional, module: "nli-text2sql::rule" },
-        Entry { year: 1983, system: "TEAM", task: Task::Sql, stage: Stage::Traditional, module: "nli-text2sql::rule" },
-        Entry { year: 2004, system: "PRECISE", task: Task::Sql, stage: Stage::Traditional, module: "nli-text2sql::rule" },
-        Entry { year: 2014, system: "NaLIR", task: Task::Sql, stage: Stage::Traditional, module: "nli-text2sql::rule" },
-        Entry { year: 2015, system: "DataTone", task: Task::Vis, stage: Stage::Traditional, module: "nli-text2vis::rule" },
-        Entry { year: 2016, system: "Eviza", task: Task::Vis, stage: Stage::Traditional, module: "nli-text2vis::rule" },
-        Entry { year: 2017, system: "Seq2SQL/SQLNet", task: Task::Sql, stage: Stage::NeuralNetwork, module: "nli-text2sql::skeleton" },
-        Entry { year: 2018, system: "SyntaxSQLNet", task: Task::Sql, stage: Stage::NeuralNetwork, module: "nli-text2sql::grammar" },
-        Entry { year: 2018, system: "EG decoding", task: Task::Sql, stage: Stage::NeuralNetwork, module: "nli-text2sql::execution_guided" },
-        Entry { year: 2019, system: "Data2Vis", task: Task::Vis, stage: Stage::NeuralNetwork, module: "nli-text2vis::seq2vis_like" },
-        Entry { year: 2019, system: "IRNet/EditSQL", task: Task::Sql, stage: Stage::NeuralNetwork, module: "nli-text2sql::{grammar,multiturn}" },
-        Entry { year: 2019, system: "SQLova", task: Task::Sql, stage: Stage::FoundationModel, module: "nli-text2sql::skeleton (backoff)" },
-        Entry { year: 2020, system: "RAT-SQL/BRIDGE", task: Task::Sql, stage: Stage::FoundationModel, module: "nli-text2sql::plm" },
-        Entry { year: 2021, system: "Seq2Vis", task: Task::Vis, stage: Stage::NeuralNetwork, module: "nli-text2vis::seq2vis_like" },
-        Entry { year: 2021, system: "NL4DV/ADVISor", task: Task::Vis, stage: Stage::Traditional, module: "nli-text2vis::rule" },
-        Entry { year: 2021, system: "PICARD", task: Task::Sql, stage: Stage::FoundationModel, module: "nli-text2sql::{plm,execution_guided}" },
-        Entry { year: 2022, system: "ncNet", task: Task::Vis, stage: Stage::NeuralNetwork, module: "nli-text2vis::ncnet_like" },
-        Entry { year: 2022, system: "RGVisNet", task: Task::Vis, stage: Stage::NeuralNetwork, module: "nli-text2vis::rgvisnet_like" },
-        Entry { year: 2022, system: "Rajkumar et al. (Codex)", task: Task::Sql, stage: Stage::FoundationModel, module: "nli-text2sql::llm (zero-shot)" },
-        Entry { year: 2022, system: "NL2INTERFACE", task: Task::Vis, stage: Stage::FoundationModel, module: "nli-text2vis::llm" },
-        Entry { year: 2023, system: "C3/ChatGPT", task: Task::Sql, stage: Stage::FoundationModel, module: "nli-text2sql::llm (zero-shot)" },
-        Entry { year: 2023, system: "DIN-SQL", task: Task::Sql, stage: Stage::FoundationModel, module: "nli-text2sql::llm (decomposed)" },
-        Entry { year: 2023, system: "SQL-PaLM", task: Task::Sql, stage: Stage::FoundationModel, module: "nli-text2sql::llm (self-consistency)" },
-        Entry { year: 2023, system: "Chat2VIS", task: Task::Vis, stage: Stage::FoundationModel, module: "nli-text2vis::llm" },
-        Entry { year: 2023, system: "MMCoVisNet", task: Task::Vis, stage: Stage::NeuralNetwork, module: "nli-text2vis::dialogue" },
+        Entry {
+            year: 1982,
+            system: "CHAT-80",
+            task: Task::Sql,
+            stage: Stage::Traditional,
+            module: "nli-text2sql::rule",
+        },
+        Entry {
+            year: 1983,
+            system: "TEAM",
+            task: Task::Sql,
+            stage: Stage::Traditional,
+            module: "nli-text2sql::rule",
+        },
+        Entry {
+            year: 2004,
+            system: "PRECISE",
+            task: Task::Sql,
+            stage: Stage::Traditional,
+            module: "nli-text2sql::rule",
+        },
+        Entry {
+            year: 2014,
+            system: "NaLIR",
+            task: Task::Sql,
+            stage: Stage::Traditional,
+            module: "nli-text2sql::rule",
+        },
+        Entry {
+            year: 2015,
+            system: "DataTone",
+            task: Task::Vis,
+            stage: Stage::Traditional,
+            module: "nli-text2vis::rule",
+        },
+        Entry {
+            year: 2016,
+            system: "Eviza",
+            task: Task::Vis,
+            stage: Stage::Traditional,
+            module: "nli-text2vis::rule",
+        },
+        Entry {
+            year: 2017,
+            system: "Seq2SQL/SQLNet",
+            task: Task::Sql,
+            stage: Stage::NeuralNetwork,
+            module: "nli-text2sql::skeleton",
+        },
+        Entry {
+            year: 2018,
+            system: "SyntaxSQLNet",
+            task: Task::Sql,
+            stage: Stage::NeuralNetwork,
+            module: "nli-text2sql::grammar",
+        },
+        Entry {
+            year: 2018,
+            system: "EG decoding",
+            task: Task::Sql,
+            stage: Stage::NeuralNetwork,
+            module: "nli-text2sql::execution_guided",
+        },
+        Entry {
+            year: 2019,
+            system: "Data2Vis",
+            task: Task::Vis,
+            stage: Stage::NeuralNetwork,
+            module: "nli-text2vis::seq2vis_like",
+        },
+        Entry {
+            year: 2019,
+            system: "IRNet/EditSQL",
+            task: Task::Sql,
+            stage: Stage::NeuralNetwork,
+            module: "nli-text2sql::{grammar,multiturn}",
+        },
+        Entry {
+            year: 2019,
+            system: "SQLova",
+            task: Task::Sql,
+            stage: Stage::FoundationModel,
+            module: "nli-text2sql::skeleton (backoff)",
+        },
+        Entry {
+            year: 2020,
+            system: "RAT-SQL/BRIDGE",
+            task: Task::Sql,
+            stage: Stage::FoundationModel,
+            module: "nli-text2sql::plm",
+        },
+        Entry {
+            year: 2021,
+            system: "Seq2Vis",
+            task: Task::Vis,
+            stage: Stage::NeuralNetwork,
+            module: "nli-text2vis::seq2vis_like",
+        },
+        Entry {
+            year: 2021,
+            system: "NL4DV/ADVISor",
+            task: Task::Vis,
+            stage: Stage::Traditional,
+            module: "nli-text2vis::rule",
+        },
+        Entry {
+            year: 2021,
+            system: "PICARD",
+            task: Task::Sql,
+            stage: Stage::FoundationModel,
+            module: "nli-text2sql::{plm,execution_guided}",
+        },
+        Entry {
+            year: 2022,
+            system: "ncNet",
+            task: Task::Vis,
+            stage: Stage::NeuralNetwork,
+            module: "nli-text2vis::ncnet_like",
+        },
+        Entry {
+            year: 2022,
+            system: "RGVisNet",
+            task: Task::Vis,
+            stage: Stage::NeuralNetwork,
+            module: "nli-text2vis::rgvisnet_like",
+        },
+        Entry {
+            year: 2022,
+            system: "Rajkumar et al. (Codex)",
+            task: Task::Sql,
+            stage: Stage::FoundationModel,
+            module: "nli-text2sql::llm (zero-shot)",
+        },
+        Entry {
+            year: 2022,
+            system: "NL2INTERFACE",
+            task: Task::Vis,
+            stage: Stage::FoundationModel,
+            module: "nli-text2vis::llm",
+        },
+        Entry {
+            year: 2023,
+            system: "C3/ChatGPT",
+            task: Task::Sql,
+            stage: Stage::FoundationModel,
+            module: "nli-text2sql::llm (zero-shot)",
+        },
+        Entry {
+            year: 2023,
+            system: "DIN-SQL",
+            task: Task::Sql,
+            stage: Stage::FoundationModel,
+            module: "nli-text2sql::llm (decomposed)",
+        },
+        Entry {
+            year: 2023,
+            system: "SQL-PaLM",
+            task: Task::Sql,
+            stage: Stage::FoundationModel,
+            module: "nli-text2sql::llm (self-consistency)",
+        },
+        Entry {
+            year: 2023,
+            system: "Chat2VIS",
+            task: Task::Vis,
+            stage: Stage::FoundationModel,
+            module: "nli-text2vis::llm",
+        },
+        Entry {
+            year: 2023,
+            system: "MMCoVisNet",
+            task: Task::Vis,
+            stage: Stage::NeuralNetwork,
+            module: "nli-text2vis::dialogue",
+        },
     ];
     entries.sort_by_key(|e| e.year);
     entries
@@ -98,7 +248,11 @@ mod tests {
         let t = timeline();
         assert!(t.windows(2).all(|w| w[0].year <= w[1].year));
         for task in [Task::Sql, Task::Vis] {
-            for stage in [Stage::Traditional, Stage::NeuralNetwork, Stage::FoundationModel] {
+            for stage in [
+                Stage::Traditional,
+                Stage::NeuralNetwork,
+                Stage::FoundationModel,
+            ] {
                 assert!(
                     t.iter().any(|e| e.task == task && e.stage == stage),
                     "missing {task:?}/{}",
@@ -121,8 +275,7 @@ mod tests {
         };
         assert!(first(Task::Vis, Stage::NeuralNetwork) >= first(Task::Sql, Stage::NeuralNetwork));
         assert!(
-            first(Task::Vis, Stage::FoundationModel)
-                >= first(Task::Sql, Stage::FoundationModel)
+            first(Task::Vis, Stage::FoundationModel) >= first(Task::Sql, Stage::FoundationModel)
         );
     }
 

@@ -1,0 +1,231 @@
+//! Schema-fingerprinted LRU cache for prepared query plans.
+//!
+//! Execution-based evaluation re-runs the same query text against many
+//! database variants that share one schema (test-suite accuracy), and runs
+//! whole corpora of distinct queries against one database. [`PlanCache`]
+//! makes the parse/plan step amortize across both axes: entries are keyed
+//! by `(source text, schema fingerprint)`, so a plan is reused exactly when
+//! re-planning would be guaranteed to produce the same result, and is
+//! invalidated — by key miss, not by eviction scans — the moment the schema
+//! structurally changes.
+
+use crate::error::Result;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cache key: the expression source plus [`crate::Schema::fingerprint`].
+type Key = (String, u64);
+
+#[derive(Debug)]
+struct Slot<P> {
+    plan: Arc<P>,
+    /// Logical timestamp of last use; smallest is evicted first.
+    last_used: u64,
+}
+
+#[derive(Debug)]
+struct Inner<P> {
+    slots: HashMap<Key, Slot<P>>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// Running totals for cache effectiveness reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub len: usize,
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from cache (0.0 when untouched).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A bounded, thread-safe, least-recently-used plan cache.
+///
+/// `P` is the prepared-plan type; plans are handed out as `Arc<P>` so a hit
+/// costs a clone of a pointer, never of a plan. Failed compilations are
+/// *not* cached: an erroring source re-compiles on every lookup, which keeps
+/// error reporting fresh and the cache free of dead entries.
+#[derive(Debug)]
+pub struct PlanCache<P> {
+    inner: Mutex<Inner<P>>,
+    capacity: usize,
+}
+
+impl<P> PlanCache<P> {
+    /// A cache holding at most `capacity` plans (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        PlanCache {
+            inner: Mutex::new(Inner {
+                slots: HashMap::new(),
+                clock: 0,
+                hits: 0,
+                misses: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Look up `(source, fingerprint)`; on a miss, compile via `build`,
+    /// insert, and evict the least-recently-used entry if over capacity.
+    pub fn get_or_insert(
+        &self,
+        source: &str,
+        fingerprint: u64,
+        build: impl FnOnce() -> Result<P>,
+    ) -> Result<Arc<P>> {
+        {
+            let mut inner = self.inner.lock();
+            inner.clock += 1;
+            let clock = inner.clock;
+            if let Some(slot) = inner.slots.get_mut(&(source.to_string(), fingerprint)) {
+                slot.last_used = clock;
+                let plan = Arc::clone(&slot.plan);
+                inner.hits += 1;
+                return Ok(plan);
+            }
+            inner.misses += 1;
+        }
+        // Compile outside the lock: builds can be slow, and a build that
+        // panics must not poison concurrent lookups. Two racing threads may
+        // both compile; the second insert wins, which is harmless because
+        // equal keys compile to interchangeable plans.
+        let plan = Arc::new(build()?);
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        inner.slots.insert(
+            (source.to_string(), fingerprint),
+            Slot {
+                plan: Arc::clone(&plan),
+                last_used: clock,
+            },
+        );
+        if inner.slots.len() > self.capacity {
+            if let Some(oldest) = inner
+                .slots
+                .iter()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.slots.remove(&oldest);
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Peek without counting a hit or inserting.
+    pub fn contains(&self, source: &str, fingerprint: u64) -> bool {
+        self.inner
+            .lock()
+            .slots
+            .contains_key(&(source.to_string(), fingerprint))
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            len: inner.slots.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Drop all entries (counters are preserved).
+    pub fn clear(&self) {
+        self.inner.lock().slots.clear();
+    }
+}
+
+impl<P> Default for PlanCache<P> {
+    /// Capacity 256: comfortably above the distinct-query working set of
+    /// the benchmark corpora, small enough to be negligible memory.
+    fn default() -> Self {
+        PlanCache::with_capacity(256)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::NliError;
+
+    #[test]
+    fn hit_after_miss_reuses_the_plan() {
+        let cache: PlanCache<String> = PlanCache::with_capacity(4);
+        let mut builds = 0;
+        for _ in 0..3 {
+            let p = cache
+                .get_or_insert("SELECT 1", 42, || {
+                    builds += 1;
+                    Ok("plan".to_string())
+                })
+                .unwrap();
+            assert_eq!(*p, "plan");
+        }
+        assert_eq!(builds, 1);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.len), (2, 1, 1));
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fingerprint_partitions_entries() {
+        let cache: PlanCache<u32> = PlanCache::with_capacity(4);
+        cache.get_or_insert("q", 1, || Ok(10)).unwrap();
+        let p = cache.get_or_insert("q", 2, || Ok(20)).unwrap();
+        assert_eq!(*p, 20, "same text, different schema: separate plans");
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let cache: PlanCache<u32> = PlanCache::with_capacity(2);
+        cache.get_or_insert("a", 0, || Ok(1)).unwrap();
+        cache.get_or_insert("b", 0, || Ok(2)).unwrap();
+        // touch "a" so "b" becomes the LRU entry
+        cache.get_or_insert("a", 0, || unreachable!()).unwrap();
+        cache.get_or_insert("c", 0, || Ok(3)).unwrap();
+        assert!(cache.contains("a", 0));
+        assert!(!cache.contains("b", 0), "LRU entry must be evicted");
+        assert!(cache.contains("c", 0));
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache: PlanCache<u32> = PlanCache::with_capacity(2);
+        let mut attempts = 0;
+        for _ in 0..2 {
+            let r = cache.get_or_insert("bad", 0, || {
+                attempts += 1;
+                Err(NliError::Syntax("nope".into()))
+            });
+            assert!(r.is_err());
+        }
+        assert_eq!(attempts, 2, "failed builds must re-run");
+        assert_eq!(cache.stats().len, 0);
+    }
+
+    #[test]
+    fn clear_preserves_counters() {
+        let cache: PlanCache<u32> = PlanCache::with_capacity(2);
+        cache.get_or_insert("a", 0, || Ok(1)).unwrap();
+        cache.clear();
+        assert_eq!(cache.stats().len, 0);
+        assert_eq!(cache.stats().misses, 1);
+    }
+}

@@ -114,8 +114,7 @@ impl Database {
     /// Verify referential integrity of all declared foreign keys.
     pub fn check_foreign_keys(&self) -> Result<()> {
         for fk in &self.schema.foreign_keys {
-            let targets: std::collections::HashSet<String> = self
-                .data[fk.to.table]
+            let targets: std::collections::HashSet<String> = self.data[fk.to.table]
                 .rows
                 .iter()
                 .map(|r| r[fk.to.column].canonical())
@@ -184,7 +183,8 @@ mod tests {
     #[test]
     fn null_is_accepted_in_any_column() {
         let mut d = db();
-        d.insert("products", vec![Value::Null, Value::Null]).unwrap();
+        d.insert("products", vec![Value::Null, Value::Null])
+            .unwrap();
         assert_eq!(d.row_count(), 1);
     }
 

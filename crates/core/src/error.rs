@@ -50,7 +50,9 @@ mod tests {
             NliError::UnknownTable("t".into()).to_string(),
             "unknown table: t"
         );
-        assert!(NliError::Syntax("x".into()).to_string().starts_with("syntax"));
+        assert!(NliError::Syntax("x".into())
+            .to_string()
+            .starts_with("syntax"));
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! the [`SemanticParser`] / [`ExecutionEngine`] traits that the rest of the
 //! workspace implements.
 
+pub mod cache;
 pub mod database;
 pub mod error;
 pub mod question;
@@ -23,10 +24,11 @@ pub mod schema;
 pub mod traits;
 pub mod value;
 
+pub use cache::{CacheStats, PlanCache};
 pub use database::{Database, TableData};
 pub use error::{NliError, Result};
 pub use question::{Dialogue, Language, NlQuestion, Turn};
 pub use rng::Prng;
 pub use schema::{Column, ColumnRef, ForeignKey, Schema, Table};
-pub use traits::{ExecutionEngine, SemanticParser};
+pub use traits::{ExecutionEngine, PrepareEngine, SemanticParser};
 pub use value::{DataType, Date, Value};

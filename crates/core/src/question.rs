@@ -95,7 +95,10 @@ impl Dialogue {
     }
 
     pub fn push(&mut self, question: NlQuestion, program: impl Into<String>) {
-        self.turns.push(Turn { question, program: program.into() });
+        self.turns.push(Turn {
+            question,
+            program: program.into(),
+        });
     }
 
     pub fn len(&self) -> usize {

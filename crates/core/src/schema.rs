@@ -65,7 +65,9 @@ impl Table {
     }
 
     pub fn column_index(&self, name: &str) -> Option<usize> {
-        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
     }
 
     pub fn column(&self, name: &str) -> Option<&Column> {
@@ -135,7 +137,9 @@ impl Schema {
     }
 
     pub fn table_index(&self, name: &str) -> Option<usize> {
-        self.tables.iter().position(|t| t.name.eq_ignore_ascii_case(name))
+        self.tables
+            .iter()
+            .position(|t| t.name.eq_ignore_ascii_case(name))
     }
 
     pub fn table(&self, name: &str) -> Option<&Table> {
@@ -150,7 +154,10 @@ impl Schema {
         let ci = self.tables[ti]
             .column_index(column)
             .ok_or_else(|| NliError::UnknownColumn(format!("{table}.{column}")))?;
-        Ok(ColumnRef { table: ti, column: ci })
+        Ok(ColumnRef {
+            table: ti,
+            column: ci,
+        })
     }
 
     /// Resolve an *unqualified* column name; errors when ambiguous across
@@ -160,7 +167,10 @@ impl Schema {
         let mut hits = Vec::new();
         for (ti, t) in self.tables.iter().enumerate() {
             if let Some(ci) = t.column_index(column) {
-                hits.push(ColumnRef { table: ti, column: ci });
+                hits.push(ColumnRef {
+                    table: ti,
+                    column: ci,
+                });
             }
         }
         match hits.len() {
@@ -189,7 +199,10 @@ impl Schema {
         let mut out = Vec::with_capacity(self.column_count());
         for (ti, t) in self.tables.iter().enumerate() {
             for ci in 0..t.columns.len() {
-                out.push(ColumnRef { table: ti, column: ci });
+                out.push(ColumnRef {
+                    table: ti,
+                    column: ci,
+                });
             }
         }
         out
@@ -197,13 +210,9 @@ impl Schema {
 
     /// Foreign-key edge between two tables (either direction), if any.
     pub fn fk_between(&self, a: usize, b: usize) -> Option<ForeignKey> {
-        self.foreign_keys
-            .iter()
-            .copied()
-            .find(|fk| {
-                (fk.from.table == a && fk.to.table == b)
-                    || (fk.from.table == b && fk.to.table == a)
-            })
+        self.foreign_keys.iter().copied().find(|fk| {
+            (fk.from.table == a && fk.to.table == b) || (fk.from.table == b && fk.to.table == a)
+        })
     }
 
     /// Shortest join path between two tables over the foreign-key graph
@@ -247,6 +256,36 @@ impl Schema {
         None
     }
 
+    /// Structural fingerprint: a 64-bit FNV-1a hash over table names,
+    /// column names, column types, key flags, and foreign-key edges — in
+    /// schema order. Two schemas with the same fingerprint resolve every
+    /// name to the same `(table, column)` position, so a query plan bound
+    /// against one is valid for any database whose schema shares the
+    /// fingerprint (the invalidation rule for prepared-plan caches:
+    /// data may change freely, structure may not).
+    ///
+    /// The `name`/`domain`/`display` labels are deliberately excluded:
+    /// they never affect name resolution.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        for t in &self.tables {
+            h.write_str(&t.name);
+            for c in &t.columns {
+                h.write_str(&c.name);
+                h.write_str(c.dtype.name());
+                h.write_u8(c.primary_key as u8);
+            }
+            h.write_u8(0xFF); // table boundary
+        }
+        for fk in &self.foreign_keys {
+            h.write_usize(fk.from.table);
+            h.write_usize(fk.from.column);
+            h.write_usize(fk.to.table);
+            h.write_usize(fk.to.column);
+        }
+        h.finish()
+    }
+
     /// Human-readable serialization used in prompts and documentation:
     /// one line per table with columns, types, and key markers.
     pub fn describe(&self) -> String {
@@ -264,17 +303,51 @@ impl Schema {
                 if c.primary_key {
                     out.push_str(" PK");
                 }
-                if let Some(fk) = self
-                    .foreign_keys
-                    .iter()
-                    .find(|fk| fk.from == (ColumnRef { table: ti, column: ci }))
-                {
+                if let Some(fk) = self.foreign_keys.iter().find(|fk| {
+                    fk.from
+                        == (ColumnRef {
+                            table: ti,
+                            column: ci,
+                        })
+                }) {
                     out.push_str(&format!(" -> {}", self.qualified_name(fk.to)));
                 }
             }
             out.push_str(")\n");
         }
         out
+    }
+}
+
+/// Minimal FNV-1a hasher; case-normalizes identifiers since all name
+/// resolution in this module is case-insensitive.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_u8(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    fn write_str(&mut self, s: &str) {
+        for b in s.bytes() {
+            self.write_u8(b.to_ascii_lowercase());
+        }
+        self.write_u8(0); // terminator so "ab","c" != "a","bc"
+    }
+
+    fn write_usize(&mut self, n: usize) {
+        for b in (n as u64).to_le_bytes() {
+            self.write_u8(b);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 
@@ -302,13 +375,11 @@ mod tests {
                         Column::new("amount", DataType::Float),
                     ],
                 ),
-                Table::new(
-                    "stores",
-                    vec![Column::new("id", DataType::Int).primary()],
-                ),
+                Table::new("stores", vec![Column::new("id", DataType::Int).primary()]),
             ],
         );
-        s.add_foreign_key("sales", "product_id", "products", "id").unwrap();
+        s.add_foreign_key("sales", "product_id", "products", "id")
+            .unwrap();
         s
     }
 
@@ -362,5 +433,55 @@ mod tests {
         let s = sample();
         assert_eq!(s.column_count(), s.all_columns().len());
         assert_eq!(s.column_count(), 7);
+    }
+
+    #[test]
+    fn fingerprint_ignores_labels_but_sees_structure() {
+        let a = sample();
+        // Renaming the database or adding display labels must not change
+        // the fingerprint...
+        let mut b = sample();
+        b.name = "other_db".into();
+        b.domain = "retail".into();
+        b.tables[0].display = "Product catalogue".into();
+        b.tables[0].columns[1].display = "product name".into();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+
+        // ...but any structural edit must.
+        let mut c = sample();
+        c.tables[0].columns[1].name = "title".into();
+        assert_ne!(a.fingerprint(), c.fingerprint());
+
+        let mut d = sample();
+        d.tables[2]
+            .columns
+            .push(Column::new("city", DataType::Text));
+        assert_ne!(a.fingerprint(), d.fingerprint());
+
+        let mut e = sample();
+        e.foreign_keys.clear();
+        assert_ne!(a.fingerprint(), e.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_is_case_insensitive_like_resolution() {
+        let a = sample();
+        let mut b = sample();
+        b.tables[0].name = "PRODUCTS".into();
+        b.tables[0].columns[0].name = "Id".into();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_separates_concatenation_ambiguity() {
+        let a = Schema::new(
+            "x",
+            vec![Table::new("ab", vec![Column::new("c", DataType::Int)])],
+        );
+        let b = Schema::new(
+            "x",
+            vec![Table::new("a", vec![Column::new("bc", DataType::Int)])],
+        );
+        assert_ne!(a.fingerprint(), b.fingerprint());
     }
 }

@@ -249,9 +249,7 @@ impl PartialEq for Value {
             (Value::Null, Value::Null) => true,
             (Value::Int(a), Value::Int(b)) => a == b,
             (Value::Float(a), Value::Float(b)) => a == b || (a.is_nan() && b.is_nan()),
-            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
-                *a as f64 == *b
-            }
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => *a as f64 == *b,
             (Value::Text(a), Value::Text(b)) => a == b,
             (Value::Bool(a), Value::Bool(b)) => a == b,
             (Value::Date(a), Value::Date(b)) => a == b,
@@ -358,12 +356,14 @@ mod tests {
 
     #[test]
     fn total_cmp_is_total_over_mixed_types() {
-        let mut vals = [Value::Text("a".into()),
+        let mut vals = [
+            Value::Text("a".into()),
             Value::Null,
             Value::Int(5),
             Value::Float(1.5),
             Value::Bool(true),
-            Value::Date(Date::new(2020, 1, 1))];
+            Value::Date(Date::new(2020, 1, 1)),
+        ];
         vals.sort_by(|a, b| a.total_cmp(b));
         assert!(vals[0].is_null());
     }

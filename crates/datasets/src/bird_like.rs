@@ -40,7 +40,11 @@ impl Default for BirdConfig {
 pub fn build(cfg: &BirdConfig) -> SqlBenchmark {
     let mut rng = Prng::new(cfg.seed);
     // "vast databases": many more rows than the Spider-like generator uses.
-    let db_cfg = DbGenConfig { min_tables: 2, optional_col_p: 0.8, rows: (80, 200) };
+    let db_cfg = DbGenConfig {
+        min_tables: 2,
+        optional_col_p: 0.8,
+        rows: (80, 200),
+    };
     let databases = generate_databases(cfg.n_databases, &db_cfg, &mut rng);
     let train_dbs = cfg.n_databases - cfg.n_dev_databases.min(cfg.n_databases);
     // knowledge-heavy shape profile: every question filters, often twice,
@@ -53,8 +57,14 @@ pub fn build(cfg: &BirdConfig) -> SqlBenchmark {
         ..SqlProfile::spider()
     };
     let style = NlStyle::knowledge();
-    let train =
-        generate_examples(&databases, 0..train_dbs.max(1), &profile, style, cfg.n_train, &mut rng);
+    let train = generate_examples(
+        &databases,
+        0..train_dbs.max(1),
+        &profile,
+        style,
+        cfg.n_train,
+        &mut rng,
+    );
     let dev = generate_examples(
         &databases,
         train_dbs..cfg.n_databases,
@@ -106,7 +116,11 @@ mod tests {
     #[test]
     fn databases_are_larger_than_spider_like() {
         let b = build(&small());
-        let avg_rows: f64 = b.databases.iter().map(|d| d.row_count() as f64).sum::<f64>()
+        let avg_rows: f64 = b
+            .databases
+            .iter()
+            .map(|d| d.row_count() as f64)
+            .sum::<f64>()
             / b.databases.len() as f64;
         assert!(avg_rows > 150.0, "avg rows {avg_rows}");
     }

@@ -53,7 +53,11 @@ pub fn generate_examples(
             if !realized.evidence.is_empty() {
                 q = q.with_evidence(realized.evidence.join("; "));
             }
-            out.push(SqlExample { db: db_idx, question: q, gold });
+            out.push(SqlExample {
+                db: db_idx,
+                question: q,
+                gold,
+            });
             break;
         }
     }

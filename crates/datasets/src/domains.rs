@@ -64,11 +64,21 @@ pub struct ColTemplate {
 }
 
 const fn col(name: &'static str, display: &'static str, spec: ValueSpec) -> ColTemplate {
-    ColTemplate { name, display, spec, optional: false }
+    ColTemplate {
+        name,
+        display,
+        spec,
+        optional: false,
+    }
 }
 
 const fn opt(name: &'static str, display: &'static str, spec: ValueSpec) -> ColTemplate {
-    ColTemplate { name, display, spec, optional: true }
+    ColTemplate {
+        name,
+        display,
+        spec,
+        optional: true,
+    }
 }
 
 /// A table template.
@@ -98,15 +108,51 @@ pub const FIRST_NAMES: &[&str] = &[
 ];
 
 pub const LAST_NAMES: &[&str] = &[
-    "Anderson", "Baptiste", "Chen", "Dimitrov", "Eriksen", "Fischer", "Garcia", "Hassan",
-    "Ivanov", "Johansson", "Kumar", "Lopez", "Moreau", "Nakamura", "Okafor", "Petrov",
-    "Quinn", "Rossi", "Schmidt", "Tanaka", "Umar", "Vargas", "Weber", "Xu", "Yilmaz", "Zhang",
+    "Anderson",
+    "Baptiste",
+    "Chen",
+    "Dimitrov",
+    "Eriksen",
+    "Fischer",
+    "Garcia",
+    "Hassan",
+    "Ivanov",
+    "Johansson",
+    "Kumar",
+    "Lopez",
+    "Moreau",
+    "Nakamura",
+    "Okafor",
+    "Petrov",
+    "Quinn",
+    "Rossi",
+    "Schmidt",
+    "Tanaka",
+    "Umar",
+    "Vargas",
+    "Weber",
+    "Xu",
+    "Yilmaz",
+    "Zhang",
 ];
 
 pub const CITIES: &[&str] = &[
-    "Springfield", "Rivertown", "Lakewood", "Hillcrest", "Maplewood", "Fairview", "Oakdale",
-    "Brookside", "Westfield", "Easton", "Northgate", "Southport", "Greenville", "Ashford",
-    "Clearwater", "Stonebridge",
+    "Springfield",
+    "Rivertown",
+    "Lakewood",
+    "Hillcrest",
+    "Maplewood",
+    "Fairview",
+    "Oakdale",
+    "Brookside",
+    "Westfield",
+    "Easton",
+    "Northgate",
+    "Southport",
+    "Greenville",
+    "Ashford",
+    "Clearwater",
+    "Stonebridge",
 ];
 
 pub const COUNTRIES: &[&str] = &[
@@ -114,29 +160,78 @@ pub const COUNTRIES: &[&str] = &[
     "Poland", "Egypt", "Chile",
 ];
 
-const PRODUCT_CATEGORIES: &[&str] =
-    &["Tools", "Toys", "Electronics", "Clothing", "Food", "Garden", "Sports", "Books"];
+const PRODUCT_CATEGORIES: &[&str] = &[
+    "Tools",
+    "Toys",
+    "Electronics",
+    "Clothing",
+    "Food",
+    "Garden",
+    "Sports",
+    "Books",
+];
 const CORP_SUFFIX: &[&str] = &["Corp", "Ltd", "Group", "Industries", "Partners"];
 const STORE_SUFFIX: &[&str] = &["Mart", "Depot", "Outlet", "Store", "Emporium"];
-const GENRES: &[&str] = &["rock", "pop", "jazz", "folk", "classical", "electronic", "hip hop"];
-const MOVIE_GENRES: &[&str] =
-    &["drama", "comedy", "thriller", "documentary", "animation", "horror", "romance"];
-const SPECIALTIES: &[&str] =
-    &["cardiology", "oncology", "pediatrics", "neurology", "orthopedics", "dermatology"];
-const DEPARTMENTS: &[&str] =
-    &["engineering", "marketing", "finance", "operations", "research", "support"];
-const MAJORS: &[&str] =
-    &["biology", "physics", "history", "economics", "literature", "mathematics"];
-const CUISINES: &[&str] =
-    &["italian", "japanese", "mexican", "indian", "french", "thai", "greek"];
+const GENRES: &[&str] = &[
+    "rock",
+    "pop",
+    "jazz",
+    "folk",
+    "classical",
+    "electronic",
+    "hip hop",
+];
+const MOVIE_GENRES: &[&str] = &[
+    "drama",
+    "comedy",
+    "thriller",
+    "documentary",
+    "animation",
+    "horror",
+    "romance",
+];
+const SPECIALTIES: &[&str] = &[
+    "cardiology",
+    "oncology",
+    "pediatrics",
+    "neurology",
+    "orthopedics",
+    "dermatology",
+];
+const DEPARTMENTS: &[&str] = &[
+    "engineering",
+    "marketing",
+    "finance",
+    "operations",
+    "research",
+    "support",
+];
+const MAJORS: &[&str] = &[
+    "biology",
+    "physics",
+    "history",
+    "economics",
+    "literature",
+    "mathematics",
+];
+const CUISINES: &[&str] = &[
+    "italian", "japanese", "mexican", "indian", "french", "thai", "greek",
+];
 const POSITIONS: &[&str] = &["guard", "forward", "center", "keeper", "winger", "defender"];
 const AIRCRAFT: &[&str] = &["A320", "B737", "E190", "A350", "B787", "CRJ900"];
-const BOOK_SUBJECTS: &[&str] =
-    &["fiction", "science", "travel", "biography", "poetry", "cooking"];
+const BOOK_SUBJECTS: &[&str] = &[
+    "fiction",
+    "science",
+    "travel",
+    "biography",
+    "poetry",
+    "cooking",
+];
 const CAR_MAKERS: &[&str] = &["Vela", "Norden", "Kestrel", "Aurora", "Pampa", "Taiga"];
 const FUEL: &[&str] = &["petrol", "diesel", "electric", "hybrid"];
-const SONG_WORDS: &[&str] =
-    &["Midnight", "River", "Echo", "Golden", "Wild", "Silent", "Neon", "Paper"];
+const SONG_WORDS: &[&str] = &[
+    "Midnight", "River", "Echo", "Golden", "Wild", "Silent", "Neon", "Paper",
+];
 const VENUE_SUFFIX: &[&str] = &["Arena", "Hall", "Stadium", "Theatre", "Pavilion"];
 
 // ---- domains -----------------------------------------------------------
@@ -151,7 +246,11 @@ static RETAIL: Domain = Domain {
             plural: "products",
             columns: &[
                 col("id", "id", ValueSpec::Serial),
-                col("name", "name", ValueSpec::ProperName(&["Basic", "Pro", "Mini", "Max"])),
+                col(
+                    "name",
+                    "name",
+                    ValueSpec::ProperName(&["Basic", "Pro", "Mini", "Max"]),
+                ),
                 col("category", "category", ValueSpec::Pool(PRODUCT_CATEGORIES)),
                 col("price", "price", ValueSpec::FloatRange(1.0, 500.0)),
                 opt("stock", "stock", ValueSpec::IntRange(0, 900)),
@@ -240,7 +339,11 @@ static HEALTHCARE: Domain = Domain {
                 col("name", "name", ValueSpec::PersonName),
                 col("specialty", "specialty", ValueSpec::Pool(SPECIALTIES)),
                 col("salary", "salary", ValueSpec::FloatRange(60000.0, 320000.0)),
-                opt("experience", "years of experience", ValueSpec::IntRange(1, 40)),
+                opt(
+                    "experience",
+                    "years of experience",
+                    ValueSpec::IntRange(1, 40),
+                ),
             ],
         },
         TableTemplate {
@@ -290,7 +393,11 @@ static EDUCATION: Domain = Domain {
             plural: "courses",
             columns: &[
                 col("id", "id", ValueSpec::Serial),
-                col("title", "title", ValueSpec::ProperName(&["101", "Advanced", "Intro", "Seminar"])),
+                col(
+                    "title",
+                    "title",
+                    ValueSpec::ProperName(&["101", "Advanced", "Intro", "Seminar"]),
+                ),
                 col("credits", "credits", ValueSpec::IntRange(1, 6)),
                 col("department", "department", ValueSpec::Pool(MAJORS)),
             ],
@@ -318,7 +425,11 @@ static AVIATION: Domain = Domain {
             plural: "airports",
             columns: &[
                 col("id", "id", ValueSpec::Serial),
-                col("name", "name", ValueSpec::ProperName(&["International", "Regional", "Field"])),
+                col(
+                    "name",
+                    "name",
+                    ValueSpec::ProperName(&["International", "Regional", "Field"]),
+                ),
                 col("city", "city", ValueSpec::City),
                 col("country", "country", ValueSpec::Country),
                 opt("elevation", "elevation", ValueSpec::IntRange(0, 4000)),
@@ -334,7 +445,11 @@ static AVIATION: Domain = Domain {
                 col("aircraft", "aircraft", ValueSpec::Pool(AIRCRAFT)),
                 col("distance", "distance", ValueSpec::IntRange(120, 11000)),
                 col("price", "ticket price", ValueSpec::FloatRange(40.0, 2400.0)),
-                col("departed_on", "departure date", ValueSpec::DateRange(2022, 2025)),
+                col(
+                    "departed_on",
+                    "departure date",
+                    ValueSpec::DateRange(2022, 2025),
+                ),
             ],
         },
     ],
@@ -349,7 +464,11 @@ static SPORTS: Domain = Domain {
             plural: "teams",
             columns: &[
                 col("id", "id", ValueSpec::Serial),
-                col("name", "name", ValueSpec::ProperName(&["United", "City", "Rovers", "Wanderers"])),
+                col(
+                    "name",
+                    "name",
+                    ValueSpec::ProperName(&["United", "City", "Rovers", "Wanderers"]),
+                ),
                 col("city", "city", ValueSpec::City),
                 col("founded", "founding year", ValueSpec::IntRange(1890, 2010)),
             ],
@@ -420,7 +539,11 @@ static RESTAURANTS: Domain = Domain {
             plural: "restaurants",
             columns: &[
                 col("id", "id", ValueSpec::Serial),
-                col("name", "name", ValueSpec::ProperName(&["Kitchen", "Bistro", "House", "Table"])),
+                col(
+                    "name",
+                    "name",
+                    ValueSpec::ProperName(&["Kitchen", "Bistro", "House", "Table"]),
+                ),
                 col("cuisine", "cuisine", ValueSpec::Pool(CUISINES)),
                 col("city", "city", ValueSpec::City),
                 col("rating", "rating", ValueSpec::FloatRange(1.0, 5.0)),
@@ -435,7 +558,11 @@ static RESTAURANTS: Domain = Domain {
                 col("id", "id", ValueSpec::Serial),
                 col("restaurant_id", "restaurant", ValueSpec::Fk("restaurants")),
                 col("score", "score", ValueSpec::IntRange(1, 5)),
-                col("written_on", "review date", ValueSpec::DateRange(2020, 2025)),
+                col(
+                    "written_on",
+                    "review date",
+                    ValueSpec::DateRange(2020, 2025),
+                ),
             ],
         },
     ],
@@ -451,7 +578,11 @@ static GEOGRAPHY: Domain = Domain {
             columns: &[
                 col("id", "id", ValueSpec::Serial),
                 col("name", "name", ValueSpec::Country),
-                col("population", "population", ValueSpec::IntRange(500000, 1400000000)),
+                col(
+                    "population",
+                    "population",
+                    ValueSpec::IntRange(500000, 1400000000),
+                ),
                 col("area", "area", ValueSpec::IntRange(1000, 17000000)),
             ],
         },
@@ -463,7 +594,11 @@ static GEOGRAPHY: Domain = Domain {
                 col("id", "id", ValueSpec::Serial),
                 col("country_id", "country", ValueSpec::Fk("countries")),
                 col("name", "name", ValueSpec::City),
-                col("population", "population", ValueSpec::IntRange(20000, 35000000)),
+                col(
+                    "population",
+                    "population",
+                    ValueSpec::IntRange(20000, 35000000),
+                ),
                 opt("is_capital", "capital flag", ValueSpec::Flag),
             ],
         },
@@ -504,7 +639,11 @@ static LIBRARY: Domain = Domain {
                 col("title", "title", ValueSpec::ProperName(SONG_WORDS)),
                 col("subject", "subject", ValueSpec::Pool(BOOK_SUBJECTS)),
                 col("pages", "pages", ValueSpec::IntRange(60, 1200)),
-                col("published", "publication date", ValueSpec::DateRange(1950, 2025)),
+                col(
+                    "published",
+                    "publication date",
+                    ValueSpec::DateRange(1950, 2025),
+                ),
             ],
         },
         TableTemplate {
@@ -581,7 +720,11 @@ static AUTOMOTIVE: Domain = Domain {
             columns: &[
                 col("id", "id", ValueSpec::Serial),
                 col("maker_id", "maker", ValueSpec::Fk("makers")),
-                col("model", "model", ValueSpec::ProperName(&["GT", "LX", "S", "Trail"])),
+                col(
+                    "model",
+                    "model",
+                    ValueSpec::ProperName(&["GT", "LX", "S", "Trail"]),
+                ),
                 col("horsepower", "horsepower", ValueSpec::IntRange(60, 800)),
                 col("mpg", "fuel economy", ValueSpec::FloatRange(10.0, 140.0)),
                 col("fuel", "fuel type", ValueSpec::Pool(FUEL)),
@@ -600,7 +743,11 @@ static HOTELS: Domain = Domain {
             plural: "hotels",
             columns: &[
                 col("id", "id", ValueSpec::Serial),
-                col("name", "name", ValueSpec::ProperName(&["Plaza", "Inn", "Lodge", "Resort"])),
+                col(
+                    "name",
+                    "name",
+                    ValueSpec::ProperName(&["Plaza", "Inn", "Lodge", "Resort"]),
+                ),
                 col("city", "city", ValueSpec::City),
                 col("stars", "star rating", ValueSpec::IntRange(1, 5)),
                 col("rooms", "room count", ValueSpec::IntRange(10, 700)),
@@ -624,8 +771,19 @@ static HOTELS: Domain = Domain {
 /// All built-in domains.
 pub fn all_domains() -> &'static [&'static Domain] {
     static ALL: [&Domain; 13] = [
-        &RETAIL, &MUSIC, &HEALTHCARE, &EDUCATION, &AVIATION, &SPORTS, &MOVIES, &RESTAURANTS,
-        &GEOGRAPHY, &LIBRARY, &COMPANY, &AUTOMOTIVE, &HOTELS,
+        &RETAIL,
+        &MUSIC,
+        &HEALTHCARE,
+        &EDUCATION,
+        &AVIATION,
+        &SPORTS,
+        &MOVIES,
+        &RESTAURANTS,
+        &GEOGRAPHY,
+        &LIBRARY,
+        &COMPANY,
+        &AUTOMOTIVE,
+        &HOTELS,
     ];
     &ALL
 }
@@ -654,7 +812,9 @@ mod tests {
                             .tables
                             .iter()
                             .position(|p| p.name == parent)
-                            .unwrap_or_else(|| panic!("{}.{}: unknown parent {parent}", t.name, c.name));
+                            .unwrap_or_else(|| {
+                                panic!("{}.{}: unknown parent {parent}", t.name, c.name)
+                            });
                         assert!(
                             pi < ti,
                             "{}: FK {} must reference an earlier table",

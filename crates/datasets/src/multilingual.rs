@@ -27,32 +27,88 @@ fn word_hash(word: &str, salt: u64) -> u64 {
 fn dictionary(lang: Language) -> &'static [(&'static str, &'static str)] {
     match lang {
         Language::Chinese => &[
-            ("how", "多少"), ("many", "个"), ("list", "列出"), ("show", "显示"),
-            ("the", "的"), ("of", "的"), ("what", "什么"), ("is", "是"),
-            ("average", "平均"), ("total", "总"), ("count", "数量"),
-            ("each", "每个"), ("with", "有"), ("and", "和"), ("or", "或者"),
-            ("name", "名字"), ("for", "为"), ("are", "是"), ("there", "那里"),
+            ("how", "多少"),
+            ("many", "个"),
+            ("list", "列出"),
+            ("show", "显示"),
+            ("the", "的"),
+            ("of", "的"),
+            ("what", "什么"),
+            ("is", "是"),
+            ("average", "平均"),
+            ("total", "总"),
+            ("count", "数量"),
+            ("each", "每个"),
+            ("with", "有"),
+            ("and", "和"),
+            ("or", "或者"),
+            ("name", "名字"),
+            ("for", "为"),
+            ("are", "是"),
+            ("there", "那里"),
         ],
         Language::Vietnamese => &[
-            ("how", "bao"), ("many", "nhiêu"), ("list", "liệt kê"), ("show", "hiển thị"),
-            ("the", "các"), ("of", "của"), ("what", "gì"), ("is", "là"),
-            ("average", "trung bình"), ("total", "tổng"), ("count", "đếm"),
-            ("each", "mỗi"), ("with", "với"), ("and", "và"), ("or", "hoặc"),
-            ("name", "tên"), ("for", "cho"), ("are", "là"), ("there", "đó"),
+            ("how", "bao"),
+            ("many", "nhiêu"),
+            ("list", "liệt kê"),
+            ("show", "hiển thị"),
+            ("the", "các"),
+            ("of", "của"),
+            ("what", "gì"),
+            ("is", "là"),
+            ("average", "trung bình"),
+            ("total", "tổng"),
+            ("count", "đếm"),
+            ("each", "mỗi"),
+            ("with", "với"),
+            ("and", "và"),
+            ("or", "hoặc"),
+            ("name", "tên"),
+            ("for", "cho"),
+            ("are", "là"),
+            ("there", "đó"),
         ],
         Language::Portuguese => &[
-            ("how", "quantos"), ("many", "muitos"), ("list", "liste"), ("show", "mostre"),
-            ("the", "o"), ("of", "de"), ("what", "qual"), ("is", "é"),
-            ("average", "média"), ("total", "total"), ("count", "conte"),
-            ("each", "cada"), ("with", "com"), ("and", "e"), ("or", "ou"),
-            ("name", "nome"), ("for", "para"), ("are", "são"), ("there", "lá"),
+            ("how", "quantos"),
+            ("many", "muitos"),
+            ("list", "liste"),
+            ("show", "mostre"),
+            ("the", "o"),
+            ("of", "de"),
+            ("what", "qual"),
+            ("is", "é"),
+            ("average", "média"),
+            ("total", "total"),
+            ("count", "conte"),
+            ("each", "cada"),
+            ("with", "com"),
+            ("and", "e"),
+            ("or", "ou"),
+            ("name", "nome"),
+            ("for", "para"),
+            ("are", "são"),
+            ("there", "lá"),
         ],
         Language::Russian => &[
-            ("how", "сколько"), ("many", "много"), ("list", "перечисли"), ("show", "покажи"),
-            ("the", "эти"), ("of", "из"), ("what", "что"), ("is", "есть"),
-            ("average", "средний"), ("total", "общий"), ("count", "число"),
-            ("each", "каждый"), ("with", "с"), ("and", "и"), ("or", "или"),
-            ("name", "имя"), ("for", "для"), ("are", "есть"), ("there", "там"),
+            ("how", "сколько"),
+            ("many", "много"),
+            ("list", "перечисли"),
+            ("show", "покажи"),
+            ("the", "эти"),
+            ("of", "из"),
+            ("what", "что"),
+            ("is", "есть"),
+            ("average", "средний"),
+            ("total", "общий"),
+            ("count", "число"),
+            ("each", "каждый"),
+            ("with", "с"),
+            ("and", "и"),
+            ("or", "или"),
+            ("name", "имя"),
+            ("for", "для"),
+            ("are", "есть"),
+            ("there", "там"),
         ],
         Language::English => &[],
     }
@@ -61,10 +117,18 @@ fn dictionary(lang: Language) -> &'static [(&'static str, &'static str)] {
 /// Language-flavoured syllable pools for synthesized words.
 fn syllables(lang: Language) -> &'static [&'static str] {
     match lang {
-        Language::Chinese => &["zh", "ang", "ing", "uan", "shi", "xia", "men", "gao", "lin", "hua"],
-        Language::Vietnamese => &["ng", "uy", "ph", "tr", "anh", "uong", "iet", "ao", "inh", "em"],
-        Language::Portuguese => &["ção", "inho", "ar", "os", "eira", "ade", "ento", "al", "ura", "ista"],
-        Language::Russian => &["ов", "ский", "ина", "ать", "ник", "ост", "ель", "ка", "ич", "ное"],
+        Language::Chinese => &[
+            "zh", "ang", "ing", "uan", "shi", "xia", "men", "gao", "lin", "hua",
+        ],
+        Language::Vietnamese => &[
+            "ng", "uy", "ph", "tr", "anh", "uong", "iet", "ao", "inh", "em",
+        ],
+        Language::Portuguese => &[
+            "ção", "inho", "ar", "os", "eira", "ade", "ento", "al", "ura", "ista",
+        ],
+        Language::Russian => &[
+            "ов", "ский", "ина", "ать", "ник", "ост", "ель", "ка", "ич", "ное",
+        ],
         Language::English => &[""],
     }
 }

@@ -35,22 +35,38 @@ pub struct NlStyle {
 impl NlStyle {
     /// Standard benchmark style: mild synonym noise only.
     pub fn plain() -> NlStyle {
-        NlStyle { synonym_p: 0.15, implicit_col_p: 0.0, knowledge_p: 0.0 }
+        NlStyle {
+            synonym_p: 0.15,
+            implicit_col_p: 0.0,
+            knowledge_p: 0.0,
+        }
     }
 
     /// Spider-SYN-like: every mention synonymized where possible.
     pub fn synonym_heavy() -> NlStyle {
-        NlStyle { synonym_p: 1.0, implicit_col_p: 0.0, knowledge_p: 0.0 }
+        NlStyle {
+            synonym_p: 1.0,
+            implicit_col_p: 0.0,
+            knowledge_p: 0.0,
+        }
     }
 
     /// Spider-realistic-like: explicit column mentions removed.
     pub fn realistic() -> NlStyle {
-        NlStyle { synonym_p: 0.15, implicit_col_p: 1.0, knowledge_p: 0.0 }
+        NlStyle {
+            synonym_p: 0.15,
+            implicit_col_p: 1.0,
+            knowledge_p: 0.0,
+        }
     }
 
     /// BIRD/Spider-DK-like: conditions verbalized as domain concepts.
     pub fn knowledge() -> NlStyle {
-        NlStyle { synonym_p: 0.15, implicit_col_p: 0.0, knowledge_p: 0.85 }
+        NlStyle {
+            synonym_p: 0.15,
+            implicit_col_p: 0.0,
+            knowledge_p: 0.85,
+        }
     }
 }
 
@@ -108,7 +124,10 @@ impl<'a> Ctx<'a> {
                 (s, p)
             }
         };
-        (self.maybe_synonymize(&sing, rng), self.maybe_synonymize(&plur, rng))
+        (
+            self.maybe_synonymize(&sing, rng),
+            self.maybe_synonymize(&plur, rng),
+        )
     }
 }
 
@@ -211,30 +230,60 @@ fn order_suffix(ctx: &mut Ctx, o: &OrderSpec, limit: Option<u64>, rng: &mut Prng
 /// Verbalize a single condition (public entry point for the multi-turn
 /// generators, which phrase follow-up turns around one new condition).
 pub fn condition_phrase(db: &Database, c: &CondSpec, style: NlStyle, rng: &mut Prng) -> Realized {
-    let mut ctx = Ctx { db, style, lex: SynonymLexicon::default_english(), evidence: Vec::new() };
+    let mut ctx = Ctx {
+        db,
+        style,
+        lex: SynonymLexicon::default_english(),
+        evidence: Vec::new(),
+    };
     let text = cond_phrase(&mut ctx, c, rng);
-    Realized { text, evidence: ctx.evidence }
+    Realized {
+        text,
+        evidence: ctx.evidence,
+    }
 }
 
 /// Display phrase of a column (public for the vis/multi-turn generators).
 pub fn column_phrase(db: &Database, r: ColumnRef, style: NlStyle, rng: &mut Prng) -> String {
-    let ctx = Ctx { db, style, lex: SynonymLexicon::default_english(), evidence: Vec::new() };
+    let ctx = Ctx {
+        db,
+        style,
+        lex: SynonymLexicon::default_english(),
+        evidence: Vec::new(),
+    };
     ctx.col(r, rng)
 }
 
 /// Singular and plural display of a table (public for the vis/multi-turn
 /// generators).
 pub fn table_phrase(db: &Database, t: usize, style: NlStyle, rng: &mut Prng) -> (String, String) {
-    let ctx = Ctx { db, style, lex: SynonymLexicon::default_english(), evidence: Vec::new() };
+    let ctx = Ctx {
+        db,
+        style,
+        lex: SynonymLexicon::default_english(),
+        evidence: Vec::new(),
+    };
     ctx.table_forms(t, rng)
 }
 
 /// Realize a plan into a question.
 pub fn realize(db: &Database, plan: &Plan, style: NlStyle, rng: &mut Prng) -> Realized {
-    let mut ctx = Ctx { db, style, lex: SynonymLexicon::default_english(), evidence: Vec::new() };
+    let mut ctx = Ctx {
+        db,
+        style,
+        lex: SynonymLexicon::default_english(),
+        evidence: Vec::new(),
+    };
     let text = match plan {
         Plan::Simple(intent) => realize_simple(&mut ctx, intent, rng),
-        Plan::Nested { outer, select_col, child, negated, inner_cond, .. } => {
+        Plan::Nested {
+            outer,
+            select_col,
+            child,
+            negated,
+            inner_cond,
+            ..
+        } => {
             let (_, outer_p) = ctx.table_forms(*outer, rng);
             let (child_s, _) = ctx.table_forms(*child, rng);
             let col = ctx.col(*select_col, rng);
@@ -248,7 +297,13 @@ pub fn realize(db: &Database, plan: &Plan, style: NlStyle, rng: &mut Prng) -> Re
                 format!("List the {col} of {outer_p} that have at least one {child_s}{inner}.")
             }
         }
-        Plan::Compound { table, col, left, right, op } => {
+        Plan::Compound {
+            table,
+            col,
+            left,
+            right,
+            op,
+        } => {
             let (_, plur) = ctx.table_forms(*table, rng);
             let col = ctx.col(*col, rng);
             let a = cond_phrase(&mut ctx, left, rng);
@@ -260,7 +315,10 @@ pub fn realize(db: &Database, plan: &Plan, style: NlStyle, rng: &mut Prng) -> Re
             }
         }
     };
-    Realized { text, evidence: ctx.evidence }
+    Realized {
+        text,
+        evidence: ctx.evidence,
+    }
 }
 
 fn realize_simple(ctx: &mut Ctx, intent: &Intent, rng: &mut Prng) -> String {
@@ -300,13 +358,14 @@ fn realize_simple(ctx: &mut Ctx, intent: &Intent, rng: &mut Prng) -> String {
                 )
             }
         }
-        Task::Agg { func: AggFunc::Count, arg: None } => {
-            match rng.below(3) {
-                0 => format!("How many {main_p}{conds} are there?"),
-                1 => format!("Count the {main_p}{conds}."),
-                _ => format!("What is the number of {main_p}{conds}?"),
-            }
-        }
+        Task::Agg {
+            func: AggFunc::Count,
+            arg: None,
+        } => match rng.below(3) {
+            0 => format!("How many {main_p}{conds} are there?"),
+            1 => format!("Count the {main_p}{conds}."),
+            _ => format!("What is the number of {main_p}{conds}?"),
+        },
         Task::Agg { func, arg } => {
             let word = agg_word(*func, rng);
             let arg_phrase = match arg {
@@ -318,7 +377,12 @@ fn realize_simple(ctx: &mut Ctx, intent: &Intent, rng: &mut Prng) -> String {
                 _ => format!("Find the {word} {arg_phrase} of {main_p}{conds}."),
             }
         }
-        Task::GroupAgg { key, func, arg, having_min_count } => {
+        Task::GroupAgg {
+            key,
+            func,
+            arg,
+            having_min_count,
+        } => {
             let keyp = colp(ctx, *key, rng);
             let agg_part = match (func, arg) {
                 (AggFunc::Count, None) => format!("how many {main_p} are there"),
@@ -387,7 +451,9 @@ mod tests {
                 if !r.evidence.is_empty() {
                     produced += 1;
                     assert!(
-                        r.text.contains("high") || r.text.contains("low") || r.text.contains("notable"),
+                        r.text.contains("high")
+                            || r.text.contains("low")
+                            || r.text.contains("notable"),
                         "{}",
                         r.text
                     );
@@ -395,7 +461,10 @@ mod tests {
                 }
             }
         }
-        assert!(produced > 20, "knowledge evidence produced only {produced} times");
+        assert!(
+            produced > 20,
+            "knowledge evidence produced only {produced} times"
+        );
     }
 
     #[test]
@@ -423,7 +492,15 @@ mod tests {
                 let mut ra = rng.fork(1);
                 let mut rb = rng.fork(1);
                 // fork with the same salt from clones so word-choice draws align
-                let plain = realize(&db, &plan, NlStyle { synonym_p: 0.0, ..NlStyle::plain() }, &mut ra);
+                let plain = realize(
+                    &db,
+                    &plan,
+                    NlStyle {
+                        synonym_p: 0.0,
+                        ..NlStyle::plain()
+                    },
+                    &mut ra,
+                );
                 let syn = realize(&db, &plan, NlStyle::synonym_heavy(), &mut rb);
                 total += 1;
                 if plain.text != syn.text {
@@ -431,7 +508,10 @@ mod tests {
                 }
             }
         }
-        assert!(differs * 3 > total, "synonyms changed only {differs}/{total} questions");
+        assert!(
+            differs * 3 > total,
+            "synonyms changed only {differs}/{total} questions"
+        );
     }
 
     #[test]
@@ -440,9 +520,7 @@ mod tests {
         let db = db(0); // retail
         for seed in 0..200u64 {
             let mut rng = Prng::new(90_000 + seed);
-            if let Some(Plan::Simple(intent)) =
-                sample_plan(&db, &SqlProfile::spider(), &mut rng)
-            {
+            if let Some(Plan::Simple(intent)) = sample_plan(&db, &SqlProfile::spider(), &mut rng) {
                 if let Task::Columns(cols) = &intent.task {
                     if cols.len() == 1 && intent.join.is_none() {
                         let col_display = db.schema.column(cols[0]).display.clone();

@@ -11,7 +11,7 @@ use crate::nl_gen::{column_phrase, condition_phrase, NlStyle};
 use crate::schema_gen::DbGenConfig;
 use crate::sql_gen::{sample_plan, CondSpec, Plan, SqlProfile, Task};
 use crate::types::{Family, VisBenchmark, VisExample};
-use nli_core::{ColumnRef, Database, DataType, ExecutionEngine, Language, NlQuestion, Prng};
+use nli_core::{ColumnRef, DataType, Database, ExecutionEngine, Language, NlQuestion, Prng};
 use nli_sql::{ColName, Expr, Query, Select, SelectItem};
 use nli_vql::{BinUnit, ChartType, VisEngine, VisQuery};
 
@@ -50,11 +50,25 @@ pub struct VisPlan {
 #[derive(Debug, Clone, PartialEq)]
 pub enum VisKind {
     /// `AGG(y) GROUP BY key` → bar/pie.
-    Grouped { table: usize, key: ColumnRef, func: nli_sql::AggFunc, arg: Option<ColumnRef> },
+    Grouped {
+        table: usize,
+        key: ColumnRef,
+        func: nli_sql::AggFunc,
+        arg: Option<ColumnRef>,
+    },
     /// Two numeric columns → scatter.
-    Pair { table: usize, x: ColumnRef, y: ColumnRef },
+    Pair {
+        table: usize,
+        x: ColumnRef,
+        y: ColumnRef,
+    },
     /// Date column binned + numeric column → line/bar over time.
-    Temporal { table: usize, date: ColumnRef, y: ColumnRef, unit: BinUnit },
+    Temporal {
+        table: usize,
+        date: ColumnRef,
+        y: ColumnRef,
+        unit: BinUnit,
+    },
 }
 
 /// Sample a vis plan over `db`.
@@ -75,10 +89,19 @@ pub fn sample_vis_plan(db: &Database, rng: &mut Prng) -> Option<VisPlan> {
                 };
                 if let Some(Plan::Simple(intent)) = sample_plan(db, &profile, &mut try_rng) {
                     if let Task::GroupAgg { key, func, arg, .. } = intent.task {
-                        let chart = if try_rng.chance(0.3) { ChartType::Pie } else { ChartType::Bar };
+                        let chart = if try_rng.chance(0.3) {
+                            ChartType::Pie
+                        } else {
+                            ChartType::Bar
+                        };
                         return Some(VisPlan {
                             chart,
-                            kind: VisKind::Grouped { table: intent.main, key, func, arg },
+                            kind: VisKind::Grouped {
+                                table: intent.main,
+                                key,
+                                func,
+                                arg,
+                            },
                             cond: intent.conds.first().cloned(),
                         });
                     }
@@ -98,10 +121,19 @@ pub fn sample_vis_plan(db: &Database, rng: &mut Prng) -> Option<VisPlan> {
                 // temporal: date + numeric column
                 if let Some((t, date, y)) = pick_temporal_pair(db, &mut try_rng) {
                     let unit = *try_rng.pick(&[BinUnit::Year, BinUnit::Quarter, BinUnit::Month]);
-                    let chart = if try_rng.chance(0.7) { ChartType::Line } else { ChartType::Bar };
+                    let chart = if try_rng.chance(0.7) {
+                        ChartType::Line
+                    } else {
+                        ChartType::Bar
+                    };
                     return Some(VisPlan {
                         chart,
-                        kind: VisKind::Temporal { table: t, date, y, unit },
+                        kind: VisKind::Temporal {
+                            table: t,
+                            date,
+                            y,
+                            unit,
+                        },
                         cond: None,
                     });
                 }
@@ -120,10 +152,17 @@ fn numeric_cols(db: &Database, t: usize) -> Vec<ColumnRef> {
             c.dtype.is_numeric()
                 && !c.primary_key
                 && !db.schema.foreign_keys.iter().any(|fk| {
-                    fk.from == ColumnRef { table: t, column: *ci }
+                    fk.from
+                        == ColumnRef {
+                            table: t,
+                            column: *ci,
+                        }
                 })
         })
-        .map(|(ci, _)| ColumnRef { table: t, column: ci })
+        .map(|(ci, _)| ColumnRef {
+            table: t,
+            column: ci,
+        })
         .collect()
 }
 
@@ -161,7 +200,10 @@ fn pick_temporal_pair(db: &Database, rng: &mut Prng) -> Option<(usize, ColumnRef
             .iter()
             .enumerate()
             .filter(|(_, c)| c.dtype == DataType::Date)
-            .map(|(ci, _)| ColumnRef { table: t, column: ci })
+            .map(|(ci, _)| ColumnRef {
+                table: t,
+                column: ci,
+            })
             .collect();
         let nums = numeric_cols(db, t);
         if !dates.is_empty() && !nums.is_empty() {
@@ -172,7 +214,11 @@ fn pick_temporal_pair(db: &Database, rng: &mut Prng) -> Option<(usize, ColumnRef
         return None;
     }
     let (t, dates, nums) = candidates[rng.below(candidates.len())].clone();
-    Some((t, dates[rng.below(dates.len())], nums[rng.below(nums.len())]))
+    Some((
+        t,
+        dates[rng.below(dates.len())],
+        nums[rng.below(nums.len())],
+    ))
 }
 
 /// Lower a vis plan to gold VQL.
@@ -180,7 +226,12 @@ pub fn vis_plan_to_vql(db: &Database, plan: &VisPlan) -> VisQuery {
     let schema = &db.schema;
     let col_name = |r: ColumnRef| ColName::new(&schema.column(r).name);
     let (query, bin): (Query, Option<(ColName, BinUnit)>) = match &plan.kind {
-        VisKind::Grouped { table, key, func, arg } => {
+        VisKind::Grouped {
+            table,
+            key,
+            func,
+            arg,
+        } => {
             let name = &schema.tables[*table].name;
             let key_expr = Expr::Column(col_name(*key));
             let agg = match arg {
@@ -205,7 +256,12 @@ pub fn vis_plan_to_vql(db: &Database, plan: &VisPlan) -> VisQuery {
             );
             (Query::single(s), None)
         }
-        VisKind::Temporal { table, date, y, unit } => {
+        VisKind::Temporal {
+            table,
+            date,
+            y,
+            unit,
+        } => {
             let name = &schema.tables[*table].name;
             let s = Select::simple(
                 name,
@@ -220,8 +276,7 @@ pub fn vis_plan_to_vql(db: &Database, plan: &VisPlan) -> VisQuery {
     let mut query = query;
     if let Some(c) = &plan.cond {
         let table_name = &schema.tables[c.col.table].name;
-        query.select.where_clause =
-            Some(crate::sql_gen::cond_to_expr(db, c, table_name));
+        query.select.where_clause = Some(crate::sql_gen::cond_to_expr(db, c, table_name));
     }
     let mut v = VisQuery::new(plan.chart, query);
     if let Some((col, unit)) = bin {
@@ -247,7 +302,12 @@ pub fn realize_vis(db: &Database, plan: &VisPlan, style: NlStyle, rng: &mut Prng
         None => String::new(),
     };
     let text = match &plan.kind {
-        VisKind::Grouped { table, key, func, arg } => {
+        VisKind::Grouped {
+            table,
+            key,
+            func,
+            arg,
+        } => {
             let (_, plural) = crate::nl_gen::table_phrase(db, *table, style, rng);
             let keyp = column_phrase(db, *key, style, rng);
             let ypart = match (func, arg) {
@@ -272,7 +332,12 @@ pub fn realize_vis(db: &Database, plan: &VisPlan, style: NlStyle, rng: &mut Prng
             let yp = column_phrase(db, *y, style, rng);
             format!("{verb} a {chart_word} of {yp} against {xp} for {plural}{cond_suffix}.")
         }
-        VisKind::Temporal { table, date, y, unit } => {
+        VisKind::Temporal {
+            table,
+            date,
+            y,
+            unit,
+        } => {
             let (_, plural) = crate::nl_gen::table_phrase(db, *table, style, rng);
             let dp = column_phrase(db, *date, style, rng);
             let yp = column_phrase(db, *y, style, rng);
@@ -305,13 +370,19 @@ fn generate_vis_examples(
         let db = &databases[db_idx];
         for attempt in 0..10u64 {
             let mut try_rng = ex_rng.fork(attempt);
-            let Some(plan) = sample_vis_plan(db, &mut try_rng) else { continue };
+            let Some(plan) = sample_vis_plan(db, &mut try_rng) else {
+                continue;
+            };
             let gold = vis_plan_to_vql(db, &plan);
             if engine.execute(&gold, db).is_err() {
                 continue;
             }
             let question = realize_vis(db, &plan, NlStyle::plain(), &mut try_rng);
-            out.push(VisExample { db: db_idx, question, gold });
+            out.push(VisExample {
+                db: db_idx,
+                question,
+                gold,
+            });
             break;
         }
     }
@@ -321,12 +392,15 @@ fn generate_vis_examples(
 /// Build the nvBench-like benchmark.
 pub fn build(cfg: &NvBenchConfig) -> VisBenchmark {
     let mut rng = Prng::new(cfg.seed);
-    let db_cfg = DbGenConfig { min_tables: 2, optional_col_p: 0.8, rows: (15, 40) };
+    let db_cfg = DbGenConfig {
+        min_tables: 2,
+        optional_col_p: 0.8,
+        rows: (15, 40),
+    };
     let databases = generate_databases(cfg.n_databases, &db_cfg, &mut rng);
     let train_dbs = cfg.n_databases - cfg.n_dev_databases.min(cfg.n_databases);
     let train = generate_vis_examples(&databases, 0..train_dbs.max(1), cfg.n_train, &mut rng);
-    let dev =
-        generate_vis_examples(&databases, train_dbs..cfg.n_databases, cfg.n_dev, &mut rng);
+    let dev = generate_vis_examples(&databases, train_dbs..cfg.n_databases, cfg.n_dev, &mut rng);
     VisBenchmark {
         name: "nvbench-like".into(),
         family: Family::CrossDomain,
@@ -365,7 +439,10 @@ mod tests {
 
     #[test]
     fn chart_types_are_diverse() {
-        let b = build(&NvBenchConfig { n_train: 150, ..small() });
+        let b = build(&NvBenchConfig {
+            n_train: 150,
+            ..small()
+        });
         let mut seen = std::collections::HashSet::new();
         for ex in b.train.iter().chain(&b.dev) {
             seen.insert(ex.gold.chart);
@@ -383,7 +460,10 @@ mod tests {
 
     #[test]
     fn temporal_plans_carry_bins() {
-        let b = build(&NvBenchConfig { n_train: 150, ..small() });
+        let b = build(&NvBenchConfig {
+            n_train: 150,
+            ..small()
+        });
         let binned = b
             .train
             .iter()

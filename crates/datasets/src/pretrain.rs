@@ -31,13 +31,18 @@ pub fn synthesize(databases: &[Database], n: usize, seed: u64) -> Vec<TrainingEx
         let db = &databases[ex_rng.below(databases.len())];
         for attempt in 0..8u64 {
             let mut try_rng = ex_rng.fork(attempt);
-            let Some(plan) = sample_plan(db, &profile, &mut try_rng) else { continue };
+            let Some(plan) = sample_plan(db, &profile, &mut try_rng) else {
+                continue;
+            };
             let sql = plan_to_query(db, &plan);
             if engine.execute(&sql, db).is_err() {
                 continue;
             }
             let question = realize(db, &plan, NlStyle::plain(), &mut try_rng);
-            out.push(TrainingExample { question: question.text, sql });
+            out.push(TrainingExample {
+                question: question.text,
+                sql,
+            });
             break;
         }
     }

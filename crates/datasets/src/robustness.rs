@@ -67,7 +67,10 @@ pub fn synonymize(base: &SqlBenchmark, p: f64, seed: u64) -> SqlBenchmark {
 /// the base configuration because the plan RNG stream is independent of the
 /// NL style.
 pub fn realistic(cfg: &SpiderConfig) -> SqlBenchmark {
-    let mut b = spider_like::build(&SpiderConfig { style: NlStyle::realistic(), ..*cfg });
+    let mut b = spider_like::build(&SpiderConfig {
+        style: NlStyle::realistic(),
+        ..*cfg
+    });
     b.name = "spider-like-realistic".into();
     b.family = Family::Robustness;
     b
@@ -76,7 +79,10 @@ pub fn realistic(cfg: &SpiderConfig) -> SqlBenchmark {
 /// Spider-DK-like: knowledge-requiring phrasing with the evidence
 /// *withheld*, so models must supply domain knowledge themselves.
 pub fn domain_knowledge(cfg: &SpiderConfig) -> SqlBenchmark {
-    let mut b = spider_like::build(&SpiderConfig { style: NlStyle::knowledge(), ..*cfg });
+    let mut b = spider_like::build(&SpiderConfig {
+        style: NlStyle::knowledge(),
+        ..*cfg
+    });
     b.name = "spider-like-dk".into();
     b.family = Family::Robustness;
     for ex in b.train.iter_mut().chain(b.dev.iter_mut()) {
@@ -84,7 +90,6 @@ pub fn domain_knowledge(cfg: &SpiderConfig) -> SqlBenchmark {
     }
     b
 }
-
 
 /// Spider-CG/Spider-SSP-like compositional-generalization split (§6.5 of
 /// the survey): the train split keeps only *atomic* queries (at most one

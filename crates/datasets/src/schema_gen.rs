@@ -22,7 +22,11 @@ pub struct DbGenConfig {
 
 impl Default for DbGenConfig {
     fn default() -> Self {
-        DbGenConfig { min_tables: 2, optional_col_p: 0.7, rows: (12, 40) }
+        DbGenConfig {
+            min_tables: 2,
+            optional_col_p: 0.7,
+            rows: (12, 40),
+        }
     }
 }
 
@@ -130,7 +134,8 @@ pub fn generate_database(
                     value_for(&c.spec, serial, parent_rows, rng)
                 })
                 .collect();
-            db.insert(t.name, row).expect("generated rows are schema-consistent");
+            db.insert(t.name, row)
+                .expect("generated rows are schema-consistent");
         }
         row_counts.push((t.name.to_string(), rows));
     }
@@ -178,7 +183,10 @@ mod tests {
     #[test]
     fn min_tables_is_respected_where_possible() {
         let d = all_domains()[1]; // music: 3 tables
-        let cfg = DbGenConfig { min_tables: 3, ..DbGenConfig::default() };
+        let cfg = DbGenConfig {
+            min_tables: 3,
+            ..DbGenConfig::default()
+        };
         let mut rng = Prng::new(9);
         let db = generate_database(d, 0, &cfg, &mut rng);
         assert_eq!(db.schema.tables.len(), 3);
@@ -187,7 +195,10 @@ mod tests {
     #[test]
     fn rows_within_configured_range() {
         let d = all_domains()[0];
-        let cfg = DbGenConfig { rows: (5, 8), ..DbGenConfig::default() };
+        let cfg = DbGenConfig {
+            rows: (5, 8),
+            ..DbGenConfig::default()
+        };
         let mut rng = Prng::new(3);
         let db = generate_database(d, 0, &cfg, &mut rng);
         for t in &db.data {

@@ -21,14 +21,19 @@ pub struct SingleDomainConfig {
 impl Default for SingleDomainConfig {
     fn default() -> Self {
         // aviation echoes ATIS's flight-information focus.
-        SingleDomainConfig { domain: "aviation", n_train: 120, n_dev: 60, seed: 0x5EED_0003 }
+        SingleDomainConfig {
+            domain: "aviation",
+            n_train: 120,
+            n_dev: 60,
+            seed: 0x5EED_0003,
+        }
     }
 }
 
 /// Build a single-domain benchmark over one fully-included database.
 pub fn build(cfg: &SingleDomainConfig) -> SqlBenchmark {
-    let domain = domains::domain(cfg.domain)
-        .unwrap_or_else(|| panic!("unknown domain: {}", cfg.domain));
+    let domain =
+        domains::domain(cfg.domain).unwrap_or_else(|| panic!("unknown domain: {}", cfg.domain));
     let mut rng = Prng::new(cfg.seed);
     let db_cfg = DbGenConfig {
         min_tables: domain.tables.len(),
@@ -37,10 +42,22 @@ pub fn build(cfg: &SingleDomainConfig) -> SqlBenchmark {
     };
     let databases = vec![generate_database(domain, 0, &db_cfg, &mut rng)];
     let profile = SqlProfile::early();
-    let train =
-        generate_examples(&databases, 0..1, &profile, NlStyle::plain(), cfg.n_train, &mut rng);
-    let dev =
-        generate_examples(&databases, 0..1, &profile, NlStyle::plain(), cfg.n_dev, &mut rng);
+    let train = generate_examples(
+        &databases,
+        0..1,
+        &profile,
+        NlStyle::plain(),
+        cfg.n_train,
+        &mut rng,
+    );
+    let dev = generate_examples(
+        &databases,
+        0..1,
+        &profile,
+        NlStyle::plain(),
+        cfg.n_dev,
+        &mut rng,
+    );
     SqlBenchmark {
         name: format!("{}-single", cfg.domain),
         family: Family::SingleDomain,
@@ -58,7 +75,11 @@ mod tests {
 
     #[test]
     fn one_database_one_domain() {
-        let b = build(&SingleDomainConfig { n_train: 20, n_dev: 10, ..Default::default() });
+        let b = build(&SingleDomainConfig {
+            n_train: 20,
+            n_dev: 10,
+            ..Default::default()
+        });
         assert_eq!(b.databases.len(), 1);
         assert_eq!(b.domain_count(), 1);
         assert_eq!(b.family, Family::SingleDomain);
@@ -67,7 +88,11 @@ mod tests {
 
     #[test]
     fn no_nested_or_compound_queries() {
-        let b = build(&SingleDomainConfig { n_train: 60, n_dev: 20, ..Default::default() });
+        let b = build(&SingleDomainConfig {
+            n_train: 60,
+            n_dev: 20,
+            ..Default::default()
+        });
         for ex in b.train.iter().chain(&b.dev) {
             assert!(ex.gold.compound.is_none());
         }
@@ -89,6 +114,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "unknown domain")]
     fn unknown_domain_panics() {
-        build(&SingleDomainConfig { domain: "atlantis", n_train: 1, n_dev: 1, seed: 1 });
+        build(&SingleDomainConfig {
+            domain: "atlantis",
+            n_train: 1,
+            n_dev: 1,
+            seed: 1,
+        });
     }
 }

@@ -39,7 +39,11 @@ impl Default for SpiderConfig {
 /// Build the benchmark.
 pub fn build(cfg: &SpiderConfig) -> SqlBenchmark {
     let mut rng = Prng::new(cfg.seed);
-    let db_cfg = DbGenConfig { min_tables: 2, optional_col_p: 0.7, rows: (12, 40) };
+    let db_cfg = DbGenConfig {
+        min_tables: 2,
+        optional_col_p: 0.7,
+        rows: (12, 40),
+    };
     let databases = generate_databases(cfg.n_databases, &db_cfg, &mut rng);
     let train_dbs = cfg.n_databases - cfg.n_dev_databases.min(cfg.n_databases);
     let profile = SqlProfile::spider();
@@ -102,7 +106,10 @@ mod tests {
 
     #[test]
     fn complex_shapes_appear_in_the_corpus() {
-        let b = build(&SpiderConfig { n_train: 200, ..small() });
+        let b = build(&SpiderConfig {
+            n_train: 200,
+            ..small()
+        });
         let all: Vec<_> = b.train.iter().chain(&b.dev).collect();
         assert!(all.iter().any(|e| e.gold.select.from.len() > 1), "no joins");
         assert!(

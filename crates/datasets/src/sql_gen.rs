@@ -12,10 +12,9 @@
 //! database content, so execution-based evaluation is non-trivial and
 //! BIRD-style content challenges are expressible.
 
-use nli_core::{ColumnRef, Database, DataType, Prng, Value};
+use nli_core::{ColumnRef, DataType, Database, Prng, Value};
 use nli_sql::{
-    AggFunc, BinOp, ColName, Expr, JoinCond, OrderItem, Query, Select, SelectItem, SetOp,
-    TableRef,
+    AggFunc, BinOp, ColName, Expr, JoinCond, OrderItem, Query, Select, SelectItem, SetOp, TableRef,
 };
 
 /// Comparison flavor of a sampled condition.
@@ -48,7 +47,10 @@ pub enum Task {
     /// Plain projection of 1–2 columns.
     Columns(Vec<ColumnRef>),
     /// Single aggregate; `arg = None` means `COUNT(*)`.
-    Agg { func: AggFunc, arg: Option<ColumnRef> },
+    Agg {
+        func: AggFunc,
+        arg: Option<ColumnRef>,
+    },
     /// `SELECT key, AGG(arg) ... GROUP BY key` with optional
     /// `HAVING COUNT(*) > n`.
     GroupAgg {
@@ -222,7 +224,11 @@ fn sample_simple(db: &Database, profile: &SqlProfile, rng: &mut Prng) -> Option<
             .foreign_keys
             .iter()
             .filter(|fk| fk.from.table == main)
-            .map(|fk| JoinSpec { parent: fk.to.table, fk_col: fk.from, pk_col: fk.to })
+            .map(|fk| JoinSpec {
+                parent: fk.to.table,
+                fk_col: fk.from,
+                pk_col: fk.to,
+            })
             .collect::<Vec<_>>()
             .first()
             .copied()
@@ -244,7 +250,12 @@ fn sample_simple(db: &Database, profile: &SqlProfile, rng: &mut Prng) -> Option<
         } else {
             None
         };
-        Task::GroupAgg { key, func, arg, having_min_count }
+        Task::GroupAgg {
+            key,
+            func,
+            arg,
+            having_min_count,
+        }
     } else if rng.chance(profile.p_agg) {
         let (func, arg) = pick_aggregate(db, &scope_tables, rng);
         Task::Agg { func, arg }
@@ -277,7 +288,11 @@ fn sample_simple(db: &Database, profile: &SqlProfile, rng: &mut Prng) -> Option<
     // superlative condition (scalar subquery) only for plain projections
     if matches!(task, Task::Columns(_)) && rng.chance(profile.p_superlative) {
         if let Some(col) = pick_numeric_col(db, &[main], rng) {
-            let func = if rng.chance(0.5) { AggFunc::Max } else { AggFunc::Min };
+            let func = if rng.chance(0.5) {
+                AggFunc::Max
+            } else {
+                AggFunc::Min
+            };
             conds.push(CondSpec {
                 col,
                 op: CondOp::EqExtreme(func),
@@ -290,23 +305,34 @@ fn sample_simple(db: &Database, profile: &SqlProfile, rng: &mut Prng) -> Option<
     // ordering
     let order = if rng.chance(profile.p_order) {
         match &task {
-            Task::GroupAgg { .. } => Some(OrderSpec { col: None, desc: rng.chance(0.7) }),
+            Task::GroupAgg { .. } => Some(OrderSpec {
+                col: None,
+                desc: rng.chance(0.7),
+            }),
             Task::Agg { .. } => None,
-            Task::Columns(_) => pick_orderable_col(db, &scope_tables, rng)
-                .map(|col| OrderSpec { col: Some(col), desc: rng.chance(0.5) }),
+            Task::Columns(_) => pick_orderable_col(db, &scope_tables, rng).map(|col| OrderSpec {
+                col: Some(col),
+                desc: rng.chance(0.5),
+            }),
         }
     } else {
         None
     };
     let limit = match &order {
-        Some(_) if rng.chance(profile.p_limit_given_order) => {
-            Some(rng.range(1, 5) as u64)
-        }
+        Some(_) if rng.chance(profile.p_limit_given_order) => Some(rng.range(1, 5) as u64),
         _ => None,
     };
     let distinct = matches!(task, Task::Columns(_)) && rng.chance(profile.p_distinct);
 
-    Some(Intent { main, join, task, conds, order, limit, distinct })
+    Some(Intent {
+        main,
+        join,
+        task,
+        conds,
+        order,
+        limit,
+        distinct,
+    })
 }
 
 fn sample_nested(db: &Database, rng: &mut Prng) -> Option<Plan> {
@@ -355,7 +381,13 @@ fn sample_compound(db: &Database, rng: &mut Prng) -> Option<Plan> {
         1 => SetOp::Intersect,
         _ => SetOp::Except,
     };
-    Some(Plan::Compound { table, col, left, right, op })
+    Some(Plan::Compound {
+        table,
+        col,
+        left,
+        right,
+        op,
+    })
 }
 
 /// A column worth projecting: text preferred, any non-PK otherwise.
@@ -364,7 +396,10 @@ fn pick_display_col(db: &Database, tables: &[usize], rng: &mut Prng) -> Option<C
     let mut other = Vec::new();
     for &t in tables {
         for (ci, c) in db.schema.tables[t].columns.iter().enumerate() {
-            let r = ColumnRef { table: t, column: ci };
+            let r = ColumnRef {
+                table: t,
+                column: ci,
+            };
             if c.primary_key || is_fk_col(db, r) {
                 continue;
             }
@@ -393,7 +428,10 @@ fn pick_numeric_col(db: &Database, tables: &[usize], rng: &mut Prng) -> Option<C
     let mut nums = Vec::new();
     for &t in tables {
         for (ci, c) in db.schema.tables[t].columns.iter().enumerate() {
-            let r = ColumnRef { table: t, column: ci };
+            let r = ColumnRef {
+                table: t,
+                column: ci,
+            };
             if c.dtype.is_numeric() && !c.primary_key && !is_fk_col(db, r) {
                 nums.push(r);
             }
@@ -410,7 +448,10 @@ fn pick_orderable_col(db: &Database, tables: &[usize], rng: &mut Prng) -> Option
     let mut cols = Vec::new();
     for &t in tables {
         for (ci, c) in db.schema.tables[t].columns.iter().enumerate() {
-            let r = ColumnRef { table: t, column: ci };
+            let r = ColumnRef {
+                table: t,
+                column: ci,
+            };
             if c.dtype.is_ordered() && !c.primary_key && !is_fk_col(db, r) {
                 cols.push(r);
             }
@@ -428,7 +469,10 @@ fn pick_group_key(db: &Database, tables: &[usize], rng: &mut Prng) -> Option<Col
     let mut keys = Vec::new();
     for &t in tables {
         for (ci, c) in db.schema.tables[t].columns.iter().enumerate() {
-            let r = ColumnRef { table: t, column: ci };
+            let r = ColumnRef {
+                table: t,
+                column: ci,
+            };
             if c.primary_key || is_fk_col(db, r) {
                 continue;
             }
@@ -469,7 +513,10 @@ fn sample_cond(db: &Database, tables: &[usize], rng: &mut Prng) -> Option<CondSp
         let t = *rng.pick(tables);
         let ncols = db.schema.tables[t].columns.len();
         let ci = rng.below(ncols);
-        let col = ColumnRef { table: t, column: ci };
+        let col = ColumnRef {
+            table: t,
+            column: ci,
+        };
         let c = db.schema.column(col);
         if c.primary_key || is_fk_col(db, col) {
             continue;
@@ -488,10 +535,20 @@ fn sample_cond(db: &Database, tables: &[usize], rng: &mut Prng) -> Option<CondSp
                     } else {
                         (v, w)
                     };
-                    CondSpec { col, op: CondOp::Between, value: lo, value2: Some(hi) }
+                    CondSpec {
+                        col,
+                        op: CondOp::Between,
+                        value: lo,
+                        value2: Some(hi),
+                    }
                 } else {
                     let op = *rng.pick(&[BinOp::Gt, BinOp::Lt, BinOp::Ge, BinOp::Le, BinOp::Eq]);
-                    CondSpec { col, op: CondOp::Cmp(op), value: v, value2: None }
+                    CondSpec {
+                        col,
+                        op: CondOp::Cmp(op),
+                        value: v,
+                        value2: None,
+                    }
                 }
             }
             DataType::Text => {
@@ -509,13 +566,27 @@ fn sample_cond(db: &Database, tables: &[usize], rng: &mut Prng) -> Option<CondSp
                         value2: None,
                     }
                 } else {
-                    let op = if rng.chance(0.12) { BinOp::Neq } else { BinOp::Eq };
-                    CondSpec { col, op: CondOp::Cmp(op), value: v, value2: None }
+                    let op = if rng.chance(0.12) {
+                        BinOp::Neq
+                    } else {
+                        BinOp::Eq
+                    };
+                    CondSpec {
+                        col,
+                        op: CondOp::Cmp(op),
+                        value: v,
+                        value2: None,
+                    }
                 }
             }
             DataType::Date => {
                 let op = *rng.pick(&[BinOp::Gt, BinOp::Lt, BinOp::Ge, BinOp::Le]);
-                CondSpec { col, op: CondOp::Cmp(op), value: v, value2: None }
+                CondSpec {
+                    col,
+                    op: CondOp::Cmp(op),
+                    value: v,
+                    value2: None,
+                }
             }
             DataType::Bool => CondSpec {
                 col,
@@ -551,7 +622,9 @@ fn cond_expr(db: &Database, c: &CondSpec, qualify: bool, table_name: &str) -> Ex
         CondOp::Between => Expr::Between {
             expr: Box::new(lhs),
             low: Box::new(Expr::Literal(c.value.clone())),
-            high: Box::new(Expr::Literal(c.value2.clone().expect("between has two bounds"))),
+            high: Box::new(Expr::Literal(
+                c.value2.clone().expect("between has two bounds"),
+            )),
             negated: false,
         },
         CondOp::Contains => Expr::Like {
@@ -581,7 +654,11 @@ fn and_all(mut exprs: Vec<Expr>) -> Option<Expr> {
         return None;
     }
     let first = exprs.remove(0);
-    Some(exprs.into_iter().fold(first, |acc, e| Expr::binary(acc, BinOp::And, e)))
+    Some(
+        exprs
+            .into_iter()
+            .fold(first, |acc, e| Expr::binary(acc, BinOp::And, e)),
+    )
 }
 
 /// Lower a plan to its gold SQL query.
@@ -593,7 +670,9 @@ pub fn plan_to_query(db: &Database, plan: &Plan) -> Query {
             let main_name = schema.tables[intent.main].name.clone();
             let mut select = Select::simple(&main_name, Vec::new());
             if let Some(j) = &intent.join {
-                select.from.push(TableRef { name: schema.tables[j.parent].name.clone() });
+                select.from.push(TableRef {
+                    name: schema.tables[j.parent].name.clone(),
+                });
                 select.joins.push(JoinCond {
                     left: ColName::qualified(
                         &schema.tables[j.fk_col.table].name,
@@ -619,7 +698,12 @@ pub fn plan_to_query(db: &Database, plan: &Plan) -> Query {
                 Task::Agg { func, arg } => {
                     select.items = vec![SelectItem::plain(agg_expr(*func, arg))];
                 }
-                Task::GroupAgg { key, func, arg, having_min_count } => {
+                Task::GroupAgg {
+                    key,
+                    func,
+                    arg,
+                    having_min_count,
+                } => {
                     let key_expr = col_expr(db, *key, qualify);
                     select.items = vec![
                         SelectItem::plain(key_expr.clone()),
@@ -653,7 +737,14 @@ pub fn plan_to_query(db: &Database, plan: &Plan) -> Query {
             select.limit = intent.limit;
             Query::single(select)
         }
-        Plan::Nested { outer, select_col, child, fk_col, negated, inner_cond } => {
+        Plan::Nested {
+            outer,
+            select_col,
+            child,
+            fk_col,
+            negated,
+            inner_cond,
+        } => {
             let outer_name = &schema.tables[*outer].name;
             let child_name = &schema.tables[*child].name;
             let mut inner = Select::simple(
@@ -681,13 +772,17 @@ pub fn plan_to_query(db: &Database, plan: &Plan) -> Query {
             });
             Query::single(outer_sel)
         }
-        Plan::Compound { table, col, left, right, op } => {
+        Plan::Compound {
+            table,
+            col,
+            left,
+            right,
+            op,
+        } => {
             let name = &schema.tables[*table].name;
             let mk = |cond: &CondSpec| {
-                let mut s = Select::simple(
-                    name,
-                    vec![SelectItem::plain(col_expr(db, *col, false))],
-                );
+                let mut s =
+                    Select::simple(name, vec![SelectItem::plain(col_expr(db, *col, false))]);
                 s.where_clause = Some(cond_expr(db, cond, false, name));
                 Query::single(s)
             };

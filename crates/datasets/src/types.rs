@@ -73,7 +73,11 @@ impl SqlBenchmark {
 
     /// Distinct domain labels across databases.
     pub fn domain_count(&self) -> usize {
-        let mut set: Vec<&str> = self.databases.iter().map(|d| d.schema.domain.as_str()).collect();
+        let mut set: Vec<&str> = self
+            .databases
+            .iter()
+            .map(|d| d.schema.domain.as_str())
+            .collect();
         set.sort();
         set.dedup();
         set.len()
@@ -84,7 +88,10 @@ impl SqlBenchmark {
         if self.databases.is_empty() {
             return 0.0;
         }
-        self.databases.iter().map(|d| d.schema.tables.len()).sum::<usize>() as f64
+        self.databases
+            .iter()
+            .map(|d| d.schema.tables.len())
+            .sum::<usize>() as f64
             / self.databases.len() as f64
     }
 }
@@ -128,7 +135,11 @@ impl VisBenchmark {
     }
 
     pub fn domain_count(&self) -> usize {
-        let mut set: Vec<&str> = self.databases.iter().map(|d| d.schema.domain.as_str()).collect();
+        let mut set: Vec<&str> = self
+            .databases
+            .iter()
+            .map(|d| d.schema.domain.as_str())
+            .collect();
         set.sort();
         set.dedup();
         set.len()
@@ -138,7 +149,10 @@ impl VisBenchmark {
         if self.databases.is_empty() {
             return 0.0;
         }
-        self.databases.iter().map(|d| d.schema.tables.len()).sum::<usize>() as f64
+        self.databases
+            .iter()
+            .map(|d| d.schema.tables.len())
+            .sum::<usize>() as f64
             / self.databases.len() as f64
     }
 }
@@ -158,7 +172,11 @@ mod tests {
                 vec![SelectItem::plain(nli_sql::Expr::col("x"))],
             ))
         });
-        let ex = SqlExample { db: 0, question: NlQuestion::new("q"), gold: q.clone() };
+        let ex = SqlExample {
+            db: 0,
+            question: NlQuestion::new("q"),
+            gold: q.clone(),
+        };
         let b = SqlBenchmark {
             name: "t".into(),
             family: Family::CrossDomain,

@@ -1,6 +1,6 @@
 //! Row-value synthesis for generated databases.
 
-use crate::domains::{ValueSpec, FIRST_NAMES, LAST_NAMES, CITIES, COUNTRIES};
+use crate::domains::{ValueSpec, CITIES, COUNTRIES, FIRST_NAMES, LAST_NAMES};
 use nli_core::{Date, Prng, Value};
 
 /// Generate a value for `spec`.
@@ -21,11 +21,9 @@ pub fn value_for(spec: &ValueSpec, serial: usize, parent_rows: usize, rng: &mut 
             rng.pick(FIRST_NAMES),
             rng.pick(LAST_NAMES)
         )),
-        ValueSpec::ProperName(suffixes) => Value::Text(format!(
-            "{} {}",
-            rng.pick(LAST_NAMES),
-            rng.pick(suffixes)
-        )),
+        ValueSpec::ProperName(suffixes) => {
+            Value::Text(format!("{} {}", rng.pick(LAST_NAMES), rng.pick(suffixes)))
+        }
         ValueSpec::City => Value::Text(rng.pick(CITIES).to_string()),
         ValueSpec::Country => Value::Text(rng.pick(COUNTRIES).to_string()),
         ValueSpec::DateRange(lo, hi) => {
@@ -48,7 +46,6 @@ pub fn value_for(spec: &ValueSpec, serial: usize, parent_rows: usize, rng: &mut 
 #[cfg(test)]
 mod tests {
     use super::*;
-
 
     #[test]
     fn values_match_declared_types() {
@@ -103,8 +100,7 @@ mod tests {
     fn floats_are_rounded_to_cents() {
         let mut rng = Prng::new(4);
         for _ in 0..100 {
-            if let Value::Float(f) = value_for(&ValueSpec::FloatRange(0.0, 10.0), 1, 0, &mut rng)
-            {
+            if let Value::Float(f) = value_for(&ValueSpec::FloatRange(0.0, 10.0), 1, 0, &mut rng) {
                 assert!(((f * 100.0).round() - f * 100.0).abs() < 1e-9);
             }
         }

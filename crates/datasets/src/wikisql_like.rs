@@ -22,7 +22,12 @@ impl Default for WikiSqlConfig {
     fn default() -> Self {
         // Scaled from the paper's 80,654 / 26,521 to dev-loop size while
         // keeping the queries-per-table ratio (~3).
-        WikiSqlConfig { n_databases: 120, n_train: 260, n_dev: 120, seed: 0x5EED_0001 }
+        WikiSqlConfig {
+            n_databases: 120,
+            n_train: 260,
+            n_dev: 120,
+            seed: 0x5EED_0001,
+        }
     }
 }
 
@@ -31,7 +36,11 @@ impl Default for WikiSqlConfig {
 /// the original's random split.
 pub fn build(cfg: &WikiSqlConfig) -> SqlBenchmark {
     let mut rng = Prng::new(cfg.seed);
-    let db_cfg = DbGenConfig { min_tables: 1, optional_col_p: 0.6, rows: (8, 25) };
+    let db_cfg = DbGenConfig {
+        min_tables: 1,
+        optional_col_p: 0.6,
+        rows: (8, 25),
+    };
     // Force single-table: generate, then truncate each schema to its first
     // table (domain templates put the most self-contained table first).
     let mut databases = generate_databases(cfg.n_databases, &db_cfg, &mut rng);
@@ -75,14 +84,24 @@ mod tests {
 
     #[test]
     fn all_databases_are_single_table() {
-        let b = build(&WikiSqlConfig { n_databases: 20, n_train: 30, n_dev: 15, ..Default::default() });
+        let b = build(&WikiSqlConfig {
+            n_databases: 20,
+            n_train: 30,
+            n_dev: 15,
+            ..Default::default()
+        });
         assert!(b.databases.iter().all(|d| d.schema.tables.len() == 1));
         assert!((b.tables_per_db() - 1.0).abs() < 1e-9);
     }
 
     #[test]
     fn queries_are_single_table_simple() {
-        let b = build(&WikiSqlConfig { n_databases: 20, n_train: 40, n_dev: 20, ..Default::default() });
+        let b = build(&WikiSqlConfig {
+            n_databases: 20,
+            n_train: 40,
+            n_dev: 20,
+            ..Default::default()
+        });
         for ex in b.train.iter().chain(&b.dev) {
             assert_eq!(ex.gold.select.from.len(), 1);
             assert!(ex.gold.select.group_by.is_empty());
@@ -92,14 +111,24 @@ mod tests {
 
     #[test]
     fn splits_use_disjoint_database_halves() {
-        let b = build(&WikiSqlConfig { n_databases: 10, n_train: 20, n_dev: 10, ..Default::default() });
+        let b = build(&WikiSqlConfig {
+            n_databases: 10,
+            n_train: 20,
+            n_dev: 10,
+            ..Default::default()
+        });
         assert!(b.train.iter().all(|e| e.db < 5));
         assert!(b.dev.iter().all(|e| e.db >= 5));
     }
 
     #[test]
     fn build_is_deterministic() {
-        let cfg = WikiSqlConfig { n_databases: 8, n_train: 10, n_dev: 5, ..Default::default() };
+        let cfg = WikiSqlConfig {
+            n_databases: 8,
+            n_train: 10,
+            n_dev: 5,
+            ..Default::default()
+        };
         let a = build(&cfg);
         let b = build(&cfg);
         assert_eq!(a.train.len(), b.train.len());

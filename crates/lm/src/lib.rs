@@ -28,5 +28,7 @@ pub mod prompt;
 
 pub use llm::{LlmKind, SimulatedLlm};
 pub use noise::{CapabilityProfile, ErrorKind};
-pub use plm::{sketch_of, walk_exprs, walk_exprs_mut, AlignmentModel, SketchClassifier, TrainingExample};
+pub use plm::{
+    sketch_of, walk_exprs, walk_exprs_mut, AlignmentModel, SketchClassifier, TrainingExample,
+};
 pub use prompt::{DemoSelection, Demonstration, Prompt, PromptStrategy};

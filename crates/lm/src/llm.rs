@@ -87,7 +87,10 @@ pub struct SimulatedLlm {
 
 impl SimulatedLlm {
     pub fn new(kind: LlmKind) -> Self {
-        SimulatedLlm { kind, usage: Mutex::new(Usage::default()) }
+        SimulatedLlm {
+            kind,
+            usage: Mutex::new(Usage::default()),
+        }
     }
 
     pub fn kind(&self) -> LlmKind {
@@ -236,7 +239,11 @@ fn corrupt_join(q: &mut Query, schema: &Schema, rng: &mut Prng) {
     }
     let ji = rng.below(q.select.joins.len());
     let j = &mut q.select.joins[ji];
-    let side = if rng.chance(0.5) { &mut j.left } else { &mut j.right };
+    let side = if rng.chance(0.5) {
+        &mut j.left
+    } else {
+        &mut j.right
+    };
     if let Some(new) = sibling_column(side, schema, rng) {
         side.column = new;
     }
@@ -270,9 +277,7 @@ fn corrupt_value(q: &mut Query, rng: &mut Prng) {
                             Value::Text(s.to_uppercase())
                         }
                     }
-                    Value::Date(d) => {
-                        Value::Date(nli_core::Date::new(d.year - 1, d.month, d.day))
-                    }
+                    Value::Date(d) => Value::Date(nli_core::Date::new(d.year - 1, d.month, d.day)),
                     Value::Bool(b) => Value::Bool(!b),
                     Value::Null => Value::Int(0),
                 };
@@ -298,7 +303,10 @@ fn corrupt_clause(q: &mut Query, rng: &mut Prng) {
     if q.select.having.is_some() {
         options.push(3);
     }
-    match options.get(rng.below(options.len().max(1)).min(options.len().saturating_sub(1))) {
+    match options.get(
+        rng.below(options.len().max(1))
+            .min(options.len().saturating_sub(1)),
+    ) {
         Some(0) => {
             let w = q.select.where_clause.take().unwrap();
             q.select.where_clause = drop_one_conjunct(w, rng);
@@ -326,7 +334,11 @@ fn drop_one_conjunct(e: Expr, rng: &mut Prng) -> Option<Expr> {
 
 fn flatten_and(e: Expr, out: &mut Vec<Expr>) {
     match e {
-        Expr::Binary { left, op: BinOp::And, right } => {
+        Expr::Binary {
+            left,
+            op: BinOp::And,
+            right,
+        } => {
             flatten_and(*left, out);
             flatten_and(*right, out);
         }
@@ -429,9 +441,14 @@ mod tests {
 
     #[test]
     fn perfect_profile_is_identity() {
-        let q = parse_query("SELECT name FROM products WHERE price > 5 ORDER BY price DESC")
-            .unwrap();
-        let out = corrupt_query(&q, &schema(), &CapabilityProfile::perfect(), &mut Prng::new(1));
+        let q =
+            parse_query("SELECT name FROM products WHERE price > 5 ORDER BY price DESC").unwrap();
+        let out = corrupt_query(
+            &q,
+            &schema(),
+            &CapabilityProfile::perfect(),
+            &mut Prng::new(1),
+        );
         assert_eq!(out, q.to_string());
     }
 
@@ -469,13 +486,15 @@ mod tests {
                 broke += 1;
             }
         }
-        assert!(broke >= 8, "only {broke}/12 corrupted outputs failed to parse");
+        assert!(
+            broke >= 8,
+            "only {broke}/12 corrupted outputs failed to parse"
+        );
     }
 
     #[test]
     fn schema_link_corruption_stays_schema_valid() {
-        let q = parse_query("SELECT products.name FROM products WHERE products.price > 5")
-            .unwrap();
+        let q = parse_query("SELECT products.name FROM products WHERE products.price > 5").unwrap();
         let only_link = CapabilityProfile {
             schema_link: 1.0,
             ..CapabilityProfile::perfect()
@@ -500,10 +519,7 @@ mod tests {
 
     #[test]
     fn clause_corruption_drops_exactly_one_thing() {
-        let q = parse_query(
-            "SELECT name FROM products WHERE price > 5 AND id < 9",
-        )
-        .unwrap();
+        let q = parse_query("SELECT name FROM products WHERE price > 5 AND id < 9").unwrap();
         let only_clause = CapabilityProfile {
             clause: 1.0,
             ..CapabilityProfile::perfect()
@@ -518,12 +534,20 @@ mod tests {
     #[test]
     fn strategy_ordering_of_clean_probability() {
         let llm = SimulatedLlm::new(LlmKind::ChatGpt);
-        let zero = llm.effective_profile(PromptStrategy::ZeroShot).clean_probability();
+        let zero = llm
+            .effective_profile(PromptStrategy::ZeroShot)
+            .clean_probability();
         let few = llm
-            .effective_profile(PromptStrategy::FewShot { k: 4, selection: DemoSelection::Similarity })
+            .effective_profile(PromptStrategy::FewShot {
+                k: 4,
+                selection: DemoSelection::Similarity,
+            })
             .clean_probability();
         let dec = llm
-            .effective_profile(PromptStrategy::Decomposed { k: 4, selection: DemoSelection::Similarity })
+            .effective_profile(PromptStrategy::Decomposed {
+                k: 4,
+                selection: DemoSelection::Similarity,
+            })
             .clean_probability();
         assert!(zero < few, "few-shot must beat zero-shot");
         assert!(few < dec, "decomposition must beat plain few-shot");
@@ -564,8 +588,20 @@ mod tests {
         let llm = SimulatedLlm::new(LlmKind::Codex);
         let q = parse_query("SELECT name FROM products WHERE price > 5").unwrap();
         let p = prompt();
-        let a = llm.generate(&q, &schema(), &p, PromptStrategy::ZeroShot, &mut Prng::new(9));
-        let b = llm.generate(&q, &schema(), &p, PromptStrategy::ZeroShot, &mut Prng::new(9));
+        let a = llm.generate(
+            &q,
+            &schema(),
+            &p,
+            PromptStrategy::ZeroShot,
+            &mut Prng::new(9),
+        );
+        let b = llm.generate(
+            &q,
+            &schema(),
+            &p,
+            PromptStrategy::ZeroShot,
+            &mut Prng::new(9),
+        );
         assert_eq!(a, b);
     }
 
@@ -611,6 +647,9 @@ mod tests {
                 changed += 1;
             }
         }
-        assert!(changed >= 8, "join corruption fired only {changed}/10 times");
+        assert!(
+            changed >= 8,
+            "join corruption fired only {changed}/10 times"
+        );
     }
 }

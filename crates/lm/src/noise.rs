@@ -103,10 +103,7 @@ impl CapabilityProfile {
     /// Probability that *no* error fires — an upper bound on per-query
     /// accuracy for this profile.
     pub fn clean_probability(&self) -> f64 {
-        ErrorKind::ALL
-            .iter()
-            .map(|k| 1.0 - self.rate(*k))
-            .product()
+        ErrorKind::ALL.iter().map(|k| 1.0 - self.rate(*k)).product()
     }
 
     /// A perfect model (all rates zero) — used by oracle baselines.

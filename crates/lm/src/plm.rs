@@ -194,10 +194,12 @@ pub fn walk_exprs(q: &Query, f: &mut impl FnMut(&Expr)) {
                 walk_expr(right, f);
             }
             Expr::Not(inner) => walk_expr(inner, f),
-            Expr::Like { expr, .. }
-            | Expr::InList { expr, .. }
-            | Expr::IsNull { expr, .. } => walk_expr(expr, f),
-            Expr::Between { expr, low, high, .. } => {
+            Expr::Like { expr, .. } | Expr::InList { expr, .. } | Expr::IsNull { expr, .. } => {
+                walk_expr(expr, f)
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => {
                 walk_expr(expr, f);
                 walk_expr(low, f);
                 walk_expr(high, f);
@@ -244,10 +246,12 @@ pub fn walk_exprs_mut(q: &mut Query, f: &mut impl FnMut(&mut Expr)) {
                 walk_expr(right, f);
             }
             Expr::Not(inner) => walk_expr(inner, f),
-            Expr::Like { expr, .. }
-            | Expr::InList { expr, .. }
-            | Expr::IsNull { expr, .. } => walk_expr(expr, f),
-            Expr::Between { expr, low, high, .. } => {
+            Expr::Like { expr, .. } | Expr::InList { expr, .. } | Expr::IsNull { expr, .. } => {
+                walk_expr(expr, f)
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => {
                 walk_expr(expr, f);
                 walk_expr(low, f);
                 walk_expr(high, f);
@@ -311,9 +315,11 @@ pub fn sketch_of(q: &Query) -> String {
 
 fn count_leaf_predicates(e: &Expr) -> usize {
     match e {
-        Expr::Binary { left, op: nli_sql::BinOp::And | nli_sql::BinOp::Or, right } => {
-            count_leaf_predicates(left) + count_leaf_predicates(right)
-        }
+        Expr::Binary {
+            left,
+            op: nli_sql::BinOp::And | nli_sql::BinOp::Or,
+            right,
+        } => count_leaf_predicates(left) + count_leaf_predicates(right),
         _ => 1,
     }
 }
@@ -342,11 +348,7 @@ impl SketchClassifier {
     /// decomposition predicts the aggregate and the condition count with
     /// separate heads, which is far more sample-efficient than a joint
     /// label space).
-    pub fn train_with(
-        &mut self,
-        examples: &[TrainingExample],
-        label: impl Fn(&Query) -> String,
-    ) {
+    pub fn train_with(&mut self, examples: &[TrainingExample], label: impl Fn(&Query) -> String) {
         for ex in examples {
             let label = label(&ex.sql);
             let entry = self.classes.entry(label).or_insert((0.0, HashMap::new()));
@@ -427,14 +429,20 @@ mod tests {
     use nli_sql::parse_query;
 
     fn ex(q: &str, sql: &str) -> TrainingExample {
-        TrainingExample { question: q.into(), sql: parse_query(sql).unwrap() }
+        TrainingExample {
+            question: q.into(),
+            sql: parse_query(sql).unwrap(),
+        }
     }
 
     fn corpus() -> Vec<TrainingExample> {
         vec![
             ex("how many singers are there", "SELECT COUNT(*) FROM singer"),
             ex("count the singers", "SELECT COUNT(*) FROM singer"),
-            ex("what is the average age of singers", "SELECT AVG(age) FROM singer"),
+            ex(
+                "what is the average age of singers",
+                "SELECT AVG(age) FROM singer",
+            ),
             ex(
                 "names of singers older than 30",
                 "SELECT name FROM singer WHERE age > 30",
@@ -517,10 +525,8 @@ mod tests {
 
     #[test]
     fn walkers_visit_subqueries() {
-        let q = parse_query(
-            "SELECT a FROM t WHERE b IN (SELECT b FROM u WHERE c = 1) AND d = 2",
-        )
-        .unwrap();
+        let q = parse_query("SELECT a FROM t WHERE b IN (SELECT b FROM u WHERE c = 1) AND d = 2")
+            .unwrap();
         let mut cols = Vec::new();
         walk_exprs(&q, &mut |e| {
             if let Expr::Column(c) = e {

@@ -143,8 +143,7 @@ pub fn select_demos(
             // Greedy max-marginal-relevance: first by similarity to the
             // question, then alternating away from what's already chosen.
             let q = Embedding::of(question);
-            let embs: Vec<Embedding> =
-                pool.iter().map(|d| Embedding::of(&d.question)).collect();
+            let embs: Vec<Embedding> = pool.iter().map(|d| Embedding::of(&d.question)).collect();
             let mut chosen: Vec<usize> = Vec::new();
             while chosen.len() < k {
                 let mut best: Option<(f64, usize)> = None;
@@ -198,7 +197,10 @@ mod tests {
     fn db() -> Database {
         Database::empty(Schema::new(
             "d",
-            vec![Table::new("singer", vec![Column::new("name", DataType::Text)])],
+            vec![Table::new(
+                "singer",
+                vec![Column::new("name", DataType::Text)],
+            )],
         ))
     }
 
@@ -244,11 +246,15 @@ mod tests {
 
     #[test]
     fn k_is_clamped_to_pool_size() {
-        let demos =
-            select_demos("q", &pool(), 99, DemoSelection::Similarity, &mut Prng::new(1));
+        let demos = select_demos(
+            "q",
+            &pool(),
+            99,
+            DemoSelection::Similarity,
+            &mut Prng::new(1),
+        );
         assert_eq!(demos.len(), 4);
-        assert!(select_demos("q", &[], 3, DemoSelection::Random, &mut Prng::new(1))
-            .is_empty());
+        assert!(select_demos("q", &[], 3, DemoSelection::Random, &mut Prng::new(1)).is_empty());
     }
 
     #[test]
@@ -274,7 +280,11 @@ mod tests {
     fn strategy_names() {
         assert_eq!(PromptStrategy::ZeroShot.name(), "zero-shot");
         assert_eq!(
-            PromptStrategy::FewShot { k: 4, selection: DemoSelection::Random }.name(),
+            PromptStrategy::FewShot {
+                k: 4,
+                selection: DemoSelection::Random
+            }
+            .name(),
             "few-shot"
         );
     }

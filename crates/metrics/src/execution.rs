@@ -13,11 +13,17 @@ use nli_sql::SqlEngine;
 /// that fail to parse or execute never match; a gold query that fails to
 /// execute (should not happen for generated benchmarks) also yields false.
 pub fn execution_match(pred: &str, gold: &str, db: &Database) -> bool {
-    let engine = SqlEngine::new();
-    let Ok(gold_rs) = engine.run_sql(gold, db) else {
+    execution_match_with(&SqlEngine::new(), pred, gold, db)
+}
+
+/// [`execution_match`] against a caller-supplied engine, so harnesses that
+/// evaluate a corpus can share one plan cache: each `(query, schema)` pair
+/// is parsed and planned at most once across the whole loop.
+pub fn execution_match_with(engine: &SqlEngine, pred: &str, gold: &str, db: &Database) -> bool {
+    let Ok(gold_rs) = engine.prepare(gold, &db.schema).and_then(|p| p.execute(db)) else {
         return false;
     };
-    match engine.run_sql(pred, db) {
+    match engine.prepare(pred, &db.schema).and_then(|p| p.execute(db)) {
         Ok(pred_rs) => pred_rs.same_result(&gold_rs),
         Err(_) => false,
     }
@@ -89,9 +95,32 @@ mod tests {
     #[test]
     fn broken_predictions_fail() {
         assert!(!execution_match("SELEC oops", "SELECT a FROM t", &db()));
-        assert!(!execution_match("SELECT z FROM t", "SELECT a FROM t", &db()));
+        assert!(!execution_match(
+            "SELECT z FROM t",
+            "SELECT a FROM t",
+            &db()
+        ));
         assert!(!executes("SELECT z FROM t", &db()));
         assert!(executes("SELECT a FROM t", &db()));
+    }
+
+    #[test]
+    fn shared_engine_parses_each_query_once() {
+        let engine = SqlEngine::new();
+        let d = db();
+        for _ in 0..16 {
+            assert!(execution_match_with(
+                &engine,
+                "SELECT a FROM t WHERE a >= 2",
+                "SELECT a FROM t WHERE a > 1",
+                &d
+            ));
+        }
+        assert_eq!(
+            engine.parse_count(),
+            2,
+            "16 comparisons over one schema must parse gold and pred once each"
+        );
     }
 
     #[test]

@@ -30,7 +30,11 @@ mod tests {
     fn near_miss_passes_fuzzy_but_not_exact() {
         let gold = "SELECT name FROM singer WHERE age > 30 ORDER BY age DESC LIMIT 3";
         let near = "SELECT name FROM singer WHERE age > 31 ORDER BY age DESC LIMIT 3";
-        assert!(fuzzy_match(near, gold, 0.75), "bleu = {}", bleu_score(near, gold));
+        assert!(
+            fuzzy_match(near, gold, 0.75),
+            "bleu = {}",
+            bleu_score(near, gold)
+        );
         assert!(!crate::string_match::exact_match(near, gold));
     }
 

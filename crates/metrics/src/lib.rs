@@ -29,9 +29,9 @@ pub mod test_suite;
 pub mod vis;
 
 pub use component::{component_f1, exact_set_match};
-pub use execution::execution_match;
+pub use execution::{execution_match, execution_match_with};
 pub use fuzzy::{bleu_score, fuzzy_match};
 pub use manual::JudgePanel;
 pub use report::{evaluate_sql, evaluate_vis, SqlScores, VisScores};
 pub use string_match::exact_match;
-pub use test_suite::{test_suite_match, TestSuite};
+pub use test_suite::{test_suite_match, test_suite_match_with, TestSuite};

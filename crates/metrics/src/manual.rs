@@ -62,7 +62,11 @@ impl JudgePanel {
         let mut yes = 0;
         for _ in 0..self.n_judges {
             self.judgments.fetch_add(1, Ordering::Relaxed);
-            let report = if rng.chance(self.reliability) { truth } else { !truth };
+            let report = if rng.chance(self.reliability) {
+                truth
+            } else {
+                !truth
+            };
             yes += usize::from(report);
         }
         yes * 2 > self.n_judges
@@ -103,8 +107,16 @@ mod tests {
     #[test]
     fn reliable_panel_reports_truth() {
         let panel = JudgePanel::new(5, 1.0, 1);
-        assert!(panel.judge("SELECT a FROM t WHERE a > 15", "SELECT a FROM t WHERE a >= 20", &db()));
-        assert!(!panel.judge("SELECT a FROM t WHERE a > 25", "SELECT a FROM t WHERE a >= 20", &db()));
+        assert!(panel.judge(
+            "SELECT a FROM t WHERE a > 15",
+            "SELECT a FROM t WHERE a >= 20",
+            &db()
+        ));
+        assert!(!panel.judge(
+            "SELECT a FROM t WHERE a > 25",
+            "SELECT a FROM t WHERE a >= 20",
+            &db()
+        ));
         assert_eq!(panel.judgments(), 10);
     }
 

@@ -77,7 +77,12 @@ fn equivalent_rewrites(gold: &Query) -> Vec<String> {
         out.push(lower);
     }
     // R2: swap the top-level AND conjuncts
-    if let Some(Expr::Binary { left, op: BinOp::And, right }) = &gold.select.where_clause {
+    if let Some(Expr::Binary {
+        left,
+        op: BinOp::And,
+        right,
+    }) = &gold.select.where_clause
+    {
         let mut q = gold.clone();
         q.select.where_clause = Some(Expr::Binary {
             left: right.clone(),
@@ -239,11 +244,7 @@ pub fn metric_meta_analysis(
 
 /// Convenience: gold queries of a benchmark's dev split, parsed.
 pub fn golds_of(bench: &nli_data::SqlBenchmark) -> Vec<(usize, Query)> {
-    bench
-        .dev
-        .iter()
-        .map(|e| (e.db, e.gold.clone()))
-        .collect()
+    bench.dev.iter().map(|e| (e.db, e.gold.clone())).collect()
 }
 
 /// Re-parse helper used by harnesses that store gold as text.
@@ -300,9 +301,15 @@ mod tests {
         assert_eq!(exact.false_positive_rate, 0.0, "{exact:?}");
         assert!(exact.false_negative_rate > 0.0, "{exact:?}");
         // fuzzy match is lenient: strictly more false positives than exact
-        assert!(fuzzy.false_positive_rate > exact.false_positive_rate, "{fuzzy:?}");
+        assert!(
+            fuzzy.false_positive_rate > exact.false_positive_rate,
+            "{fuzzy:?}"
+        );
         // set match recovers most rewrites (lower FNR than exact)
-        assert!(set.false_negative_rate < exact.false_negative_rate, "{set:?} vs {exact:?}");
+        assert!(
+            set.false_negative_rate < exact.false_negative_rate,
+            "{set:?} vs {exact:?}"
+        );
         // execution match admits coincidence false positives; the test
         // suite reduces them
         assert!(
@@ -315,7 +322,10 @@ mod tests {
             .filter(|r| !r.name.starts_with("manual"))
             .map(|r| r.accuracy)
             .fold(0.0f64, f64::max);
-        assert!(manual.accuracy >= best_auto - 0.05, "{manual:?} vs {best_auto}");
+        assert!(
+            manual.accuracy >= best_auto - 0.05,
+            "{manual:?} vs {best_auto}"
+        );
     }
 
     #[test]

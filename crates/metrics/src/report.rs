@@ -2,12 +2,12 @@
 //! with every automatic metric at once.
 
 use crate::component::{component_f1, exact_set_match};
-use crate::execution::{executes, execution_match};
+use crate::execution::execution_match_with;
 use crate::string_match::exact_match;
 use crate::vis::{vis_component_accuracy, vis_exact_match, vis_execution_match};
 use nli_core::SemanticParser;
 use nli_data::{SqlBenchmark, VisBenchmark};
-use nli_sql::Query;
+use nli_sql::{Query, SqlEngine};
 use nli_vql::VisQuery;
 use std::time::Instant;
 
@@ -48,25 +48,25 @@ impl SqlScores {
 }
 
 /// Evaluate a parser on a benchmark's dev split.
-pub fn evaluate_sql(
-    parser: &dyn SemanticParser<Expr = Query>,
-    bench: &SqlBenchmark,
-) -> SqlScores {
+pub fn evaluate_sql(parser: &dyn SemanticParser<Expr = Query>, bench: &SqlBenchmark) -> SqlScores {
     let mut exact = 0usize;
     let mut set = 0usize;
     let mut exec = 0usize;
     let mut comp = 0.0f64;
     let mut valid = 0usize;
+    // One engine for the whole split: gold queries repeat across examples
+    // and share schemas, so the plan cache amortizes parsing.
+    let engine = SqlEngine::new();
     let start = Instant::now();
     for ex in &bench.dev {
         let db = bench.db_of(ex);
         let gold = ex.gold.to_string();
         if let Ok(pred) = parser.parse(&ex.question, db) {
             let pred = pred.to_string();
-            valid += usize::from(executes(&pred, db));
+            valid += usize::from(engine.run_sql(&pred, db).is_ok());
             exact += usize::from(exact_match(&pred, &gold));
             set += usize::from(exact_set_match(&pred, &gold));
-            exec += usize::from(execution_match(&pred, &gold, db));
+            exec += usize::from(execution_match_with(&engine, &pred, &gold, db));
             comp += component_f1(&pred, &gold);
         }
     }

@@ -96,15 +96,45 @@ fn fuzz(db: &mut Database, rng: &mut Prng) {
 
 /// Test-suite match: the prediction must match gold on **every** variant.
 pub fn test_suite_match(pred: &str, gold: &str, suite: &TestSuite) -> bool {
-    let engine = SqlEngine::new();
+    test_suite_match_with(&SqlEngine::new(), pred, gold, suite)
+}
+
+/// [`test_suite_match`] against a caller-supplied engine. All variants
+/// share the base schema (fuzzing perturbs data, never structure), so each
+/// query is parsed and planned exactly once for the whole suite — the
+/// prepared statements then execute per variant. The gold result's
+/// canonical comparison form is likewise computed once per variant rather
+/// than inside every comparison.
+pub fn test_suite_match_with(
+    engine: &SqlEngine,
+    pred: &str,
+    gold: &str,
+    suite: &TestSuite,
+) -> bool {
+    let Some(base) = suite.variants.first() else {
+        return true;
+    };
+    let gold_prepared = engine.prepare(gold, &base.schema);
+    let pred_prepared = engine.prepare(pred, &base.schema);
     for db in &suite.variants {
-        let Ok(gold_rs) = engine.run_sql(gold, db) else {
-            // a variant broke the gold query (e.g. pie-hole edge); skip it
-            continue;
+        let gold_rs = match &gold_prepared {
+            Ok(p) => match p.execute(db) {
+                Ok(rs) => rs,
+                // a variant broke the gold query (e.g. pie-hole edge); skip it
+                Err(_) => continue,
+            },
+            Err(_) => continue,
         };
-        match engine.run_sql(pred, db) {
-            Ok(pred_rs) if pred_rs.same_result(&gold_rs) => {}
-            _ => return false,
+        let gold_canonical = gold_rs.to_canonical();
+        let matched = match &pred_prepared {
+            Ok(p) => p
+                .execute(db)
+                .map(|pred_rs| pred_rs.matches_canonical(&gold_canonical))
+                .unwrap_or(false),
+            Err(_) => false,
+        };
+        if !matched {
+            return false;
         }
     }
     true
@@ -172,7 +202,11 @@ mod tests {
     #[test]
     fn identical_queries_always_pass() {
         let suite = TestSuite::build(&db(), 5, 3);
-        assert!(test_suite_match("SELECT a FROM t", "SELECT a FROM t", &suite));
+        assert!(test_suite_match(
+            "SELECT a FROM t",
+            "SELECT a FROM t",
+            &suite
+        ));
     }
 
     #[test]
@@ -192,5 +226,27 @@ mod tests {
     fn broken_predictions_fail() {
         let suite = TestSuite::build(&db(), 3, 1);
         assert!(!test_suite_match("SELEC nope", "SELECT a FROM t", &suite));
+    }
+
+    /// The acceptance property for the prepared pipeline in evaluation:
+    /// matching over N variants costs one parse+plan per query, not N.
+    #[test]
+    fn suite_match_parses_each_query_once_across_variants() {
+        let engine = SqlEngine::new();
+        let suite = TestSuite::build(&db(), 32, 11);
+        assert_eq!(suite.len(), 33);
+        assert!(test_suite_match_with(
+            &engine,
+            "SELECT a FROM t WHERE a >= 2",
+            "SELECT a FROM t WHERE a > 1",
+            &suite
+        ));
+        assert_eq!(
+            engine.parse_count(),
+            2,
+            "33 variants must share one prepared plan per query"
+        );
+        let stats = engine.cache_stats();
+        assert_eq!(stats.misses, 2, "only the two first-time preparations miss");
     }
 }

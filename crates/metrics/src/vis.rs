@@ -40,7 +40,10 @@ pub fn vis_components(v: &VisQuery) -> VisComponents {
         y: items.get(1).map(|i| i.expr.to_string()),
         table: v.query.select.from.first().map(|t| t.name.clone()),
         filter: v.query.select.where_clause.as_ref().map(|w| w.to_string()),
-        bin: v.bin.as_ref().map(|b| format!("{} BY {}", b.column, b.unit.name())),
+        bin: v
+            .bin
+            .as_ref()
+            .map(|b| format!("{} BY {}", b.column, b.unit.name())),
     }
 }
 
@@ -69,7 +72,9 @@ pub fn vis_component_accuracy(pred: &VisQuery, gold: &VisQuery) -> f64 {
 /// data series.
 pub fn vis_execution_match(pred: &VisQuery, gold: &VisQuery, db: &Database) -> bool {
     let engine = VisEngine::new();
-    let Ok(g) = engine.execute(gold, db) else { return false };
+    let Ok(g) = engine.execute(gold, db) else {
+        return false;
+    };
     match engine.execute(pred, db) {
         Ok(p) => {
             if p.chart_type != g.chart_type || p.points.len() != g.points.len() {
@@ -152,7 +157,10 @@ mod tests {
 
     #[test]
     fn text_level_match_handles_unparseable() {
-        assert!(!vis_exact_match_text("VISUALIZE NOPE SELECT", "VISUALIZE BAR SELECT a, b FROM t"));
+        assert!(!vis_exact_match_text(
+            "VISUALIZE NOPE SELECT",
+            "VISUALIZE BAR SELECT a, b FROM t"
+        ));
     }
 
     #[test]

@@ -33,7 +33,11 @@ fn clipped_counts(cand: &[String], refr: &[String], n: usize) -> (usize, usize) 
 /// Uses add-one smoothing on every order so short sequences don't zero out.
 pub fn bleu(cand: &[String], refr: &[String], max_n: usize) -> f64 {
     if cand.is_empty() || refr.is_empty() {
-        return if cand.is_empty() && refr.is_empty() { 1.0 } else { 0.0 };
+        return if cand.is_empty() && refr.is_empty() {
+            1.0
+        } else {
+            0.0
+        };
     }
     let max_n = max_n.max(1);
     let mut log_sum = 0.0;

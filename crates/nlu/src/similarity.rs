@@ -64,8 +64,11 @@ pub fn lexical_similarity(a: &str, b: &str) -> f64 {
     let wa: Vec<&str> = a.split_whitespace().collect();
     let wb: Vec<&str> = b.split_whitespace().collect();
     let containment = if !wa.is_empty() && !wb.is_empty() {
-        let (small, large): (&Vec<&str>, &Vec<&str>) =
-            if wa.len() <= wb.len() { (&wa, &wb) } else { (&wb, &wa) };
+        let (small, large): (&Vec<&str>, &Vec<&str>) = if wa.len() <= wb.len() {
+            (&wa, &wb)
+        } else {
+            (&wb, &wa)
+        };
         let hits = small.iter().filter(|w| large.contains(w)).count();
         0.9 * hits as f64 / small.len() as f64
     } else {

@@ -29,7 +29,10 @@ pub fn stem(word: &str) -> String {
         // matches -> match, but "types" is handled by the plain-s rule; only
         // strip "es" after sibilants where bare-"s" stripping would leave a
         // non-word ("matche").
-        if base.ends_with("ch") || base.ends_with("sh") || base.ends_with('x') || base.ends_with('z')
+        if base.ends_with("ch")
+            || base.ends_with("sh")
+            || base.ends_with('x')
+            || base.ends_with('z')
         {
             return base.to_string();
         }
@@ -41,7 +44,10 @@ pub fn stem(word: &str) -> String {
         if base.len() >= 3 {
             // doubling: running -> run
             let b = base.as_bytes();
-            if b.len() >= 2 && b[b.len() - 1] == b[b.len() - 2] && !matches!(b[b.len() - 1], b'l' | b's' | b'z') {
+            if b.len() >= 2
+                && b[b.len() - 1] == b[b.len() - 2]
+                && !matches!(b[b.len() - 1], b'l' | b's' | b'z')
+            {
                 return base[..base.len() - 1].to_string();
             }
             return base.to_string(); // showing -> show
@@ -50,7 +56,10 @@ pub fn stem(word: &str) -> String {
     if let Some(base) = w.strip_suffix("ed") {
         if base.len() >= 3 {
             let b = base.as_bytes();
-            if b.len() >= 2 && b[b.len() - 1] == b[b.len() - 2] && !matches!(b[b.len() - 1], b'l' | b's' | b'z') {
+            if b.len() >= 2
+                && b[b.len() - 1] == b[b.len() - 2]
+                && !matches!(b[b.len() - 1], b'l' | b's' | b'z')
+            {
                 return base[..base.len() - 1].to_string();
             }
             return base.to_string(); // sorted -> sort
@@ -89,7 +98,10 @@ mod tests {
     fn verb_inflections() {
         assert_eq!(stem("showing"), "show");
         assert_eq!(stem("sorted"), "sort");
-        assert_eq!(stem("running"), "runn".strip_suffix('n').map(String::from).unwrap());
+        assert_eq!(
+            stem("running"),
+            "runn".strip_suffix('n').map(String::from).unwrap()
+        );
     }
 
     #[test]

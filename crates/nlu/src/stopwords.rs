@@ -6,13 +6,11 @@
 
 /// Words carrying no linkable content.
 static STOPWORDS: &[&str] = &[
-    "a", "an", "the", "of", "in", "on", "at", "to", "for", "by", "with",
-    "and", "or", "is", "are", "was", "were", "be", "been", "do", "does",
-    "did", "me", "my", "we", "our", "you", "your", "it", "its", "this",
-    "that", "these", "those", "there", "please", "can", "could", "would",
-    "i", "s", "as", "from", "have", "has", "had", "what", "which", "who",
-    "whose", "when", "much", "give", "show", "list", "find",
-    "display", "tell", "return", "get", "all", "each", "us", "their",
+    "a", "an", "the", "of", "in", "on", "at", "to", "for", "by", "with", "and", "or", "is", "are",
+    "was", "were", "be", "been", "do", "does", "did", "me", "my", "we", "our", "you", "your", "it",
+    "its", "this", "that", "these", "those", "there", "please", "can", "could", "would", "i", "s",
+    "as", "from", "have", "has", "had", "what", "which", "who", "whose", "when", "much", "give",
+    "show", "list", "find", "display", "tell", "return", "get", "all", "each", "us", "their",
 ];
 
 /// Whether `word` (lower-case) is a stopword.

@@ -29,7 +29,9 @@ impl SynonymLexicon {
             &["average", "mean", "avg"],
             &["total", "sum", "overall", "aggregate"],
             &["count", "number", "amount"],
-            &["maximum", "max", "highest", "largest", "greatest", "biggest", "most"],
+            &[
+                "maximum", "max", "highest", "largest", "greatest", "biggest", "most",
+            ],
             &["minimum", "min", "lowest", "smallest", "least", "fewest"],
             &["revenue", "earnings", "income", "proceeds", "sales"],
             &["price", "cost", "fee", "charge"],

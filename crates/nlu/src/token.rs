@@ -24,13 +24,22 @@ pub struct Token {
 
 impl Token {
     pub fn word(text: &str) -> Self {
-        Token { text: text.to_lowercase(), kind: TokenKind::Word }
+        Token {
+            text: text.to_lowercase(),
+            kind: TokenKind::Word,
+        }
     }
     pub fn number(text: &str) -> Self {
-        Token { text: text.to_string(), kind: TokenKind::Number }
+        Token {
+            text: text.to_string(),
+            kind: TokenKind::Number,
+        }
     }
     pub fn quoted(text: &str) -> Self {
-        Token { text: text.to_string(), kind: TokenKind::Quoted }
+        Token {
+            text: text.to_string(),
+            kind: TokenKind::Quoted,
+        }
     }
 }
 
@@ -74,9 +83,7 @@ pub fn tokenize(text: &str) -> Vec<Token> {
             let start = i;
             let mut j = if c == '-' { i + 1 } else { i };
             let mut seen_dot = false;
-            while j < chars.len()
-                && (chars[j].is_ascii_digit() || (chars[j] == '.' && !seen_dot))
-            {
+            while j < chars.len() && (chars[j].is_ascii_digit() || (chars[j] == '.' && !seen_dot)) {
                 if chars[j] == '.' {
                     // Only consume the dot when a digit follows (not "3.").
                     if j + 1 >= chars.len() || !chars[j + 1].is_ascii_digit() {
@@ -140,13 +147,18 @@ mod tests {
     #[test]
     fn negative_numbers_after_word() {
         let toks = tokenize("temperature below -5 degrees");
-        assert!(toks.iter().any(|t| t.text == "-5" && t.kind == TokenKind::Number));
+        assert!(toks
+            .iter()
+            .any(|t| t.text == "-5" && t.kind == TokenKind::Number));
     }
 
     #[test]
     fn quoted_spans_are_single_tokens_with_case() {
         let toks = tokenize("sales for 'Acme Corp' last year");
-        let q: Vec<&Token> = toks.iter().filter(|t| t.kind == TokenKind::Quoted).collect();
+        let q: Vec<&Token> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Quoted)
+            .collect();
         assert_eq!(q.len(), 1);
         assert_eq!(q[0].text, "Acme Corp");
     }
@@ -154,7 +166,9 @@ mod tests {
     #[test]
     fn double_quotes_work_too() {
         let toks = tokenize("where name is \"Jane Doe\"");
-        assert!(toks.iter().any(|t| t.text == "Jane Doe" && t.kind == TokenKind::Quoted));
+        assert!(toks
+            .iter()
+            .any(|t| t.text == "Jane Doe" && t.kind == TokenKind::Quoted));
     }
 
     #[test]
@@ -172,7 +186,9 @@ mod tests {
     #[test]
     fn trailing_dot_not_part_of_number() {
         let toks = tokenize("costs 3.");
-        assert!(toks.iter().any(|t| t.text == "3" && t.kind == TokenKind::Number));
+        assert!(toks
+            .iter()
+            .any(|t| t.text == "3" && t.kind == TokenKind::Number));
         assert_eq!(toks.len(), 2);
     }
 

@@ -19,7 +19,10 @@ pub struct ColName {
 
 impl ColName {
     pub fn new(column: &str) -> Self {
-        ColName { table: None, column: column.to_lowercase() }
+        ColName {
+            table: None,
+            column: column.to_lowercase(),
+        }
     }
 
     pub fn qualified(table: &str, column: &str) -> Self {
@@ -60,8 +63,13 @@ impl AggFunc {
         }
     }
 
-    pub const ALL: [AggFunc; 5] =
-        [AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max];
+    pub const ALL: [AggFunc; 5] = [
+        AggFunc::Count,
+        AggFunc::Sum,
+        AggFunc::Avg,
+        AggFunc::Min,
+        AggFunc::Max,
+    ];
 }
 
 /// Binary operators, arithmetic and boolean.
@@ -187,7 +195,11 @@ impl Expr {
     }
 
     pub fn agg(func: AggFunc, arg: Expr) -> Expr {
-        Expr::Agg { func, arg: Box::new(arg), distinct: false }
+        Expr::Agg {
+            func,
+            arg: Box::new(arg),
+            distinct: false,
+        }
     }
 
     pub fn count_star() -> Expr {
@@ -195,7 +207,11 @@ impl Expr {
     }
 
     pub fn binary(left: Expr, op: BinOp, right: Expr) -> Expr {
-        Expr::Binary { left: Box::new(left), op, right: Box::new(right) }
+        Expr::Binary {
+            left: Box::new(left),
+            op,
+            right: Box::new(right),
+        }
     }
 
     /// Whether the expression (recursively) contains an aggregate call.
@@ -236,7 +252,9 @@ impl Expr {
             | Expr::InList { expr, .. }
             | Expr::InSubquery { expr, .. }
             | Expr::IsNull { expr, .. } => expr.collect_columns(out),
-            Expr::Between { expr, low, high, .. } => {
+            Expr::Between {
+                expr, low, high, ..
+            } => {
                 expr.collect_columns(out);
                 low.collect_columns(out);
                 high.collect_columns(out);
@@ -267,7 +285,11 @@ impl Expr {
             Expr::Column(c) => write!(f, "{c}"),
             Expr::Literal(v) => fmt_literal(v, f),
             Expr::Star => f.write_str("*"),
-            Expr::Agg { func, arg, distinct } => {
+            Expr::Agg {
+                func,
+                arg,
+                distinct,
+            } => {
                 if *distinct {
                     write!(f, "{}(DISTINCT {arg})", func.name())
                 } else {
@@ -294,7 +316,11 @@ impl Expr {
                 f.write_str("NOT ")?;
                 e.fmt_prec(f, 6)
             }
-            Expr::Like { expr, pattern, negated } => {
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
                 expr.fmt_prec(f, 3)?;
                 write!(
                     f,
@@ -303,14 +329,23 @@ impl Expr {
                     pattern.replace('\'', "''")
                 )
             }
-            Expr::Between { expr, low, high, negated } => {
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
                 expr.fmt_prec(f, 3)?;
                 write!(f, " {}BETWEEN ", if *negated { "NOT " } else { "" })?;
                 low.fmt_prec(f, 4)?;
                 f.write_str(" AND ")?;
                 high.fmt_prec(f, 4)
             }
-            Expr::InList { expr, list, negated } => {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 expr.fmt_prec(f, 3)?;
                 write!(f, " {}IN (", if *negated { "NOT " } else { "" })?;
                 for (i, v) in list.iter().enumerate() {
@@ -321,7 +356,11 @@ impl Expr {
                 }
                 f.write_str(")")
             }
-            Expr::InSubquery { expr, query, negated } => {
+            Expr::InSubquery {
+                expr,
+                query,
+                negated,
+            } => {
                 expr.fmt_prec(f, 3)?;
                 write!(f, " {}IN ({query})", if *negated { "NOT " } else { "" })
             }
@@ -382,7 +421,12 @@ pub struct OrderItem {
 
 impl fmt::Display for OrderItem {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}{}", self.expr, if self.desc { " DESC" } else { " ASC" })
+        write!(
+            f,
+            "{}{}",
+            self.expr,
+            if self.desc { " DESC" } else { " ASC" }
+        )
     }
 }
 
@@ -426,7 +470,9 @@ impl Select {
         Select {
             distinct: false,
             items,
-            from: vec![TableRef { name: table.to_lowercase() }],
+            from: vec![TableRef {
+                name: table.to_lowercase(),
+            }],
             joins: Vec::new(),
             where_clause: None,
             group_by: Vec::new(),
@@ -501,7 +547,10 @@ pub struct Query {
 
 impl Query {
     pub fn single(select: Select) -> Self {
-        Query { select, compound: None }
+        Query {
+            select,
+            compound: None,
+        }
     }
 
     /// All table names mentioned in FROM clauses, recursively (subqueries in
@@ -537,7 +586,9 @@ impl Query {
                     exprs.push(right);
                 }
                 Expr::Not(inner) => exprs.push(inner),
-                Expr::Between { expr, low, high, .. } => {
+                Expr::Between {
+                    expr, low, high, ..
+                } => {
                     exprs.push(expr);
                     exprs.push(low);
                     exprs.push(high);
@@ -574,9 +625,11 @@ impl Query {
 
 fn count_predicates(e: &Expr) -> u32 {
     match e {
-        Expr::Binary { left, op: BinOp::And | BinOp::Or, right } => {
-            count_predicates(left) + count_predicates(right)
-        }
+        Expr::Binary {
+            left,
+            op: BinOp::And | BinOp::Or,
+            right,
+        } => count_predicates(left) + count_predicates(right),
         _ => 1,
     }
 }
@@ -606,12 +659,12 @@ mod tests {
 
     #[test]
     fn canonical_rendering_of_simple_query() {
-        let mut s = Select::simple(
-            "singer",
-            vec![SelectItem::plain(Expr::col("name"))],
-        );
+        let mut s = Select::simple("singer", vec![SelectItem::plain(Expr::col("name"))]);
         s.where_clause = Some(Expr::binary(Expr::col("age"), BinOp::Gt, Expr::lit(30i64)));
-        s.order_by = vec![OrderItem { expr: Expr::col("age"), desc: true }];
+        s.order_by = vec![OrderItem {
+            expr: Expr::col("age"),
+            desc: true,
+        }];
         s.limit = Some(3);
         let q = Query::single(s);
         assert_eq!(
@@ -626,7 +679,9 @@ mod tests {
             "sales",
             vec![SelectItem::plain(Expr::qcol("products", "name"))],
         );
-        s.from.push(TableRef { name: "products".into() });
+        s.from.push(TableRef {
+            name: "products".into(),
+        });
         s.joins.push(JoinCond {
             left: ColName::qualified("sales", "product_id"),
             right: ColName::qualified("products", "id"),
@@ -674,7 +729,10 @@ mod tests {
     fn set_op_rendering() {
         let a = Query::single(Select::simple("a", vec![SelectItem::plain(Expr::col("x"))]));
         let b = Query::single(Select::simple("b", vec![SelectItem::plain(Expr::col("x"))]));
-        let q = Query { select: a.select, compound: Some((SetOp::Except, Box::new(b))) };
+        let q = Query {
+            select: a.select,
+            compound: Some((SetOp::Except, Box::new(b))),
+        };
         assert_eq!(q.to_string(), "SELECT x FROM a EXCEPT SELECT x FROM b");
     }
 
@@ -691,15 +749,15 @@ mod tests {
             negated: true,
         });
         let q = Query::single(s);
-        assert_eq!(q.tables(), vec!["singer".to_string(), "concert".to_string()]);
+        assert_eq!(
+            q.tables(),
+            vec!["singer".to_string(), "concert".to_string()]
+        );
     }
 
     #[test]
     fn complexity_orders_queries_sensibly() {
-        let simple = Query::single(Select::simple(
-            "t",
-            vec![SelectItem::plain(Expr::col("a"))],
-        ));
+        let simple = Query::single(Select::simple("t", vec![SelectItem::plain(Expr::col("a"))]));
         let mut s = Select::simple("t", vec![SelectItem::plain(Expr::count_star())]);
         s.from.push(TableRef { name: "u".into() });
         s.joins.push(JoinCond {

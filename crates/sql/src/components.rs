@@ -44,19 +44,12 @@ pub fn decompose(q: &Query) -> QueryComponents {
             format!("{} = {}", sides[0], sides[1])
         })
         .collect();
-    let where_conjuncts = s
-        .where_clause
-        .as_ref()
-        .map(conjuncts)
-        .unwrap_or_default();
+    let where_conjuncts = s.where_clause.as_ref().map(conjuncts).unwrap_or_default();
     let group_by = s.group_by.iter().map(|g| g.to_string()).collect();
     let having = s.having.as_ref().map(conjuncts).unwrap_or_default();
     let order_by = s.order_by.iter().map(|o| o.to_string()).collect();
     let (set_op, compound) = match &q.compound {
-        Some((op, rhs)) => (
-            Some(op.name().to_string()),
-            Some(Box::new(decompose(rhs))),
-        ),
+        Some((op, rhs)) => (Some(op.name().to_string()), Some(Box::new(decompose(rhs)))),
         None => (None, None),
     };
     QueryComponents {
@@ -84,20 +77,23 @@ fn conjuncts(e: &Expr) -> BTreeSet<String> {
 
 fn collect_conjuncts(e: &Expr, out: &mut BTreeSet<String>) {
     match e {
-        Expr::Binary { left, op: BinOp::And, right } => {
+        Expr::Binary {
+            left,
+            op: BinOp::And,
+            right,
+        } => {
             collect_conjuncts(left, out);
             collect_conjuncts(right, out);
         }
-        Expr::Binary { left, op: BinOp::Or, right } => {
+        Expr::Binary {
+            left,
+            op: BinOp::Or,
+            right,
+        } => {
             let mut disjuncts = BTreeSet::new();
             collect_disjuncts(left, &mut disjuncts);
             collect_disjuncts(right, &mut disjuncts);
-            out.insert(
-                disjuncts
-                    .into_iter()
-                    .collect::<Vec<_>>()
-                    .join(" OR "),
-            );
+            out.insert(disjuncts.into_iter().collect::<Vec<_>>().join(" OR "));
         }
         other => {
             out.insert(other.to_string());
@@ -107,7 +103,11 @@ fn collect_conjuncts(e: &Expr, out: &mut BTreeSet<String>) {
 
 fn collect_disjuncts(e: &Expr, out: &mut BTreeSet<String>) {
     match e {
-        Expr::Binary { left, op: BinOp::Or, right } => {
+        Expr::Binary {
+            left,
+            op: BinOp::Or,
+            right,
+        } => {
             collect_disjuncts(left, out);
             collect_disjuncts(right, out);
         }

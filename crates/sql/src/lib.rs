@@ -5,6 +5,16 @@
 //! [`exec::SqlEngine`], which evaluates queries on an in-memory
 //! [`nli_core::Database`] to produce a [`exec::ResultSet`] `r`.
 //!
+//! Execution is a two-stage pipeline: [`plan::plan_query`] compiles a
+//! parsed query against a [`nli_core::Schema`] into a logical
+//! [`plan::QueryPlan`] (name resolution, hash-join extraction, predicate
+//! pushdown), and [`exec`] runs plans against databases. [`exec::SqlEngine`]
+//! fronts both stages with a schema-fingerprinted plan cache and implements
+//! [`nli_core::PrepareEngine`], so one prepared statement can run across
+//! many database variants that share a schema. The original tree-walking
+//! interpreter survives in [`interp`] as the reference implementation for
+//! differential testing.
+//!
 //! The dialect is the cross-domain benchmark subset (Spider-class):
 //! `SELECT [DISTINCT] ... FROM ... [JOIN ... ON ...] [WHERE ...]
 //! [GROUP BY ... [HAVING ...]] [ORDER BY ... [ASC|DESC]] [LIMIT n]` with
@@ -21,12 +31,17 @@
 pub mod ast;
 pub mod components;
 pub mod exec;
+pub mod interp;
 pub mod normalize;
 pub mod parser;
+pub mod plan;
 pub mod token;
 
-pub use ast::{AggFunc, BinOp, ColName, Expr, JoinCond, OrderItem, Query, Select, SelectItem, SetOp, TableRef};
+pub use ast::{
+    AggFunc, BinOp, ColName, Expr, JoinCond, OrderItem, Query, Select, SelectItem, SetOp, TableRef,
+};
 pub use components::{decompose, QueryComponents};
-pub use exec::{ResultSet, SqlEngine};
+pub use exec::{CanonicalResult, PreparedSql, ResultSet, SqlEngine};
 pub use normalize::normalize;
 pub use parser::parse_query;
+pub use plan::{plan_query, QueryPlan};

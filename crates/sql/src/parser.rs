@@ -5,10 +5,9 @@
 //! alias-equivalence headaches string-match evaluation inherits (Table 3).
 
 use crate::ast::{
-    AggFunc, BinOp, ColName, Expr, JoinCond, OrderItem, Query, Select, SelectItem, SetOp,
-    TableRef,
+    AggFunc, BinOp, ColName, Expr, JoinCond, OrderItem, Query, Select, SelectItem, SetOp, TableRef,
 };
-use crate::token::{lex, Sym, SqlToken};
+use crate::token::{lex, SqlToken, Sym};
 use nli_core::{Date, NliError, Result, Value};
 
 /// Parse a SQL string into a [`Query`]. The entire input must be consumed
@@ -106,7 +105,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String> {
         match self.next() {
             Some(SqlToken::Ident(w)) => Ok(w),
-            other => Err(NliError::Syntax(format!("expected identifier, got {other:?}"))),
+            other => Err(NliError::Syntax(format!(
+                "expected identifier, got {other:?}"
+            ))),
         }
     }
 
@@ -136,7 +137,11 @@ impl Parser {
         }
         self.expect_kw("from")?;
         let (from, joins) = self.parse_from_clause()?;
-        let where_clause = if self.eat_kw("where") { Some(self.expr(0)?) } else { None };
+        let where_clause = if self.eat_kw("where") {
+            Some(self.expr(0)?)
+        } else {
+            None
+        };
         let mut group_by = Vec::new();
         let mut having = None;
         if self.eat_kw("group") {
@@ -169,14 +174,22 @@ impl Parser {
         let limit = if self.eat_kw("limit") {
             match self.next() {
                 Some(SqlToken::Number(n)) if n >= 0.0 && n.fract() == 0.0 => Some(n as u64),
-                other => {
-                    return Err(NliError::Syntax(format!("bad LIMIT operand: {other:?}")))
-                }
+                other => return Err(NliError::Syntax(format!("bad LIMIT operand: {other:?}"))),
             }
         } else {
             None
         };
-        Ok(Select { distinct, items, from, joins, where_clause, group_by, having, order_by, limit })
+        Ok(Select {
+            distinct,
+            items,
+            from,
+            joins,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
     }
 
     fn select_item(&mut self) -> Result<SelectItem> {
@@ -184,17 +197,25 @@ impl Parser {
             return Ok(SelectItem::plain(Expr::Star));
         }
         let expr = self.expr(3)?; // no AND/OR in projections
-        let alias = if self.eat_kw("as") { Some(self.ident()?) } else { None };
+        let alias = if self.eat_kw("as") {
+            Some(self.ident()?)
+        } else {
+            None
+        };
         Ok(SelectItem { expr, alias })
     }
 
     fn parse_from_clause(&mut self) -> Result<(Vec<TableRef>, Vec<JoinCond>)> {
-        let mut from = vec![TableRef { name: self.ident()? }];
+        let mut from = vec![TableRef {
+            name: self.ident()?,
+        }];
         let mut joins = Vec::new();
         loop {
             if self.eat_kw("join") || self.eat_kw("inner") {
                 self.eat_kw("join"); // after INNER
-                from.push(TableRef { name: self.ident()? });
+                from.push(TableRef {
+                    name: self.ident()?,
+                });
                 if self.eat_kw("on") {
                     let left = self.col_name()?;
                     self.expect_symbol(Sym::Eq)?;
@@ -202,7 +223,9 @@ impl Parser {
                     joins.push(JoinCond { left, right });
                 }
             } else if self.eat_symbol(Sym::Comma) {
-                from.push(TableRef { name: self.ident()? });
+                from.push(TableRef {
+                    name: self.ident()?,
+                });
             } else {
                 break;
             }
@@ -214,9 +237,15 @@ impl Parser {
         let first = self.ident()?;
         if self.eat_symbol(Sym::Dot) {
             let col = self.ident()?;
-            Ok(ColName { table: Some(first), column: col })
+            Ok(ColName {
+                table: Some(first),
+                column: col,
+            })
         } else {
-            Ok(ColName { table: None, column: first })
+            Ok(ColName {
+                table: None,
+                column: first,
+            })
         }
     }
 
@@ -270,7 +299,11 @@ impl Parser {
         if self.eat_kw("like") {
             let pattern = match self.next() {
                 Some(SqlToken::Str(s)) => s,
-                other => return Err(NliError::Syntax(format!("LIKE expects string, got {other:?}"))),
+                other => {
+                    return Err(NliError::Syntax(format!(
+                        "LIKE expects string, got {other:?}"
+                    )))
+                }
             };
             return Ok(Some(Expr::Like {
                 expr: Box::new(lhs.clone()),
@@ -305,7 +338,11 @@ impl Parser {
                 list.push(self.literal()?);
             }
             self.expect_symbol(Sym::RParen)?;
-            return Ok(Some(Expr::InList { expr: Box::new(lhs.clone()), list, negated }));
+            return Ok(Some(Expr::InList {
+                expr: Box::new(lhs.clone()),
+                list,
+                negated,
+            }));
         }
         if negated {
             return Err(NliError::Syntax("dangling NOT".into()));
@@ -314,7 +351,10 @@ impl Parser {
             self.pos += 1;
             let negated = self.eat_kw("not");
             self.expect_kw("null")?;
-            return Ok(Some(Expr::IsNull { expr: Box::new(lhs.clone()), negated }));
+            return Ok(Some(Expr::IsNull {
+                expr: Box::new(lhs.clone()),
+                negated,
+            }));
         }
         Ok(None)
     }
@@ -328,7 +368,9 @@ impl Parser {
             Some(SqlToken::Ident(w)) if w == "null" => Ok(Value::Null),
             Some(SqlToken::Symbol(Sym::Minus)) => match self.next() {
                 Some(SqlToken::Number(n)) => Ok(number_value(-n)),
-                other => Err(NliError::Syntax(format!("expected number after '-', got {other:?}"))),
+                other => Err(NliError::Syntax(format!(
+                    "expected number after '-', got {other:?}"
+                ))),
             },
             other => Err(NliError::Syntax(format!("expected literal, got {other:?}"))),
         }
@@ -342,7 +384,9 @@ impl Parser {
         if self.eat_symbol(Sym::Minus) {
             return match self.next() {
                 Some(SqlToken::Number(n)) => Ok(Expr::Literal(number_value(-n))),
-                other => Err(NliError::Syntax(format!("expected number after '-', got {other:?}"))),
+                other => Err(NliError::Syntax(format!(
+                    "expected number after '-', got {other:?}"
+                ))),
             };
         }
         match self.peek().cloned() {
@@ -405,15 +449,25 @@ impl Parser {
                             self.expr(3)?
                         };
                         self.expect_symbol(Sym::RParen)?;
-                        return Ok(Expr::Agg { func, arg: Box::new(arg), distinct });
+                        return Ok(Expr::Agg {
+                            func,
+                            arg: Box::new(arg),
+                            distinct,
+                        });
                     }
                 }
                 self.pos += 1;
                 if self.eat_symbol(Sym::Dot) {
                     let col = self.ident()?;
-                    Ok(Expr::Column(ColName { table: Some(w), column: col }))
+                    Ok(Expr::Column(ColName {
+                        table: Some(w),
+                        column: col,
+                    }))
                 } else {
-                    Ok(Expr::Column(ColName { table: None, column: w }))
+                    Ok(Expr::Column(ColName {
+                        table: None,
+                        column: w,
+                    }))
                 }
             }
             other => Err(NliError::Syntax(format!("unexpected token: {other:?}"))),
@@ -522,7 +576,10 @@ mod tests {
     fn and_or_precedence() {
         let q = parse_query("SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3").unwrap();
         // AND binds tighter: x=1 OR (y=2 AND z=3)
-        assert_eq!(q.to_string(), "SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3");
+        assert_eq!(
+            q.to_string(),
+            "SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3"
+        );
         match q.select.where_clause.unwrap() {
             Expr::Binary { op: BinOp::Or, .. } => {}
             other => panic!("expected OR at top, got {other:?}"),

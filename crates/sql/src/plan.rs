@@ -1,0 +1,848 @@
+//! Logical query plans: schema-bound, database-independent.
+//!
+//! [`plan_query`] compiles an AST [`Query`] against a [`Schema`] into a
+//! [`QueryPlan`]: every column reference is resolved to an offset in the
+//! joined row, join conditions become explicit [`JoinStep::Hash`] operators,
+//! and single-table WHERE conjuncts are pushed below the join into their
+//! [`ScanNode`]. Because a plan never touches row *data*, one plan can
+//! execute against any database whose schema shares the same
+//! [`Schema::fingerprint`] — the property the prepared-query cache and
+//! test-suite evaluation are built on.
+//!
+//! Two planning rules do the heavy lifting:
+//!
+//! 1. **Join-condition extraction.** Explicit `JOIN ... ON a = b` conditions
+//!    and top-level `WHERE` conjuncts of the shape `t1.x = t2.y` both
+//!    become hash joins, so the comma-FROM spelling (`FROM a, b WHERE
+//!    a.x = b.y`) no longer pays for a cartesian product.
+//! 2. **Predicate pushdown.** A remaining conjunct that mentions only one
+//!    FROM entry (and no subquery or aggregate) filters that table's scan
+//!    before the join instead of the joined stream after it.
+
+use crate::ast::{AggFunc, BinOp, ColName, Expr, Query, Select, SetOp};
+use nli_core::{DataType, NliError, Result, Schema, Value};
+
+/// A bound expression: structurally an [`Expr`], but with every column
+/// resolved to a row offset and every subquery compiled to its own plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanExpr {
+    /// Offset into the joined row.
+    Col(usize),
+    Literal(Value),
+    /// `*` — legal only as the sole select item or inside `COUNT(*)`.
+    Star,
+    Agg {
+        func: AggFunc,
+        arg: Box<PlanExpr>,
+        distinct: bool,
+    },
+    Binary {
+        left: Box<PlanExpr>,
+        op: BinOp,
+        right: Box<PlanExpr>,
+    },
+    Not(Box<PlanExpr>),
+    Like {
+        expr: Box<PlanExpr>,
+        pattern: String,
+        negated: bool,
+    },
+    Between {
+        expr: Box<PlanExpr>,
+        low: Box<PlanExpr>,
+        high: Box<PlanExpr>,
+        negated: bool,
+    },
+    InList {
+        expr: Box<PlanExpr>,
+        list: Vec<Value>,
+        negated: bool,
+    },
+    /// `IN (SELECT ...)` with the subquery compiled; materialized to an
+    /// [`PlanExpr::InList`] per database at execution time.
+    InPlan {
+        expr: Box<PlanExpr>,
+        plan: Box<QueryPlan>,
+        negated: bool,
+    },
+    /// Scalar subquery, materialized to a [`PlanExpr::Literal`] per
+    /// database at execution time.
+    ScalarPlan(Box<QueryPlan>),
+    IsNull {
+        expr: Box<PlanExpr>,
+        negated: bool,
+    },
+}
+
+impl PlanExpr {
+    /// Visit every node (pre-order).
+    fn visit(&self, f: &mut impl FnMut(&PlanExpr)) {
+        f(self);
+        match self {
+            PlanExpr::Agg { arg: e, .. }
+            | PlanExpr::Not(e)
+            | PlanExpr::Like { expr: e, .. }
+            | PlanExpr::InList { expr: e, .. }
+            | PlanExpr::InPlan { expr: e, .. }
+            | PlanExpr::IsNull { expr: e, .. } => e.visit(f),
+            PlanExpr::Binary { left, right, .. } => {
+                left.visit(f);
+                right.visit(f);
+            }
+            PlanExpr::Between {
+                expr, low, high, ..
+            } => {
+                expr.visit(f);
+                low.visit(f);
+                high.visit(f);
+            }
+            PlanExpr::Col(_) | PlanExpr::Literal(_) | PlanExpr::Star | PlanExpr::ScalarPlan(_) => {}
+        }
+    }
+
+    /// Rewrite every column offset (used to rebase pushed-down predicates
+    /// to table-local offsets).
+    fn map_cols(self, f: &impl Fn(usize) -> usize) -> PlanExpr {
+        match self {
+            PlanExpr::Col(o) => PlanExpr::Col(f(o)),
+            PlanExpr::Agg {
+                func,
+                arg,
+                distinct,
+            } => PlanExpr::Agg {
+                func,
+                arg: Box::new(arg.map_cols(f)),
+                distinct,
+            },
+            PlanExpr::Binary { left, op, right } => PlanExpr::Binary {
+                left: Box::new(left.map_cols(f)),
+                op,
+                right: Box::new(right.map_cols(f)),
+            },
+            PlanExpr::Not(e) => PlanExpr::Not(Box::new(e.map_cols(f))),
+            PlanExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => PlanExpr::Like {
+                expr: Box::new(expr.map_cols(f)),
+                pattern,
+                negated,
+            },
+            PlanExpr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => PlanExpr::Between {
+                expr: Box::new(expr.map_cols(f)),
+                low: Box::new(low.map_cols(f)),
+                high: Box::new(high.map_cols(f)),
+                negated,
+            },
+            PlanExpr::InList {
+                expr,
+                list,
+                negated,
+            } => PlanExpr::InList {
+                expr: Box::new(expr.map_cols(f)),
+                list,
+                negated,
+            },
+            PlanExpr::InPlan {
+                expr,
+                plan,
+                negated,
+            } => PlanExpr::InPlan {
+                expr: Box::new(expr.map_cols(f)),
+                plan,
+                negated,
+            },
+            other @ (PlanExpr::Literal(_) | PlanExpr::Star | PlanExpr::ScalarPlan(_)) => other,
+            PlanExpr::IsNull { expr, negated } => PlanExpr::IsNull {
+                expr: Box::new(expr.map_cols(f)),
+                negated,
+            },
+        }
+    }
+
+    /// Column offsets referenced anywhere in this expression.
+    fn col_offsets(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.visit(&mut |e| {
+            if let PlanExpr::Col(o) = e {
+                out.push(*o);
+            }
+        });
+        out
+    }
+
+    pub(crate) fn has_subplan(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |e| {
+            if matches!(e, PlanExpr::InPlan { .. } | PlanExpr::ScalarPlan(_)) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    fn has_aggregate(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |e| {
+            if matches!(e, PlanExpr::Agg { .. }) {
+                found = true;
+            }
+        });
+        found
+    }
+}
+
+/// One base-table access: which table, where its columns land in the joined
+/// row, and the predicate (over *table-local* offsets) applied during the
+/// scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanNode {
+    /// Index into `schema.tables`.
+    pub table: usize,
+    /// Column offset of this table's first column in the joined row.
+    pub offset: usize,
+    /// Number of columns.
+    pub width: usize,
+    /// Pushed-down filter over this table's own columns (offsets 0..width).
+    pub filter: Option<PlanExpr>,
+}
+
+/// How FROM entry `i` (for `i >= 1`) connects to the already-joined prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinStep {
+    /// Equi-join: build a hash table over the new table keyed on its
+    /// `build_col` (table-local), probe with the prefix row's `probe_off`.
+    Hash { probe_off: usize, build_col: usize },
+    /// No connecting condition found: cartesian product.
+    Cross,
+}
+
+/// Sort key: bound expression plus direction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortKey {
+    pub expr: PlanExpr,
+    pub desc: bool,
+}
+
+/// A compiled SELECT block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectPlan {
+    pub scans: Vec<ScanNode>,
+    /// One step per scan after the first (`joins.len() == scans.len() - 1`).
+    pub joins: Vec<JoinStep>,
+    /// WHERE conjuncts that survived extraction and pushdown, re-folded
+    /// with AND; evaluated against the joined row.
+    pub residual: Option<PlanExpr>,
+    /// Whether the query is grouped/aggregated (same detection rule the
+    /// AST interpreter uses).
+    pub aggregate: bool,
+    pub group_by: Vec<PlanExpr>,
+    pub having: Option<PlanExpr>,
+    /// `SELECT *` as the only item (projection is the identity).
+    pub star: bool,
+    pub items: Vec<PlanExpr>,
+    /// Output column names, fixed at plan time.
+    pub columns: Vec<String>,
+    pub order_by: Vec<SortKey>,
+    pub distinct: bool,
+    pub limit: Option<u64>,
+}
+
+/// A compiled query: a select plan plus optional compound set operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryPlan {
+    pub select: SelectPlan,
+    pub compound: Option<(SetOp, Box<QueryPlan>)>,
+}
+
+impl QueryPlan {
+    /// Number of output columns.
+    pub fn arity(&self) -> usize {
+        self.select.columns.len()
+    }
+}
+
+/// Compile `q` against `schema`. All name resolution happens here;
+/// execution never consults names again.
+pub fn plan_query(q: &Query, schema: &Schema) -> Result<QueryPlan> {
+    let select = plan_select(&q.select, schema)?;
+    let compound = match &q.compound {
+        Some((op, rhs)) => Some((*op, Box::new(plan_query(rhs, schema)?))),
+        None => None,
+    };
+    Ok(QueryPlan { select, compound })
+}
+
+/// Plan-time binding environment; the schema-only analogue of the
+/// interpreter's row scope.
+struct Binder<'a> {
+    schema: &'a Schema,
+    /// `(lowercased FROM name, schema table index, column offset)`.
+    bound: Vec<(String, usize, usize)>,
+    width: usize,
+}
+
+impl<'a> Binder<'a> {
+    fn bind(schema: &'a Schema, select: &Select) -> Result<Binder<'a>> {
+        let mut bound = Vec::new();
+        let mut offset = 0;
+        for t in &select.from {
+            let ti = schema
+                .table_index(&t.name)
+                .ok_or_else(|| NliError::UnknownTable(t.name.clone()))?;
+            bound.push((t.name.to_lowercase(), ti, offset));
+            offset += schema.tables[ti].columns.len();
+        }
+        Ok(Binder {
+            schema,
+            bound,
+            width: offset,
+        })
+    }
+
+    /// Resolve a column name to an offset in the joined row; same rules as
+    /// the interpreter (qualified names match the FROM spelling, unqualified
+    /// names must be unambiguous across FROM entries).
+    fn resolve(&self, c: &ColName) -> Result<usize> {
+        match &c.table {
+            Some(t) => {
+                let (_, ti, off) = self
+                    .bound
+                    .iter()
+                    .find(|(name, _, _)| name == &t.to_lowercase())
+                    .ok_or_else(|| NliError::UnknownTable(t.clone()))?;
+                let ci = self.schema.tables[*ti]
+                    .column_index(&c.column)
+                    .ok_or_else(|| NliError::UnknownColumn(format!("{t}.{}", c.column)))?;
+                Ok(off + ci)
+            }
+            None => {
+                let mut hit = None;
+                for (_, ti, off) in &self.bound {
+                    if let Some(ci) = self.schema.tables[*ti].column_index(&c.column) {
+                        if hit.is_some() {
+                            return Err(NliError::AmbiguousColumn(c.column.clone()));
+                        }
+                        hit = Some(off + ci);
+                    }
+                }
+                hit.ok_or_else(|| NliError::UnknownColumn(c.column.clone()))
+            }
+        }
+    }
+
+    /// Data type of the column at a joined-row offset.
+    fn dtype_at(&self, offset: usize) -> DataType {
+        for (_, ti, off) in self.bound.iter().rev() {
+            if offset >= *off {
+                return self.schema.tables[*ti].columns[offset - off].dtype;
+            }
+        }
+        unreachable!("offset outside bound range")
+    }
+
+    /// FROM-entry index whose column range contains `offset`.
+    fn entry_of(&self, offset: usize) -> usize {
+        for (i, (_, _, off)) in self.bound.iter().enumerate().rev() {
+            if offset >= *off {
+                return i;
+            }
+        }
+        unreachable!("offset outside bound range")
+    }
+
+    /// All output column names for `SELECT *`, qualified when ambiguous.
+    fn output_columns(&self) -> Vec<String> {
+        let mut counts: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+        for (_, ti, _) in &self.bound {
+            for c in &self.schema.tables[*ti].columns {
+                *counts.entry(c.name.as_str()).or_insert(0) += 1;
+            }
+        }
+        let mut out = Vec::with_capacity(self.width);
+        for (name, ti, _) in &self.bound {
+            for c in &self.schema.tables[*ti].columns {
+                if counts[c.name.as_str()] > 1 {
+                    out.push(format!("{name}.{}", c.name));
+                } else {
+                    out.push(c.name.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Bind an AST expression: resolve columns, compile subqueries.
+    fn bind_expr(&self, e: &Expr) -> Result<PlanExpr> {
+        Ok(match e {
+            Expr::Column(c) => PlanExpr::Col(self.resolve(c)?),
+            Expr::Literal(v) => PlanExpr::Literal(v.clone()),
+            Expr::Star => PlanExpr::Star,
+            Expr::Agg {
+                func,
+                arg,
+                distinct,
+            } => PlanExpr::Agg {
+                func: *func,
+                arg: Box::new(self.bind_expr(arg)?),
+                distinct: *distinct,
+            },
+            Expr::Binary { left, op, right } => PlanExpr::Binary {
+                left: Box::new(self.bind_expr(left)?),
+                op: *op,
+                right: Box::new(self.bind_expr(right)?),
+            },
+            Expr::Not(inner) => PlanExpr::Not(Box::new(self.bind_expr(inner)?)),
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => PlanExpr::Like {
+                expr: Box::new(self.bind_expr(expr)?),
+                pattern: pattern.clone(),
+                negated: *negated,
+            },
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => PlanExpr::Between {
+                expr: Box::new(self.bind_expr(expr)?),
+                low: Box::new(self.bind_expr(low)?),
+                high: Box::new(self.bind_expr(high)?),
+                negated: *negated,
+            },
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => PlanExpr::InList {
+                expr: Box::new(self.bind_expr(expr)?),
+                list: list.clone(),
+                negated: *negated,
+            },
+            Expr::InSubquery {
+                expr,
+                query,
+                negated,
+            } => PlanExpr::InPlan {
+                expr: Box::new(self.bind_expr(expr)?),
+                plan: Box::new(plan_query(query, self.schema)?),
+                negated: *negated,
+            },
+            Expr::ScalarSubquery(q) => PlanExpr::ScalarPlan(Box::new(plan_query(q, self.schema)?)),
+            Expr::IsNull { expr, negated } => PlanExpr::IsNull {
+                expr: Box::new(self.bind_expr(expr)?),
+                negated: *negated,
+            },
+        })
+    }
+}
+
+/// Flatten a WHERE tree into its top-level AND conjuncts (in evaluation
+/// order).
+fn flatten_and<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
+    match e {
+        Expr::Binary {
+            left,
+            op: BinOp::And,
+            right,
+        } => {
+            flatten_and(left, out);
+            flatten_and(right, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// `col = col` shape, the candidate for hash-join extraction.
+fn as_column_equality(e: &Expr) -> Option<(&ColName, &ColName)> {
+    match e {
+        Expr::Binary {
+            left,
+            op: BinOp::Eq,
+            right,
+        } => match (left.as_ref(), right.as_ref()) {
+            (Expr::Column(a), Expr::Column(b)) => Some((a, b)),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Whether an equality on these column types can be keyed by
+/// [`Value::canonical`] without changing semantics: same type always works,
+/// and Int/Float mix works because integral floats canonicalize to the
+/// integer spelling. Mixed text/number stays a residual filter (SQL `=`
+/// calls those incomparable; a canonical hash key would not).
+fn hash_compatible(a: DataType, b: DataType) -> bool {
+    a == b || (a.is_numeric() && b.is_numeric())
+}
+
+fn plan_select(select: &Select, schema: &Schema) -> Result<SelectPlan> {
+    let binder = Binder::bind(schema, select)?;
+    let n = binder.bound.len();
+
+    let mut conjuncts: Vec<&Expr> = Vec::new();
+    if let Some(w) = &select.where_clause {
+        flatten_and(w, &mut conjuncts);
+    }
+    let mut used = vec![false; conjuncts.len()];
+
+    // -- Join planning ------------------------------------------------------
+    // For each FROM entry after the first, find an equi-join condition
+    // connecting it to the joined prefix: explicit ON conditions first
+    // (mirroring the interpreter's probe order exactly), then top-level
+    // WHERE conjuncts of the shape `prefix_col = new_col`.
+    let mut joins = Vec::with_capacity(n.saturating_sub(1));
+    for i in 1..n {
+        let new_off = binder.bound[i].2;
+        let new_width = schema.tables[binder.bound[i].1].columns.len();
+        let new_range = new_off..new_off + new_width;
+        let prefix_width = new_off;
+
+        let mut step = None;
+        for j in &select.joins {
+            let l = binder.resolve(&j.left)?;
+            let r = binder.resolve(&j.right)?;
+            let (inner, outer) = if new_range.contains(&l) {
+                (l, r)
+            } else if new_range.contains(&r) {
+                (r, l)
+            } else {
+                continue;
+            };
+            if outer < prefix_width {
+                step = Some(JoinStep::Hash {
+                    probe_off: outer,
+                    build_col: inner - new_off,
+                });
+                break;
+            }
+        }
+        if step.is_none() {
+            for (ci, c) in conjuncts.iter().enumerate() {
+                if used[ci] {
+                    continue;
+                }
+                let Some((a, b)) = as_column_equality(c) else {
+                    continue;
+                };
+                let (l, r) = (binder.resolve(a)?, binder.resolve(b)?);
+                let (inner, outer) = if new_range.contains(&l) && r < prefix_width {
+                    (l, r)
+                } else if new_range.contains(&r) && l < prefix_width {
+                    (r, l)
+                } else {
+                    continue;
+                };
+                if hash_compatible(binder.dtype_at(inner), binder.dtype_at(outer)) {
+                    step = Some(JoinStep::Hash {
+                        probe_off: outer,
+                        build_col: inner - new_off,
+                    });
+                    used[ci] = true;
+                    break;
+                }
+            }
+        }
+        joins.push(step.unwrap_or(JoinStep::Cross));
+    }
+
+    // -- Predicate pushdown -------------------------------------------------
+    // Bind the surviving conjuncts; a conjunct that references exactly one
+    // FROM entry (and no subquery or aggregate) filters that entry's scan.
+    let mut scan_filters: Vec<Vec<PlanExpr>> = vec![Vec::new(); n];
+    let mut residual_parts: Vec<PlanExpr> = Vec::new();
+    for (ci, c) in conjuncts.iter().enumerate() {
+        if used[ci] {
+            continue;
+        }
+        let bound = binder.bind_expr(c)?;
+        let offsets = bound.col_offsets();
+        let single_entry = match offsets.as_slice() {
+            [] => None,
+            [first, rest @ ..] => {
+                let entry = binder.entry_of(*first);
+                rest.iter()
+                    .all(|o| binder.entry_of(*o) == entry)
+                    .then_some(entry)
+            }
+        };
+        match single_entry {
+            Some(k) if !bound.has_subplan() && !bound.has_aggregate() => {
+                let base = binder.bound[k].2;
+                scan_filters[k].push(bound.map_cols(&|o| o - base));
+            }
+            _ => residual_parts.push(bound),
+        }
+    }
+    let residual = residual_parts
+        .into_iter()
+        .reduce(|acc, next| PlanExpr::Binary {
+            left: Box::new(acc),
+            op: BinOp::And,
+            right: Box::new(next),
+        });
+
+    let scans = binder
+        .bound
+        .iter()
+        .map(|(_, ti, off)| {
+            let width = schema.tables[*ti].columns.len();
+            let filter = scan_filters[binder.entry_of(*off)]
+                .clone()
+                .into_iter()
+                .reduce(|acc, next| PlanExpr::Binary {
+                    left: Box::new(acc),
+                    op: BinOp::And,
+                    right: Box::new(next),
+                });
+            ScanNode {
+                table: *ti,
+                offset: *off,
+                width,
+                filter,
+            }
+        })
+        .collect::<Vec<_>>();
+
+    // -- Aggregation, projection, ordering ----------------------------------
+    let aggregate = !select.group_by.is_empty()
+        || select.items.iter().any(|i| i.expr.contains_aggregate())
+        || select
+            .having
+            .as_ref()
+            .is_some_and(|h| h.contains_aggregate());
+
+    let group_by = select
+        .group_by
+        .iter()
+        .map(|g| binder.bind_expr(g))
+        .collect::<Result<Vec<_>>>()?;
+    let having = select
+        .having
+        .as_ref()
+        .map(|h| binder.bind_expr(h))
+        .transpose()?;
+
+    let star = !aggregate && select.items.len() == 1 && matches!(select.items[0].expr, Expr::Star);
+    let mut columns = Vec::with_capacity(select.items.len());
+    let mut items = Vec::with_capacity(select.items.len());
+    if star {
+        columns = binder.output_columns();
+        items.push(PlanExpr::Star);
+    } else {
+        for item in &select.items {
+            if !aggregate && matches!(item.expr, Expr::Star) {
+                return Err(NliError::Execution(
+                    "`*` must be the only select item".into(),
+                ));
+            }
+            columns.push(
+                item.alias
+                    .clone()
+                    .unwrap_or_else(|| item.expr.to_string().to_lowercase()),
+            );
+            items.push(binder.bind_expr(&item.expr)?);
+        }
+    }
+
+    let order_by = select
+        .order_by
+        .iter()
+        .map(|o| {
+            Ok(SortKey {
+                expr: binder.bind_expr(&o.expr)?,
+                desc: o.desc,
+            })
+        })
+        .collect::<Result<Vec<_>>>()?;
+
+    Ok(SelectPlan {
+        scans,
+        joins,
+        residual,
+        aggregate,
+        group_by,
+        having,
+        star,
+        items,
+        columns,
+        order_by,
+        distinct: select.distinct,
+        limit: select.limit,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use nli_core::{Column, Schema, Table};
+
+    fn schema() -> Schema {
+        let mut s = Schema::new(
+            "shop",
+            vec![
+                Table::new(
+                    "products",
+                    vec![
+                        Column::new("id", DataType::Int).primary(),
+                        Column::new("name", DataType::Text),
+                        Column::new("category", DataType::Text),
+                        Column::new("price", DataType::Float),
+                    ],
+                ),
+                Table::new(
+                    "sales",
+                    vec![
+                        Column::new("id", DataType::Int).primary(),
+                        Column::new("product_id", DataType::Int),
+                        Column::new("amount", DataType::Float),
+                    ],
+                ),
+            ],
+        );
+        s.add_foreign_key("sales", "product_id", "products", "id")
+            .unwrap();
+        s
+    }
+
+    fn plan(sql: &str) -> QueryPlan {
+        plan_query(&parse_query(sql).unwrap(), &schema()).unwrap()
+    }
+
+    #[test]
+    fn explicit_join_becomes_hash_step() {
+        let p =
+            plan("SELECT products.name FROM sales JOIN products ON sales.product_id = products.id");
+        // sales occupies offsets 0..3, products 3..7
+        assert_eq!(
+            p.select.joins,
+            vec![JoinStep::Hash {
+                probe_off: 1,
+                build_col: 0
+            }]
+        );
+        assert!(p.select.residual.is_none());
+    }
+
+    #[test]
+    fn where_equijoin_is_extracted_into_hash_step() {
+        let p =
+            plan("SELECT products.name FROM sales, products WHERE sales.product_id = products.id");
+        assert_eq!(
+            p.select.joins,
+            vec![JoinStep::Hash {
+                probe_off: 1,
+                build_col: 0
+            }]
+        );
+        assert!(
+            p.select.residual.is_none(),
+            "the extracted conjunct must leave the WHERE clause"
+        );
+    }
+
+    #[test]
+    fn single_table_predicates_push_into_the_scan() {
+        let p = plan(
+            "SELECT products.name FROM sales, products \
+             WHERE sales.product_id = products.id AND products.price > 10 AND sales.amount < 5",
+        );
+        assert_eq!(p.select.joins.len(), 1);
+        assert!(matches!(p.select.joins[0], JoinStep::Hash { .. }));
+        assert!(p.select.residual.is_none());
+        // sales scan keeps `amount < 5` rebased to its own offsets
+        let sales_filter = p.select.scans[0].filter.as_ref().unwrap();
+        assert_eq!(sales_filter.col_offsets(), vec![2]);
+        // products scan keeps `price > 10` rebased to its own offsets
+        let products_filter = p.select.scans[1].filter.as_ref().unwrap();
+        assert_eq!(products_filter.col_offsets(), vec![3]);
+    }
+
+    #[test]
+    fn cross_entry_disjunction_stays_residual() {
+        let p = plan(
+            "SELECT products.name FROM sales JOIN products ON sales.product_id = products.id \
+             WHERE products.price > 10 OR sales.amount < 5",
+        );
+        assert!(p.select.scans.iter().all(|s| s.filter.is_none()));
+        assert!(p.select.residual.is_some());
+    }
+
+    #[test]
+    fn text_number_equality_is_not_extracted() {
+        // name = id is incomparable under SQL `=` (always filters all rows);
+        // keying a hash join on canonical text would wrongly match "1" to 1.
+        let p = plan("SELECT products.name FROM sales, products WHERE products.name = sales.id");
+        assert_eq!(p.select.joins, vec![JoinStep::Cross]);
+        assert!(p.select.residual.is_some());
+    }
+
+    #[test]
+    fn subquery_conjunct_is_never_pushed_down() {
+        let p = plan(
+            "SELECT name FROM products WHERE id IN (SELECT product_id FROM sales) \
+             AND price > 1",
+        );
+        // `price > 1` pushes into the scan; the IN-subquery stays residual
+        // for per-database materialization.
+        assert!(p.select.scans[0].filter.is_some());
+        let residual = p.select.residual.as_ref().unwrap();
+        assert!(residual.has_subplan());
+    }
+
+    #[test]
+    fn plan_is_schema_bound_and_errors_at_plan_time() {
+        let q = parse_query("SELECT nope FROM products").unwrap();
+        assert!(matches!(
+            plan_query(&q, &schema()),
+            Err(NliError::UnknownColumn(_))
+        ));
+        let q = parse_query("SELECT id FROM sales JOIN products ON sales.product_id = products.id")
+            .unwrap();
+        assert!(matches!(
+            plan_query(&q, &schema()),
+            Err(NliError::AmbiguousColumn(_))
+        ));
+    }
+
+    #[test]
+    fn columns_are_fixed_at_plan_time() {
+        let p = plan("SELECT name, SUM(price) AS total FROM products GROUP BY name");
+        assert_eq!(p.select.columns, vec!["name", "total"]);
+        assert!(p.select.aggregate);
+        let p = plan("SELECT * FROM sales JOIN products ON sales.product_id = products.id");
+        // `id` appears in both tables → qualified; others stay bare
+        assert_eq!(
+            p.select.columns,
+            vec![
+                "sales.id",
+                "product_id",
+                "amount",
+                "products.id",
+                "name",
+                "category",
+                "price"
+            ]
+        );
+    }
+
+    #[test]
+    fn set_op_arity_is_visible_on_the_plan() {
+        let p = plan("SELECT id, name FROM products UNION SELECT id, amount FROM sales");
+        assert_eq!(p.arity(), 2);
+        let (op, rhs) = p.compound.as_ref().unwrap();
+        assert_eq!(*op, SetOp::Union);
+        assert_eq!(rhs.arity(), 2);
+    }
+}

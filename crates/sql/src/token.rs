@@ -71,8 +71,7 @@ pub fn lex(input: &str) -> Result<Vec<SqlToken>> {
         {
             let start = i;
             let mut seen_dot = false;
-            while i < chars.len() && (chars[i].is_ascii_digit() || (chars[i] == '.' && !seen_dot))
-            {
+            while i < chars.len() && (chars[i].is_ascii_digit() || (chars[i] == '.' && !seen_dot)) {
                 if chars[i] == '.' {
                     // `1.x` where x is not a digit means `1` then `.`
                     if i + 1 >= chars.len() || !chars[i + 1].is_ascii_digit() {
@@ -133,9 +132,7 @@ pub fn lex(input: &str) -> Result<Vec<SqlToken>> {
                         Sym::Gt
                     }
                 }
-                other => {
-                    return Err(NliError::Syntax(format!("unexpected character: {other}")))
-                }
+                other => return Err(NliError::Syntax(format!("unexpected character: {other}"))),
             };
             out.push(SqlToken::Symbol(sym));
             i += 1;

@@ -3,7 +3,7 @@
 //! ORDER BY, and simple filters must agree with a straightforward
 //! reimplementation (differential check).
 
-use nli_core::{Column, Database, DataType, Date, Prng, Schema, Table, Value};
+use nli_core::{Column, DataType, Database, Date, Prng, Schema, Table, Value};
 use nli_sql::{BinOp, SqlEngine};
 use proptest::prelude::*;
 
@@ -33,7 +33,9 @@ fn db() -> Database {
             ),
         ],
     );
-    schema.add_foreign_key("orders", "item_id", "items", "id").unwrap();
+    schema
+        .add_foreign_key("orders", "item_id", "items", "id")
+        .unwrap();
     let mut d = Database::empty(schema);
     let mut rng = Prng::new(0xF00D);
     let kinds = ["a", "b", "c"];
@@ -46,8 +48,12 @@ fn db() -> Database {
                 (*rng.pick(&kinds)).into(),
                 ((rng.range(1, 1000) as f64) / 10.0).into(),
                 rng.range(0, 50).into(),
-                Date::new(2020 + rng.range(0, 5) as i32, rng.range(1, 12) as u8, rng.range(1, 28) as u8)
-                    .into(),
+                Date::new(
+                    2020 + rng.range(0, 5) as i32,
+                    rng.range(1, 12) as u8,
+                    rng.range(1, 28) as u8,
+                )
+                .into(),
             ],
         )
         .unwrap();
@@ -77,7 +83,14 @@ fn any_col() -> impl Strategy<Value = &'static str> {
 }
 
 fn cmp() -> impl Strategy<Value = &'static str> {
-    prop_oneof![Just("="), Just("!="), Just("<"), Just("<="), Just(">"), Just(">=")]
+    prop_oneof![
+        Just("="),
+        Just("!="),
+        Just("<"),
+        Just("<="),
+        Just(">"),
+        Just(">=")
+    ]
 }
 
 proptest! {

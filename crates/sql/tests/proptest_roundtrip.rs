@@ -5,8 +5,8 @@
 
 use nli_core::{Date, Value};
 use nli_sql::{
-    parse_query, AggFunc, BinOp, ColName, Expr, JoinCond, OrderItem, Query, Select,
-    SelectItem, SetOp, TableRef,
+    parse_query, AggFunc, BinOp, ColName, Expr, JoinCond, OrderItem, Query, Select, SelectItem,
+    SetOp, TableRef,
 };
 use proptest::prelude::*;
 
@@ -15,18 +15,49 @@ fn ident() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,8}".prop_filter("keyword collision", |s| {
         !matches!(
             s.as_str(),
-            "select" | "from" | "where" | "group" | "by" | "having" | "order" | "limit"
-                | "and" | "or" | "not" | "in" | "like" | "between" | "is" | "null" | "true"
-                | "false" | "join" | "on" | "as" | "distinct" | "union" | "intersect"
-                | "except" | "asc" | "desc" | "count" | "sum" | "avg" | "min" | "max"
-                | "inner" | "all"
+            "select"
+                | "from"
+                | "where"
+                | "group"
+                | "by"
+                | "having"
+                | "order"
+                | "limit"
+                | "and"
+                | "or"
+                | "not"
+                | "in"
+                | "like"
+                | "between"
+                | "is"
+                | "null"
+                | "true"
+                | "false"
+                | "join"
+                | "on"
+                | "as"
+                | "distinct"
+                | "union"
+                | "intersect"
+                | "except"
+                | "asc"
+                | "desc"
+                | "count"
+                | "sum"
+                | "avg"
+                | "min"
+                | "max"
+                | "inner"
+                | "all"
         )
     })
 }
 
 fn col_name() -> impl Strategy<Value = ColName> {
-    (proptest::option::of(ident()), ident())
-        .prop_map(|(t, c)| ColName { table: t, column: c })
+    (proptest::option::of(ident()), ident()).prop_map(|(t, c)| ColName {
+        table: t,
+        column: c,
+    })
 }
 
 /// Literal values whose canonical spelling re-parses to themselves.
@@ -38,8 +69,7 @@ fn literal() -> impl Strategy<Value = Value> {
         // text that cannot be mistaken for a date
         "[a-zA-Z][a-zA-Z0-9 ']{0,10}".prop_map(Value::Text),
         any::<bool>().prop_map(Value::Bool),
-        (1990i32..2030, 1u8..=12, 1u8..=28)
-            .prop_map(|(y, m, d)| Value::Date(Date::new(y, m, d))),
+        (1990i32..2030, 1u8..=12, 1u8..=28).prop_map(|(y, m, d)| Value::Date(Date::new(y, m, d))),
     ]
 }
 
@@ -73,23 +103,30 @@ fn predicate() -> impl Strategy<Value = Expr> {
             Expr::Literal(v)
         )),
         (col_name(), "[a-z%_]{1,6}", any::<bool>()).prop_map(|(c, pattern, negated)| {
-            Expr::Like { expr: Box::new(Expr::Column(c)), pattern, negated }
+            Expr::Like {
+                expr: Box::new(Expr::Column(c)),
+                pattern,
+                negated,
+            }
         }),
-        (col_name(), any::<i32>(), any::<i32>(), any::<bool>()).prop_map(
-            |(c, lo, hi, negated)| Expr::Between {
+        (col_name(), any::<i32>(), any::<i32>(), any::<bool>()).prop_map(|(c, lo, hi, negated)| {
+            Expr::Between {
                 expr: Box::new(Expr::Column(c)),
                 low: Box::new(Expr::Literal(Value::Int(lo.min(hi) as i64))),
                 high: Box::new(Expr::Literal(Value::Int(lo.max(hi) as i64))),
                 negated,
             }
-        ),
-        (col_name(), proptest::collection::vec(literal(), 1..4), any::<bool>()).prop_map(
-            |(c, list, negated)| Expr::InList {
+        }),
+        (
+            col_name(),
+            proptest::collection::vec(literal(), 1..4),
+            any::<bool>()
+        )
+            .prop_map(|(c, list, negated)| Expr::InList {
                 expr: Box::new(Expr::Column(c)),
                 list,
                 negated,
-            }
-        ),
+            }),
         (col_name(), any::<bool>()).prop_map(|(c, negated)| Expr::IsNull {
             expr: Box::new(Expr::Column(c)),
             negated
@@ -111,7 +148,11 @@ fn select_item() -> impl Strategy<Value = SelectItem> {
     prop_oneof![
         col_name().prop_map(|c| SelectItem::plain(Expr::Column(c))),
         (agg_func(), col_name(), any::<bool>()).prop_map(|(f, c, distinct)| SelectItem {
-            expr: Expr::Agg { func: f, arg: Box::new(Expr::Column(c)), distinct },
+            expr: Expr::Agg {
+                func: f,
+                arg: Box::new(Expr::Column(c)),
+                distinct
+            },
             alias: None,
         }),
         Just(SelectItem::plain(Expr::count_star())),
@@ -132,14 +173,26 @@ fn select() -> impl Strategy<Value = Select> {
         proptest::collection::vec(col_name().prop_map(Expr::Column), 0..3),
         proptest::option::of(condition()),
         proptest::collection::vec(
-            (col_name(), any::<bool>())
-                .prop_map(|(c, desc)| OrderItem { expr: Expr::Column(c), desc }),
+            (col_name(), any::<bool>()).prop_map(|(c, desc)| OrderItem {
+                expr: Expr::Column(c),
+                desc,
+            }),
             0..3,
         ),
         proptest::option::of(0u64..1000),
     )
         .prop_map(
-            |(distinct, items, table, join, where_clause, group_by, having_raw, order_by, limit)| {
+            |(
+                distinct,
+                items,
+                table,
+                join,
+                where_clause,
+                group_by,
+                having_raw,
+                order_by,
+                limit,
+            )| {
                 let mut from = vec![TableRef { name: table }];
                 let mut joins = Vec::new();
                 if let Some((t2, l, r)) = join {
@@ -147,7 +200,11 @@ fn select() -> impl Strategy<Value = Select> {
                     joins.push(JoinCond { left: l, right: r });
                 }
                 // HAVING is only well-formed under GROUP BY
-                let having = if group_by.is_empty() { None } else { having_raw };
+                let having = if group_by.is_empty() {
+                    None
+                } else {
+                    having_raw
+                };
                 Select {
                     distinct,
                     items,
@@ -167,7 +224,11 @@ fn query() -> impl Strategy<Value = Query> {
     (
         select(),
         proptest::option::of((
-            prop_oneof![Just(SetOp::Union), Just(SetOp::Intersect), Just(SetOp::Except)],
+            prop_oneof![
+                Just(SetOp::Union),
+                Just(SetOp::Intersect),
+                Just(SetOp::Except)
+            ],
             select(),
         )),
     )

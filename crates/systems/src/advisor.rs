@@ -87,7 +87,10 @@ pub fn recommend(profile: &UserProfile) -> Recommendation {
             ),
         },
     };
-    Recommendation { architecture, rationale: rationale.to_string() }
+    Recommendation {
+        architecture,
+        rationale: rationale.to_string(),
+    }
 }
 
 #[cfg(test)]
@@ -95,7 +98,11 @@ mod tests {
     use super::*;
 
     fn profile(e: Expertise, env: Environment, flex: bool) -> UserProfile {
-        UserProfile { expertise: e, environment: env, needs_flexibility: flex }
+        UserProfile {
+            expertise: e,
+            environment: env,
+            needs_flexibility: flex,
+        }
     }
 
     #[test]
@@ -121,24 +128,46 @@ mod tests {
     #[test]
     fn professionals_split_by_environment() {
         assert_eq!(
-            recommend(&profile(Expertise::Professional, Environment::Stable, false)).architecture,
+            recommend(&profile(
+                Expertise::Professional,
+                Environment::Stable,
+                false
+            ))
+            .architecture,
             Architecture::RuleBased
         );
         assert_eq!(
-            recommend(&profile(Expertise::Professional, Environment::Complex, false)).architecture,
+            recommend(&profile(
+                Expertise::Professional,
+                Environment::Complex,
+                false
+            ))
+            .architecture,
             Architecture::MultiStage
         );
         assert_eq!(
-            recommend(&profile(Expertise::Professional, Environment::FastPaced, false))
-                .architecture,
+            recommend(&profile(
+                Expertise::Professional,
+                Environment::FastPaced,
+                false
+            ))
+            .architecture,
             Architecture::EndToEnd
         );
     }
 
     #[test]
     fn every_recommendation_has_a_rationale() {
-        for e in [Expertise::Basic, Expertise::Technical, Expertise::Professional] {
-            for env in [Environment::Stable, Environment::Complex, Environment::FastPaced] {
+        for e in [
+            Expertise::Basic,
+            Expertise::Technical,
+            Expertise::Professional,
+        ] {
+            for env in [
+                Environment::Stable,
+                Environment::Complex,
+                Environment::FastPaced,
+            ] {
                 for flex in [false, true] {
                     let r = recommend(&profile(e, env, flex));
                     assert!(r.rationale.len() > 20);

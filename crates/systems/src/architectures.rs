@@ -6,7 +6,7 @@
 //! uses (rule-based systems expose everything; end-to-end systems are one
 //! opaque stage).
 
-use nli_core::{Database, NliError, NlQuestion, Result, SemanticParser};
+use nli_core::{Database, NlQuestion, NliError, Result, SemanticParser};
 use nli_lm::{DemoSelection, LlmKind, PromptStrategy};
 use nli_sql::{Query, ResultSet, SqlEngine};
 use nli_text2sql::{
@@ -86,9 +86,11 @@ pub fn wants_chart(text: &str) -> bool {
         .any(|w| t.contains(w))
 }
 
-fn run_sql(q: &Query, db: &Database) -> Result<ResultSet> {
+/// Execute through a system's long-lived engine: the plan cache persists
+/// across questions, so repeated programs over one schema plan once.
+fn run_sql(engine: &SqlEngine, q: &Query, db: &Database) -> Result<ResultSet> {
     use nli_core::ExecutionEngine;
-    SqlEngine::new().execute(q, db)
+    engine.execute(q, db)
 }
 
 fn run_vis(v: &VisQuery, db: &Database) -> Result<Chart> {
@@ -103,11 +105,16 @@ fn run_vis(v: &VisQuery, db: &Database) -> Result<Chart> {
 pub struct RuleSystem {
     sql: RuleBasedParser,
     vis: RuleVisParser,
+    engine: SqlEngine,
 }
 
 impl RuleSystem {
     pub fn new() -> RuleSystem {
-        RuleSystem { sql: RuleBasedParser::new(), vis: RuleVisParser::new() }
+        RuleSystem {
+            sql: RuleBasedParser::new(),
+            vis: RuleVisParser::new(),
+            engine: SqlEngine::new(),
+        }
     }
 
     /// NaLIR-style interaction: the user picked one of the clarification
@@ -115,7 +122,7 @@ impl RuleSystem {
     pub fn execute_candidate(&self, sql: &str, db: &Database) -> Result<SystemResponse> {
         let start = Instant::now();
         let q = nli_sql::parse_query(sql)?;
-        let rs = run_sql(&q, db)?;
+        let rs = run_sql(&self.engine, &q, db)?;
         Ok(SystemResponse {
             program: Some(q.to_string()),
             output: SystemOutput::Table(rs),
@@ -147,7 +154,7 @@ impl NliSystem for RuleSystem {
         }
         match self.sql.parse(question, db) {
             Ok(q) => {
-                let rs = run_sql(&q, db)?;
+                let rs = run_sql(&self.engine, &q, db)?;
                 Ok(SystemResponse {
                     program: Some(q.to_string()),
                     output: SystemOutput::Table(rs),
@@ -194,6 +201,7 @@ impl NliSystem for RuleSystem {
 pub struct ParsingSystem {
     sql: GrammarParser,
     vis: NcNetParser,
+    engine: SqlEngine,
 }
 
 impl ParsingSystem {
@@ -201,6 +209,7 @@ impl ParsingSystem {
         ParsingSystem {
             sql: GrammarParser::new(GrammarConfig::neural()),
             vis: NcNetParser::new(),
+            engine: SqlEngine::new(),
         }
     }
 }
@@ -226,7 +235,7 @@ impl NliSystem for ParsingSystem {
             })
         } else {
             let q = self.sql.parse(question, db)?;
-            let rs = run_sql(&q, db)?;
+            let rs = run_sql(&self.engine, &q, db)?;
             Ok(SystemResponse {
                 program: Some(q.to_string()),
                 output: SystemOutput::Table(rs),
@@ -257,21 +266,31 @@ impl NliSystem for ParsingSystem {
 pub struct MultiStageSystem {
     sql: ExecutionGuided<PlmParser>,
     vis: RgVisNetParser,
+    engine: SqlEngine,
 }
 
 impl MultiStageSystem {
     /// Build with a trained PLM core (train via
     /// [`MultiStageSystem::with_trained`]).
     pub fn with_trained(plm: PlmParser, vis: RgVisNetParser) -> MultiStageSystem {
-        MultiStageSystem { sql: ExecutionGuided::new(plm, 4, false), vis }
+        MultiStageSystem {
+            sql: ExecutionGuided::new(plm, 4, false),
+            vis,
+            engine: SqlEngine::new(),
+        }
     }
 }
 
 impl NliSystem for MultiStageSystem {
     fn ask(&self, question: &NlQuestion, db: &Database) -> Result<SystemResponse> {
         let start = Instant::now();
-        let stages =
-            vec!["schema-linking", "classification", "generation", "self-correction", "execution"];
+        let stages = vec![
+            "schema-linking",
+            "classification",
+            "generation",
+            "self-correction",
+            "execution",
+        ];
         if wants_chart(&question.text) {
             let v = self.vis.parse(question, db)?;
             let chart = run_vis(&v, db)?;
@@ -283,7 +302,7 @@ impl NliSystem for MultiStageSystem {
             })
         } else {
             let q = self.sql.parse(question, db)?;
-            let rs = run_sql(&q, db)?;
+            let rs = run_sql(&self.engine, &q, db)?;
             Ok(SystemResponse {
                 program: Some(q.to_string()),
                 output: SystemOutput::Table(rs),
@@ -313,6 +332,7 @@ impl NliSystem for MultiStageSystem {
 pub struct EndToEndSystem {
     sql: LlmParser,
     vis: LlmVisParser,
+    engine: SqlEngine,
 }
 
 impl EndToEndSystem {
@@ -320,10 +340,14 @@ impl EndToEndSystem {
         EndToEndSystem {
             sql: LlmParser::new(
                 LlmKind::Frontier,
-                PromptStrategy::FewShot { k: 4, selection: DemoSelection::Similarity },
+                PromptStrategy::FewShot {
+                    k: 4,
+                    selection: DemoSelection::Similarity,
+                },
                 seed,
             ),
             vis: LlmVisParser::new(LlmKind::Frontier, PromptStrategy::ZeroShot, seed),
+            engine: SqlEngine::new(),
         }
     }
 }
@@ -343,7 +367,7 @@ impl NliSystem for EndToEndSystem {
             })
         } else {
             let q = self.sql.parse(question, db)?;
-            let rs = run_sql(&q, db)?;
+            let rs = run_sql(&self.engine, &q, db)?;
             Ok(SystemResponse {
                 program: Some(q.to_string()),
                 output: SystemOutput::Table(rs),
@@ -414,7 +438,9 @@ mod tests {
             Box::new(EndToEndSystem::new(7)),
         ];
         for s in &systems {
-            let r = s.ask(&q, &d).unwrap_or_else(|e| panic!("{}: {e}", s.name()));
+            let r = s
+                .ask(&q, &d)
+                .unwrap_or_else(|e| panic!("{}: {e}", s.name()));
             match r.output {
                 SystemOutput::Table(rs) => {
                     assert_eq!(rs.rows[0][0], nli_core::Value::Int(2), "{}", s.name())
@@ -445,7 +471,9 @@ mod tests {
             sql: nli_sql::parse_query("SELECT COUNT(*) FROM products").unwrap(),
         }]);
         let s = MultiStageSystem::with_trained(plm, RgVisNetParser::new());
-        let r = s.ask(&NlQuestion::new("How many products are there?"), &d).unwrap();
+        let r = s
+            .ask(&NlQuestion::new("How many products are there?"), &d)
+            .unwrap();
         assert!(matches!(r.output, SystemOutput::Table(_)));
         assert!(r.stages.contains(&"self-correction"));
     }

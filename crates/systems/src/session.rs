@@ -117,8 +117,18 @@ mod tests {
         d.insert_all(
             "sales",
             vec![
-                vec![1.into(), "Tools".into(), 100.0.into(), Date::new(2024, 1, 5).into()],
-                vec![2.into(), "Toys".into(), 50.0.into(), Date::new(2024, 4, 9).into()],
+                vec![
+                    1.into(),
+                    "Tools".into(),
+                    100.0.into(),
+                    Date::new(2024, 1, 5).into(),
+                ],
+                vec![
+                    2.into(),
+                    "Toys".into(),
+                    50.0.into(),
+                    Date::new(2024, 4, 9).into(),
+                ],
             ],
         )
         .unwrap();
@@ -130,14 +140,19 @@ mod tests {
         let mut s = Session::new();
         let d = db();
         // query → result
-        let r1 = s.ask(&NlQuestion::new("How many sales are there?"), &d).unwrap();
+        let r1 = s
+            .ask(&NlQuestion::new("How many sales are there?"), &d)
+            .unwrap();
         match r1.output {
             SystemOutput::Table(rs) => assert_eq!(rs.rows[0][0], nli_core::Value::Int(2)),
             other => panic!("{other:?}"),
         }
         // feedback → refined query (the Fig. 1 loop)
         let r2 = s
-            .ask(&NlQuestion::new("Only those with amount greater than 60."), &d)
+            .ask(
+                &NlQuestion::new("Only those with amount greater than 60."),
+                &d,
+            )
             .unwrap();
         match r2.output {
             SystemOutput::Table(rs) => assert_eq!(rs.rows[0][0], nli_core::Value::Int(1)),
@@ -157,7 +172,9 @@ mod tests {
             )
             .unwrap();
         assert!(matches!(r1.output, SystemOutput::Chart(_)));
-        let r2 = s.ask(&NlQuestion::new("Make it a pie chart instead."), &d).unwrap();
+        let r2 = s
+            .ask(&NlQuestion::new("Make it a pie chart instead."), &d)
+            .unwrap();
         match r2.output {
             SystemOutput::Chart(c) => assert_eq!(c.chart_type, nli_vql::ChartType::Pie),
             other => panic!("{other:?}"),
@@ -168,7 +185,8 @@ mod tests {
     fn reset_starts_a_fresh_conversation() {
         let mut s = Session::new();
         let d = db();
-        s.ask(&NlQuestion::new("How many sales are there?"), &d).unwrap();
+        s.ask(&NlQuestion::new("How many sales are there?"), &d)
+            .unwrap();
         s.reset();
         assert!(s.history().is_empty());
         assert!(s

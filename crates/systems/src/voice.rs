@@ -52,10 +52,7 @@ pub fn simulate_asr(text: &str, wer: f64, rng: &mut Prng) -> String {
             if rng.chance(0.3) {
                 continue; // dropped word
             }
-            if let Some((_, h)) = HOMOPHONES
-                .iter()
-                .find(|(a, _)| a.eq_ignore_ascii_case(&w))
-            {
+            if let Some((_, h)) = HOMOPHONES.iter().find(|(a, _)| a.eq_ignore_ascii_case(&w)) {
                 out.push(h.to_string());
             } else if w.len() > 3 {
                 // light distortion: drop one interior character
@@ -82,7 +79,11 @@ pub struct VoiceSystem<S: NliSystem> {
 
 impl<S: NliSystem> VoiceSystem<S> {
     pub fn new(inner: S, wer: f64, seed: u64) -> VoiceSystem<S> {
-        VoiceSystem { inner, wer: wer.clamp(0.0, 1.0), seed }
+        VoiceSystem {
+            inner,
+            wer: wer.clamp(0.0, 1.0),
+            seed,
+        }
     }
 
     /// "Speak" a question: transcribe it through the ASR channel, then ask
@@ -186,7 +187,11 @@ mod tests {
         };
         let clean = score(0.0);
         let noisy = score(0.6);
-        assert_eq!(clean, questions.len(), "clean channel must answer everything");
+        assert_eq!(
+            clean,
+            questions.len(),
+            "clean channel must answer everything"
+        );
         assert!(noisy <= clean);
     }
 

@@ -85,9 +85,32 @@ pub struct QuestionAnalysis {
 fn is_boundary(word: &str) -> bool {
     matches!(
         word,
-        "with" | "whose" | "and" | "or" | "but" | "also" | "not" | "the" | "of" | "that"
-            | "only" | "those" | "them" | "ones" | "keep" | "a" | "for" | "each" | "by"
-            | "include" | "are" | "is" | "in" | "over" | "against" | "binned"
+        "with"
+            | "whose"
+            | "and"
+            | "or"
+            | "but"
+            | "also"
+            | "not"
+            | "the"
+            | "of"
+            | "that"
+            | "only"
+            | "those"
+            | "them"
+            | "ones"
+            | "keep"
+            | "a"
+            | "for"
+            | "each"
+            | "by"
+            | "include"
+            | "are"
+            | "is"
+            | "in"
+            | "over"
+            | "against"
+            | "binned"
     )
 }
 
@@ -95,8 +118,24 @@ fn is_boundary(word: &str) -> bool {
 fn ends_phrase(word: &str) -> bool {
     matches!(
         word,
-        "with" | "whose" | "and" | "or" | "but" | "that" | "are" | "sorted" | "keeping"
-            | "of" | "for" | "how" | "what" | "in" | "binned" | "over" | "against" | "only"
+        "with"
+            | "whose"
+            | "and"
+            | "or"
+            | "but"
+            | "that"
+            | "are"
+            | "sorted"
+            | "keeping"
+            | "of"
+            | "for"
+            | "how"
+            | "what"
+            | "in"
+            | "binned"
+            | "over"
+            | "against"
+            | "only"
     )
 }
 
@@ -227,7 +266,10 @@ pub fn analyze(question: &str) -> QuestionAnalysis {
         .map(|t| (t.kind == TokenKind::Quoted).then(|| t.text.clone()))
         .collect();
 
-    let mut a = QuestionAnalysis { tokens: tokens.clone(), ..Default::default() };
+    let mut a = QuestionAnalysis {
+        tokens: tokens.clone(),
+        ..Default::default()
+    };
 
     // --- HAVING ("keeping only groups with more than N ...") -------------
     if let Some(i) = sc.find(&["keeping", "only", "groups"]) {
@@ -258,7 +300,11 @@ pub fn analyze(question: &str) -> QuestionAnalysis {
             }
         }
         a.order = Some(OrderSketch {
-            phrase: if phrase == "the result" { "the result".into() } else { phrase },
+            phrase: if phrase == "the result" {
+                "the result".into()
+            } else {
+                phrase
+            },
             desc,
             limit,
         });
@@ -269,13 +315,19 @@ pub fn analyze(question: &str) -> QuestionAnalysis {
     if let Some(i) = sc.find(&["that", "have", "no"]) {
         let (child, j) = sc.phrase_from(i + 3);
         if !child.is_empty() {
-            a.nested = Some(NestedSketch { negated: true, child_phrase: child });
+            a.nested = Some(NestedSketch {
+                negated: true,
+                child_phrase: child,
+            });
             sc.mask(i, j);
         }
     } else if let Some(i) = sc.find(&["that", "have", "at", "least", "one"]) {
         let (child, j) = sc.phrase_from(i + 5);
         if !child.is_empty() {
-            a.nested = Some(NestedSketch { negated: false, child_phrase: child });
+            a.nested = Some(NestedSketch {
+                negated: false,
+                child_phrase: child,
+            });
             sc.mask(i, j);
         }
     }
@@ -292,7 +344,10 @@ pub fn analyze(question: &str) -> QuestionAnalysis {
     }
 
     // --- knowledge concepts ("with a high/low X") --------------------------
-    for (kw, kind) in [("high", CmpKind::KnowledgeHigh), ("low", CmpKind::KnowledgeLow)] {
+    for (kw, kind) in [
+        ("high", CmpKind::KnowledgeHigh),
+        ("low", CmpKind::KnowledgeLow),
+    ] {
         while let Some(i) = sc.find(&["with", "a", kw]) {
             let (phrase, j) = sc.phrase_from(i + 3);
             if phrase.is_empty() {
@@ -353,7 +408,10 @@ fn analyze_head(a: &mut QuestionAnalysis, sc: &mut Scanner) {
     // "how many T ..." => count
     if let Some(i) = sc.find(&["how", "many"]) {
         let (table, j) = sc.phrase_from(i + 2);
-        a.agg = Some(AggSketch { func: AggFunc::Count, arg_phrase: None });
+        a.agg = Some(AggSketch {
+            func: AggFunc::Count,
+            arg_phrase: None,
+        });
         if !table.is_empty() {
             a.table_phrase = Some(table);
         }
@@ -363,7 +421,10 @@ fn analyze_head(a: &mut QuestionAnalysis, sc: &mut Scanner) {
     // "count the T" / "the number of T"
     if let Some(i) = sc.find(&["count", "the"]) {
         let (table, j) = sc.phrase_from(i + 2);
-        a.agg = Some(AggSketch { func: AggFunc::Count, arg_phrase: None });
+        a.agg = Some(AggSketch {
+            func: AggFunc::Count,
+            arg_phrase: None,
+        });
         if !table.is_empty() {
             a.table_phrase = Some(table);
         }
@@ -372,7 +433,10 @@ fn analyze_head(a: &mut QuestionAnalysis, sc: &mut Scanner) {
     }
     if let Some(i) = sc.find(&["number", "of"]) {
         let (table, j) = sc.phrase_from(i + 2);
-        a.agg = Some(AggSketch { func: AggFunc::Count, arg_phrase: None });
+        a.agg = Some(AggSketch {
+            func: AggFunc::Count,
+            arg_phrase: None,
+        });
         if !table.is_empty() {
             a.table_phrase = Some(table);
         }
@@ -407,7 +471,10 @@ fn analyze_head(a: &mut QuestionAnalysis, sc: &mut Scanner) {
                     end = j2;
                 }
             }
-            a.agg = Some(AggSketch { func, arg_phrase: Some(arg) });
+            a.agg = Some(AggSketch {
+                func,
+                arg_phrase: Some(arg),
+            });
             a.table_phrase = table;
             sc.mask(start.saturating_sub(2), end);
             return;
@@ -483,16 +550,16 @@ const COMPARATORS: &[(&[&str], BinOp)] = &[
     (&["is"], BinOp::Eq),
 ];
 
-fn scan_conditions(
-    a: &mut QuestionAnalysis,
-    sc: &mut Scanner,
-    original_quotes: &[Option<String>],
-) {
+fn scan_conditions(a: &mut QuestionAnalysis, sc: &mut Scanner, original_quotes: &[Option<String>]) {
     // BETWEEN first (it consumes two literals)
     while let Some(i) = sc.find(&["between"]) {
         let col = sc.phrase_before(i);
-        let Some((l1, v1)) = sc.literal_after(i + 1, 2) else { break };
-        let Some((l2, v2)) = sc.literal_after(l1 + 2, 2) else { break };
+        let Some((l1, v1)) = sc.literal_after(i + 1, 2) else {
+            break;
+        };
+        let Some((l2, v2)) = sc.literal_after(l1 + 2, 2) else {
+            break;
+        };
         if col.is_empty() {
             sc.mask(i, i + 1);
             continue;
@@ -510,7 +577,9 @@ fn scan_conditions(
     // CONTAINS
     while let Some(i) = sc.find(&["contains"]) {
         let col = sc.phrase_before(i);
-        let Some((li, v)) = sc.literal_after(i + 1, 2) else { break };
+        let Some((li, v)) = sc.literal_after(i + 1, 2) else {
+            break;
+        };
         let col_len = col.split_whitespace().count();
         if !col.is_empty() {
             a.conds.push(CondSketch {
@@ -661,12 +730,17 @@ mod tests {
 
     #[test]
     fn compound_connectors() {
-        let a = analyze("List the name of products whose category is 'Toys' but not whose category is 'Tools'.");
+        let a = analyze(
+            "List the name of products whose category is 'Toys' but not whose category is 'Tools'.",
+        );
         assert_eq!(a.compound, Some(SetOp::Except));
         assert_eq!(a.conds.len(), 2);
-        let b = analyze("List the name of products whose category is 'Toys' or whose category is 'Tools'.");
+        let b = analyze(
+            "List the name of products whose category is 'Toys' or whose category is 'Tools'.",
+        );
         assert_eq!(b.compound, Some(SetOp::Union));
-        let c = analyze("List the name of products with price above 5 and also with price below 100.");
+        let c =
+            analyze("List the name of products with price above 5 and also with price below 100.");
         assert_eq!(c.compound, Some(SetOp::Intersect));
     }
 

@@ -57,7 +57,12 @@ fn parse_rule(rule: &str) -> Option<EvidenceRule> {
             None
         }
     })?;
-    Some(EvidenceRule { high, col_phrase, op, value })
+    Some(EvidenceRule {
+        high,
+        col_phrase,
+        op,
+        value,
+    })
 }
 
 #[cfg(test)]

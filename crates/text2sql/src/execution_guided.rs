@@ -7,7 +7,7 @@
 //! cost/benefit the survey describes for execution-based decoders, measured
 //! by the `bench_parsers` ablation.
 
-use nli_core::{Database, NliError, NlQuestion, Result, SemanticParser};
+use nli_core::{Database, ExecutionEngine, NlQuestion, NliError, Result, SemanticParser};
 use nli_sql::{Query, SqlEngine};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -44,6 +44,10 @@ pub struct ExecutionGuided<P: CandidateParser> {
     beam: usize,
     /// Prefer candidates whose execution returns at least one row.
     prefer_nonempty: bool,
+    /// The oracle engine, held for the parser's lifetime: its plan cache
+    /// makes repeated candidates (common across a beam and across
+    /// questions on one schema) cost a plan lookup, not a parse.
+    engine: SqlEngine,
     executor_calls: AtomicU64,
 }
 
@@ -55,6 +59,7 @@ impl<P: CandidateParser> ExecutionGuided<P> {
             name,
             beam: beam.max(1),
             prefer_nonempty,
+            engine: SqlEngine::new(),
             executor_calls: AtomicU64::new(0),
         }
     }
@@ -69,7 +74,6 @@ impl<P: CandidateParser> SemanticParser for ExecutionGuided<P> {
     type Expr = Query;
 
     fn parse(&self, question: &NlQuestion, db: &Database) -> Result<Query> {
-        let engine = SqlEngine::new();
         let candidates = self.base.candidates(question, db, self.beam);
         if candidates.is_empty() {
             return Err(NliError::Parse("no candidates".into()));
@@ -77,7 +81,8 @@ impl<P: CandidateParser> SemanticParser for ExecutionGuided<P> {
         let mut executable_but_empty: Option<Query> = None;
         for q in candidates {
             self.executor_calls.fetch_add(1, Ordering::Relaxed);
-            match engine.run_sql(&q.to_string(), db) {
+            // execute the AST directly — no render-to-string + re-parse
+            match self.engine.execute(&q, db) {
                 Ok(rs) => {
                     if !self.prefer_nonempty || !rs.rows.is_empty() {
                         return Ok(q);
@@ -89,8 +94,7 @@ impl<P: CandidateParser> SemanticParser for ExecutionGuided<P> {
                 Err(_) => continue,
             }
         }
-        executable_but_empty
-            .ok_or_else(|| NliError::Parse("no executable candidate".into()))
+        executable_but_empty.ok_or_else(|| NliError::Parse("no executable candidate".into()))
     }
 
     fn name(&self) -> &str {
@@ -133,7 +137,10 @@ mod tests {
         let eg = ExecutionGuided::new(GrammarParser::new(GrammarConfig::neural()), 4, false);
         let q = NlQuestion::new("How many products with price greater than 5 are there?");
         let sql = eg.parse(&q, &db()).unwrap();
-        assert_eq!(sql.to_string(), "SELECT COUNT(*) FROM products WHERE price > 5");
+        assert_eq!(
+            sql.to_string(),
+            "SELECT COUNT(*) FROM products WHERE price > 5"
+        );
         assert!(eg.executor_calls() >= 1);
         assert_eq!(eg.name(), "grammar-neural+eg");
     }

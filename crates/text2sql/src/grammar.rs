@@ -21,7 +21,9 @@
 use crate::analysis::{analyze, CmpKind, CondSketch, QuestionAnalysis};
 use crate::evidence::parse_evidence;
 use crate::linking::{LinkConfig, Linker};
-use nli_core::{ColumnRef, Database, DataType, NliError, NlQuestion, Result, SemanticParser, Value};
+use nli_core::{
+    ColumnRef, DataType, Database, NlQuestion, NliError, Result, SemanticParser, Value,
+};
 use nli_lm::AlignmentModel;
 use nli_sql::{
     AggFunc, BinOp, ColName, Expr, JoinCond, OrderItem, Query, Select, SelectItem, TableRef,
@@ -127,10 +129,13 @@ impl GrammarParser {
     /// Score a phrase against a table's surface forms.
     fn table_score(&self, phrase: &str, db: &Database, ti: usize) -> f64 {
         let t = &db.schema.tables[ti];
-        let mut best = self
-            .linker
-            .phrase_score(phrase, &t.display, &t.name)
-            .max(self.linker.phrase_score(phrase, &t.name.replace('_', " "), &t.name));
+        let mut best =
+            self.linker
+                .phrase_score(phrase, &t.display, &t.name)
+                .max(
+                    self.linker
+                        .phrase_score(phrase, &t.name.replace('_', " "), &t.name),
+                );
         if let Some(al) = &self.linker.config.alignment {
             for w in phrase.split_whitespace() {
                 let s = al.table_score(w, &t.name);
@@ -170,7 +175,10 @@ impl GrammarParser {
         let mut scored: Vec<(ColumnRef, f64)> = Vec::new();
         for &ti in scope {
             for (ci, c) in db.schema.tables[ti].columns.iter().enumerate() {
-                let r = ColumnRef { table: ti, column: ci };
+                let r = ColumnRef {
+                    table: ti,
+                    column: ci,
+                };
                 let mut s = self.linker.phrase_score(phrase, &c.display, &c.name);
                 if let Some(al) = &self.linker.config.alignment {
                     let learned = al.column_score(phrase, &c.name);
@@ -186,8 +194,7 @@ impl GrammarParser {
                         let c_part = words[split..].join(" ");
                         let ts = self.table_score(&t_part, db, ti);
                         let cs = self.linker.phrase_score(&c_part, &c.display, &c.name);
-                        if ts >= self.linker.config.threshold
-                            && cs >= self.linker.config.threshold
+                        if ts >= self.linker.config.threshold && cs >= self.linker.config.threshold
                         {
                             s = s.max(0.5 * ts + 0.5 * cs + 0.02);
                         }
@@ -228,15 +235,24 @@ impl GrammarParser {
         let t = &db.schema.tables[ti];
         for (ci, c) in t.columns.iter().enumerate() {
             if c.dtype == DataType::Text {
-                return ColumnRef { table: ti, column: ci };
+                return ColumnRef {
+                    table: ti,
+                    column: ci,
+                };
             }
         }
         for (ci, c) in t.columns.iter().enumerate() {
             if !c.primary_key {
-                return ColumnRef { table: ti, column: ci };
+                return ColumnRef {
+                    table: ti,
+                    column: ci,
+                };
             }
         }
-        ColumnRef { table: ti, column: 0 }
+        ColumnRef {
+            table: ti,
+            column: 0,
+        }
     }
 
     /// A numeric column of `ti` for superlatives.
@@ -294,11 +310,7 @@ impl GrammarParser {
     }
 
     /// Resolve knowledge-concept conditions against attached evidence.
-    fn resolve_knowledge(
-        &self,
-        conds: &mut [CondSketch],
-        question: &NlQuestion,
-    ) {
+    fn resolve_knowledge(&self, conds: &mut [CondSketch], question: &NlQuestion) {
         if !self.cfg.use_evidence {
             return;
         }
@@ -472,7 +484,9 @@ impl GrammarParser {
         let main_name = db.schema.tables[main].name.clone();
         let mut select = Select::simple(&main_name, Vec::new());
         if let Some((p, fk, pk)) = join {
-            select.from.push(TableRef { name: db.schema.tables[p].name.clone() });
+            select.from.push(TableRef {
+                name: db.schema.tables[p].name.clone(),
+            });
             select.joins.push(JoinCond {
                 left: ColName::qualified(
                     &db.schema.tables[fk.table].name,
@@ -550,7 +564,9 @@ impl GrammarParser {
                 Expr::ScalarSubquery(Box::new(inner)),
             ));
         }
-        select.where_clause = exprs.into_iter().reduce(|a, b| Expr::binary(a, BinOp::And, b));
+        select.where_clause = exprs
+            .into_iter()
+            .reduce(|a, b| Expr::binary(a, BinOp::And, b));
 
         Ok(Query::single(select))
     }
@@ -694,12 +710,7 @@ impl GrammarParser {
 
     /// Candidate list for execution-guided decoding: the primary parse plus
     /// alternative groundings for each condition slot.
-    pub fn parse_candidates(
-        &self,
-        question: &NlQuestion,
-        db: &Database,
-        k: usize,
-    ) -> Vec<Query> {
+    pub fn parse_candidates(&self, question: &NlQuestion, db: &Database, k: usize) -> Vec<Query> {
         let mut out = Vec::new();
         if let Ok(q) = self.parse_with(question, db, None) {
             out.push(q);
@@ -823,7 +834,10 @@ mod tests {
     fn group_by_question() {
         let p = GrammarParser::new(GrammarConfig::neural());
         assert_eq!(
-            parse(&p, "For each category, what is the average price of products?"),
+            parse(
+                &p,
+                "For each category, what is the average price of products?"
+            ),
             "SELECT category, AVG(price) FROM products GROUP BY category"
         );
     }
@@ -939,7 +953,10 @@ mod tests {
     fn unidentifiable_table_is_an_error() {
         let p = GrammarParser::new(GrammarConfig::neural());
         assert!(p
-            .parse(&NlQuestion::new("colorless green ideas sleep furiously"), &db())
+            .parse(
+                &NlQuestion::new("colorless green ideas sleep furiously"),
+                &db()
+            )
             .is_err());
     }
 

@@ -39,6 +39,5 @@ pub use llm::LlmParser;
 pub use multiturn::DialogueParser;
 pub use plm::PlmParser;
 pub use rule::RuleBasedParser;
-pub use weak::{harvest, WeakExample, WeakHarvest};
 pub use skeleton::SkeletonParser;
-
+pub use weak::{harvest, WeakExample, WeakHarvest};

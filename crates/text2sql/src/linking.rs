@@ -11,8 +11,7 @@
 use nli_core::{ColumnRef, Database, Prng, Value};
 use nli_lm::AlignmentModel;
 use nli_nlu::{
-    is_stopword, lexical_similarity, stem, tokenize, Embedding, SynonymLexicon, Token,
-    TokenKind,
+    is_stopword, lexical_similarity, stem, tokenize, Embedding, SynonymLexicon, Token, TokenKind,
 };
 
 /// Which linking signals are enabled.
@@ -137,7 +136,10 @@ pub struct Linker {
 
 impl Linker {
     pub fn new(config: LinkConfig) -> Linker {
-        Linker { config, lexicon: SynonymLexicon::default_english() }
+        Linker {
+            config,
+            lexicon: SynonymLexicon::default_english(),
+        }
     }
 
     /// Similarity of a question span to a schema phrase under the enabled
@@ -259,9 +261,7 @@ impl Linker {
                             s = s.max(0.5 + 0.5 * learned);
                         }
                     }
-                    if s >= self.config.threshold
-                        && best.is_none_or(|(bs, _)| s > bs)
-                    {
+                    if s >= self.config.threshold && best.is_none_or(|(bs, _)| s > bs) {
                         best = Some((s, r));
                     }
                 }
@@ -269,7 +269,12 @@ impl Linker {
                     for c in claimed.iter_mut().skip(start).take(n) {
                         *c = true;
                     }
-                    columns.push(ColumnLink { start, len: n, col, score });
+                    columns.push(ColumnLink {
+                        start,
+                        len: n,
+                        col,
+                        score,
+                    });
                 }
             }
         }
@@ -287,10 +292,16 @@ impl Linker {
                     for v in &col_values {
                         match v {
                             Value::Text(s) if s.eq_ignore_ascii_case(&t.text) => {
-                                values.push(ValueLink { col: r, value: v.clone() });
+                                values.push(ValueLink {
+                                    col: r,
+                                    value: v.clone(),
+                                });
                             }
                             Value::Date(d) if d.to_string() == t.text => {
-                                values.push(ValueLink { col: r, value: v.clone() });
+                                values.push(ValueLink {
+                                    col: r,
+                                    value: v.clone(),
+                                });
                             }
                             _ => {}
                         }
@@ -299,7 +310,12 @@ impl Linker {
             }
         }
 
-        LinkingResult { table_scores, columns, values, tokens: words }
+        LinkingResult {
+            table_scores,
+            columns,
+            values,
+            tokens: words,
+        }
     }
 }
 
@@ -360,7 +376,11 @@ mod tests {
         let r = l.link("show the price of products", &db());
         assert_eq!(r.best_table(), Some(0));
         assert!(r.columns.iter().any(|c| {
-            c.col == ColumnRef { table: 0, column: 3 }
+            c.col
+                == ColumnRef {
+                    table: 0,
+                    column: 3,
+                }
         }));
     }
 
@@ -371,10 +391,19 @@ mod tests {
         let world = Linker::new(LinkConfig::world_knowledge());
         // "cost" is a lexicon synonym of "price"
         let q = "show the cost of products";
-        let price = ColumnRef { table: 0, column: 3 };
+        let price = ColumnRef {
+            table: 0,
+            column: 3,
+        };
         let found = |r: &LinkingResult| r.columns.iter().any(|c| c.col == price);
-        assert!(!found(&lexical.link(q, &d)), "lexical linker must miss the synonym");
-        assert!(found(&world.link(q, &d)), "world-knowledge linker must hit it");
+        assert!(
+            !found(&lexical.link(q, &d)),
+            "lexical linker must miss the synonym"
+        );
+        assert!(
+            found(&world.link(q, &d)),
+            "world-knowledge linker must hit it"
+        );
     }
 
     #[test]
@@ -382,7 +411,13 @@ mod tests {
         let l = Linker::new(LinkConfig::lexical_only());
         let r = l.link("products whose category is 'Tools'", &db());
         assert_eq!(r.values.len(), 1);
-        assert_eq!(r.values[0].col, ColumnRef { table: 0, column: 2 });
+        assert_eq!(
+            r.values[0].col,
+            ColumnRef {
+                table: 0,
+                column: 2
+            }
+        );
         assert_eq!(r.values[0].value, Value::from("Tools"));
     }
 
@@ -404,10 +439,11 @@ mod tests {
         };
         let l = Linker::new(cfg);
         let r = l.link("how expensive are these", &db());
-        assert!(r
-            .columns
-            .iter()
-            .any(|c| c.col == ColumnRef { table: 0, column: 3 }));
+        assert!(r.columns.iter().any(|c| c.col
+            == ColumnRef {
+                table: 0,
+                column: 3
+            }));
     }
 
     #[test]
@@ -427,7 +463,13 @@ mod tests {
         let link = r
             .columns
             .iter()
-            .find(|c| c.col == ColumnRef { table: 0, column: 3 })
+            .find(|c| {
+                c.col
+                    == ColumnRef {
+                        table: 0,
+                        column: 3,
+                    }
+            })
             .expect("unit price should link");
         assert_eq!(link.len, 2);
     }

@@ -16,7 +16,7 @@
 //!   execution results.
 
 use crate::grammar::{GrammarConfig, GrammarParser};
-use nli_core::{Database, ExecutionEngine, NliError, NlQuestion, Prng, Result, SemanticParser};
+use nli_core::{Database, ExecutionEngine, NlQuestion, NliError, Prng, Result, SemanticParser};
 use nli_lm::{Demonstration, LlmKind, Prompt, PromptStrategy, SimulatedLlm};
 use nli_sql::{parse_query, Query, SqlEngine};
 
@@ -108,7 +108,9 @@ impl SemanticParser for LlmParser {
                     if first_parseable.is_none() {
                         first_parseable = Some(q.clone());
                     }
-                    let Ok(rs) = engine.run_sql(&text, db) else { continue };
+                    let Ok(rs) = engine.run_sql(&text, db) else {
+                        continue;
+                    };
                     let key = rs.canonical_rows();
                     match buckets.iter_mut().find(|(k, _, _)| *k == key) {
                         Some((_, _, count)) => *count += 1,
@@ -120,9 +122,7 @@ impl SemanticParser for LlmParser {
                     .max_by_key(|(_, _, c)| *c)
                     .map(|(_, q, _)| q)
                     .or(first_parseable)
-                    .ok_or_else(|| {
-                        NliError::Model("no consistent sample parsed".into())
-                    })
+                    .ok_or_else(|| NliError::Model("no consistent sample parsed".into()))
             }
             PromptStrategy::Decomposed { .. } => {
                 // self-correction loop: re-prompt while the output is
@@ -153,8 +153,7 @@ impl SemanticParser for LlmParser {
                 let text =
                     self.model
                         .generate(&intent, &db.schema, &prompt, self.strategy, &mut rng);
-                parse_query(&text)
-                    .map_err(|e| NliError::Model(format!("degenerate sample: {e}")))
+                parse_query(&text).map_err(|e| NliError::Model(format!("degenerate sample: {e}")))
             }
         }
     }
@@ -208,7 +207,10 @@ mod tests {
     }
 
     const QS: &[(&str, &str)] = &[
-        ("How many products are there?", "SELECT COUNT(*) FROM products"),
+        (
+            "How many products are there?",
+            "SELECT COUNT(*) FROM products",
+        ),
         (
             "List the name of products with price above 5.",
             "SELECT name FROM products WHERE price > 5",
@@ -246,7 +248,10 @@ mod tests {
             let zero = LlmParser::new(LlmKind::Codex, PromptStrategy::ZeroShot, seed);
             let dec = LlmParser::new(
                 LlmKind::Codex,
-                PromptStrategy::Decomposed { k: 4, selection: DemoSelection::Similarity },
+                PromptStrategy::Decomposed {
+                    k: 4,
+                    selection: DemoSelection::Similarity,
+                },
                 seed,
             );
             zero_total += eval(&zero, QS);
@@ -296,7 +301,10 @@ mod tests {
     fn names_encode_kind_and_strategy() {
         let p = LlmParser::new(
             LlmKind::ChatGpt,
-            PromptStrategy::FewShot { k: 4, selection: DemoSelection::Diversity },
+            PromptStrategy::FewShot {
+                k: 4,
+                selection: DemoSelection::Diversity,
+            },
             0,
         );
         assert_eq!(p.name(), "llm-chatgpt-few-shot");

@@ -9,7 +9,7 @@
 
 use crate::analysis::analyze;
 use crate::grammar::{GrammarConfig, GrammarParser};
-use nli_core::{Database, NliError, NlQuestion, Result, SemanticParser};
+use nli_core::{Database, NlQuestion, NliError, Result, SemanticParser};
 use nli_sql::{BinOp, Expr, OrderItem, Query, SelectItem};
 
 /// Stateful dialogue parser wrapping a grammar parser for opening turns.
@@ -20,7 +20,10 @@ pub struct DialogueParser {
 
 impl DialogueParser {
     pub fn new(cfg: GrammarConfig) -> DialogueParser {
-        DialogueParser { base: GrammarParser::new(cfg), prev: None }
+        DialogueParser {
+            base: GrammarParser::new(cfg),
+            prev: None,
+        }
     }
 
     /// Forget conversation state (start a new dialogue).
@@ -74,8 +77,9 @@ impl DialogueParser {
                 let a = analyze(&question.text);
                 let mut added = false;
                 for sketch in &a.conds {
-                    if let Some(expr) =
-                        self.base.ground_condition(sketch, db, &scope, main, qualify)
+                    if let Some(expr) = self
+                        .base
+                        .ground_condition(sketch, db, &scope, main, qualify)
                     {
                         q.select.where_clause = Some(match q.select.where_clause.take() {
                             Some(w) => Expr::binary(w, BinOp::And, expr),
@@ -95,9 +99,9 @@ impl DialogueParser {
                 let Some(o) = &a.order else {
                     return Err(NliError::Parse("no ordering found in follow-up".into()));
                 };
-                let Some(expr) =
-                    self.base
-                        .ground_order_column(&o.phrase, db, &scope, main, qualify)
+                let Some(expr) = self
+                    .base
+                    .ground_order_column(&o.phrase, db, &scope, main, qualify)
                 else {
                     return Err(NliError::Parse("could not ground the sort column".into()));
                 };
@@ -186,7 +190,9 @@ mod tests {
             )
             .unwrap();
         assert!(t4.to_string().ends_with("ORDER BY age DESC LIMIT 1"));
-        let t5 = p.parse_turn(&NlQuestion::new("How many are there?"), &d).unwrap();
+        let t5 = p
+            .parse_turn(&NlQuestion::new("How many are there?"), &d)
+            .unwrap();
         assert_eq!(
             t5.to_string(),
             "SELECT COUNT(*) FROM singer WHERE age > 35 AND country = 'Japan'"
@@ -207,7 +213,8 @@ mod tests {
     fn reset_clears_state() {
         let mut p = DialogueParser::new(GrammarConfig::neural());
         let d = db();
-        p.parse_turn(&NlQuestion::new("List the name of singers."), &d).unwrap();
+        p.parse_turn(&NlQuestion::new("List the name of singers."), &d)
+            .unwrap();
         p.reset();
         // after reset the count follow-up has no scope; fresh parse happens
         let r = p.parse_turn(&NlQuestion::new("How many are there?"), &d);
@@ -219,14 +226,17 @@ mod tests {
     fn ungroundable_follow_up_is_an_error_but_keeps_state() {
         let mut p = DialogueParser::new(GrammarConfig::neural());
         let d = db();
-        p.parse_turn(&NlQuestion::new("List the name of singers."), &d).unwrap();
+        p.parse_turn(&NlQuestion::new("List the name of singers."), &d)
+            .unwrap();
         let r = p.parse_turn(
             &NlQuestion::new("Only those with flibbertigibbet above 3."),
             &d,
         );
         assert!(r.is_err());
         // the previous state still allows continuing the dialogue
-        let t = p.parse_turn(&NlQuestion::new("How many are there?"), &d).unwrap();
+        let t = p
+            .parse_turn(&NlQuestion::new("How many are there?"), &d)
+            .unwrap();
         assert_eq!(t.to_string(), "SELECT COUNT(*) FROM singer");
     }
 }

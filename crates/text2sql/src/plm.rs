@@ -11,7 +11,7 @@
 //! survey's robustness discussion highlights.
 
 use crate::grammar::{GrammarConfig, GrammarParser};
-use nli_core::{Database, NliError, NlQuestion, Result, SemanticParser};
+use nli_core::{Database, NlQuestion, NliError, Result, SemanticParser};
 use nli_lm::{AlignmentModel, TrainingExample};
 use nli_sql::Query;
 
@@ -24,7 +24,11 @@ pub struct PlmParser {
 
 impl PlmParser {
     pub fn new() -> PlmParser {
-        PlmParser { inner: None, examples_seen: 0, name: "plm-finetuned".to_string() }
+        PlmParser {
+            inner: None,
+            examples_seen: 0,
+            name: "plm-finetuned".to_string(),
+        }
     }
 
     /// Override the report name (e.g. "plm+pretraining").
@@ -125,7 +129,9 @@ mod tests {
     #[test]
     fn untrained_refuses() {
         let p = PlmParser::new();
-        assert!(p.parse(&NlQuestion::new("How many employees are there?"), &db()).is_err());
+        assert!(p
+            .parse(&NlQuestion::new("How many employees are there?"), &db())
+            .is_err());
         assert!(!p.is_trained());
     }
 

@@ -14,7 +14,9 @@
 
 use crate::analysis::{analyze, CmpKind};
 use crate::linking::{LinkConfig, Linker};
-use nli_core::{ColumnRef, Database, DataType, NliError, NlQuestion, Result, SemanticParser, Value};
+use nli_core::{
+    ColumnRef, DataType, Database, NlQuestion, NliError, Result, SemanticParser, Value,
+};
 use nli_lm::{sketch_of, AlignmentModel, SketchClassifier, TrainingExample};
 use nli_sql::{AggFunc, BinOp, ColName, Expr, Query, Select, SelectItem};
 
@@ -91,7 +93,9 @@ impl SkeletonParser {
             if learned <= 0.05 {
                 continue;
             }
-            let lexical = self.backoff_linker.phrase_score(phrase, &c.display, &c.name);
+            let lexical = self
+                .backoff_linker
+                .phrase_score(phrase, &c.display, &c.name);
             let s = learned + 0.1 * lexical;
             if best.is_none_or(|(bs, _)| s > bs) {
                 best = Some((s, ci));
@@ -105,10 +109,10 @@ impl SkeletonParser {
         if self.contextual_backoff {
             let mut best: Option<(f64, usize)> = None;
             for (ci, c) in cols.iter().enumerate() {
-                let s = self.backoff_linker.phrase_score(phrase, &c.display, &c.name);
-                if s >= self.backoff_linker.config.threshold
-                    && best.is_none_or(|(bs, _)| s > bs)
-                {
+                let s = self
+                    .backoff_linker
+                    .phrase_score(phrase, &c.display, &c.name);
+                if s >= self.backoff_linker.config.threshold && best.is_none_or(|(bs, _)| s > bs) {
                     best = Some((s, ci));
                 }
             }
@@ -139,9 +143,7 @@ impl SemanticParser for SkeletonParser {
                     let mut best: Option<(f64, usize)> = None;
                     for ti in 0..db.schema.tables.len() {
                         let t = &db.schema.tables[ti];
-                        let mut s = self
-                            .backoff_linker
-                            .phrase_score(p, &t.display, &t.name);
+                        let mut s = self.backoff_linker.phrase_score(p, &t.display, &t.name);
                         for w in p.split_whitespace() {
                             s = s.max(self.alignment.table_score(w, &t.name));
                         }
@@ -225,9 +227,7 @@ impl SemanticParser for SkeletonParser {
                 select.items = cols
                     .into_iter()
                     .map(|r| {
-                        SelectItem::plain(Expr::Column(ColName::new(
-                            &db.schema.column(r).name,
-                        )))
+                        SelectItem::plain(Expr::Column(ColName::new(&db.schema.column(r).name)))
                     })
                     .collect();
             }
@@ -240,7 +240,9 @@ impl SemanticParser for SkeletonParser {
             if matches!(c.kind, CmpKind::KnowledgeHigh | CmpKind::KnowledgeLow) {
                 continue;
             }
-            let Some(col) = self.ground(&c.col_phrase, db, table) else { continue };
+            let Some(col) = self.ground(&c.col_phrase, db, table) else {
+                continue;
+            };
             let lhs = Expr::Column(ColName::new(&db.schema.column(col).name));
             let expr = match (&c.kind, &c.value) {
                 (CmpKind::Op(op), Some(v)) => {
@@ -266,7 +268,9 @@ impl SemanticParser for SkeletonParser {
             };
             exprs.push(expr);
         }
-        select.where_clause = exprs.into_iter().reduce(|x, y| Expr::binary(x, BinOp::And, y));
+        select.where_clause = exprs
+            .into_iter()
+            .reduce(|x, y| Expr::binary(x, BinOp::And, y));
 
         // the skeleton grammar has no GROUP BY / ORDER BY / JOIN / nesting.
         Ok(Query::single(select))
@@ -291,7 +295,10 @@ pub fn training_examples<'a>(
 ) -> Vec<TrainingExample> {
     pairs
         .into_iter()
-        .map(|(q, sql)| TrainingExample { question: q.to_string(), sql: sql.clone() })
+        .map(|(q, sql)| TrainingExample {
+            question: q.to_string(),
+            sql: sql.clone(),
+        })
         .collect()
 }
 
@@ -335,10 +342,19 @@ mod tests {
         let mut p = SkeletonParser::new(backoff);
         let corpus = [
             ("How many singers are there?", "SELECT COUNT(*) FROM singer"),
-            ("Count the singers with age greater than 20.", "SELECT COUNT(*) FROM singer WHERE age > 20"),
-            ("What is the average age of singers?", "SELECT AVG(age) FROM singer"),
+            (
+                "Count the singers with age greater than 20.",
+                "SELECT COUNT(*) FROM singer WHERE age > 20",
+            ),
+            (
+                "What is the average age of singers?",
+                "SELECT AVG(age) FROM singer",
+            ),
             ("List the name of singers.", "SELECT name FROM singer"),
-            ("List the name of singers whose country is 'France'.", "SELECT name FROM singer WHERE country = 'France'"),
+            (
+                "List the name of singers whose country is 'France'.",
+                "SELECT name FROM singer WHERE country = 'France'",
+            ),
         ];
         let examples: Vec<TrainingExample> = corpus
             .iter()
@@ -354,16 +370,24 @@ mod tests {
     #[test]
     fn untrained_parser_refuses() {
         let p = SkeletonParser::new(true);
-        assert!(p.parse(&NlQuestion::new("How many singers are there?"), &db()).is_err());
+        assert!(p
+            .parse(&NlQuestion::new("How many singers are there?"), &db())
+            .is_err());
     }
 
     #[test]
     fn predicts_trained_shapes() {
         let p = trained(true);
         let q = NlQuestion::new("How many singers are there?");
-        assert_eq!(p.parse(&q, &db()).unwrap().to_string(), "SELECT COUNT(*) FROM singer");
+        assert_eq!(
+            p.parse(&q, &db()).unwrap().to_string(),
+            "SELECT COUNT(*) FROM singer"
+        );
         let q = NlQuestion::new("What is the average age of singers?");
-        assert_eq!(p.parse(&q, &db()).unwrap().to_string(), "SELECT AVG(age) FROM singer");
+        assert_eq!(
+            p.parse(&q, &db()).unwrap().to_string(),
+            "SELECT AVG(age) FROM singer"
+        );
     }
 
     #[test]

@@ -29,7 +29,10 @@ pub struct WeakExample {
 impl WeakExample {
     /// Build from a question and an executed result.
     pub fn from_result(question: NlQuestion, result: &ResultSet) -> WeakExample {
-        WeakExample { question, answer: result.canonical_rows() }
+        WeakExample {
+            question,
+            answer: result.canonical_rows(),
+        }
     }
 }
 
@@ -46,11 +49,7 @@ pub struct WeakHarvest {
 
 /// Search candidate programs for each weak example and keep answer-matching
 /// ones as pseudo-gold supervision.
-pub fn harvest(
-    weak: &[(usize, WeakExample)],
-    databases: &[Database],
-    beam: usize,
-) -> WeakHarvest {
+pub fn harvest(weak: &[(usize, WeakExample)], databases: &[Database], beam: usize) -> WeakHarvest {
     let explorer = GrammarParser::new(GrammarConfig::llm_reasoner().named("weak-explorer"));
     let engine = SqlEngine::new();
     let mut out = WeakHarvest::default();

@@ -7,7 +7,7 @@
 
 use crate::ncnet_like::NcNetParser;
 use crate::vis_analysis::analyze_vis;
-use nli_core::{Database, NliError, NlQuestion, Result, SemanticParser};
+use nli_core::{Database, NlQuestion, NliError, Result, SemanticParser};
 use nli_nlu::tokenize_words;
 use nli_sql::{BinOp, Expr};
 use nli_text2sql::{GrammarConfig, GrammarParser};
@@ -65,9 +65,7 @@ impl VisDialogueParser {
                 let mut v = prev;
                 let mut added = false;
                 for c in &a.conds {
-                    if let Some(e) =
-                        self.helper.ground_condition(c, db, &[table], table, false)
-                    {
+                    if let Some(e) = self.helper.ground_condition(c, db, &[table], table, false) {
                         v.query.select.where_clause =
                             Some(match v.query.select.where_clause.take() {
                                 Some(w) => Expr::binary(w, BinOp::And, e),
@@ -181,7 +179,9 @@ mod tests {
             &d,
         )
         .unwrap();
-        let t2 = p.parse_turn(&NlQuestion::new("Binned by year."), &d).unwrap();
+        let t2 = p
+            .parse_turn(&NlQuestion::new("Binned by year."), &d)
+            .unwrap();
         assert_eq!(t2.bin.unwrap().unit, BinUnit::Year);
     }
 

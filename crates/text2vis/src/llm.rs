@@ -8,7 +8,7 @@
 
 use crate::rule::ground_vis;
 use crate::vis_analysis::analyze_vis;
-use nli_core::{Database, NliError, NlQuestion, Prng, Result, SemanticParser};
+use nli_core::{Database, NlQuestion, NliError, Prng, Result, SemanticParser};
 use nli_lm::{llm::corrupt_query, LlmKind, Prompt, PromptStrategy, SimulatedLlm};
 use nli_text2sql::{GrammarConfig, GrammarParser};
 use nli_vql::{parse_vis, ChartType, VisQuery};
@@ -65,9 +65,13 @@ impl SemanticParser for LlmVisParser {
         );
         // meter usage and corrupt the data query
         let profile = self.model.effective_profile(self.strategy);
-        let _ = self
-            .model
-            .generate(&intent.query, &db.schema, &prompt, self.strategy, &mut rng.fork(1));
+        let _ = self.model.generate(
+            &intent.query,
+            &db.schema,
+            &prompt,
+            self.strategy,
+            &mut rng.fork(1),
+        );
         let sql_text = corrupt_query(&intent.query, &db.schema, &profile, &mut rng);
 
         // chart confusion at the aggregate-error rate

@@ -32,7 +32,9 @@ impl NcNetParser {
         let mut alignment = AlignmentModel::new();
         alignment.train(examples);
         self.gp = GrammarParser::new(
-            GrammarConfig::neural().with_alignment(alignment).named("ncnet"),
+            GrammarConfig::neural()
+                .with_alignment(alignment)
+                .named("ncnet"),
         );
     }
 
@@ -97,7 +99,12 @@ mod tests {
         let mut d = Database::empty(schema);
         d.insert(
             "sales",
-            vec![1.into(), "Tools".into(), 9.5.into(), Date::new(2024, 2, 2).into()],
+            vec![
+                1.into(),
+                "Tools".into(),
+                9.5.into(),
+                Date::new(2024, 2, 2).into(),
+            ],
         )
         .unwrap();
         d
@@ -118,8 +125,7 @@ mod tests {
         let mut p = NcNetParser::new();
         p.train(&[TrainingExample {
             question: "chart the takings for each category of sales".into(),
-            sql: parse_query("SELECT category, SUM(amount) FROM sales GROUP BY category")
-                .unwrap(),
+            sql: parse_query("SELECT category, SUM(amount) FROM sales GROUP BY category").unwrap(),
         }]);
         let q = NlQuestion::new("Show a bar chart of the total takings for each category.");
         let v = p.parse(&q, &db()).unwrap();

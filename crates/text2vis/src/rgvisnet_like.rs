@@ -11,7 +11,7 @@
 
 use crate::rule::ground_vis;
 use crate::vis_analysis::analyze_vis;
-use nli_core::{Database, NliError, NlQuestion, Result, SemanticParser};
+use nli_core::{Database, NlQuestion, NliError, Result, SemanticParser};
 use nli_nlu::Embedding;
 use nli_text2sql::{GrammarConfig, GrammarParser};
 use nli_vql::VisQuery;
@@ -39,7 +39,10 @@ impl RgVisNetParser {
     /// Index a codebase of (question, VQL) prototypes.
     pub fn index(&mut self, pairs: impl IntoIterator<Item = (String, VisQuery)>) {
         for (q, vql) in pairs {
-            self.codebase.push(Prototype { embedding: Embedding::of(&q), vql });
+            self.codebase.push(Prototype {
+                embedding: Embedding::of(&q),
+                vql,
+            });
         }
     }
 
@@ -138,7 +141,9 @@ impl SemanticParser for RgVisNetParser {
                 return Ok(v);
             }
         }
-        Err(NliError::Parse("neither grounding nor retrieval succeeded".into()))
+        Err(NliError::Parse(
+            "neither grounding nor retrieval succeeded".into(),
+        ))
     }
 
     fn name(&self) -> &str {
@@ -165,7 +170,8 @@ mod tests {
             .with_display("project")],
         );
         let mut d = Database::empty(schema);
-        d.insert("projects", vec!["research".into(), 100.0.into()]).unwrap();
+        d.insert("projects", vec!["research".into(), 100.0.into()])
+            .unwrap();
         d
     }
 
@@ -186,8 +192,10 @@ mod tests {
         let mut p = RgVisNetParser::new();
         p.index(vec![(
             "visualize spending by department".to_string(),
-            parse_vis("VISUALIZE BAR SELECT department, SUM(cost) FROM budgets GROUP BY department")
-                .unwrap(),
+            parse_vis(
+                "VISUALIZE BAR SELECT department, SUM(cost) FROM budgets GROUP BY department",
+            )
+            .unwrap(),
         )]);
         assert_eq!(p.codebase_size(), 1);
         // the request shape is unrecognizable to the analyzer, forcing the

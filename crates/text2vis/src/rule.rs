@@ -8,18 +8,14 @@
 //! scatter, temporal x → line).
 
 use crate::vis_analysis::{analyze_vis, VisAnalysis, VisShape};
-use nli_core::{ColumnRef, Database, DataType, NliError, NlQuestion, Result, SemanticParser};
+use nli_core::{ColumnRef, DataType, Database, NlQuestion, NliError, Result, SemanticParser};
 use nli_sql::{AggFunc, BinOp, ColName, Expr, Query, Select, SelectItem};
 use nli_text2sql::{GrammarConfig, GrammarParser};
 use nli_vql::{BinUnit, ChartType, VisQuery};
 
 /// Ground a vis sketch into a [`VisQuery`] using `gp`'s linker. Shared by
 /// the rule, ncNet and RGVisNet parsers (they differ in `gp`'s config).
-pub(crate) fn ground_vis(
-    gp: &GrammarParser,
-    a: &VisAnalysis,
-    db: &Database,
-) -> Result<VisQuery> {
+pub(crate) fn ground_vis(gp: &GrammarParser, a: &VisAnalysis, db: &Database) -> Result<VisQuery> {
     // pick the table that can ground the shape's phrases
     let pick_table = |phrases: &[&str], hint: Option<&str>| -> Option<usize> {
         if let Some(h) = hint {
@@ -44,7 +40,12 @@ pub(crate) fn ground_vis(
 
     let (chart_default, query, bin): (ChartType, Query, Option<(ColumnRef, BinUnit)>) =
         match &a.shape {
-            VisShape::Grouped { func, y_phrase, key_phrase, table_phrase } => {
+            VisShape::Grouped {
+                func,
+                y_phrase,
+                key_phrase,
+                table_phrase,
+            } => {
                 let mut phrases: Vec<&str> = vec![key_phrase.as_str()];
                 if let Some(y) = y_phrase {
                     phrases.push(y.as_str());
@@ -54,16 +55,23 @@ pub(crate) fn ground_vis(
                 // different tables (the paper's Fig. 2 "revenue by product
                 // category" shape)
                 let select = ground_grouped_single(
-                    gp, a, db, *func, y_phrase.as_deref(), key_phrase,
+                    gp,
+                    a,
+                    db,
+                    *func,
+                    y_phrase.as_deref(),
+                    key_phrase,
                     pick_table(&phrases, table_phrase.as_deref()),
                 )
-                .or_else(|| {
-                    ground_grouped_joined(gp, db, *func, y_phrase.as_deref()?, key_phrase)
-                })
+                .or_else(|| ground_grouped_joined(gp, db, *func, y_phrase.as_deref()?, key_phrase))
                 .ok_or_else(|| NliError::Parse("cannot ground the grouped chart".into()))?;
                 (ChartType::Bar, Query::single(select), None)
             }
-            VisShape::Pair { x_phrase, y_phrase, table_phrase } => {
+            VisShape::Pair {
+                x_phrase,
+                y_phrase,
+                table_phrase,
+            } => {
                 let t = pick_table(&[x_phrase, y_phrase], table_phrase.as_deref())
                     .ok_or_else(|| NliError::Parse("no table grounds the chart".into()))?;
                 let x = gp
@@ -74,12 +82,20 @@ pub(crate) fn ground_vis(
                     .ok_or_else(|| NliError::Parse("cannot ground y".into()))?;
                 let mut s = Select::simple(
                     &db.schema.tables[t].name,
-                    vec![SelectItem::plain(col_expr(x)), SelectItem::plain(col_expr(y))],
+                    vec![
+                        SelectItem::plain(col_expr(x)),
+                        SelectItem::plain(col_expr(y)),
+                    ],
                 );
                 attach_conds(gp, a, db, t, &mut s);
                 (ChartType::Scatter, Query::single(s), None)
             }
-            VisShape::Temporal { y_phrase, date_phrase, unit, table_phrase } => {
+            VisShape::Temporal {
+                y_phrase,
+                date_phrase,
+                unit,
+                table_phrase,
+            } => {
                 let t = pick_table(&[y_phrase, date_phrase], table_phrase.as_deref())
                     .ok_or_else(|| NliError::Parse("no table grounds the chart".into()))?;
                 let date = gp
@@ -91,7 +107,10 @@ pub(crate) fn ground_vis(
                             .columns
                             .iter()
                             .position(|c| c.dtype == DataType::Date)
-                            .map(|ci| ColumnRef { table: t, column: ci })
+                            .map(|ci| ColumnRef {
+                                table: t,
+                                column: ci,
+                            })
                     })
                     .ok_or_else(|| NliError::Parse("cannot ground the date axis".into()))?;
                 let y = gp
@@ -99,14 +118,15 @@ pub(crate) fn ground_vis(
                     .ok_or_else(|| NliError::Parse("cannot ground y".into()))?;
                 let mut s = Select::simple(
                     &db.schema.tables[t].name,
-                    vec![SelectItem::plain(col_expr(date)), SelectItem::plain(col_expr(y))],
+                    vec![
+                        SelectItem::plain(col_expr(date)),
+                        SelectItem::plain(col_expr(y)),
+                    ],
                 );
                 attach_conds(gp, a, db, t, &mut s);
                 (ChartType::Line, Query::single(s), Some((date, *unit)))
             }
-            VisShape::Unknown => {
-                return Err(NliError::Parse("unrecognized chart request".into()))
-            }
+            VisShape::Unknown => return Err(NliError::Parse("unrecognized chart request".into())),
         };
 
     let chart = a.chart.unwrap_or(chart_default);
@@ -135,7 +155,10 @@ fn ground_grouped_single(
             if !db.schema.column(col).dtype.is_numeric() && func != AggFunc::Count {
                 return None;
             }
-            Expr::agg(func, Expr::Column(ColName::new(&db.schema.column(col).name)))
+            Expr::agg(
+                func,
+                Expr::Column(ColName::new(&db.schema.column(col).name)),
+            )
         }
         None => Expr::count_star(),
     };
@@ -184,7 +207,9 @@ fn ground_grouped_joined(
                 SelectItem::plain(Expr::agg(func, qual(ycol))),
             ],
         );
-        s.from.push(nli_sql::TableRef { name: db.schema.tables[parent].name.clone() });
+        s.from.push(nli_sql::TableRef {
+            name: db.schema.tables[parent].name.clone(),
+        });
         s.joins.push(nli_sql::JoinCond {
             left: ColName::qualified(
                 &db.schema.tables[child].name,
@@ -201,20 +226,16 @@ fn ground_grouped_joined(
     None
 }
 
-fn attach_conds(
-    gp: &GrammarParser,
-    a: &VisAnalysis,
-    db: &Database,
-    table: usize,
-    s: &mut Select,
-) {
+fn attach_conds(gp: &GrammarParser, a: &VisAnalysis, db: &Database, table: usize, s: &mut Select) {
     let mut exprs = Vec::new();
     for c in &a.conds {
         if let Some(e) = gp.ground_condition(c, db, &[table], table, false) {
             exprs.push(e);
         }
     }
-    s.where_clause = exprs.into_iter().reduce(|x, y| Expr::binary(x, BinOp::And, y));
+    s.where_clause = exprs
+        .into_iter()
+        .reduce(|x, y| Expr::binary(x, BinOp::And, y));
 }
 
 /// Rule/template-based Text-to-Vis parser.
@@ -283,8 +304,20 @@ mod tests {
         d.insert_all(
             "sales",
             vec![
-                vec![1.into(), "Tools".into(), 100.0.into(), 9.5.into(), Date::new(2024, 1, 5).into()],
-                vec![2.into(), "Toys".into(), 50.0.into(), 4.0.into(), Date::new(2024, 4, 9).into()],
+                vec![
+                    1.into(),
+                    "Tools".into(),
+                    100.0.into(),
+                    9.5.into(),
+                    Date::new(2024, 1, 5).into(),
+                ],
+                vec![
+                    2.into(),
+                    "Toys".into(),
+                    50.0.into(),
+                    4.0.into(),
+                    Date::new(2024, 4, 9).into(),
+                ],
             ],
         )
         .unwrap();
@@ -357,6 +390,9 @@ mod tests {
     fn recommendation_rules() {
         assert_eq!(recommend_chart(DataType::Date, None), ChartType::Line);
         assert_eq!(recommend_chart(DataType::Float, None), ChartType::Scatter);
-        assert_eq!(recommend_chart(DataType::Text, Some(AggFunc::Sum)), ChartType::Bar);
+        assert_eq!(
+            recommend_chart(DataType::Text, Some(AggFunc::Sum)),
+            ChartType::Bar
+        );
     }
 }

@@ -8,7 +8,7 @@
 //! replays its VQL verbatim, adapting identifiers only when the target
 //! schema happens to contain identically-named tables/columns.
 
-use nli_core::{Database, NliError, NlQuestion, Result, SemanticParser};
+use nli_core::{Database, NlQuestion, NliError, Result, SemanticParser};
 use nli_nlu::Embedding;
 use nli_vql::VisQuery;
 
@@ -31,7 +31,10 @@ impl Seq2VisParser {
     /// Memorize training pairs.
     pub fn train(&mut self, pairs: impl IntoIterator<Item = (String, VisQuery)>) {
         for (q, gold) in pairs {
-            self.memory.push(Memory { embedding: Embedding::of(&q), gold });
+            self.memory.push(Memory {
+                embedding: Embedding::of(&q),
+                gold,
+            });
         }
     }
 
@@ -63,9 +66,7 @@ impl SemanticParser for Seq2VisParser {
         // replay the memorized program; identifiers transfer only by luck.
         let replayed = mem.gold.clone();
         let tables = replayed.query.tables();
-        let transfers = tables
-            .iter()
-            .all(|t| db.schema.table_index(t).is_some());
+        let transfers = tables.iter().all(|t| db.schema.table_index(t).is_some());
         if transfers {
             Ok(replayed)
         } else {

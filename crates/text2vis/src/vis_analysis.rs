@@ -22,7 +22,11 @@ pub enum VisShape {
         table_phrase: Option<String>,
     },
     /// y against x (scatter requests).
-    Pair { x_phrase: String, y_phrase: String, table_phrase: Option<String> },
+    Pair {
+        x_phrase: String,
+        y_phrase: String,
+        table_phrase: Option<String>,
+    },
     /// y over a binned date column (line requests).
     Temporal {
         y_phrase: String,
@@ -56,8 +60,7 @@ fn find(words: &[String], seq: &[&str]) -> Option<usize> {
     if seq.len() > words.len() {
         return None;
     }
-    (0..=words.len() - seq.len())
-        .find(|&s| seq.iter().enumerate().all(|(k, w)| words[s + k] == *w))
+    (0..=words.len() - seq.len()).find(|&s| seq.iter().enumerate().all(|(k, w)| words[s + k] == *w))
 }
 
 /// Analyze a chart request.
@@ -151,7 +154,11 @@ pub fn analyze_vis(question: &str) -> VisAnalysis {
         if x.is_empty() || y.is_empty() {
             VisShape::Unknown
         } else {
-            VisShape::Pair { x_phrase: x, y_phrase: y, table_phrase: table }
+            VisShape::Pair {
+                x_phrase: x,
+                y_phrase: y,
+                table_phrase: table,
+            }
         }
     } else if let Some(ov) = find(&words, &["over"]) {
         // temporal: "... of <y> of <table> over <date> binned by <unit>"
@@ -181,7 +188,11 @@ pub fn analyze_vis(question: &str) -> VisAnalysis {
         VisShape::Unknown
     };
 
-    VisAnalysis { chart, shape, conds }
+    VisAnalysis {
+        chart,
+        shape,
+        conds,
+    }
 }
 
 #[cfg(test)]
@@ -193,7 +204,12 @@ mod tests {
         let a = analyze_vis("Show a bar chart of the total amount for each category.");
         assert_eq!(a.chart, Some(ChartType::Bar));
         match a.shape {
-            VisShape::Grouped { func, y_phrase, key_phrase, .. } => {
+            VisShape::Grouped {
+                func,
+                y_phrase,
+                key_phrase,
+                ..
+            } => {
                 assert_eq!(func, AggFunc::Sum);
                 assert_eq!(y_phrase.as_deref(), Some("amount"));
                 assert_eq!(key_phrase, "category");
@@ -207,7 +223,12 @@ mod tests {
         let a = analyze_vis("Draw a pie chart of the number of sales for each city.");
         assert_eq!(a.chart, Some(ChartType::Pie));
         match a.shape {
-            VisShape::Grouped { func, y_phrase, key_phrase, table_phrase } => {
+            VisShape::Grouped {
+                func,
+                y_phrase,
+                key_phrase,
+                table_phrase,
+            } => {
                 assert_eq!(func, AggFunc::Count);
                 assert!(y_phrase.is_none());
                 assert_eq!(key_phrase, "city");
@@ -222,7 +243,11 @@ mod tests {
         let a = analyze_vis("Plot a scatter chart of amount against price for sales.");
         assert_eq!(a.chart, Some(ChartType::Scatter));
         match a.shape {
-            VisShape::Pair { x_phrase, y_phrase, table_phrase } => {
+            VisShape::Pair {
+                x_phrase,
+                y_phrase,
+                table_phrase,
+            } => {
                 assert_eq!(x_phrase, "price");
                 assert_eq!(y_phrase, "amount");
                 assert_eq!(table_phrase.as_deref(), Some("sales"));
@@ -233,12 +258,16 @@ mod tests {
 
     #[test]
     fn temporal_request() {
-        let a = analyze_vis(
-            "Draw a line chart of amount of sales over sale date binned by quarter.",
-        );
+        let a =
+            analyze_vis("Draw a line chart of amount of sales over sale date binned by quarter.");
         assert_eq!(a.chart, Some(ChartType::Line));
         match a.shape {
-            VisShape::Temporal { y_phrase, date_phrase, unit, table_phrase } => {
+            VisShape::Temporal {
+                y_phrase,
+                date_phrase,
+                unit,
+                table_phrase,
+            } => {
                 assert_eq!(y_phrase, "amount");
                 assert_eq!(date_phrase, "sale date");
                 assert_eq!(unit, BinUnit::Quarter);

@@ -56,8 +56,12 @@ impl ChartType {
         })
     }
 
-    pub const ALL: [ChartType; 4] =
-        [ChartType::Bar, ChartType::Pie, ChartType::Line, ChartType::Scatter];
+    pub const ALL: [ChartType; 4] = [
+        ChartType::Bar,
+        ChartType::Pie,
+        ChartType::Line,
+        ChartType::Scatter,
+    ];
 }
 
 impl fmt::Display for ChartType {
@@ -113,7 +117,11 @@ pub struct VisQuery {
 
 impl VisQuery {
     pub fn new(chart: ChartType, query: Query) -> Self {
-        VisQuery { chart, query, bin: None }
+        VisQuery {
+            chart,
+            query,
+            bin: None,
+        }
     }
 
     pub fn with_bin(mut self, column: ColName, unit: BinUnit) -> Self {

@@ -56,7 +56,11 @@ impl Chart {
                 let label_w = self.points.iter().map(|p| p.label.len()).max().unwrap_or(1);
                 for p in &self.points {
                     let n = ((p.value.abs() / max) * 40.0).round() as usize;
-                    let glyph = if self.chart_type == ChartType::Bar { '█' } else { '▪' };
+                    let glyph = if self.chart_type == ChartType::Bar {
+                        '█'
+                    } else {
+                        '▪'
+                    };
                     out.push_str(&format!(
                         "{:label_w$} | {} {}\n",
                         p.label,
@@ -69,7 +73,11 @@ impl Chart {
                 let total: f64 = self.points.iter().map(|p| p.value).sum();
                 let label_w = self.points.iter().map(|p| p.label.len()).max().unwrap_or(1);
                 for p in &self.points {
-                    let pct = if total > 0.0 { 100.0 * p.value / total } else { 0.0 };
+                    let pct = if total > 0.0 {
+                        100.0 * p.value / total
+                    } else {
+                        0.0
+                    };
                     let n = (pct / 2.5).round() as usize;
                     out.push_str(&format!(
                         "{:label_w$} | {} {:.1}%\n",
@@ -83,9 +91,7 @@ impl Chart {
                 for p in &self.points {
                     out.push_str(&format!(
                         "({}, {})\n",
-                        p.x_numeric
-                            .map(trim_num)
-                            .unwrap_or_else(|| p.label.clone()),
+                        p.x_numeric.map(trim_num).unwrap_or_else(|| p.label.clone()),
                         trim_num(p.value)
                     ));
                 }
@@ -150,7 +156,13 @@ fn render(v: &VisQuery, db: &Database) -> Result<Chart> {
     if let Some(bin) = &v.bin {
         spec = spec.with_time_unit(bin.unit);
     }
-    Ok(Chart { chart_type: v.chart, x_label, y_label, points, spec })
+    Ok(Chart {
+        chart_type: v.chart,
+        x_label,
+        y_label,
+        points,
+        spec,
+    })
 }
 
 fn y_of(v: &Value) -> Result<f64> {
@@ -227,7 +239,11 @@ fn bin_points(rs: &ResultSet, unit: BinUnit) -> Result<Vec<DataPoint>> {
     buckets.sort_by_key(|(k, _, _)| *k);
     Ok(buckets
         .into_iter()
-        .map(|(_, label, value)| DataPoint { label, value, x_numeric: None })
+        .map(|(_, label, value)| DataPoint {
+            label,
+            value,
+            x_numeric: None,
+        })
         .collect())
 }
 
@@ -258,18 +274,16 @@ fn bin_of(d: nli_core::Date, unit: BinUnit) -> (i64, String) {
 /// quantitative x).
 fn validate(chart: ChartType, points: &[DataPoint], x_type: FieldType) -> Result<()> {
     match chart {
-        ChartType::Pie
-            if points.iter().any(|p| p.value < 0.0) => {
-                return Err(NliError::Execution(
-                    "pie charts cannot show negative values".into(),
-                ));
-            }
-        ChartType::Scatter
-            if x_type != FieldType::Quantitative && !points.is_empty() => {
-                return Err(NliError::Execution(
-                    "scatter charts need a quantitative x axis".into(),
-                ));
-            }
+        ChartType::Pie if points.iter().any(|p| p.value < 0.0) => {
+            return Err(NliError::Execution(
+                "pie charts cannot show negative values".into(),
+            ));
+        }
+        ChartType::Scatter if x_type != FieldType::Quantitative && !points.is_empty() => {
+            return Err(NliError::Execution(
+                "scatter charts need a quantitative x axis".into(),
+            ));
+        }
         _ => {}
     }
     Ok(())
@@ -297,10 +311,30 @@ mod tests {
         db.insert_all(
             "sales",
             vec![
-                vec!["Tools".into(), 100.0.into(), 9.5.into(), Date::new(2024, 1, 5).into()],
-                vec!["Tools".into(), 150.0.into(), 19.0.into(), Date::new(2024, 2, 8).into()],
-                vec!["Toys".into(), 50.0.into(), 4.25.into(), Date::new(2024, 4, 9).into()],
-                vec!["Toys".into(), 80.0.into(), 6.5.into(), Date::new(2024, 4, 20).into()],
+                vec![
+                    "Tools".into(),
+                    100.0.into(),
+                    9.5.into(),
+                    Date::new(2024, 1, 5).into(),
+                ],
+                vec![
+                    "Tools".into(),
+                    150.0.into(),
+                    19.0.into(),
+                    Date::new(2024, 2, 8).into(),
+                ],
+                vec![
+                    "Toys".into(),
+                    50.0.into(),
+                    4.25.into(),
+                    Date::new(2024, 4, 9).into(),
+                ],
+                vec![
+                    "Toys".into(),
+                    80.0.into(),
+                    6.5.into(),
+                    Date::new(2024, 4, 20).into(),
+                ],
             ],
         )
         .unwrap();
@@ -358,7 +392,10 @@ mod tests {
             .run_vql("VISUALIZE SCATTER SELECT price, amount FROM sales", &db())
             .is_ok());
         assert!(engine
-            .run_vql("VISUALIZE SCATTER SELECT category, amount FROM sales", &db())
+            .run_vql(
+                "VISUALIZE SCATTER SELECT category, amount FROM sales",
+                &db()
+            )
             .is_err());
     }
 
@@ -367,7 +404,12 @@ mod tests {
         let mut d = db();
         d.insert(
             "sales",
-            vec!["Refunds".into(), (-30.0).into(), 1.0.into(), Date::new(2024, 5, 1).into()],
+            vec![
+                "Refunds".into(),
+                (-30.0).into(),
+                1.0.into(),
+                Date::new(2024, 5, 1).into(),
+            ],
         )
         .unwrap();
         let engine = VisEngine::new();
@@ -389,10 +431,7 @@ mod tests {
     #[test]
     fn line_chart_sorts_unordered_x() {
         let chart = VisEngine::new()
-            .run_vql(
-                "VISUALIZE LINE SELECT price, amount FROM sales",
-                &db(),
-            )
+            .run_vql("VISUALIZE LINE SELECT price, amount FROM sales", &db())
             .unwrap();
         let xs: Vec<f64> = chart.points.iter().filter_map(|p| p.x_numeric).collect();
         let mut sorted = xs.clone();

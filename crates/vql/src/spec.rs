@@ -50,8 +50,16 @@ impl ChartSpec {
     ) -> Self {
         ChartSpec {
             mark: chart.mark().to_string(),
-            x: Encoding { field: x_field.to_string(), field_type: x_type, time_unit: None },
-            y: Encoding { field: y_field.to_string(), field_type: y_type, time_unit: None },
+            x: Encoding {
+                field: x_field.to_string(),
+                field_type: x_type,
+                time_unit: None,
+            },
+            y: Encoding {
+                field: y_field.to_string(),
+                field_type: y_type,
+                time_unit: None,
+            },
             title: None,
         }
     }
@@ -68,25 +76,52 @@ impl ChartSpec {
 
     /// The Vega-Lite JSON document for this spec.
     pub fn to_vega_lite(&self) -> serde_json::Value {
-        let mut x = serde_json::json!({
-            "field": self.x.field,
-            "type": type_name(self.x.field_type),
-        });
+        use serde_json::Value;
+        let mut x = Value::obj([
+            ("field", Value::from(&self.x.field)),
+            ("type", Value::from(type_name(self.x.field_type))),
+        ]);
         if let Some(u) = &self.x.time_unit {
-            x["timeUnit"] = serde_json::json!(u);
+            x["timeUnit"] = Value::from(u);
         }
-        let mut doc = serde_json::json!({
-            "$schema": "https://vega.github.io/schema/vega-lite/v5.json",
-            "mark": self.mark,
-            "encoding": {
-                "x": x,
-                "y": { "field": self.y.field, "type": type_name(self.y.field_type) },
-            },
-        });
+        let y = Value::obj([
+            ("field", Value::from(&self.y.field)),
+            ("type", Value::from(type_name(self.y.field_type))),
+        ]);
+        let mut doc = Value::obj([
+            (
+                "$schema",
+                Value::from("https://vega.github.io/schema/vega-lite/v5.json"),
+            ),
+            ("mark", Value::from(&self.mark)),
+            ("encoding", Value::obj([("x", x), ("y", y)])),
+        ]);
         if let Some(t) = &self.title {
-            doc["title"] = serde_json::json!(t);
+            doc["title"] = Value::from(t);
         }
         doc
+    }
+
+    /// Rebuild a spec from a Vega-Lite document produced by
+    /// [`ChartSpec::to_vega_lite`]; `None` if the shape doesn't match.
+    pub fn from_vega_lite(doc: &serde_json::Value) -> Option<Self> {
+        let encoding = doc.get("encoding")?;
+        let parse_encoding = |channel: &serde_json::Value| {
+            Some(Encoding {
+                field: channel.get("field")?.as_str()?.to_string(),
+                field_type: parse_type(channel.get("type")?.as_str()?)?,
+                time_unit: channel
+                    .get("timeUnit")
+                    .and_then(|u| u.as_str())
+                    .map(String::from),
+            })
+        };
+        Some(ChartSpec {
+            mark: doc.get("mark")?.as_str()?.to_string(),
+            x: parse_encoding(encoding.get("x")?)?,
+            y: parse_encoding(encoding.get("y")?)?,
+            title: doc.get("title").and_then(|t| t.as_str()).map(String::from),
+        })
     }
 }
 
@@ -96,6 +131,16 @@ fn type_name(t: FieldType) -> &'static str {
         FieldType::Quantitative => "quantitative",
         FieldType::Temporal => "temporal",
         FieldType::Ordinal => "ordinal",
+    }
+}
+
+fn parse_type(name: &str) -> Option<FieldType> {
+    match name {
+        "nominal" => Some(FieldType::Nominal),
+        "quantitative" => Some(FieldType::Quantitative),
+        "temporal" => Some(FieldType::Temporal),
+        "ordinal" => Some(FieldType::Ordinal),
+        _ => None,
     }
 }
 
@@ -143,9 +188,12 @@ mod tests {
             FieldType::Nominal,
             "count(*)",
             FieldType::Quantitative,
-        );
-        let json = serde_json::to_string(&spec).unwrap();
-        let back: ChartSpec = serde_json::from_str(&json).unwrap();
+        )
+        .with_title("Orders by category")
+        .with_time_unit(BinUnit::Year);
+        let json = serde_json::to_string(&spec.to_vega_lite()).unwrap();
+        let doc = serde_json::from_str(&json).unwrap();
+        let back = ChartSpec::from_vega_lite(&doc).unwrap();
         assert_eq!(spec, back);
     }
 }

@@ -43,7 +43,10 @@ fn main() {
     let grammar = GrammarParser::new(GrammarConfig::neural());
     let llm = LlmParser::new(
         LlmKind::Frontier,
-        PromptStrategy::Decomposed { k: 4, selection: DemoSelection::Similarity },
+        PromptStrategy::Decomposed {
+            k: 4,
+            selection: DemoSelection::Similarity,
+        },
         7,
     );
 

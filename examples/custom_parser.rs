@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --example custom_parser`
 
-use nli_core::{Database, NliError, NlQuestion, Result, SemanticParser};
+use nli_core::{Database, NlQuestion, NliError, Result, SemanticParser};
 use nli_data::wikisql_like::{self, WikiSqlConfig};
 use nli_metrics::evaluate_sql;
 use nli_nlu::tokenize_words;

@@ -9,8 +9,7 @@
 //! Run with: `cargo run --example quickstart`
 
 use nli_core::{
-    Column, DataType, Database, Date, ExecutionEngine, NlQuestion, Schema, SemanticParser,
-    Table,
+    Column, DataType, Database, Date, ExecutionEngine, NlQuestion, Schema, SemanticParser, Table,
 };
 use nli_sql::SqlEngine;
 use nli_text2sql::{GrammarConfig, GrammarParser};
@@ -73,9 +72,8 @@ fn main() {
 
     // ---- Fig. 2, right: natural language -> VQL -> chart -------------------
     let vis = RuleVisParser::new();
-    let request = NlQuestion::new(
-        "Draw a bar chart of amount of sales over sale date binned by quarter.",
-    );
+    let request =
+        NlQuestion::new("Draw a bar chart of amount of sales over sale date binned by quarter.");
     let vql = vis.parse(&request, &db).expect("parse vis");
     println!("Q: {request}");
     println!("VQL: {vql}");

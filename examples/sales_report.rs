@@ -17,9 +17,18 @@ use nli_systems::{Session, SystemOutput};
 fn main() {
     // a realistic retail database from the generator substrate
     let domain = domains::domain("retail").expect("built-in domain");
-    let cfg = DbGenConfig { min_tables: 3, optional_col_p: 1.0, rows: (30, 30) };
+    let cfg = DbGenConfig {
+        min_tables: 3,
+        optional_col_p: 1.0,
+        rows: (30, 30),
+    };
     let db = generate_database(domain, 0, &cfg, &mut Prng::new(2025));
-    println!("database: {} ({} rows)\n{}", db.schema.name, db.row_count(), db.schema.describe());
+    println!(
+        "database: {} ({} rows)\n{}",
+        db.schema.name,
+        db.row_count(),
+        db.schema.describe()
+    );
 
     let mut session = Session::new();
     let turns = [
@@ -44,8 +53,7 @@ fn main() {
                     SystemOutput::Table(rs) => {
                         println!("    {} row(s): {}", rs.rows.len(), rs.columns.join(" | "));
                         for row in rs.rows.iter().take(5) {
-                            let cells: Vec<String> =
-                                row.iter().map(|v| v.canonical()).collect();
+                            let cells: Vec<String> = row.iter().map(|v| v.canonical()).collect();
                             println!("      {}", cells.join(" | "));
                         }
                     }

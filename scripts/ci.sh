@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Local CI gate: the tier-1 checks plus formatting and lints.
+#
+# Usage: scripts/ci.sh
+# Runs from the repository root regardless of the caller's cwd.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test"
+cargo test -q
+
+echo "CI gate passed."

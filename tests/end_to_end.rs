@@ -55,7 +55,11 @@ fn grammar_parser_answers_generated_questions_executably() {
                 .unwrap_or_else(|e| panic!("unexecutable output for '{}': {e}\n{q}", ex.question));
         }
     }
-    assert!(parsed * 10 >= bench.dev.len() * 9, "parsed only {parsed}/{}", bench.dev.len());
+    assert!(
+        parsed * 10 >= bench.dev.len() * 9,
+        "parsed only {parsed}/{}",
+        bench.dev.len()
+    );
 }
 
 #[test]
@@ -91,7 +95,10 @@ fn session_loop_queries_refines_and_charts() {
         .expect("count question");
     assert!(matches!(r1.output, SystemOutput::Table(_)));
     let r2 = session
-        .ask(&NlQuestion::new("Only those with amount greater than 10."), db)
+        .ask(
+            &NlQuestion::new("Only those with amount greater than 10."),
+            db,
+        )
         .expect("refinement");
     match (r1.output, r2.output) {
         (SystemOutput::Table(a), SystemOutput::Table(b)) => {
@@ -115,8 +122,16 @@ fn session_loop_queries_refines_and_charts() {
 
 #[test]
 fn advisor_covers_every_profile() {
-    for expertise in [Expertise::Basic, Expertise::Technical, Expertise::Professional] {
-        for environment in [Environment::Stable, Environment::Complex, Environment::FastPaced] {
+    for expertise in [
+        Expertise::Basic,
+        Expertise::Technical,
+        Expertise::Professional,
+    ] {
+        for environment in [
+            Environment::Stable,
+            Environment::Complex,
+            Environment::FastPaced,
+        ] {
             let rec = recommend(&UserProfile {
                 expertise,
                 environment,

@@ -28,7 +28,9 @@ fn every_gold_query_executes_reparses_and_normalizes_stably() {
         let db = &b.databases[ex.db];
         let text = ex.gold.to_string();
         // executes
-        engine.execute(&ex.gold, db).unwrap_or_else(|e| panic!("{text}: {e}"));
+        engine
+            .execute(&ex.gold, db)
+            .unwrap_or_else(|e| panic!("{text}: {e}"));
         // reparses to the same AST
         let reparsed = parse_query(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
         assert_eq!(reparsed, ex.gold, "round-trip changed the AST: {text}");
@@ -58,7 +60,11 @@ fn limit_and_distinct_semantics_hold_on_generated_corpora() {
             let mut seen = std::collections::HashSet::new();
             for row in &rs.rows {
                 let key: Vec<String> = row.iter().map(|v| v.canonical()).collect();
-                assert!(seen.insert(key), "DISTINCT produced duplicates: {}", ex.gold);
+                assert!(
+                    seen.insert(key),
+                    "DISTINCT produced duplicates: {}",
+                    ex.gold
+                );
             }
         }
         if !ex.gold.select.order_by.is_empty() {
@@ -143,7 +149,9 @@ fn executor_agrees_with_itself_across_equivalent_spellings() {
     let engine = SqlEngine::new();
     let mut checked = 0;
     for db in &b.databases {
-        let Some(fk) = db.schema.foreign_keys.first() else { continue };
+        let Some(fk) = db.schema.foreign_keys.first() else {
+            continue;
+        };
         let child = &db.schema.tables[fk.from.table].name;
         let parent = &db.schema.tables[fk.to.table].name;
         let fk_col = &db.schema.column(fk.from).name;
@@ -156,7 +164,11 @@ fn executor_agrees_with_itself_across_equivalent_spellings() {
         );
         let a = engine.run_sql(&join, db).unwrap();
         let c = engine.run_sql(&comma, db).unwrap();
-        assert!(a.same_result(&c), "join spellings disagree on {}", db.schema.name);
+        assert!(
+            a.same_result(&c),
+            "join spellings disagree on {}",
+            db.schema.name
+        );
         checked += 1;
     }
     assert!(checked > 5);
@@ -173,7 +185,11 @@ fn reasoner_inverts_the_clean_generation_channel() {
         n_dev_databases: 4,
         n_train: 0,
         n_dev: 120,
-        style: nli_data::nl_gen::NlStyle { synonym_p: 0.0, implicit_col_p: 0.0, knowledge_p: 0.0 },
+        style: nli_data::nl_gen::NlStyle {
+            synonym_p: 0.0,
+            implicit_col_p: 0.0,
+            knowledge_p: 0.0,
+        },
         ..Default::default()
     });
     let parser = nli_text2sql::GrammarParser::new(nli_text2sql::GrammarConfig::llm_reasoner());

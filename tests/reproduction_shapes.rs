@@ -9,7 +9,9 @@ use nli_data::spider_like::{self, SpiderConfig};
 use nli_data::wikisql_like::{self, WikiSqlConfig};
 use nli_lm::{DemoSelection, LlmKind, PromptStrategy, TrainingExample};
 use nli_metrics::{evaluate_sql, evaluate_vis};
-use nli_text2sql::{GrammarConfig, GrammarParser, LlmParser, PlmParser, RuleBasedParser, SkeletonParser};
+use nli_text2sql::{
+    GrammarConfig, GrammarParser, LlmParser, PlmParser, RuleBasedParser, SkeletonParser,
+};
 use nli_text2vis::{NcNetParser, RgVisNetParser, Seq2VisParser};
 
 fn spider_cfg() -> SpiderConfig {
@@ -25,7 +27,10 @@ fn spider_cfg() -> SpiderConfig {
 fn training_of(b: &nli_data::SqlBenchmark) -> Vec<TrainingExample> {
     b.train
         .iter()
-        .map(|e| TrainingExample { question: e.question.text.clone(), sql: e.gold.clone() })
+        .map(|e| TrainingExample {
+            question: e.question.text.clone(),
+            sql: e.gold.clone(),
+        })
         .collect()
 }
 
@@ -68,14 +73,20 @@ fn plm_beats_rule_based_on_spider_class_queries() {
 
 #[test]
 fn llm_decomposition_does_not_lose_to_zero_shot() {
-    let spider = spider_like::build(&SpiderConfig { n_dev: 60, ..spider_cfg() });
+    let spider = spider_like::build(&SpiderConfig {
+        n_dev: 60,
+        ..spider_cfg()
+    });
     let mut zero_total = 0.0;
     let mut dec_total = 0.0;
     for seed in 0..4 {
         let zero = LlmParser::new(LlmKind::ChatGpt, PromptStrategy::ZeroShot, seed);
         let dec = LlmParser::new(
             LlmKind::ChatGpt,
-            PromptStrategy::Decomposed { k: 4, selection: DemoSelection::Similarity },
+            PromptStrategy::Decomposed {
+                k: 4,
+                selection: DemoSelection::Similarity,
+            },
             seed,
         );
         zero_total += evaluate_sql(&zero, &spider).execution;
@@ -95,14 +106,16 @@ fn synonym_perturbation_hurts_the_plm_more_than_the_world_knowledge_parser() {
 
     let mut plm = PlmParser::new();
     plm.train(&training_of(&spider));
-    let plm_gap =
-        evaluate_sql(&plm, &spider).execution - evaluate_sql(&plm, &syn).execution;
+    let plm_gap = evaluate_sql(&plm, &spider).execution - evaluate_sql(&plm, &syn).execution;
 
     let reasoner = GrammarParser::new(GrammarConfig::llm_reasoner());
-    let reasoner_gap = evaluate_sql(&reasoner, &spider).execution
-        - evaluate_sql(&reasoner, &syn).execution;
+    let reasoner_gap =
+        evaluate_sql(&reasoner, &spider).execution - evaluate_sql(&reasoner, &syn).execution;
 
-    assert!(plm_gap > 0.1, "perturbation should hurt the PLM: gap {plm_gap}");
+    assert!(
+        plm_gap > 0.1,
+        "perturbation should hurt the PLM: gap {plm_gap}"
+    );
     assert!(
         reasoner_gap < plm_gap,
         "world knowledge must absorb synonym noise better: {reasoner_gap} vs {plm_gap}"

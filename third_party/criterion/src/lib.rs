@@ -1,0 +1,229 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps criterion's bench-authoring API (`criterion_group!`,
+//! `criterion_main!`, `benchmark_group` / `bench_function` / `iter`) but
+//! replaces the statistical machinery with a calibrated timing loop:
+//! each benchmark is warmed up, the iteration count is chosen so a sample
+//! takes a measurable slice of time, and `sample_size` samples are taken.
+//! Results print as one human line and one machine-readable JSON line per
+//! benchmark (`{"group":…,"bench":…,"mean_ns":…}`), so downstream tooling
+//! can scrape stdout. See `third_party/README.md` for why dependencies are
+//! vendored.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle passed to each `criterion_group!` target.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total time budget per benchmark (split across samples).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let name = name.into();
+        run_benchmark(&name, "", &name, self.sample_size, self.measurement_time, f);
+        self
+    }
+}
+
+/// Named family of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let bench = name.into();
+        let label = format!("{}/{}", self.name, bench);
+        run_benchmark(
+            &label,
+            &self.name,
+            &bench,
+            self.criterion.sample_size,
+            self.criterion.measurement_time,
+            f,
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Handed to the closure under measurement; `iter` times the routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    group: &str,
+    bench: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    mut f: F,
+) {
+    // Calibrate: grow the iteration count until one sample is long enough
+    // to time reliably.
+    let budget_per_sample = measurement_time / sample_size as u32;
+    let mut iters: u64 = 1;
+    let per_iter = loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let elapsed = b.elapsed.max(Duration::from_nanos(1));
+        if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+            break elapsed.as_secs_f64() / iters as f64;
+        }
+        iters = iters.saturating_mul(4);
+    };
+    let sample_iters =
+        ((budget_per_sample.as_secs_f64() / per_iter).ceil() as u64).clamp(1, 10_000_000);
+
+    let mut samples_ns = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters: sample_iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples_ns.push(b.elapsed.as_secs_f64() * 1e9 / sample_iters as f64);
+    }
+    samples_ns.sort_by(|a, b| a.total_cmp(b));
+    let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+    let median = samples_ns[samples_ns.len() / 2];
+    let (min, max) = (samples_ns[0], samples_ns[samples_ns.len() - 1]);
+
+    println!(
+        "{label:<40} mean {:>12}  median {:>12}  range [{} .. {}]  ({} samples x {} iters)",
+        format_ns(mean),
+        format_ns(median),
+        format_ns(min),
+        format_ns(max),
+        sample_size,
+        sample_iters,
+    );
+    println!(
+        "{{\"group\":\"{}\",\"bench\":\"{}\",\"mean_ns\":{:.1},\"median_ns\":{:.1},\
+         \"min_ns\":{:.1},\"max_ns\":{:.1},\"samples\":{},\"iters_per_sample\":{}}}",
+        escape(group),
+        escape(bench),
+        mean,
+        median,
+        min,
+        max,
+        sample_size,
+        sample_iters,
+    );
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declare a bench group: either the struct form with an explicit config
+/// (`name = …; config = …; targets = …`) or the positional shorthand.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emit `main` running each declared group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_loop_produces_plausible_numbers() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30));
+        let mut group = c.benchmark_group("selftest");
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.finish();
+    }
+}

@@ -1,0 +1,669 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of proptest this workspace uses — strategies,
+//! combinators, a regex-subset string generator, and the `proptest!` /
+//! `prop_assert*` macros — as deterministic generation-only property
+//! testing. Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports the exact generated inputs
+//!   (every argument is `Debug`-printed before the body runs) but is not
+//!   minimized.
+//! * **Deterministic seeding.** The RNG seed is derived from the test
+//!   function's name, so failures reproduce exactly on re-run.
+//! * **Regex strategies** (`"[a-z]{1,12}"` as a `Strategy<Value = String>`)
+//!   support the subset used here: literal characters, `.`, character
+//!   classes with ranges, and `{m}`/`{m,n}` quantifiers.
+//!
+//! See `third_party/README.md` for why dependencies are vendored.
+
+pub mod test_runner {
+    /// Deterministic SplitMix64 stream; seeded per test function.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng(seed ^ 0x9E37_79B9_7F4A_7C15)
+        }
+
+        /// Seed from a test name so each property gets its own stream.
+        pub fn deterministic(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            Self::from_seed(h)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+
+        pub fn bool(&mut self) -> bool {
+            self.next_u64() & 1 == 1
+        }
+    }
+
+    /// Runner configuration; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::rc::Rc;
+
+    /// A recipe for generating values. Unlike real proptest there is no
+    /// value tree: `generate` draws a fresh value and nothing shrinks.
+    pub trait Strategy {
+        type Value: Debug;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Regenerate until the predicate holds (gives up loudly after a
+        /// bounded number of draws instead of shrinking around rejections).
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            reason: &'static str,
+            f: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                inner: self,
+                reason,
+                f,
+            }
+        }
+
+        /// Bounded recursive strategies: each of `depth` levels flips a coin
+        /// between a leaf (`self`) and one application of `recurse`.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> SharedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(SharedStrategy<Self::Value>) -> R,
+        {
+            let leaf = self.shared();
+            let mut level = leaf.clone();
+            for _ in 0..depth {
+                let branch = recurse(level).shared();
+                level = Union::new(vec![leaf.clone(), branch]).shared();
+            }
+            level
+        }
+
+        /// Type-erased, cloneable handle (the stub's `BoxedStrategy`).
+        fn shared(self) -> SharedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            SharedStrategy {
+                gen: Rc::new(move |rng| self.generate(rng)),
+            }
+        }
+
+        /// Alias matching proptest's `boxed()` spelling.
+        fn boxed(self) -> SharedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            self.shared()
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: &'static str,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter gave up after 1000 rejections: {}", self.reason);
+        }
+    }
+
+    /// Cloneable type-erased strategy; what `prop_recursive` closures see.
+    pub struct SharedStrategy<T> {
+        gen: Rc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> Clone for SharedStrategy<T> {
+        fn clone(&self) -> Self {
+            SharedStrategy {
+                gen: Rc::clone(&self.gen),
+            }
+        }
+    }
+
+    impl<T: Debug> Strategy for SharedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.gen)(rng)
+        }
+    }
+
+    /// Uniform choice between same-valued strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<SharedStrategy<T>>,
+    }
+
+    impl<T: Debug> Union<T> {
+        pub fn new(options: Vec<SharedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T: Debug> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo + 1) as u64;
+                    (lo + rng.below(span) as i128) as $t
+                }
+            }
+        )+};
+    }
+
+    int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    /// Regex-subset string strategy: literals, `.`, `[a-z09_]` classes,
+    /// `{m}` / `{m,n}` quantifiers.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    struct PatternAtom {
+        /// `None` means `.` (any printable ASCII character).
+        chars: Option<Vec<char>>,
+        min: u32,
+        max: u32,
+    }
+
+    fn parse_pattern(pattern: &str) -> Vec<PatternAtom> {
+        let mut atoms = Vec::new();
+        let mut input = pattern.chars().peekable();
+        while let Some(c) = input.next() {
+            let chars = match c {
+                '.' => None,
+                '[' => {
+                    let mut set = Vec::new();
+                    let mut class = Vec::new();
+                    for c in input.by_ref() {
+                        if c == ']' {
+                            break;
+                        }
+                        class.push(c);
+                    }
+                    let mut i = 0;
+                    while i < class.len() {
+                        if i + 2 < class.len() && class[i + 1] == '-' {
+                            let (lo, hi) = (class[i], class[i + 2]);
+                            assert!(lo <= hi, "bad class range in /{pattern}/");
+                            for c in lo..=hi {
+                                set.push(c);
+                            }
+                            i += 3;
+                        } else {
+                            set.push(class[i]);
+                            i += 1;
+                        }
+                    }
+                    assert!(!set.is_empty(), "empty character class in /{pattern}/");
+                    Some(set)
+                }
+                '\\' => Some(vec![input.next().expect("dangling escape")]),
+                c => Some(vec![c]),
+            };
+            let (min, max) = if input.peek() == Some(&'{') {
+                input.next();
+                let mut spec = String::new();
+                for c in input.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                match spec.split_once(',') {
+                    Some((m, n)) => (
+                        m.parse().expect("bad quantifier"),
+                        n.parse().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n: u32 = spec.parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            atoms.push(PatternAtom { chars, min, max });
+        }
+        atoms
+    }
+
+    fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse_pattern(pattern) {
+            let n = atom.min + rng.below((atom.max - atom.min + 1) as u64) as u32;
+            for _ in 0..n {
+                let c = match &atom.chars {
+                    Some(set) => set[rng.below(set.len() as u64) as usize],
+                    None => char::from(0x20 + rng.below(0x5F) as u8),
+                };
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $i:tt),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$i.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9)
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy (`any::<T>()`).
+    pub trait Arbitrary: Debug + Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.bool()
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),+) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )+};
+    }
+
+    int_arbitrary!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl Arbitrary for f64 {
+        /// Finite values across magnitudes (no NaN/inf: comparisons in
+        /// property bodies should stay total).
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            let mantissa = (rng.next_u64() as i64 % 1_000_000) as f64 / 1000.0;
+            let scale = [0.001, 1.0, 1000.0][rng.below(3) as usize];
+            mantissa * scale
+        }
+    }
+
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Element-count bound for [`vec`]; built from the same range shapes
+    /// proptest's `SizeRange` accepts.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min + 1) as u64;
+            let n = self.size.min + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct OptionStrategy<S>(S);
+
+    /// `None` a quarter of the time, matching proptest's default weighting.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, SharedStrategy, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::shared($strategy)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Property-test entry point. Each `fn name(arg in strategy, ...)` becomes a
+/// `#[test]` that runs the body `config.cases` times over generated inputs,
+/// printing the generated arguments if a case fails.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($body:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($body)* }
+    };
+    ($($body:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($body)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+      )*
+    ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            let __strategies = ( $($strategy,)+ );
+            for __case in 0..__config.cases {
+                let ( $($arg,)+ ) = {
+                    let ( $(ref $arg,)+ ) = __strategies;
+                    ( $($crate::strategy::Strategy::generate($arg, &mut __rng),)+ )
+                };
+                let __inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                let __outcome = std::panic::catch_unwind(
+                    std::panic::AssertUnwindSafe(move || $body),
+                );
+                if let Err(__panic) = __outcome {
+                    eprintln!(
+                        "proptest case {}/{} of `{}` failed with inputs: {}",
+                        __case + 1,
+                        __config.cases,
+                        stringify!($name),
+                        __inputs,
+                    );
+                    std::panic::resume_unwind(__panic);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subset_generator() {
+        let mut rng = TestRng::deterministic("regex");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z][a-z0-9_]{0,8}", &mut rng);
+            assert!((1..=9).contains(&s.len()), "bad length: {s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic("ranges");
+        for _ in 0..200 {
+            let v = Strategy::generate(&(0..120i64), &mut rng);
+            assert!((0..120).contains(&v));
+            let w = Strategy::generate(&(1u8..=12), &mut rng);
+            assert!((1..=12).contains(&w));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_binds_multiple_args(
+            x in 0..10i64,
+            flag in any::<bool>(),
+            name in prop_oneof![Just("a"), Just("b")],
+            items in crate::collection::vec(0..5u8, 0..4),
+            opt in crate::option::of(0..3i32),
+        ) {
+            prop_assert!((0..10).contains(&x));
+            prop_assert!(name == "a" || name == "b");
+            prop_assert!(items.len() < 4);
+            let _ = (flag, opt);
+        }
+
+        #[test]
+        fn recursive_strategies_terminate(n in (0..4i64).prop_recursive(3, 8, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| a + b)
+        })) {
+            prop_assert!(n < 4 * 16);
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for `rand`.
+//!
+//! The workspace's own [`nli_core::Prng`] is a self-contained xoshiro256**;
+//! the only thing it takes from `rand` is the `TryRng` trait so it can speak
+//! the ecosystem's sampling vocabulary. This stub provides exactly that
+//! trait (see `third_party/README.md` for why dependencies are vendored).
+
+pub mod rand_core {
+    /// Fallible random source, mirroring `rand_core::TryRng`.
+    pub trait TryRng {
+        type Error;
+
+        fn try_next_u32(&mut self) -> Result<u32, Self::Error>;
+        fn try_next_u64(&mut self) -> Result<u64, Self::Error>;
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Self::Error>;
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors a
+//! minimal local substitute (see `third_party/README.md`). `Serialize` and
+//! `Deserialize` are blanket-implemented marker traits: every type satisfies
+//! them, and the re-exported derives expand to nothing. Actual JSON
+//! conversion in this workspace is hand-written against
+//! [`serde_json::Value`], which needs no trait machinery.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait; satisfied by every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait; satisfied by every type.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}

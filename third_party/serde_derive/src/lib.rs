@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors minimal local substitutes for its external dependencies (see
+//! `third_party/README.md`). Serialization in this workspace goes through
+//! hand-written JSON conversions (`serde_json::Value`), so the derives only
+//! need to *accept* the `#[derive(Serialize, Deserialize)]` / `#[serde(...)]`
+//! syntax used across the crates; they expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
