@@ -4,10 +4,10 @@
 //! experiment in the harness.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use nli_core::Prng;
+use nli_core::{with_threads, Prng};
 use nli_data::domains;
 use nli_data::schema_gen::{generate_database, DbGenConfig};
-use nli_metrics::TestSuite;
+use nli_metrics::{test_suite_match_with, TestSuite};
 use nli_sql::SqlEngine;
 use std::hint::black_box;
 
@@ -144,9 +144,46 @@ fn prepared_vs_string(c: &mut Criterion) {
     group.finish();
 }
 
+/// The table3 test-suite path — [`test_suite_match_with`] over a large
+/// fuzzed suite — at 1 vs 4 worker threads. The parallel runtime's
+/// determinism contract makes both runs return the same verdict; the
+/// speedup is the acceptance check for the `nli_core::par` fan-out.
+fn par_speedup(c: &mut Criterion) {
+    let domain = domains::domain("retail").unwrap();
+    let cfg = DbGenConfig {
+        min_tables: 3,
+        optional_col_p: 1.0,
+        rows: (96, 96),
+    };
+    let base = generate_database(domain, 0, &cfg, &mut Prng::new(7));
+    let suite = TestSuite::build(&base, 64, 0xBEEF);
+    let sql = "SELECT products.category, SUM(sales.amount) FROM sales JOIN products \
+               ON sales.product_id = products.id GROUP BY products.category \
+               ORDER BY SUM(sales.amount) DESC";
+    let engine = SqlEngine::new();
+    assert!(test_suite_match_with(&engine, sql, sql, &suite));
+
+    let mut group = c.benchmark_group("par_test_suite_match");
+    group.bench_function("threads_1", |b| {
+        b.iter(|| {
+            with_threads(1, || {
+                black_box(test_suite_match_with(&engine, sql, sql, &suite))
+            })
+        })
+    });
+    group.bench_function("threads_4", |b| {
+        b.iter(|| {
+            with_threads(4, || {
+                black_box(test_suite_match_with(&engine, sql, sql, &suite))
+            })
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = engine_benches, prepared_vs_string
+    targets = engine_benches, prepared_vs_string, par_speedup
 }
 criterion_main!(benches);

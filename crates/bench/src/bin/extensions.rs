@@ -147,10 +147,10 @@ impl nli_systems::NliSystem for ProbeAdapter<'_> {
     fn name(&self) -> &str {
         self.0.name()
     }
-    fn sql_parser(&self) -> &dyn nli_core::SemanticParser<Expr = nli_sql::Query> {
+    fn sql_parser(&self) -> &(dyn nli_core::SemanticParser<Expr = nli_sql::Query> + Sync) {
         self.0.sql_parser()
     }
-    fn vis_parser(&self) -> &dyn nli_core::SemanticParser<Expr = nli_vql::VisQuery> {
+    fn vis_parser(&self) -> &(dyn nli_core::SemanticParser<Expr = nli_vql::VisQuery> + Sync) {
         self.0.vis_parser()
     }
 }

@@ -9,6 +9,7 @@
 //! result.
 
 use nli_bench::suite;
+use nli_core::par;
 use nli_metrics::{evaluate_sql, evaluate_vis};
 
 fn main() {
@@ -30,7 +31,10 @@ fn main() {
     let wiki_parsers = suite::sql_parsers(&c.wikisql);
     let spider_parsers = suite::sql_parsers(&c.spider);
 
-    for (w, s) in wiki_parsers.iter().zip(spider_parsers.iter()) {
+    // every (parser, benchmark) evaluation is independent: fan the whole
+    // registry out over the parallel runtime, print rows in registry order
+    let entries: Vec<_> = wiki_parsers.iter().zip(spider_parsers.iter()).collect();
+    for row in par::par_map(&entries, |_, (w, s)| {
         let wiki = evaluate_sql(w.parser.as_ref(), &c.wikisql);
         let spider = evaluate_sql(s.parser.as_ref(), &c.spider);
         let anchor = match (w.paper_wikisql_ex, w.paper_spider_em) {
@@ -38,14 +42,16 @@ fn main() {
             (_, Some(em)) => format!("{} (- / {em:.1})", w.exemplar),
             _ => format!("{} (- / -)", w.exemplar),
         };
-        println!(
+        format!(
             "{:<28} {:<26} {:>11.1} {:>12.1}   {}",
             w.stage,
             wiki.parser,
             100.0 * wiki.execution,
             100.0 * spider.exact_set,
             anchor
-        );
+        )
+    }) {
+        println!("{row}");
     }
 
     println!(
@@ -57,13 +63,14 @@ fn main() {
         "stage", "parser", "Acc%", "comp%", "exec%"
     );
     println!("{}", "-".repeat(100));
-    for entry in suite::vis_parsers(&c.nvbench) {
+    let vis_entries = suite::vis_parsers(&c.nvbench);
+    for row in par::par_map(&vis_entries, |_, entry| {
         let s = evaluate_vis(entry.parser.as_ref(), &c.nvbench);
         let anchor = match entry.paper_nvbench_acc {
             Some(a) => format!("{} ({a:.2})", entry.exemplar),
             None => format!("{} (-)", entry.exemplar),
         };
-        println!(
+        format!(
             "{:<26} {:<16} {:>9.1} {:>9.1} {:>9.1}   {}",
             entry.stage,
             s.parser,
@@ -71,7 +78,9 @@ fn main() {
             100.0 * s.component,
             100.0 * s.execution,
             anchor
-        );
+        )
+    }) {
+        println!("{row}");
     }
 
     println!(

@@ -3,7 +3,7 @@
 //! from this workspace.
 
 use nli_bench::suite;
-use nli_core::ExecutionEngine;
+use nli_core::{par, ExecutionEngine};
 use nli_metrics::{evaluate_sql, evaluate_vis};
 use nli_sql::SqlEngine;
 use nli_text2sql::{DialogueParser, GrammarConfig};
@@ -139,35 +139,36 @@ fn main() {
 }
 
 /// Turn-level execution accuracy of the conversational SQL parser.
+/// Dialogues are independent conversations (each gets a fresh parser, all
+/// share one engine), so they fan out over the parallel runtime.
 fn eval_sql_dialogues(bench: &nli_data::SqlBenchmark) -> f64 {
     let engine = SqlEngine::new();
-    let mut correct = 0usize;
-    let mut total = 0usize;
-    for d in &bench.dialogues {
+    let per_dialogue = par::par_map(&bench.dialogues, |_, d| {
         let db = &bench.databases[d.db];
         let mut parser = DialogueParser::new(GrammarConfig::llm_reasoner());
+        let mut correct = 0usize;
         for (q, gold) in &d.turns {
-            total += 1;
             if let Ok(pred) = parser.parse_turn(q, db) {
                 if let (Ok(a), Ok(b)) = (engine.execute(&pred, db), engine.execute(gold, db)) {
                     correct += usize::from(a.same_result(&b));
                 }
             }
         }
-    }
+        (correct, d.turns.len())
+    });
+    let correct: usize = per_dialogue.iter().map(|r| r.0).sum();
+    let total: usize = per_dialogue.iter().map(|r| r.1).sum();
     correct as f64 / total.max(1) as f64
 }
 
 /// Turn-level execution accuracy of the conversational vis parser.
 fn eval_vis_dialogues(bench: &nli_data::VisBenchmark) -> f64 {
     let engine = VisEngine::new();
-    let mut correct = 0usize;
-    let mut total = 0usize;
-    for d in &bench.dialogues {
+    let per_dialogue = par::par_map(&bench.dialogues, |_, d| {
         let db = &bench.databases[d.db];
         let mut parser = VisDialogueParser::new();
+        let mut correct = 0usize;
         for (q, gold) in &d.turns {
-            total += 1;
             if let Ok(pred) = parser.parse_turn(q, db) {
                 if let (Ok(a), Ok(b)) = (engine.execute(&pred, db), engine.execute(gold, db)) {
                     let same = a.chart_type == b.chart_type
@@ -180,6 +181,9 @@ fn eval_vis_dialogues(bench: &nli_data::VisBenchmark) -> f64 {
                 }
             }
         }
-    }
+        (correct, d.turns.len())
+    });
+    let correct: usize = per_dialogue.iter().map(|r| r.0).sum();
+    let total: usize = per_dialogue.iter().map(|r| r.1).sum();
     correct as f64 / total.max(1) as f64
 }

@@ -3,7 +3,7 @@
 //! Every harness binary builds its corpora and parsers through this module
 //! so numbers are comparable across tables.
 
-use nli_core::{Language, SemanticParser};
+use nli_core::{par, Language, SemanticParser};
 use nli_data::multiturn::{self, DialogueKind, MultiTurnConfig, VisDialogueConfig};
 use nli_data::nvbench_like::{self, NvBenchConfig};
 use nli_data::spider_like::{self, SpiderConfig};
@@ -39,34 +39,66 @@ pub struct Corpora {
 }
 
 /// Build the full suite with standard sizes (a couple of seconds).
+///
+/// The two anchor corpora (spider-like, nvbench-like) build first — the
+/// robustness/multilingual derivatives transform them — then every
+/// remaining family builds in parallel over [`nli_core::par`]. All
+/// builders are independently seeded, so the suite is bit-identical to a
+/// serial build at any `NLI_THREADS` setting.
 pub fn corpora() -> Corpora {
     let spider_cfg = SpiderConfig::default();
     let spider = spider_like::build(&spider_cfg);
     let nvbench = nvbench_like::build(&NvBenchConfig::default());
+
+    type SqlBuilder<'a> = Box<dyn Fn() -> SqlBenchmark + Send + Sync + 'a>;
+    let builders: Vec<SqlBuilder> = vec![
+        Box::new(|| wikisql_like::build(&WikiSqlConfig::default())),
+        Box::new(|| robustness::synonymize(&spider, 0.9, 0xB0B)),
+        Box::new(|| robustness::realistic(&spider_cfg)),
+        Box::new(|| robustness::domain_knowledge(&spider_cfg)),
+        Box::new(|| bird_like::build(&bird_like::BirdConfig::default())),
+        Box::new(|| {
+            multiturn::build(&MultiTurnConfig {
+                kind: DialogueKind::Sparc,
+                ..Default::default()
+            })
+        }),
+        Box::new(|| {
+            multiturn::build(&MultiTurnConfig {
+                kind: DialogueKind::Cosql,
+                ..Default::default()
+            })
+        }),
+        Box::new(|| multilingual::translate(&spider, Language::Chinese)),
+        Box::new(|| multilingual::translate(&spider, Language::Vietnamese)),
+        Box::new(|| multilingual::translate(&spider, Language::Russian)),
+        Box::new(|| single_domain::build(&single_domain::SingleDomainConfig::default())),
+        Box::new(|| {
+            single_domain::build(&single_domain::SingleDomainConfig {
+                domain: "geography",
+                n_train: 100,
+                n_dev: 50,
+                seed: 0x5EED_0008,
+            })
+        }),
+    ];
+    let mut sql = par::par_map(&builders, |_, build| build()).into_iter();
+    drop(builders); // release the borrows of `spider` before moving it below
+    let mut next = || sql.next().expect("one benchmark per builder");
+
     Corpora {
-        wikisql: wikisql_like::build(&WikiSqlConfig::default()),
-        spider_syn: robustness::synonymize(&spider, 0.9, 0xB0B),
-        spider_realistic: robustness::realistic(&spider_cfg),
-        spider_dk: robustness::domain_knowledge(&spider_cfg),
-        bird: bird_like::build(&bird_like::BirdConfig::default()),
-        sparc: multiturn::build(&MultiTurnConfig {
-            kind: DialogueKind::Sparc,
-            ..Default::default()
-        }),
-        cosql: multiturn::build(&MultiTurnConfig {
-            kind: DialogueKind::Cosql,
-            ..Default::default()
-        }),
-        cspider: multilingual::translate(&spider, Language::Chinese),
-        vitext: multilingual::translate(&spider, Language::Vietnamese),
-        pauq: multilingual::translate(&spider, Language::Russian),
-        atis_like: single_domain::build(&single_domain::SingleDomainConfig::default()),
-        geo_like: single_domain::build(&single_domain::SingleDomainConfig {
-            domain: "geography",
-            n_train: 100,
-            n_dev: 50,
-            seed: 0x5EED_0008,
-        }),
+        wikisql: next(),
+        spider_syn: next(),
+        spider_realistic: next(),
+        spider_dk: next(),
+        bird: next(),
+        sparc: next(),
+        cosql: next(),
+        cspider: next(),
+        vitext: next(),
+        pauq: next(),
+        atis_like: next(),
+        geo_like: next(),
         dial_nvbench: multiturn::build_vis(&VisDialogueConfig::default()),
         cnvbench: multilingual::translate_vis(&nvbench, Language::Chinese),
         spider,
@@ -103,7 +135,7 @@ pub fn demos_of(bench: &SqlBenchmark) -> Vec<Demonstration> {
 /// corresponds to (exemplar system + reported numbers, for the
 /// paper-vs-measured shape check).
 pub struct SqlEntry {
-    pub parser: Box<dyn SemanticParser<Expr = Query>>,
+    pub parser: Box<dyn SemanticParser<Expr = Query> + Send + Sync>,
     pub stage: &'static str,
     pub exemplar: &'static str,
     /// Paper-reported WikiSQL EX %, if any.
@@ -265,7 +297,7 @@ pub fn sql_parsers(train_bench: &SqlBenchmark) -> Vec<SqlEntry> {
 
 /// One Text-to-Vis registry entry.
 pub struct VisEntry {
-    pub parser: Box<dyn SemanticParser<Expr = VisQuery>>,
+    pub parser: Box<dyn SemanticParser<Expr = VisQuery> + Send + Sync>,
     pub stage: &'static str,
     pub exemplar: &'static str,
     /// Paper-reported nvBench overall accuracy %, if any.

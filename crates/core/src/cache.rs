@@ -221,6 +221,17 @@ mod tests {
     }
 
     #[test]
+    fn hit_rate_is_zero_before_any_lookup() {
+        // Regression guard: 0/0 must read as 0.0, never NaN — downstream
+        // reports format `hit_rate()` unconditionally.
+        let untouched = CacheStats::default();
+        assert_eq!(untouched.hit_rate(), 0.0);
+        assert!(untouched.hit_rate().is_finite());
+        let cache: PlanCache<u32> = PlanCache::with_capacity(2);
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
     fn clear_preserves_counters() {
         let cache: PlanCache<u32> = PlanCache::with_capacity(2);
         cache.get_or_insert("a", 0, || Ok(1)).unwrap();

@@ -11,13 +11,14 @@
 //! This crate hosts everything both tasks (Text-to-SQL and Text-to-Vis)
 //! share: dynamically typed [`Value`]s, [`Schema`]s with primary/foreign
 //! keys, in-memory [`Database`]s, natural-language [`NlQuestion`]s and
-//! multi-turn [`Dialogue`]s, deterministic random sampling ([`Prng`]), and
-//! the [`SemanticParser`] / [`ExecutionEngine`] traits that the rest of the
-//! workspace implements.
+//! multi-turn [`Dialogue`]s, deterministic random sampling ([`Prng`]), the
+//! deterministic parallel runtime ([`par`]), and the [`SemanticParser`] /
+//! [`ExecutionEngine`] traits that the rest of the workspace implements.
 
 pub mod cache;
 pub mod database;
 pub mod error;
+pub mod par;
 pub mod question;
 pub mod rng;
 pub mod schema;
@@ -27,6 +28,7 @@ pub mod value;
 pub use cache::{CacheStats, PlanCache};
 pub use database::{Database, TableData};
 pub use error::{NliError, Result};
+pub use par::{par_map, par_map_threads, thread_count, with_threads};
 pub use question::{Dialogue, Language, NlQuestion, Turn};
 pub use rng::Prng;
 pub use schema::{Column, ColumnRef, ForeignKey, Schema, Table};

@@ -54,6 +54,16 @@ impl Prng {
         Prng::new(self.next_u64_inner() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
+    /// Fork one child per item index, in index order. This is the parallel
+    /// harness's reseeding rule: forking consumes parent state
+    /// *sequentially* (a few u64 ops per child, scheduling-independent), so
+    /// `fork_n(k)[i]` equals the `i`-th `fork(i)` of a sequential loop and
+    /// [`crate::par::par_map`] over the children replays bit-for-bit at any
+    /// thread count.
+    pub fn fork_n(&mut self, n: usize) -> Vec<Prng> {
+        (0..n).map(|i| self.fork(i as u64)).collect()
+    }
+
     /// Uniform in `[0, n)`. Panics if `n == 0`.
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "Prng::below(0)");
@@ -233,6 +243,19 @@ mod tests {
         let mut f2 = parent2.fork(0);
         let _ = parent2.below(1000); // extra parent draw must not affect the fork
         assert_eq!(a, f2.below(1000));
+    }
+
+    #[test]
+    fn fork_n_matches_the_sequential_fork_loop() {
+        let mut a = Prng::new(17);
+        let mut b = Prng::new(17);
+        let forks = a.fork_n(5);
+        for (i, mut f) in forks.into_iter().enumerate() {
+            let mut g = b.fork(i as u64);
+            assert_eq!(f.below(1_000_000), g.below(1_000_000));
+        }
+        // both parents consumed the same number of draws
+        assert_eq!(a.below(1_000_000), b.below(1_000_000));
     }
 
     #[test]

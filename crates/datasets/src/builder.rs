@@ -4,26 +4,28 @@ use crate::nl_gen::{realize, NlStyle};
 use crate::schema_gen::{generate_database, DbGenConfig};
 use crate::sql_gen::{plan_to_query, sample_plan, SqlProfile};
 use crate::types::SqlExample;
-use nli_core::{Database, ExecutionEngine, NlQuestion, Prng};
+use nli_core::{par, Database, ExecutionEngine, NlQuestion, Prng};
 use nli_sql::SqlEngine;
 
 /// Generate `count` databases round-robin over the built-in domains.
+/// Databases are built in parallel from sequentially forked streams, so
+/// the corpus is identical at any thread count.
 pub fn generate_databases(count: usize, cfg: &DbGenConfig, rng: &mut Prng) -> Vec<Database> {
     let domains = crate::domains::all_domains();
-    (0..count)
-        .map(|i| {
-            let domain = domains[i % domains.len()];
-            let mut r = rng.fork(i as u64);
-            generate_database(domain, i / domains.len(), cfg, &mut r)
-        })
-        .collect()
+    let forks = rng.fork_n(count);
+    par::par_map(&forks, |i, r| {
+        let domain = domains[i % domains.len()];
+        generate_database(domain, i / domains.len(), cfg, &mut r.clone())
+    })
 }
 
 /// Generate `n` verified (question, SQL) examples over `databases`.
 ///
-/// Each example gets its own forked RNG stream so corpora are stable under
-/// resizing. Plans whose SQL fails to execute are discarded and retried —
-/// every gold query in every benchmark is executable by construction.
+/// Each example gets its own sequentially forked RNG stream — so corpora
+/// are stable under resizing *and* under the parallel fan-out that builds
+/// the examples. Plans whose SQL fails to execute are discarded and
+/// retried — every gold query in every benchmark is executable by
+/// construction. One engine (and plan cache) is shared across workers.
 pub fn generate_examples(
     databases: &[Database],
     db_range: std::ops::Range<usize>,
@@ -33,10 +35,10 @@ pub fn generate_examples(
     rng: &mut Prng,
 ) -> Vec<SqlExample> {
     let engine = SqlEngine::new();
-    let mut out = Vec::with_capacity(n);
     let width = db_range.len().max(1);
-    for i in 0..n {
-        let mut ex_rng = rng.fork(i as u64);
+    let forks = rng.fork_n(n);
+    par::par_map(&forks, |_, ex_rng| {
+        let mut ex_rng = ex_rng.clone();
         let db_idx = db_range.start + ex_rng.below(width);
         let db = &databases[db_idx];
         for attempt in 0..12 {
@@ -53,15 +55,17 @@ pub fn generate_examples(
             if !realized.evidence.is_empty() {
                 q = q.with_evidence(realized.evidence.join("; "));
             }
-            out.push(SqlExample {
+            return Some(SqlExample {
                 db: db_idx,
                 question: q,
                 gold,
             });
-            break;
         }
-    }
-    out
+        None
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 #[cfg(test)]

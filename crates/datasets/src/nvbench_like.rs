@@ -362,10 +362,12 @@ fn generate_vis_examples(
     rng: &mut Prng,
 ) -> Vec<VisExample> {
     let engine = VisEngine::new();
-    let mut out = Vec::with_capacity(n);
     let width = db_range.len().max(1);
-    for i in 0..n {
-        let mut ex_rng = rng.fork(i as u64);
+    // Same reseeding rule as the SQL builder: fork per-example streams
+    // sequentially, realize the examples in parallel.
+    let forks = rng.fork_n(n);
+    nli_core::par::par_map(&forks, |_, ex_rng| {
+        let mut ex_rng = ex_rng.clone();
         let db_idx = db_range.start + ex_rng.below(width);
         let db = &databases[db_idx];
         for attempt in 0..10u64 {
@@ -378,15 +380,17 @@ fn generate_vis_examples(
                 continue;
             }
             let question = realize_vis(db, &plan, NlStyle::plain(), &mut try_rng);
-            out.push(VisExample {
+            return Some(VisExample {
                 db: db_idx,
                 question,
                 gold,
             });
-            break;
         }
-    }
-    out
+        None
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Build the nvBench-like benchmark.

@@ -16,7 +16,7 @@ use crate::fuzzy::fuzzy_match;
 use crate::manual::JudgePanel;
 use crate::string_match::{exact_match, raw_exact_match};
 use crate::test_suite::{test_suite_match, TestSuite};
-use nli_core::{Database, Prng};
+use nli_core::{par, Database, Prng};
 use nli_lm::{llm::corrupt_query, CapabilityProfile, ErrorKind};
 use nli_sql::{parse_query, BinOp, Expr, Query};
 use std::time::Instant;
@@ -129,11 +129,26 @@ pub fn build_pairs(
         })
         .collect();
 
-    for (i, (db_idx, gold)) in golds.iter().enumerate() {
+    // Fork every corruption stream sequentially (one per (gold, error
+    // kind), in the loop order the sequential harness used), then build
+    // each gold's pair group in parallel and flatten in gold order — the
+    // corpus is bit-identical at any thread count.
+    let corruption_rngs: Vec<Vec<Prng>> = golds
+        .iter()
+        .enumerate()
+        .map(|(i, _)| {
+            error_profiles
+                .iter()
+                .map(|(k, _)| rng.fork((i * 16 + *k as usize) as u64))
+                .collect()
+        })
+        .collect();
+    let groups = par::par_map(golds, |i, (db_idx, gold)| {
         let db = &databases[*db_idx];
         let gold_text = gold.to_string();
+        let mut group = Vec::new();
         // identity positive
-        pairs.push(LabeledPair {
+        group.push(LabeledPair {
             db: *db_idx,
             gold: gold_text.clone(),
             pred: gold_text.clone(),
@@ -141,7 +156,7 @@ pub fn build_pairs(
         });
         // rewrite positives
         for r in equivalent_rewrites(gold) {
-            pairs.push(LabeledPair {
+            group.push(LabeledPair {
                 db: *db_idx,
                 gold: gold_text.clone(),
                 pred: r,
@@ -150,16 +165,15 @@ pub fn build_pairs(
         }
         // corruption negatives, adjudicated
         let adjudicator = TestSuite::build(db, 8, seed ^ 0xAD0D1C ^ i as u64);
-        for (k, profile) in &error_profiles {
-            let mut c_rng = rng.fork((i * 16 + *k as usize) as u64);
-            let pred = corrupt_query(gold, &db.schema, profile, &mut c_rng);
+        for ((_, profile), c_rng) in error_profiles.iter().zip(&corruption_rngs[i]) {
+            let pred = corrupt_query(gold, &db.schema, profile, &mut c_rng.clone());
             if pred == gold_text {
                 continue; // corruption was a no-op (e.g. nothing to drop)
             }
             // adjudicate: keep as negative only if the suite distinguishes
             // them (otherwise the corruption happened to be equivalent)
             if !test_suite_match(&pred, &gold_text, &adjudicator) {
-                pairs.push(LabeledPair {
+                group.push(LabeledPair {
                     db: *db_idx,
                     gold: gold_text.clone(),
                     pred,
@@ -167,24 +181,28 @@ pub fn build_pairs(
                 });
             }
         }
-    }
+        group
+    });
+    pairs.extend(groups.into_iter().flatten());
     pairs
 }
 
-/// Score one metric over the corpus.
+/// Score one metric over the corpus. Pairs are judged in parallel — every
+/// metric here is a pure function of `(pair, database)` — and the
+/// confusion counts are reduced in pair order.
 fn score(
     name: &str,
     pairs: &[LabeledPair],
     databases: &[Database],
-    mut f: impl FnMut(&LabeledPair, &Database) -> bool,
+    f: impl Fn(&LabeledPair, &Database) -> bool + Sync,
 ) -> MetricReport {
     let mut tp = 0usize;
     let mut tn = 0usize;
     let mut fp = 0usize;
     let mut fn_ = 0usize;
     let start = Instant::now();
-    for p in pairs {
-        let verdict = f(p, &databases[p.db]);
+    let verdicts = par::par_map(pairs, |_, p| f(p, &databases[p.db]));
+    for (p, verdict) in pairs.iter().zip(verdicts) {
         match (p.equivalent, verdict) {
             (true, true) => tp += 1,
             (true, false) => fn_ += 1,
@@ -211,10 +229,8 @@ pub fn metric_meta_analysis(
     seed: u64,
 ) -> (Vec<MetricReport>, usize) {
     let pairs = build_pairs(databases, golds, seed);
-    let suites: Vec<TestSuite> = databases
-        .iter()
-        .map(|db| TestSuite::build(db, 4, seed ^ 0x7E57))
-        .collect();
+    let suites: Vec<TestSuite> =
+        par::par_map(databases, |_, db| TestSuite::build(db, 4, seed ^ 0x7E57));
     let panel = JudgePanel::new(3, 0.92, seed ^ 0x0DD);
     let reports = vec![
         score("raw exact match", &pairs, databases, |p, _| {

@@ -1,11 +1,17 @@
 //! Benchmark-level evaluation: run a parser over a dev split and score it
 //! with every automatic metric at once.
+//!
+//! Per-example scoring fans out over [`nli_core::par`]: examples are
+//! independent, the engine (and its plan cache) is shared across workers,
+//! and the per-example rows are reduced in dev-split order, so scores are
+//! bit-identical at any `NLI_THREADS` setting (only the wall-clock
+//! `avg_micros` field varies).
 
 use crate::component::{component_f1, exact_set_match};
 use crate::execution::execution_match_with;
 use crate::string_match::exact_match;
 use crate::vis::{vis_component_accuracy, vis_exact_match, vis_execution_match};
-use nli_core::SemanticParser;
+use nli_core::{par, SemanticParser};
 use nli_data::{SqlBenchmark, VisBenchmark};
 use nli_sql::{Query, SqlEngine};
 use nli_vql::VisQuery;
@@ -47,39 +53,59 @@ impl SqlScores {
     }
 }
 
-/// Evaluate a parser on a benchmark's dev split.
-pub fn evaluate_sql(parser: &dyn SemanticParser<Expr = Query>, bench: &SqlBenchmark) -> SqlScores {
-    let mut exact = 0usize;
-    let mut set = 0usize;
-    let mut exec = 0usize;
-    let mut comp = 0.0f64;
-    let mut valid = 0usize;
-    // One engine for the whole split: gold queries repeat across examples
-    // and share schemas, so the plan cache amortizes parsing.
+/// Per-example metric row, reduced in dev-split order.
+struct SqlRow {
+    valid: usize,
+    exact: usize,
+    set: usize,
+    exec: usize,
+    comp: f64,
+}
+
+/// Evaluate a parser on a benchmark's dev split. Examples are scored in
+/// parallel (see the module docs for the determinism contract).
+pub fn evaluate_sql(
+    parser: &(dyn SemanticParser<Expr = Query> + Sync),
+    bench: &SqlBenchmark,
+) -> SqlScores {
+    // One engine for the whole split, shared across workers: gold queries
+    // repeat across examples and share schemas, so the plan cache amortizes
+    // parsing once for everyone.
     let engine = SqlEngine::new();
     let start = Instant::now();
-    for ex in &bench.dev {
+    let rows = par::par_map(&bench.dev, |_, ex| {
         let db = bench.db_of(ex);
         let gold = ex.gold.to_string();
-        if let Ok(pred) = parser.parse(&ex.question, db) {
-            let pred = pred.to_string();
-            valid += usize::from(engine.run_sql(&pred, db).is_ok());
-            exact += usize::from(exact_match(&pred, &gold));
-            set += usize::from(exact_set_match(&pred, &gold));
-            exec += usize::from(execution_match_with(&engine, &pred, &gold, db));
-            comp += component_f1(&pred, &gold);
+        match parser.parse(&ex.question, db) {
+            Ok(pred) => {
+                let pred = pred.to_string();
+                SqlRow {
+                    valid: usize::from(engine.run_sql(&pred, db).is_ok()),
+                    exact: usize::from(exact_match(&pred, &gold)),
+                    set: usize::from(exact_set_match(&pred, &gold)),
+                    exec: usize::from(execution_match_with(&engine, &pred, &gold, db)),
+                    comp: component_f1(&pred, &gold),
+                }
+            }
+            Err(_) => SqlRow {
+                valid: 0,
+                exact: 0,
+                set: 0,
+                exec: 0,
+                comp: 0.0,
+            },
         }
-    }
+    });
     let n = bench.dev.len().max(1);
     SqlScores {
         parser: parser.name().to_string(),
         benchmark: bench.name.clone(),
         n: bench.dev.len(),
-        exact: exact as f64 / n as f64,
-        exact_set: set as f64 / n as f64,
-        execution: exec as f64 / n as f64,
-        component: comp / n as f64,
-        valid: valid as f64 / n as f64,
+        exact: rows.iter().map(|r| r.exact).sum::<usize>() as f64 / n as f64,
+        exact_set: rows.iter().map(|r| r.set).sum::<usize>() as f64 / n as f64,
+        execution: rows.iter().map(|r| r.exec).sum::<usize>() as f64 / n as f64,
+        component: rows.iter().map(|r| r.comp).sum::<f64>() / n as f64,
+        valid: rows.iter().map(|r| r.valid).sum::<usize>() as f64 / n as f64,
         avg_micros: start.elapsed().as_micros() as f64 / n as f64,
     }
 }
@@ -113,31 +139,32 @@ impl VisScores {
     }
 }
 
-/// Evaluate a vis parser on a benchmark's dev split.
+/// Evaluate a vis parser on a benchmark's dev split. Examples are scored
+/// in parallel (see the module docs for the determinism contract).
 pub fn evaluate_vis(
-    parser: &dyn SemanticParser<Expr = VisQuery>,
+    parser: &(dyn SemanticParser<Expr = VisQuery> + Sync),
     bench: &VisBenchmark,
 ) -> VisScores {
-    let mut overall = 0usize;
-    let mut comp = 0.0f64;
-    let mut exec = 0usize;
     let start = Instant::now();
-    for ex in &bench.dev {
+    let rows = par::par_map(&bench.dev, |_, ex| {
         let db = bench.db_of(ex);
-        if let Ok(pred) = parser.parse(&ex.question, db) {
-            overall += usize::from(vis_exact_match(&pred, &ex.gold));
-            comp += vis_component_accuracy(&pred, &ex.gold);
-            exec += usize::from(vis_execution_match(&pred, &ex.gold, db));
+        match parser.parse(&ex.question, db) {
+            Ok(pred) => (
+                usize::from(vis_exact_match(&pred, &ex.gold)),
+                vis_component_accuracy(&pred, &ex.gold),
+                usize::from(vis_execution_match(&pred, &ex.gold, db)),
+            ),
+            Err(_) => (0, 0.0, 0),
         }
-    }
+    });
     let n = bench.dev.len().max(1);
     VisScores {
         parser: parser.name().to_string(),
         benchmark: bench.name.clone(),
         n: bench.dev.len(),
-        overall: overall as f64 / n as f64,
-        component: comp / n as f64,
-        execution: exec as f64 / n as f64,
+        overall: rows.iter().map(|r| r.0).sum::<usize>() as f64 / n as f64,
+        component: rows.iter().map(|r| r.1).sum::<f64>() / n as f64,
+        execution: rows.iter().map(|r| r.2).sum::<usize>() as f64 / n as f64,
         avg_micros: start.elapsed().as_micros() as f64 / n as f64,
     }
 }

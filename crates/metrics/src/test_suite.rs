@@ -6,7 +6,7 @@
 //! most of naive execution match's false positives at a linear cost in
 //! executor calls.
 
-use nli_core::{Database, Prng, Value};
+use nli_core::{par, Database, Prng, Value};
 use nli_sql::SqlEngine;
 
 /// A suite of database variants derived from one base database.
@@ -21,14 +21,16 @@ impl TestSuite {
     /// duplicates and drops rows — while keeping primary/foreign-key
     /// columns intact so join structure survives.
     pub fn build(base: &Database, n: usize, seed: u64) -> TestSuite {
+        // Fork every variant's stream sequentially, then fuzz in parallel:
+        // each variant's randomness is fixed before fan-out, so the suite
+        // is identical at any thread count.
+        let forks = Prng::new(seed).fork_n(n);
         let mut variants = vec![base.clone()];
-        let mut rng = Prng::new(seed);
-        for v in 0..n {
+        variants.extend(par::par_map(&forks, |_, v_rng| {
             let mut db = base.clone();
-            let mut v_rng = rng.fork(v as u64);
-            fuzz(&mut db, &mut v_rng);
-            variants.push(db);
-        }
+            fuzz(&mut db, &mut v_rng.clone());
+            db
+        }));
         TestSuite { variants }
     }
 
@@ -102,9 +104,10 @@ pub fn test_suite_match(pred: &str, gold: &str, suite: &TestSuite) -> bool {
 /// [`test_suite_match`] against a caller-supplied engine. All variants
 /// share the base schema (fuzzing perturbs data, never structure), so each
 /// query is parsed and planned exactly once for the whole suite — the
-/// prepared statements then execute per variant. The gold result's
-/// canonical comparison form is likewise computed once per variant rather
-/// than inside every comparison.
+/// prepared statements then fan out across workers, one execution pair per
+/// variant, sharing the engine's plan cache. The verdict is the
+/// conjunction over variants, so the parallel fan-out returns exactly what
+/// the sequential early-exit loop would.
 pub fn test_suite_match_with(
     engine: &SqlEngine,
     pred: &str,
@@ -115,29 +118,28 @@ pub fn test_suite_match_with(
         return true;
     };
     let gold_prepared = engine.prepare(gold, &base.schema);
+    let Ok(gold_prepared) = gold_prepared else {
+        // gold doesn't compile: every variant is skipped, vacuous pass
+        return true;
+    };
     let pred_prepared = engine.prepare(pred, &base.schema);
-    for db in &suite.variants {
-        let gold_rs = match &gold_prepared {
-            Ok(p) => match p.execute(db) {
-                Ok(rs) => rs,
-                // a variant broke the gold query (e.g. pie-hole edge); skip it
-                Err(_) => continue,
-            },
-            Err(_) => continue,
+    par::par_map(&suite.variants, |_, db| {
+        let gold_rs = match gold_prepared.execute(db) {
+            Ok(rs) => rs,
+            // a variant broke the gold query (e.g. pie-hole edge); skip it
+            Err(_) => return true,
         };
         let gold_canonical = gold_rs.to_canonical();
-        let matched = match &pred_prepared {
+        match &pred_prepared {
             Ok(p) => p
                 .execute(db)
                 .map(|pred_rs| pred_rs.matches_canonical(&gold_canonical))
                 .unwrap_or(false),
             Err(_) => false,
-        };
-        if !matched {
-            return false;
         }
-    }
-    true
+    })
+    .into_iter()
+    .all(|matched| matched)
 }
 
 #[cfg(test)]

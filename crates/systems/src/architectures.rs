@@ -73,9 +73,9 @@ pub trait NliSystem {
     fn name(&self) -> &str;
 
     /// Access to the SQL-side parser for benchmark evaluation.
-    fn sql_parser(&self) -> &dyn SemanticParser<Expr = Query>;
+    fn sql_parser(&self) -> &(dyn SemanticParser<Expr = Query> + Sync);
     /// Access to the Vis-side parser for benchmark evaluation.
-    fn vis_parser(&self) -> &dyn SemanticParser<Expr = VisQuery>;
+    fn vis_parser(&self) -> &(dyn SemanticParser<Expr = VisQuery> + Sync);
 }
 
 /// Whether a question asks for a visualization.
@@ -187,10 +187,10 @@ impl NliSystem for RuleSystem {
     fn name(&self) -> &str {
         "rule-system"
     }
-    fn sql_parser(&self) -> &dyn SemanticParser<Expr = Query> {
+    fn sql_parser(&self) -> &(dyn SemanticParser<Expr = Query> + Sync) {
         &self.sql
     }
-    fn vis_parser(&self) -> &dyn SemanticParser<Expr = VisQuery> {
+    fn vis_parser(&self) -> &(dyn SemanticParser<Expr = VisQuery> + Sync) {
         &self.vis
     }
 }
@@ -251,10 +251,10 @@ impl NliSystem for ParsingSystem {
     fn name(&self) -> &str {
         "parsing-system"
     }
-    fn sql_parser(&self) -> &dyn SemanticParser<Expr = Query> {
+    fn sql_parser(&self) -> &(dyn SemanticParser<Expr = Query> + Sync) {
         &self.sql
     }
-    fn vis_parser(&self) -> &dyn SemanticParser<Expr = VisQuery> {
+    fn vis_parser(&self) -> &(dyn SemanticParser<Expr = VisQuery> + Sync) {
         &self.vis
     }
 }
@@ -318,10 +318,10 @@ impl NliSystem for MultiStageSystem {
     fn name(&self) -> &str {
         "multi-stage-system"
     }
-    fn sql_parser(&self) -> &dyn SemanticParser<Expr = Query> {
+    fn sql_parser(&self) -> &(dyn SemanticParser<Expr = Query> + Sync) {
         &self.sql
     }
-    fn vis_parser(&self) -> &dyn SemanticParser<Expr = VisQuery> {
+    fn vis_parser(&self) -> &(dyn SemanticParser<Expr = VisQuery> + Sync) {
         &self.vis
     }
 }
@@ -383,10 +383,10 @@ impl NliSystem for EndToEndSystem {
     fn name(&self) -> &str {
         "end-to-end-system"
     }
-    fn sql_parser(&self) -> &dyn SemanticParser<Expr = Query> {
+    fn sql_parser(&self) -> &(dyn SemanticParser<Expr = Query> + Sync) {
         &self.sql
     }
-    fn vis_parser(&self) -> &dyn SemanticParser<Expr = VisQuery> {
+    fn vis_parser(&self) -> &(dyn SemanticParser<Expr = VisQuery> + Sync) {
         &self.vis
     }
 }

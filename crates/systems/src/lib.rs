@@ -10,12 +10,14 @@
 //! | multi-stage | DIN-SQL | DeepEye | [`architectures::MultiStageSystem`] |
 //! | end-to-end | Photon, VoiceQuerySystem | Sevi, DeepTrack | [`architectures::EndToEndSystem`] |
 //!
-//! [`advisor`] implements §5.4's user-centric system selection, and
+//! [`advisor`] implements §5.4's user-centric system selection,
 //! [`session`] implements the query → result → feedback/refinement loop of
-//! the paper's Fig. 1 (with conversational state for both tasks).
+//! the paper's Fig. 1 (with conversational state for both tasks), and
+//! [`pool`] serves many concurrent sessions over one shared engine.
 
 pub mod advisor;
 pub mod architectures;
+pub mod pool;
 pub mod session;
 pub mod voice;
 
@@ -24,5 +26,6 @@ pub use architectures::{
     Architecture, EndToEndSystem, MultiStageSystem, NliSystem, ParsingSystem, RuleSystem,
     SystemOutput, SystemResponse,
 };
+pub use pool::ParSessionPool;
 pub use session::Session;
 pub use voice::{simulate_asr, VoiceSystem};

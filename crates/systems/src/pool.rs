@@ -1,0 +1,165 @@
+//! Concurrent session serving over a shared engine.
+//!
+//! AskYourDB-class deployments serve many users at once, each holding an
+//! independent conversation. [`ParSessionPool`] models that workload: every
+//! script (one user's sequence of questions) runs in its own [`Session`]
+//! with its own dialogue state, scripts fan out across the
+//! [`nli_core::par`] runtime, and all sessions execute through *one*
+//! [`SqlEngine`] — so the plan cache warmed by one user serves every other
+//! user asking the same question of the same schema.
+//!
+//! Determinism: sessions never communicate, each transcript depends only on
+//! its own script, and transcripts come back in script order — serving in
+//! parallel returns exactly what serving serially would (latency fields
+//! aside).
+
+use crate::architectures::SystemResponse;
+use crate::session::Session;
+use nli_core::{par, Database, NlQuestion, Result};
+use nli_sql::SqlEngine;
+
+/// A pool that serves independent conversational sessions concurrently
+/// over one shared engine (and plan cache).
+pub struct ParSessionPool {
+    engine: SqlEngine,
+}
+
+impl ParSessionPool {
+    pub fn new() -> ParSessionPool {
+        ParSessionPool {
+            engine: SqlEngine::new(),
+        }
+    }
+
+    /// A pool executing through a caller-supplied engine.
+    pub fn with_engine(engine: SqlEngine) -> ParSessionPool {
+        ParSessionPool { engine }
+    }
+
+    /// The shared engine (e.g. for cache statistics).
+    pub fn engine(&self) -> &SqlEngine {
+        &self.engine
+    }
+
+    /// Serve `scripts[i]` in its own fresh session; transcript `i` holds
+    /// the per-turn responses of script `i`, in turn order.
+    pub fn serve(
+        &self,
+        db: &Database,
+        scripts: &[Vec<NlQuestion>],
+    ) -> Vec<Vec<Result<SystemResponse>>> {
+        par::par_map(scripts, |_, script| {
+            let mut session = Session::with_engine(self.engine.clone());
+            script.iter().map(|q| session.ask(q, db)).collect()
+        })
+    }
+}
+
+impl Default for ParSessionPool {
+    fn default() -> Self {
+        ParSessionPool::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::architectures::SystemOutput;
+    use nli_core::{Column, DataType, Schema, Table, Value};
+
+    fn db() -> Database {
+        let schema = Schema::new(
+            "shop",
+            vec![Table::new(
+                "sales",
+                vec![
+                    Column::new("id", DataType::Int).primary(),
+                    Column::new("category", DataType::Text),
+                    Column::new("amount", DataType::Float),
+                ],
+            )],
+        );
+        let mut d = Database::empty(schema);
+        d.insert_all(
+            "sales",
+            vec![
+                vec![1.into(), "Tools".into(), 100.0.into()],
+                vec![2.into(), "Toys".into(), 50.0.into()],
+                vec![3.into(), "Tools".into(), 70.0.into()],
+            ],
+        )
+        .unwrap();
+        d
+    }
+
+    fn scripts(n: usize) -> Vec<Vec<NlQuestion>> {
+        (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    vec![
+                        NlQuestion::new("How many sales are there?"),
+                        NlQuestion::new("Only those with amount greater than 60."),
+                    ]
+                } else {
+                    vec![NlQuestion::new("How many sales are there?")]
+                }
+            })
+            .collect()
+    }
+
+    fn programs(transcripts: &[Vec<Result<SystemResponse>>]) -> Vec<Vec<Option<String>>> {
+        transcripts
+            .iter()
+            .map(|t| {
+                t.iter()
+                    .map(|r| r.as_ref().ok().and_then(|resp| resp.program.clone()))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn concurrent_sessions_keep_independent_dialogue_state() {
+        let pool = ParSessionPool::new();
+        let d = db();
+        let transcripts = pool.serve(&d, &scripts(8));
+        assert_eq!(transcripts.len(), 8);
+        for (i, t) in transcripts.iter().enumerate() {
+            // turn 1 of every session: COUNT over all three rows
+            match &t[0].as_ref().unwrap().output {
+                SystemOutput::Table(rs) => assert_eq!(rs.rows[0][0], Value::Int(3)),
+                other => panic!("session {i}: {other:?}"),
+            }
+            // turn 2 (even sessions): the refinement sees only 2 rows,
+            // proving the neighbour sessions' turns didn't leak in
+            if t.len() == 2 {
+                match &t[1].as_ref().unwrap().output {
+                    SystemOutput::Table(rs) => assert_eq!(rs.rows[0][0], Value::Int(2)),
+                    other => panic!("session {i}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_serving_matches_serial_serving() {
+        let d = db();
+        let s = scripts(6);
+        let serial = nli_core::with_threads(1, || ParSessionPool::new().serve(&d, &s));
+        let parallel = nli_core::with_threads(4, || ParSessionPool::new().serve(&d, &s));
+        assert_eq!(programs(&serial), programs(&parallel));
+    }
+
+    #[test]
+    fn sessions_share_one_plan_cache() {
+        let pool = ParSessionPool::new();
+        let d = db();
+        pool.serve(&d, &scripts(8));
+        let stats = pool.engine().cache_stats();
+        // 8 sessions ask the same first question; the plan compiles far
+        // fewer times than it executes
+        assert!(stats.hits > 0, "{stats:?}");
+        assert!(stats.hit_rate() > 0.0);
+        assert!(stats.hit_rate().is_finite());
+    }
+}

@@ -23,14 +23,23 @@ pub struct Exchange {
 pub struct Session {
     sql: DialogueParser,
     vis: VisDialogueParser,
+    engine: SqlEngine,
     history: Vec<Exchange>,
 }
 
 impl Session {
     pub fn new() -> Session {
+        Session::with_engine(SqlEngine::new())
+    }
+
+    /// A session executing through a caller-supplied engine. Cloned engines
+    /// share one plan cache, which is how [`crate::ParSessionPool`] lets
+    /// many concurrent sessions amortize each other's parse/plan work.
+    pub fn with_engine(engine: SqlEngine) -> Session {
         Session {
             sql: DialogueParser::new(GrammarConfig::llm_reasoner()),
             vis: VisDialogueParser::new(),
+            engine,
             history: Vec::new(),
         }
     }
@@ -55,7 +64,7 @@ impl Session {
             // fall through to SQL when the vis edit does not apply
         }
         let q = self.sql.parse_turn(question, db)?;
-        let rs = SqlEngine::new().execute(&q, db)?;
+        let rs = self.engine.execute(&q, db)?;
         self.history.push(Exchange {
             question: question.text.clone(),
             program: q.to_string(),

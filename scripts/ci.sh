@@ -16,7 +16,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test"
-cargo test -q
+# The parallel runtime promises bit-identical results at any worker count
+# (DESIGN.md §3.2): run the suite sequentially and with a 4-worker pool so
+# both the oracle path and the fan-out path gate the merge.
+echo "==> cargo test (NLI_THREADS=1)"
+NLI_THREADS=1 cargo test -q
+
+echo "==> cargo test (NLI_THREADS=4)"
+NLI_THREADS=4 cargo test -q
 
 echo "CI gate passed."

@@ -1,0 +1,159 @@
+//! The determinism contract of the parallel runtime, checked end to end:
+//! every migrated pipeline — SQL evaluation, vis evaluation, test-suite
+//! matching, benchmark generation — must return byte-identical results at
+//! any worker count. The single-threaded run is the oracle; 2, 4 and 8
+//! workers must reproduce it exactly, including the rendered report rows
+//! (the wall-clock `avg_micros` field is zeroed first — it is the one
+//! value the contract deliberately excludes).
+
+use nli_core::{with_threads, Prng};
+use nli_data::domains;
+use nli_data::nvbench_like::{self, NvBenchConfig};
+use nli_data::schema_gen::{generate_database, DbGenConfig};
+use nli_data::spider_like::{self, SpiderConfig};
+use nli_metrics::{evaluate_sql, evaluate_vis, test_suite_match, SqlScores, TestSuite, VisScores};
+use nli_text2sql::{GrammarConfig, GrammarParser};
+use nli_text2vis::RuleVisParser;
+
+const WORKER_COUNTS: [usize; 3] = [2, 4, 8];
+
+fn sql_bench() -> nli_data::SqlBenchmark {
+    spider_like::build(&SpiderConfig {
+        n_databases: 13,
+        n_dev_databases: 3,
+        n_train: 20,
+        n_dev: 60,
+        ..Default::default()
+    })
+}
+
+fn vis_bench() -> nli_data::VisBenchmark {
+    nvbench_like::build(&NvBenchConfig {
+        n_databases: 13,
+        n_dev_databases: 3,
+        n_train: 20,
+        n_dev: 60,
+        ..Default::default()
+    })
+}
+
+/// Zero the one deliberately nondeterministic field (wall clock).
+fn zt_sql(mut s: SqlScores) -> SqlScores {
+    s.avg_micros = 0.0;
+    s
+}
+
+fn zt_vis(mut s: VisScores) -> VisScores {
+    s.avg_micros = 0.0;
+    s
+}
+
+#[test]
+fn evaluate_sql_is_bit_identical_across_worker_counts() {
+    let bench = sql_bench();
+    let parser = GrammarParser::new(GrammarConfig::llm_reasoner());
+    let oracle = zt_sql(with_threads(1, || evaluate_sql(&parser, &bench)));
+    for threads in WORKER_COUNTS {
+        let scores = zt_sql(with_threads(threads, || evaluate_sql(&parser, &bench)));
+        assert_eq!(scores, oracle, "{threads} workers diverged from 1");
+        assert_eq!(
+            scores.row(),
+            oracle.row(),
+            "report row at {threads} workers"
+        );
+    }
+}
+
+#[test]
+fn evaluate_vis_is_bit_identical_across_worker_counts() {
+    let bench = vis_bench();
+    let parser = RuleVisParser::new();
+    let oracle = zt_vis(with_threads(1, || evaluate_vis(&parser, &bench)));
+    for threads in WORKER_COUNTS {
+        let scores = zt_vis(with_threads(threads, || evaluate_vis(&parser, &bench)));
+        assert_eq!(scores, oracle, "{threads} workers diverged from 1");
+        assert_eq!(
+            scores.row(),
+            oracle.row(),
+            "report row at {threads} workers"
+        );
+    }
+}
+
+#[test]
+fn test_suite_match_is_identical_across_worker_counts() {
+    let domain = domains::domain("retail").unwrap();
+    let cfg = DbGenConfig {
+        min_tables: 3,
+        optional_col_p: 1.0,
+        rows: (48, 48),
+    };
+    let base = generate_database(domain, 0, &cfg, &mut Prng::new(11));
+    // suite construction itself fans out; build once per thread count and
+    // demand the fuzzed variants agree byte for byte
+    let suite_oracle = with_threads(1, || TestSuite::build(&base, 16, 0xD0_0D));
+    let cases = [
+        // semantically equal pair
+        (
+            "SELECT category, AVG(price) FROM products GROUP BY category",
+            "SELECT category, AVG(price) FROM products GROUP BY category",
+        ),
+        // distinguishable pair: a fuzzed variant must separate them
+        (
+            "SELECT name FROM products WHERE price > 100",
+            "SELECT name FROM products WHERE price > 50",
+        ),
+        // prediction that does not compile
+        ("SELECT banana FROM nowhere", "SELECT * FROM products"),
+    ];
+    let verdict_oracle: Vec<bool> = with_threads(1, || {
+        cases
+            .iter()
+            .map(|(p, g)| test_suite_match(p, g, &suite_oracle))
+            .collect()
+    });
+    for threads in WORKER_COUNTS {
+        let suite = with_threads(threads, || TestSuite::build(&base, 16, 0xD0_0D));
+        assert_eq!(
+            suite.variants, suite_oracle.variants,
+            "suite build at {threads} workers"
+        );
+        let verdicts: Vec<bool> = with_threads(threads, || {
+            cases
+                .iter()
+                .map(|(p, g)| test_suite_match(p, g, &suite))
+                .collect()
+        });
+        assert_eq!(verdicts, verdict_oracle, "verdicts at {threads} workers");
+    }
+}
+
+#[test]
+fn benchmark_builder_is_bit_identical_across_worker_counts() {
+    let oracle = with_threads(1, sql_bench);
+    for threads in WORKER_COUNTS {
+        let built = with_threads(threads, sql_bench);
+        assert_eq!(built.databases, oracle.databases, "{threads} workers");
+        assert_eq!(built.dev.len(), oracle.dev.len());
+        for (a, b) in built
+            .dev
+            .iter()
+            .chain(&built.train)
+            .zip(oracle.dev.iter().chain(&oracle.train))
+        {
+            assert_eq!(a.question.text, b.question.text, "{threads} workers");
+            assert_eq!(a.gold, b.gold, "{threads} workers");
+            assert_eq!(a.db, b.db, "{threads} workers");
+        }
+    }
+}
+
+#[test]
+fn thread_count_override_reaches_every_layer() {
+    // sanity on the knob the whole suite leans on: with_threads pins the
+    // count seen inside the closure and restores the previous value after
+    let outer = nli_core::thread_count();
+    let inner = with_threads(3, nli_core::thread_count);
+    assert_eq!(inner, 3);
+    assert_eq!(nli_core::thread_count(), outer);
+}

@@ -3,12 +3,13 @@
 //! and stays schema-plausible; the executor honours LIMIT/DISTINCT; whole
 //! benchmark builds replay bit-for-bit from their seeds.
 
-use nli_core::{ExecutionEngine, Prng};
+use nli_core::{with_threads, ExecutionEngine, Prng};
 use nli_data::nvbench_like::{self, NvBenchConfig};
 use nli_data::spider_like::{self, SpiderConfig};
 use nli_lm::{llm::corrupt_query, CapabilityProfile};
 use nli_sql::{normalize, parse_query, SqlEngine};
 use nli_vql::VisEngine;
+use proptest::prelude::*;
 
 fn bench() -> nli_data::SqlBenchmark {
     spider_like::build(&SpiderConfig {
@@ -172,6 +173,37 @@ fn executor_agrees_with_itself_across_equivalent_spellings() {
         checked += 1;
     }
     assert!(checked > 5);
+}
+
+proptest! {
+    // whole-benchmark evaluation is expensive; a handful of generated
+    // (thread count × corpus shape) points already covers uneven splits,
+    // worker counts above the item count, and the degenerate 1-thread case
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn parallel_evaluation_equals_the_single_thread_oracle(
+        threads in 1..=16usize,
+        n_dev in 1..40usize,
+        seed in 1..1000u64,
+    ) {
+        let bench = spider_like::build(&SpiderConfig {
+            n_databases: 13,
+            n_dev_databases: 3,
+            n_train: 0,
+            n_dev,
+            seed,
+            ..Default::default()
+        });
+        let parser = nli_text2sql::GrammarParser::new(nli_text2sql::GrammarConfig::llm_reasoner());
+        let mut oracle = with_threads(1, || nli_metrics::evaluate_sql(&parser, &bench));
+        let mut scores = with_threads(threads, || nli_metrics::evaluate_sql(&parser, &bench));
+        // wall clock is the one field outside the determinism contract
+        oracle.avg_micros = 0.0;
+        scores.avg_micros = 0.0;
+        prop_assert_eq!(&scores, &oracle, "threads={}", threads);
+        prop_assert_eq!(scores.row(), oracle.row());
+    }
 }
 
 #[test]
