@@ -128,6 +128,14 @@ fn main() {
          \x20 monotonically with WER, and systems with stronger linking degrade\n\
          \x20 more gracefully — the §6.6 multimodal challenge, quantified)"
     );
+
+    // NLI_TRACE=path.json writes the run's observability snapshot; see
+    // docs/trace-format.md.
+    match nli_core::obs::export_trace_if_requested() {
+        Ok(Some(path)) => eprintln!("trace written to {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("failed to write NLI_TRACE: {e}"),
+    }
 }
 
 /// Borrowing adapter so `VoiceSystem` can wrap a `&dyn NliSystem`.

@@ -88,4 +88,13 @@ fn main() {
          Spider's grammar; grammar/PLM families lead Spider EM; LLM decomposition\n\
          beats zero-shot; Seq2Vis << ncNet << RGVisNet on the vis task."
     );
+
+    // NLI_TRACE=path.json writes the run's observability snapshot (plan-cache
+    // counters, per-stage span timings, pool telemetry); docs/trace-format.md
+    // documents the schema.
+    match nli_core::obs::export_trace_if_requested() {
+        Ok(Some(path)) => eprintln!("trace written to {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("failed to write NLI_TRACE: {e}"),
+    }
 }

@@ -136,6 +136,14 @@ fn main() {
          absolute accuracy, and more mature multi-turn/robustness tooling than the\n\
          vis side — the asymmetry Table 5 tabulates."
     );
+
+    // NLI_TRACE=path.json writes the run's observability snapshot; see
+    // docs/trace-format.md.
+    match nli_core::obs::export_trace_if_requested() {
+        Ok(Some(path)) => eprintln!("trace written to {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("failed to write NLI_TRACE: {e}"),
+    }
 }
 
 /// Turn-level execution accuracy of the conversational SQL parser.

@@ -10,6 +10,7 @@
 //! structurally changes.
 
 use crate::error::Result;
+use crate::obs;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -24,12 +25,27 @@ struct Slot<P> {
     last_used: u64,
 }
 
+/// Registry mirrors of the cache's internal counters (see
+/// [`PlanCache::attach_obs`]). Updated under the cache mutex, so the
+/// mirrored values can only trail the internal ones between operations,
+/// never disagree after one completes.
+#[derive(Debug)]
+struct ObsCounters {
+    hits: obs::Counter,
+    misses: obs::Counter,
+    evictions: obs::Counter,
+    duplicate_inserts: obs::Counter,
+}
+
 #[derive(Debug)]
 struct Inner<P> {
     slots: HashMap<Key, Slot<P>>,
     clock: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
+    duplicate_inserts: u64,
+    obs: Option<ObsCounters>,
 }
 
 /// Running totals for cache effectiveness reporting.
@@ -37,14 +53,29 @@ struct Inner<P> {
 pub struct CacheStats {
     pub hits: u64,
     pub misses: u64,
+    /// Entries dropped by the LRU policy (capacity pressure), as opposed
+    /// to invalidation by key miss after a schema change.
+    pub evictions: u64,
+    /// Inserts that found the key already present — two threads raced to
+    /// compile the same `(source, fingerprint)` and the loser's plan
+    /// replaced an interchangeable winner. (A true 64-bit fingerprint
+    /// *collision* — distinct schemas hashing alike — is indistinguishable
+    /// from a hit and is not counted; see DESIGN.md §3.3.)
+    pub duplicate_inserts: u64,
     pub len: usize,
     pub capacity: usize,
 }
 
 impl CacheStats {
+    /// Total lookups: every [`PlanCache::get_or_insert`] call counts as
+    /// exactly one hit or one miss.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
     /// Fraction of lookups served from cache (0.0 when untouched).
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let total = self.lookups();
         if total == 0 {
             0.0
         } else {
@@ -74,9 +105,33 @@ impl<P> PlanCache<P> {
                 clock: 0,
                 hits: 0,
                 misses: 0,
+                evictions: 0,
+                duplicate_inserts: 0,
+                obs: None,
             }),
             capacity: capacity.max(1),
         }
+    }
+
+    /// Mirror this cache's counters into `registry` under
+    /// `{prefix}.hits`, `.misses`, `.evictions`, and `.duplicate_inserts`.
+    /// Several caches may share one prefix (the registry counters then
+    /// aggregate across them); the mirrored counters always agree with
+    /// [`PlanCache::stats`] — `hits + misses == lookups` — because both
+    /// are bumped under the same lock.
+    ///
+    /// The mirrors are registered as *scheduling* counters: with more than
+    /// one worker, which thread warms a key first is a race (two threads
+    /// can both miss and compile), so the hit/miss split is reproducible
+    /// only at `NLI_THREADS=1` even though their sum is always exact.
+    pub fn attach_obs(&self, registry: &obs::Registry, prefix: &str) {
+        let mut inner = self.inner.lock();
+        inner.obs = Some(ObsCounters {
+            hits: registry.scheduling_counter(&format!("{prefix}.hits")),
+            misses: registry.scheduling_counter(&format!("{prefix}.misses")),
+            evictions: registry.scheduling_counter(&format!("{prefix}.evictions")),
+            duplicate_inserts: registry.scheduling_counter(&format!("{prefix}.duplicate_inserts")),
+        });
     }
 
     /// Look up `(source, fingerprint)`; on a miss, compile via `build`,
@@ -95,9 +150,15 @@ impl<P> PlanCache<P> {
                 slot.last_used = clock;
                 let plan = Arc::clone(&slot.plan);
                 inner.hits += 1;
+                if let Some(o) = &inner.obs {
+                    o.hits.inc();
+                }
                 return Ok(plan);
             }
             inner.misses += 1;
+            if let Some(o) = &inner.obs {
+                o.misses.inc();
+            }
         }
         // Compile outside the lock: builds can be slow, and a build that
         // panics must not poison concurrent lookups. Two racing threads may
@@ -107,13 +168,19 @@ impl<P> PlanCache<P> {
         let mut inner = self.inner.lock();
         inner.clock += 1;
         let clock = inner.clock;
-        inner.slots.insert(
+        let displaced = inner.slots.insert(
             (source.to_string(), fingerprint),
             Slot {
                 plan: Arc::clone(&plan),
                 last_used: clock,
             },
         );
+        if displaced.is_some() {
+            inner.duplicate_inserts += 1;
+            if let Some(o) = &inner.obs {
+                o.duplicate_inserts.inc();
+            }
+        }
         if inner.slots.len() > self.capacity {
             if let Some(oldest) = inner
                 .slots
@@ -122,6 +189,10 @@ impl<P> PlanCache<P> {
                 .map(|(k, _)| k.clone())
             {
                 inner.slots.remove(&oldest);
+                inner.evictions += 1;
+                if let Some(o) = &inner.obs {
+                    o.evictions.inc();
+                }
             }
         }
         Ok(plan)
@@ -140,6 +211,8 @@ impl<P> PlanCache<P> {
         CacheStats {
             hits: inner.hits,
             misses: inner.misses,
+            evictions: inner.evictions,
+            duplicate_inserts: inner.duplicate_inserts,
             len: inner.slots.len(),
             capacity: self.capacity,
         }
@@ -229,6 +302,42 @@ mod tests {
         assert!(untouched.hit_rate().is_finite());
         let cache: PlanCache<u32> = PlanCache::with_capacity(2);
         assert_eq!(cache.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn evictions_are_counted() {
+        let cache: PlanCache<u32> = PlanCache::with_capacity(2);
+        cache.get_or_insert("a", 0, || Ok(1)).unwrap();
+        cache.get_or_insert("b", 0, || Ok(2)).unwrap();
+        assert_eq!(cache.stats().evictions, 0);
+        cache.get_or_insert("c", 0, || Ok(3)).unwrap();
+        cache.get_or_insert("d", 0, || Ok(4)).unwrap();
+        let s = cache.stats();
+        assert_eq!(s.evictions, 2);
+        assert_eq!(s.len, 2);
+        assert_eq!(s.lookups(), 4);
+    }
+
+    #[test]
+    fn obs_counters_agree_with_stats() {
+        let registry = crate::obs::Registry::new();
+        let cache: PlanCache<u32> = PlanCache::with_capacity(2);
+        cache.attach_obs(&registry, "plan_cache");
+        for (src, fp) in [("a", 0), ("a", 0), ("b", 0), ("c", 1), ("a", 0), ("d", 2)] {
+            let _ = cache.get_or_insert(src, fp, || Ok(9));
+        }
+        let stats = cache.stats();
+        let snap = registry.snapshot();
+        let sched = |name: &str| snap.scheduling.get(name).copied();
+        assert_eq!(sched("plan_cache.hits"), Some(stats.hits));
+        assert_eq!(sched("plan_cache.misses"), Some(stats.misses));
+        assert_eq!(sched("plan_cache.evictions"), Some(stats.evictions));
+        assert_eq!(
+            sched("plan_cache.hits").unwrap() + sched("plan_cache.misses").unwrap(),
+            stats.lookups(),
+            "registry hits+misses must equal CacheStats lookups"
+        );
+        assert!(stats.evictions > 0, "capacity 2 with 4 keys must evict");
     }
 
     #[test]

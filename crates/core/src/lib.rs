@@ -12,12 +12,46 @@
 //! share: dynamically typed [`Value`]s, [`Schema`]s with primary/foreign
 //! keys, in-memory [`Database`]s, natural-language [`NlQuestion`]s and
 //! multi-turn [`Dialogue`]s, deterministic random sampling ([`Prng`]), the
-//! deterministic parallel runtime ([`par`]), and the [`SemanticParser`] /
-//! [`ExecutionEngine`] traits that the rest of the workspace implements.
+//! deterministic parallel runtime ([`par`]), the observability registry
+//! ([`obs`]), and the [`SemanticParser`] / [`ExecutionEngine`] traits that
+//! the rest of the workspace implements.
+//!
+//! ## Example
+//!
+//! ```
+//! use nli_core::{Column, DataType, Database, Schema, Table, Value};
+//!
+//! // The shared problem input: a schema `s` and the database `D` behind it.
+//! let schema = Schema::new(
+//!     "shop",
+//!     vec![Table::new(
+//!         "sales",
+//!         vec![
+//!             Column::new("id", DataType::Int).primary(),
+//!             Column::new("amount", DataType::Float),
+//!         ],
+//!     )],
+//! );
+//! let mut db = Database::empty(schema);
+//! db.insert_all(
+//!     "sales",
+//!     vec![
+//!         vec![Value::Int(1), Value::Float(10.0)],
+//!         vec![Value::Int(2), Value::Float(30.0)],
+//!     ],
+//! )
+//! .unwrap();
+//! assert_eq!(db.rows_of("sales").unwrap().len(), 2);
+//!
+//! // Deterministic fan-out: the same output at any worker count.
+//! let doubled = nli_core::par_map(&[1u64, 2, 3], |_idx, x| x * 2);
+//! assert_eq!(doubled, vec![2, 4, 6]);
+//! ```
 
 pub mod cache;
 pub mod database;
 pub mod error;
+pub mod obs;
 pub mod par;
 pub mod question;
 pub mod rng;

@@ -1,0 +1,614 @@
+//! Zero-dependency observability: counters, gauges, histograms, span
+//! timing, and stable JSON trace export.
+//!
+//! PRs 1–2 built a prepared-statement plan cache and a deterministic
+//! work-stealing pool; this module makes both visible. Every instrumented
+//! component records into a [`Registry`] — thread-safe metric tables over
+//! plain `std` atomics (no new dependencies) — and a whole run's registry
+//! can be snapshotted and serialized as diff-friendly JSON
+//! ([`Snapshot::to_json`]), which the bench binaries write when the
+//! `NLI_TRACE` environment variable names a path
+//! ([`export_trace_if_requested`]).
+//!
+//! ## Metric classes and the determinism contract
+//!
+//! The parallel runtime promises byte-identical *results* at any worker
+//! count (see [`crate::par`]); observability must not weaken that, so
+//! recording is strictly observational — counters and timers are written
+//! with relaxed atomics on the side, never read back by any computation.
+//! Metrics fall into three classes, kept in separate sections of the
+//! export:
+//!
+//! 1. **Deterministic counters/gauges** ([`Registry::counter`],
+//!    [`Registry::gauge`]): pure functions of the workload — plan-cache
+//!    hits, examples evaluated, sessions served. Two runs with the same
+//!    seeds and the same `NLI_THREADS` produce identical values, so the
+//!    `"counters"`/`"gauges"` sections of two traces diff clean.
+//! 2. **Scheduling counters** ([`Registry::scheduling_counter`]): products
+//!    of which worker happened to grab which item — steal counts, per-worker
+//!    task totals, idle transitions. Real and useful (they show pool
+//!    balance), but two runs may legitimately differ; they live in the
+//!    `"scheduling"` section.
+//! 3. **Span timings** ([`Registry::span`], [`Span`]): wall-clock
+//!    histograms. The *count* of spans is deterministic; the recorded
+//!    durations are not, exactly like the `avg_micros` fields the
+//!    determinism tests already zero before comparing. They live in the
+//!    `"spans"` section.
+//!
+//! [`Snapshot::deterministic_json`] exports only what must be byte-stable
+//! (class 1 plus span counts); determinism tests compare that form.
+//!
+//! ## Example
+//!
+//! ```
+//! use nli_core::obs::Registry;
+//!
+//! let reg = Registry::new();
+//! let hits = reg.counter("cache.hits");
+//! hits.inc();
+//! hits.add(2);
+//! {
+//!     let _timing = reg.span("parse"); // records wall time on drop
+//! }
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counter("cache.hits"), Some(3));
+//! assert_eq!(snap.span_count("parse"), Some(1));
+//! assert!(snap.to_json().contains("\"cache.hits\": 3"));
+//! ```
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Histogram bucket upper bounds in microseconds (a value lands in the
+/// first bucket whose bound is `>=` it; larger values land in the overflow
+/// bucket). Log-ish spacing from 1 µs to 10 s covers everything from a
+/// cached `prepare` to a whole-benchmark evaluation.
+pub const BUCKET_BOUNDS_MICROS: [u64; 22] = [
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000,
+    250_000, 500_000, 1_000_000, 2_500_000, 5_000_000, 10_000_000,
+];
+
+/// A monotonically increasing atomic counter. Cloning shares the cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins atomic gauge. Cloning shares the cell.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Keep the maximum of the current value and `v`.
+    pub fn set_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// One cell per [`BUCKET_BOUNDS_MICROS`] entry plus the overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A fixed-bucket histogram of microsecond durations. Cloning shares the
+/// cells; recording is a few relaxed atomic adds, safe from any thread.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram(Arc::new(HistogramInner {
+            buckets: (0..=BUCKET_BOUNDS_MICROS.len())
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }))
+    }
+
+    /// Record one observation (in microseconds).
+    pub fn record(&self, micros: u64) {
+        let idx = BUCKET_BOUNDS_MICROS
+            .iter()
+            .position(|&le| micros <= le)
+            .unwrap_or(BUCKET_BOUNDS_MICROS.len());
+        self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(micros, Ordering::Relaxed);
+        self.0.max.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// Start a timing guard that records into this histogram when dropped.
+    pub fn time(&self) -> Span {
+        Span {
+            hist: self.clone(),
+            start: Instant::now(),
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.0.count.load(Ordering::Relaxed),
+            sum_micros: self.0.sum.load(Ordering::Relaxed),
+            max_micros: self.0.max.load(Ordering::Relaxed),
+            buckets: self
+                .0
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// RAII wall-clock timer: created by [`Histogram::time`] / [`Registry::span`],
+/// records the elapsed microseconds into its histogram on drop. Timing is
+/// observational only — nothing in the pipeline reads it back, so entering
+/// spans cannot perturb any computed result.
+#[derive(Debug)]
+pub struct Span {
+    hist: Histogram,
+    start: Instant,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.hist.record(self.start.elapsed().as_micros() as u64);
+    }
+}
+
+#[derive(Debug, Default)]
+struct Tables {
+    counters: BTreeMap<String, Counter>,
+    scheduling: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    spans: BTreeMap<String, Histogram>,
+}
+
+/// A thread-safe metric registry. Cloning shares the tables; metric
+/// handles ([`Counter`], [`Gauge`], [`Histogram`]) are registered by name
+/// on first use and shared by every later registration of the same name,
+/// so call sites can cache handles and skip the registry lock on hot
+/// paths. The process-wide default registry is [`global`].
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    tables: Arc<Mutex<Tables>>,
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// A deterministic counter: its value must be a pure function of the
+    /// workload (and the configured `NLI_THREADS`), never of scheduling.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.tables
+            .lock()
+            .counters
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// A scheduling counter: steal counts, per-worker totals — values that
+    /// two otherwise identical runs may legitimately disagree on. Exported
+    /// in a separate section so deterministic diffs stay clean.
+    pub fn scheduling_counter(&self, name: &str) -> Counter {
+        self.tables
+            .lock()
+            .scheduling
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// A deterministic last-write-wins gauge.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.tables
+            .lock()
+            .gauges
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// The timing histogram of stage `stage` (registered on first use).
+    pub fn span_histogram(&self, stage: &str) -> Histogram {
+        self.tables
+            .lock()
+            .spans
+            .entry(stage.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Enter stage `stage`: returns a guard that records the stage's
+    /// wall-clock duration when dropped. Hot paths should cache the
+    /// [`Registry::span_histogram`] handle and call [`Histogram::time`].
+    pub fn span(&self, stage: &str) -> Span {
+        self.span_histogram(stage).time()
+    }
+
+    /// A point-in-time copy of every metric, with sorted keys.
+    pub fn snapshot(&self) -> Snapshot {
+        let tables = self.tables.lock();
+        Snapshot {
+            counters: tables
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            scheduling: tables
+                .scheduling
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: tables
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            spans: tables
+                .spans
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// The process-wide registry every built-in instrumentation point records
+/// into ([`crate::PlanCache`] via `SqlEngine`, [`crate::par`], the metric
+/// evaluators, the session pool). [`export_trace_if_requested`] snapshots
+/// it at the end of a bench run.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Frozen state of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum_micros: u64,
+    pub max_micros: u64,
+    /// Parallel to [`BUCKET_BOUNDS_MICROS`], plus the overflow bucket last.
+    pub buckets: Vec<u64>,
+}
+
+/// A point-in-time copy of a [`Registry`], ready for export. All maps are
+/// `BTreeMap`s, so iteration — and therefore the JSON — is ordered by
+/// metric name regardless of the order worker threads registered metrics
+/// in (two identical runs export byte-identical deterministic sections).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub scheduling: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, u64>,
+    pub spans: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// The value of a deterministic counter, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// The number of times a span stage was entered, if registered.
+    pub fn span_count(&self, stage: &str) -> Option<u64> {
+        self.spans.get(stage).map(|h| h.count)
+    }
+
+    /// Full trace JSON: deterministic counters/gauges, scheduling
+    /// counters, and span timing histograms. Keys are sorted and the
+    /// layout is fixed, so two traces diff line-by-line; see
+    /// `docs/trace-format.md` for the field-by-field reference.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        write_u64_section(&mut out, "counters", &self.counters, false);
+        write_u64_section(&mut out, "gauges", &self.gauges, false);
+        write_u64_section(&mut out, "scheduling", &self.scheduling, false);
+        out.push_str("  \"spans\": {");
+        for (i, (name, h)) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            push_json_string(&mut out, name);
+            out.push_str(": {\n");
+            out.push_str(&format!("      \"count\": {},\n", h.count));
+            out.push_str(&format!("      \"sum_micros\": {},\n", h.sum_micros));
+            out.push_str(&format!("      \"max_micros\": {},\n", h.max_micros));
+            out.push_str("      \"buckets_le_micros\": {");
+            let mut first = true;
+            for (bound, n) in BUCKET_BOUNDS_MICROS
+                .iter()
+                .map(|b| b.to_string())
+                .chain(std::iter::once("inf".to_string()))
+                .zip(&h.buckets)
+            {
+                if *n == 0 {
+                    continue; // elide empty buckets: shorter, still stable
+                }
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                push_json_string(&mut out, &bound);
+                out.push_str(&format!(": {n}"));
+            }
+            out.push_str("}\n    }");
+        }
+        if !self.spans.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Only the byte-stable part of the trace: deterministic counters,
+    /// gauges, and span *counts* (durations stripped). Two runs with the
+    /// same seeds and thread count must produce identical output —
+    /// `tests/obs_determinism.rs` asserts exactly that.
+    pub fn deterministic_json(&self) -> String {
+        let span_counts: BTreeMap<String, u64> = self
+            .spans
+            .iter()
+            .map(|(k, h)| (k.clone(), h.count))
+            .collect();
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        write_u64_section(&mut out, "counters", &self.counters, false);
+        write_u64_section(&mut out, "gauges", &self.gauges, false);
+        write_u64_section(&mut out, "span_counts", &span_counts, true);
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn write_u64_section(out: &mut String, name: &str, map: &BTreeMap<String, u64>, last: bool) {
+    out.push_str("  ");
+    push_json_string(out, name);
+    out.push_str(": {");
+    for (i, (k, v)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        push_json_string(out, k);
+        out.push_str(&format!(": {v}"));
+    }
+    if !map.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push('}');
+    if !last {
+        out.push(',');
+    }
+    out.push('\n');
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// If the `NLI_TRACE` environment variable names a path, snapshot the
+/// [`global`] registry and write the full trace JSON there. Returns the
+/// path written to, `None` when tracing is not requested. The bench
+/// binaries call this as their last statement; it never affects results —
+/// recording happens either way, `NLI_TRACE` only controls the file write.
+pub fn export_trace_if_requested() -> std::io::Result<Option<std::path::PathBuf>> {
+    let Ok(path) = std::env::var("NLI_TRACE") else {
+        return Ok(None);
+    };
+    if path.trim().is_empty() {
+        return Ok(None);
+    }
+    let path = std::path::PathBuf::from(path);
+    std::fs::write(&path, global().snapshot().to_json())?;
+    Ok(Some(path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_is_exact_under_8_thread_contention() {
+        let reg = Registry::new();
+        let c = reg.counter("contended");
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000, "atomic totals must be exact");
+        assert_eq!(reg.snapshot().counter("contended"), Some(80_000));
+    }
+
+    #[test]
+    fn same_name_shares_one_cell() {
+        let reg = Registry::new();
+        reg.counter("x").inc();
+        reg.counter("x").add(4);
+        assert_eq!(reg.counter("x").get(), 5);
+        // Scheduling counters are a separate namespace.
+        reg.scheduling_counter("x").inc();
+        assert_eq!(reg.counter("x").get(), 5);
+        assert_eq!(reg.snapshot().scheduling.get("x"), Some(&1));
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive_upper_bounds() {
+        let h = Histogram::new();
+        // On-boundary values land in the bucket whose bound equals them;
+        // one-past-boundary values land in the next bucket up.
+        h.record(0); // <= 1        -> bucket 0
+        h.record(1); // <= 1        -> bucket 0
+        h.record(2); // <= 2        -> bucket 1
+        h.record(3); // <= 5        -> bucket 2
+        h.record(10_000_000); // last finite bound -> bucket 21
+        h.record(10_000_001); // past every bound  -> overflow
+        let s = h.snapshot();
+        assert_eq!(s.buckets[0], 2);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[2], 1);
+        assert_eq!(s.buckets[BUCKET_BOUNDS_MICROS.len() - 1], 1);
+        assert_eq!(s.buckets[BUCKET_BOUNDS_MICROS.len()], 1, "overflow");
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum_micros, 20_000_007);
+        assert_eq!(s.max_micros, 10_000_001);
+    }
+
+    #[test]
+    fn histogram_buckets_cover_every_value_once() {
+        let h = Histogram::new();
+        for v in [0, 1, 7, 99, 100, 101, 999_999, u64::MAX] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+        assert_eq!(s.buckets.len(), BUCKET_BOUNDS_MICROS.len() + 1);
+    }
+
+    #[test]
+    fn span_records_on_drop() {
+        let reg = Registry::new();
+        assert_eq!(reg.span_histogram("stage").count(), 0);
+        {
+            let _guard = reg.span("stage");
+        }
+        {
+            let _guard = reg.span_histogram("stage").time();
+        }
+        assert_eq!(reg.snapshot().span_count("stage"), Some(2));
+    }
+
+    #[test]
+    fn export_is_independent_of_registration_order() {
+        // The satellite bugfix: worker threads race to register metrics,
+        // so export order must come from sorted keys, not insertion order.
+        let a = Registry::new();
+        a.counter("alpha").add(1);
+        a.counter("beta").add(2);
+        a.scheduling_counter("z.steals").add(3);
+        a.span_histogram("parse"); // registered, never recorded
+
+        let b = Registry::new();
+        b.span_histogram("parse");
+        b.scheduling_counter("z.steals").add(3);
+        b.counter("beta").add(2);
+        b.counter("alpha").add(1);
+
+        assert_eq!(a.snapshot().to_json(), b.snapshot().to_json());
+        assert_eq!(
+            a.snapshot().deterministic_json(),
+            b.snapshot().deterministic_json()
+        );
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let reg = Registry::new();
+        reg.counter("c.one").add(7);
+        reg.gauge("g.workers").set(4);
+        reg.span_histogram("s").record(3);
+        let json = reg.snapshot().to_json();
+        assert!(
+            json.contains("\"counters\": {\n    \"c.one\": 7\n  }"),
+            "{json}"
+        );
+        assert!(json.contains("\"g.workers\": 4"), "{json}");
+        assert!(json.contains("\"sum_micros\": 3"), "{json}");
+        assert!(json.contains("\"buckets_le_micros\": {\"5\": 1}"), "{json}");
+        // deterministic view strips durations but keeps the count
+        let det = reg.snapshot().deterministic_json();
+        assert!(
+            det.contains("\"span_counts\": {\n    \"s\": 1\n  }"),
+            "{det}"
+        );
+        assert!(!det.contains("sum_micros"), "{det}");
+    }
+
+    #[test]
+    fn gauge_set_max_keeps_the_high_water_mark() {
+        let g = Gauge::new();
+        g.set_max(3);
+        g.set_max(1);
+        assert_eq!(g.get(), 3);
+        g.set(2);
+        assert_eq!(g.get(), 2);
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        let mut s = String::new();
+        push_json_string(&mut s, "a\"b\\c\nd");
+        assert_eq!(s, r#""a\"b\\c\nd""#);
+    }
+}

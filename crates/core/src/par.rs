@@ -30,13 +30,56 @@
 //! that worker — the outermost fan-out owns the hardware — so parallelize
 //! the outermost loop and let inner layers inherit.
 
+use crate::obs;
 use parking_lot::Mutex;
 use std::cell::Cell;
 use std::collections::VecDeque;
+use std::sync::OnceLock;
 
 /// Upper bound on workers regardless of configuration; far above any win
 /// for these workloads, it only guards against `NLI_THREADS=100000`.
 const MAX_THREADS: usize = 64;
+
+/// Cached handles into the global registry so the hot path pays a few
+/// relaxed atomic adds per *fan-out* (never per item), not a registry
+/// lookup. See DESIGN.md §3.3 for the metric names.
+struct ParObs {
+    /// Deterministic: parallel fan-outs issued (sequential fallbacks are
+    /// not counted — at `NLI_THREADS=1` this stays 0).
+    fanouts: obs::Counter,
+    /// Deterministic: items dispatched across all fan-outs.
+    items: obs::Counter,
+    /// Deterministic: worker count of the most recent fan-out.
+    workers: obs::Gauge,
+    /// Scheduling: successful steals, summed over workers.
+    steals: obs::Counter,
+    /// Scheduling: times a worker drained its own deque and switched to
+    /// scanning its neighbours'.
+    idle_transitions: obs::Counter,
+}
+
+fn par_obs() -> &'static ParObs {
+    static OBS: OnceLock<ParObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let r = obs::global();
+        ParObs {
+            fanouts: r.counter("par.fanouts"),
+            items: r.counter("par.items"),
+            workers: r.gauge("par.workers"),
+            steals: r.scheduling_counter("par.steals"),
+            idle_transitions: r.scheduling_counter("par.idle_transitions"),
+        }
+    })
+}
+
+/// One worker's results plus its scheduling tallies, recorded into the
+/// registry after the join (observation only — the reduction below never
+/// reads them).
+struct WorkerPart<R> {
+    results: Vec<(usize, R)>,
+    steals: u64,
+    idle_transitions: u64,
+}
 
 thread_local! {
     static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
@@ -115,7 +158,7 @@ where
 
     let queues = &queues;
     let f = &f;
-    let parts: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+    let parts: Vec<WorkerPart<R>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|w| {
                 s.spawn(move || {
@@ -124,22 +167,35 @@ where
                     // already owns the hardware, and recursive pools would
                     // oversubscribe it without changing any result.
                     with_threads(1, || {
-                        let mut local: Vec<(usize, R)> = Vec::with_capacity(n / threads + 1);
+                        let mut part = WorkerPart {
+                            results: Vec::with_capacity(n / threads + 1),
+                            steals: 0,
+                            idle_transitions: 0,
+                        };
                         loop {
                             // The guard must drop before stealing: holding
                             // our own queue's lock while locking a victim's
                             // deadlocks the moment two idle workers steal
                             // from each other.
                             let own = queues[w].lock().pop_front();
+                            if own.is_none() {
+                                part.idle_transitions += 1;
+                            }
+                            let stolen = own.is_none();
                             match own.or_else(|| steal(queues, w)) {
-                                Some(i) => local.push((i, f(i, &items[i]))),
+                                Some(i) => {
+                                    if stolen {
+                                        part.steals += 1;
+                                    }
+                                    part.results.push((i, f(i, &items[i])));
+                                }
                                 // No queue had work at scan time, and work
                                 // is never re-enqueued, so this worker is
                                 // done.
                                 None => break,
                             }
                         }
-                        local
+                        part
                     })
                 })
             })
@@ -150,11 +206,30 @@ where
             .collect()
     });
 
+    // Record pool telemetry once per fan-out, after the join — observation
+    // only, nothing below reads it (see the obs module's determinism
+    // contract).
+    let o = par_obs();
+    o.fanouts.inc();
+    o.items.add(n as u64);
+    o.workers.set(threads as u64);
+    let registry = obs::global();
+    for (w, part) in parts.iter().enumerate() {
+        o.steals.add(part.steals);
+        o.idle_transitions.add(part.idle_transitions);
+        registry
+            .scheduling_counter(&format!("par.worker.{w}.tasks"))
+            .add(part.results.len() as u64);
+        registry
+            .scheduling_counter(&format!("par.worker.{w}.steals"))
+            .add(part.steals);
+    }
+
     // Order-stable reduction: place every (index, result) into its slot.
     let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
     for part in parts {
-        for (i, r) in part {
+        for (i, r) in part.results {
             slots[i] = Some(r);
         }
     }

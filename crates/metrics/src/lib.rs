@@ -17,6 +17,21 @@
 //! [`meta`] runs the controlled meta-analysis behind the Table 3
 //! comparison (which metrics admit false positives/negatives, at what
 //! cost).
+//!
+//! ## Example
+//!
+//! ```
+//! use nli_metrics::{bleu_score, exact_match, exact_set_match};
+//!
+//! let gold = "SELECT name FROM city ORDER BY pop DESC";
+//! // Exact match forgives spelling (case, whitespace) but nothing else.
+//! assert!(exact_match("select name from city order by pop desc", gold));
+//! assert!(!exact_match("SELECT name FROM city", gold));
+//! // Fuzzy match grades the near-miss instead of zeroing it.
+//! let partial = bleu_score("SELECT name FROM city", gold);
+//! assert!(partial > 0.0 && partial < 1.0);
+//! assert!(exact_set_match(gold, gold));
+//! ```
 
 pub mod component;
 pub mod execution;

@@ -11,7 +11,7 @@ use crate::component::{component_f1, exact_set_match};
 use crate::execution::execution_match_with;
 use crate::string_match::exact_match;
 use crate::vis::{vis_component_accuracy, vis_exact_match, vis_execution_match};
-use nli_core::{par, SemanticParser};
+use nli_core::{obs, par, SemanticParser};
 use nli_data::{SqlBenchmark, VisBenchmark};
 use nli_sql::{Query, SqlEngine};
 use nli_vql::VisQuery;
@@ -72,6 +72,12 @@ pub fn evaluate_sql(
     // repeat across examples and share schemas, so the plan cache amortizes
     // parsing once for everyone.
     let engine = SqlEngine::new();
+    let registry = obs::global();
+    let _timing = registry.span("eval.sql");
+    registry.counter("eval.sql.runs").inc();
+    registry
+        .counter("eval.sql.examples")
+        .add(bench.dev.len() as u64);
     let start = Instant::now();
     let rows = par::par_map(&bench.dev, |_, ex| {
         let db = bench.db_of(ex);
@@ -145,6 +151,12 @@ pub fn evaluate_vis(
     parser: &(dyn SemanticParser<Expr = VisQuery> + Sync),
     bench: &VisBenchmark,
 ) -> VisScores {
+    let registry = obs::global();
+    let _timing = registry.span("eval.vis");
+    registry.counter("eval.vis.runs").inc();
+    registry
+        .counter("eval.vis.examples")
+        .add(bench.dev.len() as u64);
     let start = Instant::now();
     let rows = par::par_map(&bench.dev, |_, ex| {
         let db = bench.db_of(ex);

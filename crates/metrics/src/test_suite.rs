@@ -114,6 +114,12 @@ pub fn test_suite_match_with(
     gold: &str,
     suite: &TestSuite,
 ) -> bool {
+    let registry = nli_core::obs::global();
+    let _timing = registry.span("eval.test_suite_match");
+    registry.counter("eval.test_suite.calls").inc();
+    registry
+        .counter("eval.test_suite.variants")
+        .add(suite.len() as u64);
     let Some(base) = suite.variants.first() else {
         return true;
     };

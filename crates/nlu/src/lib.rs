@@ -8,7 +8,7 @@
 //!
 //! Everything here is deterministic and dependency-free: a word tokenizer
 //! with number/quote handling ([`tokenize`]), a light suffix stemmer
-//! ([`stem`]), stopwords, a synonym lexicon ([`SynonymLexicon`]), hashing
+//! ([`stem()`](stem())), stopwords, a synonym lexicon ([`SynonymLexicon`]), hashing
 //! character-trigram embeddings ([`embed`]), classic string similarities
 //! ([`similarity`]), and n-gram BLEU ([`ngram::bleu`]).
 

@@ -23,13 +23,36 @@
 use crate::ast::{AggFunc, BinOp, Query, SetOp};
 use crate::plan::{plan_query, JoinStep, PlanExpr, QueryPlan, ScanNode, SelectPlan};
 use nli_core::{
-    CacheStats, Database, ExecutionEngine, NliError, PlanCache, PrepareEngine, Result, Schema,
+    obs, CacheStats, Database, ExecutionEngine, NliError, PlanCache, PrepareEngine, Result, Schema,
     Value,
 };
 use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// Cached span histograms for the three pipeline stages (DESIGN.md §3.3):
+/// `sql.parse` and `sql.plan` are timed inside the plan-cache build
+/// closure, so they fire once per cache miss; `sql.execute` fires on every
+/// [`PreparedSql::execute`]. Handles are resolved once — the per-call cost
+/// is two `Instant` reads and a few relaxed atomic adds.
+struct SqlObs {
+    parse: obs::Histogram,
+    plan: obs::Histogram,
+    execute: obs::Histogram,
+}
+
+fn sql_obs() -> &'static SqlObs {
+    static OBS: OnceLock<SqlObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let r = obs::global();
+        SqlObs {
+            parse: r.span_histogram("sql.parse"),
+            plan: r.span_histogram("sql.plan"),
+            execute: r.span_histogram("sql.execute"),
+        }
+    })
+}
 
 /// An executed result table `r`.
 #[derive(Debug, Clone, PartialEq)]
@@ -161,6 +184,7 @@ impl PreparedSql {
                 "prepared statement executed against a structurally different schema".into(),
             ));
         }
+        let _timing = sql_obs().execute.time();
         exec_plan(&self.plan, db)
     }
 }
@@ -168,7 +192,7 @@ impl PreparedSql {
 /// The SQL execution engine: parse → plan → execute, with a
 /// schema-fingerprinted plan cache in front of the first two stages.
 /// Cloning shares the cache.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SqlEngine {
     cache: Arc<PlanCache<QueryPlan>>,
     /// Number of times a query string was actually parsed (cache misses in
@@ -179,13 +203,21 @@ pub struct SqlEngine {
 
 impl SqlEngine {
     pub fn new() -> Self {
-        SqlEngine::default()
+        SqlEngine::from_cache(PlanCache::default())
     }
 
     /// An engine whose plan cache holds at most `capacity` entries.
     pub fn with_cache_capacity(capacity: usize) -> Self {
+        SqlEngine::from_cache(PlanCache::with_capacity(capacity))
+    }
+
+    /// Every engine mirrors its cache counters into the global [`obs`]
+    /// registry under `plan_cache.*`; engines sharing a process aggregate
+    /// there, while [`SqlEngine::cache_stats`] stays per-engine.
+    fn from_cache(cache: PlanCache<QueryPlan>) -> Self {
+        cache.attach_obs(obs::global(), "plan_cache");
         SqlEngine {
-            cache: Arc::new(PlanCache::with_capacity(capacity)),
+            cache: Arc::new(cache),
             parses: Arc::new(AtomicU64::new(0)),
         }
     }
@@ -196,7 +228,11 @@ impl SqlEngine {
         let fingerprint = schema.fingerprint();
         let plan = self.cache.get_or_insert(sql, fingerprint, || {
             self.parses.fetch_add(1, AtomicOrdering::Relaxed);
-            let q = crate::parser::parse_query(sql)?;
+            let q = {
+                let _timing = sql_obs().parse.time();
+                crate::parser::parse_query(sql)?
+            };
+            let _timing = sql_obs().plan.time();
             plan_query(&q, schema)
         })?;
         Ok(PreparedSql { plan, fingerprint })
@@ -208,9 +244,10 @@ impl SqlEngine {
     pub fn prepare_ast(&self, q: &Query, schema: &Schema) -> Result<PreparedSql> {
         let fingerprint = schema.fingerprint();
         let key = q.to_string();
-        let plan = self
-            .cache
-            .get_or_insert(&key, fingerprint, || plan_query(q, schema))?;
+        let plan = self.cache.get_or_insert(&key, fingerprint, || {
+            let _timing = sql_obs().plan.time();
+            plan_query(q, schema)
+        })?;
         Ok(PreparedSql { plan, fingerprint })
     }
 
@@ -229,6 +266,12 @@ impl SqlEngine {
     /// How many times [`SqlEngine::prepare`] actually invoked the parser.
     pub fn parse_count(&self) -> u64 {
         self.parses.load(AtomicOrdering::Relaxed)
+    }
+}
+
+impl Default for SqlEngine {
+    fn default() -> Self {
+        SqlEngine::new()
     }
 }
 

@@ -27,6 +27,42 @@
 //! needs: a canonical printer ([`normalize::normalize`]) for exact-match
 //! scoring and a Spider-style component decomposition
 //! ([`components::decompose`]) for exact-set-match scoring.
+//!
+//! ## Example
+//!
+//! ```
+//! use nli_core::{Column, DataType, Database, Schema, Table, Value};
+//! use nli_sql::SqlEngine;
+//!
+//! let schema = Schema::new(
+//!     "shop",
+//!     vec![Table::new(
+//!         "sales",
+//!         vec![
+//!             Column::new("id", DataType::Int).primary(),
+//!             Column::new("amount", DataType::Float),
+//!         ],
+//!     )],
+//! );
+//! let mut db = Database::empty(schema.clone());
+//! db.insert_all(
+//!     "sales",
+//!     vec![
+//!         vec![Value::Int(1), Value::Float(10.0)],
+//!         vec![Value::Int(2), Value::Float(30.0)],
+//!     ],
+//! )
+//! .unwrap();
+//!
+//! // Prepare once (parse + plan, cached by schema fingerprint)...
+//! let engine = SqlEngine::new();
+//! let stmt = engine
+//!     .prepare("SELECT COUNT(*) FROM sales WHERE amount > 15", &schema)
+//!     .unwrap();
+//! // ...then execute on any database sharing that schema.
+//! let rs = stmt.execute(&db).unwrap();
+//! assert_eq!(rs.rows, vec![vec![Value::Int(1)]]);
+//! ```
 
 pub mod ast;
 pub mod components;

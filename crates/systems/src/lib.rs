@@ -14,6 +14,22 @@
 //! [`session`] implements the query → result → feedback/refinement loop of
 //! the paper's Fig. 1 (with conversational state for both tasks), and
 //! [`pool`] serves many concurrent sessions over one shared engine.
+//!
+//! ## Example
+//!
+//! ```
+//! use nli_systems::{recommend, Architecture, Environment, Expertise, UserProfile};
+//!
+//! // §5.4: a professional in a heterogeneous data environment is pointed
+//! // at a multi-stage system; the rationale comes back with the pick.
+//! let pick = recommend(&UserProfile {
+//!     expertise: Expertise::Professional,
+//!     environment: Environment::Complex,
+//!     needs_flexibility: false,
+//! });
+//! assert_eq!(pick.architecture, Architecture::MultiStage);
+//! assert!(!pick.rationale.is_empty());
+//! ```
 
 pub mod advisor;
 pub mod architectures;

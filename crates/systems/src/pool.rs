@@ -48,6 +48,12 @@ impl ParSessionPool {
         db: &Database,
         scripts: &[Vec<NlQuestion>],
     ) -> Vec<Vec<Result<SystemResponse>>> {
+        let registry = nli_core::obs::global();
+        let _timing = registry.span("pool.serve");
+        registry.counter("pool.sessions").add(scripts.len() as u64);
+        registry
+            .counter("pool.turns")
+            .add(scripts.iter().map(|s| s.len() as u64).sum());
         par::par_map(scripts, |_, script| {
             let mut session = Session::with_engine(self.engine.clone());
             script.iter().map(|q| session.ask(q, db)).collect()

@@ -1,7 +1,7 @@
 //! ncNet-class parsing: a transformer with vis-aware decoding.
 //!
 //! Compared with Seq2Vis, ncNet composes rather than memorizes: it grounds
-//! the request compositionally (our shared [`ground_vis`] core with the
+//! the request compositionally (our shared `ground_vis` core with the
 //! neural-stage linker and an optionally trained alignment model) and masks
 //! invalid chart/data-type combinations during decoding. It still lacks
 //! synonym world knowledge, which is what separates it from the

@@ -1,0 +1,164 @@
+//! The observability layer's side of the determinism contract
+//! (DESIGN.md §3.3): recording and exporting traces is strictly
+//! observational. Evaluation output must be byte-identical whether
+//! `NLI_TRACE` is set or not, at any worker count, and the deterministic
+//! sections of the trace must replay exactly across identical runs.
+//!
+//! Every test here touches the process-global registry, so the tests
+//! serialize on one mutex — the workloads themselves still fan out over
+//! the worker pool under test.
+
+use nli_core::{obs, with_threads};
+use nli_data::spider_like::{self, SpiderConfig};
+use nli_metrics::{evaluate_sql, SqlScores};
+use nli_text2sql::{GrammarConfig, GrammarParser};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+static GLOBAL_REGISTRY_LOCK: Mutex<()> = Mutex::new(());
+
+fn sql_bench() -> nli_data::SqlBenchmark {
+    spider_like::build(&SpiderConfig {
+        n_databases: 9,
+        n_dev_databases: 2,
+        n_train: 12,
+        n_dev: 40,
+        ..Default::default()
+    })
+}
+
+/// Zero the one deliberately nondeterministic field (wall clock), exactly
+/// as `tests/parallel_determinism.rs` does.
+fn zt(mut s: SqlScores) -> SqlScores {
+    s.avg_micros = 0.0;
+    s
+}
+
+/// Per-key increase between two snapshots of a monotone counter map.
+fn delta(before: &BTreeMap<String, u64>, after: &BTreeMap<String, u64>) -> BTreeMap<String, u64> {
+    after
+        .iter()
+        .map(|(k, v)| (k.clone(), v - before.get(k).copied().unwrap_or(0)))
+        .collect()
+}
+
+fn span_counts(snap: &obs::Snapshot) -> BTreeMap<String, u64> {
+    snap.spans
+        .iter()
+        .map(|(k, h)| (k.clone(), h.count))
+        .collect()
+}
+
+#[test]
+fn tracing_does_not_alter_evaluation_output() {
+    let _serial = GLOBAL_REGISTRY_LOCK.lock().unwrap();
+    let bench = sql_bench();
+    let parser = GrammarParser::new(GrammarConfig::neural());
+    let trace_path = std::env::temp_dir().join(format!("nli-trace-{}.json", std::process::id()));
+
+    for threads in [1, 4] {
+        // Baseline: tracing disabled (no NLI_TRACE, nothing exported).
+        std::env::remove_var("NLI_TRACE");
+        assert_eq!(obs::export_trace_if_requested().unwrap(), None);
+        let baseline = zt(with_threads(threads, || evaluate_sql(&parser, &bench)));
+
+        // Traced run: NLI_TRACE set, full trace exported afterwards.
+        std::env::set_var("NLI_TRACE", &trace_path);
+        let traced = zt(with_threads(threads, || evaluate_sql(&parser, &bench)));
+        let written = obs::export_trace_if_requested().unwrap();
+        std::env::remove_var("NLI_TRACE");
+
+        assert_eq!(
+            traced, baseline,
+            "exporting a trace changed evaluation output at {threads} workers"
+        );
+        assert_eq!(traced.row(), baseline.row());
+        let trace = std::fs::read_to_string(written.expect("trace path")).unwrap();
+        assert!(trace.contains("\"plan_cache.hits\""), "{trace}");
+        assert!(trace.contains("\"sql.execute\""), "{trace}");
+        assert!(trace.contains("\"eval.sql.examples\""), "{trace}");
+    }
+    let _ = std::fs::remove_file(&trace_path);
+}
+
+#[test]
+fn deterministic_trace_sections_replay_across_identical_runs() {
+    let _serial = GLOBAL_REGISTRY_LOCK.lock().unwrap();
+    let bench = sql_bench();
+    let parser = GrammarParser::new(GrammarConfig::neural());
+    let registry = obs::global();
+
+    // Two identical sequential runs must advance every deterministic
+    // counter — and every span count — by exactly the same amount. (At >1
+    // workers the parse/plan span counts and the plan-cache hit/miss split
+    // may differ by the benign double-compile race, which is why those live
+    // in the scheduling section; the sequential oracle has no such race.)
+    let s0 = registry.snapshot();
+    with_threads(1, || evaluate_sql(&parser, &bench));
+    let s1 = registry.snapshot();
+    with_threads(1, || evaluate_sql(&parser, &bench));
+    let s2 = registry.snapshot();
+
+    let first = delta(&s0.counters, &s1.counters);
+    let second = delta(&s1.counters, &s2.counters);
+    assert_eq!(first, second, "deterministic counters diverged");
+    assert!(
+        first.get("eval.sql.examples").copied() == Some(bench.dev.len() as u64),
+        "{first:?}"
+    );
+
+    let first_spans = delta(&span_counts(&s0), &span_counts(&s1));
+    let second_spans = delta(&span_counts(&s1), &span_counts(&s2));
+    assert_eq!(first_spans, second_spans, "span counts diverged");
+    assert!(first_spans["sql.execute"] > 0, "{first_spans:?}");
+}
+
+#[test]
+fn parallel_runs_record_pool_and_worker_telemetry() {
+    let _serial = GLOBAL_REGISTRY_LOCK.lock().unwrap();
+    let bench = sql_bench();
+    let parser = GrammarParser::new(GrammarConfig::neural());
+    let registry = obs::global();
+
+    let before = registry.snapshot();
+    with_threads(4, || evaluate_sql(&parser, &bench));
+    let after = registry.snapshot();
+
+    let fanouts = delta(&before.counters, &after.counters);
+    assert!(fanouts["par.fanouts"] > 0, "{fanouts:?}");
+    assert!(
+        fanouts["par.items"] >= bench.dev.len() as u64,
+        "{fanouts:?}"
+    );
+    assert_eq!(after.gauges.get("par.workers"), Some(&4));
+    // Per-worker task counters exist for each of the 4 workers and the
+    // per-fan-out totals add up to the items dispatched.
+    let tasks = delta(&before.scheduling, &after.scheduling);
+    let per_worker: u64 = (0..4)
+        .map(|w| {
+            tasks
+                .get(&format!("par.worker.{w}.tasks"))
+                .copied()
+                .unwrap_or(0)
+        })
+        .sum();
+    assert_eq!(per_worker, fanouts["par.items"], "{tasks:?}");
+}
+
+#[test]
+fn trace_export_bytes_are_stable_for_one_snapshot() {
+    // The satellite bugfix, end to end: however metric registration was
+    // interleaved across worker threads, one snapshot always renders the
+    // same bytes (sorted keys, fixed layout).
+    let _serial = GLOBAL_REGISTRY_LOCK.lock().unwrap();
+    let bench = sql_bench();
+    let parser = GrammarParser::new(GrammarConfig::neural());
+    with_threads(4, || evaluate_sql(&parser, &bench));
+    let snap = obs::global().snapshot();
+    assert_eq!(snap.to_json(), snap.to_json());
+    assert_eq!(snap.deterministic_json(), snap.deterministic_json());
+    let keys: Vec<&String> = snap.counters.keys().collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "counter keys must export sorted");
+}

@@ -447,7 +447,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Element-count bound for [`vec`]; built from the same range shapes
+    /// Element-count bound for [`vec`](fn@vec); built from the same range shapes
     /// proptest's `SizeRange` accepts.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {

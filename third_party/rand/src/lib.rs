@@ -1,6 +1,6 @@
 //! Offline stand-in for `rand`.
 //!
-//! The workspace's own [`nli_core::Prng`] is a self-contained xoshiro256**;
+//! The workspace's own `nli_core::Prng` is a self-contained xoshiro256**;
 //! the only thing it takes from `rand` is the `TryRng` trait so it can speak
 //! the ecosystem's sampling vocabulary. This stub provides exactly that
 //! trait (see `third_party/README.md` for why dependencies are vendored).

@@ -5,7 +5,7 @@
 //! `Deserialize` are blanket-implemented marker traits: every type satisfies
 //! them, and the re-exported derives expand to nothing. Actual JSON
 //! conversion in this workspace is hand-written against
-//! [`serde_json::Value`], which needs no trait machinery.
+//! `serde_json::Value`, which needs no trait machinery.
 
 pub use serde_derive::{Deserialize, Serialize};
 
