@@ -64,6 +64,18 @@ impl Prng {
         (0..n).map(|i| self.fork(i as u64)).collect()
     }
 
+    /// Random-access variant of the [`Prng::fork_n`] seeding rule: derive
+    /// the stream for one `(seed, case_index)` pair without materializing
+    /// the whole fork vector. Every `index` gets an independent stream (the
+    /// salt is SplitMix64-scrambled before seeding, so adjacent indices
+    /// share no state), and a case is replayable from its pair alone —
+    /// the contract fuzzing harnesses need to turn a failure report back
+    /// into a reproducer.
+    pub fn for_case(seed: u64, index: u64) -> Prng {
+        let mut parent = Prng::new(seed);
+        parent.fork(index)
+    }
+
     /// Uniform in `[0, n)`. Panics if `n == 0`.
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "Prng::below(0)");
@@ -256,6 +268,47 @@ mod tests {
         }
         // both parents consumed the same number of draws
         assert_eq!(a.below(1_000_000), b.below(1_000_000));
+    }
+
+    #[test]
+    fn for_case_matches_a_single_fork_of_a_fresh_parent() {
+        let direct = Prng::for_case(99, 7);
+        let mut parent = Prng::new(99);
+        let forked = parent.fork(7);
+        let mut a = direct;
+        let mut b = forked;
+        for _ in 0..100 {
+            assert_eq!(a.below(1_000_000), b.below(1_000_000));
+        }
+    }
+
+    #[test]
+    fn for_case_streams_are_pairwise_distinct_over_10k_draws() {
+        // The fuzz harness's no-shared-streams guarantee: over 10k draws,
+        // no two case indices may replay the same sequence.
+        const STREAMS: usize = 16;
+        const DRAWS: usize = 10_000;
+        let sequences: Vec<Vec<u64>> = (0..STREAMS)
+            .map(|i| {
+                let mut r = Prng::for_case(0xF0CC_ACC1A, i as u64);
+                (0..DRAWS).map(|_| r.next_u64_inner()).collect()
+            })
+            .collect();
+        for i in 0..STREAMS {
+            for j in (i + 1)..STREAMS {
+                assert_ne!(
+                    sequences[i], sequences[j],
+                    "case streams {i} and {j} collided"
+                );
+            }
+        }
+        // different seeds must also give a distinct stream for equal indices
+        let mut x = Prng::for_case(1, 3);
+        let mut y = Prng::for_case(2, 3);
+        assert_ne!(
+            (0..8).map(|_| x.next_u64_inner()).collect::<Vec<_>>(),
+            (0..8).map(|_| y.next_u64_inner()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -1,0 +1,300 @@
+//! Conformance fuzzing driver.
+//!
+//! ```text
+//! cargo run --release -p nli-fuzz --bin fuzz -- --seed 42 --cases 500
+//! ```
+//!
+//! Runs the generated case batch twice — sequentially and at the
+//! configured `NLI_THREADS` worker count — and requires both passes to be
+//! violation-free with identical result digests. Everything on stdout is
+//! a pure function of `(--seed, --start, --cases)`: thread-count and
+//! timing chatter goes to stderr, so CI can compare stdout bytes across
+//! worker counts and repeat runs.
+//!
+//! Flags:
+//! - `--seed N`       base seed (default 42)
+//! - `--cases N`      number of cases (default 500)
+//! - `--start N`      first case index (default 0)
+//! - `--max-shrink N` cap on accepted shrink steps per violation (default 400)
+//! - `--inject-bug`   negative mode: mutate one comparison per case and
+//!   require the differential oracle to catch at least one such bug, then
+//!   shrink the first catch to a minimal reproducer (exits 1 if nothing
+//!   is caught — i.e. the oracle is broken)
+//!
+//! A violation report prints the offending SQL, the minimized
+//! reproducer, and the replay command line.
+
+use nli_core::{par_map, thread_count, with_threads, ExecutionEngine};
+use nli_fuzz::oracle::{check_case, CaseReport, Violation};
+use nli_fuzz::{gen_case, gen_vis_case, minimize, mutate_comparison, Digest, GenConfig};
+use nli_sql::ast::Query;
+use nli_sql::interp::run_tree_walk;
+use nli_sql::{ResultSet, SqlEngine};
+use nli_vql::{parse_vis, VisEngine, VisQuery};
+use std::process::ExitCode;
+
+struct Args {
+    seed: u64,
+    cases: u64,
+    start: u64,
+    max_shrink: u32,
+    inject_bug: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: 42,
+        cases: 500,
+        start: 0,
+        max_shrink: 400,
+        inject_bug: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let numeric = |it: &mut dyn Iterator<Item = String>| -> Result<u64, String> {
+            it.next()
+                .ok_or_else(|| format!("{flag} needs a value"))?
+                .parse::<u64>()
+                .map_err(|e| format!("{flag}: {e}"))
+        };
+        match flag.as_str() {
+            "--seed" => args.seed = numeric(&mut it)?,
+            "--cases" => args.cases = numeric(&mut it)?,
+            "--start" => args.start = numeric(&mut it)?,
+            "--max-shrink" => args.max_shrink = numeric(&mut it)? as u32,
+            "--inject-bug" => args.inject_bug = true,
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// VQL leg of one case: print/parse round-trip plus render execution.
+fn vis_check(index: u64, v: &VisQuery, db: &nli_core::Database) -> (String, Vec<Violation>) {
+    let mut violations = Vec::new();
+    let vql = v.to_string();
+    match parse_vis(&vql) {
+        Ok(p) if p == *v => {}
+        Ok(_) => violations.push(Violation {
+            case_index: index,
+            oracle: "vis/roundtrip".to_string(),
+            sql: vql.clone(),
+            detail: "printed VQL reparses to a different spec".to_string(),
+        }),
+        Err(e) => violations.push(Violation {
+            case_index: index,
+            oracle: "vis/roundtrip".to_string(),
+            sql: vql.clone(),
+            detail: format!("printed VQL fails to reparse: {e}"),
+        }),
+    }
+    match VisEngine::new().execute(v, db) {
+        Ok(chart) => {
+            let text = format!("vis:{}:{}", chart.render_ascii(), chart.spec.to_vega_lite());
+            (text, violations)
+        }
+        Err(e) => {
+            violations.push(Violation {
+                case_index: index,
+                oracle: "vis/execute".to_string(),
+                sql: vql,
+                detail: format!("generator-shaped VQL failed to render: {e}"),
+            });
+            (format!("vis-err:{e}"), violations)
+        }
+    }
+}
+
+/// Per-case digest text plus any violations from the VQL leg.
+type VisPart = (String, Vec<Violation>);
+
+struct BatchOutcome {
+    digest: u64,
+    violations: Vec<Violation>,
+    rewrites_checked: u64,
+    vis_cases: u64,
+}
+
+/// Run the whole batch at `threads` workers. Results are a pure function
+/// of the arguments — `par_map` is order-stable and every case derives
+/// its own Prng stream from `(seed, index)`.
+fn run_batch(args: &Args, cfg: &GenConfig, threads: usize) -> BatchOutcome {
+    with_threads(threads, || {
+        let engine = SqlEngine::new();
+        let indices: Vec<u64> = (args.start..args.start + args.cases).collect();
+        let reports: Vec<(CaseReport, Option<VisPart>)> = par_map(&indices, |_, &i| {
+            let case = gen_case(args.seed, i, cfg);
+            let report = check_case(i, &case.query, &case.db, &engine);
+            let (vdb, vis) = gen_vis_case(args.seed, i, cfg);
+            let vis_part = vis.map(|v| vis_check(i, &v, &vdb));
+            (report, vis_part)
+        });
+        let mut digest = Digest::new();
+        let mut violations = Vec::new();
+        let mut rewrites_checked = 0u64;
+        let mut vis_cases = 0u64;
+        for (report, vis_part) in reports {
+            digest.update(report.digest_text.as_bytes());
+            rewrites_checked += u64::from(report.rewrites_checked);
+            violations.extend(report.violations);
+            if let Some((text, viols)) = vis_part {
+                vis_cases += 1;
+                digest.update(text.as_bytes());
+                violations.extend(viols);
+            }
+        }
+        BatchOutcome {
+            digest: digest.finish(),
+            violations,
+            rewrites_checked,
+            vis_cases,
+        }
+    })
+}
+
+/// Shrink a violating case and print the reproducer block.
+fn report_violation(args: &Args, cfg: &GenConfig, v: &Violation) {
+    println!(
+        "VIOLATION [{}] case={} sql={}",
+        v.oracle, v.case_index, v.sql
+    );
+    println!("  detail: {}", v.detail);
+    let case = gen_case(args.seed, v.case_index, cfg);
+    if case.query.to_string() == v.sql {
+        let engine = SqlEngine::new();
+        let oracle = v.oracle.clone();
+        let predicate = |q: &Query| {
+            check_case(v.case_index, q, &case.db, &engine)
+                .violations
+                .iter()
+                .any(|w| w.oracle == oracle)
+        };
+        let shrunk = minimize(&case.query, predicate, args.max_shrink);
+        println!(
+            "  minimized ({} steps, {} -> {} nodes): {}",
+            shrunk.steps, shrunk.nodes_before, shrunk.nodes_after, shrunk.query
+        );
+    }
+    println!(
+        "  replay: cargo run -p nli-fuzz --bin fuzz -- --seed {} --start {} --cases 1",
+        args.seed, v.case_index
+    );
+}
+
+fn outcomes_differ(
+    a: &Result<ResultSet, nli_core::NliError>,
+    b: &Result<ResultSet, nli_core::NliError>,
+) -> bool {
+    match (a, b) {
+        (Ok(x), Ok(y)) => !y.matches_canonical(&x.to_canonical()),
+        (Err(_), Err(_)) => false,
+        _ => true,
+    }
+}
+
+/// Negative mode: prove the oracle catches an injected comparison bug.
+fn inject_bug_run(args: &Args, cfg: &GenConfig) -> ExitCode {
+    let engine = SqlEngine::new();
+    let mut caught = 0u64;
+    let mut first: Option<(u64, Query)> = None;
+    for i in args.start..args.start + args.cases {
+        let case = gen_case(args.seed, i, cfg);
+        let Some(mutated) = mutate_comparison(&case.query) else {
+            continue;
+        };
+        let honest = run_tree_walk(&case.query, &case.db);
+        let buggy = engine
+            .prepare_ast(&mutated, &case.db.schema)
+            .and_then(|p| p.execute(&case.db));
+        if outcomes_differ(&honest, &buggy) {
+            caught += 1;
+            if first.is_none() {
+                first = Some((i, case.query.clone()));
+            }
+        }
+    }
+    println!(
+        "inject-bug: flipped one comparison per case; {caught} of {} mutable cases caught",
+        args.cases
+    );
+    let Some((index, query)) = first else {
+        println!("inject-bug: oracle caught nothing -- the harness is broken");
+        return ExitCode::FAILURE;
+    };
+    let case = gen_case(args.seed, index, cfg);
+    let predicate = |q: &Query| {
+        let Some(m) = mutate_comparison(q) else {
+            return false;
+        };
+        let honest = run_tree_walk(q, &case.db);
+        let buggy = engine
+            .prepare_ast(&m, &case.db.schema)
+            .and_then(|p| p.execute(&case.db));
+        outcomes_differ(&honest, &buggy)
+    };
+    let shrunk = minimize(&query, predicate, args.max_shrink);
+    println!(
+        "first catch: case={index} minimized ({} steps, {} -> {} nodes)",
+        shrunk.steps, shrunk.nodes_before, shrunk.nodes_after
+    );
+    println!("  honest:  {}", shrunk.query);
+    println!(
+        "  mutated: {}",
+        mutate_comparison(&shrunk.query).expect("minimized case still has a comparison")
+    );
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("fuzz: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = GenConfig::default();
+    if args.inject_bug {
+        return inject_bug_run(&args, &cfg);
+    }
+
+    println!(
+        "nli-fuzz seed={} start={} cases={}",
+        args.seed, args.start, args.cases
+    );
+    eprintln!(
+        "running sequential pass, then a {}-worker pass",
+        thread_count()
+    );
+    let seq = run_batch(&args, &cfg, 1);
+    let par = run_batch(&args, &cfg, thread_count());
+
+    let mut failed = false;
+    println!(
+        "cases={} vis-cases={} rewrites-checked={} case-digest={:#018x}",
+        args.cases, seq.vis_cases, seq.rewrites_checked, seq.digest
+    );
+    if par.digest != seq.digest || par.rewrites_checked != seq.rewrites_checked {
+        println!(
+            "VIOLATION [parallel-determinism] sequential digest {:#018x} != parallel digest {:#018x}",
+            seq.digest, par.digest
+        );
+        failed = true;
+    }
+    let total_violations = seq.violations.len() + par.violations.len();
+    println!("violations={}", seq.violations.len());
+    for v in seq.violations.iter().chain(par.violations.iter()) {
+        report_violation(&args, &cfg, v);
+        failed = true;
+    }
+    if let Err(e) = nli_core::obs::export_trace_if_requested() {
+        eprintln!("fuzz: trace export failed: {e}");
+    }
+    if failed || total_violations > 0 {
+        println!("FAIL");
+        ExitCode::FAILURE
+    } else {
+        println!("PASS");
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,673 @@
+//! Grammar-directed random query generation over schema_gen databases.
+//!
+//! Every case derives from a `(seed, index)` pair via
+//! [`Prng::for_case`], so a one-line failure report replays exactly. The
+//! generator is *restricted to the sound subset* of the dialect: queries
+//! it emits must be accepted by all three execution paths and must not
+//! trip the two documented interp/plan divergences (eager vs lazy name
+//! resolution, pushdown-surfaced type errors). Concretely:
+//!
+//! - every column reference resolves against the FROM tables, qualified
+//!   whenever more than one table is in scope;
+//! - comparisons are type-compatible (same column type, or numeric vs
+//!   numeric), so predicate pushdown can never surface a type error a
+//!   cross join would have discarded;
+//! - arithmetic appears only in SELECT items (never in predicates) and
+//!   never divides, so no row-dependent evaluation errors exist;
+//! - ORDER BY keys are totalized with primary-key tiebreakers, so ordered
+//!   comparisons between engines are never confounded by ties.
+//!
+//! NULL coverage: schema_gen data is almost NULL-free, so the generator
+//! re-injects NULLs into non-primary-key cells (foreign keys included —
+//! that is what exercises NULL join keys) with probability
+//! [`GenConfig::null_p`] before any query runs.
+
+use nli_core::{DataType, Database, Date, Prng, Value};
+use nli_data::domains::all_domains;
+use nli_data::schema_gen::{generate_database, DbGenConfig};
+use nli_sql::ast::{
+    AggFunc, BinOp, ColName, Expr, JoinCond, OrderItem, Query, Select, SelectItem, SetOp, TableRef,
+};
+use nli_vql::{BinUnit, ChartType, VisQuery};
+
+/// Knobs for the query generator. Probabilities are per-decision.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Probability that a non-primary-key cell is replaced with NULL.
+    pub null_p: f64,
+    /// Probability of a two-table JOIN (when the schema has an FK pair).
+    pub join_p: f64,
+    /// Probability of a WHERE clause.
+    pub where_p: f64,
+    /// Probability the query aggregates (GROUP BY or bare aggregates).
+    pub aggregate_p: f64,
+    /// Probability of SELECT DISTINCT on plain queries.
+    pub distinct_p: f64,
+    /// Probability of an ORDER BY.
+    pub order_p: f64,
+    /// Probability of a LIMIT (only ever emitted under ORDER BY).
+    pub limit_p: f64,
+    /// Probability of a compound (UNION/INTERSECT/EXCEPT) tail.
+    pub compound_p: f64,
+    /// Maximum boolean connective depth in WHERE.
+    pub max_pred_depth: u32,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            null_p: 0.12,
+            join_p: 0.35,
+            where_p: 0.7,
+            aggregate_p: 0.3,
+            distinct_p: 0.3,
+            order_p: 0.4,
+            limit_p: 0.5,
+            compound_p: 0.12,
+            max_pred_depth: 2,
+        }
+    }
+}
+
+/// One replayable fuzz case: a database and a query over it.
+#[derive(Debug, Clone)]
+pub struct FuzzCase {
+    pub seed: u64,
+    pub index: u64,
+    pub db: Database,
+    pub query: Query,
+}
+
+/// Generate the case for `(seed, index)`.
+pub fn gen_case(seed: u64, index: u64, cfg: &GenConfig) -> FuzzCase {
+    let mut rng = Prng::for_case(seed, index);
+    let db = gen_db(index, cfg, &mut rng);
+    let query = gen_query(&db, cfg, &mut rng);
+    FuzzCase {
+        seed,
+        index,
+        db,
+        query,
+    }
+}
+
+/// Generate a VQL case for `(seed, index)`: the stream is salted so it
+/// never collides with the SQL case of the same index. Returns `None`
+/// when the sampled database cannot host the sampled chart shape (e.g.
+/// scatter needs two numeric columns).
+pub fn gen_vis_case(seed: u64, index: u64, cfg: &GenConfig) -> (Database, Option<VisQuery>) {
+    let mut rng = Prng::for_case(seed ^ VIS_SALT, index);
+    let db = gen_db(index, cfg, &mut rng);
+    let vis = gen_vis(&db, &mut rng);
+    (db, vis)
+}
+
+/// Seed perturbation separating the VQL stream from the SQL stream.
+const VIS_SALT: u64 = 0x5EED_0DD5;
+
+fn gen_db(index: u64, cfg: &GenConfig, rng: &mut Prng) -> Database {
+    let domains = all_domains();
+    let domain = domains[rng.below(domains.len())];
+    let mut db = generate_database(domain, index as usize, &DbGenConfig::default(), rng);
+    inject_nulls(&mut db, cfg.null_p, rng);
+    db
+}
+
+/// Replace non-primary-key cells with NULL at probability `p`. Foreign-key
+/// columns are eligible, so NULL join keys get fuzzed.
+fn inject_nulls(db: &mut Database, p: f64, rng: &mut Prng) {
+    if p <= 0.0 {
+        return;
+    }
+    let nullable: Vec<Vec<bool>> = db
+        .schema
+        .tables
+        .iter()
+        .map(|t| t.columns.iter().map(|c| !c.primary_key).collect())
+        .collect();
+    for (ti, td) in db.data.iter_mut().enumerate() {
+        for row in &mut td.rows {
+            for (ci, cell) in row.iter_mut().enumerate() {
+                if nullable[ti][ci] && rng.chance(p) {
+                    *cell = Value::Null;
+                }
+            }
+        }
+    }
+}
+
+/// A column in scope, with everything the generator needs to reference it.
+#[derive(Debug, Clone)]
+struct ColPick {
+    ti: usize,
+    ci: usize,
+    name: ColName,
+    dtype: DataType,
+}
+
+/// The FROM tables of the query under construction.
+struct Scope {
+    tables: Vec<usize>,
+    qualify: bool,
+}
+
+impl Scope {
+    fn col_name(&self, db: &Database, ti: usize, ci: usize) -> ColName {
+        let t = &db.schema.tables[ti];
+        if self.qualify {
+            ColName::qualified(&t.name, &t.columns[ci].name)
+        } else {
+            ColName::new(&t.columns[ci].name)
+        }
+    }
+
+    fn pick(&self, db: &Database, rng: &mut Prng) -> ColPick {
+        let ti = *rng.pick(&self.tables);
+        let ci = rng.below(db.schema.tables[ti].columns.len());
+        self.make(db, ti, ci)
+    }
+
+    fn pick_where(
+        &self,
+        db: &Database,
+        rng: &mut Prng,
+        ok: impl Fn(DataType) -> bool,
+    ) -> Option<ColPick> {
+        let mut candidates = Vec::new();
+        for &ti in &self.tables {
+            for (ci, c) in db.schema.tables[ti].columns.iter().enumerate() {
+                if ok(c.dtype) {
+                    candidates.push((ti, ci));
+                }
+            }
+        }
+        if candidates.is_empty() {
+            return None;
+        }
+        let (ti, ci) = *rng.pick(&candidates);
+        Some(self.make(db, ti, ci))
+    }
+
+    fn make(&self, db: &Database, ti: usize, ci: usize) -> ColPick {
+        ColPick {
+            ti,
+            ci,
+            name: self.col_name(db, ti, ci),
+            dtype: db.schema.tables[ti].columns[ci].dtype,
+        }
+    }
+}
+
+fn is_numeric(dt: DataType) -> bool {
+    matches!(dt, DataType::Int | DataType::Float)
+}
+
+/// A literal grounded in the column's actual data when possible, so
+/// predicates are selective rather than vacuous. Never NULL.
+fn literal_for(db: &Database, c: &ColPick, rng: &mut Prng) -> Value {
+    let vals = db.distinct_values(c.ti, c.ci);
+    let mut v = if vals.is_empty() {
+        fallback_value(c.dtype)
+    } else {
+        rng.pick(&vals).clone()
+    };
+    if let Value::Int(i) = v {
+        if rng.chance(0.3) {
+            v = Value::Int(i + rng.range(-2, 2));
+        }
+    }
+    v
+}
+
+fn fallback_value(dt: DataType) -> Value {
+    match dt {
+        DataType::Int => Value::Int(0),
+        DataType::Float => Value::Float(0.5),
+        DataType::Text => Value::Text("x".to_string()),
+        DataType::Bool => Value::Bool(true),
+        DataType::Date => Value::Date(Date::new(2015, 6, 15)),
+    }
+}
+
+/// One comparison `col op literal` with a type-compatible literal.
+fn gen_comparison(db: &Database, scope: &Scope, rng: &mut Prng) -> Expr {
+    let c = scope.pick(db, rng);
+    let op = *rng.pick(&[
+        BinOp::Eq,
+        BinOp::Neq,
+        BinOp::Lt,
+        BinOp::Le,
+        BinOp::Gt,
+        BinOp::Ge,
+    ]);
+    let lit = literal_for(db, &c, rng);
+    Expr::binary(Expr::Column(c.name), op, Expr::Literal(lit))
+}
+
+/// One atomic predicate (comparison / BETWEEN / LIKE / IN / IS NULL).
+fn gen_leaf(db: &Database, scope: &Scope, rng: &mut Prng) -> Expr {
+    match rng.below(10) {
+        5 => gen_between(db, scope, rng),
+        6 => gen_like(db, scope, rng),
+        7 => gen_in_list(db, scope, rng),
+        8 => {
+            let c = scope.pick(db, rng);
+            Expr::IsNull {
+                expr: Box::new(Expr::Column(c.name)),
+                negated: rng.chance(0.5),
+            }
+        }
+        9 => gen_in_subquery(db, scope, rng),
+        _ => gen_comparison(db, scope, rng),
+    }
+}
+
+fn gen_between(db: &Database, scope: &Scope, rng: &mut Prng) -> Expr {
+    let Some(c) = scope.pick_where(db, rng, |dt| is_numeric(dt) || dt == DataType::Date) else {
+        return gen_comparison(db, scope, rng);
+    };
+    let mut lo = literal_for(db, &c, rng);
+    let mut hi = literal_for(db, &c, rng);
+    if lo.compare(&hi) == Some(std::cmp::Ordering::Greater) {
+        std::mem::swap(&mut lo, &mut hi);
+    }
+    Expr::Between {
+        expr: Box::new(Expr::Column(c.name)),
+        low: Box::new(Expr::Literal(lo)),
+        high: Box::new(Expr::Literal(hi)),
+        negated: rng.chance(0.3),
+    }
+}
+
+fn gen_like(db: &Database, scope: &Scope, rng: &mut Prng) -> Expr {
+    let Some(c) = scope.pick_where(db, rng, |dt| dt == DataType::Text) else {
+        return gen_comparison(db, scope, rng);
+    };
+    let base = match literal_for(db, &c, rng) {
+        Value::Text(s) if !s.is_empty() => s,
+        _ => "x".to_string(),
+    };
+    let chars: Vec<char> = base.chars().collect();
+    let half: String = chars[..chars.len().div_ceil(2)].iter().collect();
+    let tail: String = chars[chars.len() / 2..].iter().collect();
+    let pattern = match rng.below(4) {
+        0 => base,
+        1 => format!("{half}%"),
+        2 => format!("%{tail}"),
+        _ => format!("%{half}%"),
+    };
+    Expr::Like {
+        expr: Box::new(Expr::Column(c.name)),
+        pattern,
+        negated: rng.chance(0.25),
+    }
+}
+
+fn gen_in_list(db: &Database, scope: &Scope, rng: &mut Prng) -> Expr {
+    let c = scope.pick(db, rng);
+    let n = 1 + rng.below(3);
+    let list: Vec<Value> = (0..n).map(|_| literal_for(db, &c, rng)).collect();
+    Expr::InList {
+        expr: Box::new(Expr::Column(c.name)),
+        list,
+        negated: rng.chance(0.3),
+    }
+}
+
+/// `col IN (SELECT col2 FROM t2 [WHERE ...])` with a type-matched inner
+/// column; the subquery is uncorrelated (the dialect's restriction).
+fn gen_in_subquery(db: &Database, scope: &Scope, rng: &mut Prng) -> Expr {
+    let c = scope.pick(db, rng);
+    let mut candidates = Vec::new();
+    for (ti, t) in db.schema.tables.iter().enumerate() {
+        for (ci, col) in t.columns.iter().enumerate() {
+            if col.dtype == c.dtype {
+                candidates.push((ti, ci));
+            }
+        }
+    }
+    if candidates.is_empty() {
+        return gen_comparison(db, scope, rng);
+    }
+    let (sti, sci) = *rng.pick(&candidates);
+    let inner_scope = Scope {
+        tables: vec![sti],
+        qualify: false,
+    };
+    let tname = db.schema.tables[sti].name.clone();
+    let inner_col = db.schema.tables[sti].columns[sci].name.clone();
+    let mut inner = Select::simple(&tname, vec![SelectItem::plain(Expr::col(&inner_col))]);
+    if rng.chance(0.4) {
+        inner.where_clause = Some(gen_comparison(db, &inner_scope, rng));
+    }
+    Expr::InSubquery {
+        expr: Box::new(Expr::Column(c.name)),
+        query: Box::new(Query::single(inner)),
+        negated: rng.chance(0.25),
+    }
+}
+
+/// A boolean predicate of bounded depth over AND/OR/NOT.
+fn gen_pred(db: &Database, scope: &Scope, rng: &mut Prng, depth: u32) -> Expr {
+    if depth == 0 || rng.chance(0.5) {
+        return gen_leaf(db, scope, rng);
+    }
+    match rng.below(4) {
+        0 | 1 => Expr::and(
+            gen_pred(db, scope, rng, depth - 1),
+            gen_pred(db, scope, rng, depth - 1),
+        ),
+        2 => Expr::or(
+            gen_pred(db, scope, rng, depth - 1),
+            gen_pred(db, scope, rng, depth - 1),
+        ),
+        _ => Expr::not(gen_pred(db, scope, rng, depth - 1)),
+    }
+}
+
+/// Primary-key ORDER BY tiebreakers for every table in scope: with these
+/// appended, sort order is total and positional comparison across engines
+/// can never be confounded by tied keys.
+fn pk_tiebreakers(db: &Database, scope: &Scope) -> Vec<OrderItem> {
+    scope
+        .tables
+        .iter()
+        .filter_map(|&ti| {
+            db.schema.tables[ti].primary_key().map(|ci| OrderItem {
+                expr: Expr::Column(scope.col_name(db, ti, ci)),
+                desc: false,
+            })
+        })
+        .collect()
+}
+
+/// Pick FROM tables: either one random table, or (at `join_p`, when the
+/// schema has one) an FK-related pair joined with an explicit ON clause.
+fn gen_from(
+    db: &Database,
+    cfg: &GenConfig,
+    rng: &mut Prng,
+) -> (Scope, Vec<TableRef>, Vec<JoinCond>) {
+    let schema = &db.schema;
+    if rng.chance(cfg.join_p) {
+        let mut pairs = Vec::new();
+        for a in 0..schema.tables.len() {
+            for b in (a + 1)..schema.tables.len() {
+                if schema.fk_between(a, b).is_some() {
+                    pairs.push((a, b));
+                }
+            }
+        }
+        if !pairs.is_empty() {
+            let (a, b) = *rng.pick(&pairs);
+            let fk = schema
+                .fk_between(a, b)
+                .expect("pair came from fk_between scan");
+            let scope = Scope {
+                tables: vec![a, b],
+                qualify: true,
+            };
+            let from = vec![
+                TableRef {
+                    name: schema.tables[a].name.clone(),
+                },
+                TableRef {
+                    name: schema.tables[b].name.clone(),
+                },
+            ];
+            let col_of = |r: nli_core::ColumnRef| {
+                let t = &schema.tables[r.table];
+                ColName::qualified(&t.name, &t.columns[r.column].name)
+            };
+            let join = JoinCond {
+                left: col_of(fk.from),
+                right: col_of(fk.to),
+            };
+            return (scope, from, vec![join]);
+        }
+    }
+    let ti = rng.below(schema.tables.len());
+    let scope = Scope {
+        tables: vec![ti],
+        qualify: false,
+    };
+    let from = vec![TableRef {
+        name: schema.tables[ti].name.clone(),
+    }];
+    (scope, from, Vec::new())
+}
+
+/// One aggregate SELECT item (COUNT(*) / COUNT(col) / COUNT(DISTINCT col)
+/// / SUM / AVG over numerics / MIN / MAX over anything).
+fn gen_agg_item(db: &Database, scope: &Scope, rng: &mut Prng) -> Expr {
+    match rng.below(6) {
+        0 => Expr::count_star(),
+        1 => {
+            let c = scope.pick(db, rng);
+            Expr::Agg {
+                func: AggFunc::Count,
+                arg: Box::new(Expr::Column(c.name)),
+                distinct: rng.chance(0.4),
+            }
+        }
+        2 | 3 => match scope.pick_where(db, rng, is_numeric) {
+            Some(c) => Expr::agg(
+                *rng.pick(&[AggFunc::Sum, AggFunc::Avg]),
+                Expr::Column(c.name),
+            ),
+            None => Expr::count_star(),
+        },
+        _ => {
+            let c = scope.pick(db, rng);
+            Expr::agg(
+                *rng.pick(&[AggFunc::Min, AggFunc::Max]),
+                Expr::Column(c.name),
+            )
+        }
+    }
+}
+
+fn gen_select(db: &Database, cfg: &GenConfig, rng: &mut Prng) -> Select {
+    let (scope, from, joins) = gen_from(db, cfg, rng);
+    let mut s = Select {
+        distinct: false,
+        items: Vec::new(),
+        from,
+        joins,
+        where_clause: None,
+        group_by: Vec::new(),
+        having: None,
+        order_by: Vec::new(),
+        limit: None,
+    };
+    if rng.chance(cfg.where_p) {
+        s.where_clause = Some(gen_pred(db, &scope, rng, cfg.max_pred_depth));
+    }
+    if rng.chance(cfg.aggregate_p) {
+        gen_aggregate_shape(db, &scope, cfg, rng, &mut s);
+    } else {
+        gen_plain_shape(db, &scope, cfg, rng, &mut s);
+    }
+    s
+}
+
+/// GROUP BY one column plus an aggregate, or bare aggregates over the
+/// whole input. ORDER BY (when present) uses the group column, which is
+/// unique per output row, so the order is total without tiebreakers.
+fn gen_aggregate_shape(
+    db: &Database,
+    scope: &Scope,
+    cfg: &GenConfig,
+    rng: &mut Prng,
+    s: &mut Select,
+) {
+    if rng.chance(0.75) {
+        let g = scope.pick(db, rng);
+        let g_expr = Expr::Column(g.name);
+        s.items = vec![
+            SelectItem::plain(g_expr.clone()),
+            SelectItem::plain(gen_agg_item(db, scope, rng)),
+        ];
+        s.group_by = vec![g_expr.clone()];
+        if rng.chance(0.3) {
+            s.having = Some(Expr::binary(
+                Expr::count_star(),
+                BinOp::Ge,
+                Expr::lit(rng.range(1, 3)),
+            ));
+        }
+        if rng.chance(cfg.order_p) {
+            s.order_by = vec![OrderItem {
+                expr: g_expr,
+                desc: rng.chance(0.5),
+            }];
+            if rng.chance(cfg.limit_p) {
+                s.limit = Some(rng.range(1, 12) as u64);
+            }
+        }
+    } else {
+        let n = 1 + rng.below(2);
+        s.items = (0..n)
+            .map(|_| SelectItem::plain(gen_agg_item(db, scope, rng)))
+            .collect();
+    }
+}
+
+fn gen_plain_shape(db: &Database, scope: &Scope, cfg: &GenConfig, rng: &mut Prng, s: &mut Select) {
+    if rng.chance(0.06) && scope.tables.len() == 1 {
+        s.items = vec![SelectItem::plain(Expr::Star)];
+    } else {
+        let n = 1 + rng.below(3);
+        s.items = (0..n)
+            .map(|_| SelectItem::plain(Expr::Column(scope.pick(db, rng).name)))
+            .collect();
+        // occasionally one arithmetic item (SELECT-only; never in predicates)
+        if rng.chance(0.2) {
+            if let Some(c) = scope.pick_where(db, rng, is_numeric) {
+                let op = *rng.pick(&[BinOp::Add, BinOp::Sub, BinOp::Mul]);
+                let rhs = match scope.pick_where(db, rng, is_numeric) {
+                    Some(c2) if rng.chance(0.5) => Expr::Column(c2.name),
+                    _ => Expr::lit(rng.range(1, 3)),
+                };
+                s.items.push(SelectItem::plain(Expr::binary(
+                    Expr::Column(c.name),
+                    op,
+                    rhs,
+                )));
+            }
+        }
+        s.distinct = rng.chance(cfg.distinct_p);
+    }
+    if rng.chance(cfg.order_p) {
+        let n = 1 + rng.below(2);
+        s.order_by = (0..n)
+            .map(|_| OrderItem {
+                expr: Expr::Column(scope.pick(db, rng).name),
+                desc: rng.chance(0.5),
+            })
+            .collect();
+        s.order_by.extend(pk_tiebreakers(db, scope));
+        if rng.chance(cfg.limit_p) {
+            s.limit = Some(rng.range(1, 12) as u64);
+        }
+    }
+}
+
+fn gen_query(db: &Database, cfg: &GenConfig, rng: &mut Prng) -> Query {
+    let select = gen_select(db, cfg, rng);
+    let mut q = Query::single(select);
+    let star = q.select.items.iter().any(|i| matches!(i.expr, Expr::Star));
+    if !star && rng.chance(cfg.compound_p) {
+        let arity = q.select.items.len();
+        let ti = rng.below(db.schema.tables.len());
+        let scope = Scope {
+            tables: vec![ti],
+            qualify: false,
+        };
+        let tname = db.schema.tables[ti].name.clone();
+        let items: Vec<SelectItem> = (0..arity)
+            .map(|_| SelectItem::plain(Expr::Column(scope.pick(db, rng).name)))
+            .collect();
+        let mut rhs = Select::simple(&tname, items);
+        if rng.chance(0.5) {
+            rhs.where_clause = Some(gen_pred(db, &scope, rng, 1));
+        }
+        let op = *rng.pick(&[SetOp::Union, SetOp::Intersect, SetOp::Except]);
+        q.compound = Some((op, Box::new(Query::single(rhs))));
+    }
+    q
+}
+
+/// A VQL spec shaped so that `VisEngine` validation is satisfiable by
+/// construction: scatter gets two numeric columns with NULL x filtered
+/// out, pie gets a non-negative COUNT(*) measure, bar/line group by a
+/// dimension; a BIN clause is added only over Date x columns.
+fn gen_vis(db: &Database, rng: &mut Prng) -> Option<VisQuery> {
+    let chart = *rng.pick(&ChartType::ALL);
+    let ti = rng.below(db.schema.tables.len());
+    let t = &db.schema.tables[ti];
+    let scope = Scope {
+        tables: vec![ti],
+        qualify: false,
+    };
+    match chart {
+        ChartType::Scatter => {
+            let numeric: Vec<usize> = t
+                .columns
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| is_numeric(c.dtype))
+                .map(|(ci, _)| ci)
+                .collect();
+            if numeric.len() < 2 {
+                return None;
+            }
+            let xi = numeric[rng.below(numeric.len())];
+            let yi = *numeric.iter().find(|&&ci| ci != xi)?;
+            let x = t.columns[xi].name.clone();
+            let y = t.columns[yi].name.clone();
+            let mut s = Select::simple(
+                &t.name,
+                vec![
+                    SelectItem::plain(Expr::col(&x)),
+                    SelectItem::plain(Expr::col(&y)),
+                ],
+            );
+            // scatter x must be quantitative for every point: filter NULLs
+            s.where_clause = Some(Expr::IsNull {
+                expr: Box::new(Expr::col(&x)),
+                negated: true,
+            });
+            Some(VisQuery::new(chart, Query::single(s)))
+        }
+        _ => {
+            let xi = rng.below(t.columns.len());
+            let x = t.columns[xi].name.clone();
+            let x_expr = Expr::col(&x);
+            let y_expr = if chart == ChartType::Pie {
+                Expr::count_star()
+            } else {
+                match scope.pick_where(db, rng, is_numeric) {
+                    Some(c) if rng.chance(0.5) => Expr::agg(AggFunc::Sum, Expr::Column(c.name)),
+                    _ => Expr::count_star(),
+                }
+            };
+            let mut s = Select::simple(
+                &t.name,
+                vec![SelectItem::plain(x_expr.clone()), SelectItem::plain(y_expr)],
+            );
+            s.group_by = vec![x_expr];
+            let mut v = VisQuery::new(chart, Query::single(s));
+            if t.columns[xi].dtype == DataType::Date && rng.chance(0.5) {
+                let unit = *rng.pick(&[
+                    BinUnit::Year,
+                    BinUnit::Quarter,
+                    BinUnit::Month,
+                    BinUnit::Weekday,
+                ]);
+                v = v.with_bin(ColName::new(&x), unit);
+            }
+            Some(v)
+        }
+    }
+}

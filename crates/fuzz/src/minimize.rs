@@ -1,0 +1,336 @@
+//! Greedy case minimization: shrink a failing query while the caller's
+//! predicate still reports failure.
+//!
+//! The shrinker is 1-minimal in its candidate moves: it repeatedly tries
+//! every structural deletion (drop the compound tail, a SELECT item, the
+//! WHERE clause, an ORDER BY key, a boolean subtree…) and literal
+//! simplification (integers toward 0, strings toward "", LIKE patterns
+//! toward `%`), accepting the first candidate that still fails and
+//! restarting. Every accepted step either removes AST nodes or moves a
+//! literal strictly down a well-founded order, so the loop terminates
+//! without relying on the step cap (which exists as a belt-and-braces
+//! bound, surfaced as `--max-shrink` on the driver).
+
+use crate::fuzz_obs;
+use nli_core::{Date, Value};
+use nli_sql::ast::{Expr, Query, Select};
+
+/// The outcome of a shrink run.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    pub query: Query,
+    pub steps: u32,
+    pub nodes_before: u32,
+    pub nodes_after: u32,
+}
+
+/// Shrink `q` while `still_fails` holds, taking at most `max_steps`
+/// accepted shrink steps.
+pub fn minimize(q: &Query, still_fails: impl Fn(&Query) -> bool, max_steps: u32) -> ShrinkResult {
+    let nodes_before = node_count(q);
+    let mut cur = q.clone();
+    let mut steps = 0;
+    'outer: while steps < max_steps {
+        for cand in candidates(&cur) {
+            if cand != cur && still_fails(&cand) {
+                cur = cand;
+                steps += 1;
+                fuzz_obs().shrink_steps.inc();
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    ShrinkResult {
+        nodes_after: node_count(&cur),
+        query: cur,
+        steps,
+        nodes_before,
+    }
+}
+
+/// Count AST nodes: one per expression node, table, order key, plus one
+/// per structural clause (DISTINCT, LIMIT, compound operator).
+pub fn node_count(q: &Query) -> u32 {
+    let s = &q.select;
+    let mut n = 1; // the SELECT itself
+    n += s.items.iter().map(|i| expr_nodes(&i.expr)).sum::<u32>();
+    n += (s.from.len() + s.joins.len()) as u32;
+    n += s.where_clause.as_ref().map_or(0, expr_nodes);
+    n += s.group_by.iter().map(expr_nodes).sum::<u32>();
+    n += s.having.as_ref().map_or(0, expr_nodes);
+    n += s.order_by.iter().map(|o| expr_nodes(&o.expr)).sum::<u32>();
+    n += u32::from(s.limit.is_some());
+    n += u32::from(s.distinct);
+    if let Some((_, rhs)) = &q.compound {
+        n += 1 + node_count(rhs);
+    }
+    n
+}
+
+fn expr_nodes(e: &Expr) -> u32 {
+    1 + match e {
+        Expr::Binary { left, right, .. } => expr_nodes(left) + expr_nodes(right),
+        Expr::Not(inner) => expr_nodes(inner),
+        Expr::Agg { arg, .. } => expr_nodes(arg),
+        Expr::Like { expr, .. } | Expr::IsNull { expr, .. } => expr_nodes(expr),
+        Expr::Between {
+            expr, low, high, ..
+        } => expr_nodes(expr) + expr_nodes(low) + expr_nodes(high),
+        Expr::InList { expr, list, .. } => expr_nodes(expr) + list.len() as u32,
+        Expr::InSubquery { expr, query, .. } => expr_nodes(expr) + node_count(query),
+        Expr::ScalarSubquery(query) => node_count(query),
+        Expr::Column(_) | Expr::Literal(_) | Expr::Star => 0,
+    }
+}
+
+/// All one-step shrink candidates, most aggressive first.
+fn candidates(q: &Query) -> Vec<Query> {
+    let mut out = Vec::new();
+    if let Some((_, rhs)) = &q.compound {
+        let mut c = q.clone();
+        c.compound = None;
+        out.push(c);
+        out.push((**rhs).clone());
+    }
+    let mut with_select = |f: &dyn Fn(&mut Select)| {
+        let mut c = q.clone();
+        f(&mut c.select);
+        out.push(c);
+    };
+    if q.select.limit.is_some() {
+        with_select(&|s| s.limit = None);
+    }
+    if !q.select.order_by.is_empty() {
+        with_select(&|s| {
+            s.order_by.clear();
+            s.limit = None; // LIMIT without ORDER BY is out of grammar scope
+        });
+        for i in 0..q.select.order_by.len() {
+            with_select(&|s| {
+                s.order_by.remove(i);
+            });
+        }
+    }
+    if q.select.having.is_some() {
+        with_select(&|s| s.having = None);
+    }
+    if !q.select.group_by.is_empty() {
+        with_select(&|s| s.group_by.clear());
+    }
+    if q.select.where_clause.is_some() {
+        with_select(&|s| s.where_clause = None);
+    }
+    if q.select.distinct {
+        with_select(&|s| s.distinct = false);
+    }
+    if q.select.items.len() > 1 {
+        for i in 0..q.select.items.len() {
+            with_select(&|s| {
+                s.items.remove(i);
+            });
+        }
+    }
+    if q.select.from.len() > 1 {
+        // drop the last joined table and its join condition
+        with_select(&|s| {
+            s.from.pop();
+            s.joins.pop();
+        });
+    }
+    if let Some(w) = &q.select.where_clause {
+        for e in shrink_expr(w) {
+            let mut c = q.clone();
+            c.select.where_clause = Some(e);
+            out.push(c);
+        }
+    }
+    if let Some(h) = &q.select.having {
+        for e in shrink_expr(h) {
+            let mut c = q.clone();
+            c.select.having = Some(e);
+            out.push(c);
+        }
+    }
+    for (i, item) in q.select.items.iter().enumerate() {
+        for e in shrink_expr(&item.expr) {
+            let mut c = q.clone();
+            c.select.items[i].expr = e;
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// One-step shrinks of an expression: subtree replacement and literal
+/// simplification, recursively.
+fn shrink_expr(e: &Expr) -> Vec<Expr> {
+    let mut out = Vec::new();
+    match e {
+        Expr::Binary { left, op, right } => {
+            if matches!(op, nli_sql::ast::BinOp::And | nli_sql::ast::BinOp::Or) {
+                out.push((**left).clone());
+                out.push((**right).clone());
+            }
+            for l in shrink_expr(left) {
+                out.push(Expr::Binary {
+                    left: Box::new(l),
+                    op: *op,
+                    right: right.clone(),
+                });
+            }
+            for r in shrink_expr(right) {
+                out.push(Expr::Binary {
+                    left: left.clone(),
+                    op: *op,
+                    right: Box::new(r),
+                });
+            }
+        }
+        Expr::Not(inner) => {
+            out.push((**inner).clone());
+            for i in shrink_expr(inner) {
+                out.push(Expr::Not(Box::new(i)));
+            }
+        }
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            for (slot, shrunk) in [
+                (0, shrink_expr(expr)),
+                (1, shrink_expr(low)),
+                (2, shrink_expr(high)),
+            ] {
+                for s in shrunk {
+                    let mut parts = [expr.clone(), low.clone(), high.clone()];
+                    *parts[slot] = s;
+                    let [e2, l2, h2] = parts;
+                    out.push(Expr::Between {
+                        expr: e2,
+                        low: l2,
+                        high: h2,
+                        negated: *negated,
+                    });
+                }
+            }
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            if list.len() > 1 {
+                for i in 0..list.len() {
+                    let mut l = list.clone();
+                    l.remove(i);
+                    out.push(Expr::InList {
+                        expr: expr.clone(),
+                        list: l,
+                        negated: *negated,
+                    });
+                }
+            }
+            for (i, v) in list.iter().enumerate() {
+                for sv in shrink_value(v) {
+                    let mut l = list.clone();
+                    l[i] = sv;
+                    out.push(Expr::InList {
+                        expr: expr.clone(),
+                        list: l,
+                        negated: *negated,
+                    });
+                }
+            }
+            for s in shrink_expr(expr) {
+                out.push(Expr::InList {
+                    expr: Box::new(s),
+                    list: list.clone(),
+                    negated: *negated,
+                });
+            }
+        }
+        Expr::InSubquery { expr, negated, .. } => {
+            // collapse the subquery away entirely, keeping a predicate shape
+            out.push(Expr::InList {
+                expr: expr.clone(),
+                list: Vec::new(),
+                negated: *negated,
+            });
+        }
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            if pattern != "%" {
+                out.push(Expr::Like {
+                    expr: expr.clone(),
+                    pattern: "%".to_string(),
+                    negated: *negated,
+                });
+            }
+            for s in shrink_expr(expr) {
+                out.push(Expr::Like {
+                    expr: Box::new(s),
+                    pattern: pattern.clone(),
+                    negated: *negated,
+                });
+            }
+        }
+        Expr::IsNull { expr, negated } => {
+            for s in shrink_expr(expr) {
+                out.push(Expr::IsNull {
+                    expr: Box::new(s),
+                    negated: *negated,
+                });
+            }
+        }
+        Expr::Agg {
+            func,
+            arg,
+            distinct,
+        } => {
+            for s in shrink_expr(arg) {
+                out.push(Expr::Agg {
+                    func: *func,
+                    arg: Box::new(s),
+                    distinct: *distinct,
+                });
+            }
+        }
+        Expr::Literal(v) => {
+            out.extend(shrink_value(v).into_iter().map(Expr::Literal));
+        }
+        Expr::Column(_) | Expr::Star | Expr::ScalarSubquery(_) => {}
+    }
+    out
+}
+
+/// Simplifications of a literal, each strictly smaller under a
+/// well-founded order (|int| decreases, string shortens, etc.).
+fn shrink_value(v: &Value) -> Vec<Value> {
+    match v {
+        Value::Int(i) if *i != 0 => {
+            let mut out = vec![Value::Int(0)];
+            if i / 2 != 0 {
+                out.push(Value::Int(i / 2));
+            }
+            out
+        }
+        Value::Float(f) if *f != 0.0 => vec![Value::Float(0.0)],
+        Value::Text(s) if !s.is_empty() => {
+            let mut out = vec![Value::Text(String::new())];
+            let first: String = s.chars().take(1).collect();
+            if &first != s {
+                out.push(Value::Text(first));
+            }
+            out
+        }
+        Value::Bool(true) => vec![Value::Bool(false)],
+        Value::Date(d) if *d != Date::new(2000, 1, 1) => vec![Value::Date(Date::new(2000, 1, 1))],
+        _ => Vec::new(),
+    }
+}

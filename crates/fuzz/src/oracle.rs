@@ -1,0 +1,275 @@
+//! The two oracle families, plus the bug injector used by negative tests.
+//!
+//! **Differential** (`check_differential`): three independent execution
+//! paths run the same query on the same database —
+//!
+//! 1. the reference tree-walk interpreter ([`run_tree_walk`]),
+//! 2. the planned pipeline via a shared, cached [`SqlEngine`]
+//!    (`prepare_ast` → execute, exercising the plan cache under whatever
+//!    worker count the batch runs at), and
+//! 3. a *reparse* leg: the query is printed to canonical SQL, re-parsed,
+//!    and prepared from text by a fresh engine (so the parse actually
+//!    happens instead of aliasing into the shared plan cache).
+//!
+//! All three must agree: same error-ness, and for `Ok` results the same
+//! [`nli_sql::CanonicalResult`]. The reparse leg compares *executions*,
+//! not ASTs —
+//! printing `12.0` as `12` legitimately reparses to an integer literal.
+//!
+//! **Metamorphic** (`check_metamorphic`): each eligible [`Rule`] rewrite
+//! must preserve results under the rule's [`CompareMode`].
+
+use crate::fuzz_obs;
+use crate::rewrite::{apply_rule, CompareMode, Rule};
+use nli_core::Database;
+use nli_sql::ast::{BinOp, Expr, Query};
+use nli_sql::interp::run_tree_walk;
+use nli_sql::parser::parse_query;
+use nli_sql::{ResultSet, SqlEngine};
+
+/// One oracle violation: everything needed to reproduce and triage.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub case_index: u64,
+    pub oracle: String,
+    pub sql: String,
+    pub detail: String,
+}
+
+/// Per-case outcome: a digest contribution plus any violations.
+#[derive(Debug, Clone)]
+pub struct CaseReport {
+    pub index: u64,
+    pub violations: Vec<Violation>,
+    pub rewrites_checked: u32,
+    /// Canonical text of the interpreter outcome, folded into the batch
+    /// digest to detect any cross-thread nondeterminism.
+    pub digest_text: String,
+}
+
+fn outcome_text(r: &Result<ResultSet, nli_core::NliError>) -> String {
+    match r {
+        Ok(rs) => {
+            let mut s = String::from("ok:");
+            if rs.ordered {
+                s.push_str("ordered:");
+                for row in &rs.rows {
+                    for v in row {
+                        s.push_str(&v.canonical());
+                        s.push('|');
+                    }
+                    s.push(';');
+                }
+            } else {
+                for row in rs.canonical_rows() {
+                    for v in row {
+                        s.push_str(&v);
+                        s.push('|');
+                    }
+                    s.push(';');
+                }
+            }
+            s
+        }
+        Err(e) => format!("err:{e}"),
+    }
+}
+
+/// Run the full oracle battery for one generated case.
+pub fn check_case(index: u64, q: &Query, db: &Database, engine: &SqlEngine) -> CaseReport {
+    let obs = fuzz_obs();
+    let _span = obs.case_span.time();
+    obs.cases.inc();
+
+    let mut violations = Vec::new();
+    let interp = run_tree_walk(q, db);
+    violations.extend(check_differential(index, q, db, engine, &interp));
+
+    let mut rewrites_checked = 0;
+    if let Ok(base) = &interp {
+        for rule in Rule::ALL {
+            // the salt ties rewrite choices to the case, replayably
+            let salt = index.wrapping_mul(0x9E37_79B9).wrapping_add(rule as u64);
+            if apply_rule(rule, q, &db.schema, salt).is_none() {
+                continue; // rule ineligible for this query shape
+            }
+            rewrites_checked += 1;
+            obs.rewrites.inc();
+            if let Some(v) = check_metamorphic(index, q, db, engine, rule, salt, base) {
+                violations.push(v);
+                obs.violations.inc();
+            }
+        }
+    }
+    CaseReport {
+        index,
+        violations,
+        rewrites_checked,
+        digest_text: outcome_text(&interp),
+    }
+}
+
+/// Differential oracle: interp vs planned vs reparse-from-text.
+pub fn check_differential(
+    index: u64,
+    q: &Query,
+    db: &Database,
+    engine: &SqlEngine,
+    interp: &Result<ResultSet, nli_core::NliError>,
+) -> Vec<Violation> {
+    let obs = fuzz_obs();
+    let sql = q.to_string();
+    let planned = engine
+        .prepare_ast(q, &db.schema)
+        .and_then(|p| p.execute(db));
+    let reparsed = parse_query(&sql)
+        .and_then(|q2| SqlEngine::new().prepare_ast(&q2, &db.schema))
+        .and_then(|p| p.execute(db));
+
+    let mut out = Vec::new();
+    let mut mismatch = |leg: &str, other: &Result<ResultSet, nli_core::NliError>| {
+        out.push(Violation {
+            case_index: index,
+            oracle: format!("differential/{leg}"),
+            sql: sql.clone(),
+            detail: format!(
+                "interp: {} ;; {leg}: {}",
+                outcome_text(interp),
+                outcome_text(other)
+            ),
+        });
+        obs.violations.inc();
+    };
+
+    match (interp, &planned) {
+        (Ok(a), Ok(b)) => {
+            if !b.matches_canonical(&a.to_canonical()) {
+                mismatch("plan", &planned);
+            }
+        }
+        (Err(_), Err(_)) => {}
+        _ => mismatch("plan", &planned),
+    }
+    match (interp, &reparsed) {
+        (Ok(a), Ok(b)) => {
+            if !b.matches_canonical(&a.to_canonical()) {
+                mismatch("reparse", &reparsed);
+            }
+        }
+        (Err(_), Err(_)) => {}
+        _ => mismatch("reparse", &reparsed),
+    }
+    out
+}
+
+/// Metamorphic oracle for one rule. `base` is the original query's result
+/// (the caller already has it). Returns `None` when the rule is
+/// ineligible for `q` or the rewrite agrees.
+pub fn check_metamorphic(
+    index: u64,
+    q: &Query,
+    db: &Database,
+    engine: &SqlEngine,
+    rule: Rule,
+    salt: u64,
+    base: &ResultSet,
+) -> Option<Violation> {
+    let rw = apply_rule(rule, q, &db.schema, salt)?;
+    let rewritten_result = engine
+        .prepare_ast(&rw.rewritten, &db.schema)
+        .and_then(|p| p.execute(db));
+    let agree = match &rewritten_result {
+        Err(_) => false,
+        Ok(rb) => results_agree(base, rb, &rw.compare),
+    };
+    if agree {
+        return None;
+    }
+    Some(Violation {
+        case_index: index,
+        oracle: format!("metamorphic/{}", rule.name()),
+        sql: q.to_string(),
+        detail: format!(
+            "rewritten: {} ;; original: {} ;; rewritten-result: {}",
+            rw.rewritten,
+            outcome_text(&Ok(base.clone())),
+            outcome_text(&rewritten_result),
+        ),
+    })
+}
+
+/// Compare two results under a [`CompareMode`].
+pub fn results_agree(a: &ResultSet, b: &ResultSet, mode: &CompareMode) -> bool {
+    match mode {
+        CompareMode::Multiset => a.canonical_rows() == b.canonical_rows(),
+        CompareMode::MultisetPermuted(perm) => {
+            // original items[i] == rewritten items[j] where perm[j] == i
+            let mut inverse = vec![0usize; perm.len()];
+            for (j, &i) in perm.iter().enumerate() {
+                inverse[i] = j;
+            }
+            let remapped = ResultSet {
+                columns: a.columns.clone(),
+                rows: b
+                    .rows
+                    .iter()
+                    .map(|row| inverse.iter().map(|&j| row[j].clone()).collect())
+                    .collect(),
+                ordered: false,
+            };
+            a.canonical_rows() == remapped.canonical_rows()
+        }
+        CompareMode::OrderedPrefix(n) => {
+            let prefix: Vec<Vec<String>> = b
+                .rows
+                .iter()
+                .take(*n)
+                .map(|row| row.iter().map(|v| v.canonical()).collect())
+                .collect();
+            let own: Vec<Vec<String>> = a
+                .rows
+                .iter()
+                .map(|row| row.iter().map(|v| v.canonical()).collect())
+                .collect();
+            own == prefix
+        }
+    }
+}
+
+/// Inject an engine-level miscompare: flip the first comparison operator
+/// in WHERE (`<`↔`<=`, `>`↔`>=`, `=`↔`!=`). Returns `None` when the query
+/// has no comparison to mutate — negative tests use this to prove the
+/// differential oracle actually fires.
+pub fn mutate_comparison(q: &Query) -> Option<Query> {
+    fn flip(op: BinOp) -> Option<BinOp> {
+        match op {
+            BinOp::Lt => Some(BinOp::Le),
+            BinOp::Le => Some(BinOp::Lt),
+            BinOp::Gt => Some(BinOp::Ge),
+            BinOp::Ge => Some(BinOp::Gt),
+            BinOp::Eq => Some(BinOp::Neq),
+            BinOp::Neq => Some(BinOp::Eq),
+            _ => None,
+        }
+    }
+    fn mutate(e: &mut Expr) -> bool {
+        match e {
+            Expr::Binary { left, op, right } => {
+                if let Some(f) = flip(*op) {
+                    *op = f;
+                    return true;
+                }
+                mutate(left) || mutate(right)
+            }
+            Expr::Not(inner) => mutate(inner),
+            _ => false,
+        }
+    }
+    let mut out = q.clone();
+    let w = out.select.where_clause.as_mut()?;
+    if mutate(w) {
+        Some(out)
+    } else {
+        None
+    }
+}

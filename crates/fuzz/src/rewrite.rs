@@ -1,0 +1,261 @@
+//! Semantics-preserving query rewrites — the metamorphic oracle's rules.
+//!
+//! Each rule takes a query and produces a rewritten query plus the
+//! *comparison mode* under which the two executions must agree. The modes
+//! matter: a rewrite can be semantics-preserving for the result *multiset*
+//! without preserving the order of tied rows (predicate commutation can
+//! change which join the planner extracts, and with it the tie order), so
+//! most rules compare canonical multisets. `LimitTruncate` alone compares
+//! positionally — both executions run on the same engine with the same
+//! stable sort, so the limited result must be exactly the prefix.
+//!
+//! Rules gate themselves on eligibility (`apply_rule` returns `None` when
+//! a query is out of scope for the rule) rather than trusting callers:
+//! e.g. `PredicateSplit` rewrites `WHERE p` into a UNION of
+//! `p AND q` / `p AND NOT q` branches, which is only sound when the query
+//! is a DISTINCT single-block select (UNION dedups) and `q` is *total*
+//! (never NULL) — hence `q` is `x IS NULL`, the one predicate in the
+//! dialect that is total by construction.
+
+use nli_core::{Prng, Schema};
+use nli_sql::ast::{Expr, Query, Select};
+
+/// A metamorphic rewrite rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// Swap the operands of one AND/OR node in WHERE.
+    CommuteBool,
+    /// `WHERE p` → `WHERE NOT NOT p` (also disables predicate pushdown,
+    /// so it cross-checks the pushdown path against the residual path).
+    DoubleNegation,
+    /// `SELECT DISTINCT ... WHERE p` → UNION of `p AND x IS NULL` and
+    /// `p AND x IS NOT NULL` branches.
+    PredicateSplit,
+    /// Permute the SELECT items; results must match under the inverse
+    /// permutation.
+    PermuteColumns,
+    /// Drop `LIMIT n` from an ordered query; the original must equal the
+    /// first `n` rows of the unlimited result.
+    LimitTruncate,
+}
+
+impl Rule {
+    pub const ALL: [Rule; 5] = [
+        Rule::CommuteBool,
+        Rule::DoubleNegation,
+        Rule::PredicateSplit,
+        Rule::PermuteColumns,
+        Rule::LimitTruncate,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::CommuteBool => "commute-bool",
+            Rule::DoubleNegation => "double-negation",
+            Rule::PredicateSplit => "predicate-split",
+            Rule::PermuteColumns => "permute-columns",
+            Rule::LimitTruncate => "limit-truncate",
+        }
+    }
+}
+
+/// How the rewritten result must relate to the original.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompareMode {
+    /// Same canonical multiset of rows.
+    Multiset,
+    /// Same multiset after remapping each rewritten row through the
+    /// stored permutation (`original_row[i] == rewritten_row[inverse[i]]`).
+    MultisetPermuted(Vec<usize>),
+    /// The original (limited) result must be exactly the first `n` rows
+    /// of the rewritten (unlimited) result, positionally.
+    OrderedPrefix(usize),
+}
+
+/// A rewritten query plus its agreement contract.
+#[derive(Debug, Clone)]
+pub struct Rewrite {
+    pub rule: Rule,
+    pub rewritten: Query,
+    pub compare: CompareMode,
+}
+
+/// Apply `rule` to `q`. Deterministic in `(q, salt)`: random choices
+/// (which boolean node to commute, which column to split on) come from a
+/// `Prng::new(salt)` stream, so the minimizer can re-apply the identical
+/// rewrite as the query shrinks. Returns `None` when `q` is ineligible.
+pub fn apply_rule(rule: Rule, q: &Query, schema: &Schema, salt: u64) -> Option<Rewrite> {
+    let mut rng = Prng::new(salt);
+    match rule {
+        Rule::CommuteBool => commute_bool(q, &mut rng),
+        Rule::DoubleNegation => double_negation(q),
+        Rule::PredicateSplit => predicate_split(q, schema, &mut rng),
+        Rule::PermuteColumns => permute_columns(q, &mut rng),
+        Rule::LimitTruncate => limit_truncate(q),
+    }
+}
+
+fn count_connectives(e: &Expr) -> usize {
+    match e {
+        Expr::Binary { left, op, right } => {
+            let own = usize::from(matches!(
+                op,
+                nli_sql::ast::BinOp::And | nli_sql::ast::BinOp::Or
+            ));
+            own + count_connectives(left) + count_connectives(right)
+        }
+        Expr::Not(inner) => count_connectives(inner),
+        _ => 0,
+    }
+}
+
+/// Swap the operands of the `k`-th (pre-order) AND/OR node. Returns the
+/// number of connective nodes seen so far when `k` was not yet reached.
+fn swap_kth(e: &mut Expr, k: usize, seen: &mut usize) -> bool {
+    match e {
+        Expr::Binary { left, op, right } => {
+            if matches!(op, nli_sql::ast::BinOp::And | nli_sql::ast::BinOp::Or) {
+                if *seen == k {
+                    std::mem::swap(left, right);
+                    return true;
+                }
+                *seen += 1;
+            }
+            swap_kth(left, k, seen) || swap_kth(right, k, seen)
+        }
+        Expr::Not(inner) => swap_kth(inner, k, seen),
+        _ => false,
+    }
+}
+
+fn commute_bool(q: &Query, rng: &mut Prng) -> Option<Rewrite> {
+    let w = q.select.where_clause.as_ref()?;
+    let n = count_connectives(w);
+    if n == 0 {
+        return None;
+    }
+    let k = rng.below(n);
+    let mut rewritten = q.clone();
+    let mut seen = 0;
+    let swapped = swap_kth(
+        rewritten.select.where_clause.as_mut().expect("checked"),
+        k,
+        &mut seen,
+    );
+    debug_assert!(swapped);
+    Some(Rewrite {
+        rule: Rule::CommuteBool,
+        rewritten,
+        compare: CompareMode::Multiset,
+    })
+}
+
+fn double_negation(q: &Query) -> Option<Rewrite> {
+    let w = q.select.where_clause.as_ref()?;
+    let mut rewritten = q.clone();
+    rewritten.select.where_clause = Some(Expr::not(Expr::not(w.clone())));
+    Some(Rewrite {
+        rule: Rule::DoubleNegation,
+        rewritten,
+        compare: CompareMode::Multiset,
+    })
+}
+
+fn is_plain_distinct_block(s: &Select) -> bool {
+    s.distinct
+        && s.group_by.is_empty()
+        && s.having.is_none()
+        && s.order_by.is_empty()
+        && s.limit.is_none()
+        && !s
+            .items
+            .iter()
+            .any(|i| matches!(i.expr, Expr::Star) || i.expr.contains_aggregate())
+}
+
+fn predicate_split(q: &Query, schema: &Schema, rng: &mut Prng) -> Option<Rewrite> {
+    if q.compound.is_some() || !is_plain_distinct_block(&q.select) {
+        return None;
+    }
+    // pick the splitting column from the FROM tables; `x IS NULL` is total
+    // (never NULL), so the two branches partition the filtered rows.
+    let mut cols = Vec::new();
+    let qualify = q.select.from.len() > 1;
+    let tables: Vec<&str> = q.select.from.iter().map(|t| t.name.as_str()).collect();
+    for tname in tables {
+        let ti = schema.table_index(tname)?;
+        for c in &schema.tables[ti].columns {
+            cols.push(if qualify {
+                nli_sql::ast::ColName::qualified(tname, &c.name)
+            } else {
+                nli_sql::ast::ColName::new(&c.name)
+            });
+        }
+    }
+    if cols.is_empty() {
+        return None;
+    }
+    let col = cols[rng.below(cols.len())].clone();
+    let branch = |negated: bool| -> Select {
+        let mut s = q.select.clone();
+        let split = Expr::IsNull {
+            expr: Box::new(Expr::Column(col.clone())),
+            negated,
+        };
+        s.where_clause = Some(match &q.select.where_clause {
+            Some(p) => Expr::and(p.clone(), split),
+            None => split,
+        });
+        s
+    };
+    let rewritten = Query {
+        select: branch(false),
+        compound: Some((
+            nli_sql::ast::SetOp::Union,
+            Box::new(Query::single(branch(true))),
+        )),
+    };
+    Some(Rewrite {
+        rule: Rule::PredicateSplit,
+        rewritten,
+        compare: CompareMode::Multiset,
+    })
+}
+
+fn permute_columns(q: &Query, rng: &mut Prng) -> Option<Rewrite> {
+    let s = &q.select;
+    if q.compound.is_some()
+        || s.items.len() < 2
+        || s.items.iter().any(|i| matches!(i.expr, Expr::Star))
+    {
+        return None;
+    }
+    let n = s.items.len();
+    let mut perm: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut perm);
+    if perm.iter().enumerate().all(|(i, &p)| i == p) {
+        perm.swap(0, 1);
+    }
+    let mut rewritten = q.clone();
+    rewritten.select.items = perm.iter().map(|&p| s.items[p].clone()).collect();
+    Some(Rewrite {
+        rule: Rule::PermuteColumns,
+        rewritten,
+        compare: CompareMode::MultisetPermuted(perm),
+    })
+}
+
+fn limit_truncate(q: &Query) -> Option<Rewrite> {
+    let s = &q.select;
+    if q.compound.is_some() || s.order_by.is_empty() {
+        return None;
+    }
+    let n = s.limit?;
+    let mut rewritten = q.clone();
+    rewritten.select.limit = None;
+    Some(Rewrite {
+        rule: Rule::LimitTruncate,
+        rewritten,
+        compare: CompareMode::OrderedPrefix(n as usize),
+    })
+}

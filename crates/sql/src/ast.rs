@@ -214,6 +214,35 @@ impl Expr {
         }
     }
 
+    /// `left AND right`. Rewrite-safe: the canonical printer re-emits the
+    /// same precedence structure, so rewrites built from these constructors
+    /// round-trip through [`crate::parser::parse_query`] unchanged.
+    pub fn and(left: Expr, right: Expr) -> Expr {
+        Expr::binary(left, BinOp::And, right)
+    }
+
+    /// `left OR right` (see [`Expr::and`] for the round-trip guarantee).
+    pub fn or(left: Expr, right: Expr) -> Expr {
+        Expr::binary(left, BinOp::Or, right)
+    }
+
+    /// `NOT expr`. An associated constructor, not `ops::Not` — it wraps an
+    /// operand rather than consuming `self`, mirroring `and`/`or`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(expr: Expr) -> Expr {
+        Expr::Not(Box::new(expr))
+    }
+
+    /// `expr IS NULL` — total in three-valued logic (always `TRUE` or
+    /// `FALSE`, never `NULL`), which makes it the safe splitting predicate
+    /// for metamorphic `WHERE p` → `p AND q` / `p AND NOT q` partitions.
+    pub fn is_null(expr: Expr) -> Expr {
+        Expr::IsNull {
+            expr: Box::new(expr),
+            negated: false,
+        }
+    }
+
     /// Whether the expression (recursively) contains an aggregate call.
     pub fn contains_aggregate(&self) -> bool {
         match self {
@@ -775,6 +804,22 @@ mod tests {
         let e = Expr::binary(Expr::count_star(), BinOp::Gt, Expr::lit(2i64));
         assert!(e.contains_aggregate());
         assert!(!Expr::col("a").contains_aggregate());
+    }
+
+    #[test]
+    fn rewrite_constructors_round_trip_through_the_parser() {
+        let p = Expr::and(
+            Expr::or(
+                Expr::binary(Expr::col("a"), BinOp::Eq, Expr::lit(1i64)),
+                Expr::is_null(Expr::col("b")),
+            ),
+            Expr::not(Expr::binary(Expr::col("c"), BinOp::Gt, Expr::lit(2i64))),
+        );
+        let mut s = Select::simple("t", vec![SelectItem::plain(Expr::col("a"))]);
+        s.where_clause = Some(p);
+        let q = Query::single(s);
+        let reparsed = crate::parser::parse_query(&q.to_string()).unwrap();
+        assert_eq!(q, reparsed, "printed form: {q}");
     }
 
     #[test]

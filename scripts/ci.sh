@@ -1,8 +1,21 @@
 #!/usr/bin/env bash
-# Local CI gate: the tier-1 checks plus formatting and lints.
+# Local CI gate: the tier-1 checks plus formatting, lints, and the
+# conformance-fuzz smoke run.
 #
 # Usage: scripts/ci.sh
 # Runs from the repository root regardless of the caller's cwd.
+#
+# Knobs:
+#   NLI_THREADS   worker count for the deterministic parallel runtime.
+#                 The suite and the fuzz smoke both run at 1 and 4 below,
+#                 because the runtime promises bit-identical results at
+#                 any worker count (DESIGN.md §3.2) — the fuzz driver's
+#                 stdout is compared byte-for-byte across the two.
+#   FUZZ_SEED / FUZZ_CASES
+#                 fixed seed (default 42) and case count (default 500)
+#                 for the fuzz smoke (DESIGN.md §3.4). Any oracle
+#                 violation fails the gate; the driver prints a minimized
+#                 reproducer plus its replay line.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -27,5 +40,24 @@ NLI_THREADS=1 cargo test -q
 
 echo "==> cargo test (NLI_THREADS=4)"
 NLI_THREADS=4 cargo test -q
+
+# Conformance-fuzz smoke (DESIGN.md §3.4): a fixed-seed batch must be
+# violation-free at 1 and 4 workers with byte-identical stdout, and the
+# negative --inject-bug pass must prove the oracle still fires.
+FUZZ_SEED="${FUZZ_SEED:-42}"
+FUZZ_CASES="${FUZZ_CASES:-500}"
+FUZZ_BIN=target/release/fuzz
+
+echo "==> fuzz smoke (seed=$FUZZ_SEED cases=$FUZZ_CASES, NLI_THREADS=1)"
+NLI_THREADS=1 "$FUZZ_BIN" --seed "$FUZZ_SEED" --cases "$FUZZ_CASES" > /tmp/nli_fuzz_t1.out
+
+echo "==> fuzz smoke (seed=$FUZZ_SEED cases=$FUZZ_CASES, NLI_THREADS=4)"
+NLI_THREADS=4 "$FUZZ_BIN" --seed "$FUZZ_SEED" --cases "$FUZZ_CASES" > /tmp/nli_fuzz_t4.out
+
+echo "==> fuzz smoke output is byte-identical across worker counts"
+cmp /tmp/nli_fuzz_t1.out /tmp/nli_fuzz_t4.out
+
+echo "==> fuzz negative check (--inject-bug must be caught)"
+"$FUZZ_BIN" --seed "$FUZZ_SEED" --cases 100 --inject-bug > /dev/null
 
 echo "CI gate passed."
