@@ -17,6 +17,8 @@ use nli_systems::{EndToEndSystem, NliSystem, ParsingSystem, RuleSystem, VoiceSys
 use nli_text2sql::{weak, GrammarConfig, GrammarParser, PlmParser, SkeletonParser, WeakExample};
 
 fn main() {
+    // NLI_TRACE also captures per-query trace_events when set.
+    nli_core::obs::enable_trace_events_from_env();
     let bench = spider_like::build(&SpiderConfig::default());
 
     // ---- §6.3 weak supervision -------------------------------------------

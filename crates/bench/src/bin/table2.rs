@@ -13,6 +13,8 @@ use nli_core::par;
 use nli_metrics::{evaluate_sql, evaluate_vis};
 
 fn main() {
+    // NLI_TRACE also captures per-query trace_events when set.
+    nli_core::obs::enable_trace_events_from_env();
     let c = suite::corpora();
 
     println!(

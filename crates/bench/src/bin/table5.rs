@@ -11,6 +11,8 @@ use nli_text2vis::VisDialogueParser;
 use nli_vql::VisEngine;
 
 fn main() {
+    // NLI_TRACE also captures per-query trace_events when set.
+    nli_core::obs::enable_trace_events_from_env();
     let c = suite::corpora();
     let sql_entries = suite::sql_parsers(&c.spider);
     let vis_entries = suite::vis_parsers(&c.nvbench);

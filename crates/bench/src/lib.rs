@@ -14,5 +14,6 @@
 //! [`suite`] builds the standard benchmark set and the trained parser
 //! registry so every binary measures the same artifacts.
 
+pub mod baseline;
 pub mod suite;
 pub mod timeline;

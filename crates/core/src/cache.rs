@@ -28,13 +28,31 @@ struct Slot<P> {
 /// Registry mirrors of the cache's internal counters (see
 /// [`PlanCache::attach_obs`]). Updated under the cache mutex, so the
 /// mirrored values can only trail the internal ones between operations,
-/// never disagree after one completes.
+/// never disagree after one completes. In debug builds a shadow copy of
+/// every count this cache has pushed into its mirrors is kept alongside
+/// and asserted against the internal counters on every bump, so mirror
+/// drift fails loudly at the exact operation that introduced it instead
+/// of surfacing as a confusing trace diff later.
 #[derive(Debug)]
 struct ObsCounters {
     hits: obs::Counter,
     misses: obs::Counter,
     evictions: obs::Counter,
     duplicate_inserts: obs::Counter,
+    /// What this cache believes it has mirrored (the registry counters may
+    /// aggregate several caches sharing a prefix, so they can't be compared
+    /// against [`CacheStats`] directly — this per-cache shadow can).
+    #[cfg(debug_assertions)]
+    shadow: ShadowCounts,
+}
+
+#[cfg(debug_assertions)]
+#[derive(Debug, Default)]
+struct ShadowCounts {
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    duplicate_inserts: u64,
 }
 
 #[derive(Debug)]
@@ -46,6 +64,28 @@ struct Inner<P> {
     evictions: u64,
     duplicate_inserts: u64,
     obs: Option<ObsCounters>,
+}
+
+/// Bump one internal counter and its registry mirror together (both under
+/// the cache mutex), then debug-assert the mirror's per-cache shadow still
+/// equals the internal count — the "mirrors always agree" invariant.
+macro_rules! bump_mirrored {
+    ($inner:expr, $field:ident, $what:literal) => {{
+        $inner.$field += 1;
+        #[cfg(debug_assertions)]
+        let internal = $inner.$field;
+        if let Some(o) = $inner.obs.as_mut() {
+            o.$field.inc();
+            #[cfg(debug_assertions)]
+            {
+                o.shadow.$field += 1;
+                debug_assert_eq!(
+                    o.shadow.$field, internal,
+                    concat!("plan-cache ", $what, " mirror drifted from CacheStats"),
+                );
+            }
+        }
+    }};
 }
 
 /// Running totals for cache effectiveness reporting.
@@ -126,11 +166,23 @@ impl<P> PlanCache<P> {
     /// only at `NLI_THREADS=1` even though their sum is always exact.
     pub fn attach_obs(&self, registry: &obs::Registry, prefix: &str) {
         let mut inner = self.inner.lock();
+        // Seed the debug shadow from the counts accumulated before
+        // attachment, so the shadow == internal invariant holds for caches
+        // instrumented late.
+        #[cfg(debug_assertions)]
+        let shadow = ShadowCounts {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            duplicate_inserts: inner.duplicate_inserts,
+        };
         inner.obs = Some(ObsCounters {
             hits: registry.scheduling_counter(&format!("{prefix}.hits")),
             misses: registry.scheduling_counter(&format!("{prefix}.misses")),
             evictions: registry.scheduling_counter(&format!("{prefix}.evictions")),
             duplicate_inserts: registry.scheduling_counter(&format!("{prefix}.duplicate_inserts")),
+            #[cfg(debug_assertions)]
+            shadow,
         });
     }
 
@@ -149,16 +201,10 @@ impl<P> PlanCache<P> {
             if let Some(slot) = inner.slots.get_mut(&(source.to_string(), fingerprint)) {
                 slot.last_used = clock;
                 let plan = Arc::clone(&slot.plan);
-                inner.hits += 1;
-                if let Some(o) = &inner.obs {
-                    o.hits.inc();
-                }
+                bump_mirrored!(inner, hits, "hits");
                 return Ok(plan);
             }
-            inner.misses += 1;
-            if let Some(o) = &inner.obs {
-                o.misses.inc();
-            }
+            bump_mirrored!(inner, misses, "misses");
         }
         // Compile outside the lock: builds can be slow, and a build that
         // panics must not poison concurrent lookups. Two racing threads may
@@ -176,10 +222,7 @@ impl<P> PlanCache<P> {
             },
         );
         if displaced.is_some() {
-            inner.duplicate_inserts += 1;
-            if let Some(o) = &inner.obs {
-                o.duplicate_inserts.inc();
-            }
+            bump_mirrored!(inner, duplicate_inserts, "duplicate_inserts");
         }
         if inner.slots.len() > self.capacity {
             if let Some(oldest) = inner
@@ -189,10 +232,7 @@ impl<P> PlanCache<P> {
                 .map(|(k, _)| k.clone())
             {
                 inner.slots.remove(&oldest);
-                inner.evictions += 1;
-                if let Some(o) = &inner.obs {
-                    o.evictions.inc();
-                }
+                bump_mirrored!(inner, evictions, "evictions");
             }
         }
         Ok(plan)
@@ -338,6 +378,71 @@ mod tests {
             "registry hits+misses must equal CacheStats lookups"
         );
         assert!(stats.evictions > 0, "capacity 2 with 4 keys must evict");
+    }
+
+    /// The mirror drift guard, end to end: after a randomized workload of
+    /// hits, misses, failed builds, fingerprint changes, and eviction
+    /// pressure, the registry mirrors must equal the `CacheStats` fields
+    /// exactly (one cache on a fresh registry, so no aggregation blurs the
+    /// comparison — and every operation also exercised the debug shadow
+    /// assertions along the way).
+    #[test]
+    fn obs_mirrors_track_stats_exactly_under_randomized_workload() {
+        let registry = crate::obs::Registry::new();
+        let cache: PlanCache<usize> = PlanCache::with_capacity(4);
+        cache.attach_obs(&registry, "mirror");
+        let mut rng = crate::rng::Prng::new(0xD01F);
+        for _ in 0..2000 {
+            let src = format!("q{}", rng.below(12));
+            let fp = rng.below(3) as u64;
+            if rng.chance(0.1) {
+                // Errors only surface on a miss: a hit returns the cached
+                // plan without invoking the failing build.
+                let _ = cache.get_or_insert(&src, fp, || Err(NliError::Syntax("boom".into())));
+            } else {
+                let v = rng.below(100);
+                let _ = cache.get_or_insert(&src, fp, || Ok(v)).unwrap();
+            }
+        }
+        let stats = cache.stats();
+        let snap = registry.snapshot();
+        let sched = |name: &str| snap.scheduling.get(name).copied().unwrap_or(0);
+        assert_eq!(sched("mirror.hits"), stats.hits);
+        assert_eq!(sched("mirror.misses"), stats.misses);
+        assert_eq!(sched("mirror.evictions"), stats.evictions);
+        assert_eq!(sched("mirror.duplicate_inserts"), stats.duplicate_inserts);
+        assert_eq!(stats.lookups(), 2000);
+        assert!(stats.hits > 0 && stats.misses > 0 && stats.evictions > 0);
+    }
+
+    /// Same invariant under 8-thread contention: the mirrors are bumped
+    /// under the cache mutex, so per-counter totals stay exact even though
+    /// the hit/miss split itself is scheduling-dependent.
+    #[test]
+    fn obs_mirrors_stay_exact_under_contention() {
+        let registry = crate::obs::Registry::new();
+        let cache: PlanCache<usize> = PlanCache::with_capacity(4);
+        cache.attach_obs(&registry, "mirror");
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let cache = &cache;
+                s.spawn(move || {
+                    let mut rng = crate::rng::Prng::new(0xC0FFEE + t);
+                    for _ in 0..500 {
+                        let src = format!("q{}", rng.below(10));
+                        let _ = cache.get_or_insert(&src, 0, || Ok(1usize));
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        let snap = registry.snapshot();
+        let sched = |name: &str| snap.scheduling.get(name).copied().unwrap_or(0);
+        assert_eq!(sched("mirror.hits"), stats.hits);
+        assert_eq!(sched("mirror.misses"), stats.misses);
+        assert_eq!(sched("mirror.evictions"), stats.evictions);
+        assert_eq!(sched("mirror.duplicate_inserts"), stats.duplicate_inserts);
+        assert_eq!(stats.lookups(), 8 * 500);
     }
 
     #[test]

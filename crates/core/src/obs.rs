@@ -38,6 +38,24 @@
 //! [`Snapshot::deterministic_json`] exports only what must be byte-stable
 //! (class 1 plus span counts); determinism tests compare that form.
 //!
+//! ## Per-query trace events
+//!
+//! Aggregate histograms answer "how long does `sql.execute` take on
+//! average"; they cannot answer "where did *this* query spend its time".
+//! [`Registry::trace_span`] fills that gap: when trace-event recording is
+//! enabled ([`Registry::set_trace_events`], or
+//! [`enable_trace_events_from_env`] when `NLI_TRACE` is set), every
+//! `trace_span` call records a [`TraceEvent`] — id, parent id, label,
+//! µs duration — into a per-thread span stack. When the outermost span on
+//! a thread closes, the completed [`TraceTree`] is appended to the
+//! registry and exported as the `trace_events` section of the trace JSON.
+//! Event ids and nesting are deterministic (pre-order within the tree,
+//! one query's spans all run on one worker); durations and the order of
+//! trees across threads are scheduling-dependent, which is why
+//! `trace_events` is excluded from [`Snapshot::deterministic_json`].
+//! When recording is disabled (the default), `trace_span` is one relaxed
+//! atomic load — hot paths stay branch-cheap.
+//!
 //! ## Example
 //!
 //! ```
@@ -57,8 +75,9 @@
 //! ```
 
 use parking_lot::Mutex;
+use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
@@ -211,6 +230,143 @@ struct Tables {
     spans: BTreeMap<String, Histogram>,
 }
 
+/// One completed span inside a [`TraceTree`]: ids are assigned in
+/// pre-order as spans open (so `events[e.id] == e` and every parent id is
+/// smaller than its children's), which makes the structure a deterministic
+/// function of the instrumented code path. Only `micros` is wall-clock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    pub id: u32,
+    /// `None` for the tree's root event.
+    pub parent: Option<u32>,
+    pub label: String,
+    pub micros: u64,
+}
+
+/// A completed per-query span tree: every [`Registry::trace_span`] that
+/// opened (transitively) under one outermost span on one thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceTree {
+    /// Events in id (= open) order; `events[0]` is the root.
+    pub events: Vec<TraceEvent>,
+}
+
+impl TraceTree {
+    /// The outermost event.
+    pub fn root(&self) -> &TraceEvent {
+        &self.events[0]
+    }
+
+    /// Events whose parent is `id`, in open order.
+    pub fn children(&self, id: u32) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.parent == Some(id))
+    }
+
+    /// Indented text rendering (two spaces per depth level). With
+    /// `with_micros` false the output is a pure function of the executed
+    /// code path — safe for byte-compared output like the fuzz driver's
+    /// stdout; with it true each line carries its wall-clock duration.
+    pub fn render(&self, with_micros: bool) -> String {
+        let mut depth = vec![0usize; self.events.len()];
+        let mut out = String::new();
+        for e in &self.events {
+            let d = e.parent.map_or(0, |p| depth[p as usize] + 1);
+            depth[e.id as usize] = d;
+            for _ in 0..d {
+                out.push_str("  ");
+            }
+            out.push_str(&e.label);
+            if with_micros {
+                out.push_str(&format!(" [{}us]", e.micros));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Completed trees awaiting snapshot/drain, bounded by
+/// [`MAX_TRACE_TREES`].
+#[derive(Debug, Default)]
+struct TraceState {
+    trees: Vec<TraceTree>,
+}
+
+/// Cap on retained completed trees per registry; once reached, further
+/// trees are counted in the `obs.trace_trees_dropped` scheduling counter
+/// instead of retained, so a long traced run cannot grow without bound.
+pub const MAX_TRACE_TREES: usize = 4096;
+
+/// A tree under construction on one thread, for one registry.
+struct ActiveTrace {
+    /// Identity of the owning registry (pointer of its shared trace state).
+    key: usize,
+    events: Vec<TraceEvent>,
+    /// Open span ids, innermost last.
+    stack: Vec<u32>,
+}
+
+thread_local! {
+    /// In-progress trees of the current thread, one per registry that has
+    /// an open span here. Keyed by registry identity so tests with fresh
+    /// registries never interleave with the global one.
+    static ACTIVE_TRACES: RefCell<Vec<ActiveTrace>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard for one trace event: created by [`Registry::trace_span`],
+/// finalizes its [`TraceEvent`] (and, for the outermost span, the whole
+/// [`TraceTree`]) on drop. A no-op when recording was disabled at open.
+#[derive(Debug)]
+#[must_use = "dropping immediately records a zero-length span"]
+pub struct TraceSpan(Option<TraceSpanInner>);
+
+#[derive(Debug)]
+struct TraceSpanInner {
+    registry: Registry,
+    key: usize,
+    id: u32,
+    start: Instant,
+}
+
+impl Drop for TraceSpan {
+    fn drop(&mut self) {
+        let Some(inner) = self.0.take() else {
+            return;
+        };
+        let micros = inner.start.elapsed().as_micros() as u64;
+        let finished = ACTIVE_TRACES.with(|a| {
+            let mut a = a.borrow_mut();
+            let pos = a.iter().position(|t| t.key == inner.key)?;
+            let t = &mut a[pos];
+            t.events[inner.id as usize].micros = micros;
+            // Guards drop LIFO, but be defensive about leaked inner spans:
+            // close everything opened after this one.
+            while let Some(top) = t.stack.pop() {
+                if top == inner.id {
+                    break;
+                }
+            }
+            if t.stack.is_empty() {
+                Some(a.swap_remove(pos).events)
+            } else {
+                None
+            }
+        });
+        if let Some(events) = finished {
+            let mut state = inner.registry.traces.lock();
+            if state.trees.len() < MAX_TRACE_TREES {
+                state.trees.push(TraceTree { events });
+            } else {
+                drop(state);
+                inner
+                    .registry
+                    .scheduling_counter("obs.trace_trees_dropped")
+                    .inc();
+            }
+        }
+    }
+}
+
 /// A thread-safe metric registry. Cloning shares the tables; metric
 /// handles ([`Counter`], [`Gauge`], [`Histogram`]) are registered by name
 /// on first use and shared by every later registration of the same name,
@@ -219,6 +375,8 @@ struct Tables {
 #[derive(Debug, Clone, Default)]
 pub struct Registry {
     tables: Arc<Mutex<Tables>>,
+    trace_enabled: Arc<AtomicBool>,
+    traces: Arc<Mutex<TraceState>>,
 }
 
 impl Registry {
@@ -276,10 +434,70 @@ impl Registry {
         self.span_histogram(stage).time()
     }
 
+    /// Turn per-query trace-event recording on or off (off by default).
+    /// Disabling does not discard trees already completed.
+    pub fn set_trace_events(&self, enabled: bool) {
+        self.trace_enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether [`Registry::trace_span`] is currently recording.
+    pub fn trace_events_enabled(&self) -> bool {
+        self.trace_enabled.load(Ordering::Relaxed)
+    }
+
+    /// Open a trace event labelled `label`, nested under the innermost
+    /// event currently open on this thread (for this registry). The
+    /// returned guard closes the event on drop; when the outermost event
+    /// of a thread closes, the completed [`TraceTree`] is appended to the
+    /// registry. When recording is disabled this is a single relaxed
+    /// atomic load and the guard is inert.
+    pub fn trace_span(&self, label: &str) -> TraceSpan {
+        if !self.trace_enabled.load(Ordering::Relaxed) {
+            return TraceSpan(None);
+        }
+        let key = Arc::as_ptr(&self.traces) as usize;
+        let id = ACTIVE_TRACES.with(|a| {
+            let mut a = a.borrow_mut();
+            let t = match a.iter().position(|t| t.key == key) {
+                Some(pos) => &mut a[pos],
+                None => {
+                    a.push(ActiveTrace {
+                        key,
+                        events: Vec::new(),
+                        stack: Vec::new(),
+                    });
+                    a.last_mut().expect("just pushed")
+                }
+            };
+            let id = t.events.len() as u32;
+            t.events.push(TraceEvent {
+                id,
+                parent: t.stack.last().copied(),
+                label: label.to_string(),
+                micros: 0,
+            });
+            t.stack.push(id);
+            id
+        });
+        TraceSpan(Some(TraceSpanInner {
+            registry: self.clone(),
+            key,
+            id,
+            start: Instant::now(),
+        }))
+    }
+
+    /// Take (and clear) every completed trace tree, in completion order.
+    pub fn drain_trace_trees(&self) -> Vec<TraceTree> {
+        std::mem::take(&mut self.traces.lock().trees)
+    }
+
     /// A point-in-time copy of every metric, with sorted keys.
     pub fn snapshot(&self) -> Snapshot {
+        let trace_events = self.traces.lock().trees.clone();
         let tables = self.tables.lock();
         Snapshot {
+            trace_events,
             counters: tables
                 .counters
                 .iter()
@@ -333,6 +551,10 @@ pub struct Snapshot {
     pub scheduling: BTreeMap<String, u64>,
     pub gauges: BTreeMap<String, u64>,
     pub spans: BTreeMap<String, HistogramSnapshot>,
+    /// Completed per-query trace trees, in completion order (see the
+    /// module docs: structure deterministic, durations and cross-thread
+    /// ordering not).
+    pub trace_events: Vec<TraceTree>,
 }
 
 impl Snapshot {
@@ -390,7 +612,37 @@ impl Snapshot {
         if !self.spans.is_empty() {
             out.push_str("\n  ");
         }
-        out.push_str("}\n}\n");
+        out.push_str("},\n");
+        out.push_str("  \"trace_events\": [");
+        for (i, tree) in self.trace_events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"events\": [");
+            for (j, e) in tree.events.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n      {\"id\": ");
+                out.push_str(&e.id.to_string());
+                out.push_str(", \"parent\": ");
+                match e.parent {
+                    Some(p) => out.push_str(&p.to_string()),
+                    None => out.push_str("null"),
+                }
+                out.push_str(", \"label\": ");
+                push_json_string(&mut out, &e.label);
+                out.push_str(&format!(", \"micros\": {}}}", e.micros));
+            }
+            if !tree.events.is_empty() {
+                out.push_str("\n    ");
+            }
+            out.push_str("]}");
+        }
+        if !self.trace_events.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
         out
     }
 
@@ -467,6 +719,18 @@ pub fn export_trace_if_requested() -> std::io::Result<Option<std::path::PathBuf>
     let path = std::path::PathBuf::from(path);
     std::fs::write(&path, global().snapshot().to_json())?;
     Ok(Some(path))
+}
+
+/// Turn on per-query trace-event recording on the [`global`] registry when
+/// `NLI_TRACE` names a path. Binaries that end with
+/// [`export_trace_if_requested`] call this first, so a traced run's export
+/// carries a populated `trace_events` section; untraced runs keep
+/// [`Registry::trace_span`] at its one-atomic-load cost.
+pub fn enable_trace_events_from_env() {
+    let enabled = std::env::var("NLI_TRACE").is_ok_and(|p| !p.trim().is_empty());
+    if enabled {
+        global().set_trace_events(true);
+    }
 }
 
 #[cfg(test)]
@@ -610,5 +874,163 @@ mod tests {
         let mut s = String::new();
         push_json_string(&mut s, "a\"b\\c\nd");
         assert_eq!(s, r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn trace_spans_build_a_nested_tree_with_preorder_ids() {
+        let reg = Registry::new();
+        reg.set_trace_events(true);
+        {
+            let _root = reg.trace_span("query");
+            {
+                let _parse = reg.trace_span("parse");
+            }
+            {
+                let _exec = reg.trace_span("execute");
+                let _scan = reg.trace_span("scan");
+            }
+        }
+        let trees = reg.drain_trace_trees();
+        assert_eq!(trees.len(), 1);
+        let t = &trees[0];
+        let shape: Vec<(u32, Option<u32>, &str)> = t
+            .events
+            .iter()
+            .map(|e| (e.id, e.parent, e.label.as_str()))
+            .collect();
+        assert_eq!(
+            shape,
+            vec![
+                (0, None, "query"),
+                (1, Some(0), "parse"),
+                (2, Some(0), "execute"),
+                (3, Some(2), "scan"),
+            ]
+        );
+        assert_eq!(t.root().label, "query");
+        assert_eq!(t.children(0).count(), 2);
+        assert_eq!(
+            t.render(false),
+            "query\n  parse\n  execute\n    scan\n",
+            "render without micros must be a pure function of structure"
+        );
+        assert!(t.render(true).contains("us]"));
+        assert!(reg.drain_trace_trees().is_empty(), "drain clears");
+    }
+
+    #[test]
+    fn trace_span_is_inert_when_disabled() {
+        let reg = Registry::new();
+        {
+            let _g = reg.trace_span("never.recorded");
+        }
+        assert!(reg.drain_trace_trees().is_empty());
+        assert!(!reg.trace_events_enabled());
+        reg.set_trace_events(true);
+        assert!(reg.trace_events_enabled());
+    }
+
+    #[test]
+    fn sibling_top_level_spans_become_separate_trees() {
+        let reg = Registry::new();
+        reg.set_trace_events(true);
+        {
+            let _a = reg.trace_span("a");
+        }
+        {
+            let _b = reg.trace_span("b");
+        }
+        let trees = reg.drain_trace_trees();
+        assert_eq!(trees.len(), 2);
+        assert_eq!(trees[0].root().label, "a");
+        assert_eq!(trees[1].root().label, "b");
+    }
+
+    #[test]
+    fn registries_do_not_share_thread_local_nesting() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.set_trace_events(true);
+        b.set_trace_events(true);
+        {
+            let _outer = a.trace_span("a.outer");
+            let _other = b.trace_span("b.root");
+            let _inner = a.trace_span("a.inner");
+        }
+        let ta = a.drain_trace_trees();
+        let tb = b.drain_trace_trees();
+        assert_eq!(ta.len(), 1);
+        assert_eq!(
+            ta[0]
+                .events
+                .iter()
+                .map(|e| e.label.as_str())
+                .collect::<Vec<_>>(),
+            vec!["a.outer", "a.inner"],
+            "registry b's span must not nest into registry a's tree"
+        );
+        assert_eq!(tb.len(), 1);
+        assert_eq!(tb[0].events.len(), 1);
+    }
+
+    #[test]
+    fn trace_trees_from_worker_threads_are_all_collected() {
+        let reg = Registry::new();
+        reg.set_trace_events(true);
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let reg = reg.clone();
+                s.spawn(move || {
+                    let _root = reg.trace_span(&format!("thread.{i}"));
+                    let _child = reg.trace_span("work");
+                });
+            }
+        });
+        let trees = reg.drain_trace_trees();
+        assert_eq!(trees.len(), 4, "one tree per thread");
+        for t in &trees {
+            assert_eq!(t.events.len(), 2);
+            assert_eq!(t.events[1].parent, Some(0));
+        }
+    }
+
+    #[test]
+    fn trace_events_appear_in_json_and_not_in_deterministic_json() {
+        let reg = Registry::new();
+        reg.set_trace_events(true);
+        {
+            let _root = reg.trace_span("q");
+            let _inner = reg.trace_span("s");
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.trace_events.len(), 1);
+        let json = snap.to_json();
+        assert!(
+            json.contains("\"trace_events\": [\n    {\"events\": [\n      {\"id\": 0, \"parent\": null, \"label\": \"q\", \"micros\": "),
+            "{json}"
+        );
+        assert!(
+            json.contains("{\"id\": 1, \"parent\": 0, \"label\": \"s\", \"micros\": "),
+            "{json}"
+        );
+        assert!(!snap.deterministic_json().contains("trace_events"));
+        // Empty section still renders, as `[]`.
+        let empty = Registry::new().snapshot().to_json();
+        assert!(empty.contains("\"trace_events\": []"), "{empty}");
+    }
+
+    #[test]
+    fn trace_tree_retention_is_capped() {
+        let reg = Registry::new();
+        reg.set_trace_events(true);
+        for _ in 0..MAX_TRACE_TREES + 3 {
+            let _g = reg.trace_span("t");
+        }
+        let trees = reg.drain_trace_trees();
+        assert_eq!(trees.len(), MAX_TRACE_TREES);
+        assert_eq!(
+            reg.snapshot().scheduling.get("obs.trace_trees_dropped"),
+            Some(&3)
+        );
     }
 }

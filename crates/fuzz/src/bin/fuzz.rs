@@ -174,6 +174,22 @@ fn report_violation(args: &Args, cfg: &GenConfig, v: &Violation) {
             "  minimized ({} steps, {} -> {} nodes): {}",
             shrunk.steps, shrunk.nodes_before, shrunk.nodes_after, shrunk.query
         );
+        // Re-run the failing case with per-query trace events on and print
+        // each oracle leg's span tree. Rendered without timings, so stdout
+        // stays a pure function of the arguments.
+        let registry = nli_core::obs::global();
+        let was_enabled = registry.trace_events_enabled();
+        registry.set_trace_events(true);
+        let _ = registry.drain_trace_trees();
+        let _ = check_case(v.case_index, &case.query, &case.db, &engine);
+        let trees = registry.drain_trace_trees();
+        registry.set_trace_events(was_enabled);
+        for tree in trees.iter().filter(|t| t.root().label == "fuzz.case") {
+            println!("  per-leg trace:");
+            for line in tree.render(false).lines() {
+                println!("    {line}");
+            }
+        }
     }
     println!(
         "  replay: cargo run -p nli-fuzz --bin fuzz -- --seed {} --start {} --cases 1",
@@ -253,6 +269,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    nli_core::obs::enable_trace_events_from_env();
     let cfg = GenConfig::default();
     if args.inject_bug {
         return inject_bug_run(&args, &cfg);

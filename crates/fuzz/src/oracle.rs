@@ -78,11 +78,15 @@ fn outcome_text(r: &Result<ResultSet, nli_core::NliError>) -> String {
 /// Run the full oracle battery for one generated case.
 pub fn check_case(index: u64, q: &Query, db: &Database, engine: &SqlEngine) -> CaseReport {
     let obs = fuzz_obs();
+    let _trace = nli_core::obs::global().trace_span("fuzz.case");
     let _span = obs.case_span.time();
     obs.cases.inc();
 
     let mut violations = Vec::new();
-    let interp = run_tree_walk(q, db);
+    let interp = {
+        let _leg = nli_core::obs::global().trace_span("fuzz.leg.interp");
+        run_tree_walk(q, db)
+    };
     violations.extend(check_differential(index, q, db, engine, &interp));
 
     let mut rewrites_checked = 0;
@@ -119,12 +123,18 @@ pub fn check_differential(
 ) -> Vec<Violation> {
     let obs = fuzz_obs();
     let sql = q.to_string();
-    let planned = engine
-        .prepare_ast(q, &db.schema)
-        .and_then(|p| p.execute(db));
-    let reparsed = parse_query(&sql)
-        .and_then(|q2| SqlEngine::new().prepare_ast(&q2, &db.schema))
-        .and_then(|p| p.execute(db));
+    let planned = {
+        let _leg = nli_core::obs::global().trace_span("fuzz.leg.plan");
+        engine
+            .prepare_ast(q, &db.schema)
+            .and_then(|p| p.execute(db))
+    };
+    let reparsed = {
+        let _leg = nli_core::obs::global().trace_span("fuzz.leg.reparse");
+        parse_query(&sql)
+            .and_then(|q2| SqlEngine::new().prepare_ast(&q2, &db.schema))
+            .and_then(|p| p.execute(db))
+    };
 
     let mut out = Vec::new();
     let mut mismatch = |leg: &str, other: &Result<ResultSet, nli_core::NliError>| {
@@ -175,6 +185,7 @@ pub fn check_metamorphic(
     base: &ResultSet,
 ) -> Option<Violation> {
     let rw = apply_rule(rule, q, &db.schema, salt)?;
+    let _leg = nli_core::obs::global().trace_span("fuzz.leg.metamorphic");
     let rewritten_result = engine
         .prepare_ast(&rw.rewritten, &db.schema)
         .and_then(|p| p.execute(db));

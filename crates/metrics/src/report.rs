@@ -80,6 +80,9 @@ pub fn evaluate_sql(
         .add(bench.dev.len() as u64);
     let start = Instant::now();
     let rows = par::par_map(&bench.dev, |_, ex| {
+        // Per-example trace trees (never a per-run root): the tree shape
+        // stays identical whether examples run inline or on workers.
+        let _trace = obs::global().trace_span("eval.sql.example");
         let db = bench.db_of(ex);
         let gold = ex.gold.to_string();
         match parser.parse(&ex.question, db) {
@@ -159,6 +162,7 @@ pub fn evaluate_vis(
         .add(bench.dev.len() as u64);
     let start = Instant::now();
     let rows = par::par_map(&bench.dev, |_, ex| {
+        let _trace = obs::global().trace_span("eval.vis.example");
         let db = bench.db_of(ex);
         match parser.parse(&ex.question, db) {
             Ok(pred) => (

@@ -21,6 +21,7 @@
 //! test.
 
 use crate::ast::{AggFunc, BinOp, Query, SetOp};
+use crate::explain::{render_plan, AnalyzedSql, OpStats, PlanProfile, SelectProfile};
 use crate::plan::{plan_query, JoinStep, PlanExpr, QueryPlan, ScanNode, SelectPlan};
 use nli_core::{
     obs, CacheStats, Database, ExecutionEngine, NliError, PlanCache, PrepareEngine, Result, Schema,
@@ -30,16 +31,19 @@ use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
-/// Cached span histograms for the three pipeline stages (DESIGN.md §3.3):
+/// Cached span histograms for the pipeline stages (DESIGN.md §3.3):
 /// `sql.parse` and `sql.plan` are timed inside the plan-cache build
 /// closure, so they fire once per cache miss; `sql.execute` fires on every
-/// [`PreparedSql::execute`]. Handles are resolved once — the per-call cost
-/// is two `Instant` reads and a few relaxed atomic adds.
+/// [`PreparedSql::execute`] and `sql.explain_analyze` on every instrumented
+/// run. Handles are resolved once — the per-call cost is two `Instant`
+/// reads and a few relaxed atomic adds.
 struct SqlObs {
     parse: obs::Histogram,
     plan: obs::Histogram,
     execute: obs::Histogram,
+    explain_analyze: obs::Histogram,
 }
 
 fn sql_obs() -> &'static SqlObs {
@@ -50,6 +54,7 @@ fn sql_obs() -> &'static SqlObs {
             parse: r.span_histogram("sql.parse"),
             plan: r.span_histogram("sql.plan"),
             execute: r.span_histogram("sql.execute"),
+            explain_analyze: r.span_histogram("sql.explain_analyze"),
         }
     })
 }
@@ -179,13 +184,43 @@ impl PreparedSql {
     /// structurally; executing against a different schema is a misuse the
     /// engine reports rather than silently mis-resolving columns.
     pub fn execute(&self, db: &Database) -> Result<ResultSet> {
+        self.check_fingerprint(db)?;
+        let _span = obs::global().trace_span("sql.execute");
+        let _timing = sql_obs().execute.time();
+        exec_plan(&self.plan, db)
+    }
+
+    /// Pretty-print the compiled plan as an operator tree (no execution).
+    /// Deterministic text, stable across runs — the `EXPLAIN` side of the
+    /// golden tests.
+    pub fn explain(&self) -> String {
+        render_plan(&self.plan, None, false)
+    }
+
+    /// Execute under the instrumented path, collecting per-operator
+    /// [`OpStats`], and return the result together with the profile
+    /// ([`AnalyzedSql`]). Row counts and counters in the profile are
+    /// deterministic; wall-clock timings are not.
+    pub fn explain_analyze(&self, db: &Database) -> Result<AnalyzedSql> {
+        self.check_fingerprint(db)?;
+        let _span = obs::global().trace_span("sql.explain_analyze");
+        let _timing = sql_obs().explain_analyze.time();
+        let mut profile = PlanProfile::default();
+        let result = exec_plan_profiled(&self.plan, db, Some(&mut profile))?;
+        Ok(AnalyzedSql {
+            plan: Arc::clone(&self.plan),
+            profile,
+            result,
+        })
+    }
+
+    fn check_fingerprint(&self, db: &Database) -> Result<()> {
         if db.schema.fingerprint() != self.fingerprint {
             return Err(NliError::Execution(
                 "prepared statement executed against a structurally different schema".into(),
             ));
         }
-        let _timing = sql_obs().execute.time();
-        exec_plan(&self.plan, db)
+        Ok(())
     }
 }
 
@@ -229,9 +264,11 @@ impl SqlEngine {
         let plan = self.cache.get_or_insert(sql, fingerprint, || {
             self.parses.fetch_add(1, AtomicOrdering::Relaxed);
             let q = {
+                let _span = obs::global().trace_span("sql.parse");
                 let _timing = sql_obs().parse.time();
                 crate::parser::parse_query(sql)?
             };
+            let _span = obs::global().trace_span("sql.plan");
             let _timing = sql_obs().plan.time();
             plan_query(&q, schema)
         })?;
@@ -245,6 +282,7 @@ impl SqlEngine {
         let fingerprint = schema.fingerprint();
         let key = q.to_string();
         let plan = self.cache.get_or_insert(&key, fingerprint, || {
+            let _span = obs::global().trace_span("sql.plan");
             let _timing = sql_obs().plan.time();
             plan_query(q, schema)
         })?;
@@ -297,11 +335,40 @@ impl PrepareEngine for SqlEngine {
 }
 
 pub(crate) fn exec_plan(plan: &QueryPlan, db: &Database) -> Result<ResultSet> {
-    let left = exec_select_plan(&plan.select, db)?;
+    exec_plan_profiled(plan, db, None)
+}
+
+/// Start a stage timer only when profiling.
+fn tick(profiling: bool) -> Option<Instant> {
+    profiling.then(Instant::now)
+}
+
+/// Elapsed µs since [`tick`], 0 when not profiling.
+fn tock(start: Option<Instant>) -> u64 {
+    start.map_or(0, |s| s.elapsed().as_micros() as u64)
+}
+
+pub(crate) fn exec_plan_profiled(
+    plan: &QueryPlan,
+    db: &Database,
+    mut prof: Option<&mut PlanProfile>,
+) -> Result<ResultSet> {
+    let left =
+        exec_select_plan_profiled(&plan.select, db, prof.as_deref_mut().map(|p| &mut p.select))?;
     match &plan.compound {
         Some((op, rhs)) => {
-            let right = exec_plan(rhs, db)?;
-            apply_set_op(left, *op, right)
+            let mut rhs_prof = prof.is_some().then(PlanProfile::default);
+            let right = exec_plan_profiled(rhs, db, rhs_prof.as_mut())?;
+            let start = tick(prof.is_some());
+            let rows_in = left.rows.len() + right.rows.len();
+            let merged = apply_set_op(left, *op, right)?;
+            if let Some(p) = prof {
+                let mut st = OpStats::flow(rows_in, merged.rows.len());
+                st.wall_micros = tock(start);
+                p.set_op = Some(st);
+                p.compound = rhs_prof.map(Box::new);
+            }
+            Ok(merged)
         }
         None => Ok(left),
     }
@@ -374,15 +441,30 @@ fn scan(node: &ScanNode, db: &Database) -> Result<Vec<Vec<Value>>> {
     }
 }
 
-fn exec_select_plan(p: &SelectPlan, db: &Database) -> Result<ResultSet> {
+fn exec_select_plan_profiled(
+    p: &SelectPlan,
+    db: &Database,
+    mut prof: Option<&mut SelectProfile>,
+) -> Result<ResultSet> {
+    let profiling = prof.is_some();
     // -- Scan + join --------------------------------------------------------
     let mut scanned = Vec::with_capacity(p.scans.len());
     for node in &p.scans {
-        scanned.push(scan(node, db)?);
+        let start = tick(profiling);
+        let kept = scan(node, db)?;
+        if let Some(pr) = prof.as_deref_mut() {
+            let mut st = OpStats::flow(db.rows(node.table).len(), kept.len());
+            st.wall_micros = tock(start);
+            pr.scans.push(st);
+        }
+        scanned.push(kept);
     }
     let mut scanned = scanned.into_iter();
     let mut rows: Vec<Vec<Value>> = scanned.next().unwrap_or_default();
     for (step, new_rows) in p.joins.iter().zip(scanned) {
+        let start = tick(profiling);
+        let rows_in = rows.len() + new_rows.len();
+        let mut counters: Vec<(&'static str, u64)> = Vec::new();
         let mut joined = Vec::new();
         match step {
             JoinStep::Hash {
@@ -390,14 +472,22 @@ fn exec_select_plan(p: &SelectPlan, db: &Database) -> Result<ResultSet> {
                 build_col,
             } => {
                 let mut table: HashMap<String, Vec<&Vec<Value>>> = HashMap::new();
+                let mut null_build_keys = 0u64;
                 for nr in &new_rows {
                     if nr[*build_col].is_null() {
+                        null_build_keys += 1;
                         continue;
                     }
                     table
                         .entry(nr[*build_col].canonical())
                         .or_default()
                         .push(nr);
+                }
+                if profiling {
+                    counters.push(("build_rows", new_rows.len() as u64));
+                    counters.push(("build_keys", table.len() as u64));
+                    counters.push(("null_build_keys", null_build_keys));
+                    counters.push(("probe_rows", rows.len() as u64));
                 }
                 for row in &rows {
                     let key = &row[*probe_off];
@@ -423,10 +513,22 @@ fn exec_select_plan(p: &SelectPlan, db: &Database) -> Result<ResultSet> {
                 }
             }
         }
+        if let Some(pr) = prof.as_deref_mut() {
+            let mut st = OpStats::flow(rows_in, joined.len());
+            st.wall_micros = tock(start);
+            st.counters = counters;
+            pr.joins.push(st);
+        }
         rows = joined;
     }
 
     // -- Residual filter (subqueries materialized per database) -------------
+    let residual_start = tick(profiling);
+    let residual_subplans = if profiling {
+        p.residual.as_ref().map_or(0, |r| r.count_subplans())
+    } else {
+        0
+    };
     let materialized_residual;
     let residual: Option<&PlanExpr> = match &p.residual {
         Some(r) if r.has_subplan() => {
@@ -447,6 +549,7 @@ fn exec_select_plan(p: &SelectPlan, db: &Database) -> Result<ResultSet> {
     };
 
     if let Some(w) = residual {
+        let rows_in = rows.len();
         let mut kept = Vec::with_capacity(rows.len());
         for row in rows {
             if truthy(&eval_expr(w, &row)?) {
@@ -454,6 +557,14 @@ fn exec_select_plan(p: &SelectPlan, db: &Database) -> Result<ResultSet> {
             }
         }
         rows = kept;
+        if let Some(pr) = prof.as_deref_mut() {
+            let mut st = OpStats::flow(rows_in, rows.len());
+            st.wall_micros = tock(residual_start);
+            if residual_subplans > 0 {
+                st.counters.push(("subplans", residual_subplans));
+            }
+            pr.residual = Some(st);
+        }
     }
 
     // -- Aggregate / project ------------------------------------------------
@@ -461,6 +572,8 @@ fn exec_select_plan(p: &SelectPlan, db: &Database) -> Result<ResultSet> {
     // Sort keys aligned with out_rows, computed in the right context.
     let mut sort_keys: Vec<Vec<Value>> = Vec::new();
     let need_sort = !p.order_by.is_empty();
+    let stage_start = tick(profiling);
+    let stage_rows_in = rows.len();
 
     if p.aggregate {
         // Group rows by the GROUP BY key (single group when absent).
@@ -483,9 +596,12 @@ fn exec_select_plan(p: &SelectPlan, db: &Database) -> Result<ResultSet> {
             // Aggregates over an empty input still produce one row.
             groups.push((Vec::new(), Vec::new()));
         }
+        let n_groups = groups.len() as u64;
+        let mut having_rejected = 0u64;
         for (_, grows) in &groups {
             if let Some(h) = having {
                 if !truthy(&eval_group(h, grows)?) {
+                    having_rejected += 1;
                     continue;
                 }
             }
@@ -501,6 +617,15 @@ fn exec_select_plan(p: &SelectPlan, db: &Database) -> Result<ResultSet> {
                 sort_keys.push(keys);
             }
             out_rows.push(out);
+        }
+        if let Some(pr) = prof.as_deref_mut() {
+            let mut st = OpStats::flow(stage_rows_in, out_rows.len());
+            st.wall_micros = tock(stage_start);
+            st.counters.push(("groups", n_groups));
+            if p.having.is_some() {
+                st.counters.push(("having_rejected", having_rejected));
+            }
+            pr.aggregate = Some(st);
         }
     } else {
         for row in rows {
@@ -521,9 +646,16 @@ fn exec_select_plan(p: &SelectPlan, db: &Database) -> Result<ResultSet> {
                 out_rows.push(out);
             }
         }
+        if let Some(pr) = prof.as_deref_mut() {
+            let mut st = OpStats::flow(stage_rows_in, out_rows.len());
+            st.wall_micros = tock(stage_start);
+            pr.project = Some(st);
+        }
     }
 
     if need_sort {
+        let sort_start = tick(profiling);
+        let n = out_rows.len();
         let mut order: Vec<usize> = (0..out_rows.len()).collect();
         order.sort_by(|&a, &b| {
             for (o, (ka, kb)) in p
@@ -543,15 +675,31 @@ fn exec_select_plan(p: &SelectPlan, db: &Database) -> Result<ResultSet> {
             .into_iter()
             .map(|i| std::mem::take(&mut out_rows[i]))
             .collect();
+        if let Some(pr) = prof.as_deref_mut() {
+            let mut st = OpStats::flow(n, n);
+            st.wall_micros = tock(sort_start);
+            pr.sort = Some(st);
+        }
     }
 
     if p.distinct {
+        let distinct_start = tick(profiling);
+        let rows_in = out_rows.len();
         let mut seen = std::collections::HashSet::new();
         out_rows.retain(|r| seen.insert(canonical_row(r)));
+        if let Some(pr) = prof.as_deref_mut() {
+            let mut st = OpStats::flow(rows_in, out_rows.len());
+            st.wall_micros = tock(distinct_start);
+            pr.distinct = Some(st);
+        }
     }
 
     if let Some(l) = p.limit {
+        let rows_in = out_rows.len();
         out_rows.truncate(l as usize);
+        if let Some(pr) = prof {
+            pr.limit = Some(OpStats::flow(rows_in, out_rows.len()));
+        }
     }
 
     Ok(ResultSet {
@@ -1284,16 +1432,18 @@ mod tests {
             scans: vec![
                 ScanNode {
                     table: 1,
+                    table_name: "sales".into(),
                     offset: 0,
                     width: 4,
                     filter: None,
-                }, // sales
+                },
                 ScanNode {
                     table: 0,
+                    table_name: "products".into(),
                     offset: 4,
                     width: 4,
                     filter: None,
-                }, // products
+                },
             ],
             joins: vec![JoinStep::Hash {
                 probe_off: 1,
@@ -1306,11 +1456,12 @@ mod tests {
             star: true,
             items: vec![PlanExpr::Star],
             columns: (0..8).map(|i| format!("c{i}")).collect(),
+            joined_columns: (0..8).map(|i| format!("c{i}")).collect(),
             order_by: Vec::new(),
             distinct: false,
             limit: None,
         };
-        let rs = exec_select_plan(&p, &sales_db()).unwrap();
+        let rs = exec_select_plan_profiled(&p, &sales_db(), None).unwrap();
         assert_eq!(
             rs.rows.len(),
             4,

@@ -67,6 +67,7 @@
 pub mod ast;
 pub mod components;
 pub mod exec;
+pub mod explain;
 pub mod interp;
 pub mod normalize;
 pub mod parser;
@@ -78,6 +79,7 @@ pub use ast::{
 };
 pub use components::{decompose, QueryComponents};
 pub use exec::{CanonicalResult, PreparedSql, ResultSet, SqlEngine};
+pub use explain::{AnalyzedSql, OpStats, PlanProfile, SelectProfile};
 pub use normalize::normalize;
 pub use parser::parse_query;
 pub use plan::{plan_query, QueryPlan};

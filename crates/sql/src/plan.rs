@@ -187,6 +187,17 @@ impl PlanExpr {
         found
     }
 
+    /// Number of compiled subquery nodes (the `subplans` OpStats counter).
+    pub(crate) fn count_subplans(&self) -> u64 {
+        let mut n = 0;
+        self.visit(&mut |e| {
+            if matches!(e, PlanExpr::InPlan { .. } | PlanExpr::ScalarPlan(_)) {
+                n += 1;
+            }
+        });
+        n
+    }
+
     fn has_aggregate(&self) -> bool {
         let mut found = false;
         self.visit(&mut |e| {
@@ -205,6 +216,9 @@ impl PlanExpr {
 pub struct ScanNode {
     /// Index into `schema.tables`.
     pub table: usize,
+    /// The scanned table's name, captured at plan time so EXPLAIN can
+    /// print the tree without re-consulting a schema.
+    pub table_name: String,
     /// Column offset of this table's first column in the joined row.
     pub offset: usize,
     /// Number of columns.
@@ -249,6 +263,9 @@ pub struct SelectPlan {
     pub items: Vec<PlanExpr>,
     /// Output column names, fixed at plan time.
     pub columns: Vec<String>,
+    /// Name of every column of the joined row (qualified when ambiguous
+    /// across FROM entries); lets EXPLAIN print bound offsets as names.
+    pub joined_columns: Vec<String>,
     pub order_by: Vec<SortKey>,
     pub distinct: bool,
     pub limit: Option<u64>,
@@ -607,6 +624,7 @@ fn plan_select(select: &Select, schema: &Schema) -> Result<SelectPlan> {
                 });
             ScanNode {
                 table: *ti,
+                table_name: schema.tables[*ti].name.clone(),
                 offset: *off,
                 width,
                 filter,
@@ -676,6 +694,7 @@ fn plan_select(select: &Select, schema: &Schema) -> Result<SelectPlan> {
         star,
         items,
         columns,
+        joined_columns: binder.output_columns(),
         order_by,
         distinct: select.distinct,
         limit: select.limit,

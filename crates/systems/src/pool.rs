@@ -55,6 +55,8 @@ impl ParSessionPool {
             .counter("pool.turns")
             .add(scripts.iter().map(|s| s.len() as u64).sum());
         par::par_map(scripts, |_, script| {
+            // Per-session trace tree; shape is worker-count independent.
+            let _trace = nli_core::obs::global().trace_span("pool.session");
             let mut session = Session::with_engine(self.engine.clone());
             script.iter().map(|q| session.ask(q, db)).collect()
         })

@@ -16,6 +16,12 @@
 #                 for the fuzz smoke (DESIGN.md §3.4). Any oracle
 #                 violation fails the gate; the driver prints a minimized
 #                 reproducer plus its replay line.
+#   NLI_BENCH=1   opt-in: run the benchmark baseline emitter in smoke mode
+#                 (tiny iteration count) and validate the emitted JSON
+#                 against the checked-in schema check (crates/bench's
+#                 baseline::validate). Refreshing the committed
+#                 BENCH_baseline.json uses a bigger --iters; see
+#                 EXPERIMENTS.md.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -59,5 +65,14 @@ cmp /tmp/nli_fuzz_t1.out /tmp/nli_fuzz_t4.out
 
 echo "==> fuzz negative check (--inject-bug must be caught)"
 "$FUZZ_BIN" --seed "$FUZZ_SEED" --cases 100 --inject-bug > /dev/null
+
+# Opt-in perf-baseline smoke: emit with a tiny iteration count, then
+# re-read the file through the schema check so emitter and validator
+# cannot drift apart.
+if [[ "${NLI_BENCH:-0}" == "1" ]]; then
+  echo "==> bench baseline smoke (NLI_BENCH=1)"
+  target/release/baseline --iters 5 --out /tmp/nli_bench_baseline.json
+  target/release/baseline --check /tmp/nli_bench_baseline.json
+fi
 
 echo "CI gate passed."

@@ -1,0 +1,236 @@
+//! Golden-snapshot tests for `PreparedSql::explain()` and the
+//! deterministic `EXPLAIN ANALYZE` render (ISSUE 5 satellite).
+//!
+//! One fixture per operator kind under `tests/golden/explain_*`, compared
+//! byte-for-byte. Regenerate after an intentional format change with:
+//!
+//! ```text
+//! NLI_UPDATE_GOLDEN=1 cargo test -p nli-sql --test explain_golden
+//! ```
+//!
+//! The `EXPLAIN ANALYZE` fixture uses [`nli_sql::AnalyzedSql::render`],
+//! which carries rows in/out, batches, and operator counters but no
+//! wall-clock timings — the whole render is a pure function of
+//! (query, database), so it goldens like any other plan text.
+
+use nli_core::{Column, DataType, Database, Schema, Table, Value};
+use nli_sql::SqlEngine;
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+/// Compare (or, under NLI_UPDATE_GOLDEN=1, rewrite) one fixture.
+fn assert_golden(name: &str, rendered: &str) {
+    let path = golden_dir().join(format!("{name}.txt"));
+    if std::env::var_os("NLI_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).unwrap();
+        std::fs::write(&path, rendered).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden fixture {path:?} ({e}); run with NLI_UPDATE_GOLDEN=1 to create it")
+    });
+    assert_eq!(
+        expected, rendered,
+        "golden mismatch for {name}; if the change is intentional rerun with NLI_UPDATE_GOLDEN=1"
+    );
+}
+
+/// Three joinable retail tables with a handful of fixed rows; the same
+/// shape the crate's explain unit tests use.
+fn retail_db() -> Database {
+    let mut schema = Schema::new(
+        "retail_golden",
+        vec![
+            Table::new(
+                "stores",
+                vec![
+                    Column::new("id", DataType::Int).primary(),
+                    Column::new("city", DataType::Text),
+                ],
+            ),
+            Table::new(
+                "products",
+                vec![
+                    Column::new("id", DataType::Int).primary(),
+                    Column::new("category", DataType::Text),
+                    Column::new("price", DataType::Float),
+                ],
+            ),
+            Table::new(
+                "sales",
+                vec![
+                    Column::new("id", DataType::Int).primary(),
+                    Column::new("store_id", DataType::Int),
+                    Column::new("product_id", DataType::Int),
+                    Column::new("amount", DataType::Float),
+                ],
+            ),
+        ],
+    );
+    schema
+        .add_foreign_key("sales", "store_id", "stores", "id")
+        .unwrap();
+    schema
+        .add_foreign_key("sales", "product_id", "products", "id")
+        .unwrap();
+    let mut db = Database::empty(schema);
+    db.insert_all(
+        "stores",
+        vec![
+            vec![1.into(), "Oslo".into()],
+            vec![2.into(), "Bergen".into()],
+        ],
+    )
+    .unwrap();
+    db.insert_all(
+        "products",
+        vec![
+            vec![1.into(), "Tools".into(), 9.5.into()],
+            vec![2.into(), "Tools".into(), 19.0.into()],
+            vec![3.into(), "Toys".into(), 4.25.into()],
+        ],
+    )
+    .unwrap();
+    db.insert_all(
+        "sales",
+        vec![
+            vec![1.into(), 1.into(), 1.into(), 100.0.into()],
+            vec![2.into(), 1.into(), 2.into(), 200.0.into()],
+            vec![3.into(), 2.into(), 2.into(), 150.0.into()],
+            vec![4.into(), 2.into(), 3.into(), 50.0.into()],
+            vec![5.into(), Value::Null, 1.into(), 75.0.into()],
+        ],
+    )
+    .unwrap();
+    db
+}
+
+fn explain(sql: &str) -> String {
+    SqlEngine::new()
+        .prepare(sql, &retail_db().schema)
+        .unwrap()
+        .explain()
+}
+
+#[test]
+fn golden_explain_scan() {
+    assert_golden("explain_scan", &explain("SELECT * FROM products"));
+}
+
+#[test]
+fn golden_explain_filter_pushdown() {
+    // both conjuncts reference one table: pushed into the scan, no
+    // residual Filter node
+    assert_golden(
+        "explain_filter_pushdown",
+        &explain("SELECT category FROM products WHERE price > 5 AND category LIKE 'To%'"),
+    );
+}
+
+#[test]
+fn golden_explain_hash_join() {
+    // left-deep two-step hash-join chain over three tables
+    assert_golden(
+        "explain_hash_join",
+        &explain(
+            "SELECT stores.city, products.category FROM sales \
+             JOIN stores ON sales.store_id = stores.id \
+             JOIN products ON sales.product_id = products.id",
+        ),
+    );
+}
+
+#[test]
+fn golden_explain_cross_join() {
+    // comma FROM without a connecting condition plus a residual predicate
+    // that references both tables (not pushable, not hashable)
+    assert_golden(
+        "explain_cross_join",
+        &explain("SELECT * FROM stores, products WHERE stores.id != products.id"),
+    );
+}
+
+#[test]
+fn golden_explain_aggregate_having() {
+    assert_golden(
+        "explain_aggregate_having",
+        &explain(
+            "SELECT category, AVG(price) FROM products \
+             GROUP BY category HAVING COUNT(*) > 1",
+        ),
+    );
+}
+
+#[test]
+fn golden_explain_sort_distinct_limit() {
+    assert_golden(
+        "explain_sort_distinct_limit",
+        &explain("SELECT DISTINCT category FROM products ORDER BY category ASC LIMIT 2"),
+    );
+}
+
+#[test]
+fn golden_explain_set_op() {
+    assert_golden(
+        "explain_set_op",
+        &explain("SELECT id FROM products UNION SELECT product_id FROM sales"),
+    );
+}
+
+#[test]
+fn golden_explain_subquery() {
+    // IN (SELECT ...) stays a residual filter with a <subquery> placeholder
+    assert_golden(
+        "explain_subquery",
+        &explain(
+            "SELECT category FROM products WHERE id IN \
+             (SELECT product_id FROM sales WHERE amount > 120)",
+        ),
+    );
+}
+
+#[test]
+fn golden_explain_analyze_three_way() {
+    // the deterministic EXPLAIN ANALYZE render: per-operator rows in/out,
+    // batches, and counters for the 3-table join + aggregate
+    let db = retail_db();
+    let analyzed = SqlEngine::new()
+        .prepare(
+            "SELECT stores.city, SUM(sales.amount) FROM sales \
+             JOIN stores ON sales.store_id = stores.id \
+             JOIN products ON sales.product_id = products.id \
+             WHERE products.price > 5 GROUP BY stores.city \
+             ORDER BY SUM(sales.amount) DESC",
+            &db.schema,
+        )
+        .unwrap()
+        .explain_analyze(&db)
+        .unwrap();
+    assert_golden("explain_analyze_three_way", &analyzed.render());
+}
+
+#[test]
+fn explain_fixtures_are_committed_for_every_case() {
+    // mirror of the VQL golden guard, scoped to the explain_* namespace
+    let mut names: Vec<String> = std::fs::read_dir(golden_dir())
+        .expect("tests/golden missing")
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("explain_"))
+        .collect();
+    names.sort();
+    let expected = [
+        "explain_aggregate_having.txt",
+        "explain_analyze_three_way.txt",
+        "explain_cross_join.txt",
+        "explain_filter_pushdown.txt",
+        "explain_hash_join.txt",
+        "explain_scan.txt",
+        "explain_set_op.txt",
+        "explain_sort_distinct_limit.txt",
+        "explain_subquery.txt",
+    ];
+    assert_eq!(names, expected);
+}

@@ -8,9 +8,11 @@
 //! serialize on one mutex — the workloads themselves still fan out over
 //! the worker pool under test.
 
-use nli_core::{obs, with_threads};
+use nli_core::{obs, with_threads, Prng};
+use nli_data::schema_gen::{generate_database, DbGenConfig};
 use nli_data::spider_like::{self, SpiderConfig};
 use nli_metrics::{evaluate_sql, SqlScores};
+use nli_sql::SqlEngine;
 use nli_text2sql::{GrammarConfig, GrammarParser};
 use std::collections::BTreeMap;
 use std::sync::Mutex;
@@ -143,6 +145,101 @@ fn parallel_runs_record_pool_and_worker_telemetry() {
         })
         .sum();
     assert_eq!(per_worker, fanouts["par.items"], "{tasks:?}");
+}
+
+/// The generated retail database and three-table join + aggregate query
+/// the `EXPLAIN ANALYZE` determinism tests below run against (same
+/// generator arguments as the benchmark baseline emitter).
+fn retail_db() -> nli_core::Database {
+    let cfg = DbGenConfig {
+        min_tables: 3,
+        optional_col_p: 1.0,
+        rows: (200, 200),
+    };
+    generate_database(
+        nli_data::domains::domain("retail").unwrap(),
+        0,
+        &cfg,
+        &mut Prng::new(42),
+    )
+}
+
+const THREE_WAY: &str = "SELECT stores.city, SUM(sales.amount) FROM sales \
+     JOIN stores ON sales.store_id = stores.id \
+     JOIN products ON sales.product_id = products.id \
+     WHERE products.price > 50 GROUP BY stores.city \
+     ORDER BY SUM(sales.amount) DESC";
+
+#[test]
+fn explain_analyze_row_counts_are_identical_across_worker_counts() {
+    // The deterministic EXPLAIN ANALYZE render (rows in/out, batches,
+    // operator counters; no timings) must be byte-identical at any worker
+    // count — instrumented execution sits on the same deterministic
+    // runtime the evaluators use.
+    let _serial = GLOBAL_REGISTRY_LOCK.lock().unwrap();
+    let db = retail_db();
+    let engine = SqlEngine::new();
+    let stmt = engine.prepare(THREE_WAY, &db.schema).unwrap();
+    let render_at = |threads| with_threads(threads, || stmt.explain_analyze(&db).unwrap().render());
+
+    let sequential = render_at(1);
+    let parallel = render_at(4);
+    assert_eq!(
+        sequential, parallel,
+        "EXPLAIN ANALYZE diverged across worker counts"
+    );
+    assert_eq!(sequential, render_at(1), "replay across identical runs");
+    // The report actually carries per-operator row flow for the full tree.
+    for needle in ["rows_in=", "rows_out=", "HashJoin", "Aggregate", "Scan"] {
+        assert!(sequential.contains(needle), "{sequential}");
+    }
+}
+
+#[test]
+fn traced_queries_appear_as_nested_trace_events_in_export() {
+    // With NLI_TRACE set, span-tree recording turns on and the export's
+    // `trace_events` section carries the per-query trees — including
+    // parent/child nesting for spans opened inside an enclosing span.
+    let _serial = GLOBAL_REGISTRY_LOCK.lock().unwrap();
+    let registry = obs::global();
+    let trace_path =
+        std::env::temp_dir().join(format!("nli-trace-events-{}.json", std::process::id()));
+    std::env::set_var("NLI_TRACE", &trace_path);
+    obs::enable_trace_events_from_env();
+    let _ = registry.drain_trace_trees(); // discard trees from earlier tests
+
+    let db = retail_db();
+    let engine = SqlEngine::new();
+    let stmt = engine.prepare(THREE_WAY, &db.schema).unwrap();
+    {
+        // `sql.execute` nests under this enclosing span on the same thread.
+        let _root = registry.trace_span("test.query");
+        stmt.execute(&db).unwrap();
+    }
+    stmt.explain_analyze(&db).unwrap();
+
+    let written = obs::export_trace_if_requested().unwrap().expect("path");
+    registry.set_trace_events(false);
+    let _ = registry.drain_trace_trees();
+    std::env::remove_var("NLI_TRACE");
+
+    let json = std::fs::read_to_string(written).unwrap();
+    assert!(json.contains("\"trace_events\""), "{json}");
+    // Root events export with a null parent, nested ones with their
+    // parent's id: sql.execute recorded as a child of test.query.
+    assert!(
+        json.contains("\"parent\": null, \"label\": \"test.query\""),
+        "{json}"
+    );
+    assert!(
+        json.contains("\"parent\": 0, \"label\": \"sql.execute\""),
+        "{json}"
+    );
+    assert!(
+        json.contains("\"label\": \"sql.explain_analyze\""),
+        "{json}"
+    );
+    let _ = std::fs::remove_file(&trace_path);
 }
 
 #[test]
