@@ -15,5 +15,6 @@
 //! registry so every binary measures the same artifacts.
 
 pub mod baseline;
+pub mod scaled;
 pub mod suite;
 pub mod timeline;

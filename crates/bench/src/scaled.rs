@@ -1,0 +1,339 @@
+//! Scaled vectorization ladder (`cargo run -p nli-bench --bin scaled`).
+//!
+//! Where [`crate::baseline`] tracks the absolute cost of the seven-query
+//! ladder on a small fixed database, this harness measures what the ISSUE 6
+//! refactor actually bought: the same join/aggregate workload run through
+//! the reference tree-walk interpreter versus the vectorized, cost-planned
+//! pipeline, on synthetic retail databases scaled from 10 k to 1 M fact
+//! rows. It writes `BENCH_scaled.json`: one entry per (rung, query) with
+//! median/min wall-times for both executors and the derived speedup.
+//!
+//! Both executors are run to completion once before timing and their
+//! [`nli_sql::CanonicalResult`]s compared — a rung aborts if the engines
+//! disagree, so the speedup numbers can never come from a wrong answer.
+//!
+//! The 10 k and 100 k rungs are the committed defaults; the 1 M rung is
+//! opt-in (`--full`) because the interpreter leg alone takes seconds.
+
+use nli_core::{Column, DataType, Database, Prng, Schema, Table, Value};
+use nli_sql::interp::run_tree_walk;
+use nli_sql::parser::parse_query;
+use nli_sql::SqlEngine;
+use serde_json::Value as Json;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Bumped whenever the emitted document shape changes.
+pub const SCHEMA_VERSION: i64 = 1;
+
+/// Fact-table row counts of the committed ladder rungs.
+pub const DEFAULT_RUNGS: [usize; 2] = [10_000, 100_000];
+
+/// The opt-in top rung (`--full`).
+pub const FULL_RUNG: usize = 1_000_000;
+
+/// The scaled workload: joins and aggregates, where batching pays.
+/// `vectorized` marks the queries the ≥10× acceptance bar applies to.
+pub const QUERIES: [(&str, &str); 5] = [
+    (
+        "filter",
+        "SELECT amount FROM sales WHERE amount > 450 AND amount < 460",
+    ),
+    (
+        "group",
+        "SELECT store_id, COUNT(*), SUM(amount) FROM sales GROUP BY store_id",
+    ),
+    (
+        "join",
+        "SELECT products.category, sales.amount FROM sales JOIN products \
+         ON sales.product_id = products.id WHERE products.price > 450",
+    ),
+    (
+        "join_group",
+        "SELECT products.category, SUM(sales.amount) FROM sales JOIN products \
+         ON sales.product_id = products.id GROUP BY products.category \
+         ORDER BY SUM(sales.amount) DESC",
+    ),
+    (
+        "three_way",
+        "SELECT stores.city, SUM(sales.amount) FROM sales \
+         JOIN stores ON sales.store_id = stores.id \
+         JOIN products ON sales.product_id = products.id \
+         WHERE products.price > 100 GROUP BY stores.city",
+    ),
+];
+
+/// Build one rung's database: `rows` sales facts over `rows / 50` products
+/// and `max(rows / 1000, 8)` stores, fully deterministic in `rows`.
+pub fn scaled_db(rows: usize) -> Database {
+    let n_products = (rows / 50).max(8);
+    let n_stores = (rows / 1000).max(8);
+    let mut schema = Schema::new(
+        "retail_scaled",
+        vec![
+            Table::new(
+                "stores",
+                vec![
+                    Column::new("id", DataType::Int).primary(),
+                    Column::new("city", DataType::Text),
+                ],
+            ),
+            Table::new(
+                "products",
+                vec![
+                    Column::new("id", DataType::Int).primary(),
+                    Column::new("category", DataType::Text),
+                    Column::new("price", DataType::Float),
+                ],
+            ),
+            Table::new(
+                "sales",
+                vec![
+                    Column::new("id", DataType::Int).primary(),
+                    Column::new("store_id", DataType::Int),
+                    Column::new("product_id", DataType::Int),
+                    Column::new("amount", DataType::Float),
+                ],
+            ),
+        ],
+    );
+    schema
+        .add_foreign_key("sales", "store_id", "stores", "id")
+        .unwrap();
+    schema
+        .add_foreign_key("sales", "product_id", "products", "id")
+        .unwrap();
+    let mut db = Database::empty(schema);
+    let mut rng = Prng::new(rows as u64 ^ 0x005C_A1ED);
+    const CITIES: [&str; 6] = ["Oslo", "Bergen", "Trondheim", "Tromso", "Stavanger", "Bodo"];
+    const CATEGORIES: [&str; 5] = ["Tools", "Toys", "Food", "Office", "Garden"];
+    db.insert_all(
+        "stores",
+        (1..=n_stores).map(|i| {
+            vec![
+                Value::Int(i as i64),
+                Value::Text(format!("{}-{}", CITIES[i % CITIES.len()], i % 97)),
+            ]
+        }),
+    )
+    .unwrap();
+    db.insert_all(
+        "products",
+        (1..=n_products).map(|i| {
+            vec![
+                Value::Int(i as i64),
+                Value::Text(CATEGORIES[i % CATEGORIES.len()].to_string()),
+                // multiplicative hash spreads prices over (0, 500] at every
+                // table size, so selectivity of a fixed threshold is
+                // rung-independent
+                Value::Float((i.wrapping_mul(7919) % 500) as f64 + 0.5),
+            ]
+        }),
+    )
+    .unwrap();
+    db.insert_all(
+        "sales",
+        (1..=rows).map(|i| {
+            let store = if rng.chance(0.01) {
+                Value::Null
+            } else {
+                Value::Int(rng.below(n_stores) as i64 + 1)
+            };
+            vec![
+                Value::Int(i as i64),
+                store,
+                Value::Int(rng.below(n_products) as i64 + 1),
+                Value::Float((rng.below(100_000) as f64) / 100.0),
+            ]
+        }),
+    )
+    .unwrap();
+    db
+}
+
+/// Median of an ascending-sorted sample.
+fn median(sorted: &[f64]) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    sorted[sorted.len() / 2]
+}
+
+fn time_micros(iters: usize, mut f: impl FnMut()) -> (f64, f64) {
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        f();
+        samples.push(start.elapsed().as_micros() as f64);
+    }
+    samples.sort_by(f64::total_cmp);
+    (median(&samples), samples[0])
+}
+
+/// Run one rung: every ladder query through both executors.
+fn run_rung(rows: usize, iters: usize) -> Json {
+    let db = scaled_db(rows);
+    let engine = SqlEngine::new();
+    let mut benchmarks = Vec::new();
+    for (name, sql) in QUERIES {
+        let q = parse_query(sql).expect("scaled query must parse");
+        let stmt = engine
+            .prepare_ast_on(&q, &db)
+            .expect("scaled query must plan");
+
+        // Conformance gate: the two executors must agree before either
+        // timing loop is allowed to count.
+        let reference = run_tree_walk(&q, &db).expect("interp leg must execute");
+        let vectorized = stmt.execute(&db).expect("vectorized leg must execute");
+        assert!(
+            vectorized.matches_canonical(&reference.to_canonical()),
+            "executors disagree on {name} at {rows} rows"
+        );
+        let rows_out = vectorized.rows.len();
+
+        let (interp_median, interp_min) = time_micros(iters, || {
+            black_box(run_tree_walk(&q, &db).unwrap());
+        });
+        let (vec_median, vec_min) = time_micros(iters, || {
+            black_box(stmt.execute(&db).unwrap());
+        });
+        let speedup = if vec_median > 0.0 {
+            interp_median / vec_median
+        } else {
+            interp_median.max(1.0)
+        };
+        benchmarks.push(Json::obj([
+            ("name", Json::from(name)),
+            ("sql", Json::from(sql)),
+            ("iters", Json::from(iters)),
+            ("rows_out", Json::from(rows_out)),
+            ("interp_median_micros", Json::from(interp_median)),
+            ("interp_min_micros", Json::from(interp_min)),
+            ("vectorized_median_micros", Json::from(vec_median)),
+            ("vectorized_min_micros", Json::from(vec_min)),
+            ("speedup", Json::from(speedup)),
+        ]));
+    }
+    Json::obj([
+        ("rows", Json::from(rows)),
+        ("benchmarks", Json::Array(benchmarks)),
+    ])
+}
+
+/// Run the ladder and build the `BENCH_scaled.json` document.
+pub fn run(rungs: &[usize], iters: usize) -> Json {
+    let iters = iters.max(1);
+    let rung_docs: Vec<Json> = rungs.iter().map(|&rows| run_rung(rows, iters)).collect();
+    Json::obj([
+        ("schema_version", Json::from(SCHEMA_VERSION)),
+        ("suite", Json::from("sql_scaled")),
+        ("rungs", Json::Array(rung_docs)),
+    ])
+}
+
+fn require_number(entry: &Json, key: &str, ctx: &str) -> Result<f64, String> {
+    entry
+        .get(key)
+        .and_then(Json::as_f64)
+        .filter(|v| v.is_finite() && *v >= 0.0)
+        .ok_or_else(|| format!("{ctx}: missing or invalid {key}"))
+}
+
+/// Schema check for an emitted scaled document: well-formed rungs, every
+/// benchmark carrying both timing legs and a consistent speedup.
+pub fn validate(doc: &Json) -> Result<(), String> {
+    match doc.get("schema_version").and_then(Json::as_i64) {
+        Some(v) if v == SCHEMA_VERSION => {}
+        Some(v) => return Err(format!("schema_version {v} != {SCHEMA_VERSION}")),
+        None => return Err("missing schema_version".into()),
+    }
+    if doc.get("suite").and_then(Json::as_str) != Some("sql_scaled") {
+        return Err("missing or wrong suite".into());
+    }
+    let rungs = doc
+        .get("rungs")
+        .and_then(Json::as_array)
+        .ok_or("missing rungs array")?;
+    if rungs.is_empty() {
+        return Err("empty rungs array".into());
+    }
+    for rung in rungs {
+        let rows = rung
+            .get("rows")
+            .and_then(Json::as_i64)
+            .filter(|r| *r > 0)
+            .ok_or("rung with missing rows")?;
+        let ctx0 = format!("rung {rows}");
+        let benchmarks = rung
+            .get("benchmarks")
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("{ctx0}: missing benchmarks"))?;
+        if benchmarks.len() != QUERIES.len() {
+            return Err(format!(
+                "{ctx0}: {} benchmarks (expected {})",
+                benchmarks.len(),
+                QUERIES.len()
+            ));
+        }
+        for entry in benchmarks {
+            let name = entry
+                .get("name")
+                .and_then(Json::as_str)
+                .filter(|n| QUERIES.iter().any(|(q, _)| q == n))
+                .ok_or_else(|| format!("{ctx0}: benchmark with unknown name"))?;
+            let ctx = format!("{ctx0}/{name}");
+            let im = require_number(entry, "interp_median_micros", &ctx)?;
+            require_number(entry, "interp_min_micros", &ctx)?;
+            let vm = require_number(entry, "vectorized_median_micros", &ctx)?;
+            require_number(entry, "vectorized_min_micros", &ctx)?;
+            require_number(entry, "rows_out", &ctx)?;
+            let speedup = require_number(entry, "speedup", &ctx)?;
+            if vm > 0.0 {
+                let derived = im / vm;
+                if (derived - speedup).abs() > derived.abs() * 0.01 + 1e-9 {
+                    return Err(format!(
+                        "{ctx}: speedup {speedup} inconsistent with medians ({derived})"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emitted_scaled_doc_passes_its_own_schema_check() {
+        // tiny rung: exercises the full emit path (including the built-in
+        // conformance gate) without benchmark-scale cost
+        let doc = run(&[500], 1);
+        validate(&doc).unwrap();
+        let text = serde_json::to_string_pretty(&doc).unwrap();
+        let reparsed = serde_json::from_str(&text).unwrap();
+        validate(&reparsed).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_malformed_documents() {
+        let mut doc = run(&[200], 1);
+        doc.set("schema_version", 99i64);
+        assert!(validate(&doc).unwrap_err().contains("schema_version"));
+
+        let doc = Json::obj([
+            ("schema_version", Json::from(SCHEMA_VERSION)),
+            ("suite", Json::from("sql_scaled")),
+        ]);
+        assert!(validate(&doc).unwrap_err().contains("rungs"));
+    }
+
+    #[test]
+    fn scaled_db_is_deterministic_and_fk_clean() {
+        let a = scaled_db(1_000);
+        let b = scaled_db(1_000);
+        assert_eq!(a, b);
+        a.check_foreign_keys().unwrap();
+    }
+}

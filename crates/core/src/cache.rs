@@ -4,10 +4,13 @@
 //! database variants that share one schema (test-suite accuracy), and runs
 //! whole corpora of distinct queries against one database. [`PlanCache`]
 //! makes the parse/plan step amortize across both axes: entries are keyed
-//! by `(source text, schema fingerprint)`, so a plan is reused exactly when
-//! re-planning would be guaranteed to produce the same result, and is
-//! invalidated — by key miss, not by eviction scans — the moment the schema
-//! structurally changes.
+//! by `(source text, schema fingerprint, stats epoch)`, so a plan is reused
+//! exactly when re-planning would be guaranteed to produce the same result,
+//! and is invalidated — by key miss, not by eviction scans — the moment the
+//! schema structurally changes or the table statistics a cost-based plan
+//! was built against move to a new epoch (see
+//! [`crate::Database::stats_epoch`]). Rule-based planning, which never
+//! reads statistics, passes epoch 0 so its entries survive data mutations.
 
 use crate::error::Result;
 use crate::obs;
@@ -15,8 +18,10 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Cache key: the expression source plus [`crate::Schema::fingerprint`].
-type Key = (String, u64);
+/// Cache key: the expression source plus [`crate::Schema::fingerprint`]
+/// plus the stats epoch the plan was costed against (0 for plans that do
+/// not depend on statistics).
+type Key = (String, u64, u64);
 
 #[derive(Debug)]
 struct Slot<P> {
@@ -186,19 +191,26 @@ impl<P> PlanCache<P> {
         });
     }
 
-    /// Look up `(source, fingerprint)`; on a miss, compile via `build`,
-    /// insert, and evict the least-recently-used entry if over capacity.
+    /// Look up `(source, fingerprint, epoch)`; on a miss, compile via
+    /// `build`, insert, and evict the least-recently-used entry if over
+    /// capacity. `epoch` is the stats epoch a cost-based plan depends on
+    /// ([`crate::Database::stats_epoch`]); pass 0 for plans built without
+    /// statistics.
     pub fn get_or_insert(
         &self,
         source: &str,
         fingerprint: u64,
+        epoch: u64,
         build: impl FnOnce() -> Result<P>,
     ) -> Result<Arc<P>> {
         {
             let mut inner = self.inner.lock();
             inner.clock += 1;
             let clock = inner.clock;
-            if let Some(slot) = inner.slots.get_mut(&(source.to_string(), fingerprint)) {
+            if let Some(slot) = inner
+                .slots
+                .get_mut(&(source.to_string(), fingerprint, epoch))
+            {
                 slot.last_used = clock;
                 let plan = Arc::clone(&slot.plan);
                 bump_mirrored!(inner, hits, "hits");
@@ -215,7 +227,7 @@ impl<P> PlanCache<P> {
         inner.clock += 1;
         let clock = inner.clock;
         let displaced = inner.slots.insert(
-            (source.to_string(), fingerprint),
+            (source.to_string(), fingerprint, epoch),
             Slot {
                 plan: Arc::clone(&plan),
                 last_used: clock,
@@ -239,11 +251,11 @@ impl<P> PlanCache<P> {
     }
 
     /// Peek without counting a hit or inserting.
-    pub fn contains(&self, source: &str, fingerprint: u64) -> bool {
+    pub fn contains(&self, source: &str, fingerprint: u64, epoch: u64) -> bool {
         self.inner
             .lock()
             .slots
-            .contains_key(&(source.to_string(), fingerprint))
+            .contains_key(&(source.to_string(), fingerprint, epoch))
     }
 
     pub fn stats(&self) -> CacheStats {
@@ -283,7 +295,7 @@ mod tests {
         let mut builds = 0;
         for _ in 0..3 {
             let p = cache
-                .get_or_insert("SELECT 1", 42, || {
+                .get_or_insert("SELECT 1", 42, 0, || {
                     builds += 1;
                     Ok("plan".to_string())
                 })
@@ -299,8 +311,8 @@ mod tests {
     #[test]
     fn fingerprint_partitions_entries() {
         let cache: PlanCache<u32> = PlanCache::with_capacity(4);
-        cache.get_or_insert("q", 1, || Ok(10)).unwrap();
-        let p = cache.get_or_insert("q", 2, || Ok(20)).unwrap();
+        cache.get_or_insert("q", 1, 0, || Ok(10)).unwrap();
+        let p = cache.get_or_insert("q", 2, 0, || Ok(20)).unwrap();
         assert_eq!(*p, 20, "same text, different schema: separate plans");
         assert_eq!(cache.stats().misses, 2);
     }
@@ -308,14 +320,14 @@ mod tests {
     #[test]
     fn lru_evicts_the_coldest_entry() {
         let cache: PlanCache<u32> = PlanCache::with_capacity(2);
-        cache.get_or_insert("a", 0, || Ok(1)).unwrap();
-        cache.get_or_insert("b", 0, || Ok(2)).unwrap();
+        cache.get_or_insert("a", 0, 0, || Ok(1)).unwrap();
+        cache.get_or_insert("b", 0, 0, || Ok(2)).unwrap();
         // touch "a" so "b" becomes the LRU entry
-        cache.get_or_insert("a", 0, || unreachable!()).unwrap();
-        cache.get_or_insert("c", 0, || Ok(3)).unwrap();
-        assert!(cache.contains("a", 0));
-        assert!(!cache.contains("b", 0), "LRU entry must be evicted");
-        assert!(cache.contains("c", 0));
+        cache.get_or_insert("a", 0, 0, || unreachable!()).unwrap();
+        cache.get_or_insert("c", 0, 0, || Ok(3)).unwrap();
+        assert!(cache.contains("a", 0, 0));
+        assert!(!cache.contains("b", 0, 0), "LRU entry must be evicted");
+        assert!(cache.contains("c", 0, 0));
     }
 
     #[test]
@@ -323,7 +335,7 @@ mod tests {
         let cache: PlanCache<u32> = PlanCache::with_capacity(2);
         let mut attempts = 0;
         for _ in 0..2 {
-            let r = cache.get_or_insert("bad", 0, || {
+            let r = cache.get_or_insert("bad", 0, 0, || {
                 attempts += 1;
                 Err(NliError::Syntax("nope".into()))
             });
@@ -347,11 +359,11 @@ mod tests {
     #[test]
     fn evictions_are_counted() {
         let cache: PlanCache<u32> = PlanCache::with_capacity(2);
-        cache.get_or_insert("a", 0, || Ok(1)).unwrap();
-        cache.get_or_insert("b", 0, || Ok(2)).unwrap();
+        cache.get_or_insert("a", 0, 0, || Ok(1)).unwrap();
+        cache.get_or_insert("b", 0, 0, || Ok(2)).unwrap();
         assert_eq!(cache.stats().evictions, 0);
-        cache.get_or_insert("c", 0, || Ok(3)).unwrap();
-        cache.get_or_insert("d", 0, || Ok(4)).unwrap();
+        cache.get_or_insert("c", 0, 0, || Ok(3)).unwrap();
+        cache.get_or_insert("d", 0, 0, || Ok(4)).unwrap();
         let s = cache.stats();
         assert_eq!(s.evictions, 2);
         assert_eq!(s.len, 2);
@@ -364,7 +376,7 @@ mod tests {
         let cache: PlanCache<u32> = PlanCache::with_capacity(2);
         cache.attach_obs(&registry, "plan_cache");
         for (src, fp) in [("a", 0), ("a", 0), ("b", 0), ("c", 1), ("a", 0), ("d", 2)] {
-            let _ = cache.get_or_insert(src, fp, || Ok(9));
+            let _ = cache.get_or_insert(src, fp, 0, || Ok(9));
         }
         let stats = cache.stats();
         let snap = registry.snapshot();
@@ -398,10 +410,10 @@ mod tests {
             if rng.chance(0.1) {
                 // Errors only surface on a miss: a hit returns the cached
                 // plan without invoking the failing build.
-                let _ = cache.get_or_insert(&src, fp, || Err(NliError::Syntax("boom".into())));
+                let _ = cache.get_or_insert(&src, fp, 0, || Err(NliError::Syntax("boom".into())));
             } else {
                 let v = rng.below(100);
-                let _ = cache.get_or_insert(&src, fp, || Ok(v)).unwrap();
+                let _ = cache.get_or_insert(&src, fp, 0, || Ok(v)).unwrap();
             }
         }
         let stats = cache.stats();
@@ -430,7 +442,7 @@ mod tests {
                     let mut rng = crate::rng::Prng::new(0xC0FFEE + t);
                     for _ in 0..500 {
                         let src = format!("q{}", rng.below(10));
-                        let _ = cache.get_or_insert(&src, 0, || Ok(1usize));
+                        let _ = cache.get_or_insert(&src, 0, 0, || Ok(1usize));
                     }
                 });
             }
@@ -445,10 +457,54 @@ mod tests {
         assert_eq!(stats.lookups(), 8 * 500);
     }
 
+    /// The satellite invariant: a stats-epoch bump (data mutation) is a
+    /// plan-cache invalidation for stats-dependent plans, by key miss —
+    /// while epoch-0 (rule-based) entries survive, since their plans never
+    /// read the mutated statistics.
+    #[test]
+    fn stats_epoch_change_invalidates_cost_based_plans() {
+        use crate::schema::{Column, Schema, Table};
+        use crate::value::DataType;
+        let schema = Schema::new(
+            "s",
+            vec![Table::new("t", vec![Column::new("id", DataType::Int)])],
+        );
+        let fp = schema.fingerprint();
+        let mut db = crate::Database::empty(schema);
+        let cache: PlanCache<&str> = PlanCache::with_capacity(8);
+
+        let e1 = db.stats_epoch();
+        assert_ne!(e1, 0, "a live database never reports the reserved epoch 0");
+        assert_eq!(db.stats_epoch(), e1, "epoch is stable while data is");
+        cache.get_or_insert("q", fp, 0, || Ok("rule")).unwrap();
+        cache.get_or_insert("q", fp, e1, || Ok("cost@e1")).unwrap();
+
+        db.insert("t", vec![1.into()]).unwrap();
+        let e2 = db.stats_epoch();
+        assert_ne!(e2, e1, "insert must move the database to a fresh epoch");
+        assert!(
+            !cache.contains("q", fp, e2),
+            "stats-keyed entry must miss after mutation"
+        );
+        assert!(cache.contains("q", fp, 0), "rule-based entry survives");
+        let mut rebuilt = false;
+        let p = cache
+            .get_or_insert("q", fp, e2, || {
+                rebuilt = true;
+                Ok("cost@e2")
+            })
+            .unwrap();
+        assert!(
+            rebuilt,
+            "new epoch must recompile, not reuse the stale plan"
+        );
+        assert_eq!(*p, "cost@e2");
+    }
+
     #[test]
     fn clear_preserves_counters() {
         let cache: PlanCache<u32> = PlanCache::with_capacity(2);
-        cache.get_or_insert("a", 0, || Ok(1)).unwrap();
+        cache.get_or_insert("a", 0, 0, || Ok(1)).unwrap();
         cache.clear();
         assert_eq!(cache.stats().len, 0);
         assert_eq!(cache.stats().misses, 1);

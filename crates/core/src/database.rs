@@ -4,10 +4,14 @@
 //! plain row store — the workloads in this reproduction are small dev sets,
 //! and a row store keeps execution semantics auditable.
 
+use crate::batch::ColumnBatch;
 use crate::error::{NliError, Result};
 use crate::schema::Schema;
+use crate::stats::{DatabaseStats, TableStats};
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Row data for one table.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -15,19 +19,150 @@ pub struct TableData {
     pub rows: Vec<Vec<Value>>,
 }
 
+/// Process-wide source of stats epochs. Epochs are globally unique (never
+/// reused across databases), so a plan cached under `(source, schema
+/// fingerprint, epoch)` can only ever be served for row data identical to
+/// what it was costed against.
+static NEXT_EPOCH: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_epoch() -> u64 {
+    NEXT_EPOCH.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Derived, lazily computed views of the row store: the columnar form and
+/// the table statistics, both tagged by the owning database's stats epoch.
+/// Cleared whenever the database is mutated through [`Database::insert`];
+/// code that mutates `Database::data` directly must call
+/// [`Database::invalidate_derived`] itself.
+#[derive(Default)]
+pub(crate) struct Derived {
+    /// 0 = not yet assigned (assigned on first read, or on mutation).
+    epoch: AtomicU64,
+    columnar: Mutex<Vec<Option<Arc<ColumnBatch>>>>,
+    stats: Mutex<Option<Arc<DatabaseStats>>>,
+}
+
+impl Clone for Derived {
+    fn clone(&self) -> Self {
+        // A clone starts with identical row data, so it may keep the epoch
+        // and the cached views; the sides diverge (and re-key) only when
+        // one of them is mutated.
+        Derived {
+            epoch: AtomicU64::new(self.epoch.load(Ordering::Relaxed)),
+            columnar: Mutex::new(self.columnar.lock().unwrap().clone()),
+            stats: Mutex::new(self.stats.lock().unwrap().clone()),
+        }
+    }
+}
+
+impl std::fmt::Debug for Derived {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Derived")
+            .field("epoch", &self.epoch.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
 /// A populated database.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Database {
     pub schema: Schema,
     /// One [`TableData`] per `schema.tables` entry, index-aligned.
     pub data: Vec<TableData>,
+    /// Cached derived views (columnar form, statistics) plus the stats
+    /// epoch; never serialized, rebuilt on demand.
+    #[serde(skip, default)]
+    pub(crate) derived: Derived,
+}
+
+impl PartialEq for Database {
+    fn eq(&self, other: &Self) -> bool {
+        // Derived state is a cache of (schema, data); it never
+        // participates in equality.
+        self.schema == other.schema && self.data == other.data
+    }
 }
 
 impl Database {
     /// An empty database over `schema`.
     pub fn empty(schema: Schema) -> Self {
         let data = vec![TableData::default(); schema.tables.len()];
-        Database { schema, data }
+        Database {
+            schema,
+            data,
+            derived: Derived::default(),
+        }
+    }
+
+    /// The database's *stats epoch*: a process-unique version number for
+    /// its row data. Mutating the database through [`Database::insert`]
+    /// (or calling [`Database::invalidate_derived`]) moves it to a fresh
+    /// value, so `(schema fingerprint, stats epoch)` identifies the exact
+    /// data a cost-based plan was built against — the plan-cache key
+    /// ([`crate::PlanCache`]).
+    pub fn stats_epoch(&self) -> u64 {
+        let cur = self.derived.epoch.load(Ordering::Relaxed);
+        if cur != 0 {
+            return cur;
+        }
+        let fresh = fresh_epoch();
+        match self
+            .derived
+            .epoch
+            .compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => fresh,
+            Err(won) => won,
+        }
+    }
+
+    /// Drop all cached derived views and return the stats epoch to the
+    /// unassigned state — the next [`Database::stats_epoch`] read draws a
+    /// fresh, never-before-seen value. Call after mutating
+    /// [`Database::data`] directly; [`Database::insert`] does it for you.
+    pub fn invalidate_derived(&mut self) {
+        *self.derived.epoch.get_mut() = 0;
+        self.derived.columnar.get_mut().unwrap().clear();
+        *self.derived.stats.get_mut().unwrap() = None;
+    }
+
+    /// The columnar form ([`ColumnBatch`]) of the table at schema index
+    /// `ti`, built on first use and cached until the database is mutated.
+    pub fn columnar(&self, ti: usize) -> Arc<ColumnBatch> {
+        let mut cache = self.derived.columnar.lock().unwrap();
+        if cache.len() < self.data.len() {
+            cache.resize(self.data.len(), None);
+        }
+        if let Some(batch) = &cache[ti] {
+            return Arc::clone(batch);
+        }
+        let dtypes: Vec<_> = self.schema.tables[ti]
+            .columns
+            .iter()
+            .map(|c| c.dtype)
+            .collect();
+        let batch = Arc::new(ColumnBatch::from_rows(&dtypes, &self.data[ti].rows));
+        cache[ti] = Some(Arc::clone(&batch));
+        batch
+    }
+
+    /// Table statistics for the whole database, computed on first use
+    /// (from the columnar form) and cached until the database is mutated.
+    pub fn stats(&self) -> Arc<DatabaseStats> {
+        if let Some(stats) = self.derived.stats.lock().unwrap().as_ref() {
+            return Arc::clone(stats);
+        }
+        // Build outside the stats lock: columnar() takes its own lock.
+        let tables = (0..self.data.len())
+            .map(|ti| TableStats::compute(&self.columnar(ti)))
+            .collect();
+        let stats = Arc::new(DatabaseStats { tables });
+        let mut slot = self.derived.stats.lock().unwrap();
+        if let Some(existing) = slot.as_ref() {
+            return Arc::clone(existing);
+        }
+        *slot = Some(Arc::clone(&stats));
+        stats
     }
 
     /// Insert a row into the named table, checking arity and (non-NULL)
@@ -59,6 +194,7 @@ impl Database {
             }
         }
         self.data[ti].rows.push(row);
+        self.invalidate_derived();
         Ok(())
     }
 

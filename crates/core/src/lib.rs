@@ -48,6 +48,7 @@
 //! assert_eq!(doubled, vec![2, 4, 6]);
 //! ```
 
+pub mod batch;
 pub mod cache;
 pub mod database;
 pub mod error;
@@ -56,9 +57,11 @@ pub mod par;
 pub mod question;
 pub mod rng;
 pub mod schema;
+pub mod stats;
 pub mod traits;
 pub mod value;
 
+pub use batch::{ColumnBatch, ColumnData, ColumnVector, NullBitmap};
 pub use cache::{CacheStats, PlanCache};
 pub use database::{Database, TableData};
 pub use error::{NliError, Result};
@@ -66,5 +69,6 @@ pub use par::{par_map, par_map_threads, thread_count, with_threads};
 pub use question::{Dialogue, Language, NlQuestion, Turn};
 pub use rng::Prng;
 pub use schema::{Column, ColumnRef, ForeignKey, Schema, Table};
+pub use stats::{ColumnStats, DatabaseStats, TableStats};
 pub use traits::{ExecutionEngine, PrepareEngine, SemanticParser};
 pub use value::{DataType, Date, Value};

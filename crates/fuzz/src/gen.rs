@@ -134,6 +134,8 @@ fn inject_nulls(db: &mut Database, p: f64, rng: &mut Prng) {
             }
         }
     }
+    // Direct `data` edits bypass `Database::insert`'s cache invalidation.
+    db.invalidate_derived();
 }
 
 /// A column in scope, with everything the generator needs to reference it.

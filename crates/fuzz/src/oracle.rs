@@ -5,11 +5,13 @@
 //!
 //! 1. the reference tree-walk interpreter ([`run_tree_walk`]),
 //! 2. the planned pipeline via a shared, cached [`SqlEngine`]
-//!    (`prepare_ast` → execute, exercising the plan cache under whatever
-//!    worker count the batch runs at), and
+//!    (`prepare_ast_on` → execute: stats-aware, so cost-based join
+//!    ordering and strategy choice are under test, with the plan cache
+//!    exercised at whatever worker count the batch runs at), and
 //! 3. a *reparse* leg: the query is printed to canonical SQL, re-parsed,
-//!    and prepared from text by a fresh engine (so the parse actually
-//!    happens instead of aliasing into the shared plan cache).
+//!    and prepared from text by a fresh engine with rule-based planning
+//!    (so the parse actually happens instead of aliasing into the shared
+//!    plan cache, and the default plan shape stays covered too).
 //!
 //! All three must agree: same error-ness, and for `Ok` results the same
 //! [`nli_sql::CanonicalResult`]. The reparse leg compares *executions*,
@@ -123,11 +125,12 @@ pub fn check_differential(
 ) -> Vec<Violation> {
     let obs = fuzz_obs();
     let sql = q.to_string();
+    // The planned leg prepares *against the database*, so the planner sees
+    // table statistics and the fuzz corpus exercises cost-based join
+    // ordering and strategy choice, not just the rule-based defaults.
     let planned = {
         let _leg = nli_core::obs::global().trace_span("fuzz.leg.plan");
-        engine
-            .prepare_ast(q, &db.schema)
-            .and_then(|p| p.execute(db))
+        engine.prepare_ast_on(q, db).and_then(|p| p.execute(db))
     };
     let reparsed = {
         let _leg = nli_core::obs::global().trace_span("fuzz.leg.reparse");

@@ -94,6 +94,10 @@ fn fuzz(db: &mut Database, rng: &mut Prng) {
             rows.push(dup);
         }
     }
+    // The edits above bypass `Database::insert`, so the clone still carries
+    // the base database's cached columnar views — drop them or the
+    // vectorized executor would answer from pre-fuzz data.
+    db.invalidate_derived();
 }
 
 /// Test-suite match: the prediction must match gold on **every** variant.

@@ -22,13 +22,12 @@
 
 use crate::ast::{AggFunc, BinOp, Query, SetOp};
 use crate::explain::{render_plan, AnalyzedSql, OpStats, PlanProfile, SelectProfile};
-use crate::plan::{plan_query, JoinStep, PlanExpr, QueryPlan, ScanNode, SelectPlan};
+use crate::plan::{plan_query, plan_query_with_stats, PlanExpr, QueryPlan, SelectPlan};
 use nli_core::{
     obs, CacheStats, Database, ExecutionEngine, NliError, PlanCache, PrepareEngine, Result, Schema,
     Value,
 };
 use std::cmp::Ordering;
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
@@ -261,7 +260,7 @@ impl SqlEngine {
     /// engine has seen the same `(sql, schema fingerprint)` before.
     pub fn prepare(&self, sql: &str, schema: &Schema) -> Result<PreparedSql> {
         let fingerprint = schema.fingerprint();
-        let plan = self.cache.get_or_insert(sql, fingerprint, || {
+        let plan = self.cache.get_or_insert(sql, fingerprint, 0, || {
             self.parses.fetch_add(1, AtomicOrdering::Relaxed);
             let q = {
                 let _span = obs::global().trace_span("sql.parse");
@@ -281,10 +280,46 @@ impl SqlEngine {
     pub fn prepare_ast(&self, q: &Query, schema: &Schema) -> Result<PreparedSql> {
         let fingerprint = schema.fingerprint();
         let key = q.to_string();
-        let plan = self.cache.get_or_insert(&key, fingerprint, || {
+        let plan = self.cache.get_or_insert(&key, fingerprint, 0, || {
             let _span = obs::global().trace_span("sql.plan");
             let _timing = sql_obs().plan.time();
             plan_query(q, schema)
+        })?;
+        Ok(PreparedSql { plan, fingerprint })
+    }
+
+    /// Compile `sql` with the cost-based planner, consulting `db`'s table
+    /// statistics. The cached plan is keyed on `(sql, schema fingerprint,
+    /// stats epoch)`, so mutating the database re-plans on next prepare
+    /// while unmutated databases keep hitting the cache.
+    pub fn prepare_on(&self, sql: &str, db: &Database) -> Result<PreparedSql> {
+        let fingerprint = db.schema.fingerprint();
+        let epoch = db.stats_epoch();
+        let plan = self.cache.get_or_insert(sql, fingerprint, epoch, || {
+            self.parses.fetch_add(1, AtomicOrdering::Relaxed);
+            let q = {
+                let _span = obs::global().trace_span("sql.parse");
+                let _timing = sql_obs().parse.time();
+                crate::parser::parse_query(sql)?
+            };
+            let _span = obs::global().trace_span("sql.plan");
+            let _timing = sql_obs().plan.time();
+            plan_query_with_stats(&q, &db.schema, &db.stats())
+        })?;
+        Ok(PreparedSql { plan, fingerprint })
+    }
+
+    /// [`SqlEngine::prepare_on`] for an already-parsed query: cost-based
+    /// planning over `db`'s statistics, keyed by the canonical SQL
+    /// rendering plus the stats epoch.
+    pub fn prepare_ast_on(&self, q: &Query, db: &Database) -> Result<PreparedSql> {
+        let fingerprint = db.schema.fingerprint();
+        let epoch = db.stats_epoch();
+        let key = q.to_string();
+        let plan = self.cache.get_or_insert(&key, fingerprint, epoch, || {
+            let _span = obs::global().trace_span("sql.plan");
+            let _timing = sql_obs().plan.time();
+            plan_query_with_stats(q, &db.schema, &db.stats())
         })?;
         Ok(PreparedSql { plan, fingerprint })
     }
@@ -339,12 +374,12 @@ pub(crate) fn exec_plan(plan: &QueryPlan, db: &Database) -> Result<ResultSet> {
 }
 
 /// Start a stage timer only when profiling.
-fn tick(profiling: bool) -> Option<Instant> {
+pub(crate) fn tick(profiling: bool) -> Option<Instant> {
     profiling.then(Instant::now)
 }
 
 /// Elapsed µs since [`tick`], 0 when not profiling.
-fn tock(start: Option<Instant>) -> u64 {
+pub(crate) fn tock(start: Option<Instant>) -> u64 {
     start.map_or(0, |s| s.elapsed().as_micros() as u64)
 }
 
@@ -424,295 +459,21 @@ pub(crate) fn apply_set_op(mut left: ResultSet, op: SetOp, right: ResultSet) -> 
     Ok(left)
 }
 
-/// Scan one base table, applying its pushed-down filter.
-fn scan(node: &ScanNode, db: &Database) -> Result<Vec<Vec<Value>>> {
-    let rows = db.rows(node.table);
-    match &node.filter {
-        None => Ok(rows.to_vec()),
-        Some(f) => {
-            let mut kept = Vec::with_capacity(rows.len());
-            for row in rows {
-                if truthy(&eval_expr(f, row)?) {
-                    kept.push(row.clone());
-                }
-            }
-            Ok(kept)
-        }
-    }
-}
-
+/// Execute one SELECT block. The physical operators live in the
+/// vectorized executor ([`crate::vexec`]); this shim keeps the historical
+/// entry point (and its tests) in place.
 fn exec_select_plan_profiled(
     p: &SelectPlan,
     db: &Database,
-    mut prof: Option<&mut SelectProfile>,
+    prof: Option<&mut SelectProfile>,
 ) -> Result<ResultSet> {
-    let profiling = prof.is_some();
-    // -- Scan + join --------------------------------------------------------
-    let mut scanned = Vec::with_capacity(p.scans.len());
-    for node in &p.scans {
-        let start = tick(profiling);
-        let kept = scan(node, db)?;
-        if let Some(pr) = prof.as_deref_mut() {
-            let mut st = OpStats::flow(db.rows(node.table).len(), kept.len());
-            st.wall_micros = tock(start);
-            pr.scans.push(st);
-        }
-        scanned.push(kept);
-    }
-    let mut scanned = scanned.into_iter();
-    let mut rows: Vec<Vec<Value>> = scanned.next().unwrap_or_default();
-    for (step, new_rows) in p.joins.iter().zip(scanned) {
-        let start = tick(profiling);
-        let rows_in = rows.len() + new_rows.len();
-        let mut counters: Vec<(&'static str, u64)> = Vec::new();
-        let mut joined = Vec::new();
-        match step {
-            JoinStep::Hash {
-                probe_off,
-                build_col,
-            } => {
-                let mut table: HashMap<String, Vec<&Vec<Value>>> = HashMap::new();
-                let mut null_build_keys = 0u64;
-                for nr in &new_rows {
-                    if nr[*build_col].is_null() {
-                        null_build_keys += 1;
-                        continue;
-                    }
-                    table
-                        .entry(nr[*build_col].canonical())
-                        .or_default()
-                        .push(nr);
-                }
-                if profiling {
-                    counters.push(("build_rows", new_rows.len() as u64));
-                    counters.push(("build_keys", table.len() as u64));
-                    counters.push(("null_build_keys", null_build_keys));
-                    counters.push(("probe_rows", rows.len() as u64));
-                }
-                for row in &rows {
-                    let key = &row[*probe_off];
-                    if key.is_null() {
-                        continue;
-                    }
-                    if let Some(matches) = table.get(&key.canonical()) {
-                        for nr in matches {
-                            let mut combined = row.clone();
-                            combined.extend((*nr).iter().cloned());
-                            joined.push(combined);
-                        }
-                    }
-                }
-            }
-            JoinStep::Cross => {
-                for row in &rows {
-                    for nr in &new_rows {
-                        let mut combined = row.clone();
-                        combined.extend(nr.iter().cloned());
-                        joined.push(combined);
-                    }
-                }
-            }
-        }
-        if let Some(pr) = prof.as_deref_mut() {
-            let mut st = OpStats::flow(rows_in, joined.len());
-            st.wall_micros = tock(start);
-            st.counters = counters;
-            pr.joins.push(st);
-        }
-        rows = joined;
-    }
-
-    // -- Residual filter (subqueries materialized per database) -------------
-    let residual_start = tick(profiling);
-    let residual_subplans = if profiling {
-        p.residual.as_ref().map_or(0, |r| r.count_subplans())
-    } else {
-        0
-    };
-    let materialized_residual;
-    let residual: Option<&PlanExpr> = match &p.residual {
-        Some(r) if r.has_subplan() => {
-            materialized_residual = materialize_subplans(r, db)?;
-            Some(&materialized_residual)
-        }
-        Some(r) => Some(r),
-        None => None,
-    };
-    let materialized_having;
-    let having: Option<&PlanExpr> = match &p.having {
-        Some(h) if h.has_subplan() => {
-            materialized_having = materialize_subplans(h, db)?;
-            Some(&materialized_having)
-        }
-        Some(h) => Some(h),
-        None => None,
-    };
-
-    if let Some(w) = residual {
-        let rows_in = rows.len();
-        let mut kept = Vec::with_capacity(rows.len());
-        for row in rows {
-            if truthy(&eval_expr(w, &row)?) {
-                kept.push(row);
-            }
-        }
-        rows = kept;
-        if let Some(pr) = prof.as_deref_mut() {
-            let mut st = OpStats::flow(rows_in, rows.len());
-            st.wall_micros = tock(residual_start);
-            if residual_subplans > 0 {
-                st.counters.push(("subplans", residual_subplans));
-            }
-            pr.residual = Some(st);
-        }
-    }
-
-    // -- Aggregate / project ------------------------------------------------
-    let mut out_rows: Vec<Vec<Value>> = Vec::new();
-    // Sort keys aligned with out_rows, computed in the right context.
-    let mut sort_keys: Vec<Vec<Value>> = Vec::new();
-    let need_sort = !p.order_by.is_empty();
-    let stage_start = tick(profiling);
-    let stage_rows_in = rows.len();
-
-    if p.aggregate {
-        // Group rows by the GROUP BY key (single group when absent).
-        let mut groups: Vec<(Vec<String>, Vec<Vec<Value>>)> = Vec::new();
-        let mut index: HashMap<Vec<String>, usize> = HashMap::new();
-        for row in rows {
-            let mut key = Vec::with_capacity(p.group_by.len());
-            for g in &p.group_by {
-                key.push(eval_expr(g, &row)?.canonical());
-            }
-            match index.get(&key) {
-                Some(&gi) => groups[gi].1.push(row),
-                None => {
-                    index.insert(key.clone(), groups.len());
-                    groups.push((key, vec![row]));
-                }
-            }
-        }
-        if groups.is_empty() && p.group_by.is_empty() {
-            // Aggregates over an empty input still produce one row.
-            groups.push((Vec::new(), Vec::new()));
-        }
-        let n_groups = groups.len() as u64;
-        let mut having_rejected = 0u64;
-        for (_, grows) in &groups {
-            if let Some(h) = having {
-                if !truthy(&eval_group(h, grows)?) {
-                    having_rejected += 1;
-                    continue;
-                }
-            }
-            let mut out = Vec::with_capacity(p.items.len());
-            for item in &p.items {
-                out.push(eval_group(item, grows)?);
-            }
-            if need_sort {
-                let mut keys = Vec::with_capacity(p.order_by.len());
-                for o in &p.order_by {
-                    keys.push(eval_group(&o.expr, grows)?);
-                }
-                sort_keys.push(keys);
-            }
-            out_rows.push(out);
-        }
-        if let Some(pr) = prof.as_deref_mut() {
-            let mut st = OpStats::flow(stage_rows_in, out_rows.len());
-            st.wall_micros = tock(stage_start);
-            st.counters.push(("groups", n_groups));
-            if p.having.is_some() {
-                st.counters.push(("having_rejected", having_rejected));
-            }
-            pr.aggregate = Some(st);
-        }
-    } else {
-        for row in rows {
-            if need_sort {
-                let mut keys = Vec::with_capacity(p.order_by.len());
-                for o in &p.order_by {
-                    keys.push(eval_expr(&o.expr, &row)?);
-                }
-                sort_keys.push(keys);
-            }
-            if p.star {
-                out_rows.push(row);
-            } else {
-                let mut out = Vec::with_capacity(p.items.len());
-                for item in &p.items {
-                    out.push(eval_expr(item, &row)?);
-                }
-                out_rows.push(out);
-            }
-        }
-        if let Some(pr) = prof.as_deref_mut() {
-            let mut st = OpStats::flow(stage_rows_in, out_rows.len());
-            st.wall_micros = tock(stage_start);
-            pr.project = Some(st);
-        }
-    }
-
-    if need_sort {
-        let sort_start = tick(profiling);
-        let n = out_rows.len();
-        let mut order: Vec<usize> = (0..out_rows.len()).collect();
-        order.sort_by(|&a, &b| {
-            for (o, (ka, kb)) in p
-                .order_by
-                .iter()
-                .zip(sort_keys[a].iter().zip(sort_keys[b].iter()))
-            {
-                let c = ka.total_cmp(kb);
-                let c = if o.desc { c.reverse() } else { c };
-                if c != Ordering::Equal {
-                    return c;
-                }
-            }
-            Ordering::Equal
-        });
-        out_rows = order
-            .into_iter()
-            .map(|i| std::mem::take(&mut out_rows[i]))
-            .collect();
-        if let Some(pr) = prof.as_deref_mut() {
-            let mut st = OpStats::flow(n, n);
-            st.wall_micros = tock(sort_start);
-            pr.sort = Some(st);
-        }
-    }
-
-    if p.distinct {
-        let distinct_start = tick(profiling);
-        let rows_in = out_rows.len();
-        let mut seen = std::collections::HashSet::new();
-        out_rows.retain(|r| seen.insert(canonical_row(r)));
-        if let Some(pr) = prof.as_deref_mut() {
-            let mut st = OpStats::flow(rows_in, out_rows.len());
-            st.wall_micros = tock(distinct_start);
-            pr.distinct = Some(st);
-        }
-    }
-
-    if let Some(l) = p.limit {
-        let rows_in = out_rows.len();
-        out_rows.truncate(l as usize);
-        if let Some(pr) = prof {
-            pr.limit = Some(OpStats::flow(rows_in, out_rows.len()));
-        }
-    }
-
-    Ok(ResultSet {
-        columns: p.columns.clone(),
-        rows: out_rows,
-        ordered: need_sort,
-    })
+    crate::vexec::exec_select(p, db, prof)
 }
 
 /// Replace compiled subquery plans with their materialized values for one
 /// database. Recursion mirrors the reference interpreter exactly: only
 /// `AND`/`OR`/comparison trees, `NOT`, and `BETWEEN` are descended.
-fn materialize_subplans(e: &PlanExpr, db: &Database) -> Result<PlanExpr> {
+pub(crate) fn materialize_subplans(e: &PlanExpr, db: &Database) -> Result<PlanExpr> {
     Ok(match e {
         PlanExpr::InPlan {
             expr,
@@ -775,8 +536,10 @@ pub(crate) fn truthy(v: &Value) -> bool {
     matches!(v, Value::Bool(true))
 }
 
-/// Evaluate a bound expression in scalar (per-row) context.
-fn eval_expr(e: &PlanExpr, row: &[Value]) -> Result<Value> {
+/// Evaluate a bound expression in scalar (per-row) context. The
+/// vectorized executor falls back to this for any chunk its kernels
+/// decline, so error behaviour stays byte-compatible.
+pub(crate) fn eval_expr(e: &PlanExpr, row: &[Value]) -> Result<Value> {
     match e {
         PlanExpr::Col(o) => Ok(row[*o].clone()),
         PlanExpr::Literal(v) => Ok(v.clone()),
@@ -853,49 +616,14 @@ fn eval_expr(e: &PlanExpr, row: &[Value]) -> Result<Value> {
     }
 }
 
-/// Evaluate a bound expression in group context: aggregates consume the
-/// group's rows; bare columns take the group's first row (SQLite-style).
-fn eval_group(e: &PlanExpr, rows: &[Vec<Value>]) -> Result<Value> {
-    match e {
-        PlanExpr::Agg {
-            func,
-            arg,
-            distinct,
-        } => eval_agg(*func, arg, *distinct, rows),
-        PlanExpr::Binary { left, op, right } => {
-            let l = eval_group(left, rows)?;
-            let r = eval_group(right, rows)?;
-            eval_binary(&l, *op, &r)
-        }
-        PlanExpr::Not(inner) => Ok(match eval_group(inner, rows)? {
-            Value::Bool(b) => Value::Bool(!b),
-            Value::Null => Value::Null,
-            other => return Err(NliError::Execution(format!("NOT applied to {other}"))),
-        }),
-        other => match rows.first() {
-            Some(first) => eval_expr(other, first),
-            None => Ok(Value::Null),
-        },
-    }
-}
-
-fn eval_agg(func: AggFunc, arg: &PlanExpr, distinct: bool, rows: &[Vec<Value>]) -> Result<Value> {
-    if matches!(arg, PlanExpr::Star) {
-        if func != AggFunc::Count {
-            return Err(NliError::Execution(format!(
-                "{}(*) is invalid",
-                func.name()
-            )));
-        }
-        return Ok(Value::Int(rows.len() as i64));
-    }
-    let mut vals = Vec::with_capacity(rows.len());
-    for row in rows {
-        let v = eval_expr(arg, row)?;
-        if !v.is_null() {
-            vals.push(v);
-        }
-    }
+/// Fold already-collected non-NULL aggregate inputs. This is the shared
+/// aggregate body: the vectorized executor's typed fast paths reproduce
+/// it for Int/Float columns, and every other case funnels through here.
+pub(crate) fn agg_from_values(
+    func: AggFunc,
+    mut vals: Vec<Value>,
+    distinct: bool,
+) -> Result<Value> {
     if distinct {
         let mut seen = std::collections::HashSet::new();
         vals.retain(|v| seen.insert(v.canonical()));
@@ -1428,6 +1156,7 @@ mod tests {
     /// keys on both sides.
     #[test]
     fn hash_join_operator_joins_matching_rows() {
+        use crate::plan::{BuildSide, JoinKind, JoinStep, ScanNode};
         let p = SelectPlan {
             scans: vec![
                 ScanNode {
@@ -1436,6 +1165,7 @@ mod tests {
                     offset: 0,
                     width: 4,
                     filter: None,
+                    est_rows: None,
                 },
                 ScanNode {
                     table: 0,
@@ -1443,11 +1173,17 @@ mod tests {
                     offset: 4,
                     width: 4,
                     filter: None,
+                    est_rows: None,
                 },
             ],
-            joins: vec![JoinStep::Hash {
-                probe_off: 1,
-                build_col: 0,
+            exec_order: vec![0, 1],
+            joins: vec![JoinStep {
+                kind: JoinKind::Hash {
+                    probe_off: 1,
+                    build_col: 0,
+                    build_side: BuildSide::New,
+                },
+                est_rows: None,
             }],
             residual: None,
             aggregate: false,

@@ -18,7 +18,7 @@
 
 use crate::ast::SetOp;
 use crate::exec::ResultSet;
-use crate::plan::{JoinStep, PlanExpr, QueryPlan, ScanNode, SelectPlan};
+use crate::plan::{BuildSide, JoinKind, PlanExpr, QueryPlan, ScanNode, SelectPlan};
 use nli_core::Value;
 use std::sync::Arc;
 
@@ -32,9 +32,10 @@ pub struct OpStats {
     pub rows_in: u64,
     /// Rows leaving the operator.
     pub rows_out: u64,
-    /// Input batches consumed. The executor is fully materialized today, so
-    /// this is `1` everywhere; the field exists so a future vectorized
-    /// executor can report real batch counts without a format change.
+    /// Evaluation chunks the operator's input was processed in (input rows
+    /// divided by the vectorized executor's batch size, minimum 1).
+    /// Operators that work on a materialized whole (sort, distinct, limit,
+    /// set ops) report `1`.
     pub batches: u64,
     /// Wall-clock time inside the operator, µs (monotonic clock;
     /// non-deterministic).
@@ -291,7 +292,10 @@ fn render_select(
 }
 
 /// Render the left-deep join chain rooted at join step `k - 1` (the subtree
-/// covering scans `0..=k`); `k == 0` is the bare first scan.
+/// covering execution steps `0..=k`); `k == 0` is the bare first scan.
+/// The tree follows [`SelectPlan::exec_order`]: step `k - 1` attaches FROM
+/// entry `exec_order[k]`, so a cost-reordered plan prints in the order it
+/// actually executes.
 fn render_joins(
     out: &mut String,
     p: &SelectPlan,
@@ -301,12 +305,12 @@ fn render_joins(
     timings: bool,
 ) {
     if k == 0 {
-        match p.scans.first() {
-            Some(node) => render_scan(
+        match p.exec_order.first().map(|&e| (e, &p.scans[e])) {
+            Some((e, node)) => render_scan(
                 out,
                 p,
                 node,
-                prof.and_then(|s| s.scans.first()),
+                prof.and_then(|s| s.scans.get(e)),
                 depth,
                 timings,
             ),
@@ -314,23 +318,44 @@ fn render_joins(
         }
         return;
     }
-    let label = match &p.joins[k - 1] {
-        JoinStep::Hash {
+    let step = &p.joins[k - 1];
+    let build_entry = p.exec_order[k];
+    let build_scan = &p.scans[build_entry];
+    let key_names = |probe_off: usize, build_col: usize| {
+        let probe = name_at(&p.joined_columns, probe_off).to_string();
+        let build = name_at(&p.joined_columns, build_scan.offset + build_col);
+        let build = if build.contains('.') {
+            build.to_string()
+        } else {
+            format!("{}.{build}", build_scan.table_name)
+        };
+        (probe, build)
+    };
+    let mut label = match step.kind {
+        JoinKind::Hash {
+            probe_off,
+            build_col,
+            build_side,
+        } => {
+            let (probe, build) = key_names(probe_off, build_col);
+            let mut s = format!("HashJoin ({probe} = {build})");
+            if build_side == BuildSide::Prefix {
+                s.push_str(" [build=prefix]");
+            }
+            s
+        }
+        JoinKind::Merge {
             probe_off,
             build_col,
         } => {
-            let probe = name_at(&p.joined_columns, *probe_off);
-            let build_scan = &p.scans[k];
-            let build = name_at(&p.joined_columns, build_scan.offset + build_col);
-            let build = if build.contains('.') {
-                build.to_string()
-            } else {
-                format!("{}.{build}", build_scan.table_name)
-            };
-            format!("HashJoin ({probe} = {build})")
+            let (probe, build) = key_names(probe_off, build_col);
+            format!("MergeJoin ({probe} = {build})")
         }
-        JoinStep::Cross => "CrossJoin".to_string(),
+        JoinKind::Cross => "CrossJoin".to_string(),
     };
+    if let Some(est) = step.est_rows {
+        label.push_str(&format!(" est={est}"));
+    }
     line(
         out,
         depth,
@@ -342,8 +367,8 @@ fn render_joins(
     render_scan(
         out,
         p,
-        &p.scans[k],
-        prof.and_then(|s| s.scans.get(k)),
+        build_scan,
+        prof.and_then(|s| s.scans.get(build_entry)),
         depth + 1,
         timings,
     );
@@ -365,6 +390,9 @@ fn render_scan(
             ", filter={}",
             expr_str(f, &p.joined_columns, node.offset)
         ));
+    }
+    if let Some(est) = node.est_rows {
+        label.push_str(&format!(", est={est}"));
     }
     label.push(')');
     line(out, depth, label, st, timings);

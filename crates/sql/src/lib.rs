@@ -73,6 +73,7 @@ pub mod normalize;
 pub mod parser;
 pub mod plan;
 pub mod token;
+mod vexec;
 
 pub use ast::{
     AggFunc, BinOp, ColName, Expr, JoinCond, OrderItem, Query, Select, SelectItem, SetOp, TableRef,
@@ -82,4 +83,5 @@ pub use exec::{CanonicalResult, PreparedSql, ResultSet, SqlEngine};
 pub use explain::{AnalyzedSql, OpStats, PlanProfile, SelectProfile};
 pub use normalize::normalize;
 pub use parser::parse_query;
-pub use plan::{plan_query, QueryPlan};
+pub use plan::{plan_query, plan_query_with_stats, QueryPlan};
+pub use vexec::with_batch_rows;

@@ -2,7 +2,7 @@
 //!
 //! [`plan_query`] compiles an AST [`Query`] against a [`Schema`] into a
 //! [`QueryPlan`]: every column reference is resolved to an offset in the
-//! joined row, join conditions become explicit [`JoinStep::Hash`] operators,
+//! joined row, join conditions become explicit [`JoinStep`] operators ([`JoinKind::Hash`]),
 //! and single-table WHERE conjuncts are pushed below the join into their
 //! [`ScanNode`]. Because a plan never touches row *data*, one plan can
 //! execute against any database whose schema shares the same
@@ -13,14 +13,25 @@
 //!
 //! 1. **Join-condition extraction.** Explicit `JOIN ... ON a = b` conditions
 //!    and top-level `WHERE` conjuncts of the shape `t1.x = t2.y` both
-//!    become hash joins, so the comma-FROM spelling (`FROM a, b WHERE
+//!    become equi-join steps, so the comma-FROM spelling (`FROM a, b WHERE
 //!    a.x = b.y`) no longer pays for a cartesian product.
 //! 2. **Predicate pushdown.** A remaining conjunct that mentions only one
 //!    FROM entry (and no subquery or aggregate) filters that table's scan
 //!    before the join instead of the joined stream after it.
+//!
+//! On top of the rule-based plan, [`plan_query_with_stats`] runs a
+//! **cost-based pass** over table statistics ([`nli_core::DatabaseStats`]):
+//! it estimates each scan's output cardinality from per-column
+//! NDV/min/max, then greedily reorders join execution
+//! ([`SelectPlan::exec_order`]), picks the hash build side, and upgrades
+//! an eligible first join to a sort-merge strategy. The cost pass only
+//! *reorders* the join edges the rules extracted — the predicate set,
+//! pushdown, and residual are byte-identical to the rule-based plan, which
+//! is what makes the two plans result-equivalent by construction (the
+//! executor restores row order afterwards; see `vexec`).
 
 use crate::ast::{AggFunc, BinOp, ColName, Expr, Query, Select, SetOp};
-use nli_core::{DataType, NliError, Result, Schema, Value};
+use nli_core::{DataType, DatabaseStats, NliError, Result, Schema, TableStats, Value};
 
 /// A bound expression: structurally an [`Expr`], but with every column
 /// resolved to a row offset and every subquery compiled to its own plan.
@@ -225,16 +236,50 @@ pub struct ScanNode {
     pub width: usize,
     /// Pushed-down filter over this table's own columns (offsets 0..width).
     pub filter: Option<PlanExpr>,
+    /// Planner estimate of rows surviving the scan filter; `None` for
+    /// rule-based plans (no statistics consulted).
+    pub est_rows: Option<u64>,
 }
 
-/// How FROM entry `i` (for `i >= 1`) connects to the already-joined prefix.
+/// Which input of a hash join the hash table is built over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum JoinStep {
-    /// Equi-join: build a hash table over the new table keyed on its
-    /// `build_col` (table-local), probe with the prefix row's `probe_off`.
-    Hash { probe_off: usize, build_col: usize },
+pub enum BuildSide {
+    /// Build over the newly attached table (the rule-based default).
+    New,
+    /// Build over the already-joined prefix — cost-chosen when the prefix
+    /// is estimated smaller than the table being attached.
+    Prefix,
+}
+
+/// Physical strategy of one join step. Key columns are named the same way
+/// in every variant: `probe_off` is the prefix-side key as an offset into
+/// the *rule-based* joined row (resolvable to a FROM entry via the scans),
+/// `build_col` is table-local to the attached entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// Equi-join via hash table.
+    Hash {
+        probe_off: usize,
+        build_col: usize,
+        build_side: BuildSide,
+    },
+    /// Equi-join by merging two sorted inputs. Planned only when
+    /// statistics say both key columns are stored in ascending NULL-free
+    /// order; the executor re-verifies at run time and falls back to a
+    /// hash join if the data has since changed.
+    Merge { probe_off: usize, build_col: usize },
     /// No connecting condition found: cartesian product.
     Cross,
+}
+
+/// How execution step `k` attaches FROM entry `exec_order[k + 1]` to the
+/// already-joined prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinStep {
+    pub kind: JoinKind,
+    /// Planner estimate of the joined prefix's cardinality after this
+    /// step; `None` for rule-based plans.
+    pub est_rows: Option<u64>,
 }
 
 /// Sort key: bound expression plus direction.
@@ -248,7 +293,14 @@ pub struct SortKey {
 #[derive(Debug, Clone, PartialEq)]
 pub struct SelectPlan {
     pub scans: Vec<ScanNode>,
-    /// One step per scan after the first (`joins.len() == scans.len() - 1`).
+    /// Join *execution* order: a permutation of `0..scans.len()`. Execution
+    /// starts from `scans[exec_order[0]]` and step `k` attaches
+    /// `scans[exec_order[k + 1]]`. Rule-based plans use the identity
+    /// (FROM order); the cost-based planner reorders. Output row order is
+    /// FROM-order regardless (the executor restores it).
+    pub exec_order: Vec<usize>,
+    /// One step per scan after the first (`joins.len() == scans.len() - 1`),
+    /// in *execution* order: `joins[k]` attaches `scans[exec_order[k + 1]]`.
     pub joins: Vec<JoinStep>,
     /// WHERE conjuncts that survived extraction and pushdown, re-folded
     /// with AND; evaluated against the joined row.
@@ -288,9 +340,33 @@ impl QueryPlan {
 /// Compile `q` against `schema`. All name resolution happens here;
 /// execution never consults names again.
 pub fn plan_query(q: &Query, schema: &Schema) -> Result<QueryPlan> {
-    let select = plan_select(&q.select, schema)?;
+    plan_query_inner(q, schema, None)
+}
+
+/// Compile `q` with the cost-based pass enabled: identical predicate
+/// extraction and pushdown to [`plan_query`], but join execution order,
+/// strategy, and build side are chosen from `stats`, and scans and joins
+/// carry cardinality estimates for `EXPLAIN`. The resulting plan is only
+/// valid to *reuse* for databases at the same stats epoch (key the plan
+/// cache on it; see [`nli_core::Database::stats_epoch`]) — though running
+/// it against any same-schema database still produces correct results,
+/// because cost choices never change query semantics.
+pub fn plan_query_with_stats(
+    q: &Query,
+    schema: &Schema,
+    stats: &DatabaseStats,
+) -> Result<QueryPlan> {
+    plan_query_inner(q, schema, Some(stats))
+}
+
+fn plan_query_inner(
+    q: &Query,
+    schema: &Schema,
+    stats: Option<&DatabaseStats>,
+) -> Result<QueryPlan> {
+    let select = plan_select(&q.select, schema, stats)?;
     let compound = match &q.compound {
-        Some((op, rhs)) => Some((*op, Box::new(plan_query(rhs, schema)?))),
+        Some((op, rhs)) => Some((*op, Box::new(plan_query_inner(rhs, schema, stats)?))),
         None => None,
     };
     Ok(QueryPlan { select, compound })
@@ -503,7 +579,11 @@ fn hash_compatible(a: DataType, b: DataType) -> bool {
     a == b || (a.is_numeric() && b.is_numeric())
 }
 
-fn plan_select(select: &Select, schema: &Schema) -> Result<SelectPlan> {
+fn plan_select(
+    select: &Select,
+    schema: &Schema,
+    stats: Option<&DatabaseStats>,
+) -> Result<SelectPlan> {
     let binder = Binder::bind(schema, select)?;
     let n = binder.bound.len();
 
@@ -513,12 +593,14 @@ fn plan_select(select: &Select, schema: &Schema) -> Result<SelectPlan> {
     }
     let mut used = vec![false; conjuncts.len()];
 
-    // -- Join planning ------------------------------------------------------
+    // -- Join-edge extraction -----------------------------------------------
     // For each FROM entry after the first, find an equi-join condition
-    // connecting it to the joined prefix: explicit ON conditions first
+    // connecting it to the FROM-order prefix: explicit ON conditions first
     // (mirroring the interpreter's probe order exactly), then top-level
-    // WHERE conjuncts of the shape `prefix_col = new_col`.
-    let mut joins = Vec::with_capacity(n.saturating_sub(1));
+    // WHERE conjuncts of the shape `prefix_col = new_col`. The edge set is
+    // fixed here, identically for rule-based and cost-based plans — the
+    // cost pass below only reorders when the edges *execute*.
+    let mut edges: Vec<Option<(usize, usize)>> = Vec::with_capacity(n.saturating_sub(1));
     for i in 1..n {
         let new_off = binder.bound[i].2;
         let new_width = schema.tables[binder.bound[i].1].columns.len();
@@ -537,10 +619,7 @@ fn plan_select(select: &Select, schema: &Schema) -> Result<SelectPlan> {
                 continue;
             };
             if outer < prefix_width {
-                step = Some(JoinStep::Hash {
-                    probe_off: outer,
-                    build_col: inner - new_off,
-                });
+                step = Some((outer, inner - new_off));
                 break;
             }
         }
@@ -561,16 +640,13 @@ fn plan_select(select: &Select, schema: &Schema) -> Result<SelectPlan> {
                     continue;
                 };
                 if hash_compatible(binder.dtype_at(inner), binder.dtype_at(outer)) {
-                    step = Some(JoinStep::Hash {
-                        probe_off: outer,
-                        build_col: inner - new_off,
-                    });
+                    step = Some((outer, inner - new_off));
                     used[ci] = true;
                     break;
                 }
             }
         }
-        joins.push(step.unwrap_or(JoinStep::Cross));
+        edges.push(step);
     }
 
     // -- Predicate pushdown -------------------------------------------------
@@ -609,7 +685,7 @@ fn plan_select(select: &Select, schema: &Schema) -> Result<SelectPlan> {
             right: Box::new(next),
         });
 
-    let scans = binder
+    let mut scans = binder
         .bound
         .iter()
         .map(|(_, ti, off)| {
@@ -628,9 +704,21 @@ fn plan_select(select: &Select, schema: &Schema) -> Result<SelectPlan> {
                 offset: *off,
                 width,
                 filter,
+                est_rows: None,
             }
         })
         .collect::<Vec<_>>();
+
+    // -- Join ordering ------------------------------------------------------
+    // Rule-based: identity order, hash joins building over the new table.
+    // Cost-based: greedy reorder of the same edges, by estimated
+    // cardinality (see `cost_order`).
+    let (exec_order, joins) = match stats {
+        Some(st) => {
+            cost_order(schema, &mut scans, &edges, st).unwrap_or_else(|| rule_order(&edges, n))
+        }
+        None => rule_order(&edges, n),
+    };
 
     // -- Aggregation, projection, ordering ----------------------------------
     let aggregate = !select.group_by.is_empty()
@@ -686,6 +774,7 @@ fn plan_select(select: &Select, schema: &Schema) -> Result<SelectPlan> {
 
     Ok(SelectPlan {
         scans,
+        exec_order,
         joins,
         residual,
         aggregate,
@@ -699,6 +788,322 @@ fn plan_select(select: &Select, schema: &Schema) -> Result<SelectPlan> {
         distinct: select.distinct,
         limit: select.limit,
     })
+}
+
+/// Identity execution order with rule-based join steps: every edge becomes
+/// a hash join building over the newly attached table, no estimates.
+fn rule_order(edges: &[Option<(usize, usize)>], n: usize) -> (Vec<usize>, Vec<JoinStep>) {
+    let joins = edges
+        .iter()
+        .map(|e| JoinStep {
+            kind: match e {
+                Some((probe_off, build_col)) => JoinKind::Hash {
+                    probe_off: *probe_off,
+                    build_col: *build_col,
+                    build_side: BuildSide::New,
+                },
+                None => JoinKind::Cross,
+            },
+            est_rows: None,
+        })
+        .collect();
+    ((0..n).collect(), joins)
+}
+
+/// Fallback selectivity for predicates the model has no shape for.
+const DEFAULT_SEL: f64 = 1.0 / 3.0;
+
+/// Greedy cost-based ordering of the rule-extracted join edges.
+///
+/// Each edge connects a FROM entry to one earlier entry, so the edges form
+/// a forest. Starting from the entry with the smallest estimated scan
+/// output, the pass repeatedly attaches the edge-connected entry whose join
+/// is estimated cheapest — keeping the covered part of each tree connected,
+/// which guarantees every edge is applied as a join exactly once (the
+/// predicate set is untouched). Entries with no edge cross-attach only once
+/// no edge can fire. Also fills `est_rows` on every scan.
+///
+/// Returns `None` (caller falls back to rule order) in the impossible case
+/// that an edge was left unapplied — a cheap structural safety net, since a
+/// dropped edge would drop a predicate.
+fn cost_order(
+    schema: &Schema,
+    scans: &mut [ScanNode],
+    edges: &[Option<(usize, usize)>],
+    stats: &DatabaseStats,
+) -> Option<(Vec<usize>, Vec<JoinStep>)> {
+    let n = scans.len();
+    let est: Vec<f64> = scans
+        .iter()
+        .map(|s| {
+            let ts = &stats.tables[s.table];
+            let sel = s.filter.as_ref().map_or(1.0, |f| selectivity(f, ts));
+            ts.row_count as f64 * sel
+        })
+        .collect();
+    for (s, e) in scans.iter_mut().zip(&est) {
+        s.est_rows = Some(e.round() as u64);
+    }
+    if n <= 1 {
+        return Some(((0..n).collect(), Vec::new()));
+    }
+
+    // Edge endpoints as (entry, table-local column) pairs; `b` is the FROM
+    // entry the rule pass attached, `a` the prefix entry it keyed against.
+    struct Edge {
+        a: usize,
+        a_col: usize,
+        b: usize,
+        b_col: usize,
+    }
+    let entry_of = |off: usize| {
+        scans
+            .iter()
+            .position(|s| off >= s.offset && off < s.offset + s.width)
+            .expect("edge offset inside some scan")
+    };
+    let edge_list: Vec<Edge> = edges
+        .iter()
+        .enumerate()
+        .filter_map(|(k, e)| {
+            e.map(|(probe_off, build_col)| {
+                let a = entry_of(probe_off);
+                Edge {
+                    a,
+                    a_col: probe_off - scans[a].offset,
+                    b: k + 1,
+                    b_col: build_col,
+                }
+            })
+        })
+        .collect();
+    let ndv_of = |entry: usize, col: usize| stats.tables[scans[entry].table].columns[col].ndv;
+    // Estimated join cardinality: |S| * |new| / max of the effective key
+    // NDVs, where an NDV is capped by its own side's cardinality.
+    let join_est = |est_s: f64, s_ndv: u64, est_new: f64, new_ndv: u64| {
+        let eff_s = (s_ndv as f64).min(est_s).max(1.0);
+        let eff_new = (new_ndv as f64).min(est_new).max(1.0);
+        est_s * est_new / eff_s.max(eff_new)
+    };
+
+    let start = (0..n).min_by(|&x, &y| est[x].total_cmp(&est[y]))?;
+    let mut in_s = vec![false; n];
+    in_s[start] = true;
+    let mut order = vec![start];
+    let mut joins = Vec::with_capacity(n - 1);
+    let mut est_s = est[start];
+    let mut edge_used = vec![false; edge_list.len()];
+    while order.len() < n {
+        // Cheapest edge with exactly one endpoint inside the prefix.
+        let mut best: Option<(f64, usize, usize)> = None; // (est, entry, edge index)
+        for (ei, e) in edge_list.iter().enumerate() {
+            if edge_used[ei] || in_s[e.a] == in_s[e.b] {
+                continue;
+            }
+            let (s_col, j, j_col) = if in_s[e.a] {
+                (e.a_col, e.b, e.b_col)
+            } else {
+                (e.b_col, e.a, e.a_col)
+            };
+            let s_entry = if in_s[e.a] { e.a } else { e.b };
+            let ej = join_est(est_s, ndv_of(s_entry, s_col), est[j], ndv_of(j, j_col));
+            if best.is_none_or(|(b, ..)| ej < b) {
+                best = Some((ej, j, ei));
+            }
+        }
+        match best {
+            Some((ej, j, ei)) => {
+                let e = &edge_list[ei];
+                let (p_entry, p_col, new_col) = if in_s[e.a] {
+                    (e.a, e.a_col, e.b_col)
+                } else {
+                    (e.b, e.b_col, e.a_col)
+                };
+                let probe_off = scans[p_entry].offset + p_col;
+                let mergeable = joins.is_empty()
+                    && merge_eligible(schema, stats, scans, p_entry, p_col, j, new_col);
+                let kind = if mergeable {
+                    JoinKind::Merge {
+                        probe_off,
+                        build_col: new_col,
+                    }
+                } else {
+                    JoinKind::Hash {
+                        probe_off,
+                        build_col: new_col,
+                        build_side: if est_s < est[j] {
+                            BuildSide::Prefix
+                        } else {
+                            BuildSide::New
+                        },
+                    }
+                };
+                joins.push(JoinStep {
+                    kind,
+                    est_rows: Some(ej.round() as u64),
+                });
+                edge_used[ei] = true;
+                in_s[j] = true;
+                order.push(j);
+                est_s = ej;
+            }
+            None => {
+                // No edge can fire: every partially covered tree is fully
+                // covered, so start the next one with the cheapest entry.
+                let j = (0..n)
+                    .filter(|&j| !in_s[j])
+                    .min_by(|&x, &y| est[x].total_cmp(&est[y]))?;
+                est_s *= est[j];
+                joins.push(JoinStep {
+                    kind: JoinKind::Cross,
+                    est_rows: Some(est_s.round() as u64),
+                });
+                in_s[j] = true;
+                order.push(j);
+            }
+        }
+    }
+    debug_assert!(edge_used.iter().all(|&u| u), "join edge left unapplied");
+    if !edge_used.iter().all(|&u| u) {
+        return None;
+    }
+    Some((order, joins))
+}
+
+/// Whether the first join may merge instead of hash: both key columns are
+/// same-typed `Int` or `Date` (no cross-type canonical traps) and the
+/// statistics say both are stored ascending and NULL-free. Only the first
+/// join qualifies — its left input is a bare scan in storage order, so
+/// sortedness of the base column carries through the (order-preserving)
+/// scan filter.
+fn merge_eligible(
+    schema: &Schema,
+    stats: &DatabaseStats,
+    scans: &[ScanNode],
+    p_entry: usize,
+    p_col: usize,
+    new_entry: usize,
+    new_col: usize,
+) -> bool {
+    let dt = |entry: usize, col: usize| schema.tables[scans[entry].table].columns[col].dtype;
+    let sorted =
+        |entry: usize, col: usize| stats.tables[scans[entry].table].columns[col].sorted_asc;
+    matches!(
+        (dt(p_entry, p_col), dt(new_entry, new_col)),
+        (DataType::Int, DataType::Int) | (DataType::Date, DataType::Date)
+    ) && sorted(p_entry, p_col)
+        && sorted(new_entry, new_col)
+}
+
+/// Estimated fraction of a table's rows satisfying a pushed-down scan
+/// filter (expression over table-local column offsets). Crude by design:
+/// the result only steers cost choices, never semantics.
+fn selectivity(e: &PlanExpr, ts: &TableStats) -> f64 {
+    let ndv = |c: usize| (ts.columns[c].ndv as f64).max(1.0);
+    let col_of = |e: &PlanExpr| match e {
+        PlanExpr::Col(c) => Some(*c),
+        _ => None,
+    };
+    let s = match e {
+        PlanExpr::Binary { left, op, right } => match op {
+            BinOp::And => selectivity(left, ts) * selectivity(right, ts),
+            BinOp::Or => selectivity(left, ts) + selectivity(right, ts),
+            BinOp::Eq | BinOp::Neq => {
+                let eq = match (col_of(left), col_of(right)) {
+                    (Some(c), _) | (None, Some(c)) => 1.0 / ndv(c),
+                    _ => DEFAULT_SEL,
+                };
+                if *op == BinOp::Eq {
+                    eq
+                } else {
+                    1.0 - eq
+                }
+            }
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                range_selectivity(left, *op, right, ts)
+            }
+            _ => DEFAULT_SEL,
+        },
+        PlanExpr::Not(inner) => 1.0 - selectivity(inner, ts),
+        PlanExpr::Like { negated, .. } | PlanExpr::Between { negated, .. } => {
+            if *negated {
+                0.75
+            } else {
+                0.25
+            }
+        }
+        PlanExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let hit = match col_of(expr) {
+                Some(c) => (list.len() as f64 / ndv(c)).min(1.0),
+                None => DEFAULT_SEL,
+            };
+            if *negated {
+                1.0 - hit
+            } else {
+                hit
+            }
+        }
+        PlanExpr::IsNull { expr, negated } => {
+            let frac = match col_of(expr) {
+                Some(c) => ts.columns[c].null_fraction(ts.row_count),
+                None => DEFAULT_SEL,
+            };
+            if *negated {
+                1.0 - frac
+            } else {
+                frac
+            }
+        }
+        _ => DEFAULT_SEL,
+    };
+    s.clamp(0.0, 1.0)
+}
+
+/// Range predicate selectivity by linear interpolation between the
+/// column's min and max (numeric columns only; everything else gets the
+/// default third).
+fn range_selectivity(left: &PlanExpr, op: BinOp, right: &PlanExpr, ts: &TableStats) -> f64 {
+    // Normalize to `col OP literal` by flipping the comparison if needed.
+    let (col, lit, op) = match (left, right) {
+        (PlanExpr::Col(c), PlanExpr::Literal(v)) => (*c, v, op),
+        (PlanExpr::Literal(v), PlanExpr::Col(c)) => {
+            let flipped = match op {
+                BinOp::Lt => BinOp::Gt,
+                BinOp::Le => BinOp::Ge,
+                BinOp::Gt => BinOp::Lt,
+                BinOp::Ge => BinOp::Le,
+                other => other,
+            };
+            (*c, v, flipped)
+        }
+        _ => return DEFAULT_SEL,
+    };
+    let num = |v: &Value| match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) => Some(*f),
+        _ => None,
+    };
+    let stats = &ts.columns[col];
+    let (Some(lo), Some(hi), Some(v)) = (
+        stats.min.as_ref().and_then(num),
+        stats.max.as_ref().and_then(num),
+        num(lit),
+    ) else {
+        return DEFAULT_SEL;
+    };
+    if hi <= lo {
+        return DEFAULT_SEL;
+    }
+    let below = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+    match op {
+        BinOp::Lt | BinOp::Le => below,
+        BinOp::Gt | BinOp::Ge => 1.0 - below,
+        _ => DEFAULT_SEL,
+    }
 }
 
 #[cfg(test)]
@@ -739,17 +1144,28 @@ mod tests {
         plan_query(&parse_query(sql).unwrap(), &schema()).unwrap()
     }
 
+    /// The rule-based hash step: build over the new table, no estimate.
+    fn hash_new(probe_off: usize, build_col: usize) -> JoinStep {
+        JoinStep {
+            kind: JoinKind::Hash {
+                probe_off,
+                build_col,
+                build_side: BuildSide::New,
+            },
+            est_rows: None,
+        }
+    }
+
     #[test]
     fn explicit_join_becomes_hash_step() {
         let p =
             plan("SELECT products.name FROM sales JOIN products ON sales.product_id = products.id");
         // sales occupies offsets 0..3, products 3..7
+        assert_eq!(p.select.joins, vec![hash_new(1, 0)]);
         assert_eq!(
-            p.select.joins,
-            vec![JoinStep::Hash {
-                probe_off: 1,
-                build_col: 0
-            }]
+            p.select.exec_order,
+            vec![0, 1],
+            "rule plans keep FROM order"
         );
         assert!(p.select.residual.is_none());
     }
@@ -758,13 +1174,7 @@ mod tests {
     fn where_equijoin_is_extracted_into_hash_step() {
         let p =
             plan("SELECT products.name FROM sales, products WHERE sales.product_id = products.id");
-        assert_eq!(
-            p.select.joins,
-            vec![JoinStep::Hash {
-                probe_off: 1,
-                build_col: 0
-            }]
-        );
+        assert_eq!(p.select.joins, vec![hash_new(1, 0)]);
         assert!(
             p.select.residual.is_none(),
             "the extracted conjunct must leave the WHERE clause"
@@ -778,7 +1188,7 @@ mod tests {
              WHERE sales.product_id = products.id AND products.price > 10 AND sales.amount < 5",
         );
         assert_eq!(p.select.joins.len(), 1);
-        assert!(matches!(p.select.joins[0], JoinStep::Hash { .. }));
+        assert!(matches!(p.select.joins[0].kind, JoinKind::Hash { .. }));
         assert!(p.select.residual.is_none());
         // sales scan keeps `amount < 5` rebased to its own offsets
         let sales_filter = p.select.scans[0].filter.as_ref().unwrap();
@@ -803,7 +1213,13 @@ mod tests {
         // name = id is incomparable under SQL `=` (always filters all rows);
         // keying a hash join on canonical text would wrongly match "1" to 1.
         let p = plan("SELECT products.name FROM sales, products WHERE products.name = sales.id");
-        assert_eq!(p.select.joins, vec![JoinStep::Cross]);
+        assert_eq!(
+            p.select.joins,
+            vec![JoinStep {
+                kind: JoinKind::Cross,
+                est_rows: None
+            }]
+        );
         assert!(p.select.residual.is_some());
     }
 
@@ -863,5 +1279,114 @@ mod tests {
         let (op, rhs) = p.compound.as_ref().unwrap();
         assert_eq!(*op, SetOp::Union);
         assert_eq!(rhs.arity(), 2);
+    }
+
+    /// A populated database over the test schema: `products_rows` products
+    /// with serial ids, `sales_rows` sales whose `product_id` cycles (so it
+    /// is *not* stored sorted).
+    fn stats_db(products_rows: i64, sales_rows: i64) -> nli_core::Database {
+        let mut db = nli_core::Database::empty(schema());
+        for i in 0..products_rows {
+            db.insert(
+                "products",
+                vec![
+                    Value::Int(i + 1),
+                    Value::Text(format!("p{i}")),
+                    Value::Text("cat".into()),
+                    Value::Float(i as f64),
+                ],
+            )
+            .unwrap();
+        }
+        for i in 0..sales_rows {
+            db.insert(
+                "sales",
+                vec![
+                    Value::Int(i + 1),
+                    Value::Int(i % products_rows + 1),
+                    Value::Float(i as f64),
+                ],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    fn plan_with_stats(sql: &str, db: &nli_core::Database) -> QueryPlan {
+        plan_query_with_stats(&parse_query(sql).unwrap(), &db.schema, &db.stats()).unwrap()
+    }
+
+    #[test]
+    fn cost_pass_starts_from_the_smallest_input_and_builds_over_it() {
+        let db = stats_db(5, 200);
+        let p = plan_with_stats(
+            "SELECT products.name FROM sales JOIN products ON sales.product_id = products.id",
+            &db,
+        );
+        // 5 products vs 200 sales: execution starts from products (FROM
+        // entry 1) even though sales is listed first...
+        assert_eq!(p.select.exec_order, vec![1, 0]);
+        // ...and the hash table builds over the 5-row prefix, keyed on
+        // products.id (global offset 3), attaching sales by its local
+        // product_id column. `sorted` stats can't allow a merge here:
+        // sales.product_id cycles.
+        assert_eq!(
+            p.select.joins[0].kind,
+            JoinKind::Hash {
+                probe_off: 3,
+                build_col: 1,
+                build_side: BuildSide::Prefix
+            }
+        );
+        // Estimates ride on the plan for EXPLAIN: 200 sales rows match ~5
+        // distinct product ids.
+        assert_eq!(p.select.scans[1].est_rows, Some(5));
+        assert_eq!(p.select.joins[0].est_rows, Some(200));
+    }
+
+    #[test]
+    fn merge_join_is_planned_when_both_keys_are_stored_sorted() {
+        let db = stats_db(5, 200);
+        let p = plan_with_stats(
+            "SELECT products.name FROM products JOIN sales ON products.id = sales.id",
+            &db,
+        );
+        // Both `id` columns are serial (ascending, NULL-free) Ints, so the
+        // first join may merge instead of hashing.
+        assert!(
+            matches!(p.select.joins[0].kind, JoinKind::Merge { .. }),
+            "{:?}",
+            p.select.joins[0]
+        );
+    }
+
+    #[test]
+    fn cost_pass_keeps_the_rule_based_predicate_placement() {
+        // The cost pass must only reorder execution: scans, pushdown, and
+        // residual stay byte-identical to the rule-based plan.
+        let db = stats_db(5, 200);
+        let sql = "SELECT products.name FROM sales, products \
+             WHERE sales.product_id = products.id AND products.price > 2 AND sales.amount < 50";
+        let rule = plan(sql);
+        let cost = plan_with_stats(sql, &db);
+        let strip = |mut s: SelectPlan| {
+            for sc in &mut s.scans {
+                sc.est_rows = None;
+            }
+            (s.scans, s.residual, s.group_by, s.items, s.columns)
+        };
+        assert_eq!(strip(rule.select), strip(cost.select));
+    }
+
+    #[test]
+    fn range_selectivity_interpolates_between_min_and_max() {
+        let db = stats_db(100, 1);
+        // price spans 0..99; `price > 74` keeps ~a quarter of the rows.
+        let p = plan_with_stats("SELECT name FROM products WHERE price > 74", &db);
+        let est = p.select.scans[0].est_rows.unwrap();
+        assert!((20..=30).contains(&est), "est {est} for a 25% range filter");
+        // Equality keeps ~1/ndv of the rows.
+        let p = plan_with_stats("SELECT name FROM products WHERE id = 7", &db);
+        assert_eq!(p.select.scans[0].est_rows, Some(1));
     }
 }

@@ -22,6 +22,13 @@
 #                 baseline::validate). Refreshing the committed
 #                 BENCH_baseline.json uses a bigger --iters; see
 #                 EXPERIMENTS.md.
+#   NLI_BENCH_SCALED=1
+#                 opt-in: run the scaled vectorization ladder on its 10k
+#                 rung only (tree-walk vs vectorized, with the built-in
+#                 result-conformance gate) and validate the emitted JSON
+#                 (crates/bench's scaled::validate). Refreshing the
+#                 committed BENCH_scaled.json uses the default rungs and a
+#                 bigger --iters; the 1M rung is behind --full.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -73,6 +80,15 @@ if [[ "${NLI_BENCH:-0}" == "1" ]]; then
   echo "==> bench baseline smoke (NLI_BENCH=1)"
   target/release/baseline --iters 5 --out /tmp/nli_bench_baseline.json
   target/release/baseline --check /tmp/nli_bench_baseline.json
+fi
+
+# Opt-in scaled-ladder smoke: single 10k rung with a tiny iteration count.
+# The emitter aborts if the tree-walk and vectorized executors disagree on
+# any ladder query, so this doubles as a cheap end-to-end conformance pass.
+if [[ "${NLI_BENCH_SCALED:-0}" == "1" ]]; then
+  echo "==> bench scaled smoke (NLI_BENCH_SCALED=1)"
+  target/release/scaled --rungs 10000 --iters 3 --out /tmp/nli_bench_scaled.json
+  target/release/scaled --check /tmp/nli_bench_scaled.json
 fi
 
 echo "CI gate passed."

@@ -37,7 +37,7 @@ fn concurrent_get_or_insert_never_loses_a_lookup() {
                         (format!("cold-{}-{}", t, round % 16), (round % 5) as u64)
                     };
                     let plan = cache
-                        .get_or_insert(&source, fp, || {
+                        .get_or_insert(&source, fp, 0, || {
                             builds.fetch_add(1, Ordering::Relaxed);
                             Ok(format!("plan:{source}:{fp}"))
                         })
@@ -82,7 +82,7 @@ fn concurrent_failures_and_successes_keep_accounting_exact() {
                 for round in 0..ROUNDS {
                     let key = format!("k{}", (t + round) % 6);
                     let fails = key.as_bytes()[1] % 2 == 0;
-                    let r = cache.get_or_insert(&key, u64::from(fails), || {
+                    let r = cache.get_or_insert(&key, u64::from(fails), 0, || {
                         if fails {
                             Err(nli_core::NliError::Syntax("always broken".into()))
                         } else {

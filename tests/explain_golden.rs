@@ -1,21 +1,121 @@
 //! Golden-snapshot tests for `PreparedSql::explain()` and the
-//! deterministic `EXPLAIN ANALYZE` render (ISSUE 5 satellite).
+//! deterministic `EXPLAIN ANALYZE` render (ISSUE 5 satellite; cost-based
+//! cases and the stale-fixture guard added in ISSUE 6).
 //!
-//! One fixture per operator kind under `tests/golden/explain_*`, compared
-//! byte-for-byte. Regenerate after an intentional format change with:
+//! Every fixture under `tests/golden/explain_*` is declared once in
+//! [`CASES`], compared byte-for-byte. Regenerate after an intentional
+//! format change with:
 //!
 //! ```text
 //! NLI_UPDATE_GOLDEN=1 cargo test -p nli-sql --test explain_golden
 //! ```
 //!
-//! The `EXPLAIN ANALYZE` fixture uses [`nli_sql::AnalyzedSql::render`],
+//! The update path is guarded: rewriting the fixtures fails loudly if the
+//! golden directory holds an `explain_*` file no [`CASES`] entry
+//! references (e.g. a renamed case leaving its old fixture behind), so a
+//! stale snapshot can never linger and green-wash a later rename.
+//!
+//! The `EXPLAIN ANALYZE` fixtures use [`nli_sql::AnalyzedSql::render`],
 //! which carries rows in/out, batches, and operator counters but no
 //! wall-clock timings — the whole render is a pure function of
 //! (query, database), so it goldens like any other plan text.
+//!
+//! The `explain_cost_*` cases prepare *against the database*
+//! (`SqlEngine::prepare_on`), so the planner sees table statistics: their
+//! fixtures pin the cost-chosen join order, strategy, and the `est=`
+//! cardinality annotations.
 
 use nli_core::{Column, DataType, Database, Schema, Table, Value};
 use nli_sql::SqlEngine;
 use std::path::PathBuf;
+
+/// The three-way join + aggregate ladder query both ANALYZE fixtures use.
+const THREE_WAY: &str = "SELECT stores.city, SUM(sales.amount) FROM sales \
+     JOIN stores ON sales.store_id = stores.id \
+     JOIN products ON sales.product_id = products.id \
+     WHERE products.price > 5 GROUP BY stores.city \
+     ORDER BY SUM(sales.amount) DESC";
+
+/// Every golden case: fixture name → rendered plan text. The guard test
+/// derives the set of legal fixture files from this table.
+type Case = (&'static str, fn() -> String);
+const CASES: &[Case] = &[
+    ("explain_scan", || explain("SELECT * FROM products")),
+    // both conjuncts reference one table: pushed into the scan, no
+    // residual Filter node
+    ("explain_filter_pushdown", || {
+        explain("SELECT category FROM products WHERE price > 5 AND category LIKE 'To%'")
+    }),
+    // left-deep two-step hash-join chain over three tables
+    ("explain_hash_join", || {
+        explain(
+            "SELECT stores.city, products.category FROM sales \
+             JOIN stores ON sales.store_id = stores.id \
+             JOIN products ON sales.product_id = products.id",
+        )
+    }),
+    // comma FROM without a connecting condition plus a residual predicate
+    // that references both tables (not pushable, not hashable)
+    ("explain_cross_join", || {
+        explain("SELECT * FROM stores, products WHERE stores.id != products.id")
+    }),
+    ("explain_aggregate_having", || {
+        explain(
+            "SELECT category, AVG(price) FROM products \
+             GROUP BY category HAVING COUNT(*) > 1",
+        )
+    }),
+    ("explain_sort_distinct_limit", || {
+        explain("SELECT DISTINCT category FROM products ORDER BY category ASC LIMIT 2")
+    }),
+    ("explain_set_op", || {
+        explain("SELECT id FROM products UNION SELECT product_id FROM sales")
+    }),
+    // IN (SELECT ...) stays a residual filter with a <subquery> placeholder
+    ("explain_subquery", || {
+        explain(
+            "SELECT category FROM products WHERE id IN \
+             (SELECT product_id FROM sales WHERE amount > 120)",
+        )
+    }),
+    // the deterministic EXPLAIN ANALYZE render: per-operator rows in/out,
+    // batches, and counters for the 3-table join + aggregate
+    ("explain_analyze_three_way", || {
+        let db = retail_db();
+        SqlEngine::new()
+            .prepare(THREE_WAY, &db.schema)
+            .unwrap()
+            .explain_analyze(&db)
+            .unwrap()
+            .render()
+    }),
+    // the same ladder query prepared against the database: the cost pass
+    // sees row counts/NDVs, annotates every node with `est=`, and is free
+    // to reorder the join chain away from FROM order
+    ("explain_cost_three_way", || {
+        let db = retail_db();
+        SqlEngine::new()
+            .prepare_on(THREE_WAY, &db)
+            .unwrap()
+            .explain_analyze(&db)
+            .unwrap()
+            .render()
+    }),
+    // sorted-key equijoin prepared with stats: the cost pass upgrades the
+    // hash step to a MergeJoin (both primary-key columns stored ascending
+    // and null-free; sales.store_id would not qualify — it has a NULL)
+    ("explain_cost_merge_join", || {
+        let db = retail_db();
+        SqlEngine::new()
+            .prepare_on(
+                "SELECT stores.city, products.category FROM stores \
+                 JOIN products ON stores.id = products.id",
+                &db,
+            )
+            .unwrap()
+            .explain()
+    }),
+];
 
 fn golden_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
@@ -27,6 +127,7 @@ fn assert_golden(name: &str, rendered: &str) {
     if std::env::var_os("NLI_UPDATE_GOLDEN").is_some() {
         std::fs::create_dir_all(golden_dir()).unwrap();
         std::fs::write(&path, rendered).unwrap();
+        assert_no_stale_fixtures();
         return;
     }
     let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
@@ -35,6 +136,27 @@ fn assert_golden(name: &str, rendered: &str) {
     assert_eq!(
         expected, rendered,
         "golden mismatch for {name}; if the change is intentional rerun with NLI_UPDATE_GOLDEN=1"
+    );
+}
+
+/// Fail loudly if the golden directory holds an `explain_*` fixture no
+/// [`CASES`] entry references. Runs on every update-mode write, so a
+/// renamed or deleted case can't silently leave its old snapshot behind.
+fn assert_no_stale_fixtures() {
+    let stale: Vec<String> = std::fs::read_dir(golden_dir())
+        .expect("tests/golden missing")
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("explain_"))
+        .filter(|n| {
+            !CASES
+                .iter()
+                .any(|(case, _)| format!("{case}.txt") == n.as_str())
+        })
+        .collect();
+    assert!(
+        stale.is_empty(),
+        "stale golden fixtures not referenced by any CASES entry: {stale:?}; \
+         delete them (or re-add their cases) before updating"
     );
 }
 
@@ -116,100 +238,66 @@ fn explain(sql: &str) -> String {
 }
 
 #[test]
-fn golden_explain_scan() {
-    assert_golden("explain_scan", &explain("SELECT * FROM products"));
+fn golden_explain_cases() {
+    for (name, render) in CASES {
+        assert_golden(name, &render());
+    }
 }
 
 #[test]
-fn golden_explain_filter_pushdown() {
-    // both conjuncts reference one table: pushed into the scan, no
-    // residual Filter node
-    assert_golden(
-        "explain_filter_pushdown",
-        &explain("SELECT category FROM products WHERE price > 5 AND category LIKE 'To%'"),
-    );
-}
-
-#[test]
-fn golden_explain_hash_join() {
-    // left-deep two-step hash-join chain over three tables
-    assert_golden(
-        "explain_hash_join",
-        &explain(
-            "SELECT stores.city, products.category FROM sales \
-             JOIN stores ON sales.store_id = stores.id \
-             JOIN products ON sales.product_id = products.id",
-        ),
-    );
-}
-
-#[test]
-fn golden_explain_cross_join() {
-    // comma FROM without a connecting condition plus a residual predicate
-    // that references both tables (not pushable, not hashable)
-    assert_golden(
-        "explain_cross_join",
-        &explain("SELECT * FROM stores, products WHERE stores.id != products.id"),
-    );
-}
-
-#[test]
-fn golden_explain_aggregate_having() {
-    assert_golden(
-        "explain_aggregate_having",
-        &explain(
-            "SELECT category, AVG(price) FROM products \
-             GROUP BY category HAVING COUNT(*) > 1",
-        ),
-    );
-}
-
-#[test]
-fn golden_explain_sort_distinct_limit() {
-    assert_golden(
-        "explain_sort_distinct_limit",
-        &explain("SELECT DISTINCT category FROM products ORDER BY category ASC LIMIT 2"),
-    );
-}
-
-#[test]
-fn golden_explain_set_op() {
-    assert_golden(
-        "explain_set_op",
-        &explain("SELECT id FROM products UNION SELECT product_id FROM sales"),
-    );
-}
-
-#[test]
-fn golden_explain_subquery() {
-    // IN (SELECT ...) stays a residual filter with a <subquery> placeholder
-    assert_golden(
-        "explain_subquery",
-        &explain(
-            "SELECT category FROM products WHERE id IN \
-             (SELECT product_id FROM sales WHERE amount > 120)",
-        ),
-    );
-}
-
-#[test]
-fn golden_explain_analyze_three_way() {
-    // the deterministic EXPLAIN ANALYZE render: per-operator rows in/out,
-    // batches, and counters for the 3-table join + aggregate
+fn cost_based_plan_differs_from_rule_based_in_order_and_strategy() {
+    // The acceptance spot-check behind the explain_cost_* fixtures: on the
+    // ladder query, preparing with statistics must change both the join
+    // *order* (sales is the largest table, so the cost pass no longer
+    // starts from it) and the *strategy* (est= annotations and, for the
+    // sorted-key pair, a MergeJoin) relative to the rule-based plan.
     let db = retail_db();
-    let analyzed = SqlEngine::new()
-        .prepare(
-            "SELECT stores.city, SUM(sales.amount) FROM sales \
-             JOIN stores ON sales.store_id = stores.id \
-             JOIN products ON sales.product_id = products.id \
-             WHERE products.price > 5 GROUP BY stores.city \
-             ORDER BY SUM(sales.amount) DESC",
-            &db.schema,
+    let engine = SqlEngine::new();
+    let rule = engine.prepare(THREE_WAY, &db.schema).unwrap().explain();
+    let cost = engine.prepare_on(THREE_WAY, &db).unwrap().explain();
+    assert_ne!(rule, cost, "stats did not change the plan");
+    assert!(
+        !rule.contains("est="),
+        "rule-based plans must not carry cardinality estimates:\n{rule}"
+    );
+    assert!(
+        cost.contains("est="),
+        "cost-based plan is missing est= annotations:\n{cost}"
+    );
+    // The join chain's first input is the first scan line at maximum
+    // indentation (the render puts the chain's root scan before its
+    // sibling build scan at the same depth).
+    let deepest_scan = |plan: &str| {
+        let mut best: Option<(usize, &str)> = None;
+        for l in plan.lines() {
+            let depth = l.len() - l.trim_start().len();
+            if l.trim_start().starts_with("Scan ") && best.is_none_or(|(d, _)| depth > d) {
+                best = Some((depth, l.trim_start()));
+            }
+        }
+        best.unwrap().1.to_string()
+    };
+    assert!(
+        deepest_scan(&rule).starts_with("Scan sales"),
+        "rule-based plan should start from the FROM-order table:\n{rule}"
+    );
+    assert!(
+        !deepest_scan(&cost).starts_with("Scan sales"),
+        "cost-based plan should not start from the 5-row sales table:\n{cost}"
+    );
+
+    let merge = engine
+        .prepare_on(
+            "SELECT stores.city, products.category FROM stores \
+             JOIN products ON stores.id = products.id",
+            &db,
         )
         .unwrap()
-        .explain_analyze(&db)
-        .unwrap();
-    assert_golden("explain_analyze_three_way", &analyzed.render());
+        .explain();
+    assert!(
+        merge.contains("MergeJoin"),
+        "sorted Int key columns should plan a MergeJoin:\n{merge}"
+    );
 }
 
 #[test]
@@ -221,16 +309,10 @@ fn explain_fixtures_are_committed_for_every_case() {
         .filter(|n| n.starts_with("explain_"))
         .collect();
     names.sort();
-    let expected = [
-        "explain_aggregate_having.txt",
-        "explain_analyze_three_way.txt",
-        "explain_cross_join.txt",
-        "explain_filter_pushdown.txt",
-        "explain_hash_join.txt",
-        "explain_scan.txt",
-        "explain_set_op.txt",
-        "explain_sort_distinct_limit.txt",
-        "explain_subquery.txt",
-    ];
+    let mut expected: Vec<String> = CASES
+        .iter()
+        .map(|(case, _)| format!("{case}.txt"))
+        .collect();
+    expected.sort();
     assert_eq!(names, expected);
 }
